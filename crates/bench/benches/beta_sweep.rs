@@ -1,0 +1,40 @@
+//! Criterion benchmark behind Figure 7: HC2L query latency under varying
+//! balance threshold β (the cut-size statistics are printed by the `repro`
+//! binary's `--figure7` mode).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+use hc2l::{Hc2lConfig, Hc2lIndex};
+use hc2l_roadnet::{random_pairs, standard_suite, SuiteScale, WeightMode};
+
+fn bench_beta_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure7_beta_sweep");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    let spec = &standard_suite(SuiteScale::Tiny)[1];
+    let g = spec.build().graph(WeightMode::Distance);
+    let pairs = random_pairs(g.num_vertices(), 512, 11);
+    for beta in [0.15f64, 0.20, 0.25, 0.30, 0.35] {
+        let index = Hc2lIndex::build(&g, Hc2lConfig::with_beta(beta));
+        group.bench_with_input(
+            BenchmarkId::new("HC2L", format!("beta={beta:.2}")),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    let mut acc = 0u128;
+                    for p in pairs {
+                        acc = acc.wrapping_add(index.query(p.source, p.target) as u128);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_beta_sweep);
+criterion_main!(benches);

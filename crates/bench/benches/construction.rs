@@ -1,0 +1,39 @@
+//! Criterion benchmark behind the construction-time columns of Tables 2/4:
+//! index build time of HC2L (sequential and parallel) and the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+use hc2l::{Hc2lConfig, Hc2lIndex};
+use hc2l_bench::oracle::{build_oracle, Method};
+use hc2l_roadnet::{standard_suite, SuiteScale, WeightMode};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    for spec in standard_suite(SuiteScale::Tiny).into_iter().take(2) {
+        let g = spec.build().graph(WeightMode::Distance);
+        for method in [Method::Hc2l, Method::H2h, Method::Phl, Method::Hl] {
+            group.bench_with_input(BenchmarkId::new(method.name(), &spec.name), &g, |b, g| {
+                b.iter(|| black_box(build_oracle(method, g, 1).label_bytes()))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("HC2Lp", &spec.name), &g, |b, g| {
+            b.iter(|| {
+                let cfg = Hc2lConfig {
+                    threads: 4,
+                    parallel_grain: 256,
+                    ..Default::default()
+                };
+                black_box(Hc2lIndex::build(g, cfg).stats().label_bytes)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

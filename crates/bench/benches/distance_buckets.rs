@@ -1,0 +1,44 @@
+//! Criterion benchmark behind Figure 6: query latency stratified by query
+//! distance (buckets Q1..Q10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+use hc2l_bench::oracle::{build_oracle, Method};
+use hc2l_roadnet::{distance_buckets, standard_suite, SuiteScale, WeightMode};
+
+fn bench_distance_buckets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure6_distance_buckets");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    let spec = &standard_suite(SuiteScale::Tiny)[0];
+    let g = spec.build().graph(WeightMode::Distance);
+    let buckets = distance_buckets(&g, 64, 1000, 7);
+    for method in [Method::Hc2l, Method::H2h, Method::Phl, Method::Hl] {
+        let oracle = build_oracle(method, &g, 1);
+        for (i, bucket) in buckets.buckets.iter().enumerate() {
+            if bucket.len() < 8 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), format!("Q{}", i + 1)),
+                bucket,
+                |b, bucket| {
+                    b.iter(|| {
+                        let mut acc = 0u128;
+                        for p in bucket {
+                            acc = acc.wrapping_add(oracle.query(p.source, p.target) as u128);
+                        }
+                        black_box(acc)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_buckets);
+criterion_main!(benches);

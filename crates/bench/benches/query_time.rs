@@ -1,0 +1,40 @@
+//! Criterion benchmark behind Tables 2 and 4: average distance-query latency
+//! of HC2L and the baseline labellings on random vertex pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+use hc2l_bench::oracle::{build_oracle, Method};
+use hc2l_roadnet::{random_pairs, standard_suite, SuiteScale, WeightMode};
+
+fn bench_query_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_time");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    for spec in standard_suite(SuiteScale::Tiny).into_iter().take(3) {
+        let g = spec.build().graph(WeightMode::Distance);
+        let pairs = random_pairs(g.num_vertices(), 512, 42);
+        for method in [Method::Hc2l, Method::H2h, Method::Phl, Method::Hl] {
+            let oracle = build_oracle(method, &g, 1);
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), &spec.name),
+                &pairs,
+                |b, pairs| {
+                    b.iter(|| {
+                        let mut acc = 0u128;
+                        for p in pairs {
+                            acc = acc.wrapping_add(oracle.query(p.source, p.target) as u128);
+                        }
+                        black_box(acc)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_time);
+criterion_main!(benches);

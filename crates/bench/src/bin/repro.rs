@@ -1,0 +1,187 @@
+//! Command-line driver that regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p hc2l-bench --bin repro -- [FLAGS]
+//!
+//!   --table1 --table2 --table3 --table4 --table5   individual tables
+//!   --figure6 --figure7 --ablation                 figures / ablation
+//!   --all                                          everything (default)
+//!   --scale tiny|small|medium                      dataset scale (default: small)
+//!   --datasets N                                   how many suite datasets (default: 4)
+//!   --queries N                                    queries per dataset (default: 2000)
+//!   --threads N                                    threads for HC2Lp (default: all cores)
+//! ```
+//!
+//! Output goes to stdout; redirect it into `EXPERIMENTS.md` fences to refresh
+//! the recorded results.
+
+use hc2l_bench::tables::{ablation_tail_pruning, run_comparison, table1, table2, table3, table5, SuiteOptions};
+use hc2l_bench::figures::{figure6, figure7};
+use hc2l_roadnet::{SuiteScale, WeightMode};
+
+#[derive(Debug, Clone)]
+struct Args {
+    table1: bool,
+    table2: bool,
+    table3: bool,
+    table4: bool,
+    table5: bool,
+    figure6: bool,
+    figure7: bool,
+    ablation: bool,
+    opts: SuiteOptions,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        table1: false,
+        table2: false,
+        table3: false,
+        table4: false,
+        table5: false,
+        figure6: false,
+        figure7: false,
+        ablation: false,
+        opts: SuiteOptions::default(),
+    };
+    let mut any = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let read_value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {}", argv[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--table1" => {
+                args.table1 = true;
+                any = true;
+            }
+            "--table2" => {
+                args.table2 = true;
+                any = true;
+            }
+            "--table3" => {
+                args.table3 = true;
+                any = true;
+            }
+            "--table4" => {
+                args.table4 = true;
+                any = true;
+            }
+            "--table5" => {
+                args.table5 = true;
+                any = true;
+            }
+            "--figure6" => {
+                args.figure6 = true;
+                any = true;
+            }
+            "--figure7" => {
+                args.figure7 = true;
+                any = true;
+            }
+            "--ablation" => {
+                args.ablation = true;
+                any = true;
+            }
+            "--all" => {
+                any = false;
+                i += 1;
+                continue;
+            }
+            "--scale" => {
+                let v = read_value(&mut i);
+                args.opts.scale = match v.as_str() {
+                    "tiny" => SuiteScale::Tiny,
+                    "small" => SuiteScale::Small,
+                    "medium" => SuiteScale::Medium,
+                    other => {
+                        eprintln!("unknown scale {other}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--datasets" => {
+                args.opts.num_datasets = read_value(&mut i).parse().unwrap_or(4);
+            }
+            "--queries" => {
+                args.opts.queries = read_value(&mut i).parse().unwrap_or(2000);
+            }
+            "--threads" => {
+                args.opts.threads = read_value(&mut i).parse().unwrap_or(2);
+            }
+            "--help" | "-h" => {
+                println!("see the module documentation at the top of repro.rs for usage");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if !any {
+        args.table1 = true;
+        args.table2 = true;
+        args.table3 = true;
+        args.table4 = true;
+        args.table5 = true;
+        args.figure6 = true;
+        args.figure7 = true;
+        args.ablation = true;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let opts = args.opts;
+    println!(
+        "# HC2L reproduction — scale {:?}, {} datasets, {} queries/dataset, {} threads\n",
+        opts.scale, opts.num_datasets, opts.queries, opts.threads
+    );
+
+    if args.table1 {
+        println!("{}", table1(&opts, WeightMode::Distance).render());
+    }
+
+    let need_distance_run = args.table2 || args.table3 || args.table5;
+    let distance_results = if need_distance_run {
+        Some(run_comparison(WeightMode::Distance, &opts))
+    } else {
+        None
+    };
+    if args.table2 {
+        println!(
+            "{}",
+            table2(distance_results.as_ref().unwrap(), WeightMode::Distance).render()
+        );
+    }
+    if args.table3 {
+        println!("{}", table3(distance_results.as_ref().unwrap()).render());
+    }
+    if args.table5 {
+        println!("{}", table5(distance_results.as_ref().unwrap()).render());
+    }
+    if args.table4 {
+        let results = run_comparison(WeightMode::TravelTime, &opts);
+        println!("{}", table2(&results, WeightMode::TravelTime).render());
+    }
+    if args.figure6 {
+        let per_bucket = (opts.queries / 10).max(20);
+        for t in figure6(&opts, WeightMode::Distance, per_bucket) {
+            println!("{}", t.render());
+        }
+    }
+    if args.figure7 {
+        println!("{}", figure7(&opts, WeightMode::Distance).render());
+    }
+    if args.ablation {
+        println!("{}", ablation_tail_pruning(&opts, WeightMode::Distance).render());
+    }
+}

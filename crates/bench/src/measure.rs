@@ -1,0 +1,118 @@
+//! Timing helpers.
+
+use std::time::Instant;
+
+use hc2l_graph::{Distance, Graph, Vertex};
+use hc2l_roadnet::QueryPair;
+
+use crate::oracle::{build_oracle, DistanceOracle, Method};
+
+/// Result of timing a batch of queries on one oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryMeasurement {
+    /// Mean time per query in microseconds.
+    pub avg_micros: f64,
+    /// Number of queries measured.
+    pub num_queries: usize,
+    /// Sum of all returned distances — returned so the optimiser cannot drop
+    /// the query calls, and useful as a cross-method consistency check.
+    pub checksum: u128,
+    /// Mean number of hub entries examined per query (sampled).
+    pub avg_hubs: f64,
+}
+
+/// Result of building one index.
+pub struct BuildMeasurement {
+    /// The built oracle.
+    pub oracle: Box<dyn DistanceOracle>,
+    /// Wall-clock build time in seconds (measured here, around the whole
+    /// build call).
+    pub build_seconds: f64,
+}
+
+/// Builds the index for a method, timing the whole construction.
+pub fn measure_build(method: Method, g: &Graph, threads: usize) -> BuildMeasurement {
+    let start = Instant::now();
+    let oracle = build_oracle(method, g, threads);
+    BuildMeasurement {
+        oracle,
+        build_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Times a batch of queries and samples the hub-scan counts.
+pub fn measure_query_time(oracle: &dyn DistanceOracle, pairs: &[QueryPair]) -> QueryMeasurement {
+    assert!(!pairs.is_empty(), "cannot measure an empty workload");
+    let start = Instant::now();
+    let mut checksum: u128 = 0;
+    for p in pairs {
+        let d: Distance = oracle.query(p.source, p.target);
+        checksum = checksum.wrapping_add(d as u128);
+    }
+    let elapsed = start.elapsed();
+    // Sample hub counts on a subset to keep the overhead bounded.
+    let sample_every = (pairs.len() / 256).max(1);
+    let mut hub_sum = 0usize;
+    let mut hub_count = 0usize;
+    for p in pairs.iter().step_by(sample_every) {
+        hub_sum += oracle.hubs_examined(p.source, p.target);
+        hub_count += 1;
+    }
+    QueryMeasurement {
+        avg_micros: elapsed.as_secs_f64() * 1e6 / pairs.len() as f64,
+        num_queries: pairs.len(),
+        checksum,
+        avg_hubs: if hub_count == 0 {
+            0.0
+        } else {
+            hub_sum as f64 / hub_count as f64
+        },
+    }
+}
+
+/// Verifies that two oracles agree on a workload (used by integration tests
+/// and as a guard inside the experiment runners).
+pub fn oracles_agree(
+    a: &dyn DistanceOracle,
+    b: &dyn DistanceOracle,
+    pairs: &[QueryPair],
+) -> Result<(), (Vertex, Vertex, Distance, Distance)> {
+    for p in pairs {
+        let da = a.query(p.source, p.target);
+        let db = b.query(p.source, p.target);
+        if da != db {
+            return Err((p.source, p.target, da, db));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::toy::paper_figure1;
+    use hc2l_roadnet::random_pairs;
+
+    #[test]
+    fn measurement_checksums_match_across_methods() {
+        let g = paper_figure1();
+        let pairs = random_pairs(16, 200, 3);
+        let hc2l = measure_build(Method::Hc2l, &g, 1);
+        let hl = measure_build(Method::Hl, &g, 1);
+        let m1 = measure_query_time(hc2l.oracle.as_ref(), &pairs);
+        let m2 = measure_query_time(hl.oracle.as_ref(), &pairs);
+        assert_eq!(m1.checksum, m2.checksum);
+        assert_eq!(m1.num_queries, 200);
+        assert!(m1.avg_micros >= 0.0);
+        assert!(m1.avg_hubs > 0.0);
+        assert!(oracles_agree(hc2l.oracle.as_ref(), hl.oracle.as_ref(), &pairs).is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_workload_rejected() {
+        let g = paper_figure1();
+        let b = measure_build(Method::Hc2l, &g, 1);
+        measure_query_time(b.oracle.as_ref(), &[]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Plain-text table rendering for the experiment output.
+
+/// A simple aligned text table with a title, used for every regenerated table
+/// and figure series.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have the same arity as the header).
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a byte count with a binary-prefix unit, like the paper's tables.
+pub fn fmt_bytes(bytes: usize) -> String {
+    let b = bytes as f64;
+    if b >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.2} GB", b / (1024.0 * 1024.0 * 1024.0))
+    } else if b >= 1024.0 * 1024.0 {
+        format!("{:.1} MB", b / (1024.0 * 1024.0))
+    } else if b >= 1024.0 {
+        format!("{:.1} KB", b / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats a duration in seconds adaptively (ms below one second).
+pub fn fmt_seconds(seconds: f64) -> String {
+    if seconds < 1.0 {
+        format!("{:.0} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.1} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_is_aligned() {
+        let mut t = Table::new("Demo", &["Dataset", "Value"]);
+        t.add_row(vec!["NY".into(), "0.225".into()]);
+        t.add_row(vec!["LONGNAME".into(), "12".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("== Demo =="));
+        assert!(rendered.contains("Dataset"));
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.add_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn byte_and_time_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KB");
+        assert!(fmt_bytes(3 * 1024 * 1024).contains("MB"));
+        assert!(fmt_bytes(2 * 1024 * 1024 * 1024).contains("GB"));
+        assert_eq!(fmt_seconds(0.5), "500 ms");
+        assert_eq!(fmt_seconds(2.25), "2.2 s");
+    }
+}

@@ -1,0 +1,308 @@
+//! Contraction and hierarchy construction.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use hc2l_graph::{Distance, Graph, Vertex, INFINITY};
+
+use crate::order::NodeOrdering;
+
+/// An edge of the upward graph: `to` is more important than the edge's
+/// source; `weight` may be a shortcut weight (sum of several original edges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpwardEdge {
+    /// Head vertex (higher rank than the tail).
+    pub to: Vertex,
+    /// Edge or shortcut weight.
+    pub weight: Distance,
+}
+
+/// A built contraction hierarchy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContractionHierarchy {
+    /// The contraction order.
+    pub ordering: NodeOrdering,
+    /// Upward adjacency: for each vertex, its edges towards higher-ranked
+    /// vertices (original edges and shortcuts).
+    pub upward: Vec<Vec<UpwardEdge>>,
+    /// Number of shortcut edges inserted during contraction.
+    pub num_shortcuts: usize,
+}
+
+/// Working adjacency during contraction: a weighted dynamic graph with
+/// deletion by masking.
+struct DynamicGraph {
+    adj: Vec<Vec<(Vertex, Distance)>>,
+    contracted: Vec<bool>,
+}
+
+impl DynamicGraph {
+    fn new(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let mut adj = vec![Vec::new(); n];
+        for v in 0..n as Vertex {
+            for e in g.neighbors(v) {
+                adj[v as usize].push((e.to, e.weight as Distance));
+            }
+        }
+        DynamicGraph {
+            adj,
+            contracted: vec![false; n],
+        }
+    }
+
+    fn neighbors(&self, v: Vertex) -> impl Iterator<Item = (Vertex, Distance)> + '_ {
+        self.adj[v as usize]
+            .iter()
+            .copied()
+            .filter(|&(u, _)| !self.contracted[u as usize])
+    }
+
+    fn degree(&self, v: Vertex) -> usize {
+        self.neighbors(v).count()
+    }
+
+    /// Adds or relaxes an undirected edge.
+    fn add_edge(&mut self, u: Vertex, v: Vertex, w: Distance) -> bool {
+        let mut added = false;
+        if let Some(e) = self.adj[u as usize].iter_mut().find(|(x, _)| *x == v) {
+            if w < e.1 {
+                e.1 = w;
+            }
+        } else {
+            self.adj[u as usize].push((v, w));
+            added = true;
+        }
+        if let Some(e) = self.adj[v as usize].iter_mut().find(|(x, _)| *x == u) {
+            if w < e.1 {
+                e.1 = w;
+            }
+        } else {
+            self.adj[v as usize].push((u, w));
+        }
+        added
+    }
+
+    /// Local witness search: is there a path from `s` to `t` of length at
+    /// most `limit` that avoids `excluded` (and contracted vertices)? The
+    /// search gives up (returns `false`) after `max_settled` settled vertices,
+    /// which errs on the side of inserting an unnecessary shortcut — safe for
+    /// correctness.
+    fn witness_exists(
+        &self,
+        s: Vertex,
+        t: Vertex,
+        excluded: Vertex,
+        limit: Distance,
+        max_settled: usize,
+    ) -> bool {
+        let mut dist: std::collections::HashMap<Vertex, Distance> = std::collections::HashMap::new();
+        let mut heap: BinaryHeap<Reverse<(Distance, Vertex)>> = BinaryHeap::new();
+        dist.insert(s, 0);
+        heap.push(Reverse((0, s)));
+        let mut settled = 0usize;
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if d > *dist.get(&v).unwrap_or(&INFINITY) {
+                continue;
+            }
+            if v == t {
+                return d <= limit;
+            }
+            if d > limit {
+                return false;
+            }
+            settled += 1;
+            if settled > max_settled {
+                return false;
+            }
+            for (u, w) in self.neighbors(v) {
+                if u == excluded {
+                    continue;
+                }
+                let nd = d + w;
+                if nd < *dist.get(&u).unwrap_or(&INFINITY) && nd <= limit {
+                    dist.insert(u, nd);
+                    heap.push(Reverse((nd, u)));
+                }
+            }
+        }
+        false
+    }
+
+    /// Shortcuts required to contract `v` right now: pairs of uncontracted
+    /// neighbours whose shortest interconnection runs through `v`.
+    fn required_shortcuts(&self, v: Vertex, max_settled: usize) -> Vec<(Vertex, Vertex, Distance)> {
+        let neighbors: Vec<(Vertex, Distance)> = self.neighbors(v).collect();
+        let mut shortcuts = Vec::new();
+        for i in 0..neighbors.len() {
+            for j in (i + 1)..neighbors.len() {
+                let (a, wa) = neighbors[i];
+                let (b, wb) = neighbors[j];
+                let through = wa + wb;
+                if !self.witness_exists(a, b, v, through, max_settled) {
+                    shortcuts.push((a, b, through));
+                }
+            }
+        }
+        shortcuts
+    }
+}
+
+impl ContractionHierarchy {
+    /// Builds a contraction hierarchy with the lazy edge-difference ordering.
+    pub fn build(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let mut dyn_graph = DynamicGraph::new(g);
+        let mut rank = vec![0u32; n];
+        let mut contracted_neighbors = vec![0u32; n];
+        // Witness searches are capped; larger caps give slightly fewer
+        // shortcuts at higher construction cost.
+        let max_settled = 60;
+
+        let priority = |dg: &DynamicGraph, contracted_neighbors: &[u32], v: Vertex| -> i64 {
+            let shortcuts = dg.required_shortcuts(v, max_settled).len() as i64;
+            let degree = dg.degree(v) as i64;
+            2 * (shortcuts - degree) + contracted_neighbors[v as usize] as i64
+        };
+
+        let mut queue: BinaryHeap<Reverse<(i64, Vertex)>> = (0..n as Vertex)
+            .map(|v| Reverse((priority(&dyn_graph, &contracted_neighbors, v), v)))
+            .collect();
+
+        let mut next_rank = 0u32;
+        while let Some(Reverse((prio, v))) = queue.pop() {
+            if dyn_graph.contracted[v as usize] {
+                continue;
+            }
+            // Lazy update: recompute and re-queue if stale and worse than the
+            // new queue head.
+            let fresh = priority(&dyn_graph, &contracted_neighbors, v);
+            if fresh > prio {
+                if let Some(Reverse((head, _))) = queue.peek() {
+                    if fresh > *head {
+                        queue.push(Reverse((fresh, v)));
+                        continue;
+                    }
+                }
+            }
+            // Contract v.
+            let shortcuts = dyn_graph.required_shortcuts(v, max_settled);
+            dyn_graph.contracted[v as usize] = true;
+            rank[v as usize] = next_rank;
+            next_rank += 1;
+            for &(a, b, w) in &shortcuts {
+                dyn_graph.add_edge(a, b, w);
+            }
+            for (u, _) in dyn_graph.adj[v as usize].clone() {
+                if !dyn_graph.contracted[u as usize] {
+                    contracted_neighbors[u as usize] += 1;
+                }
+            }
+        }
+
+        // Assemble the upward graph: for every (possibly shortcut) edge in the
+        // final dynamic graph, keep the direction towards the higher rank.
+        // `dyn_graph.adj` accumulated all shortcuts that were ever added.
+        let ordering = NodeOrdering::from_ranks(rank);
+        let mut upward: Vec<Vec<UpwardEdge>> = vec![Vec::new(); n];
+        let mut num_shortcuts = 0usize;
+        for v in 0..n as Vertex {
+            for &(u, w) in &dyn_graph.adj[v as usize] {
+                if ordering.is_higher(u, v) {
+                    upward[v as usize].push(UpwardEdge { to: u, weight: w });
+                    if g.edge_weight(v, u).map(|ow| ow as Distance) != Some(w) {
+                        num_shortcuts += 1;
+                    }
+                }
+            }
+        }
+        for list in &mut upward {
+            list.sort_by_key(|e| e.to);
+            list.dedup_by(|a, b| {
+                if a.to == b.to {
+                    // Keep the smaller weight (dedup removes `a` when true, so
+                    // fold it into `b` first).
+                    b.weight = b.weight.min(a.weight);
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+
+        ContractionHierarchy {
+            ordering,
+            upward,
+            num_shortcuts,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.upward.len()
+    }
+
+    /// Total number of upward edges (original + shortcuts).
+    pub fn num_upward_edges(&self) -> usize {
+        self.upward.iter().map(|l| l.len()).sum()
+    }
+
+    /// Approximate memory footprint of the upward graph in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.num_upward_edges() * std::mem::size_of::<UpwardEdge>()
+            + self.upward.len() * std::mem::size_of::<Vec<UpwardEdge>>()
+            + self.ordering.rank.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::toy::{grid_graph, paper_figure1, path_graph};
+
+    #[test]
+    fn all_ranks_are_distinct() {
+        let g = paper_figure1();
+        let ch = ContractionHierarchy::build(&g);
+        let mut ranks = ch.ordering.rank.clone();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn upward_edges_point_to_higher_ranks() {
+        let g = grid_graph(5, 5);
+        let ch = ContractionHierarchy::build(&g);
+        for v in 0..25u32 {
+            for e in &ch.upward[v as usize] {
+                assert!(ch.ordering.is_higher(e.to, v));
+            }
+        }
+    }
+
+    #[test]
+    fn path_graph_needs_few_shortcuts() {
+        let g = path_graph(32, 1);
+        let ch = ContractionHierarchy::build(&g);
+        // A path has treewidth 1; the number of shortcuts should stay small
+        // (well below the quadratic worst case).
+        assert!(ch.num_shortcuts <= 64, "too many shortcuts: {}", ch.num_shortcuts);
+    }
+
+    #[test]
+    fn every_vertex_except_top_has_an_upward_edge() {
+        let g = paper_figure1();
+        let ch = ContractionHierarchy::build(&g);
+        let top = ch.ordering.by_rank[15];
+        for v in 0..16u32 {
+            if v != top {
+                assert!(
+                    !ch.upward[v as usize].is_empty(),
+                    "vertex {v} has no upward edge"
+                );
+            }
+        }
+    }
+}

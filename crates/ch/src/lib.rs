@@ -1,0 +1,22 @@
+//! Contraction Hierarchies (CH) baseline.
+//!
+//! CH [Geisberger et al. 2008] is the classic search-based speed-up technique
+//! the paper's related-work section builds on: vertices are contracted one by
+//! one in importance order, inserting shortcut edges that preserve shortest
+//! paths among the remaining vertices; a query then runs a bidirectional
+//! Dijkstra that only ever relaxes edges leading to more important vertices.
+//!
+//! In this workspace CH serves two purposes:
+//!
+//! * it is a baseline in its own right (the search-space comparison of the
+//!   paper's related work), and
+//! * its contraction order is the vertex ordering used by the hub-labelling
+//!   baseline (`hc2l-hl`), mirroring how the original HL implementations
+//!   derive their orders from CH searches.
+
+pub mod contract;
+pub mod order;
+pub mod query;
+
+pub use contract::{ContractionHierarchy, UpwardEdge};
+pub use order::NodeOrdering;

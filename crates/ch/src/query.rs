@@ -1,0 +1,146 @@
+//! Bidirectional upward query.
+//!
+//! Both search frontiers only relax edges of the upward graph; the shortest
+//! path is found at the vertex where the two searches meet (which, by the CH
+//! correctness argument, is the highest-ranked vertex of some shortest path).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use hc2l_graph::{Distance, Vertex, INFINITY};
+
+use crate::contract::ContractionHierarchy;
+
+/// Result of one CH query, including the number of settled vertices — the CH
+/// counterpart of the "search space" the paper contrasts labelling methods
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChQueryResult {
+    /// Shortest-path distance ([`INFINITY`] if disconnected).
+    pub distance: Distance,
+    /// Number of vertices settled across both search directions.
+    pub settled: usize,
+}
+
+impl ContractionHierarchy {
+    /// Exact distance query.
+    pub fn query(&self, s: Vertex, t: Vertex) -> Distance {
+        self.query_with_stats(s, t).distance
+    }
+
+    /// Exact distance query with search-space statistics.
+    pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> ChQueryResult {
+        if s == t {
+            return ChQueryResult {
+                distance: 0,
+                settled: 0,
+            };
+        }
+        let mut dist_f: HashMap<Vertex, Distance> = HashMap::new();
+        let mut dist_b: HashMap<Vertex, Distance> = HashMap::new();
+        let mut heap_f: BinaryHeap<Reverse<(Distance, Vertex)>> = BinaryHeap::new();
+        let mut heap_b: BinaryHeap<Reverse<(Distance, Vertex)>> = BinaryHeap::new();
+        dist_f.insert(s, 0);
+        dist_b.insert(t, 0);
+        heap_f.push(Reverse((0, s)));
+        heap_b.push(Reverse((0, t)));
+        let mut best = INFINITY;
+        let mut settled = 0usize;
+
+        // The upward searches can each be run to exhaustion; stopping early
+        // when the frontier minimum exceeds the best meeting point is the
+        // standard optimisation.
+        loop {
+            let top_f = heap_f.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
+            let top_b = heap_b.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
+            if top_f >= best && top_b >= best {
+                break;
+            }
+            let forward = top_f <= top_b;
+            let (heap, dist, other) = if forward {
+                (&mut heap_f, &mut dist_f, &dist_b)
+            } else {
+                (&mut heap_b, &mut dist_b, &dist_f)
+            };
+            let Some(Reverse((d, v))) = heap.pop() else { break };
+            if d > *dist.get(&v).unwrap_or(&INFINITY) {
+                continue;
+            }
+            settled += 1;
+            if let Some(&od) = other.get(&v) {
+                let cand = d + od;
+                if cand < best {
+                    best = cand;
+                }
+            }
+            for e in &self.upward[v as usize] {
+                let nd = d + e.weight;
+                if nd < *dist.get(&e.to).unwrap_or(&INFINITY) {
+                    dist.insert(e.to, nd);
+                    heap.push(Reverse((nd, e.to)));
+                }
+            }
+        }
+
+        ChQueryResult {
+            distance: best,
+            settled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::dijkstra;
+    use hc2l_graph::toy::{grid_graph, paper_figure1, path_graph};
+    use hc2l_graph::GraphBuilder;
+
+    fn assert_all_pairs(g: &hc2l_graph::Graph) {
+        let ch = ContractionHierarchy::build(g);
+        for s in 0..g.num_vertices() as Vertex {
+            let d = dijkstra(g, s);
+            for t in 0..g.num_vertices() as Vertex {
+                assert_eq!(ch.query(s, t), d[t as usize], "CH query ({s},{t}) wrong");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_all_pairs() {
+        assert_all_pairs(&paper_figure1());
+    }
+
+    #[test]
+    fn grid_all_pairs() {
+        assert_all_pairs(&grid_graph(6, 7));
+    }
+
+    #[test]
+    fn weighted_graph_all_pairs() {
+        let mut b = GraphBuilder::new(0);
+        for (u, v, _) in grid_graph(5, 5).edges() {
+            b.add_edge(u, v, 1 + (u * 3 + v * 7) % 11);
+        }
+        assert_all_pairs(&b.build());
+    }
+
+    #[test]
+    fn disconnected_pairs_return_infinity() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1, 2), (1, 2, 2), (3, 4, 1)]);
+        let ch = ContractionHierarchy::build(&g);
+        assert_eq!(ch.query(0, 4), INFINITY);
+        assert_eq!(ch.query(0, 2), 4);
+    }
+
+    #[test]
+    fn search_space_is_smaller_than_graph() {
+        let g = path_graph(64, 1);
+        let ch = ContractionHierarchy::build(&g);
+        let r = ch.query_with_stats(0, 63);
+        assert_eq!(r.distance, 63);
+        // Upward searches on a path settle far fewer vertices than Dijkstra's
+        // full sweep would.
+        assert!(r.settled <= 40, "settled {} vertices", r.settled);
+    }
+}

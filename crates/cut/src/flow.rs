@@ -1,0 +1,396 @@
+//! Minimum s-t vertex cuts via Dinitz's max-flow algorithm.
+//!
+//! Following the classical transformation (Bondy & Murty; Section 4.1.1 of
+//! the paper), every vertex `v` of the input graph is split into `v_in` and
+//! `v_out` joined by an *inner edge* of capacity one; every original edge
+//! `(u, v)` becomes two directed *outer edges* `u_out -> v_in` and
+//! `v_out -> u_in` of unbounded capacity. A super-source `s` feeds the
+//! `v_in` copies of the source-side terminals and every sink-side terminal's
+//! `v_out` copy drains into the super-sink `t`. The value of a maximum flow
+//! equals the size of a minimum vertex cut (Menger's theorem), and because
+//! all flow paths alternate through unit-capacity inner edges Dinitz's
+//! algorithm needs at most `O(min(sqrt(|V|), |cut|))` phases of `O(|E|)`
+//! work each.
+//!
+//! Two minimum cuts are extracted from the final residual graph — the one
+//! closest to the source side and the one closest to the sink side — because
+//! the caller (Algorithm 2) picks whichever yields the more balanced
+//! partition.
+
+use std::collections::VecDeque;
+
+use hc2l_graph::{Graph, Vertex};
+
+/// Capacity type of the internal flow network.
+type Cap = u32;
+const CAP_INF: Cap = u32::MAX / 2;
+
+/// A directed edge of the flow network, stored alongside its reverse edge.
+#[derive(Debug, Clone, Copy)]
+struct FlowEdge {
+    to: u32,
+    cap: Cap,
+    /// Index of the reverse edge in `edges`.
+    rev: u32,
+}
+
+/// Dinitz max-flow solver over an explicitly built flow network.
+#[derive(Debug, Clone)]
+pub struct Dinitz {
+    adj: Vec<Vec<u32>>,
+    edges: Vec<FlowEdge>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl Dinitz {
+    /// Creates a solver with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Dinitz {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            level: vec![-1; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed edge `from -> to` with the given capacity; the reverse
+    /// edge is created with capacity zero.
+    pub fn add_edge(&mut self, from: u32, to: u32, cap: Cap) {
+        let e1 = self.edges.len() as u32;
+        let e2 = e1 + 1;
+        self.edges.push(FlowEdge {
+            to,
+            cap,
+            rev: e2,
+        });
+        self.edges.push(FlowEdge {
+            to: from,
+            cap: 0,
+            rev: e1,
+        });
+        self.adj[from as usize].push(e1);
+        self.adj[to as usize].push(e2);
+    }
+
+    fn bfs(&mut self, s: u32, t: u32) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut q = VecDeque::new();
+        self.level[s as usize] = 0;
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &ei in &self.adj[v as usize] {
+                let e = self.edges[ei as usize];
+                if e.cap > 0 && self.level[e.to as usize] < 0 {
+                    self.level[e.to as usize] = self.level[v as usize] + 1;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        self.level[t as usize] >= 0
+    }
+
+    fn dfs(&mut self, v: u32, t: u32, pushed: Cap) -> Cap {
+        if v == t {
+            return pushed;
+        }
+        while self.iter[v as usize] < self.adj[v as usize].len() {
+            let ei = self.adj[v as usize][self.iter[v as usize]];
+            let e = self.edges[ei as usize];
+            if e.cap > 0 && self.level[v as usize] < self.level[e.to as usize] {
+                let d = self.dfs(e.to, t, pushed.min(e.cap));
+                if d > 0 {
+                    self.edges[ei as usize].cap -= d;
+                    let rev = self.edges[ei as usize].rev as usize;
+                    self.edges[rev].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v as usize] += 1;
+        }
+        0
+    }
+
+    /// Computes the maximum flow from `s` to `t`. Can be called once.
+    pub fn max_flow(&mut self, s: u32, t: u32) -> u64 {
+        let mut flow = 0u64;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, CAP_INF);
+                if f == 0 {
+                    break;
+                }
+                flow += f as u64;
+            }
+        }
+        flow
+    }
+
+    /// Nodes reachable from `s` in the residual graph.
+    pub fn residual_reachable_from(&self, s: u32) -> Vec<bool> {
+        let mut seen = vec![false; self.num_nodes()];
+        let mut q = VecDeque::new();
+        seen[s as usize] = true;
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &ei in &self.adj[v as usize] {
+                let e = self.edges[ei as usize];
+                if e.cap > 0 && !seen[e.to as usize] {
+                    seen[e.to as usize] = true;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Nodes that can reach `t` in the residual graph (reverse reachability).
+    pub fn residual_reaching(&self, t: u32) -> Vec<bool> {
+        // An edge v -> w with residual capacity allows travel v -> w, so for
+        // reverse reachability we look at incoming residual edges, i.e. for
+        // each edge e = (v -> w) with cap > 0 we may step from w back to v.
+        // The reverse edge stored for e starts at w, so scanning w's adjacency
+        // and checking the paired edge's capacity does the job.
+        let mut seen = vec![false; self.num_nodes()];
+        let mut q = VecDeque::new();
+        seen[t as usize] = true;
+        q.push_back(t);
+        while let Some(w) = q.pop_front() {
+            for &ei in &self.adj[w as usize] {
+                let e = self.edges[ei as usize];
+                // The paired edge goes e.to -> w; it is traversable when it
+                // still has residual capacity.
+                let paired = self.edges[e.rev as usize];
+                if paired.cap > 0 && !seen[e.to as usize] {
+                    seen[e.to as usize] = true;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Result of a minimum vertex-cut computation.
+#[derive(Debug, Clone)]
+pub struct MinVertexCut {
+    /// Size of the minimum cut (equals the max-flow value).
+    pub size: usize,
+    /// The cut closest to the source side.
+    pub source_side_cut: Vec<Vertex>,
+    /// The cut closest to the sink side.
+    pub sink_side_cut: Vec<Vertex>,
+}
+
+/// Computes a minimum vertex cut of `g` separating `sources` from `sinks`.
+///
+/// `sources` and `sinks` are sets of vertices of `g`; vertices in either set
+/// may themselves be chosen as cut vertices (this matches Algorithm 2, where
+/// the boundary vertices `C_A`/`C_B` participate in the flow graph). The two
+/// returned cuts both have minimum size; they differ in which side of the
+/// flow they hug.
+pub fn min_vertex_cut(g: &Graph, sources: &[Vertex], sinks: &[Vertex]) -> MinVertexCut {
+    let n = g.num_vertices();
+    let v_in = |v: Vertex| 2 * v;
+    let v_out = |v: Vertex| 2 * v + 1;
+    let s_node = 2 * n as u32;
+    let t_node = 2 * n as u32 + 1;
+    let mut dinitz = Dinitz::new(2 * n + 2);
+
+    // Inner edges with capacity one.
+    for v in 0..n as Vertex {
+        dinitz.add_edge(v_in(v), v_out(v), 1);
+    }
+    // Outer edges with effectively unbounded capacity.
+    for (u, v, _) in g.edges() {
+        dinitz.add_edge(v_out(u), v_in(v), CAP_INF);
+        dinitz.add_edge(v_out(v), v_in(u), CAP_INF);
+    }
+    for &v in sources {
+        dinitz.add_edge(s_node, v_in(v), CAP_INF);
+    }
+    for &v in sinks {
+        dinitz.add_edge(v_out(v), t_node, CAP_INF);
+    }
+
+    let flow = dinitz.max_flow(s_node, t_node);
+
+    // Source-side cut: vertices whose inner edge crosses the reachability
+    // frontier of the residual graph.
+    let reach = dinitz.residual_reachable_from(s_node);
+    let mut source_side_cut = Vec::new();
+    for v in 0..n as Vertex {
+        if reach[v_in(v) as usize] && !reach[v_out(v) as usize] {
+            source_side_cut.push(v);
+        }
+    }
+    // Sink-side cut: vertices whose inner edge crosses the reverse frontier.
+    let reach_t = dinitz.residual_reaching(t_node);
+    let mut sink_side_cut = Vec::new();
+    for v in 0..n as Vertex {
+        if reach_t[v_out(v) as usize] && !reach_t[v_in(v) as usize] {
+            sink_side_cut.push(v);
+        }
+    }
+
+    debug_assert_eq!(source_side_cut.len() as u64, flow);
+    debug_assert_eq!(sink_side_cut.len() as u64, flow);
+
+    MinVertexCut {
+        size: flow as usize,
+        source_side_cut,
+        sink_side_cut,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::components::connected_components_masked;
+    use hc2l_graph::toy::{grid_graph, paper_figure1};
+    use hc2l_graph::GraphBuilder;
+
+    /// Removing the cut must disconnect every source from every sink (unless
+    /// the vertex itself is in the cut).
+    fn assert_separates(g: &Graph, cut: &[Vertex], sources: &[Vertex], sinks: &[Vertex]) {
+        let mut mask = vec![true; g.num_vertices()];
+        for &c in cut {
+            mask[c as usize] = false;
+        }
+        let cc = connected_components_masked(g, Some(&mask));
+        for &s in sources {
+            if !mask[s as usize] {
+                continue;
+            }
+            for &t in sinks {
+                if !mask[t as usize] {
+                    continue;
+                }
+                assert_ne!(
+                    cc.label[s as usize], cc.label[t as usize],
+                    "cut {cut:?} fails to separate {s} from {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_articulation_point() {
+        // Two triangles joined at vertex 2: {0,1,2} and {2,3,4}.
+        let g = GraphBuilder::from_edges(
+            5,
+            &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 1), (3, 4, 1), (2, 4, 1)],
+        );
+        let cut = min_vertex_cut(&g, &[0], &[4]);
+        assert_eq!(cut.size, 1);
+        // Minimum cuts of size one are {0}, {2} or {4}; which one is returned
+        // depends on which side of the residual graph is examined, but both
+        // extractions must be valid separators.
+        assert_separates(&g, &cut.source_side_cut, &[0], &[4]);
+        assert_separates(&g, &cut.sink_side_cut, &[0], &[4]);
+    }
+
+    #[test]
+    fn grid_cut_has_width_of_grid() {
+        // In a 4x6 grid, separating the left column from the right column
+        // requires cutting at least 4 vertices (one per row).
+        let g = grid_graph(4, 6);
+        let left: Vec<Vertex> = (0..4).map(|r| (r * 6) as Vertex).collect();
+        let right: Vec<Vertex> = (0..4).map(|r| (r * 6 + 5) as Vertex).collect();
+        let cut = min_vertex_cut(&g, &left, &right);
+        assert_eq!(cut.size, 4);
+        assert_separates(&g, &cut.source_side_cut, &left, &right);
+        assert_separates(&g, &cut.sink_side_cut, &left, &right);
+    }
+
+    #[test]
+    fn paper_flow_graph_example() {
+        // Figure 4(b): with initial partitions P'_A ⊇ {2, 3, 7, 14, ...} and
+        // P'_B ⊇ {4, 11, 10, 6, ...}, the minimum cut between the sides has
+        // size 3, and {16, 5, 12} / {15, 13, 12} are both minimum cuts.
+        let g = paper_figure1();
+        // Use border vertices of the two initial partitions as terminals
+        // (0-based ids): P'_A side borders {1, 8, 9(vertex 9 is paper 9)...}.
+        let sources: Vec<Vertex> = [1u32, 9, 14, 8].iter().map(|v| v - 1).collect();
+        let sinks: Vec<Vertex> = [13u32, 15, 4, 11].iter().map(|v| v - 1).collect();
+        let cut = min_vertex_cut(&g, &sources, &sinks);
+        assert_eq!(cut.size, 3);
+        assert_separates(&g, &cut.source_side_cut, &sources, &sinks);
+        assert_separates(&g, &cut.sink_side_cut, &sources, &sinks);
+    }
+
+    #[test]
+    fn adjacent_terminals_force_terminal_into_cut() {
+        // 0 - 1 with sources {0} sinks {1}: the only vertex cuts are {0} or {1}.
+        let g = GraphBuilder::from_edges(2, &[(0, 1, 1)]);
+        let cut = min_vertex_cut(&g, &[0], &[1]);
+        assert_eq!(cut.size, 1);
+        assert!(cut.source_side_cut == vec![0] || cut.source_side_cut == vec![1]);
+    }
+
+    #[test]
+    fn disconnected_terminals_need_no_cut() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1, 1), (2, 3, 1)]);
+        let cut = min_vertex_cut(&g, &[0], &[3]);
+        assert_eq!(cut.size, 0);
+        assert!(cut.source_side_cut.is_empty());
+        assert!(cut.sink_side_cut.is_empty());
+    }
+
+    #[test]
+    fn terminal_vertices_may_be_cut() {
+        // Three internally disjoint paths join 0 and 5, but since terminals
+        // themselves are allowed in the cut (as in Algorithm 2, where the
+        // boundary sets C_A/C_B participate), cutting vertex 0 suffices.
+        let g = GraphBuilder::from_edges(
+            6,
+            &[(0, 1, 1), (1, 5, 1), (0, 2, 1), (2, 3, 1), (3, 5, 1), (0, 4, 1), (4, 5, 1)],
+        );
+        let cut = min_vertex_cut(&g, &[0], &[5]);
+        assert_eq!(cut.size, 1);
+        assert!(cut.source_side_cut == vec![0] || cut.source_side_cut == vec![5]);
+        assert_separates(&g, &cut.source_side_cut, &[0], &[5]);
+    }
+
+    #[test]
+    fn multiple_terminals_force_wider_cuts() {
+        // Same three-path graph, but now every path endpoint is a terminal on
+        // its own, so all three internal paths must be severed.
+        let g = GraphBuilder::from_edges(
+            8,
+            &[
+                (0, 3, 1),
+                (1, 4, 1),
+                (2, 5, 1),
+                (3, 6, 1),
+                (4, 6, 1),
+                (5, 6, 1),
+                (0, 1, 1),
+                (1, 2, 1),
+                (6, 7, 1),
+            ],
+        );
+        let cut = min_vertex_cut(&g, &[0, 1, 2], &[7]);
+        assert_eq!(cut.size, 1);
+        assert!(cut.source_side_cut == vec![6] || cut.source_side_cut == vec![7]);
+        assert_separates(&g, &cut.source_side_cut, &[0, 1, 2], &[7]);
+    }
+
+    #[test]
+    fn dinitz_simple_max_flow() {
+        // Classic 4-node example: s=0, t=3.
+        let mut d = Dinitz::new(4);
+        d.add_edge(0, 1, 3);
+        d.add_edge(0, 2, 2);
+        d.add_edge(1, 2, 5);
+        d.add_edge(1, 3, 2);
+        d.add_edge(2, 3, 3);
+        assert_eq!(d.max_flow(0, 3), 5);
+    }
+}

@@ -1,0 +1,396 @@
+//! The balanced tree hierarchy `H_G` (Definition 4.1).
+//!
+//! The hierarchy is a binary tree whose internal nodes carry the vertex cuts
+//! found during the recursive bisection; every graph vertex is mapped to
+//! exactly one tree node (the node at whose cut it was removed, or the leaf
+//! it ended up in). Queries only need two pieces of information:
+//!
+//! * `node_of(v)` — the bitstring id of the node a vertex is mapped to, and
+//! * `lca_level(s, t)` — the level of the lowest common ancestor of the two
+//!   vertices' nodes, obtained from the common prefix of their bitstrings in
+//!   constant time (Lemma 4.21).
+//!
+//! The construction itself (which cut goes where) is driven by the `hc2l`
+//! crate's index builder; this module only owns the data structure and the
+//! statistics the paper reports about it (tree height, cut widths, LCA
+//! storage cost — Tables 3 and 5).
+
+use serde::{Deserialize, Serialize};
+
+use hc2l_graph::Vertex;
+
+use crate::node_id::NodeId;
+
+/// One node of the balanced tree hierarchy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeNode {
+    /// Bitstring identifier (also encodes the level).
+    pub id: NodeId,
+    /// Index of the parent node in the node array; `None` for the root.
+    pub parent: Option<u32>,
+    /// Indices of the children (left, right) if present.
+    pub children: [Option<u32>; 2],
+    /// The vertex cut stored at this node (original graph ids). For leaf
+    /// nodes this is simply every remaining vertex of the leaf's subgraph.
+    pub cut: Vec<Vertex>,
+    /// Number of graph vertices mapped into this node's subtree, used to
+    /// check the balance invariant.
+    pub subtree_size: usize,
+}
+
+impl TreeNode {
+    /// Level (depth) of the node; the root has level 0.
+    pub fn level(&self) -> u32 {
+        self.id.level()
+    }
+
+    /// `true` when the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children[0].is_none() && self.children[1].is_none()
+    }
+}
+
+/// The balanced tree hierarchy over a graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BalancedTreeHierarchy {
+    /// All tree nodes; index 0 is the root.
+    pub nodes: Vec<TreeNode>,
+    /// For each graph vertex, the index of the tree node it is mapped to.
+    vertex_node: Vec<u32>,
+    /// For each graph vertex, the bitstring id of that node (denormalised for
+    /// the query hot path).
+    vertex_bits: Vec<NodeId>,
+    /// For each graph vertex, its position inside its node's cut array.
+    vertex_slot: Vec<u32>,
+}
+
+/// Sentinel for vertices not (yet) assigned to any node.
+const UNASSIGNED: u32 = u32::MAX;
+
+impl BalancedTreeHierarchy {
+    /// Creates an empty hierarchy over `n` graph vertices, containing only a
+    /// root node with an empty cut.
+    pub fn new(num_vertices: usize) -> Self {
+        let root = TreeNode {
+            id: NodeId::ROOT,
+            parent: None,
+            children: [None, None],
+            cut: Vec::new(),
+            subtree_size: num_vertices,
+        };
+        BalancedTreeHierarchy {
+            nodes: vec![root],
+            vertex_node: vec![UNASSIGNED; num_vertices],
+            vertex_bits: vec![NodeId::ROOT; num_vertices],
+            vertex_slot: vec![0; num_vertices],
+        }
+    }
+
+    /// Number of graph vertices the hierarchy covers.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_node.len()
+    }
+
+    /// Number of tree nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Index of the root node (always 0).
+    pub fn root(&self) -> u32 {
+        0
+    }
+
+    /// Adds a child node under `parent` on the given side (`false` = left,
+    /// `true` = right) and returns its index.
+    pub fn add_child(&mut self, parent: u32, right: bool, subtree_size: usize) -> u32 {
+        let id = self.nodes[parent as usize].id.child(right);
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(TreeNode {
+            id,
+            parent: Some(parent),
+            children: [None, None],
+            cut: Vec::new(),
+            subtree_size,
+        });
+        self.nodes[parent as usize].children[right as usize] = Some(idx);
+        idx
+    }
+
+    /// Records the cut stored at `node` and maps each cut vertex to it.
+    pub fn assign_cut(&mut self, node: u32, cut: Vec<Vertex>) {
+        for (slot, &v) in cut.iter().enumerate() {
+            debug_assert_eq!(
+                self.vertex_node[v as usize], UNASSIGNED,
+                "vertex {v} assigned to two tree nodes"
+            );
+            self.vertex_node[v as usize] = node;
+            self.vertex_bits[v as usize] = self.nodes[node as usize].id;
+            self.vertex_slot[v as usize] = slot as u32;
+        }
+        self.nodes[node as usize].cut = cut;
+    }
+
+    /// `true` once every vertex has been mapped to a node.
+    pub fn is_complete(&self) -> bool {
+        self.vertex_node.iter().all(|&n| n != UNASSIGNED)
+    }
+
+    /// Index of the node vertex `v` is mapped to.
+    #[inline]
+    pub fn node_of(&self, v: Vertex) -> u32 {
+        self.vertex_node[v as usize]
+    }
+
+    /// Bitstring id of the node vertex `v` is mapped to.
+    #[inline]
+    pub fn bits_of(&self, v: Vertex) -> NodeId {
+        self.vertex_bits[v as usize]
+    }
+
+    /// Position of `v` inside its node's cut array.
+    #[inline]
+    pub fn slot_of(&self, v: Vertex) -> u32 {
+        self.vertex_slot[v as usize]
+    }
+
+    /// Level (depth) of the node vertex `v` is mapped to.
+    #[inline]
+    pub fn level_of(&self, v: Vertex) -> u32 {
+        self.vertex_bits[v as usize].level()
+    }
+
+    /// Level of the lowest common ancestor of the nodes of `s` and `t`
+    /// (Lemma 4.21: a constant-time bit operation).
+    #[inline]
+    pub fn lca_level(&self, s: Vertex, t: Vertex) -> u32 {
+        self.vertex_bits[s as usize].lca_level(self.vertex_bits[t as usize])
+    }
+
+    /// The tree node index of the LCA of `s` and `t`, found by walking up
+    /// from the deeper node; only used by diagnostics (queries use
+    /// [`Self::lca_level`]).
+    pub fn lca_node(&self, s: Vertex, t: Vertex) -> u32 {
+        let level = self.lca_level(s, t);
+        let mut node = self.node_of(s);
+        while self.nodes[node as usize].level() > level {
+            node = self.nodes[node as usize].parent.expect("level mismatch");
+        }
+        node
+    }
+
+    /// The cut stored at the LCA of `s` and `t`.
+    pub fn lca_cut(&self, s: Vertex, t: Vertex) -> &[Vertex] {
+        &self.nodes[self.lca_node(s, t) as usize].cut
+    }
+
+    /// Height of the tree (maximum node level).
+    pub fn height(&self) -> u32 {
+        self.nodes.iter().map(|n| n.level()).max().unwrap_or(0)
+    }
+
+    /// Verifies the balance invariant of Definition 4.1 for every internal
+    /// node: each child subtree holds at most `(1 - β)` of the subtree's
+    /// vertices. Returns the first violating node index, if any.
+    pub fn check_balance(&self, beta: f64) -> Option<u32> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.is_leaf() {
+                continue;
+            }
+            // Children subtree sizes exclude the node's own cut vertices.
+            let limit = ((1.0 - beta) * node.subtree_size as f64).ceil() as usize;
+            for child in node.children.iter().flatten() {
+                let size = self.nodes[*child as usize].subtree_size;
+                if size > limit {
+                    return Some(i as u32);
+                }
+            }
+        }
+        None
+    }
+
+    /// Summary statistics (Tables 3 and 5).
+    pub fn stats(&self) -> HierarchyStats {
+        let mut max_cut = 0usize;
+        let mut total_cut = 0usize;
+        let mut internal_nodes = 0usize;
+        let mut leaves = 0usize;
+        for node in &self.nodes {
+            if node.is_leaf() {
+                leaves += 1;
+            } else {
+                internal_nodes += 1;
+            }
+            max_cut = max_cut.max(node.cut.len());
+            total_cut += node.cut.len();
+        }
+        HierarchyStats {
+            num_nodes: self.nodes.len(),
+            internal_nodes,
+            leaves,
+            height: self.height(),
+            max_cut_size: max_cut,
+            avg_cut_size: if self.nodes.is_empty() {
+                0.0
+            } else {
+                total_cut as f64 / self.nodes.len() as f64
+            },
+            lca_storage_bytes: self.lca_storage_bytes(),
+        }
+    }
+
+    /// Bytes needed at query time to find LCAs: one packed 64-bit bitstring
+    /// per vertex (Table 3's "LCA Storage" column for HC2L).
+    pub fn lca_storage_bytes(&self) -> usize {
+        self.vertex_bits.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Iterates the node indices on the path from the root to `node`
+    /// (inclusive), root first.
+    pub fn path_from_root(&self, node: u32) -> Vec<u32> {
+        let mut path = Vec::new();
+        let mut cur = Some(node);
+        while let Some(c) = cur {
+            path.push(c);
+            cur = self.nodes[c as usize].parent;
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Aggregate statistics about a hierarchy.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// Total number of tree nodes.
+    pub num_nodes: usize,
+    /// Number of internal (cut) nodes.
+    pub internal_nodes: usize,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Tree height (Table 5).
+    pub height: u32,
+    /// Largest cut width (Table 5).
+    pub max_cut_size: usize,
+    /// Mean cut width over all nodes (Figure 7).
+    pub avg_cut_size: f64,
+    /// Bytes of per-vertex LCA bookkeeping (Table 3).
+    pub lca_storage_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the small hierarchy from Figure 5(b): root cut {12, 5, 16}
+    /// (1-based), left child holding P_A's cut, right child holding P_B's.
+    fn figure5_hierarchy() -> BalancedTreeHierarchy {
+        let mut h = BalancedTreeHierarchy::new(16);
+        let root = h.root();
+        h.assign_cut(root, vec![11, 4, 15]); // {12, 5, 16} 0-based
+        let left = h.add_child(root, false, 7);
+        h.assign_cut(left, vec![13, 8, 6]); // e.g. {14, 9, 7}
+        let right = h.add_child(root, true, 6);
+        h.assign_cut(right, vec![3, 10]); // {4, 11}
+        let ll = h.add_child(left, false, 2);
+        h.assign_cut(ll, vec![0, 7]); // {1, 8}
+        let lr = h.add_child(left, true, 2);
+        h.assign_cut(lr, vec![1, 2]); // {2, 3}
+        let rl = h.add_child(right, false, 2);
+        h.assign_cut(rl, vec![12, 5]); // {13, 6}
+        let rr = h.add_child(right, true, 2);
+        h.assign_cut(rr, vec![9, 14]); // {10, 15}
+        h
+    }
+
+    #[test]
+    fn construction_assigns_every_vertex_once() {
+        let h = figure5_hierarchy();
+        assert!(h.is_complete());
+        assert_eq!(h.num_nodes(), 7);
+        assert_eq!(h.height(), 2);
+    }
+
+    #[test]
+    fn lca_level_matches_tree_structure() {
+        let h = figure5_hierarchy();
+        // Vertices in the root cut always have LCA level 0 with anyone.
+        assert_eq!(h.lca_level(11, 0), 0);
+        assert_eq!(h.lca_level(11, 9), 0);
+        // 1 (in node "00") and 2 (in node "01") meet at level 1.
+        assert_eq!(h.lca_level(0, 1), 1);
+        // 13 (in "10") and 10 ("1") meet at level 1.
+        assert_eq!(h.lca_level(12, 10), 1);
+        // Across the root split: level 0.
+        assert_eq!(h.lca_level(0, 9), 0);
+        // Same node: level equals the node's own level.
+        assert_eq!(h.lca_level(0, 7), 2);
+    }
+
+    #[test]
+    fn lca_cut_returns_the_right_vertices() {
+        let h = figure5_hierarchy();
+        let cut = h.lca_cut(13, 14); // 14 is in "0" subtree? no: 13 -> node of 14(0-based 13)...
+        // Vertex 13 (paper 14) is in the left child's cut; vertex 14 (paper 15)
+        // is in the right-right leaf; their LCA is the root.
+        assert_eq!(cut, &[11, 4, 15]);
+        assert_eq!(h.lca_cut(0, 7), &[0, 7]);
+    }
+
+    #[test]
+    fn slots_record_cut_positions() {
+        let h = figure5_hierarchy();
+        assert_eq!(h.slot_of(11), 0);
+        assert_eq!(h.slot_of(4), 1);
+        assert_eq!(h.slot_of(15), 2);
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let h = figure5_hierarchy();
+        let s = h.stats();
+        assert_eq!(s.num_nodes, 7);
+        assert_eq!(s.leaves, 4);
+        assert_eq!(s.internal_nodes, 3);
+        assert_eq!(s.height, 2);
+        assert_eq!(s.max_cut_size, 3);
+        assert_eq!(s.lca_storage_bytes, 16 * 8);
+    }
+
+    #[test]
+    fn balance_check_passes_for_balanced_tree() {
+        let h = figure5_hierarchy();
+        assert_eq!(h.check_balance(0.3), None);
+    }
+
+    #[test]
+    fn balance_check_detects_violation() {
+        let mut h = BalancedTreeHierarchy::new(10);
+        let root = h.root();
+        h.assign_cut(root, vec![0]);
+        let left = h.add_child(root, false, 9);
+        h.assign_cut(left, (1..10).collect());
+        // Left child holds 9 of 10 vertices: way beyond (1 - 0.3) * 10 = 7.
+        assert_eq!(h.check_balance(0.3), Some(0));
+    }
+
+    #[test]
+    fn path_from_root_is_ordered() {
+        let h = figure5_hierarchy();
+        let node = h.node_of(9); // vertex 10 sits in the right-right leaf
+        let path = h.path_from_root(node);
+        assert_eq!(path.first(), Some(&0));
+        assert_eq!(path.last(), Some(&node));
+        // Levels increase along the path.
+        for w in path.windows(2) {
+            assert!(h.nodes[w[0] as usize].level() < h.nodes[w[1] as usize].level());
+        }
+    }
+
+    #[test]
+    fn incomplete_hierarchy_detected() {
+        let mut h = BalancedTreeHierarchy::new(4);
+        h.assign_cut(0, vec![1, 2]);
+        assert!(!h.is_complete());
+    }
+}

@@ -1,0 +1,39 @@
+//! Balanced vertex cuts and the balanced tree hierarchy (Section 4.1 of the
+//! HC2L paper).
+//!
+//! The crate provides the building blocks the HC2L index construction is made
+//! of:
+//!
+//! * [`node_id`] — bitstring identifiers for tree nodes; the lowest common
+//!   ancestor of two vertices is recovered from the common prefix of their
+//!   bitstrings with a couple of bit operations (Lemma 4.21).
+//! * [`flow`] — Dinitz's max-flow algorithm on the vertex-split ("inner
+//!   edge") transformation, used to find minimum s-t *vertex* cuts.
+//! * [`partition`] — Algorithm 1, *Balanced Partition*: picks two distant
+//!   vertices, orders everything by the partition weight
+//!   `pw(v) = d(v_A, v) - d(v_B, v)`, and carves off two balanced initial
+//!   partitions separated by a cut region, with the bottleneck-handling
+//!   special case.
+//! * [`vertex_cut`] — Algorithm 2, *Balanced Cut*: builds the s-t flow graph
+//!   over the cut region, extracts a minimum vertex cut (choosing the more
+//!   balanced of the source-side/sink-side cuts), and distributes the
+//!   remaining components over the two partitions.
+//! * [`shortcuts`] — Algorithm 3, *Add Shortcuts*: restores the
+//!   distance-preserving property inside each partition by connecting border
+//!   vertices, skipping redundant shortcuts (Lemma 4.11).
+//! * [`hierarchy`] — the balanced tree hierarchy data structure
+//!   (Definition 4.1) shared between construction and query time.
+
+pub mod flow;
+pub mod hierarchy;
+pub mod node_id;
+pub mod partition;
+pub mod shortcuts;
+pub mod vertex_cut;
+
+pub use flow::{min_vertex_cut, MinVertexCut};
+pub use hierarchy::{BalancedTreeHierarchy, HierarchyStats, TreeNode};
+pub use node_id::NodeId;
+pub use partition::{balanced_partition, BalancedPartition};
+pub use shortcuts::{add_shortcuts, border_vertices, Shortcut};
+pub use vertex_cut::{balanced_cut, BalancedCut, CutConfig};

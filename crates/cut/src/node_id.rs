@@ -1,0 +1,220 @@
+//! Bitstring identifiers for balanced-tree-hierarchy nodes.
+//!
+//! Each tree node is identified by the sequence of left/right turns on the
+//! path from the root: the root has the empty bitstring, its left child `0`,
+//! its right child `1`, and so on. The paper packs the bitstring together
+//! with its 6-bit length into a single 64-bit integer; with a balance
+//! parameter `β = 1/3` the tree height stays below 58 for any realistic road
+//! network, so the packing never overflows.
+//!
+//! The only operation the query path needs is the *level of the lowest common
+//! ancestor* of two nodes, which is the length of the longest common prefix
+//! of the two bitstrings — computed with an XOR and a count-leading-zeros
+//! instruction (Lemma 4.21).
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum representable tree depth (bits available after the length field).
+pub const MAX_DEPTH: u32 = 58;
+
+/// Packed bitstring node identifier.
+///
+/// Layout: the 6 least-significant bits store the length `L`; the path bits
+/// occupy the *most significant* `L` bits (first turn in the topmost bit), so
+/// that common-prefix computations reduce to integer XOR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// The root node (empty bitstring).
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Length (depth/level) of this node id.
+    #[inline]
+    pub fn level(self) -> u32 {
+        (self.0 & 0x3f) as u32
+    }
+
+    /// The raw path bits, left-aligned in the top `level()` bits.
+    #[inline]
+    pub fn path_bits(self) -> u64 {
+        self.0 & !0x3f
+    }
+
+    /// Child of this node: `bit = false` for the left child, `true` for the
+    /// right child.
+    #[inline]
+    pub fn child(self, bit: bool) -> NodeId {
+        let level = self.level();
+        assert!(level < MAX_DEPTH, "tree exceeds maximum representable depth");
+        let new_level = level + 1;
+        let mut bits = self.path_bits();
+        if bit {
+            bits |= 1u64 << (63 - level);
+        }
+        NodeId(bits | new_level as u64)
+    }
+
+    /// Parent of this node; `None` for the root.
+    #[inline]
+    pub fn parent(self) -> Option<NodeId> {
+        let level = self.level();
+        if level == 0 {
+            return None;
+        }
+        let new_level = level - 1;
+        let mask = if new_level == 0 {
+            0
+        } else {
+            !0u64 << (64 - new_level)
+        };
+        Some(NodeId((self.path_bits() & mask) | new_level as u64))
+    }
+
+    /// `true` if `self` is an ancestor of `other` (or equal to it).
+    #[inline]
+    pub fn is_ancestor_of(self, other: NodeId) -> bool {
+        self.lca_level(other) == self.level()
+    }
+
+    /// Level of the lowest common ancestor of the two nodes: the length of
+    /// the longest common prefix of their bitstrings.
+    #[inline]
+    pub fn lca_level(self, other: NodeId) -> u32 {
+        let max_common = self.level().min(other.level());
+        let xor = self.path_bits() ^ other.path_bits();
+        let prefix = xor.leading_zeros();
+        prefix.min(max_common)
+    }
+
+    /// The ancestor of this node at the given level (<= its own level).
+    pub fn ancestor_at(self, level: u32) -> NodeId {
+        assert!(level <= self.level());
+        let mask = if level == 0 { 0 } else { !0u64 << (64 - level) };
+        NodeId((self.path_bits() & mask) | level as u64)
+    }
+
+    /// Renders the bitstring as text (e.g. `"01"`), mostly for debugging and
+    /// doc examples. The root renders as `"ε"`.
+    pub fn as_bit_string(self) -> String {
+        let level = self.level();
+        if level == 0 {
+            return "ε".to_string();
+        }
+        (0..level)
+            .map(|i| {
+                if self.path_bits() & (1u64 << (63 - i)) != 0 {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for NodeId {
+    fn default() -> Self {
+        NodeId::ROOT
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_bit_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_and_children() {
+        let root = NodeId::ROOT;
+        assert_eq!(root.level(), 0);
+        let left = root.child(false);
+        let right = root.child(true);
+        assert_eq!(left.level(), 1);
+        assert_eq!(right.level(), 1);
+        assert_ne!(left, right);
+        assert_eq!(left.as_bit_string(), "0");
+        assert_eq!(right.as_bit_string(), "1");
+        assert_eq!(left.parent(), Some(root));
+        assert_eq!(right.parent(), Some(root));
+        assert_eq!(root.parent(), None);
+    }
+
+    #[test]
+    fn lca_level_of_siblings_is_parent_level() {
+        let root = NodeId::ROOT;
+        let a = root.child(false).child(true); // 01
+        let b = root.child(false).child(false); // 00
+        let c = root.child(true); // 1
+        assert_eq!(a.lca_level(b), 1);
+        assert_eq!(a.lca_level(c), 0);
+        assert_eq!(a.lca_level(a), 2);
+        assert_eq!(b.lca_level(c), 0);
+    }
+
+    #[test]
+    fn ancestor_relationship() {
+        let root = NodeId::ROOT;
+        let node = root.child(true).child(false).child(true); // 101
+        let anc = root.child(true); // 1
+        assert!(anc.is_ancestor_of(node));
+        assert!(!node.is_ancestor_of(anc));
+        assert!(root.is_ancestor_of(node));
+        assert_eq!(node.lca_level(anc), 1);
+        assert_eq!(node.ancestor_at(1), anc);
+        assert_eq!(node.ancestor_at(0), root);
+        assert_eq!(node.ancestor_at(3), node);
+    }
+
+    #[test]
+    fn lca_level_is_symmetric_and_bounded() {
+        let root = NodeId::ROOT;
+        let mut ids = vec![root];
+        // Enumerate the first four levels of the tree.
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for id in &ids {
+                next.push(id.child(false));
+                next.push(id.child(true));
+            }
+            ids.extend(next);
+        }
+        for &a in &ids {
+            for &b in &ids {
+                assert_eq!(a.lca_level(b), b.lca_level(a));
+                assert!(a.lca_level(b) <= a.level().min(b.level()));
+            }
+        }
+    }
+
+    #[test]
+    fn deep_chains_work_up_to_max_depth() {
+        let mut id = NodeId::ROOT;
+        for i in 0..MAX_DEPTH {
+            id = id.child(i % 2 == 0);
+        }
+        assert_eq!(id.level(), MAX_DEPTH);
+        assert_eq!(id.lca_level(id), MAX_DEPTH);
+        assert_eq!(id.ancestor_at(0), NodeId::ROOT);
+    }
+
+    #[test]
+    #[should_panic]
+    fn exceeding_max_depth_panics() {
+        let mut id = NodeId::ROOT;
+        for _ in 0..=MAX_DEPTH {
+            id = id.child(true);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", NodeId::ROOT), "ε");
+        assert_eq!(format!("{}", NodeId::ROOT.child(true).child(false)), "10");
+    }
+}

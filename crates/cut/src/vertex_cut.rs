@@ -1,0 +1,344 @@
+//! Algorithm 2 — *Balanced Cut*.
+//!
+//! Takes the initial partitions and cut region produced by Algorithm 1,
+//! formulates the search for a smallest separator inside the cut region as a
+//! minimum s-t vertex-cut problem, solves it with Dinitz's algorithm
+//! ([`crate::flow`]), and finally distributes the connected components that
+//! remain after removing the cut over the two sides, largest first, always to
+//! the currently smaller side, so the resulting split is as balanced as
+//! possible.
+
+use hc2l_graph::{Graph, Vertex, VertexSet};
+
+use crate::flow::min_vertex_cut;
+use crate::partition::{balanced_partition_masked, masked_components};
+
+/// Parameters of the balanced-cut construction.
+#[derive(Debug, Clone, Copy)]
+pub struct CutConfig {
+    /// Balance parameter β ∈ (0, 0.5]; the paper uses 0.2 by default and
+    /// sweeps 0.15–0.35 in Figure 7.
+    pub beta: f64,
+}
+
+impl Default for CutConfig {
+    fn default() -> Self {
+        CutConfig { beta: 0.2 }
+    }
+}
+
+/// Result of one balanced cut: `part_a` and `part_b` are the two sides after
+/// removing the `cut` vertices. The three sets are disjoint and cover every
+/// vertex the algorithm was invoked on.
+#[derive(Debug, Clone, Default)]
+pub struct BalancedCut {
+    /// One side of the split.
+    pub part_a: Vec<Vertex>,
+    /// The separating vertex cut.
+    pub cut: Vec<Vertex>,
+    /// The other side of the split.
+    pub part_b: Vec<Vertex>,
+}
+
+impl BalancedCut {
+    /// Total number of vertices covered.
+    pub fn total(&self) -> usize {
+        self.part_a.len() + self.cut.len() + self.part_b.len()
+    }
+
+    /// Balance of the split: size of the larger side divided by the total.
+    /// Lower is better; 0.5 is perfect.
+    pub fn balance(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.part_a.len().max(self.part_b.len()) as f64 / total as f64
+    }
+}
+
+/// Runs Algorithm 2 on the whole graph.
+pub fn balanced_cut(g: &Graph, config: CutConfig) -> BalancedCut {
+    let alive = vec![true; g.num_vertices()];
+    balanced_cut_masked(g, &alive, config)
+}
+
+/// Runs Algorithm 2 restricted to the vertices with `alive[v] == true`.
+pub fn balanced_cut_masked(g: &Graph, alive: &[bool], config: CutConfig) -> BalancedCut {
+    let n_alive = alive.iter().filter(|&&a| a).count();
+    if n_alive == 0 {
+        return BalancedCut::default();
+    }
+
+    // Step 1 (line 2): initial balanced partitions and cut region.
+    let bp = balanced_partition_masked(g, alive, config.beta, 0);
+    if bp.part_b.is_empty() {
+        // Degenerate split (tiny or pathological input): expose everything as
+        // the cut so the caller turns this subgraph into a leaf node.
+        let mut cut = bp.part_a;
+        cut.extend(bp.cut_region);
+        return BalancedCut {
+            part_a: Vec::new(),
+            cut,
+            part_b: Vec::new(),
+        };
+    }
+
+    let universe = g.num_vertices();
+    let set_a = VertexSet::from_slice(universe, &bp.part_a);
+    let set_b = VertexSet::from_slice(universe, &bp.part_b);
+    let set_c = VertexSet::from_slice(universe, &bp.cut_region);
+
+    // Lines 3-4: boundary vertices of the initial partitions.
+    let mut c_a = Vec::new();
+    for &v in &bp.part_a {
+        if g.neighbors(v).iter().any(|e| set_b.contains(e.to)) {
+            c_a.push(v);
+        }
+    }
+    let mut c_b = Vec::new();
+    for &v in &bp.part_b {
+        if g.neighbors(v).iter().any(|e| set_a.contains(e.to)) {
+            c_b.push(v);
+        }
+    }
+
+    // Lines 5-11: the flow graph is the subgraph induced by C ∪ C_A ∪ C_B,
+    // with the super-source attached to N_S and the super-sink to N_T.
+    let mut flow_vertices: Vec<Vertex> = Vec::new();
+    flow_vertices.extend_from_slice(&bp.cut_region);
+    flow_vertices.extend_from_slice(&c_a);
+    flow_vertices.extend_from_slice(&c_b);
+    let sub = hc2l_graph::InducedSubgraph::new(g, &flow_vertices);
+
+    let set_ca = VertexSet::from_slice(universe, &c_a);
+    let set_cb = VertexSet::from_slice(universe, &c_b);
+    // N_S = C_A ∪ (C ∩ N(P'_A \ C_A)); N_T symmetric.
+    let mut n_s: Vec<Vertex> = c_a.clone();
+    let mut n_t: Vec<Vertex> = c_b.clone();
+    for &v in &bp.cut_region {
+        let adj_a_interior = g
+            .neighbors(v)
+            .iter()
+            .any(|e| set_a.contains(e.to) && !set_ca.contains(e.to));
+        if adj_a_interior {
+            n_s.push(v);
+        }
+        let adj_b_interior = g
+            .neighbors(v)
+            .iter()
+            .any(|e| set_b.contains(e.to) && !set_cb.contains(e.to));
+        if adj_b_interior {
+            n_t.push(v);
+        }
+    }
+    let to_local = |vs: &[Vertex]| -> Vec<Vertex> {
+        vs.iter().filter_map(|&v| sub.to_local(v)).collect()
+    };
+    let local_sources = to_local(&n_s);
+    let local_sinks = to_local(&n_t);
+
+    // Line 12: minimum vertex cut via Dinitz's algorithm.
+    let cut_local = if local_sources.is_empty() || local_sinks.is_empty() {
+        // The sides are already disconnected within the region considered.
+        Vec::new()
+    } else {
+        let mvc = min_vertex_cut(&sub.graph, &local_sources, &local_sinks);
+        // Evaluate both extraction options and keep the more balanced split.
+        let cut_s: Vec<Vertex> = mvc.source_side_cut.iter().map(|&v| sub.to_parent(v)).collect();
+        let cut_t: Vec<Vertex> = mvc.sink_side_cut.iter().map(|&v| sub.to_parent(v)).collect();
+        let split_s = distribute_components(g, alive, &cut_s, &set_a, &set_b, &set_c);
+        let split_t = distribute_components(g, alive, &cut_t, &set_a, &set_b, &set_c);
+        return if split_s.balance() <= split_t.balance() {
+            split_s
+        } else {
+            split_t
+        };
+    };
+
+    distribute_components(g, alive, &cut_local, &set_a, &set_b, &set_c)
+}
+
+/// Lines 13-16: removes the cut, computes the remaining connected components
+/// and assigns each (largest first) to the currently smaller side.
+fn distribute_components(
+    g: &Graph,
+    alive: &[bool],
+    cut: &[Vertex],
+    set_a: &VertexSet,
+    set_b: &VertexSet,
+    _set_c: &VertexSet,
+) -> BalancedCut {
+    let mut remaining = alive.to_vec();
+    for &c in cut {
+        remaining[c as usize] = false;
+    }
+    let mut components = masked_components(g, &remaining);
+    components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+
+    let mut part_a: Vec<Vertex> = Vec::new();
+    let mut part_b: Vec<Vertex> = Vec::new();
+    for comp in components {
+        // Components containing initial-partition vertices are anchored to
+        // that side; free components go to the smaller side.
+        let has_a = comp.iter().any(|&v| set_a.contains(v));
+        let has_b = comp.iter().any(|&v| set_b.contains(v));
+        let target_a = match (has_a, has_b) {
+            (true, false) => true,
+            (false, true) => false,
+            // Mixed components can only appear when the cut failed to
+            // separate the initial partitions (e.g. empty cut on a connected
+            // region); fall back to balance. Free components likewise.
+            _ => part_a.len() <= part_b.len(),
+        };
+        if target_a {
+            part_a.extend_from_slice(&comp);
+        } else {
+            part_b.extend_from_slice(&comp);
+        }
+    }
+    BalancedCut {
+        part_a,
+        cut: cut.to_vec(),
+        part_b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::components::connected_components_masked;
+    use hc2l_graph::dijkstra_distance;
+    use hc2l_graph::toy::{grid_graph, paper_figure1, path_graph};
+    use hc2l_graph::GraphBuilder;
+
+    fn assert_valid_cut(g: &Graph, bc: &BalancedCut, alive: Option<&[bool]>) {
+        let n = g.num_vertices();
+        // Disjoint cover of the alive vertices.
+        let mut seen = vec![false; n];
+        for &v in bc.part_a.iter().chain(bc.cut.iter()).chain(bc.part_b.iter()) {
+            assert!(!seen[v as usize], "vertex {v} assigned twice");
+            seen[v as usize] = true;
+        }
+        for v in 0..n {
+            let should = alive.map_or(true, |a| a[v]);
+            assert_eq!(seen[v], should, "vertex {v} coverage mismatch");
+        }
+        // No edge may connect part_a and part_b directly.
+        let in_a = VertexSet::from_slice(n, &bc.part_a);
+        let in_b = VertexSet::from_slice(n, &bc.part_b);
+        for (u, v, _) in g.edges() {
+            let cross = (in_a.contains(u) && in_b.contains(v)) || (in_a.contains(v) && in_b.contains(u));
+            assert!(!cross, "edge ({u},{v}) connects the two partitions directly");
+        }
+        // Removing the cut really separates the two sides.
+        if !bc.part_a.is_empty() && !bc.part_b.is_empty() {
+            let mut mask = vec![false; n];
+            for &v in bc.part_a.iter().chain(bc.part_b.iter()) {
+                mask[v as usize] = true;
+            }
+            let cc = connected_components_masked(g, Some(&mask));
+            let a_label = cc.label[bc.part_a[0] as usize];
+            for &v in &bc.part_b {
+                assert_ne!(cc.label[v as usize], a_label, "cut does not separate the sides");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_cut_is_small_and_balanced() {
+        let g = paper_figure1();
+        let bc = balanced_cut(&g, CutConfig { beta: 0.3 });
+        assert_valid_cut(&g, &bc, None);
+        // The paper finds a cut of size 3 ({5, 12, 16} in 1-based ids); any
+        // minimum balanced cut of similar size is acceptable here.
+        assert!(bc.cut.len() <= 4, "cut {:?} unexpectedly large", bc.cut);
+        assert!(!bc.part_a.is_empty() && !bc.part_b.is_empty());
+    }
+
+    #[test]
+    fn grid_cut_is_roughly_one_column() {
+        let g = grid_graph(8, 8);
+        let bc = balanced_cut(&g, CutConfig { beta: 0.25 });
+        assert_valid_cut(&g, &bc, None);
+        assert!(bc.cut.len() <= 12, "cut of size {} on an 8x8 grid", bc.cut.len());
+        assert!(bc.balance() < 0.85);
+    }
+
+    #[test]
+    fn path_graph_cut_is_single_vertex() {
+        let g = path_graph(30, 1);
+        let bc = balanced_cut(&g, CutConfig { beta: 0.3 });
+        assert_valid_cut(&g, &bc, None);
+        assert_eq!(bc.cut.len(), 1);
+        assert!(bc.balance() < 0.75);
+    }
+
+    #[test]
+    fn two_cities_linked_by_bridge() {
+        // Two 3x3 grids joined by a 2-edge bridge through vertex 18.
+        let mut b = GraphBuilder::new(19);
+        let grid = grid_graph(3, 3);
+        for (u, v, w) in grid.edges() {
+            b.add_edge(u, v, w);
+            b.add_edge(u + 9, v + 9, w);
+        }
+        b.add_edge(4, 18, 1);
+        b.add_edge(18, 13, 1);
+        let g = b.build();
+        let bc = balanced_cut(&g, CutConfig { beta: 0.3 });
+        assert_valid_cut(&g, &bc, None);
+        assert_eq!(bc.cut.len(), 1, "bridge vertex should be the whole cut, got {:?}", bc.cut);
+        assert!(bc.balance() <= 0.6);
+    }
+
+    #[test]
+    fn cut_vertices_lie_on_shortest_paths_between_sides() {
+        // Sanity check of the "cut vertices are central" intuition: for the
+        // paper example, every shortest path between the two sides passes
+        // through some cut vertex (this is what makes them good hubs).
+        let g = paper_figure1();
+        let bc = balanced_cut(&g, CutConfig { beta: 0.3 });
+        for &s in bc.part_a.iter().take(4) {
+            for &t in bc.part_b.iter().take(4) {
+                let direct = dijkstra_distance(&g, s, t);
+                let via_cut = bc
+                    .cut
+                    .iter()
+                    .map(|&c| dijkstra_distance(&g, s, c) + dijkstra_distance(&g, c, t))
+                    .min()
+                    .unwrap();
+                assert_eq!(direct, via_cut, "pair ({s},{t}) has no shortest path through the cut");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_cut_covers_only_alive_vertices() {
+        let g = grid_graph(6, 6);
+        let mut alive = vec![true; 36];
+        for v in [0usize, 1, 2, 3, 4, 5] {
+            alive[v] = false;
+        }
+        let bc = balanced_cut_masked(&g, &alive, CutConfig::default());
+        assert_valid_cut(&g, &bc, Some(&alive));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_cut() {
+        let g = Graph::with_vertices(4);
+        let alive = vec![false; 4];
+        let bc = balanced_cut_masked(&g, &alive, CutConfig::default());
+        assert_eq!(bc.total(), 0);
+    }
+
+    #[test]
+    fn tiny_graph_degenerates_to_leaf() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1, 1)]);
+        let bc = balanced_cut(&g, CutConfig::default());
+        assert_valid_cut(&g, &bc, None);
+        // With only two vertices there is no meaningful split: either one
+        // side is empty (everything in the cut) or each side has one vertex.
+        assert!(bc.total() == 2);
+    }
+}

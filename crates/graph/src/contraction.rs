@@ -1,0 +1,296 @@
+//! Repeated degree-one contraction (Section 4.2 of the paper).
+//!
+//! Before building labels, HC2L repeatedly removes vertices of degree one.
+//! The removed vertices form trees that hang off the remaining "core" graph;
+//! each removed vertex remembers (a) the core vertex its tree is attached to
+//! (its *root*), (b) its distance to that root, and (c) its parent inside the
+//! tree, so that queries between two vertices with the same root can be
+//! answered by walking to their lowest common ancestor in the contraction
+//! tree:
+//!
+//! `d(v, w) = d(v, root) + d(w, root) - 2 * d(lca, root)`.
+//!
+//! The paper reports ~30% of road-network vertices being contracted this
+//! way (versus ~20% when only contracting vertices that have degree one in
+//! the original graph, as PHL does).
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+use crate::types::{Distance, Vertex};
+
+/// Book-keeping for a single contracted (removed) vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContractedVertex {
+    /// The core vertex this vertex's pendant tree is attached to.
+    pub root: Vertex,
+    /// Distance from this vertex to `root` in the original graph.
+    pub dist_to_root: Distance,
+    /// Parent in the pendant tree (the neighbour towards the root). For a
+    /// vertex directly adjacent to its root, this is the root itself.
+    pub parent: Vertex,
+    /// Depth in the pendant tree (number of edges to the root).
+    pub depth: u32,
+}
+
+/// Result of repeatedly contracting degree-one vertices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegreeOneContraction {
+    /// The core graph: same vertex-id space as the input, but with all
+    /// contracted vertices isolated (their incident edges removed).
+    pub core: Graph,
+    /// `Some(info)` for contracted vertices, `None` for core vertices.
+    pub contracted: Vec<Option<ContractedVertex>>,
+    /// Number of vertices remaining in the core.
+    pub core_size: usize,
+}
+
+impl DegreeOneContraction {
+    /// `true` if `v` was removed by the contraction.
+    #[inline]
+    pub fn is_contracted(&self, v: Vertex) -> bool {
+        self.contracted[v as usize].is_some()
+    }
+
+    /// The core vertex a query involving `v` should be routed through, and
+    /// the distance from `v` to it. Core vertices map to themselves at
+    /// distance zero.
+    #[inline]
+    pub fn root_of(&self, v: Vertex) -> (Vertex, Distance) {
+        match self.contracted[v as usize] {
+            Some(info) => (info.root, info.dist_to_root),
+            None => (v, 0),
+        }
+    }
+
+    /// Fraction of vertices removed by the contraction.
+    pub fn contraction_ratio(&self) -> f64 {
+        let n = self.contracted.len();
+        if n == 0 {
+            return 0.0;
+        }
+        (n - self.core_size) as f64 / n as f64
+    }
+
+    /// Distance between two vertices that share the same pendant-tree root,
+    /// using only contraction-tree information (no labels required).
+    ///
+    /// Both vertices must be contracted and have the same root; the caller is
+    /// responsible for checking this via [`DegreeOneContraction::root_of`].
+    pub fn same_tree_distance(&self, v: Vertex, w: Vertex) -> Distance {
+        if v == w {
+            return 0;
+        }
+        let info = |x: Vertex| self.contracted[x as usize].expect("vertex must be contracted");
+        // Walk the deeper vertex up until both are at the same depth, then
+        // walk both up until they meet; accumulate distances via the roots.
+        let (mut a, mut b) = (v, w);
+        let (ia, ib) = (info(a), info(b));
+        debug_assert_eq!(ia.root, ib.root, "vertices must share a pendant tree");
+        let dist_from_root = |x: Vertex| -> Distance {
+            match self.contracted[x as usize] {
+                Some(i) => i.dist_to_root,
+                None => 0,
+            }
+        };
+        let depth = |x: Vertex| -> u32 {
+            match self.contracted[x as usize] {
+                Some(i) => i.depth,
+                None => 0,
+            }
+        };
+        let parent = |x: Vertex| -> Vertex {
+            match self.contracted[x as usize] {
+                Some(i) => i.parent,
+                None => x,
+            }
+        };
+        let dv = dist_from_root(v);
+        let dw = dist_from_root(w);
+        while depth(a) > depth(b) {
+            a = parent(a);
+        }
+        while depth(b) > depth(a) {
+            b = parent(b);
+        }
+        while a != b {
+            a = parent(a);
+            b = parent(b);
+        }
+        // `a == b` is the LCA; its distance to the root is subtracted twice.
+        dv + dw - 2 * dist_from_root(a)
+    }
+}
+
+/// Repeatedly removes degree-one vertices from `g` and records the pendant
+/// tree structure. The input is not modified; a stripped copy is returned as
+/// the core graph.
+pub fn contract_degree_one(g: &Graph) -> DegreeOneContraction {
+    let n = g.num_vertices();
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v as Vertex)).collect();
+    let mut removed = vec![false; n];
+    let mut contracted: Vec<Option<ContractedVertex>> = vec![None; n];
+
+    // Queue of current degree-one vertices.
+    let mut queue: Vec<Vertex> = (0..n as Vertex).filter(|&v| degree[v as usize] == 1).collect();
+
+    // Peeling order: each removed vertex points to the single alive neighbour
+    // it was attached to at removal time.
+    let mut attach: Vec<Option<(Vertex, Distance)>> = vec![None; n];
+    let mut order: Vec<Vertex> = Vec::new();
+
+    while let Some(v) = queue.pop() {
+        if removed[v as usize] || degree[v as usize] != 1 {
+            continue;
+        }
+        // Find the unique alive neighbour.
+        let mut alive_neighbor = None;
+        for e in g.neighbors(v) {
+            if !removed[e.to as usize] {
+                alive_neighbor = Some((e.to, e.weight as Distance));
+                break;
+            }
+        }
+        let Some((u, w)) = alive_neighbor else {
+            continue;
+        };
+        removed[v as usize] = true;
+        attach[v as usize] = Some((u, w));
+        order.push(v);
+        degree[u as usize] -= 1;
+        degree[v as usize] = 0;
+        if degree[u as usize] == 1 {
+            queue.push(u);
+        }
+    }
+
+    // Resolve roots/dists by processing in reverse removal order: a vertex's
+    // attachment point is either a core vertex or was removed *after* it, so
+    // reverse order guarantees the attachment's root is already known.
+    for &v in order.iter().rev() {
+        let (u, w) = attach[v as usize].unwrap();
+        let (root, base, depth) = match contracted[u as usize] {
+            Some(info) => (info.root, info.dist_to_root, info.depth + 1),
+            None => (u, 0, 1),
+        };
+        contracted[v as usize] = Some(ContractedVertex {
+            root,
+            dist_to_root: base + w,
+            parent: u,
+            depth,
+        });
+    }
+
+    // Build the core graph: drop all edges incident to removed vertices.
+    let mut core = Graph::with_vertices(n);
+    for (u, v, w) in g.edges() {
+        if !removed[u as usize] && !removed[v as usize] {
+            core.add_or_relax_edge(u, v, w);
+        }
+    }
+    let core_size = removed.iter().filter(|&&r| !r).count();
+
+    DegreeOneContraction {
+        core,
+        contracted,
+        core_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::dijkstra::dijkstra_distance;
+    use crate::toy::{paper_figure1, path_graph, star_graph};
+
+    #[test]
+    fn cycle_with_pendant_path() {
+        // Triangle 0-1-2 plus pendant path 2-3-4-5.
+        let g = GraphBuilder::from_edges(
+            6,
+            &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 2), (3, 4, 3), (4, 5, 4)],
+        );
+        let c = contract_degree_one(&g);
+        assert_eq!(c.core_size, 3);
+        assert!(!c.is_contracted(0));
+        assert!(c.is_contracted(5));
+        let info5 = c.contracted[5].unwrap();
+        assert_eq!(info5.root, 2);
+        assert_eq!(info5.dist_to_root, 9);
+        assert_eq!(info5.depth, 3);
+        let info3 = c.contracted[3].unwrap();
+        assert_eq!(info3.root, 2);
+        assert_eq!(info3.parent, 2);
+        assert_eq!(info3.dist_to_root, 2);
+    }
+
+    #[test]
+    fn same_tree_distance_matches_dijkstra() {
+        // Star-ish tree rooted at a triangle.
+        let g = GraphBuilder::from_edges(
+            8,
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (2, 3, 2),
+                (3, 4, 3),
+                (3, 5, 1),
+                (5, 6, 5),
+                (2, 7, 4),
+            ],
+        );
+        let c = contract_degree_one(&g);
+        for &(v, w) in &[(4u32, 6u32), (4, 5), (6, 7), (3, 6), (4, 7)] {
+            let (rv, _) = c.root_of(v);
+            let (rw, _) = c.root_of(w);
+            assert_eq!(rv, 2);
+            assert_eq!(rw, 2);
+            assert_eq!(c.same_tree_distance(v, w), dijkstra_distance(&g, v, w), "pair ({v},{w})");
+        }
+    }
+
+    #[test]
+    fn whole_tree_contracts_to_single_vertex_or_less() {
+        let g = path_graph(10, 1);
+        let c = contract_degree_one(&g);
+        // A path keeps at most one core vertex (the last one standing keeps
+        // degree 0 once its neighbour is removed).
+        assert!(c.core_size <= 1);
+        assert_eq!(c.core.num_edges(), 0);
+    }
+
+    #[test]
+    fn star_contracts_to_single_core_vertex() {
+        let g = star_graph(8, 2);
+        let c = contract_degree_one(&g);
+        // All but one vertex end up contracted; the surviving core vertex is
+        // the root of every pendant tree and distances to it are exact.
+        assert_eq!(c.core_size, 1);
+        let core: Vec<u32> = (0..8).filter(|&v| !c.is_contracted(v)).collect();
+        assert_eq!(core.len(), 1);
+        for v in 0..8u32 {
+            let (root, d) = c.root_of(v);
+            assert_eq!(root, core[0]);
+            assert_eq!(d, dijkstra_distance(&g, v, core[0]));
+        }
+    }
+
+    #[test]
+    fn core_of_biconnected_graph_is_unchanged() {
+        let g = paper_figure1();
+        let c = contract_degree_one(&g);
+        // Figure 1(a) has no degree-one vertices.
+        assert_eq!(c.core_size, 16);
+        assert_eq!(c.core.num_edges(), g.num_edges());
+        assert!((c.contraction_ratio() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn root_of_core_vertex_is_itself() {
+        let g = paper_figure1();
+        let c = contract_degree_one(&g);
+        assert_eq!(c.root_of(5), (5, 0));
+    }
+}

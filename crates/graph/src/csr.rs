@@ -1,0 +1,134 @@
+//! Compressed sparse row (CSR) graph view.
+//!
+//! Query-time code (the search baselines, workload generators, correctness
+//! oracles) iterates neighbourhoods billions of times; CSR keeps those scans
+//! on contiguous memory. The structure is immutable once built.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+use crate::types::{Vertex, Weight};
+
+/// Immutable CSR representation of a weighted undirected graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    targets: Vec<Vertex>,
+    weights: Vec<Weight>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR view from an adjacency-list graph.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * g.num_edges());
+        let mut weights = Vec::with_capacity(2 * g.num_edges());
+        offsets.push(0);
+        for v in 0..n {
+            for e in g.neighbors(v as Vertex) {
+                targets.push(e.to);
+                weights.push(e.weight);
+            }
+            offsets.push(targets.len() as u64);
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Neighbour ids of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        let start = self.offsets[v as usize] as usize;
+        let end = self.offsets[v as usize + 1] as usize;
+        &self.targets[start..end]
+    }
+
+    /// Weights parallel to [`CsrGraph::neighbors`].
+    #[inline]
+    pub fn weights(&self, v: Vertex) -> &[Weight] {
+        let start = self.offsets[v as usize] as usize;
+        let end = self.offsets[v as usize + 1] as usize;
+        &self.weights[start..end]
+    }
+
+    /// Iterates `(neighbor, weight)` pairs of `v`.
+    #[inline]
+    pub fn edges_of(&self, v: Vertex) -> impl Iterator<Item = (Vertex, Weight)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.weights(v).iter().copied())
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * 8 + self.targets.len() * 4 + self.weights.len() * 4
+    }
+}
+
+impl From<&Graph> for CsrGraph {
+    fn from(g: &Graph) -> Self {
+        CsrGraph::from_graph(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn csr_matches_adjacency_lists() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5), (0, 4, 9)]);
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.num_vertices(), 5);
+        assert_eq!(csr.num_edges(), 5);
+        for v in g.vertices() {
+            let mut adj: Vec<_> = g.neighbors(v).iter().map(|e| (e.to, e.weight)).collect();
+            let mut csr_adj: Vec<_> = csr.edges_of(v).collect();
+            adj.sort_unstable();
+            csr_adj.sort_unstable();
+            assert_eq!(adj, csr_adj);
+            assert_eq!(g.degree(v), csr.degree(v));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::with_vertices(0);
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.num_vertices(), 0);
+        assert_eq!(csr.num_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_have_no_neighbors() {
+        let g = Graph::with_vertices(3);
+        let csr = CsrGraph::from_graph(&g);
+        for v in 0..3 {
+            assert!(csr.neighbors(v).is_empty());
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Dijkstra's algorithm and the bidirectional variant.
+//!
+//! These serve three purposes in the reproduction: (a) the search-based
+//! baseline discussed in the paper's related work, (b) the ground-truth
+//! oracle used throughout the test suites, and (c) the inner loop of every
+//! label construction algorithm (HC2L shortcuts/labels, HL, PHL, H2H).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::Graph;
+use crate::types::{dist_add, Distance, Vertex, INFINITY};
+
+/// Outcome of a single-source search.
+#[derive(Debug, Clone)]
+pub struct DijkstraResult {
+    /// Distance from the source to every vertex (`INFINITY` if unreachable).
+    pub dist: Vec<Distance>,
+    /// Predecessor on one shortest path (`None` for the source and for
+    /// unreachable vertices). Only populated by [`dijkstra_with_parents`].
+    pub parent: Vec<Option<Vertex>>,
+}
+
+/// Plain single-source Dijkstra over the whole graph.
+pub fn dijkstra(g: &Graph, source: Vertex) -> Vec<Distance> {
+    let mut dist = vec![INFINITY; g.num_vertices()];
+    let mut heap: BinaryHeap<Reverse<(Distance, Vertex)>> = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for e in g.neighbors(v) {
+            let nd = dist_add(d, e.weight as Distance);
+            if nd < dist[e.to as usize] {
+                dist[e.to as usize] = nd;
+                heap.push(Reverse((nd, e.to)));
+            }
+        }
+    }
+    dist
+}
+
+/// Single-source Dijkstra that also records shortest-path parents.
+pub fn dijkstra_with_parents(g: &Graph, source: Vertex) -> DijkstraResult {
+    let mut dist = vec![INFINITY; g.num_vertices()];
+    let mut parent = vec![None; g.num_vertices()];
+    let mut heap: BinaryHeap<Reverse<(Distance, Vertex)>> = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for e in g.neighbors(v) {
+            let nd = dist_add(d, e.weight as Distance);
+            if nd < dist[e.to as usize] {
+                dist[e.to as usize] = nd;
+                parent[e.to as usize] = Some(v);
+                heap.push(Reverse((nd, e.to)));
+            }
+        }
+    }
+    DijkstraResult { dist, parent }
+}
+
+/// Point-to-point Dijkstra, terminating as soon as the target is settled.
+pub fn dijkstra_distance(g: &Graph, source: Vertex, target: Vertex) -> Distance {
+    if source == target {
+        return 0;
+    }
+    let mut dist = vec![INFINITY; g.num_vertices()];
+    let mut heap: BinaryHeap<Reverse<(Distance, Vertex)>> = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        if v == target {
+            return d;
+        }
+        for e in g.neighbors(v) {
+            let nd = dist_add(d, e.weight as Distance);
+            if nd < dist[e.to as usize] {
+                dist[e.to as usize] = nd;
+                heap.push(Reverse((nd, e.to)));
+            }
+        }
+    }
+    dist[target as usize]
+}
+
+/// Dijkstra that stops once all `targets` are settled; returns only the
+/// distances to the targets (in the given order). Used when computing
+/// pairwise border-vertex distances for shortcut insertion.
+pub fn dijkstra_targets(g: &Graph, source: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+    let mut dist = vec![INFINITY; g.num_vertices()];
+    let mut is_target = vec![false; g.num_vertices()];
+    let mut remaining = 0usize;
+    for &t in targets {
+        if !is_target[t as usize] {
+            is_target[t as usize] = true;
+            remaining += 1;
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<(Distance, Vertex)>> = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        if is_target[v as usize] {
+            is_target[v as usize] = false;
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+        for e in g.neighbors(v) {
+            let nd = dist_add(d, e.weight as Distance);
+            if nd < dist[e.to as usize] {
+                dist[e.to as usize] = nd;
+                heap.push(Reverse((nd, e.to)));
+            }
+        }
+    }
+    targets.iter().map(|&t| dist[t as usize]).collect()
+}
+
+/// Multi-source Dijkstra: distance from the closest of the `sources` to every
+/// vertex, with the seed distances given per source (e.g. offsets along a
+/// highway path in PHL).
+pub fn multi_source_dijkstra(g: &Graph, sources: &[(Vertex, Distance)]) -> Vec<Distance> {
+    let mut dist = vec![INFINITY; g.num_vertices()];
+    let mut heap: BinaryHeap<Reverse<(Distance, Vertex)>> = BinaryHeap::new();
+    for &(s, d0) in sources {
+        if d0 < dist[s as usize] {
+            dist[s as usize] = d0;
+            heap.push(Reverse((d0, s)));
+        }
+    }
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for e in g.neighbors(v) {
+            let nd = dist_add(d, e.weight as Distance);
+            if nd < dist[e.to as usize] {
+                dist[e.to as usize] = nd;
+                heap.push(Reverse((nd, e.to)));
+            }
+        }
+    }
+    dist
+}
+
+/// Bidirectional Dijkstra (the classic speed-up discussed in the paper's
+/// related-work section). Returns the exact shortest-path distance.
+pub fn bidirectional_dijkstra(g: &Graph, source: Vertex, target: Vertex) -> Distance {
+    if source == target {
+        return 0;
+    }
+    let n = g.num_vertices();
+    let mut dist_f = vec![INFINITY; n];
+    let mut dist_b = vec![INFINITY; n];
+    let mut settled_f = vec![false; n];
+    let mut settled_b = vec![false; n];
+    let mut heap_f: BinaryHeap<Reverse<(Distance, Vertex)>> = BinaryHeap::new();
+    let mut heap_b: BinaryHeap<Reverse<(Distance, Vertex)>> = BinaryHeap::new();
+    dist_f[source as usize] = 0;
+    dist_b[target as usize] = 0;
+    heap_f.push(Reverse((0, source)));
+    heap_b.push(Reverse((0, target)));
+    let mut best = INFINITY;
+
+    loop {
+        let top_f = heap_f.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
+        let top_b = heap_b.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
+        if dist_add(top_f, top_b) >= best {
+            break;
+        }
+        // Expand the side with the smaller frontier key.
+        let forward = top_f <= top_b;
+        let (heap, dist, other_dist, settled) = if forward {
+            (&mut heap_f, &mut dist_f, &dist_b, &mut settled_f)
+        } else {
+            (&mut heap_b, &mut dist_b, &dist_f, &mut settled_b)
+        };
+        let Some(Reverse((d, v))) = heap.pop() else {
+            break;
+        };
+        if settled[v as usize] || d > dist[v as usize] {
+            continue;
+        }
+        settled[v as usize] = true;
+        let through = dist_add(d, other_dist[v as usize]);
+        if through < best {
+            best = through;
+        }
+        for e in g.neighbors(v) {
+            let nd = dist_add(d, e.weight as Distance);
+            if nd < dist[e.to as usize] {
+                dist[e.to as usize] = nd;
+                heap.push(Reverse((nd, e.to)));
+                let cand = dist_add(nd, other_dist[e.to as usize]);
+                if cand < best {
+                    best = cand;
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::toy::paper_figure1 as paper_example;
+
+    #[test]
+    fn paper_example_distances() {
+        let g = paper_example();
+        let d = dijkstra(&g, 2); // vertex 3 in the paper
+        // Example 3.4 queries the pair (3, 10); the hubs give 2 + 3 = 5.
+        assert_eq!(d[9], 5);
+        // Example 3.1: shortest path (3, 2, 16, 15, 6, 11) of length 5.
+        assert_eq!(d[10], 5);
+        let d1 = dijkstra(&g, 0); // vertex 1
+        assert_eq!(d1[7], 2); // d(1, 8) = 2 (via vertex 12)
+    }
+
+    #[test]
+    fn point_to_point_matches_full_search() {
+        let g = paper_example();
+        for s in 0..16 {
+            let full = dijkstra(&g, s);
+            for t in 0..16 {
+                assert_eq!(dijkstra_distance(&g, s, t), full[t as usize]);
+                assert_eq!(bidirectional_dijkstra(&g, s, t), full[t as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn parents_form_shortest_path_tree() {
+        let g = paper_example();
+        let r = dijkstra_with_parents(&g, 0);
+        for v in 1..16u32 {
+            let mut cur = v;
+            let mut len: Distance = 0;
+            while let Some(p) = r.parent[cur as usize] {
+                len += g.edge_weight(p, cur).unwrap() as Distance;
+                cur = p;
+            }
+            assert_eq!(cur, 0, "parent chain must reach the source");
+            assert_eq!(len, r.dist[v as usize]);
+        }
+    }
+
+    #[test]
+    fn targeted_search_returns_target_distances() {
+        let g = paper_example();
+        let full = dijkstra(&g, 4);
+        let targets = vec![0u32, 7, 15, 4];
+        let got = dijkstra_targets(&g, 4, &targets);
+        for (i, &t) in targets.iter().enumerate() {
+            assert_eq!(got[i], full[t as usize]);
+        }
+    }
+
+    #[test]
+    fn multi_source_takes_minimum_over_seeds() {
+        let g = paper_example();
+        let d_a = dijkstra(&g, 0);
+        let d_b = dijkstra(&g, 15);
+        let combined = multi_source_dijkstra(&g, &[(0, 0), (15, 0)]);
+        for v in 0..16usize {
+            assert_eq!(combined[v], d_a[v].min(d_b[v]));
+        }
+    }
+
+    #[test]
+    fn multi_source_respects_seed_offsets() {
+        let g = paper_example();
+        let d = multi_source_dijkstra(&g, &[(0, 10), (15, 0)]);
+        let d_a = dijkstra(&g, 0);
+        let d_b = dijkstra(&g, 15);
+        for v in 0..16usize {
+            assert_eq!(d[v], (d_a[v] + 10).min(d_b[v]));
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_report_infinity() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1, 1)]);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[2], INFINITY);
+        assert_eq!(d[3], INFINITY);
+        assert_eq!(bidirectional_dijkstra(&g, 0, 3), INFINITY);
+        assert_eq!(dijkstra_distance(&g, 0, 2), INFINITY);
+    }
+
+    #[test]
+    fn weighted_graph_prefers_cheaper_longer_path() {
+        // 0 -10- 1, 0 -1- 2 -1- 3 -1- 1: the three-hop path is cheaper.
+        let g = GraphBuilder::from_edges(4, &[(0, 1, 10), (0, 2, 1), (2, 3, 1), (3, 1, 1)]);
+        assert_eq!(dijkstra_distance(&g, 0, 1), 3);
+        assert_eq!(bidirectional_dijkstra(&g, 0, 1), 3);
+    }
+}

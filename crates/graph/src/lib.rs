@@ -1,0 +1,48 @@
+//! Graph substrate for the HC2L reproduction.
+//!
+//! This crate provides the weighted, undirected graph representation used by
+//! every labelling method in the workspace, together with the classical
+//! building blocks the paper relies on:
+//!
+//! * [`Graph`] / [`GraphBuilder`] — adjacency-list representation with
+//!   deterministic edge ordering, suitable for incremental construction and
+//!   for deriving subgraphs during hierarchy construction.
+//! * [`CsrGraph`] — a compact compressed-sparse-row view used by the
+//!   query-time hot paths and by the search baselines.
+//! * [`dijkstra`] — single-source, targeted and multi-source Dijkstra
+//!   variants, plus the bidirectional search baseline from the paper's
+//!   related-work section.
+//! * [`components`] — connected components, needed both by the balanced
+//!   partitioning step (Algorithm 1) and by the synthetic network generators.
+//! * [`contraction`] — repeated degree-one contraction with the
+//!   root/parent bookkeeping described in Section 4.2 of the paper.
+//! * [`subgraph`] — induced subgraphs with id remapping, used when the
+//!   hierarchy recursion descends into partitions.
+//!
+//! Distances are accumulated in `u64` ([`Distance`]) while individual edge
+//! weights are `u32` ([`Weight`]); road-network weights fit comfortably and
+//! the wider accumulator removes any overflow concern on long paths.
+
+pub mod builder;
+pub mod components;
+pub mod contraction;
+pub mod csr;
+pub mod dijkstra;
+pub mod graph;
+pub mod pathutil;
+pub mod subgraph;
+pub mod toy;
+pub mod types;
+
+pub use builder::GraphBuilder;
+pub use components::{connected_components, largest_component, ComponentLabels};
+pub use contraction::{contract_degree_one, ContractedVertex, DegreeOneContraction};
+pub use csr::CsrGraph;
+pub use dijkstra::{
+    bidirectional_dijkstra, dijkstra, dijkstra_distance, dijkstra_targets, dijkstra_with_parents,
+    multi_source_dijkstra, DijkstraResult,
+};
+pub use graph::{Edge, Graph};
+pub use pathutil::{eccentricity_from, extract_path, farthest_vertex, path_weight};
+pub use subgraph::{InducedSubgraph, VertexSet};
+pub use types::{dist_add, is_finite, Distance, Vertex, Weight, INFINITY};

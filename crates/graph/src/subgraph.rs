@@ -1,0 +1,230 @@
+//! Induced subgraphs with vertex-id remapping.
+//!
+//! The hierarchy construction recursively descends into partitions; each
+//! recursion level works on a compact subgraph whose vertices are renumbered
+//! `0..k`, with a mapping back to the original ids. [`InducedSubgraph`]
+//! couples the subgraph with that mapping. [`VertexSet`] is a small helper
+//! for constant-time membership tests used throughout the cut algorithms.
+
+use crate::graph::Graph;
+use crate::types::{Vertex, Weight};
+
+/// A set of vertices with O(1) membership queries, remembering insertion
+/// order for deterministic iteration.
+#[derive(Debug, Clone, Default)]
+pub struct VertexSet {
+    members: Vec<Vertex>,
+    in_set: Vec<bool>,
+}
+
+impl VertexSet {
+    /// Creates an empty set over a universe of `n` vertices.
+    pub fn new(universe: usize) -> Self {
+        VertexSet {
+            members: Vec::new(),
+            in_set: vec![false; universe],
+        }
+    }
+
+    /// Builds a set from a slice of vertices.
+    pub fn from_slice(universe: usize, vs: &[Vertex]) -> Self {
+        let mut s = VertexSet::new(universe);
+        for &v in vs {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Inserts `v`; returns `true` if it was newly added.
+    pub fn insert(&mut self, v: Vertex) -> bool {
+        if self.in_set[v as usize] {
+            false
+        } else {
+            self.in_set[v as usize] = true;
+            self.members.push(v);
+            true
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: Vertex) -> bool {
+        self.in_set[v as usize]
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Members in insertion order.
+    pub fn as_slice(&self) -> &[Vertex] {
+        &self.members
+    }
+
+    /// Iterator over members in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = Vertex> + '_ {
+        self.members.iter().copied()
+    }
+}
+
+/// An induced subgraph together with the mapping between its local vertex ids
+/// (`0..k`) and the ids of the parent graph.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// The subgraph itself, over local ids.
+    pub graph: Graph,
+    /// `local_to_parent[local] = parent id`.
+    pub local_to_parent: Vec<Vertex>,
+    /// `parent_to_local[parent] = Some(local)` for member vertices.
+    pub parent_to_local: Vec<Option<Vertex>>,
+}
+
+impl InducedSubgraph {
+    /// Builds the subgraph of `g` induced by `vertices` (in the given order,
+    /// which becomes the local id order).
+    pub fn new(g: &Graph, vertices: &[Vertex]) -> Self {
+        let mut parent_to_local = vec![None; g.num_vertices()];
+        for (i, &v) in vertices.iter().enumerate() {
+            assert!(
+                parent_to_local[v as usize].is_none(),
+                "duplicate vertex {v} in induced subgraph"
+            );
+            parent_to_local[v as usize] = Some(i as Vertex);
+        }
+        let mut sub = Graph::with_vertices(vertices.len());
+        for (i, &v) in vertices.iter().enumerate() {
+            for e in g.neighbors(v) {
+                if let Some(j) = parent_to_local[e.to as usize] {
+                    if (i as Vertex) < j {
+                        sub.add_or_relax_edge(i as Vertex, j, e.weight);
+                    }
+                }
+            }
+        }
+        sub.sort_adjacency();
+        InducedSubgraph {
+            graph: sub,
+            local_to_parent: vertices.to_vec(),
+            parent_to_local,
+        }
+    }
+
+    /// Maps a local id back to the parent graph's id.
+    #[inline]
+    pub fn to_parent(&self, local: Vertex) -> Vertex {
+        self.local_to_parent[local as usize]
+    }
+
+    /// Maps a parent id to the local id, if the vertex is part of the
+    /// subgraph.
+    #[inline]
+    pub fn to_local(&self, parent: Vertex) -> Option<Vertex> {
+        self.parent_to_local[parent as usize]
+    }
+
+    /// Number of vertices in the subgraph.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Adds an extra (shortcut) edge using parent-graph ids.
+    pub fn add_shortcut_parent_ids(&mut self, u: Vertex, v: Vertex, w: Weight) -> bool {
+        let lu = self.to_local(u).expect("shortcut endpoint not in subgraph");
+        let lv = self.to_local(v).expect("shortcut endpoint not in subgraph");
+        self.graph.add_or_relax_edge(lu, lv, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::dijkstra::dijkstra_distance;
+    use crate::toy::paper_figure1;
+
+    #[test]
+    fn vertex_set_basics() {
+        let mut s = VertexSet::new(10);
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(7));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert_eq!(s.as_slice(), &[3, 7]);
+        let from = VertexSet::from_slice(10, &[1, 2, 2, 5]);
+        assert_eq!(from.len(), 3);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = paper_figure1();
+        // P_B from Figure 5(a): {4, 6, 10, 11, 13, 15} in paper ids.
+        let members: Vec<Vertex> = [4u32, 6, 10, 11, 13, 15].iter().map(|v| v - 1).collect();
+        let sub = InducedSubgraph::new(&g, &members);
+        assert_eq!(sub.num_vertices(), 6);
+        // Edges inside P_B: 4-13, 4-10, 4-11, 13-15, 13-6, 15-6, 6-11, 10-11 → 8 edges.
+        assert_eq!(sub.graph.num_edges(), 8);
+        // Mapping round-trips.
+        for (local, &parent) in sub.local_to_parent.iter().enumerate() {
+            assert_eq!(sub.to_local(parent), Some(local as Vertex));
+            assert_eq!(sub.to_parent(local as Vertex), parent);
+        }
+        // Vertices outside the subgraph do not map.
+        assert_eq!(sub.to_local(0), None);
+    }
+
+    #[test]
+    fn distance_preserving_partition_matches_parent_distances() {
+        let g = paper_figure1();
+        // The paper states P_B is distance-preserving for the cut {5, 12, 16}.
+        let members: Vec<Vertex> = [4u32, 6, 10, 11, 13, 15].iter().map(|v| v - 1).collect();
+        let sub = InducedSubgraph::new(&g, &members);
+        for (i, &p) in members.iter().enumerate() {
+            for (j, &q) in members.iter().enumerate() {
+                assert_eq!(
+                    dijkstra_distance(&sub.graph, i as Vertex, j as Vertex),
+                    dijkstra_distance(&g, p, q)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_distance_preserving_partition_detected() {
+        let g = paper_figure1();
+        // P_A = {1, 2, 3, 7, 8, 9, 14}: d(1, 8) grows from 2 to 3 (Example 4.6).
+        let members: Vec<Vertex> = [1u32, 2, 3, 7, 8, 9, 14].iter().map(|v| v - 1).collect();
+        let sub = InducedSubgraph::new(&g, &members);
+        let l1 = sub.to_local(0).unwrap();
+        let l8 = sub.to_local(7).unwrap();
+        assert_eq!(dijkstra_distance(&g, 0, 7), 2);
+        assert_eq!(dijkstra_distance(&sub.graph, l1, l8), 3);
+    }
+
+    #[test]
+    fn shortcut_restores_distance() {
+        let g = paper_figure1();
+        let members: Vec<Vertex> = [1u32, 2, 3, 7, 8, 9, 14].iter().map(|v| v - 1).collect();
+        let mut sub = InducedSubgraph::new(&g, &members);
+        // Example 4.10: adding shortcut (1, 8) with weight 2 makes P_A preserving.
+        sub.add_shortcut_parent_ids(0, 7, 2);
+        let l1 = sub.to_local(0).unwrap();
+        let l8 = sub.to_local(7).unwrap();
+        assert_eq!(dijkstra_distance(&sub.graph, l1, l8), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_members_panic() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1, 1)]);
+        InducedSubgraph::new(&g, &[0, 0]);
+    }
+}

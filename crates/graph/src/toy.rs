@@ -1,0 +1,170 @@
+//! Small hand-built graphs used across the workspace's test suites.
+//!
+//! The most important one is [`paper_figure1`], a faithful reconstruction of
+//! the 16-vertex example road network of Figure 1(a) in the HC2L paper. The
+//! edge set was recovered from the canonical hub labelling of Figure 1(b):
+//! with unit weights, every label entry at distance one corresponds to an
+//! edge, and all edges appear as such entries. The reconstruction is
+//! consistent with every worked example in the paper (the cut `{5, 12, 16}`,
+//! the shortcut `(1, 8)` of weight 2, the tail-pruning example for `L(1)` and
+//! `L(2)`, and the query `(14, 15)`).
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::types::{Vertex, Weight};
+
+/// Edges of the paper's Figure 1(a) example network, in 1-based vertex ids as
+/// printed in the paper. All weights are 1.
+pub const PAPER_FIGURE1_EDGES: [(u32, u32); 26] = [
+    (7, 14),
+    (9, 14),
+    (8, 14),
+    (9, 7),
+    (4, 13),
+    (5, 13),
+    (15, 13),
+    (6, 13),
+    (9, 5),
+    (12, 4),
+    (15, 5),
+    (10, 4),
+    (12, 10),
+    (16, 5),
+    (16, 15),
+    (11, 4),
+    (11, 10),
+    (6, 15),
+    (6, 11),
+    (1, 9),
+    (1, 12),
+    (2, 7),
+    (2, 16),
+    (3, 7),
+    (3, 2),
+    (8, 12),
+];
+
+/// The example road network from Figure 1(a) of the paper, re-indexed to
+/// 0-based vertex ids (paper vertex `k` is vertex `k - 1` here).
+pub fn paper_figure1() -> Graph {
+    let mut b = GraphBuilder::new(16);
+    for (u, v) in PAPER_FIGURE1_EDGES {
+        b.add_edge(u - 1, v - 1, 1);
+    }
+    b.build()
+}
+
+/// A simple path graph `0 - 1 - ... - (n-1)` with the given edge weight.
+pub fn path_graph(n: usize, w: Weight) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as Vertex, i as Vertex, w);
+    }
+    b.build()
+}
+
+/// A cycle graph on `n` vertices with the given edge weight.
+pub fn cycle_graph(n: usize, w: Weight) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i as Vertex, ((i + 1) % n) as Vertex, w);
+    }
+    b.build()
+}
+
+/// A complete graph on `n` vertices with unit weights.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i as Vertex, j as Vertex, 1);
+        }
+    }
+    b.build()
+}
+
+/// A star graph: vertex 0 is the centre, connected to `1..n`.
+pub fn star_graph(n: usize, w: Weight) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i as Vertex, w);
+    }
+    b.build()
+}
+
+/// An unweighted square grid with `rows * cols` vertices. Vertex `(r, c)` has
+/// id `r * cols + c`.
+pub fn grid_graph(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as Vertex;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1), 1);
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c), 1);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_distance;
+
+    #[test]
+    fn figure1_has_expected_shape() {
+        let g = paper_figure1();
+        assert_eq!(g.num_vertices(), 16);
+        assert_eq!(g.num_edges(), 26);
+    }
+
+    #[test]
+    fn figure1_matches_paper_worked_examples() {
+        let g = paper_figure1();
+        // Example 4.6 / 4.10: d_G(1, 8) = 2 (via the shortcut pair).
+        assert_eq!(dijkstra_distance(&g, 0, 7), 2);
+        // Example 3.1: the shortest path between 3 and 11 has length 5.
+        assert_eq!(dijkstra_distance(&g, 2, 10), 5);
+        // Example 3.3: d_G(7, 13) = 3.
+        assert_eq!(dijkstra_distance(&g, 6, 12), 3);
+        // Example 4.19: L(1) distances to cut {12, 5, 16} are [1, 2, 3].
+        assert_eq!(dijkstra_distance(&g, 0, 11), 1);
+        assert_eq!(dijkstra_distance(&g, 0, 4), 2);
+        assert_eq!(dijkstra_distance(&g, 0, 15), 3);
+        // Example 4.19: L(2) distances to cut {12, 5, 16} are [4, 2, 1].
+        assert_eq!(dijkstra_distance(&g, 1, 11), 4);
+        assert_eq!(dijkstra_distance(&g, 1, 4), 2);
+        assert_eq!(dijkstra_distance(&g, 1, 15), 1);
+        // Example 4.20: query (14, 15) returns 3; label arrays [2,2,3] / [3,1,1].
+        assert_eq!(dijkstra_distance(&g, 13, 14), 3);
+        assert_eq!(dijkstra_distance(&g, 13, 11), 2);
+        assert_eq!(dijkstra_distance(&g, 13, 4), 2);
+        assert_eq!(dijkstra_distance(&g, 13, 15), 3);
+        assert_eq!(dijkstra_distance(&g, 14, 11), 3);
+        assert_eq!(dijkstra_distance(&g, 14, 4), 1);
+        assert_eq!(dijkstra_distance(&g, 14, 15), 1);
+    }
+
+    #[test]
+    fn generators_have_expected_sizes() {
+        assert_eq!(path_graph(5, 2).num_edges(), 4);
+        assert_eq!(cycle_graph(6, 1).num_edges(), 6);
+        assert_eq!(complete_graph(5).num_edges(), 10);
+        assert_eq!(star_graph(7, 3).num_edges(), 6);
+        let g = grid_graph(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+    }
+
+    #[test]
+    fn grid_distances_are_manhattan() {
+        let g = grid_graph(4, 4);
+        assert_eq!(dijkstra_distance(&g, 0, 15), 6);
+        assert_eq!(dijkstra_distance(&g, 3, 12), 6);
+        assert_eq!(dijkstra_distance(&g, 0, 5), 2);
+    }
+}

@@ -1,0 +1,59 @@
+//! Fundamental scalar types shared across the workspace.
+
+/// Vertex identifier. Road networks in the paper reach ~24M vertices, so a
+/// 32-bit id is sufficient and keeps adjacency structures compact.
+pub type Vertex = u32;
+
+/// Edge weight. DIMACS road networks use positive integer weights (metres or
+/// deciseconds); synthetic generators produce the same range.
+pub type Weight = u32;
+
+/// Accumulated shortest-path distance. Wider than [`Weight`] so that sums of
+/// millions of edge weights cannot overflow.
+pub type Distance = u64;
+
+/// Sentinel for "unreachable". Chosen well below `u64::MAX` so that adding a
+/// weight to it never wraps around.
+pub const INFINITY: Distance = u64::MAX / 4;
+
+/// Returns `true` when `d` denotes a reachable (finite) distance.
+#[inline]
+pub fn is_finite(d: Distance) -> bool {
+    d < INFINITY
+}
+
+/// Saturating distance addition that keeps [`INFINITY`] absorbing.
+#[inline]
+pub fn dist_add(a: Distance, b: Distance) -> Distance {
+    if a >= INFINITY || b >= INFINITY {
+        INFINITY
+    } else {
+        a + b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinity_is_absorbing() {
+        assert_eq!(dist_add(INFINITY, 5), INFINITY);
+        assert_eq!(dist_add(5, INFINITY), INFINITY);
+        assert_eq!(dist_add(INFINITY, INFINITY), INFINITY);
+    }
+
+    #[test]
+    fn finite_addition() {
+        assert_eq!(dist_add(3, 4), 7);
+        assert!(is_finite(7));
+        assert!(!is_finite(INFINITY));
+    }
+
+    #[test]
+    fn infinity_plus_weight_does_not_wrap() {
+        // Even a naive `INFINITY + weight` stays above any real distance; the
+        // constant leaves enough headroom for accidental additions.
+        assert!(INFINITY.checked_add(u32::MAX as u64).is_some());
+    }
+}

@@ -1,0 +1,285 @@
+//! The H2H index: per-vertex distance and position arrays plus the RMQ-based
+//! LCA structure (Equation 3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use hc2l_graph::{Distance, Graph, Vertex, INFINITY};
+
+use crate::lca::LcaStructure;
+use crate::tree_decomp::TreeDecomposition;
+
+/// Size statistics of an H2H index.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct H2hStats {
+    /// Total number of ancestor-distance entries.
+    pub total_entries: usize,
+    /// Mean distance-array length (tree height dominates this).
+    pub avg_label_size: f64,
+    /// Bytes of distance + position arrays (Table 2's labelling size).
+    pub label_bytes: usize,
+    /// Bytes of the Euler-tour/RMQ LCA structure (Table 3's LCA storage).
+    pub lca_bytes: usize,
+    /// Height of the tree decomposition (Table 5).
+    pub tree_height: u32,
+    /// Maximum bag size / width (Table 5).
+    pub max_bag_size: usize,
+}
+
+/// The Hierarchical 2-Hop index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct H2hIndex {
+    /// The underlying tree decomposition.
+    pub decomposition: TreeDecomposition,
+    /// LCA structure over the decomposition forest.
+    lca: LcaStructure,
+    /// `dist[v][i]` — distance from `v` to its ancestor at depth `i`
+    /// (the last entry is `d(v, v) = 0`).
+    dist: Vec<Vec<Distance>>,
+    /// `pos[v]` — depths of the members of `X(v)` (including `v` itself) in
+    /// `v`'s ancestor array.
+    pos: Vec<Vec<u32>>,
+    /// Root of each vertex's tree (to detect cross-component queries).
+    root_of: Vec<Vertex>,
+    /// Wall-clock construction time in seconds.
+    pub construction_seconds: f64,
+}
+
+impl H2hIndex {
+    /// Builds the index for a weighted undirected graph.
+    pub fn build(g: &Graph) -> Self {
+        let start = std::time::Instant::now();
+        let n = g.num_vertices();
+        let decomposition = TreeDecomposition::build(g);
+        let lca = LcaStructure::build(&decomposition.children, &decomposition.roots, n);
+
+        // Process vertices parents-first (breadth-first from the roots).
+        let mut order: Vec<Vertex> = Vec::with_capacity(n);
+        let mut queue: std::collections::VecDeque<Vertex> =
+            decomposition.roots.iter().copied().collect();
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &c in &decomposition.children[v as usize] {
+                queue.push_back(c);
+            }
+        }
+
+        let mut dist: Vec<Vec<Distance>> = vec![Vec::new(); n];
+        let mut pos: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut root_of: Vec<Vertex> = vec![0; n];
+
+        for &v in &order {
+            let depth_v = decomposition.depth[v as usize] as usize;
+            let parent = decomposition.parent[v as usize];
+            root_of[v as usize] = match parent {
+                None => v,
+                Some(p) => root_of[p as usize],
+            };
+            let mut d = vec![INFINITY; depth_v + 1];
+            d[depth_v] = 0;
+            // d(v, a_i) = min over bag members x of w(v, x) + d(x, a_i); both
+            // x and a_i lie on v's root path, so d(x, a_i) is available in the
+            // already-computed array of the deeper of the two.
+            for i in 0..depth_v {
+                let mut best = INFINITY;
+                for &(x, wx) in &decomposition.bag[v as usize] {
+                    let depth_x = decomposition.depth[x as usize] as usize;
+                    let via = if depth_x >= i {
+                        // a_i is an ancestor of x (or x itself).
+                        wx.saturating_add(dist[x as usize][i])
+                    } else {
+                        // x is a strict ancestor of a_i.
+                        wx.saturating_add(dist_of_ancestor(&dist, &decomposition, v, i, depth_x))
+                    };
+                    if via < best {
+                        best = via;
+                    }
+                }
+                d[i] = best;
+            }
+            dist[v as usize] = d;
+            // Position array: depths of bag members plus v itself.
+            let mut p: Vec<u32> = decomposition.bag[v as usize]
+                .iter()
+                .map(|&(x, _)| decomposition.depth[x as usize])
+                .collect();
+            p.push(depth_v as u32);
+            p.sort_unstable();
+            p.dedup();
+            pos[v as usize] = p;
+        }
+
+        H2hIndex {
+            decomposition,
+            lca,
+            dist,
+            pos,
+            root_of,
+            construction_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Exact distance query (Equation 3).
+    #[inline]
+    pub fn query(&self, s: Vertex, t: Vertex) -> Distance {
+        self.query_with_stats(s, t).0
+    }
+
+    /// Exact distance query reporting how many positions were scanned (the
+    /// H2H "hub size" of Table 3).
+    pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, usize) {
+        if s == t {
+            return (0, 0);
+        }
+        if self.root_of[s as usize] != self.root_of[t as usize] {
+            return (INFINITY, 0);
+        }
+        let q = self
+            .lca
+            .lca(s, t)
+            .expect("vertices in the same component must share a tree");
+        let positions = &self.pos[q as usize];
+        let ds = &self.dist[s as usize];
+        let dt = &self.dist[t as usize];
+        let mut best = INFINITY;
+        for &p in positions {
+            let p = p as usize;
+            let d = ds[p].saturating_add(dt[p]);
+            if d < best {
+                best = d;
+            }
+        }
+        (best, positions.len())
+    }
+
+    /// Size statistics (Tables 2, 3 and 5).
+    pub fn stats(&self) -> H2hStats {
+        let total_entries: usize = self.dist.iter().map(|d| d.len()).sum();
+        let pos_entries: usize = self.pos.iter().map(|p| p.len()).sum();
+        H2hStats {
+            total_entries,
+            avg_label_size: if self.dist.is_empty() {
+                0.0
+            } else {
+                total_entries as f64 / self.dist.len() as f64
+            },
+            label_bytes: total_entries * std::mem::size_of::<Distance>() + pos_entries * 4,
+            lca_bytes: self.lca.memory_bytes(),
+            tree_height: self.decomposition.height,
+            max_bag_size: self.decomposition.max_bag_size,
+        }
+    }
+}
+
+/// Distance from `v`'s ancestor chain: `d(a_i, a_j)` where both indices refer
+/// to depths on `v`'s root path and `j < i` (so `a_j` is the ancestor).
+/// Looking it up means walking to the ancestor at depth `i` and reading its
+/// array at position `j`.
+fn dist_of_ancestor(
+    dist: &[Vec<Distance>],
+    td: &TreeDecomposition,
+    v: Vertex,
+    i: usize,
+    j: usize,
+) -> Distance {
+    // Find the ancestor of v at depth i.
+    let mut cur = v;
+    while td.depth[cur as usize] as usize > i {
+        cur = td.parent[cur as usize].expect("depth bookkeeping inconsistent");
+    }
+    dist[cur as usize][j]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::dijkstra;
+    use hc2l_graph::toy::{grid_graph, paper_figure1, path_graph};
+    use hc2l_graph::GraphBuilder;
+
+    fn assert_all_pairs(g: &hc2l_graph::Graph) {
+        let index = H2hIndex::build(g);
+        for s in 0..g.num_vertices() as Vertex {
+            let d = dijkstra(g, s);
+            for t in 0..g.num_vertices() as Vertex {
+                assert_eq!(index.query(s, t), d[t as usize], "H2H query ({s},{t}) wrong");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_all_pairs() {
+        assert_all_pairs(&paper_figure1());
+    }
+
+    #[test]
+    fn grid_all_pairs() {
+        assert_all_pairs(&grid_graph(6, 6));
+    }
+
+    #[test]
+    fn path_and_weighted_graphs() {
+        assert_all_pairs(&path_graph(15, 2));
+        let mut b = GraphBuilder::new(0);
+        for (u, v, _) in grid_graph(5, 5).edges() {
+            b.add_edge(u, v, 1 + (u * 13 + v * 3) % 17);
+        }
+        assert_all_pairs(&b.build());
+    }
+
+    #[test]
+    fn disconnected_components_return_infinity() {
+        let mut b = GraphBuilder::new(12);
+        for (u, v, w) in grid_graph(2, 3).edges() {
+            b.add_edge(u, v, w);
+            b.add_edge(u + 6, v + 6, w);
+        }
+        let g = b.build();
+        let index = H2hIndex::build(&g);
+        assert_all_pairs(&g);
+        assert_eq!(index.query(0, 11), INFINITY);
+    }
+
+    #[test]
+    fn distance_arrays_cover_all_ancestors_exactly() {
+        let g = paper_figure1();
+        let index = H2hIndex::build(&g);
+        for v in 0..16u32 {
+            let path = index.decomposition.root_path(v);
+            assert_eq!(index.dist[v as usize].len(), path.len());
+            let d = dijkstra(&g, v);
+            for (i, &a) in path.iter().enumerate() {
+                assert_eq!(index.dist[v as usize][i], d[a as usize], "d({v}, {a}) wrong");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reflect_tree_shape() {
+        let g = grid_graph(6, 6);
+        let index = H2hIndex::build(&g);
+        let s = index.stats();
+        assert!(s.tree_height >= 6);
+        assert!(s.max_bag_size >= 6);
+        assert!(s.avg_label_size > 2.0);
+        assert!(s.label_bytes > 0 && s.lca_bytes > 0);
+        // H2H labels are markedly larger than the graph itself — the drawback
+        // the paper highlights.
+        assert!(s.total_entries >= 36);
+    }
+
+    #[test]
+    fn query_scans_at_most_one_bag() {
+        let g = grid_graph(5, 5);
+        let index = H2hIndex::build(&g);
+        for &(s, t) in &[(0u32, 24u32), (3, 20), (7, 18)] {
+            let (_, scanned) = index.query_with_stats(s, t);
+            assert!(scanned <= index.stats().max_bag_size);
+            assert!(scanned >= 1);
+        }
+    }
+}

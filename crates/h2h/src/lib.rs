@@ -1,0 +1,29 @@
+//! Hierarchical 2-Hop Index (H2H) baseline.
+//!
+//! H2H [Ouyang et al. 2018] is the tree-decomposition labelling the paper
+//! compares against. It
+//!
+//! 1. computes a tree decomposition of the road network with the classic
+//!    minimum-degree elimination heuristic (each eliminated vertex's current
+//!    neighbourhood becomes a tree node / bag),
+//! 2. stores, for every vertex, a *distance array* with the distances to all
+//!    of its ancestors in the decomposition tree and a *position array*
+//!    pointing at the bag members' depths, and
+//! 3. answers a query `(s, t)` by finding the lowest common ancestor of the
+//!    two vertices' tree nodes (with an Euler-tour + sparse-table RMQ, the
+//!    extra "LCA storage" of Table 3) and minimising `dist_s[i] + dist_t[i]`
+//!    over the positions `i` recorded at the LCA (Equation 3).
+//!
+//! The contrast with HC2L is exactly the one the paper draws: H2H's tree is
+//! neither binary nor balanced, its height and bag widths are much larger
+//! than HC2L's cut sizes (Table 5), its labels store distances to *all*
+//! ancestors (larger labelling, Table 2), and constant-time LCA needs a heavy
+//! auxiliary structure (Table 3).
+
+pub mod index;
+pub mod lca;
+pub mod tree_decomp;
+
+pub use index::{H2hIndex, H2hStats};
+pub use lca::LcaStructure;
+pub use tree_decomp::TreeDecomposition;

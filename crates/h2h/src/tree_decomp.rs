@@ -1,0 +1,247 @@
+//! Tree decomposition via minimum-degree elimination (MDE).
+//!
+//! The H2H paper relies on the standard MDE heuristic: repeatedly eliminate a
+//! vertex of minimum degree in the current *fill graph*, recording its bag
+//! `X(v) = {v} ∪ N(v)` and adding clique ("fill") edges among the remaining
+//! neighbours with shortcut weights, so that distances within the remaining
+//! graph are preserved. The bag of each vertex becomes a tree node whose
+//! parent is the bag of the neighbour eliminated earliest afterwards.
+
+use std::collections::{BTreeMap, BinaryHeap};
+
+use serde::{Deserialize, Serialize};
+
+use hc2l_graph::{Distance, Graph, Vertex};
+
+/// A tree decomposition produced by minimum-degree elimination.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeDecomposition {
+    /// Elimination position of each vertex (0 = eliminated first).
+    pub elim_order: Vec<u32>,
+    /// For each vertex `v`, the other members of its bag `X(v) \ {v}` with
+    /// their shortcut distances at elimination time. All of them are
+    /// eliminated after `v`, hence are ancestors of `v` in the tree.
+    pub bag: Vec<Vec<(Vertex, Distance)>>,
+    /// Parent of each vertex's tree node (`None` for the root and for
+    /// vertices in other connected components acting as roots).
+    pub parent: Vec<Option<Vertex>>,
+    /// Children lists (inverse of `parent`).
+    pub children: Vec<Vec<Vertex>>,
+    /// Roots of the decomposition forest (one per connected component).
+    pub roots: Vec<Vertex>,
+    /// Depth of each vertex's node (root depth 0).
+    pub depth: Vec<u32>,
+    /// Tree height (max depth + 1), as reported in Table 5.
+    pub height: u32,
+    /// Maximum bag size (treewidth + 1), as reported in Table 5.
+    pub max_bag_size: usize,
+}
+
+impl TreeDecomposition {
+    /// Builds the decomposition for a weighted undirected graph.
+    pub fn build(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        // Fill graph as ordered adjacency maps so neighbour iteration is
+        // deterministic and edge updates are O(log degree).
+        let mut adj: Vec<BTreeMap<Vertex, Distance>> = vec![BTreeMap::new(); n];
+        for v in 0..n as Vertex {
+            for e in g.neighbors(v) {
+                let w = e.weight as Distance;
+                adj[v as usize]
+                    .entry(e.to)
+                    .and_modify(|x| *x = (*x).min(w))
+                    .or_insert(w);
+            }
+        }
+
+        let mut eliminated = vec![false; n];
+        let mut elim_order = vec![0u32; n];
+        let mut bag: Vec<Vec<(Vertex, Distance)>> = vec![Vec::new(); n];
+
+        // Min-degree priority queue with lazy updates.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(usize, Vertex)>> = (0..n as Vertex)
+            .map(|v| std::cmp::Reverse((adj[v as usize].len(), v)))
+            .collect();
+
+        let mut position = 0u32;
+        while let Some(std::cmp::Reverse((deg, v))) = heap.pop() {
+            if eliminated[v as usize] || adj[v as usize].len() != deg {
+                if !eliminated[v as usize] {
+                    heap.push(std::cmp::Reverse((adj[v as usize].len(), v)));
+                }
+                continue;
+            }
+            // Eliminate v.
+            eliminated[v as usize] = true;
+            elim_order[v as usize] = position;
+            position += 1;
+            let neighbors: Vec<(Vertex, Distance)> =
+                adj[v as usize].iter().map(|(&u, &w)| (u, w)).collect();
+            bag[v as usize] = neighbors.clone();
+            // Remove v from its neighbours and add fill edges.
+            for &(u, _) in &neighbors {
+                adj[u as usize].remove(&v);
+            }
+            for i in 0..neighbors.len() {
+                for j in (i + 1)..neighbors.len() {
+                    let (a, wa) = neighbors[i];
+                    let (b, wb) = neighbors[j];
+                    let w = wa + wb;
+                    let e1 = adj[a as usize].entry(b).or_insert(Distance::MAX);
+                    *e1 = (*e1).min(w);
+                    let e2 = adj[b as usize].entry(a).or_insert(Distance::MAX);
+                    *e2 = (*e2).min(w);
+                }
+            }
+            for &(u, _) in &neighbors {
+                heap.push(std::cmp::Reverse((adj[u as usize].len(), u)));
+            }
+        }
+
+        // Tree structure: parent(v) = bag member eliminated earliest after v.
+        let mut parent: Vec<Option<Vertex>> = vec![None; n];
+        let mut children: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        for v in 0..n as Vertex {
+            if bag[v as usize].is_empty() {
+                roots.push(v);
+                continue;
+            }
+            let p = bag[v as usize]
+                .iter()
+                .map(|&(u, _)| u)
+                .min_by_key(|&u| elim_order[u as usize])
+                .unwrap();
+            parent[v as usize] = Some(p);
+            children[p as usize].push(v);
+        }
+
+        // Depths via BFS from the roots (children were eliminated before
+        // their parents, so the forest is well-founded).
+        let mut depth = vec![0u32; n];
+        let mut height = 0u32;
+        let mut queue: std::collections::VecDeque<Vertex> = roots.iter().copied().collect();
+        let mut visited = vec![false; n];
+        for &r in &roots {
+            visited[r as usize] = true;
+        }
+        while let Some(v) = queue.pop_front() {
+            height = height.max(depth[v as usize] + 1);
+            for &c in &children[v as usize] {
+                if !visited[c as usize] {
+                    visited[c as usize] = true;
+                    depth[c as usize] = depth[v as usize] + 1;
+                    queue.push_back(c);
+                }
+            }
+        }
+
+        let max_bag_size = bag.iter().map(|b| b.len() + 1).max().unwrap_or(0);
+
+        TreeDecomposition {
+            elim_order,
+            bag,
+            parent,
+            children,
+            roots,
+            depth,
+            height,
+            max_bag_size,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.elim_order.len()
+    }
+
+    /// The ancestors of `v` from the root down to `v` itself.
+    pub fn root_path(&self, v: Vertex) -> Vec<Vertex> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur as usize] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::toy::{grid_graph, paper_figure1, path_graph};
+
+    #[test]
+    fn bags_reference_later_eliminated_vertices() {
+        let g = paper_figure1();
+        let td = TreeDecomposition::build(&g);
+        for v in 0..16u32 {
+            for &(u, _) in &td.bag[v as usize] {
+                assert!(
+                    td.elim_order[u as usize] > td.elim_order[v as usize],
+                    "bag member {u} of {v} was eliminated earlier"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parent_is_earliest_eliminated_bag_member_and_depths_consistent() {
+        let g = paper_figure1();
+        let td = TreeDecomposition::build(&g);
+        assert_eq!(td.roots.len(), 1);
+        for v in 0..16u32 {
+            if let Some(p) = td.parent[v as usize] {
+                assert_eq!(td.depth[v as usize], td.depth[p as usize] + 1);
+            } else {
+                assert_eq!(td.depth[v as usize], 0);
+            }
+        }
+        assert!(td.height >= 2);
+        assert!(td.max_bag_size >= 2);
+    }
+
+    #[test]
+    fn path_graph_has_tiny_bags() {
+        let g = path_graph(20, 1);
+        let td = TreeDecomposition::build(&g);
+        // A path has treewidth 1, so bags contain at most 2 vertices.
+        assert!(td.max_bag_size <= 2);
+    }
+
+    #[test]
+    fn grid_bags_scale_with_side_length() {
+        let g = grid_graph(6, 6);
+        let td = TreeDecomposition::build(&g);
+        // The treewidth of a 6x6 grid is 6, so the heuristic should produce
+        // bags of at least 7 but not absurdly more.
+        assert!(td.max_bag_size >= 6 && td.max_bag_size <= 20, "bag {}", td.max_bag_size);
+    }
+
+    #[test]
+    fn root_path_ends_at_vertex_and_starts_at_root() {
+        let g = paper_figure1();
+        let td = TreeDecomposition::build(&g);
+        for v in 0..16u32 {
+            let path = td.root_path(v);
+            assert_eq!(*path.last().unwrap(), v);
+            assert!(td.roots.contains(&path[0]));
+            for w in path.windows(2) {
+                assert_eq!(td.parent[w[1] as usize], Some(w[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_builds_forest() {
+        let mut b = hc2l_graph::GraphBuilder::new(8);
+        for (u, v, w) in path_graph(4, 1).edges() {
+            b.add_edge(u, v, w);
+            b.add_edge(u + 4, v + 4, w);
+        }
+        let td = TreeDecomposition::build(&b.build());
+        assert_eq!(td.roots.len(), 2);
+    }
+}

@@ -1,0 +1,375 @@
+//! The queryable HC2L index.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use hc2l_cut::BalancedTreeHierarchy;
+use hc2l_graph::{
+    contract_degree_one, DegreeOneContraction, Distance, Graph, InducedSubgraph, Vertex, INFINITY,
+};
+
+use crate::builder::build_hierarchy_and_labels;
+use crate::config::Hc2lConfig;
+use crate::label::LabelSet;
+use crate::stats::{ConstructionStats, IndexStats};
+
+/// Per-query instrumentation, used to report the paper's "average hub size"
+/// metric (Table 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Level of the lowest common ancestor used for the query (0 when the
+    /// query was answered purely from the contraction trees).
+    pub lca_level: u32,
+    /// Number of hub (cut-vertex) entries whose distance sums were evaluated.
+    pub hubs_scanned: usize,
+}
+
+/// Hierarchical Cut 2-Hop Labelling index over a road network.
+///
+/// Build it once with [`Hc2lIndex::build`], then answer any number of exact
+/// distance queries with [`Hc2lIndex::query`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hc2lIndex {
+    config: Hc2lConfig,
+    /// Hierarchy and labels are built over the *core* graph (after degree-one
+    /// contraction), using compact core vertex ids.
+    hierarchy: BalancedTreeHierarchy,
+    labels: LabelSet,
+    /// Mapping from original vertex id to compact core id (`None` for
+    /// contracted vertices).
+    core_id: Vec<Option<Vertex>>,
+    /// Degree-one contraction bookkeeping (`None` when disabled).
+    contraction: Option<DegreeOneContraction>,
+    construction: ConstructionStats,
+    num_vertices: usize,
+}
+
+impl Hc2lIndex {
+    /// Builds the index for a weighted undirected graph.
+    pub fn build(g: &Graph, config: Hc2lConfig) -> Self {
+        config.validate();
+        let start = Instant::now();
+        let n = g.num_vertices();
+
+        // Step 1: degree-one contraction (Section 4.2).
+        let (contraction, core_vertices) = if config.contract_degree_one {
+            let c = contract_degree_one(g);
+            let core: Vec<Vertex> = (0..n as Vertex).filter(|&v| !c.is_contracted(v)).collect();
+            (Some(c), core)
+        } else {
+            (None, (0..n as Vertex).collect())
+        };
+
+        // Step 2: compact the core and build hierarchy + labels over it.
+        let core_graph_source = contraction.as_ref().map(|c| &c.core).unwrap_or(g);
+        let core_sub = InducedSubgraph::new(core_graph_source, &core_vertices);
+        let mut core_id = vec![None; n];
+        for (compact, &orig) in core_sub.local_to_parent.iter().enumerate() {
+            core_id[orig as usize] = Some(compact as Vertex);
+        }
+        let (hierarchy, labels) = build_hierarchy_and_labels(&core_sub.graph, &config);
+
+        let construction = ConstructionStats {
+            seconds: start.elapsed().as_secs_f64(),
+            threads: config.threads,
+        };
+
+        Hc2lIndex {
+            config,
+            hierarchy,
+            labels,
+            core_id,
+            contraction,
+            construction,
+            num_vertices: n,
+        }
+    }
+
+    /// Number of vertices of the indexed graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> &Hc2lConfig {
+        &self.config
+    }
+
+    /// Construction timing information.
+    pub fn construction_stats(&self) -> ConstructionStats {
+        self.construction
+    }
+
+    /// The balanced tree hierarchy (over core vertex ids).
+    pub fn hierarchy(&self) -> &BalancedTreeHierarchy {
+        &self.hierarchy
+    }
+
+    /// The label set (over core vertex ids).
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// Exact shortest-path distance between two vertices; [`INFINITY`] when
+    /// they are disconnected.
+    #[inline]
+    pub fn query(&self, s: Vertex, t: Vertex) -> Distance {
+        self.query_with_stats(s, t).0
+    }
+
+    /// Like [`Hc2lIndex::query`], additionally reporting how many hub entries
+    /// were scanned.
+    pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
+        if s == t {
+            return (0, QueryStats::default());
+        }
+        match &self.contraction {
+            None => self.query_core_by_orig(s, t),
+            Some(c) => {
+                let (rs, ds) = c.root_of(s);
+                let (rt, dt) = c.root_of(t);
+                if rs == rt {
+                    // Both live in (or at the root of) the same pendant tree.
+                    let d = if c.is_contracted(s) && c.is_contracted(t) {
+                        c.same_tree_distance(s, t)
+                    } else {
+                        ds + dt
+                    };
+                    return (d, QueryStats::default());
+                }
+                let (core_d, stats) = self.query_core_by_orig(rs, rt);
+                if core_d >= INFINITY {
+                    (INFINITY, stats)
+                } else {
+                    (ds + core_d + dt, stats)
+                }
+            }
+        }
+    }
+
+    /// Query between two core vertices given by their *original* ids.
+    fn query_core_by_orig(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
+        let (Some(cs), Some(ct)) = (self.core_id[s as usize], self.core_id[t as usize]) else {
+            // Only possible if contraction is disabled mid-way; treat as
+            // disconnected to stay safe.
+            return (INFINITY, QueryStats::default());
+        };
+        if cs == ct {
+            return (0, QueryStats::default());
+        }
+        let level = self.hierarchy.lca_level(cs, ct) as usize;
+        let a = self.labels.label(cs).level_array(level);
+        let b = self.labels.label(ct).level_array(level);
+        let common = a.len().min(b.len());
+        let mut best = INFINITY;
+        for i in 0..common {
+            let d = a[i].saturating_add(b[i]);
+            if d < best {
+                best = d;
+            }
+        }
+        (
+            best.min(INFINITY),
+            QueryStats {
+                lca_level: level as u32,
+                hubs_scanned: common,
+            },
+        )
+    }
+
+    /// Index size and shape statistics (Tables 2, 3 and 5).
+    pub fn stats(&self) -> IndexStats {
+        let hierarchy = self.hierarchy.stats();
+        let label_bytes = self.labels.memory_bytes();
+        let lca_bytes = self.hierarchy.lca_storage_bytes();
+        let contraction_bytes = self
+            .contraction
+            .as_ref()
+            .map(|c| {
+                c.contracted
+                    .iter()
+                    .filter(|x| x.is_some())
+                    .count()
+                    * std::mem::size_of::<hc2l_graph::ContractedVertex>()
+            })
+            .unwrap_or(0);
+        let core_vertices = self.labels.num_vertices();
+        IndexStats {
+            num_vertices: self.num_vertices,
+            core_vertices,
+            contraction_ratio: self
+                .contraction
+                .as_ref()
+                .map(|c| c.contraction_ratio())
+                .unwrap_or(0.0),
+            label_bytes,
+            lca_bytes,
+            contraction_bytes,
+            total_bytes: label_bytes + lca_bytes + contraction_bytes,
+            avg_label_entries: self.labels.avg_entries(),
+            hierarchy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::toy::{grid_graph, paper_figure1, path_graph, star_graph};
+    use hc2l_graph::{dijkstra, GraphBuilder};
+
+    fn assert_all_pairs_exact(g: &Graph, index: &Hc2lIndex) {
+        for s in 0..g.num_vertices() as Vertex {
+            let dist = dijkstra(g, s);
+            for t in 0..g.num_vertices() as Vertex {
+                assert_eq!(
+                    index.query(s, t),
+                    dist[t as usize],
+                    "query ({s}, {t}) diverges from Dijkstra"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_all_pairs() {
+        let g = paper_figure1();
+        let index = Hc2lIndex::build(&g, Hc2lConfig::default());
+        assert_all_pairs_exact(&g, &index);
+    }
+
+    #[test]
+    fn paper_example_without_contraction_or_pruning() {
+        let g = paper_figure1();
+        for cfg in [
+            Hc2lConfig::default().without_contraction(),
+            Hc2lConfig::default().without_tail_pruning(),
+            Hc2lConfig::default().without_contraction().without_tail_pruning(),
+        ] {
+            let index = Hc2lIndex::build(&g, cfg);
+            assert_all_pairs_exact(&g, &index);
+        }
+    }
+
+    #[test]
+    fn grid_all_pairs() {
+        let g = grid_graph(7, 9);
+        let index = Hc2lIndex::build(&g, Hc2lConfig::default());
+        assert_all_pairs_exact(&g, &index);
+    }
+
+    #[test]
+    fn weighted_grid_with_varied_betas() {
+        let mut b = GraphBuilder::new(0);
+        let g0 = grid_graph(6, 6);
+        for (u, v, _) in g0.edges() {
+            b.add_edge(u, v, 1 + ((u as u32 * 7 + v as u32 * 13) % 9));
+        }
+        let g = b.build();
+        for beta in [0.15, 0.2, 0.3, 0.45] {
+            let index = Hc2lIndex::build(&g, Hc2lConfig::with_beta(beta));
+            assert_all_pairs_exact(&g, &index);
+        }
+    }
+
+    #[test]
+    fn pendant_trees_and_contraction() {
+        // A grid with trees hanging off it exercises the contraction paths.
+        let mut b = GraphBuilder::new(0);
+        let g0 = grid_graph(4, 4);
+        for (u, v, w) in g0.edges() {
+            b.add_edge(u, v, w);
+        }
+        // Pendant path off vertex 5 and a star off vertex 10.
+        b.add_edge(5, 16, 2);
+        b.add_edge(16, 17, 3);
+        b.add_edge(17, 18, 1);
+        b.add_edge(10, 19, 4);
+        b.add_edge(19, 20, 1);
+        b.add_edge(19, 21, 2);
+        let g = b.build();
+        let index = Hc2lIndex::build(&g, Hc2lConfig::default());
+        assert!(index.stats().contraction_ratio > 0.0);
+        assert_all_pairs_exact(&g, &index);
+    }
+
+    #[test]
+    fn pure_tree_graphs() {
+        for g in [path_graph(12, 3), star_graph(9, 2)] {
+            let index = Hc2lIndex::build(&g, Hc2lConfig::default());
+            assert_all_pairs_exact(&g, &index);
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_returns_infinity_across_components() {
+        let mut b = GraphBuilder::new(12);
+        let g0 = grid_graph(2, 3);
+        for (u, v, w) in g0.edges() {
+            b.add_edge(u, v, w);
+            b.add_edge(u + 6, v + 6, w);
+        }
+        let g = b.build();
+        let index = Hc2lIndex::build(&g, Hc2lConfig::default());
+        assert_all_pairs_exact(&g, &index);
+        assert_eq!(index.query(0, 7), INFINITY);
+    }
+
+    #[test]
+    fn parallel_build_answers_identically() {
+        let g = grid_graph(9, 9);
+        let seq = Hc2lIndex::build(&g, Hc2lConfig::default());
+        let par = Hc2lIndex::build(
+            &g,
+            Hc2lConfig {
+                threads: 4,
+                parallel_grain: 16,
+                ..Default::default()
+            },
+        );
+        for s in (0..81u32).step_by(5) {
+            for t in (0..81u32).step_by(7) {
+                assert_eq!(seq.query(s, t), par.query(s, t));
+            }
+        }
+        assert_eq!(seq.stats().label_bytes, par.stats().label_bytes);
+    }
+
+    #[test]
+    fn query_stats_report_small_hub_counts() {
+        let g = grid_graph(10, 10);
+        let index = Hc2lIndex::build(&g, Hc2lConfig::default());
+        let (_, stats) = index.query_with_stats(0, 99);
+        assert!(stats.hubs_scanned > 0);
+        // The scanned hubs are bounded by the largest cut in the hierarchy.
+        assert!(stats.hubs_scanned <= index.stats().hierarchy.max_cut_size);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = paper_figure1();
+        let index = Hc2lIndex::build(&g, Hc2lConfig::default());
+        let s = index.stats();
+        assert_eq!(s.num_vertices, 16);
+        assert_eq!(s.core_vertices, 16);
+        assert_eq!(s.total_bytes, s.label_bytes + s.lca_bytes + s.contraction_bytes);
+        assert!(s.avg_label_entries > 0.0);
+        assert!(s.hierarchy.height >= 1);
+        assert!(index.construction_stats().seconds >= 0.0);
+    }
+
+    #[test]
+    fn self_queries_are_zero_for_every_vertex_kind() {
+        let mut b = GraphBuilder::new(0);
+        for (u, v, w) in grid_graph(3, 3).edges() {
+            b.add_edge(u, v, w);
+        }
+        b.add_edge(4, 9, 5); // pendant vertex
+        let g = b.build();
+        let index = Hc2lIndex::build(&g, Hc2lConfig::default());
+        for v in 0..10u32 {
+            assert_eq!(index.query(v, v), 0);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Label storage.
+//!
+//! Following Section 4.2's data-structure discussion, a vertex's label is a
+//! *list of distance arrays*, one per ancestor cut in the balanced tree
+//! hierarchy, ordered from the root (level 0) to the vertex's own node. Only
+//! distance values are stored — the hub identities are implicit in the cut
+//! ordering — which halves the memory footprint compared to `(hub, distance)`
+//! pair layouts.
+//!
+//! Internally each vertex's arrays are flattened into one contiguous buffer
+//! with per-level offsets, so a query touches exactly one contiguous slice.
+
+use serde::{Deserialize, Serialize};
+
+use hc2l_graph::{Distance, Vertex};
+
+/// The label of a single vertex: its per-level distance arrays, flattened.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VertexLabel {
+    /// Concatenated distance arrays, level 0 first.
+    dists: Vec<Distance>,
+    /// `offsets[k]..offsets[k+1]` is the slice of level `k`'s array;
+    /// `offsets.len()` is the number of levels plus one.
+    offsets: Vec<u32>,
+}
+
+impl VertexLabel {
+    /// Creates an empty label (no levels).
+    pub fn new() -> Self {
+        VertexLabel {
+            dists: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Appends the distance array for the next level.
+    pub fn push_level(&mut self, array: &[Distance]) {
+        self.dists.extend_from_slice(array);
+        self.offsets.push(self.dists.len() as u32);
+    }
+
+    /// Number of levels stored (the vertex's node level plus one, once the
+    /// label is complete).
+    pub fn num_levels(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The distance array at `level`, or an empty slice when the level is out
+    /// of range.
+    #[inline]
+    pub fn level_array(&self, level: usize) -> &[Distance] {
+        if level + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.dists[self.offsets[level] as usize..self.offsets[level + 1] as usize]
+    }
+
+    /// Total number of distance entries across all levels.
+    pub fn num_entries(&self) -> usize {
+        self.dists.len()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.dists.len() * std::mem::size_of::<Distance>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// The labels of every vertex of the graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabelSet {
+    labels: Vec<VertexLabel>,
+}
+
+impl LabelSet {
+    /// Creates `n` empty labels.
+    pub fn new(n: usize) -> Self {
+        LabelSet {
+            labels: vec![VertexLabel::new(); n],
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Label of vertex `v`.
+    #[inline]
+    pub fn label(&self, v: Vertex) -> &VertexLabel {
+        &self.labels[v as usize]
+    }
+
+    /// Mutable label of vertex `v`.
+    pub fn label_mut(&mut self, v: Vertex) -> &mut VertexLabel {
+        &mut self.labels[v as usize]
+    }
+
+    /// Total number of distance entries across all labels.
+    pub fn total_entries(&self) -> usize {
+        self.labels.iter().map(|l| l.num_entries()).sum()
+    }
+
+    /// Mean number of entries per vertex label.
+    pub fn avg_entries(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.total_entries() as f64 / self.labels.len() as f64
+        }
+    }
+
+    /// Total memory footprint of the labelling in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.labels.iter().map(|l| l.memory_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_label_has_no_levels() {
+        let l = VertexLabel::new();
+        assert_eq!(l.num_levels(), 0);
+        assert_eq!(l.num_entries(), 0);
+        assert!(l.level_array(0).is_empty());
+    }
+
+    #[test]
+    fn push_level_round_trips() {
+        let mut l = VertexLabel::new();
+        l.push_level(&[1, 2, 3]);
+        l.push_level(&[]);
+        l.push_level(&[9]);
+        assert_eq!(l.num_levels(), 3);
+        assert_eq!(l.level_array(0), &[1, 2, 3]);
+        assert_eq!(l.level_array(1), &[] as &[Distance]);
+        assert_eq!(l.level_array(2), &[9]);
+        assert!(l.level_array(3).is_empty());
+        assert_eq!(l.num_entries(), 4);
+    }
+
+    #[test]
+    fn label_set_accounting() {
+        let mut set = LabelSet::new(3);
+        set.label_mut(0).push_level(&[5, 6]);
+        set.label_mut(1).push_level(&[7]);
+        assert_eq!(set.total_entries(), 3);
+        assert!((set.avg_entries() - 1.0).abs() < 1e-12);
+        assert!(set.memory_bytes() >= 3 * 8);
+        assert_eq!(set.label(2).num_levels(), 0);
+    }
+}

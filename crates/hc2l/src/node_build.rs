@@ -1,0 +1,234 @@
+//! Per-node labelling (Algorithm 5 — labelling with tail pruning).
+//!
+//! Given the subgraph handled by one hierarchy node and the vertex cut chosen
+//! for it, this module:
+//!
+//! 1. ranks the cut vertices by how often their shortest paths are "covered"
+//!    by other cut vertices (Equation 6 / the `P#` counts of Algorithm 5),
+//! 2. runs one pruneability-tracking Dijkstra per cut vertex, restricted to
+//!    the lower-ranked cut vertices (Algorithm 4), and
+//! 3. emits, for every vertex of the subgraph, the tail-pruned distance array
+//!    for this cut.
+//!
+//! The unpruned distance arrays are also returned because Algorithm 3 (adding
+//! shortcuts to the child partitions) reuses them — "distances to cut
+//! vertices already known".
+
+use hc2l_graph::{Distance, Graph, Vertex};
+
+use crate::parallel::parallel_map;
+use crate::prune::{dist_and_prune, DistPrune};
+
+/// Output of processing one hierarchy node.
+#[derive(Debug, Clone)]
+pub struct NodeLabelling {
+    /// The cut in rank order (ascending `P#`): position `i` in every distance
+    /// array refers to `ordered_cut[i]`. Local (subgraph) vertex ids.
+    pub ordered_cut: Vec<Vertex>,
+    /// For each subgraph vertex `v` (local id), the tail-pruned distance
+    /// array for this cut.
+    pub arrays: Vec<Vec<Distance>>,
+    /// Full (unpruned) distances from each ranked cut vertex to every
+    /// subgraph vertex; `cut_distances[i][v]` is the distance from
+    /// `ordered_cut[i]` to local vertex `v`. Used for shortcut insertion.
+    pub cut_distances: Vec<Vec<Distance>>,
+}
+
+/// Runs Algorithm 5 for one node.
+///
+/// * `g` — the node's (shortcut-enhanced) subgraph, local vertex ids;
+/// * `cut` — the vertex cut chosen for this node (local ids, any order);
+/// * `tail_pruning` — when `false`, arrays keep all cut entries (ablation);
+/// * `threads` — number of worker threads for the per-cut-vertex searches.
+pub fn label_node(g: &Graph, cut: &[Vertex], tail_pruning: bool, threads: usize) -> NodeLabelling {
+    let n = g.num_vertices();
+    if cut.is_empty() {
+        return NodeLabelling {
+            ordered_cut: Vec::new(),
+            arrays: vec![Vec::new(); n],
+            cut_distances: Vec::new(),
+        };
+    }
+
+    // Step 1: rank cut vertices by P# — the number of subgraph vertices whose
+    // shortest path from the cut vertex passes through another cut vertex.
+    let mut in_cut = vec![false; n];
+    for &c in cut {
+        in_cut[c as usize] = true;
+    }
+    let rank_results: Vec<(Vertex, usize)> = parallel_map(
+        cut.to_vec(),
+        |&c| {
+            let dp = dist_and_prune(g, c, &in_cut);
+            let covered = dp.iter().filter(|r| r.pruned).count();
+            (c, covered)
+        },
+        threads,
+    );
+    let mut ordered: Vec<(usize, Vertex)> = rank_results.iter().map(|&(c, p)| (p, c)).collect();
+    ordered.sort_unstable();
+    let ordered_cut: Vec<Vertex> = ordered.iter().map(|&(_, c)| c).collect();
+
+    // Step 2: pruneability-tracking Dijkstra from each ranked cut vertex,
+    // restricted to lower-ranked cut vertices.
+    let k = ordered_cut.len();
+    let searches: Vec<Vec<DistPrune>> = parallel_map(
+        (0..k).collect::<Vec<_>>(),
+        |&i| {
+            let mut lower = vec![false; n];
+            for &c in &ordered_cut[..i] {
+                lower[c as usize] = true;
+            }
+            dist_and_prune(g, ordered_cut[i], &lower)
+        },
+        threads,
+    );
+
+    // Step 3: tail-pruned arrays per vertex.
+    let mut arrays = vec![Vec::new(); n];
+    for v in 0..n {
+        let keep = if tail_pruning {
+            // Highest index whose entry is not pruneable; indices beyond it
+            // form the pruned tail (Definition 4.18's condition 2 makes the
+            // pruned set a suffix by construction).
+            let mut last_keep = 0usize;
+            for (i, search) in searches.iter().enumerate() {
+                if !search[v].pruned {
+                    last_keep = i;
+                }
+            }
+            last_keep + 1
+        } else {
+            k
+        };
+        let mut arr = Vec::with_capacity(keep);
+        for search in searches.iter().take(keep) {
+            arr.push(search[v].dist);
+        }
+        arrays[v] = arr;
+    }
+
+    let cut_distances: Vec<Vec<Distance>> = searches
+        .into_iter()
+        .map(|s| s.into_iter().map(|r| r.dist).collect())
+        .collect();
+
+    NodeLabelling {
+        ordered_cut,
+        arrays,
+        cut_distances,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::toy::paper_figure1;
+    use hc2l_graph::{dijkstra, GraphBuilder};
+
+    #[test]
+    fn paper_cut_is_ranked_12_5_16() {
+        let g = paper_figure1();
+        // Cut {5, 12, 16} in paper ids -> {4, 11, 15} 0-based.
+        let labelling = label_node(&g, &[4, 11, 15], true, 1);
+        // Example 4.19: ranking r(12) < r(5) < r(16).
+        assert_eq!(labelling.ordered_cut, vec![11, 4, 15]);
+    }
+
+    #[test]
+    fn paper_tail_pruned_arrays_match_example_4_19() {
+        let g = paper_figure1();
+        let labelling = label_node(&g, &[4, 11, 15], true, 1);
+        // L(1) = [1, 2, 3] tail-pruned to [1, 2].
+        assert_eq!(labelling.arrays[0], vec![1, 2]);
+        // L(2) = [4, 2, 1], no pruning possible.
+        assert_eq!(labelling.arrays[1], vec![4, 2, 1]);
+    }
+
+    #[test]
+    fn paper_query_arrays_for_14_and_15() {
+        let g = paper_figure1();
+        let labelling = label_node(&g, &[4, 11, 15], true, 1);
+        // Example 4.20: distances from 14 are [2, 2, 3] with the last value
+        // pruned; from 15 they are [3, 1, 1].
+        assert_eq!(labelling.arrays[13], vec![2, 2]);
+        assert_eq!(labelling.arrays[14], vec![3, 1, 1]);
+        // The truncated scan yields min(2+3, 2+1) = 3.
+        let a = &labelling.arrays[13];
+        let b = &labelling.arrays[14];
+        let d = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| x + y)
+            .min()
+            .unwrap();
+        assert_eq!(d, 3);
+    }
+
+    #[test]
+    fn disabling_tail_pruning_keeps_full_arrays() {
+        let g = paper_figure1();
+        let labelling = label_node(&g, &[4, 11, 15], false, 1);
+        for arr in &labelling.arrays {
+            assert_eq!(arr.len(), 3);
+        }
+    }
+
+    #[test]
+    fn arrays_contain_exact_distances_in_rank_order() {
+        let g = paper_figure1();
+        let labelling = label_node(&g, &[4, 11, 15], false, 1);
+        for (i, &c) in labelling.ordered_cut.iter().enumerate() {
+            let d = dijkstra(&g, c);
+            for v in 0..16usize {
+                assert_eq!(labelling.arrays[v][i], d[v]);
+                assert_eq!(labelling.cut_distances[i][v], d[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn tail_pruning_never_loses_coverage() {
+        // For every pair of vertices, scanning the common prefix of their
+        // tail-pruned arrays must still find the true distance *via the cut*
+        // (the 2-hop property restricted to pairs separated by the cut).
+        let g = paper_figure1();
+        let labelling = label_node(&g, &[4, 11, 15], true, 1);
+        let full = label_node(&g, &[4, 11, 15], false, 1);
+        for s in 0..16usize {
+            for t in 0..16usize {
+                let exact_via_cut = full.arrays[s]
+                    .iter()
+                    .zip(full.arrays[t].iter())
+                    .map(|(a, b)| a + b)
+                    .min()
+                    .unwrap();
+                let common = labelling.arrays[s].len().min(labelling.arrays[t].len());
+                let pruned_via_cut = labelling.arrays[s][..common]
+                    .iter()
+                    .zip(labelling.arrays[t][..common].iter())
+                    .map(|(a, b)| a + b)
+                    .min()
+                    .unwrap();
+                assert_eq!(pruned_via_cut, exact_via_cut, "pair ({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cut_yields_empty_arrays() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1, 1), (1, 2, 1)]);
+        let labelling = label_node(&g, &[], true, 1);
+        assert!(labelling.ordered_cut.is_empty());
+        assert!(labelling.arrays.iter().all(|a| a.is_empty()));
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let g = paper_figure1();
+        let seq = label_node(&g, &[4, 11, 15], true, 1);
+        let par = label_node(&g, &[4, 11, 15], true, 4);
+        assert_eq!(seq.ordered_cut, par.ordered_cut);
+        assert_eq!(seq.arrays, par.arrays);
+    }
+}

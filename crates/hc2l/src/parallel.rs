@@ -1,0 +1,105 @@
+//! Small fork-join helpers used by the parallel construction (HC2Lp).
+//!
+//! The paper parallelises two things (Section 4.4): the per-cut-vertex
+//! Dijkstra searches within a node, and the processing of the two partitions
+//! created by each bisection. Both are expressed here with scoped threads so
+//! no unsafe code or external thread-pool dependency is needed; workloads per
+//! task are large (a full Dijkstra over a subgraph), so the spawn overhead is
+//! negligible.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item, using up to `threads` worker threads, and
+/// returns the results in input order. With `threads <= 1` (or a single
+/// item) this degenerates to a plain sequential map.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F, threads: usize) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(|item| f(item)).collect();
+    }
+    let workers = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker must have filled the slot"))
+        .collect()
+}
+
+/// Runs two closures, possibly in parallel, and returns both results.
+/// `parallel == false` runs them sequentially on the current thread.
+pub fn join<RA, RB>(
+    parallel: bool,
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    if !parallel {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        let rb = handle.join().expect("joined task panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq = parallel_map(items.clone(), |&x| x * x, 1);
+        let par = parallel_map(items, |&x| x * x, 8);
+        assert_eq!(seq, par);
+        assert_eq!(seq[10], 100);
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(empty, |&x| x, 4).is_empty());
+        assert_eq!(parallel_map(vec![7u32], |&x| x + 1, 4), vec![8]);
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let (a, b) = join(true, || 1 + 1, || "two".len());
+        assert_eq!(a, 2);
+        assert_eq!(b, 3);
+        let (a, b) = join(false, || 5, || 6);
+        assert_eq!((a, b), (5, 6));
+    }
+
+    #[test]
+    fn join_can_borrow_shared_data() {
+        let data = vec![1, 2, 3, 4];
+        let (s1, s2) = join(true, || data.iter().sum::<i32>(), || data.len());
+        assert_eq!(s1, 10);
+        assert_eq!(s2, 4);
+    }
+}

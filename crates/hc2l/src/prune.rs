@@ -1,0 +1,188 @@
+//! Algorithm 4 — Dijkstra with pruneability tracking (`DistAndPrune`).
+//!
+//! A modified Dijkstra from a cut vertex `root` that, for every vertex `v`,
+//! records whether **some** shortest path from `root` to `v` passes through a
+//! vertex of the given set `P` (the cut vertices ranked lower than `root`).
+//! The flag drives both the cut-vertex ranking (how often a vertex is
+//! "covered" by its peers) and the tail-pruning decision of Definition 4.18.
+//!
+//! Ties are resolved in favour of the pruned flag — the queue is ordered by
+//! `(distance, !pruned)` so a `pruned = true` entry at equal distance is
+//! settled first — because the definition only requires existence of such a
+//! path.
+
+use hc2l_graph::{Distance, Graph, Vertex, INFINITY};
+
+/// Per-vertex result of [`dist_and_prune`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistPrune {
+    /// Shortest-path distance from the root.
+    pub dist: Distance,
+    /// `true` when some shortest path from the root passes through a vertex
+    /// of `P`.
+    pub pruned: bool,
+}
+
+impl DistPrune {
+    const UNREACHED: DistPrune = DistPrune {
+        dist: INFINITY,
+        pruned: false,
+    };
+}
+
+/// Runs Algorithm 4 over the whole graph from `root`, where `in_p[v]` marks
+/// membership in the set `P`. The root itself is never treated as a member of
+/// `P` (its distance is zero along the empty path).
+pub fn dist_and_prune(g: &Graph, root: Vertex, in_p: &[bool]) -> Vec<DistPrune> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let n = g.num_vertices();
+    let mut result = vec![DistPrune::UNREACHED; n];
+    let mut settled = vec![false; n];
+    // Heap key: (distance, not-pruned) so that pruned entries win ties.
+    let mut heap: BinaryHeap<Reverse<(Distance, bool, Vertex)>> = BinaryHeap::new();
+    heap.push(Reverse((0, true, root)));
+    result[root as usize] = DistPrune {
+        dist: 0,
+        pruned: false,
+    };
+
+    while let Some(Reverse((d, not_pruned, v))) = heap.pop() {
+        let pruned = !not_pruned;
+        if settled[v as usize] {
+            continue;
+        }
+        if d > result[v as usize].dist {
+            continue;
+        }
+        // First settled entry for `v` has the smallest (distance, !pruned)
+        // key, i.e. the smallest distance and, among those, pruned preferred.
+        settled[v as usize] = true;
+        result[v as usize] = DistPrune { dist: d, pruned };
+        for e in g.neighbors(v) {
+            let nd = d + e.weight as Distance;
+            if settled[e.to as usize] {
+                continue;
+            }
+            // Propagate the flag: passing through a member of P (or through a
+            // vertex whose own flag is set) makes the continuation pruned.
+            // The root itself never counts as a member of P.
+            let np = pruned || (in_p[v as usize] && v != root);
+            let cur = &mut result[e.to as usize];
+            let better = nd < cur.dist || (nd == cur.dist && np && !cur.pruned);
+            if better {
+                *cur = DistPrune {
+                    dist: nd,
+                    pruned: np,
+                };
+                heap.push(Reverse((nd, !np, e.to)));
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::toy::{paper_figure1, path_graph};
+    use hc2l_graph::{dijkstra, GraphBuilder};
+
+    fn marks(n: usize, members: &[Vertex]) -> Vec<bool> {
+        let mut m = vec![false; n];
+        for &v in members {
+            m[v as usize] = true;
+        }
+        m
+    }
+
+    #[test]
+    fn distances_match_plain_dijkstra() {
+        let g = paper_figure1();
+        let in_p = marks(16, &[4, 11]); // arbitrary P
+        for root in 0..16u32 {
+            let dp = dist_and_prune(&g, root, &in_p);
+            let d = dijkstra(&g, root);
+            for v in 0..16usize {
+                assert_eq!(dp[v].dist, d[v], "distance mismatch from {root} to {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn flag_set_beyond_p_members_on_a_path() {
+        // Path 0-1-2-3-4 with P = {2}: vertices 3 and 4 are reached through 2.
+        let g = path_graph(5, 1);
+        let dp = dist_and_prune(&g, 0, &marks(5, &[2]));
+        assert!(!dp[0].pruned);
+        assert!(!dp[1].pruned);
+        // Vertex 2 itself is not flagged: the flag means "passes through a
+        // member strictly before the endpoint".
+        assert!(!dp[2].pruned);
+        assert!(dp[3].pruned);
+        assert!(dp[4].pruned);
+    }
+
+    #[test]
+    fn flag_requires_shortest_path_through_p() {
+        // Diamond: 0-1-3 (weights 1,1) and 0-2-3 (weights 5,5); P = {2}.
+        // The only shortest path to 3 avoids 2, so 3 must not be flagged.
+        let g = GraphBuilder::from_edges(4, &[(0, 1, 1), (1, 3, 1), (0, 2, 5), (2, 3, 5)]);
+        let dp = dist_and_prune(&g, 0, &marks(4, &[2]));
+        assert!(!dp[3].pruned);
+        assert_eq!(dp[3].dist, 2);
+    }
+
+    #[test]
+    fn tie_breaks_prefer_pruned_paths() {
+        // Two equal-length paths from 0 to 3: through 1 (in P) and through 2
+        // (not in P). Existence of the P-path must set the flag.
+        let g = GraphBuilder::from_edges(4, &[(0, 1, 1), (1, 3, 1), (0, 2, 1), (2, 3, 1)]);
+        let dp = dist_and_prune(&g, 0, &marks(4, &[1]));
+        assert_eq!(dp[3].dist, 2);
+        assert!(dp[3].pruned, "equal-length path through P must set the flag");
+    }
+
+    #[test]
+    fn paper_example_tail_pruning_premises() {
+        // Example 4.19: cut {5, 12, 16} ranked r(12) < r(5) < r(16).
+        // From 16 with P = {12, 5}: vertex 1 must be flagged (its shortest
+        // path to 16 goes through 5), which is why (16, ·) is tail-pruned
+        // from L(1).
+        let g = paper_figure1();
+        let dp16 = dist_and_prune(&g, 15, &marks(16, &[11, 4]));
+        assert_eq!(dp16[0].dist, 3);
+        assert!(dp16[0].pruned);
+        // From 5 with P = {12}: vertex 2's shortest path to 5 (5-16-2) does
+        // not pass through 12, so no flag — and indeed L(2) keeps all three
+        // entries in the paper.
+        let dp5 = dist_and_prune(&g, 4, &marks(16, &[11]));
+        assert_eq!(dp5[1].dist, 2);
+        assert!(!dp5[1].pruned);
+        // From 16 with P = {12, 5}: vertex 2 reaches 16 directly, no flag.
+        assert_eq!(dp16[1].dist, 1);
+        assert!(!dp16[1].pruned);
+    }
+
+    #[test]
+    fn unreachable_vertices_are_unflagged_infinity() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1, 1), (2, 3, 1)]);
+        let dp = dist_and_prune(&g, 0, &marks(4, &[1]));
+        assert_eq!(dp[2].dist, INFINITY);
+        assert!(!dp[2].pruned);
+    }
+
+    #[test]
+    fn root_in_p_is_ignored() {
+        // Even if the caller marks the root, paths out of the root are not
+        // automatically flagged (P is defined as the *other* cut vertices).
+        let g = path_graph(3, 1);
+        let dp = dist_and_prune(&g, 0, &marks(3, &[0]));
+        assert!(!dp[1].pruned);
+        assert!(!dp[2].pruned);
+        // Marking an interior vertex does flag everything beyond it.
+        let dp2 = dist_and_prune(&g, 0, &marks(3, &[1]));
+        assert!(dp2[2].pruned);
+    }
+}

@@ -1,0 +1,81 @@
+//! Index statistics reported by the paper's evaluation tables.
+
+use serde::{Deserialize, Serialize};
+
+use hc2l_cut::HierarchyStats;
+
+/// Size- and shape-related statistics of a built index (Tables 2, 3 and 5).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IndexStats {
+    /// Number of vertices of the original graph.
+    pub num_vertices: usize,
+    /// Number of vertices remaining after degree-one contraction (the
+    /// vertices that actually carry labels).
+    pub core_vertices: usize,
+    /// Fraction of vertices removed by the contraction.
+    pub contraction_ratio: f64,
+    /// Bytes of distance-label storage (Table 2's "Labelling Size").
+    pub label_bytes: usize,
+    /// Bytes of the per-vertex LCA bookkeeping (Table 3's "LCA Storage").
+    pub lca_bytes: usize,
+    /// Bytes of contraction bookkeeping (root / distance / parent per
+    /// contracted vertex).
+    pub contraction_bytes: usize,
+    /// Total index footprint.
+    pub total_bytes: usize,
+    /// Average number of label entries per (core) vertex.
+    pub avg_label_entries: f64,
+    /// Hierarchy shape statistics (Table 5).
+    pub hierarchy: HierarchyStats,
+}
+
+impl IndexStats {
+    /// Label size in mebibytes.
+    pub fn label_mib(&self) -> f64 {
+        self.label_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Total size in mebibytes.
+    pub fn total_mib(&self) -> f64 {
+        self.total_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Wall-clock construction statistics (Table 2's "Construction Time").
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ConstructionStats {
+    /// Total wall-clock seconds spent building the index.
+    pub seconds: f64,
+    /// Number of threads used (1 = the paper's HC2L, >1 = HC2Lp).
+    pub threads: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        let stats = IndexStats {
+            num_vertices: 10,
+            core_vertices: 8,
+            contraction_ratio: 0.2,
+            label_bytes: 2 * 1024 * 1024,
+            lca_bytes: 80,
+            contraction_bytes: 0,
+            total_bytes: 2 * 1024 * 1024 + 80,
+            avg_label_entries: 3.5,
+            hierarchy: HierarchyStats {
+                num_nodes: 3,
+                internal_nodes: 1,
+                leaves: 2,
+                height: 1,
+                max_cut_size: 2,
+                avg_cut_size: 1.5,
+                lca_storage_bytes: 80,
+            },
+        };
+        assert!((stats.label_mib() - 2.0).abs() < 1e-9);
+        assert!(stats.total_mib() > 2.0);
+    }
+}

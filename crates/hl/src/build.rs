@@ -1,0 +1,250 @@
+//! Pruned construction of the hub labelling.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use hc2l_ch::ContractionHierarchy;
+use hc2l_graph::{Distance, Graph, Vertex, INFINITY};
+
+/// One label entry: the hub is identified by its *order index* (0 = most
+/// important vertex), so label vectors sorted by hub id are automatically in
+/// descending importance and can be merged linearly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HubEntry {
+    /// Position of the hub in the importance order (0 = most important).
+    pub hub: u32,
+    /// Distance from the labelled vertex to the hub.
+    pub dist: Distance,
+}
+
+/// Size statistics of a hub labelling.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HubLabelStats {
+    /// Total number of `(hub, distance)` entries.
+    pub total_entries: usize,
+    /// Mean entries per vertex (the paper's "average hub size" for HL).
+    pub avg_label_size: f64,
+    /// Bytes used by the labelling.
+    pub memory_bytes: usize,
+}
+
+/// A hub-labelling index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HubLabelIndex {
+    /// Per-vertex labels, each sorted by hub order index.
+    labels: Vec<Vec<HubEntry>>,
+    /// `order_of[v]` — importance position of vertex `v` (0 = most important).
+    order_of: Vec<u32>,
+    /// Wall-clock seconds spent building (ordering + labelling).
+    pub construction_seconds: f64,
+}
+
+impl HubLabelIndex {
+    /// Builds the hub labelling for a graph. The vertex order is derived from
+    /// a contraction hierarchy; label construction is a pruned Dijkstra from
+    /// each vertex in importance order (pruned landmark labelling).
+    pub fn build(g: &Graph) -> Self {
+        let start = std::time::Instant::now();
+        let ch = ContractionHierarchy::build(g);
+        let index = Self::build_with_order(g, &ch.ordering.most_important_first());
+        HubLabelIndex {
+            construction_seconds: start.elapsed().as_secs_f64(),
+            ..index
+        }
+    }
+
+    /// Builds the labelling with an explicit vertex order (most important
+    /// first). Exposed for tests and for experimenting with other orders.
+    pub fn build_with_order(g: &Graph, order: &[Vertex]) -> Self {
+        let n = g.num_vertices();
+        assert_eq!(order.len(), n, "order must cover every vertex exactly once");
+        let start = std::time::Instant::now();
+        let mut order_of = vec![u32::MAX; n];
+        for (i, &v) in order.iter().enumerate() {
+            assert_eq!(order_of[v as usize], u32::MAX, "duplicate vertex {v} in order");
+            order_of[v as usize] = i as u32;
+        }
+
+        let mut labels: Vec<Vec<HubEntry>> = vec![Vec::new(); n];
+        // Scratch buffers reused across the pruned Dijkstra runs.
+        let mut dist = vec![INFINITY; n];
+        let mut touched: Vec<Vertex> = Vec::new();
+
+        for (hub_idx, &hub) in order.iter().enumerate() {
+            let hub_idx = hub_idx as u32;
+            let mut heap: BinaryHeap<Reverse<(Distance, Vertex)>> = BinaryHeap::new();
+            dist[hub as usize] = 0;
+            touched.push(hub);
+            heap.push(Reverse((0, hub)));
+            while let Some(Reverse((d, v))) = heap.pop() {
+                if d > dist[v as usize] {
+                    continue;
+                }
+                // Prune: if the existing labels already certify a distance no
+                // larger than d between hub and v, v (and everything behind
+                // it) is covered by more important hubs.
+                if query_labels(&labels[hub as usize], &labels[v as usize]) <= d {
+                    continue;
+                }
+                labels[v as usize].push(HubEntry { hub: hub_idx, dist: d });
+                for e in g.neighbors(v) {
+                    let nd = d + e.weight as Distance;
+                    if nd < dist[e.to as usize] {
+                        dist[e.to as usize] = nd;
+                        touched.push(e.to);
+                        heap.push(Reverse((nd, e.to)));
+                    }
+                }
+            }
+            for &v in &touched {
+                dist[v as usize] = INFINITY;
+            }
+            touched.clear();
+        }
+
+        // Labels were filled in increasing hub index, so they are sorted.
+        HubLabelIndex {
+            labels,
+            order_of,
+            construction_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The label of a vertex.
+    pub fn label(&self, v: Vertex) -> &[HubEntry] {
+        &self.labels[v as usize]
+    }
+
+    /// Importance position of a vertex (0 = most important).
+    pub fn order_of(&self, v: Vertex) -> u32 {
+        self.order_of[v as usize]
+    }
+
+    /// Size statistics.
+    pub fn stats(&self) -> HubLabelStats {
+        let total: usize = self.labels.iter().map(|l| l.len()).sum();
+        HubLabelStats {
+            total_entries: total,
+            avg_label_size: if self.labels.is_empty() {
+                0.0
+            } else {
+                total as f64 / self.labels.len() as f64
+            },
+            memory_bytes: total * std::mem::size_of::<HubEntry>()
+                + self.labels.len() * std::mem::size_of::<Vec<HubEntry>>(),
+        }
+    }
+}
+
+/// Merge-join of two sorted labels (Equation 1 of the paper).
+pub(crate) fn query_labels(a: &[HubEntry], b: &[HubEntry]) -> Distance {
+    let mut best = INFINITY;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].hub.cmp(&b[j].hub) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let d = a[i].dist + b[j].dist;
+                if d < best {
+                    best = d;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::toy::paper_figure1;
+
+    #[test]
+    fn labels_are_sorted_by_hub_rank() {
+        let g = paper_figure1();
+        let index = HubLabelIndex::build(&g);
+        for v in 0..16u32 {
+            let label = index.label(v);
+            assert!(!label.is_empty());
+            for w in label.windows(2) {
+                assert!(w[0].hub < w[1].hub);
+            }
+            // Every vertex's label ends with itself at distance zero.
+            let own = label.iter().find(|e| e.hub == index.order_of(v));
+            assert_eq!(own.map(|e| e.dist), Some(0));
+        }
+    }
+
+    #[test]
+    fn canonical_order_matches_paper_label_sizes_up_to_pruning() {
+        // With the exact total order of Example 3.1
+        // (14 > 13 > 7 > 9 > 4 > 5 > 12 > 15 > 10 > 16 > 11 > 1 > 2 > 8 > 3 > 6),
+        // the canonical hub labelling of Figure 1(b) has the sizes below. The
+        // pruned landmark construction never stores *more* than the canonical
+        // labelling (it may drop an entry when several shortest paths exist),
+        // so its label sizes are bounded by the paper's.
+        let g = paper_figure1();
+        let order: Vec<Vertex> = [14u32, 13, 7, 9, 4, 5, 12, 15, 10, 16, 11, 1, 2, 8, 3, 6]
+            .iter()
+            .map(|v| v - 1)
+            .collect();
+        let index = HubLabelIndex::build_with_order(&g, &order);
+        let canonical_sizes: [(u32, usize); 16] = [
+            (14, 1),
+            (13, 2),
+            (7, 3),
+            (9, 4),
+            (4, 3),
+            (5, 5),
+            (12, 5),
+            (15, 6),
+            (10, 6),
+            (16, 7),
+            (11, 6),
+            (1, 7),
+            (2, 7),
+            (8, 5),
+            (3, 7),
+            (6, 6),
+        ];
+        for (paper_id, size) in canonical_sizes {
+            let got = index.label(paper_id - 1).len();
+            assert!(
+                got <= size && got >= 1,
+                "label of paper vertex {paper_id}: got {got}, canonical {size}"
+            );
+        }
+        // The most important vertex has a trivial label; the bottom ones do not.
+        assert_eq!(index.label(13).len(), 1);
+        assert!(index.stats().total_entries >= 40);
+    }
+
+    #[test]
+    fn duplicate_order_is_rejected() {
+        let g = paper_figure1();
+        let mut order: Vec<Vertex> = (0..16).collect();
+        order[3] = 0;
+        let result = std::panic::catch_unwind(|| HubLabelIndex::build_with_order(&g, &order));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn stats_count_entries() {
+        let g = paper_figure1();
+        let index = HubLabelIndex::build(&g);
+        let s = index.stats();
+        assert_eq!(s.total_entries, (0..16).map(|v| index.label(v).len()).sum::<usize>());
+        assert!(s.avg_label_size >= 1.0);
+        assert!(s.memory_bytes > 0);
+    }
+}

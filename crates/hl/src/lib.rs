@@ -1,0 +1,17 @@
+//! Hub Labelling (HL) baseline.
+//!
+//! Hub labellings [Abraham et al. 2011, 2012] store, for every vertex, a set
+//! of `(hub, distance)` pairs such that any two vertices share a hub on a
+//! shortest path between them (the 2-hop cover property). A query scans the
+//! two labels and minimises the distance sums over common hubs.
+//!
+//! The labelling is built with a pruned landmark construction over a
+//! hierarchical vertex ordering derived from Contraction Hierarchies (the
+//! `hc2l-ch` crate), mirroring the original implementations which obtain
+//! their orderings from CH searches. Labels are stored sorted by hub rank so
+//! queries are a linear merge of two sorted arrays.
+
+pub mod build;
+pub mod query;
+
+pub use build::{HubLabelIndex, HubLabelStats};

@@ -1,0 +1,98 @@
+//! Distance queries over hub labels (Equation 1 of the paper).
+
+use hc2l_graph::{Distance, Vertex};
+
+use crate::build::{query_labels, HubLabelIndex};
+
+/// Result of a hub-labelling query with the number of hub entries touched,
+/// used for the "average hub size" comparison of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HlQueryResult {
+    /// Shortest-path distance.
+    pub distance: Distance,
+    /// Number of label entries scanned across both labels.
+    pub entries_scanned: usize,
+}
+
+impl HubLabelIndex {
+    /// Exact distance query.
+    #[inline]
+    pub fn query(&self, s: Vertex, t: Vertex) -> Distance {
+        if s == t {
+            return 0;
+        }
+        query_labels(self.label(s), self.label(t))
+    }
+
+    /// Exact distance query with scan statistics. Hub labellings always scan
+    /// both labels in full (this is precisely the drawback HC2L's hierarchy
+    /// avoids).
+    pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> HlQueryResult {
+        let distance = self.query(s, t);
+        let entries_scanned = if s == t {
+            0
+        } else {
+            self.label(s).len() + self.label(t).len()
+        };
+        HlQueryResult {
+            distance,
+            entries_scanned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::dijkstra;
+    use hc2l_graph::toy::{grid_graph, paper_figure1};
+    use hc2l_graph::{GraphBuilder, INFINITY};
+
+    fn assert_all_pairs(g: &hc2l_graph::Graph) {
+        let index = HubLabelIndex::build(g);
+        for s in 0..g.num_vertices() as Vertex {
+            let d = dijkstra(g, s);
+            for t in 0..g.num_vertices() as Vertex {
+                assert_eq!(index.query(s, t), d[t as usize], "HL query ({s},{t}) wrong");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_all_pairs() {
+        assert_all_pairs(&paper_figure1());
+    }
+
+    #[test]
+    fn grid_all_pairs() {
+        assert_all_pairs(&grid_graph(6, 6));
+    }
+
+    #[test]
+    fn weighted_graph_all_pairs() {
+        let mut b = GraphBuilder::new(0);
+        for (u, v, _) in grid_graph(5, 6).edges() {
+            b.add_edge(u, v, 1 + (u * 5 + v * 3) % 13);
+        }
+        assert_all_pairs(&b.build());
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1, 2), (1, 2, 3), (3, 4, 1), (4, 5, 1)]);
+        let index = HubLabelIndex::build(&g);
+        assert_eq!(index.query(0, 2), 5);
+        assert_eq!(index.query(3, 5), 2);
+        assert_eq!(index.query(0, 5), INFINITY);
+    }
+
+    #[test]
+    fn query_stats_scan_full_labels() {
+        let g = paper_figure1();
+        let index = HubLabelIndex::build(&g);
+        let r = index.query_with_stats(2, 9);
+        assert_eq!(r.entries_scanned, index.label(2).len() + index.label(9).len());
+        assert!(r.entries_scanned > 2);
+        assert_eq!(index.query_with_stats(4, 4).entries_scanned, 0);
+    }
+}

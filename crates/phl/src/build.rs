@@ -1,0 +1,271 @@
+//! Pruned construction of the highway labelling.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use hc2l_graph::{Distance, Graph, Vertex, INFINITY};
+
+use crate::decompose::HighwayDecomposition;
+
+/// One label entry: distance from the labelled vertex to an attachment point
+/// sitting at `offset` on highway `path`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhlEntry {
+    /// Highway (path) index; smaller = more important.
+    pub path: u32,
+    /// Offset of the attachment point along the highway.
+    pub offset: Distance,
+    /// Distance from the labelled vertex to the attachment point.
+    pub dist: Distance,
+}
+
+/// Size statistics of a highway labelling.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PhlStats {
+    /// Total number of label triples.
+    pub total_entries: usize,
+    /// Mean label size per vertex.
+    pub avg_label_size: f64,
+    /// Memory footprint in bytes.
+    pub memory_bytes: usize,
+    /// Number of highways in the decomposition.
+    pub num_paths: usize,
+}
+
+/// A pruned highway labelling index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhlIndex {
+    /// Per-vertex labels, sorted by (path, offset).
+    labels: Vec<Vec<PhlEntry>>,
+    /// The highway decomposition used.
+    pub decomposition: HighwayDecomposition,
+    /// Wall-clock construction time in seconds.
+    pub construction_seconds: f64,
+}
+
+impl PhlIndex {
+    /// Builds the index: highway decomposition followed by pruned labelling.
+    pub fn build(g: &Graph) -> Self {
+        let start = std::time::Instant::now();
+        let decomposition = HighwayDecomposition::build(g);
+        let n = g.num_vertices();
+        let mut labels: Vec<Vec<PhlEntry>> = vec![Vec::new(); n];
+
+        // Process highways in importance order; within a highway, process its
+        // vertices in balanced bisection order (midpoint first, then the
+        // midpoints of the two halves, and so on). Each vertex of the highway
+        // acts as a hub: a pruned Dijkstra stores (path, offset_of_hub, dist)
+        // entries at the vertices it reaches, skipping vertices whose distance
+        // to the hub is already certified by the labels built so far (the
+        // same pruning rule as pruned landmark labelling, so the labelling
+        // stays exact). The bisection order makes hubs near the middle of a
+        // highway cover their path-mates, keeping per-vertex labels around
+        // `O(log path length)` for the on-path entries.
+        let mut dist = vec![INFINITY; n];
+        let mut touched: Vec<Vertex> = Vec::new();
+
+        for (path_idx, path) in decomposition.paths.iter().enumerate() {
+            let path_idx = path_idx as u32;
+            for pos in bisection_order(path.vertices.len()) {
+                let hub = path.vertices[pos];
+                let hub_offset = path.offsets[pos];
+                let mut heap: BinaryHeap<Reverse<(Distance, Vertex)>> = BinaryHeap::new();
+                dist[hub as usize] = 0;
+                touched.push(hub);
+                heap.push(Reverse((0, hub)));
+                while let Some(Reverse((d, v))) = heap.pop() {
+                    if d > dist[v as usize] {
+                        continue;
+                    }
+                    if query_labels(&labels[hub as usize], &labels[v as usize]) <= d {
+                        continue;
+                    }
+                    labels[v as usize].push(PhlEntry {
+                        path: path_idx,
+                        offset: hub_offset,
+                        dist: d,
+                    });
+                    for e in g.neighbors(v) {
+                        let nd = d + e.weight as Distance;
+                        if nd < dist[e.to as usize] {
+                            dist[e.to as usize] = nd;
+                            touched.push(e.to);
+                            heap.push(Reverse((nd, e.to)));
+                        }
+                    }
+                }
+                for &v in &touched {
+                    dist[v as usize] = INFINITY;
+                }
+                touched.clear();
+            }
+        }
+
+        // Entries were appended path by path, but the bisection order means
+        // offsets within a path are not monotone; sort each label so queries
+        // can merge-join on (path, offset).
+        for label in &mut labels {
+            label.sort_by_key(|e| (e.path, e.offset, e.dist));
+        }
+        PhlIndex {
+            labels,
+            decomposition,
+            construction_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Label of a vertex.
+    pub fn label(&self, v: Vertex) -> &[PhlEntry] {
+        &self.labels[v as usize]
+    }
+
+    /// Size statistics.
+    pub fn stats(&self) -> PhlStats {
+        let total: usize = self.labels.iter().map(|l| l.len()).sum();
+        PhlStats {
+            total_entries: total,
+            avg_label_size: if self.labels.is_empty() {
+                0.0
+            } else {
+                total as f64 / self.labels.len() as f64
+            },
+            memory_bytes: total * std::mem::size_of::<PhlEntry>()
+                + self.labels.len() * std::mem::size_of::<Vec<PhlEntry>>(),
+            num_paths: self.decomposition.num_paths(),
+        }
+    }
+}
+
+/// Positions `0..len` in balanced bisection order: the midpoint first, then
+/// recursively the midpoints of the left and right halves. Hubs processed in
+/// this order cover their own highway with logarithmically many label entries
+/// per vertex.
+fn bisection_order(len: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(len);
+    let mut ranges = std::collections::VecDeque::new();
+    if len > 0 {
+        ranges.push_back((0usize, len));
+    }
+    while let Some((lo, hi)) = ranges.pop_front() {
+        if lo >= hi {
+            continue;
+        }
+        let mid = (lo + hi) / 2;
+        order.push(mid);
+        ranges.push_back((lo, mid));
+        ranges.push_back((mid + 1, hi));
+    }
+    order
+}
+
+/// Evaluates Equation 2 over two labels: a merge join on path ids; for each
+/// common path, the along-path distance between the two attachment points
+/// bridges the highway segment.
+pub(crate) fn query_labels(a: &[PhlEntry], b: &[PhlEntry]) -> Distance {
+    let mut best = INFINITY;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].path.cmp(&b[j].path) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let path = a[i].path;
+                let a_end = a[i..].iter().take_while(|e| e.path == path).count() + i;
+                let b_end = b[j..].iter().take_while(|e| e.path == path).count() + j;
+                for x in &a[i..a_end] {
+                    for y in &b[j..b_end] {
+                        let along = x.offset.abs_diff(y.offset);
+                        let d = x.dist + y.dist + along;
+                        if d < best {
+                            best = d;
+                        }
+                    }
+                }
+                i = a_end;
+                j = b_end;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::toy::{paper_figure1, path_graph};
+
+    #[test]
+    fn labels_are_sorted_and_nonempty() {
+        let g = paper_figure1();
+        let index = PhlIndex::build(&g);
+        for v in 0..16u32 {
+            let label = index.label(v);
+            assert!(!label.is_empty(), "vertex {v} has an empty PHL label");
+            for w in label.windows(2) {
+                assert!(w[0].path < w[1].path || (w[0].path == w[1].path && w[0].offset <= w[1].offset));
+            }
+        }
+    }
+
+    #[test]
+    fn own_path_entry_has_zero_distance() {
+        let g = paper_figure1();
+        let index = PhlIndex::build(&g);
+        for v in 0..16u32 {
+            let own_path = index.decomposition.path_of[v as usize];
+            let own_offset = index.decomposition.offset_of[v as usize];
+            assert!(
+                index
+                    .label(v)
+                    .iter()
+                    .any(|e| e.path == own_path && e.offset == own_offset && e.dist == 0),
+                "vertex {v} lacks its own attachment entry"
+            );
+        }
+    }
+
+    #[test]
+    fn path_graph_labels_stay_logarithmic() {
+        // On a single highway, the bisection processing order keeps each
+        // vertex's label to the O(log n) hubs that cover it.
+        let g = path_graph(12, 3);
+        let index = PhlIndex::build(&g);
+        let stats = index.stats();
+        assert_eq!(stats.num_paths, 1);
+        assert!(
+            stats.avg_label_size <= (12f64).log2() + 2.0,
+            "avg label {}",
+            stats.avg_label_size
+        );
+    }
+
+    #[test]
+    fn bisection_order_is_a_permutation() {
+        for len in [0usize, 1, 2, 7, 16, 33] {
+            let mut order = bisection_order(len);
+            assert_eq!(order.len(), len);
+            order.sort_unstable();
+            assert_eq!(order, (0..len).collect::<Vec<_>>());
+        }
+        assert_eq!(bisection_order(5)[0], 2);
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let g = paper_figure1();
+        let index = PhlIndex::build(&g);
+        let s = index.stats();
+        assert_eq!(
+            s.total_entries,
+            (0..16).map(|v| index.label(v).len()).sum::<usize>()
+        );
+        assert!(s.memory_bytes >= s.total_entries * std::mem::size_of::<PhlEntry>());
+    }
+}

@@ -1,0 +1,147 @@
+//! Highway decomposition: partitioning the vertex set into disjoint paths.
+
+use serde::{Deserialize, Serialize};
+
+use hc2l_graph::pathutil::greedy_path_decomposition;
+use hc2l_graph::{Distance, Graph, Vertex};
+
+/// One highway: a path given as a vertex sequence plus the prefix distance of
+/// each vertex from the path's start ("offsets").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HighwayPath {
+    /// The path's vertices in order.
+    pub vertices: Vec<Vertex>,
+    /// `offsets[i]` — distance along the path from `vertices[0]` to
+    /// `vertices[i]`.
+    pub offsets: Vec<Distance>,
+}
+
+impl HighwayPath {
+    /// Total length of the path.
+    pub fn length(&self) -> Distance {
+        *self.offsets.last().unwrap_or(&0)
+    }
+
+    /// Number of vertices on the path.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` for single-vertex paths.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}
+
+/// The full decomposition: every vertex belongs to exactly one path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HighwayDecomposition {
+    /// Paths ordered by decreasing length (the PHL processing order).
+    pub paths: Vec<HighwayPath>,
+    /// `path_of[v]` — index of the path containing `v`.
+    pub path_of: Vec<u32>,
+    /// `offset_of[v]` — the vertex's offset along its own path.
+    pub offset_of: Vec<Distance>,
+}
+
+impl HighwayDecomposition {
+    /// Builds the decomposition by repeatedly extracting (approximately)
+    /// longest shortest paths from the not-yet-covered part of the graph.
+    pub fn build(g: &Graph) -> Self {
+        let raw = greedy_path_decomposition(g, 2);
+        let mut paths: Vec<HighwayPath> = raw
+            .into_iter()
+            .map(|vertices| {
+                let mut offsets = Vec::with_capacity(vertices.len());
+                let mut acc: Distance = 0;
+                offsets.push(0);
+                for w in vertices.windows(2) {
+                    acc += g
+                        .edge_weight(w[0], w[1])
+                        .expect("decomposition produced a non-path") as Distance;
+                    offsets.push(acc);
+                }
+                HighwayPath { vertices, offsets }
+            })
+            .collect();
+        // Longest (most "central") highways first — they become the most
+        // important labels, mirroring the partial order of Example 3.2.
+        paths.sort_by_key(|p| std::cmp::Reverse((p.length(), p.len())));
+
+        let n = g.num_vertices();
+        let mut path_of = vec![u32::MAX; n];
+        let mut offset_of = vec![0; n];
+        for (i, p) in paths.iter().enumerate() {
+            for (j, &v) in p.vertices.iter().enumerate() {
+                path_of[v as usize] = i as u32;
+                offset_of[v as usize] = p.offsets[j];
+            }
+        }
+        HighwayDecomposition {
+            paths,
+            path_of,
+            offset_of,
+        }
+    }
+
+    /// Number of paths.
+    pub fn num_paths(&self) -> usize {
+        self.paths.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::toy::{grid_graph, paper_figure1, path_graph};
+
+    #[test]
+    fn every_vertex_on_exactly_one_path() {
+        let g = paper_figure1();
+        let d = HighwayDecomposition::build(&g);
+        let mut seen = vec![false; 16];
+        for p in &d.paths {
+            for &v in &p.vertices {
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        for v in 0..16u32 {
+            assert_ne!(d.path_of[v as usize], u32::MAX);
+            let p = &d.paths[d.path_of[v as usize] as usize];
+            let pos = p.vertices.iter().position(|&x| x == v).unwrap();
+            assert_eq!(p.offsets[pos], d.offset_of[v as usize]);
+        }
+    }
+
+    #[test]
+    fn offsets_are_monotone_prefix_sums() {
+        let g = grid_graph(5, 5);
+        let d = HighwayDecomposition::build(&g);
+        for p in &d.paths {
+            assert_eq!(p.vertices.len(), p.offsets.len());
+            for w in p.offsets.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn paths_sorted_longest_first() {
+        let g = grid_graph(6, 6);
+        let d = HighwayDecomposition::build(&g);
+        for w in d.paths.windows(2) {
+            assert!(w[0].length() >= w[1].length());
+        }
+    }
+
+    #[test]
+    fn single_path_graph_is_one_highway() {
+        let g = path_graph(10, 2);
+        let d = HighwayDecomposition::build(&g);
+        assert_eq!(d.num_paths(), 1);
+        assert_eq!(d.paths[0].len(), 10);
+        assert_eq!(d.paths[0].length(), 18);
+    }
+}

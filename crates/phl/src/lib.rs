@@ -1,0 +1,25 @@
+//! Pruned Highway Labelling (PHL) baseline.
+//!
+//! PHL [Akiba et al. 2014] decomposes a road network into vertex-disjoint
+//! shortest paths ("highways") and labels every vertex with triples
+//! `(path id, offset of an attachment point along the path, distance to that
+//! attachment point)`. A query joins the two labels on the path id and adds
+//! the along-path distance between the two attachment points
+//! (Equation 2 of the paper).
+//!
+//! This implementation follows the structure of the original algorithm:
+//!
+//! * the highway decomposition is a greedy longest-shortest-path
+//!   decomposition ([`hc2l_graph::pathutil::greedy_path_decomposition`]);
+//! * label construction is a pruned search processed path by path in
+//!   decreasing path importance; a label entry is only stored when the
+//!   already-built labels cannot certify the distance (the same pruning rule
+//!   as pruned landmark labelling, which keeps the labelling exact);
+//! * the query evaluates Equation 2 with a merge join on path ids.
+
+pub mod build;
+pub mod decompose;
+pub mod query;
+
+pub use build::{PhlIndex, PhlStats};
+pub use decompose::{HighwayDecomposition, HighwayPath};

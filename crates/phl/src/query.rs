@@ -1,0 +1,97 @@
+//! Distance queries over highway labels (Equation 2 of the paper).
+
+use hc2l_graph::{Distance, Vertex};
+
+use crate::build::{query_labels, PhlIndex};
+
+/// Result of a PHL query with scan statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhlQueryResult {
+    /// Shortest-path distance.
+    pub distance: Distance,
+    /// Number of label entries scanned across both labels (PHL, like HL,
+    /// always scans the full labels).
+    pub entries_scanned: usize,
+}
+
+impl PhlIndex {
+    /// Exact distance query.
+    #[inline]
+    pub fn query(&self, s: Vertex, t: Vertex) -> Distance {
+        if s == t {
+            return 0;
+        }
+        query_labels(self.label(s), self.label(t))
+    }
+
+    /// Exact distance query with scan statistics.
+    pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> PhlQueryResult {
+        let distance = self.query(s, t);
+        let entries_scanned = if s == t {
+            0
+        } else {
+            self.label(s).len() + self.label(t).len()
+        };
+        PhlQueryResult {
+            distance,
+            entries_scanned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::dijkstra;
+    use hc2l_graph::toy::{grid_graph, paper_figure1, path_graph};
+    use hc2l_graph::{GraphBuilder, INFINITY};
+
+    fn assert_all_pairs(g: &hc2l_graph::Graph) {
+        let index = PhlIndex::build(g);
+        for s in 0..g.num_vertices() as Vertex {
+            let d = dijkstra(g, s);
+            for t in 0..g.num_vertices() as Vertex {
+                assert_eq!(index.query(s, t), d[t as usize], "PHL query ({s},{t}) wrong");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_all_pairs() {
+        assert_all_pairs(&paper_figure1());
+    }
+
+    #[test]
+    fn grid_all_pairs() {
+        assert_all_pairs(&grid_graph(6, 6));
+    }
+
+    #[test]
+    fn path_and_weighted_graphs() {
+        assert_all_pairs(&path_graph(17, 4));
+        let mut b = GraphBuilder::new(0);
+        for (u, v, _) in grid_graph(5, 5).edges() {
+            b.add_edge(u, v, 1 + (u * 11 + v * 5) % 7);
+        }
+        assert_all_pairs(&b.build());
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1, 2), (1, 2, 3), (3, 4, 4)]);
+        let index = PhlIndex::build(&g);
+        assert_eq!(index.query(0, 2), 5);
+        assert_eq!(index.query(3, 4), 4);
+        assert_eq!(index.query(0, 4), INFINITY);
+        assert_eq!(index.query(5, 0), INFINITY);
+    }
+
+    #[test]
+    fn query_stats_scan_full_labels() {
+        let g = paper_figure1();
+        let index = PhlIndex::build(&g);
+        let r = index.query_with_stats(2, 9);
+        assert_eq!(r.entries_scanned, index.label(2).len() + index.label(9).len());
+        assert_eq!(index.query_with_stats(3, 3).entries_scanned, 0);
+    }
+}

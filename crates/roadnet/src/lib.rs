@@ -1,0 +1,35 @@
+//! Road-network datasets and workloads for the HC2L reproduction.
+//!
+//! The paper evaluates on ten DIMACS / PTV road networks (NY through the full
+//! USA and Western Europe). Those inputs are not redistributable with this
+//! repository, so this crate provides two sources of data:
+//!
+//! * [`dimacs`] — a parser for the DIMACS `.gr` format (and the coordinate
+//!   `.co` companion files), so the original datasets can be dropped in when
+//!   available.
+//! * [`synthetic`] — generators for synthetic road networks that match the
+//!   structural characteristics driving the paper's results: low average
+//!   degree (~2.5), large diameter, planar-like small separators, and a
+//!   sparse overlay of faster "highway" roads. Both the *distance* and the
+//!   *travel-time* edge-weight modes of the paper are supported (see
+//!   [`weights::WeightMode`]).
+//! * [`workload`] — query workloads: uniform random pairs (Tables 2–4) and
+//!   the distance-stratified buckets Q1..Q10 of Figure 6.
+//! * [`datasets`] — the named synthetic dataset sweep standing in for the
+//!   paper's Table 1, used by the benchmark harness.
+//! * [`stats`] — dataset summary statistics (|V|, |E|, diameter estimate,
+//!   memory) used to regenerate Table 1.
+
+pub mod datasets;
+pub mod dimacs;
+pub mod stats;
+pub mod synthetic;
+pub mod weights;
+pub mod workload;
+
+pub use datasets::{standard_suite, DatasetSpec, SuiteScale};
+pub use dimacs::{parse_gr_reader, parse_gr_str, write_gr};
+pub use stats::{dataset_summary, DatasetSummary};
+pub use synthetic::{RoadNetwork, RoadNetworkConfig};
+pub use weights::WeightMode;
+pub use workload::{distance_buckets, random_pairs, QueryBuckets, QueryPair};

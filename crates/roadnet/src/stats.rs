@@ -1,0 +1,109 @@
+//! Dataset summary statistics (the paper's Table 1).
+
+use serde::{Deserialize, Serialize};
+
+use hc2l_graph::pathutil::diameter_double_sweep;
+use hc2l_graph::{CsrGraph, Distance, Graph};
+
+/// Summary row describing a dataset, mirroring Table 1 of the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Free-text description of the region the dataset models.
+    pub region: String,
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Lower bound on the diameter (double-sweep estimate), expressed in
+    /// *hops over weighted edges* like the paper's `diam.` column.
+    pub diameter: Distance,
+    /// Average vertex degree.
+    pub avg_degree: f64,
+    /// Memory footprint of the CSR representation in bytes.
+    pub memory_bytes: usize,
+}
+
+impl DatasetSummary {
+    /// Memory in mebibytes, for display.
+    pub fn memory_mib(&self) -> f64 {
+        self.memory_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Computes the summary for a dataset.
+pub fn dataset_summary(name: &str, region: &str, g: &Graph) -> DatasetSummary {
+    let diameter = if g.num_vertices() == 0 {
+        0
+    } else {
+        diameter_double_sweep(g, 0)
+    };
+    DatasetSummary {
+        name: name.to_string(),
+        region: region.to_string(),
+        num_vertices: g.num_vertices(),
+        num_edges: g.num_edges(),
+        diameter,
+        avg_degree: g.average_degree(),
+        memory_bytes: CsrGraph::from_graph(g).memory_bytes(),
+    }
+}
+
+/// Formats a list of summaries as an aligned text table (used by the `repro`
+/// binary for Table 1).
+pub fn format_summary_table(rows: &[DatasetSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:>10} {:>10} {:>12} {:>8} {:>10}\n",
+        "Dataset", "|V|", "|E|", "diam.", "deg.", "Memory"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>10} {:>10} {:>12} {:>8.2} {:>8.1} MB\n",
+            r.name, r.num_vertices, r.num_edges, r.diameter, r.avg_degree, r.memory_mib()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::RoadNetworkConfig;
+    use crate::weights::WeightMode;
+    use hc2l_graph::toy::paper_figure1;
+
+    #[test]
+    fn summary_of_paper_example() {
+        let g = paper_figure1();
+        let s = dataset_summary("FIG1", "paper example", &g);
+        assert_eq!(s.num_vertices, 16);
+        assert_eq!(s.num_edges, 26);
+        assert!(s.diameter >= 4);
+        assert!(s.avg_degree > 3.0);
+        assert!(s.memory_bytes > 0);
+    }
+
+    #[test]
+    fn summary_of_synthetic_city() {
+        let net = RoadNetworkConfig::city(12, 12, 77).generate();
+        let g = net.graph(WeightMode::Distance);
+        let s = dataset_summary("CITY", "12x12 synthetic", &g);
+        assert_eq!(s.num_vertices, 144);
+        assert!(s.diameter > 1000, "diameter should be in metres, got {}", s.diameter);
+    }
+
+    #[test]
+    fn table_formatting_contains_all_rows() {
+        let g = paper_figure1();
+        let rows = vec![
+            dataset_summary("A", "", &g),
+            dataset_summary("B", "", &g),
+        ];
+        let table = format_summary_table(&rows);
+        assert!(table.contains("A"));
+        assert!(table.contains("B"));
+        assert!(table.lines().count() >= 3);
+    }
+}

@@ -1,0 +1,434 @@
+//! Synthetic road-network generators.
+//!
+//! The DIMACS datasets the paper uses are large downloads that cannot be
+//! bundled here, so the benchmark harness runs on synthetic networks that
+//! reproduce the structural characteristics responsible for the paper's
+//! findings:
+//!
+//! * **low average degree** (~2.5–3): road networks are nearly planar chains
+//!   of intersections;
+//! * **large diameter**: distances grow with the square root of the vertex
+//!   count rather than logarithmically;
+//! * **small balanced separators**: a geographic region can be split by a
+//!   cut whose size is `O(sqrt(n))`, which is exactly what HC2L's balanced
+//!   tree hierarchy exploits;
+//! * **a sparse hierarchy of faster roads** so that the distance vs.
+//!   travel-time contrast of Tables 2 and 4 is reproduced.
+//!
+//! Two generators are provided: a perturbed partial grid ("city") and a
+//! multi-city map where grid clusters are connected by long corridors, which
+//! produces the very small top-level cuts observed on real continental
+//! networks.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use hc2l_graph::{Graph, GraphBuilder, Vertex};
+
+use crate::weights::{RoadClass, WeightMode};
+
+/// A single undirected road segment before weight-mode resolution.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Segment {
+    /// First endpoint.
+    pub u: Vertex,
+    /// Second endpoint.
+    pub v: Vertex,
+    /// Physical length (metres).
+    pub length: u32,
+    /// Functional road class.
+    pub class: RoadClass,
+}
+
+/// A generated road network: geometry plus segments. Edge weights are
+/// materialised per [`WeightMode`] via [`RoadNetwork::graph`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    /// Planar coordinates of each vertex (metres).
+    pub coords: Vec<(f64, f64)>,
+    /// All road segments.
+    pub segments: Vec<Segment>,
+}
+
+impl RoadNetwork {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of segments (undirected edges).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Materialises the weighted graph for the given weight mode.
+    pub fn graph(&self, mode: WeightMode) -> Graph {
+        let mut b = GraphBuilder::new(self.num_vertices());
+        for s in &self.segments {
+            b.add_edge(s.u, s.v, mode.weight_of(s.length, s.class));
+        }
+        b.build()
+    }
+
+    /// Euclidean distance between two vertices' coordinates (metres); a lower
+    /// bound on their network distance in [`WeightMode::Distance`].
+    pub fn euclidean(&self, u: Vertex, v: Vertex) -> f64 {
+        let (x1, y1) = self.coords[u as usize];
+        let (x2, y2) = self.coords[v as usize];
+        ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt()
+    }
+}
+
+/// Configuration for the grid-city generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoadNetworkConfig {
+    /// Number of grid rows.
+    pub rows: usize,
+    /// Number of grid columns.
+    pub cols: usize,
+    /// Fraction of non-spanning-tree grid edges removed, producing the low
+    /// average degree of real road networks. In `[0, 1)`.
+    pub removal_fraction: f64,
+    /// Every `highway_spacing`-th row/column is upgraded to a highway
+    /// (arterials half-way in between). 0 disables the road hierarchy.
+    pub highway_spacing: usize,
+    /// Base block length in metres.
+    pub block_length: u32,
+    /// Relative coordinate jitter (0.0 = perfect grid).
+    pub jitter: f64,
+    /// RNG seed, so datasets are reproducible across runs.
+    pub seed: u64,
+}
+
+impl Default for RoadNetworkConfig {
+    fn default() -> Self {
+        RoadNetworkConfig {
+            rows: 32,
+            cols: 32,
+            removal_fraction: 0.35,
+            highway_spacing: 8,
+            block_length: 100,
+            jitter: 0.25,
+            seed: 42,
+        }
+    }
+}
+
+impl RoadNetworkConfig {
+    /// Convenience constructor for an `rows x cols` city with default knobs.
+    pub fn city(rows: usize, cols: usize, seed: u64) -> Self {
+        RoadNetworkConfig {
+            rows,
+            cols,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Generates the network.
+    pub fn generate(&self) -> RoadNetwork {
+        generate_city(self)
+    }
+}
+
+fn vertex_id(r: usize, c: usize, cols: usize) -> Vertex {
+    (r * cols + c) as Vertex
+}
+
+/// Generates a perturbed partial-grid city network.
+pub fn generate_city(cfg: &RoadNetworkConfig) -> RoadNetwork {
+    assert!(cfg.rows >= 2 && cfg.cols >= 2, "city must be at least 2x2");
+    assert!((0.0..1.0).contains(&cfg.removal_fraction));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.rows * cfg.cols;
+
+    // Coordinates: perturbed grid.
+    let mut coords = Vec::with_capacity(n);
+    for r in 0..cfg.rows {
+        for c in 0..cfg.cols {
+            let jx = (rng.random::<f64>() - 0.5) * cfg.jitter * cfg.block_length as f64;
+            let jy = (rng.random::<f64>() - 0.5) * cfg.jitter * cfg.block_length as f64;
+            coords.push((
+                c as f64 * cfg.block_length as f64 + jx,
+                r as f64 * cfg.block_length as f64 + jy,
+            ));
+        }
+    }
+
+    // Candidate grid edges with their road class.
+    let class_of = |r: usize, c: usize, horizontal: bool| -> RoadClass {
+        if cfg.highway_spacing == 0 {
+            return RoadClass::Local;
+        }
+        let lane = if horizontal { r } else { c };
+        if lane % cfg.highway_spacing == 0 {
+            RoadClass::Highway
+        } else if lane % cfg.highway_spacing == cfg.highway_spacing / 2 {
+            RoadClass::Arterial
+        } else {
+            RoadClass::Local
+        }
+    };
+    let mut candidates: Vec<(Vertex, Vertex, RoadClass)> = Vec::new();
+    for r in 0..cfg.rows {
+        for c in 0..cfg.cols {
+            if c + 1 < cfg.cols {
+                candidates.push((
+                    vertex_id(r, c, cfg.cols),
+                    vertex_id(r, c + 1, cfg.cols),
+                    class_of(r, c, true),
+                ));
+            }
+            if r + 1 < cfg.rows {
+                candidates.push((
+                    vertex_id(r, c, cfg.cols),
+                    vertex_id(r + 1, c, cfg.cols),
+                    class_of(r, c, false),
+                ));
+            }
+        }
+    }
+
+    // Keep a random spanning tree so the network remains connected, then keep
+    // each remaining edge with probability (1 - removal_fraction). Highways
+    // are never removed: real motorways are contiguous.
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.shuffle(&mut rng);
+    let mut dsu = DisjointSets::new(n);
+    let mut keep = vec![false; candidates.len()];
+    for &i in &order {
+        let (u, v, class) = candidates[i];
+        if dsu.union(u as usize, v as usize) {
+            keep[i] = true;
+        } else if class == RoadClass::Highway || rng.random::<f64>() >= cfg.removal_fraction {
+            keep[i] = true;
+        }
+    }
+
+    let length_of = |u: Vertex, v: Vertex, coords: &[(f64, f64)]| -> u32 {
+        let (x1, y1) = coords[u as usize];
+        let (x2, y2) = coords[v as usize];
+        (((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt().round() as u32).max(1)
+    };
+
+    let segments = candidates
+        .iter()
+        .zip(keep.iter())
+        .filter(|(_, &k)| k)
+        .map(|(&(u, v, class), _)| Segment {
+            u,
+            v,
+            length: length_of(u, v, &coords),
+            class,
+        })
+        .collect();
+
+    RoadNetwork { coords, segments }
+}
+
+/// Configuration for the multi-city generator: `cities` grid clusters laid
+/// out on a ring, connected by sparse highway corridors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiCityConfig {
+    /// Number of city clusters.
+    pub cities: usize,
+    /// Configuration of each city (the seed is varied per city).
+    pub city: RoadNetworkConfig,
+    /// Number of corridor connections between consecutive cities.
+    pub corridors_per_link: usize,
+    /// Length of each corridor in segments.
+    pub corridor_hops: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MultiCityConfig {
+    fn default() -> Self {
+        MultiCityConfig {
+            cities: 4,
+            city: RoadNetworkConfig {
+                rows: 16,
+                cols: 16,
+                ..Default::default()
+            },
+            corridors_per_link: 2,
+            corridor_hops: 6,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates a multi-city network: several grid cities connected in a ring by
+/// long highway corridors. The corridors form very small cuts between large
+/// balanced regions — the regime where HC2L's hierarchy shines.
+pub fn generate_multi_city(cfg: &MultiCityConfig) -> RoadNetwork {
+    assert!(cfg.cities >= 2, "need at least two cities");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut coords: Vec<(f64, f64)> = Vec::new();
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut city_offsets = Vec::new();
+
+    // Lay the cities out on a circle so corridor lengths are comparable.
+    let city_extent = (cfg.city.cols.max(cfg.city.rows) as f64) * cfg.city.block_length as f64;
+    let ring_radius = city_extent * cfg.cities as f64 / std::f64::consts::PI;
+    for i in 0..cfg.cities {
+        let mut sub_cfg = cfg.city.clone();
+        sub_cfg.seed = cfg.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i as u64);
+        let city = generate_city(&sub_cfg);
+        let angle = 2.0 * std::f64::consts::PI * i as f64 / cfg.cities as f64;
+        let (cx, cy) = (ring_radius * angle.cos(), ring_radius * angle.sin());
+        let offset = coords.len() as Vertex;
+        city_offsets.push(offset);
+        coords.extend(city.coords.iter().map(|&(x, y)| (x + cx, y + cy)));
+        segments.extend(city.segments.iter().map(|s| Segment {
+            u: s.u + offset,
+            v: s.v + offset,
+            ..*s
+        }));
+    }
+
+    // Corridors between consecutive cities (ring topology).
+    let city_size = (cfg.city.rows * cfg.city.cols) as Vertex;
+    for i in 0..cfg.cities {
+        let a_off = city_offsets[i];
+        let b_off = city_offsets[(i + 1) % cfg.cities];
+        for _ in 0..cfg.corridors_per_link.max(1) {
+            let a = a_off + rng.random_range(0..city_size);
+            let b = b_off + rng.random_range(0..city_size);
+            // Build a chain of `corridor_hops` intermediate vertices between a and b.
+            let (ax, ay) = coords[a as usize];
+            let (bx, by) = coords[b as usize];
+            let hops = cfg.corridor_hops.max(1);
+            let mut prev = a;
+            for h in 1..=hops {
+                let t = h as f64 / (hops + 1) as f64;
+                let next = if h == hops { b } else { u32::MAX };
+                let (nx, ny) = (ax + (bx - ax) * t, ay + (by - ay) * t);
+                let cur = if next == b && h == hops {
+                    b
+                } else {
+                    coords.push((nx, ny));
+                    (coords.len() - 1) as Vertex
+                };
+                let (px, py) = coords[prev as usize];
+                let (cx2, cy2) = coords[cur as usize];
+                let length = (((px - cx2).powi(2) + (py - cy2).powi(2)).sqrt().round() as u32).max(1);
+                segments.push(Segment {
+                    u: prev,
+                    v: cur,
+                    length,
+                    class: RoadClass::Highway,
+                });
+                prev = cur;
+            }
+        }
+    }
+
+    RoadNetwork { coords, segments }
+}
+
+/// Minimal union-find used to guarantee connectivity of generated networks.
+struct DisjointSets {
+    parent: Vec<usize>,
+}
+
+impl DisjointSets {
+    fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            false
+        } else {
+            self.parent[ra] = rb;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::components::is_connected;
+    use hc2l_graph::dijkstra::dijkstra_distance;
+
+    #[test]
+    fn city_is_connected_and_sparse() {
+        let net = RoadNetworkConfig::city(20, 20, 1).generate();
+        let g = net.graph(WeightMode::Distance);
+        assert_eq!(g.num_vertices(), 400);
+        assert!(is_connected(&g));
+        let avg = g.average_degree();
+        assert!(avg > 2.0 && avg < 3.6, "average degree {avg} outside road-network range");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = RoadNetworkConfig::city(10, 12, 99).generate();
+        let b = RoadNetworkConfig::city(10, 12, 99).generate();
+        let c = RoadNetworkConfig::city(10, 12, 100).generate();
+        assert_eq!(a.num_segments(), b.num_segments());
+        assert_eq!(a.coords.len(), b.coords.len());
+        assert!(a.segments.iter().zip(b.segments.iter()).all(|(x, y)| x.u == y.u && x.v == y.v && x.length == y.length));
+        // A different seed should (overwhelmingly likely) differ.
+        assert!(
+            a.num_segments() != c.num_segments()
+                || a.segments.iter().zip(c.segments.iter()).any(|(x, y)| x.length != y.length)
+        );
+    }
+
+    #[test]
+    fn travel_time_shrinks_highway_weights() {
+        let net = RoadNetworkConfig::city(16, 16, 3).generate();
+        let dist = net.graph(WeightMode::Distance);
+        let time = net.graph(WeightMode::TravelTime);
+        assert_eq!(dist.num_edges(), time.num_edges());
+        // Total weight must strictly drop when highways get a speed boost.
+        assert!(time.total_weight() < dist.total_weight());
+    }
+
+    #[test]
+    fn euclidean_lower_bounds_network_distance() {
+        let net = RoadNetworkConfig::city(12, 12, 5).generate();
+        let g = net.graph(WeightMode::Distance);
+        for &(s, t) in &[(0u32, 143u32), (5, 100), (30, 77)] {
+            let d = dijkstra_distance(&g, s, t);
+            assert!(d as f64 + 1e-6 >= net.euclidean(s, t) * 0.7, "network distance should not undercut straight-line distance by much");
+        }
+    }
+
+    #[test]
+    fn multi_city_is_connected() {
+        let cfg = MultiCityConfig {
+            cities: 3,
+            city: RoadNetworkConfig::city(8, 8, 2),
+            corridors_per_link: 1,
+            corridor_hops: 4,
+            seed: 11,
+        };
+        let net = generate_multi_city(&cfg);
+        let g = net.graph(WeightMode::Distance);
+        assert!(g.num_vertices() > 3 * 64);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_city_rejected() {
+        RoadNetworkConfig::city(1, 5, 0).generate();
+    }
+}

@@ -1,0 +1,101 @@
+//! Edge-weight modes.
+//!
+//! The paper evaluates every method twice: once with *distances* (metres) as
+//! edge weights (Table 2) and once with *travel times* (Table 4). The two
+//! modes stress the labellings differently — travel times make highways much
+//! "shorter" than local roads, which improves the orderings found by HL and
+//! PHL — so the synthetic generator supports both.
+
+use serde::{Deserialize, Serialize};
+
+use hc2l_graph::Weight;
+
+/// Functional class of a road segment, used to derive travel-time weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoadClass {
+    /// Local/residential street.
+    Local,
+    /// Arterial road: faster than local streets.
+    Arterial,
+    /// Motorway/highway: the fastest class.
+    Highway,
+}
+
+impl RoadClass {
+    /// Free-flow speed factor relative to local streets. Travel time is
+    /// `length / speed_factor`, so higher factors yield smaller weights.
+    pub fn speed_factor(self) -> u32 {
+        match self {
+            RoadClass::Local => 1,
+            RoadClass::Arterial => 2,
+            RoadClass::Highway => 4,
+        }
+    }
+}
+
+/// Which quantity the edge weights represent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WeightMode {
+    /// Physical length of the road segment (paper: "distances").
+    Distance,
+    /// Free-flow traversal time of the segment (paper: "travel times").
+    TravelTime,
+}
+
+impl WeightMode {
+    /// Converts a segment's length and class into an edge weight under this
+    /// mode. Weights are never zero.
+    pub fn weight_of(self, length: u32, class: RoadClass) -> Weight {
+        match self {
+            WeightMode::Distance => length.max(1),
+            WeightMode::TravelTime => (length / class.speed_factor()).max(1),
+        }
+    }
+
+    /// Short label used in benchmark output ("dist" / "time").
+    pub fn label(self) -> &'static str {
+        match self {
+            WeightMode::Distance => "dist",
+            WeightMode::TravelTime => "time",
+        }
+    }
+}
+
+impl std::fmt::Display for WeightMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightMode::Distance => write!(f, "distance"),
+            WeightMode::TravelTime => write!(f, "travel-time"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn travel_time_rewards_faster_classes() {
+        let len = 1000;
+        let d = WeightMode::Distance;
+        let t = WeightMode::TravelTime;
+        assert_eq!(d.weight_of(len, RoadClass::Local), 1000);
+        assert_eq!(d.weight_of(len, RoadClass::Highway), 1000);
+        assert_eq!(t.weight_of(len, RoadClass::Local), 1000);
+        assert_eq!(t.weight_of(len, RoadClass::Arterial), 500);
+        assert_eq!(t.weight_of(len, RoadClass::Highway), 250);
+    }
+
+    #[test]
+    fn weights_are_never_zero() {
+        assert_eq!(WeightMode::TravelTime.weight_of(1, RoadClass::Highway), 1);
+        assert_eq!(WeightMode::Distance.weight_of(0, RoadClass::Local), 1);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(WeightMode::Distance.label(), "dist");
+        assert_eq!(WeightMode::TravelTime.label(), "time");
+        assert_eq!(format!("{}", WeightMode::TravelTime), "travel-time");
+    }
+}

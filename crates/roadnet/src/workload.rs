@@ -1,0 +1,244 @@
+//! Query workloads.
+//!
+//! Two workloads are used by the paper's evaluation:
+//!
+//! * **uniform random pairs** — one million pairs sampled from `V x V`
+//!   (Tables 2 and 4);
+//! * **distance-stratified buckets Q1..Q10** (Figure 6) — `l_min` is fixed at
+//!   1000 metres, `l_max` is the largest pairwise distance in the network,
+//!   `x = (l_max / l_min)^(1/10)`, and bucket `Q_i` contains pairs whose
+//!   distance falls in `(l_min * x^(i-1), l_min * x^i]`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use hc2l_graph::{dijkstra, Distance, Graph, Vertex};
+
+/// A single source/target query pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryPair {
+    /// Source vertex.
+    pub source: Vertex,
+    /// Target vertex.
+    pub target: Vertex,
+}
+
+/// Samples `count` uniform random pairs (source may equal target, as in the
+/// paper's benchmark which samples from `V x V`).
+pub fn random_pairs(num_vertices: usize, count: usize, seed: u64) -> Vec<QueryPair> {
+    assert!(num_vertices > 0, "cannot sample pairs from an empty graph");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| QueryPair {
+            source: rng.random_range(0..num_vertices as Vertex),
+            target: rng.random_range(0..num_vertices as Vertex),
+        })
+        .collect()
+}
+
+/// The number of distance buckets used by Figure 6.
+pub const NUM_BUCKETS: usize = 10;
+
+/// Distance-stratified query buckets (Figure 6).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryBuckets {
+    /// `l_min` (paper: 1000 metres).
+    pub l_min: Distance,
+    /// `l_max`: the maximum pairwise distance observed.
+    pub l_max: Distance,
+    /// Bucket boundaries: bucket `i` covers `(bounds[i], bounds[i+1]]`.
+    pub bounds: Vec<Distance>,
+    /// The query pairs per bucket.
+    pub buckets: Vec<Vec<QueryPair>>,
+}
+
+impl QueryBuckets {
+    /// Index of the bucket a distance falls into, or `None` when it is below
+    /// `l_min` or the distance is zero/unreachable.
+    pub fn bucket_of(&self, d: Distance) -> Option<usize> {
+        if d == 0 {
+            return None;
+        }
+        for i in 0..NUM_BUCKETS {
+            if d > self.bounds[i] && d <= self.bounds[i + 1] {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Total number of queries across all buckets.
+    pub fn total_queries(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).sum()
+    }
+}
+
+/// Generates distance-stratified buckets for `g`.
+///
+/// `per_bucket` pairs are collected for each bucket (the paper uses 10,000;
+/// tests and benches use less). `l_min` defaults to 1000 but is clamped so
+/// that at least two buckets are non-degenerate on small synthetic networks.
+/// Distances are evaluated with Dijkstra from sampled sources, which is also
+/// how the reference implementations generate their workloads.
+pub fn distance_buckets(g: &Graph, per_bucket: usize, l_min: Distance, seed: u64) -> QueryBuckets {
+    assert!(g.num_vertices() > 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_vertices();
+
+    // Estimate l_max with a double sweep and a few random eccentricities.
+    let mut l_max: Distance = 0;
+    for _ in 0..4 {
+        let s = rng.random_range(0..n as Vertex);
+        let dist = dijkstra(g, s);
+        let far = dist
+            .iter()
+            .copied()
+            .filter(|&d| d < hc2l_graph::INFINITY)
+            .max()
+            .unwrap_or(0);
+        if far > l_max {
+            l_max = far;
+            // Sweep again from the farthest vertex for a better bound.
+            let far_v = dist.iter().position(|&d| d == far).unwrap() as Vertex;
+            let dist2 = dijkstra(g, far_v);
+            let far2 = dist2
+                .iter()
+                .copied()
+                .filter(|&d| d < hc2l_graph::INFINITY)
+                .max()
+                .unwrap_or(0);
+            l_max = l_max.max(far2);
+        }
+    }
+    let l_min = l_min.max(1).min(l_max / 4).max(1);
+    let x = (l_max as f64 / l_min as f64).powf(1.0 / NUM_BUCKETS as f64);
+    let mut bounds = Vec::with_capacity(NUM_BUCKETS + 1);
+    for i in 0..=NUM_BUCKETS {
+        bounds.push((l_min as f64 * x.powi(i as i32)).round() as Distance);
+    }
+    // Bucket 0 starts strictly below l_min so short queries are not dropped.
+    bounds[0] = 0;
+    bounds[NUM_BUCKETS] = bounds[NUM_BUCKETS].max(l_max);
+
+    let mut buckets: Vec<Vec<QueryPair>> = vec![Vec::new(); NUM_BUCKETS];
+    let mut full = 0usize;
+    // Sample sources, run Dijkstra once per source, and distribute the
+    // resulting pairs over buckets until every bucket is full (or we give up).
+    let max_sources = 40 * NUM_BUCKETS.max(1);
+    let mut sources_used = 0usize;
+    while full < NUM_BUCKETS && sources_used < max_sources {
+        let s = rng.random_range(0..n as Vertex);
+        sources_used += 1;
+        let dist = dijkstra(g, s);
+        // Visit targets in random order to avoid biasing buckets to low ids.
+        let mut targets: Vec<Vertex> = (0..n as Vertex).collect();
+        for i in (1..targets.len()).rev() {
+            let j = rng.random_range(0..=i);
+            targets.swap(i, j);
+        }
+        for t in targets {
+            let d = dist[t as usize];
+            if d == 0 || d >= hc2l_graph::INFINITY {
+                continue;
+            }
+            let idx = match bucket_index(&bounds, d) {
+                Some(i) => i,
+                None => continue,
+            };
+            if buckets[idx].len() < per_bucket {
+                buckets[idx].push(QueryPair { source: s, target: t });
+                if buckets[idx].len() == per_bucket {
+                    full += 1;
+                }
+            }
+        }
+    }
+
+    QueryBuckets {
+        l_min,
+        l_max,
+        bounds,
+        buckets,
+    }
+}
+
+fn bucket_index(bounds: &[Distance], d: Distance) -> Option<usize> {
+    for i in 0..NUM_BUCKETS {
+        if d > bounds[i] && d <= bounds[i + 1] {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::RoadNetworkConfig;
+    use crate::weights::WeightMode;
+    use hc2l_graph::dijkstra_distance;
+    use hc2l_graph::toy::paper_figure1;
+
+    #[test]
+    fn random_pairs_are_reproducible_and_in_range() {
+        let pairs_a = random_pairs(100, 50, 7);
+        let pairs_b = random_pairs(100, 50, 7);
+        assert_eq!(pairs_a, pairs_b);
+        assert!(pairs_a.iter().all(|p| (p.source as usize) < 100 && (p.target as usize) < 100));
+        let pairs_c = random_pairs(100, 50, 8);
+        assert_ne!(pairs_a, pairs_c);
+    }
+
+    #[test]
+    fn buckets_cover_increasing_distances() {
+        let net = RoadNetworkConfig::city(16, 16, 21).generate();
+        let g = net.graph(WeightMode::Distance);
+        let buckets = distance_buckets(&g, 20, 1000, 3);
+        assert_eq!(buckets.buckets.len(), NUM_BUCKETS);
+        assert!(buckets.l_max > buckets.l_min);
+        // Bounds must be non-decreasing.
+        for w in buckets.bounds.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // Each stored pair's true distance must fall inside its bucket range.
+        for (i, bucket) in buckets.buckets.iter().enumerate() {
+            for pair in bucket.iter().take(5) {
+                let d = dijkstra_distance(&g, pair.source, pair.target);
+                assert!(d > buckets.bounds[i] && d <= buckets.bounds[i + 1]);
+            }
+        }
+        // At least the middle buckets should have found queries.
+        let non_empty = buckets.buckets.iter().filter(|b| !b.is_empty()).count();
+        assert!(non_empty >= NUM_BUCKETS / 2, "only {non_empty} buckets populated");
+    }
+
+    #[test]
+    fn bucket_of_maps_distances_consistently() {
+        let g = paper_figure1();
+        let buckets = distance_buckets(&g, 5, 1000, 1);
+        for (i, bucket) in buckets.buckets.iter().enumerate() {
+            for pair in bucket {
+                let d = dijkstra_distance(&g, pair.source, pair.target);
+                assert_eq!(buckets.bucket_of(d), Some(i));
+            }
+        }
+        assert_eq!(buckets.bucket_of(0), None);
+    }
+
+    #[test]
+    fn total_queries_counts_all_buckets() {
+        let g = paper_figure1();
+        let buckets = distance_buckets(&g, 3, 1, 1);
+        assert_eq!(
+            buckets.total_queries(),
+            buckets.buckets.iter().map(|b| b.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_graph_rejected() {
+        random_pairs(0, 10, 1);
+    }
+}

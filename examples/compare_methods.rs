@@ -1,0 +1,127 @@
+//! Side-by-side comparison of HC2L with the baselines the paper evaluates
+//! against (H2H, PHL, HL), plus Contraction Hierarchies and bidirectional
+//! Dijkstra as search-based reference points — a miniature, human-readable
+//! version of Tables 2 and 3.
+//!
+//! Run with `cargo run --release --example compare_methods`.
+
+use std::time::Instant;
+
+use hc2l::{Hc2lConfig, Hc2lIndex};
+use hc2l_ch::ContractionHierarchy;
+use hc2l_graph::{bidirectional_dijkstra, Distance, Graph};
+use hc2l_h2h::H2hIndex;
+use hc2l_hl::HubLabelIndex;
+use hc2l_phl::PhlIndex;
+use hc2l_roadnet::{random_pairs, QueryPair, RoadNetworkConfig, WeightMode};
+
+fn time_queries(mut f: impl FnMut(&QueryPair) -> Distance, pairs: &[QueryPair]) -> (f64, u128) {
+    let start = Instant::now();
+    let mut checksum = 0u128;
+    for p in pairs {
+        checksum = checksum.wrapping_add(f(p) as u128);
+    }
+    (
+        start.elapsed().as_secs_f64() * 1e6 / pairs.len() as f64,
+        checksum,
+    )
+}
+
+fn row(name: &str, build_secs: f64, micros: f64, label_bytes: usize, extra: &str) {
+    println!(
+        "{name:<10} {:>12.2} s {:>12.3} µs {:>12.2} MB   {extra}",
+        build_secs,
+        micros,
+        label_bytes as f64 / (1024.0 * 1024.0)
+    );
+}
+
+fn main() {
+    let network = RoadNetworkConfig::city(56, 56, 7).generate();
+    let graph: Graph = network.graph(WeightMode::Distance);
+    println!(
+        "network: {} vertices, {} edges\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let pairs = random_pairs(graph.num_vertices(), 50_000, 1);
+    println!(
+        "{:<10} {:>14} {:>15} {:>15}   notes",
+        "method", "construction", "query", "index size"
+    );
+
+    // HC2L (this paper).
+    let t = Instant::now();
+    let hc2l = Hc2lIndex::build(&graph, Hc2lConfig::default());
+    let hc2l_build = t.elapsed().as_secs_f64();
+    let (micros, reference_checksum) = time_queries(|p| hc2l.query(p.source, p.target), &pairs);
+    let s = hc2l.stats();
+    row(
+        "HC2L",
+        hc2l_build,
+        micros,
+        s.label_bytes,
+        &format!("height {}, max cut {}", s.hierarchy.height, s.hierarchy.max_cut_size),
+    );
+
+    // HC2Lp (parallel construction, identical index).
+    let t = Instant::now();
+    let _hc2lp = Hc2lIndex::build(&graph, Hc2lConfig::parallel(4));
+    row("HC2Lp", t.elapsed().as_secs_f64(), micros, s.label_bytes, "same index, parallel build");
+
+    // H2H.
+    let t = Instant::now();
+    let h2h = H2hIndex::build(&graph);
+    let h2h_build = t.elapsed().as_secs_f64();
+    let (micros, checksum) = time_queries(|p| h2h.query(p.source, p.target), &pairs);
+    assert_eq!(checksum, reference_checksum, "H2H disagrees with HC2L");
+    let hs = h2h.stats();
+    row(
+        "H2H",
+        h2h_build,
+        micros,
+        hs.label_bytes,
+        &format!("tree height {}, width {}, LCA {:.1} MB", hs.tree_height, hs.max_bag_size, hs.lca_bytes as f64 / 1048576.0),
+    );
+
+    // PHL.
+    let t = Instant::now();
+    let phl = PhlIndex::build(&graph);
+    let phl_build = t.elapsed().as_secs_f64();
+    let (micros, checksum) = time_queries(|p| phl.query(p.source, p.target), &pairs);
+    assert_eq!(checksum, reference_checksum, "PHL disagrees with HC2L");
+    row(
+        "PHL",
+        phl_build,
+        micros,
+        phl.stats().memory_bytes,
+        &format!("{} highways, avg label {:.1}", phl.stats().num_paths, phl.stats().avg_label_size),
+    );
+
+    // HL.
+    let t = Instant::now();
+    let hl = HubLabelIndex::build(&graph);
+    let hl_build = t.elapsed().as_secs_f64();
+    let (micros, checksum) = time_queries(|p| hl.query(p.source, p.target), &pairs);
+    assert_eq!(checksum, reference_checksum, "HL disagrees with HC2L");
+    row(
+        "HL",
+        hl_build,
+        micros,
+        hl.stats().memory_bytes,
+        &format!("avg label {:.1}", hl.stats().avg_label_size),
+    );
+
+    // CH (search-based).
+    let t = Instant::now();
+    let ch = ContractionHierarchy::build(&graph);
+    let ch_build = t.elapsed().as_secs_f64();
+    let ch_pairs = &pairs[..5_000.min(pairs.len())];
+    let (micros, _) = time_queries(|p| ch.query(p.source, p.target), ch_pairs);
+    row("CH", ch_build, micros, ch.memory_bytes(), "bidirectional upward search");
+
+    // Plain bidirectional Dijkstra for perspective.
+    let dij_pairs = &pairs[..200.min(pairs.len())];
+    let (micros, _) = time_queries(|p| bidirectional_dijkstra(&graph, p.source, p.target), dij_pairs);
+    row("BiDijkstra", 0.0, micros, 0, "no preprocessing");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build an HC2L index over a synthetic city road network and
+//! answer a few distance queries.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use hc2l::{Hc2lConfig, Hc2lIndex};
+use hc2l_graph::dijkstra_distance;
+use hc2l_roadnet::{RoadNetworkConfig, WeightMode};
+
+fn main() {
+    // 1. Generate a synthetic road network (a 64x64 city, ~4k intersections).
+    let network = RoadNetworkConfig::city(64, 64, 2024).generate();
+    let graph = network.graph(WeightMode::Distance);
+    println!(
+        "road network: {} vertices, {} edges, average degree {:.2}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.average_degree()
+    );
+
+    // 2. Build the index. `Hc2lConfig::default()` uses the paper's settings
+    //    (β = 0.2, tail pruning and degree-one contraction enabled).
+    let start = std::time::Instant::now();
+    let index = Hc2lIndex::build(&graph, Hc2lConfig::default());
+    println!("HC2L built in {:.2?}", start.elapsed());
+
+    let stats = index.stats();
+    println!(
+        "labelling: {:.2} MB across {} core vertices ({:.1} entries/vertex), tree height {}, max cut {}",
+        stats.label_mib(),
+        stats.core_vertices,
+        stats.avg_label_entries,
+        stats.hierarchy.height,
+        stats.hierarchy.max_cut_size
+    );
+
+    // 3. Query it. Results are exact: cross-check a few against Dijkstra.
+    let pairs = [(0u32, 4095u32), (17, 2048), (100, 3333), (512, 640)];
+    for (s, t) in pairs {
+        let d = index.query(s, t);
+        assert_eq!(d, dijkstra_distance(&graph, s, t));
+        println!("distance({s:>4}, {t:>4}) = {d:>6} m");
+    }
+
+    // 4. Throughput check: a million random queries.
+    let queries = hc2l_roadnet::random_pairs(graph.num_vertices(), 1_000_000, 7);
+    let start = std::time::Instant::now();
+    let mut checksum = 0u64;
+    for q in &queries {
+        checksum = checksum.wrapping_add(index.query(q.source, q.target));
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "1M random queries in {:.2?} ({:.3} µs/query, checksum {checksum})",
+        elapsed,
+        elapsed.as_secs_f64() * 1e6 / queries.len() as f64
+    );
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate re-exporting the HC2L reproduction workspace.
+//!
+//! Most users should depend on the individual crates (`hc2l`, `hc2l-graph`,
+//! ...); this crate exists so the repository-level examples and integration
+//! tests have a single dependency root.
+
+pub use hc2l;
+pub use hc2l_ch;
+pub use hc2l_cut;
+pub use hc2l_graph;
+pub use hc2l_h2h;
+pub use hc2l_hl;
+pub use hc2l_phl;
+pub use hc2l_roadnet;

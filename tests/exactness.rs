@@ -1,0 +1,135 @@
+//! Property-based exactness tests: on randomly generated weighted graphs,
+//! every labelling method must return exactly the Dijkstra distance for every
+//! queried pair. These are the strongest correctness guarantees in the suite
+//! because they explore graph shapes none of the hand-written tests contain.
+
+use proptest::prelude::*;
+
+use hc2l::{Hc2lConfig, Hc2lIndex};
+use hc2l_ch::ContractionHierarchy;
+use hc2l_graph::{dijkstra, Graph, GraphBuilder, Vertex};
+use hc2l_h2h::H2hIndex;
+use hc2l_hl::HubLabelIndex;
+use hc2l_phl::PhlIndex;
+
+/// Strategy: a random graph with `n` vertices built from a random spanning
+/// tree (guaranteeing connectivity) plus a sprinkle of extra edges, with
+/// small random weights.
+fn random_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3usize..=max_n).prop_flat_map(|n| {
+        let tree_parents = proptest::collection::vec(0usize..usize::MAX, n - 1);
+        let tree_weights = proptest::collection::vec(1u32..=20, n - 1);
+        let extra_edges = proptest::collection::vec((0usize..n, 0usize..n, 1u32..=20), 0..2 * n);
+        (tree_parents, tree_weights, extra_edges).prop_map(move |(parents, weights, extra)| {
+            let mut b = GraphBuilder::new(n);
+            for i in 1..n {
+                let p = parents[i - 1] % i;
+                b.add_edge(p as Vertex, i as Vertex, weights[i - 1]);
+            }
+            for (u, v, w) in extra {
+                if u != v {
+                    b.add_edge(u as Vertex, v as Vertex, w);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// Strategy: a random graph that may be disconnected (no spanning tree).
+fn random_sparse_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0usize..n, 0usize..n, 1u32..=9), 0..3 * n).prop_map(
+            move |edges| {
+                let mut b = GraphBuilder::new(n);
+                for (u, v, w) in edges {
+                    if u != v {
+                        b.add_edge(u as Vertex, v as Vertex, w);
+                    }
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+fn assert_method_exact(g: &Graph, name: &str, query: impl Fn(Vertex, Vertex) -> u64) {
+    let n = g.num_vertices();
+    for s in 0..n as Vertex {
+        let dist = dijkstra(g, s);
+        for t in 0..n as Vertex {
+            let got = query(s, t);
+            assert_eq!(
+                got, dist[t as usize],
+                "{name}: query ({s},{t}) returned {got}, Dijkstra says {}",
+                dist[t as usize]
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hc2l_matches_dijkstra_on_connected_graphs(g in random_connected_graph(40)) {
+        let index = Hc2lIndex::build(&g, Hc2lConfig::default());
+        assert_method_exact(&g, "HC2L", |s, t| index.query(s, t));
+    }
+
+    #[test]
+    fn hc2l_without_pruning_and_contraction_matches(g in random_connected_graph(30)) {
+        let index = Hc2lIndex::build(
+            &g,
+            Hc2lConfig::default().without_tail_pruning().without_contraction(),
+        );
+        assert_method_exact(&g, "HC2L(no-prune,no-contract)", |s, t| index.query(s, t));
+    }
+
+    #[test]
+    fn hc2l_handles_disconnected_graphs(g in random_sparse_graph(30)) {
+        let index = Hc2lIndex::build(&g, Hc2lConfig::default());
+        assert_method_exact(&g, "HC2L(sparse)", |s, t| index.query(s, t));
+    }
+
+    #[test]
+    fn h2h_matches_dijkstra(g in random_connected_graph(30)) {
+        let index = H2hIndex::build(&g);
+        assert_method_exact(&g, "H2H", |s, t| index.query(s, t));
+    }
+
+    #[test]
+    fn hub_labelling_matches_dijkstra(g in random_connected_graph(30)) {
+        let index = HubLabelIndex::build(&g);
+        assert_method_exact(&g, "HL", |s, t| index.query(s, t));
+    }
+
+    #[test]
+    fn phl_matches_dijkstra(g in random_connected_graph(30)) {
+        let index = PhlIndex::build(&g);
+        assert_method_exact(&g, "PHL", |s, t| index.query(s, t));
+    }
+
+    #[test]
+    fn contraction_hierarchies_match_dijkstra(g in random_connected_graph(30)) {
+        let ch = ContractionHierarchy::build(&g);
+        assert_method_exact(&g, "CH", |s, t| ch.query(s, t));
+    }
+
+    #[test]
+    fn all_methods_agree_pairwise(g in random_connected_graph(25)) {
+        let hc2l = Hc2lIndex::build(&g, Hc2lConfig::default());
+        let h2h = H2hIndex::build(&g);
+        let hl = HubLabelIndex::build(&g);
+        let phl = PhlIndex::build(&g);
+        let n = g.num_vertices() as Vertex;
+        for s in 0..n {
+            for t in 0..n {
+                let d = hc2l.query(s, t);
+                prop_assert_eq!(h2h.query(s, t), d);
+                prop_assert_eq!(hl.query(s, t), d);
+                prop_assert_eq!(phl.query(s, t), d);
+            }
+        }
+    }
+}
