@@ -3,8 +3,8 @@
 //! binary's `--figure7` mode).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use hc2l::{Hc2lConfig, Hc2lIndex};
 use hc2l_roadnet::{random_pairs, standard_suite, SuiteScale, WeightMode};

@@ -2,11 +2,11 @@
 //! index build time of HC2L (sequential and parallel) and the baselines.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use hc2l::{Hc2lConfig, Hc2lIndex};
-use hc2l_bench::oracle::{build_oracle, Method};
+use hc2l_bench::oracle::{build_oracle, DistanceOracle, Method};
 use hc2l_roadnet::{standard_suite, SuiteScale, WeightMode};
 
 fn bench_construction(c: &mut Criterion) {
@@ -16,7 +16,7 @@ fn bench_construction(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(800));
     for spec in standard_suite(SuiteScale::Tiny).into_iter().take(2) {
         let g = spec.build().graph(WeightMode::Distance);
-        for method in [Method::Hc2l, Method::H2h, Method::Phl, Method::Hl] {
+        for method in Method::LABELLING {
             group.bench_with_input(BenchmarkId::new(method.name(), &spec.name), &g, |b, g| {
                 b.iter(|| black_box(build_oracle(method, g, 1).label_bytes()))
             });

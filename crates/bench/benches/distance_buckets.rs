@@ -2,10 +2,10 @@
 //! distance (buckets Q1..Q10).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
-use hc2l_bench::oracle::{build_oracle, Method};
+use hc2l_bench::oracle::{build_oracle, DistanceOracle, Method};
 use hc2l_roadnet::{distance_buckets, standard_suite, SuiteScale, WeightMode};
 
 fn bench_distance_buckets(c: &mut Criterion) {
@@ -16,7 +16,7 @@ fn bench_distance_buckets(c: &mut Criterion) {
     let spec = &standard_suite(SuiteScale::Tiny)[0];
     let g = spec.build().graph(WeightMode::Distance);
     let buckets = distance_buckets(&g, 64, 1000, 7);
-    for method in [Method::Hc2l, Method::H2h, Method::Phl, Method::Hl] {
+    for method in Method::LABELLING {
         let oracle = build_oracle(method, &g, 1);
         for (i, bucket) in buckets.buckets.iter().enumerate() {
             if bucket.len() < 8 {
@@ -29,7 +29,7 @@ fn bench_distance_buckets(c: &mut Criterion) {
                     b.iter(|| {
                         let mut acc = 0u128;
                         for p in bucket {
-                            acc = acc.wrapping_add(oracle.query(p.source, p.target) as u128);
+                            acc = acc.wrapping_add(oracle.distance(p.source, p.target) as u128);
                         }
                         black_box(acc)
                     })

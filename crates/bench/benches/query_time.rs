@@ -2,10 +2,10 @@
 //! of HC2L and the baseline labellings on random vertex pairs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
-use hc2l_bench::oracle::{build_oracle, Method};
+use hc2l_bench::oracle::{build_oracle, DistanceOracle, Method};
 use hc2l_roadnet::{random_pairs, standard_suite, SuiteScale, WeightMode};
 
 fn bench_query_time(c: &mut Criterion) {
@@ -16,7 +16,7 @@ fn bench_query_time(c: &mut Criterion) {
     for spec in standard_suite(SuiteScale::Tiny).into_iter().take(3) {
         let g = spec.build().graph(WeightMode::Distance);
         let pairs = random_pairs(g.num_vertices(), 512, 42);
-        for method in [Method::Hc2l, Method::H2h, Method::Phl, Method::Hl] {
+        for method in Method::LABELLING {
             let oracle = build_oracle(method, &g, 1);
             group.bench_with_input(
                 BenchmarkId::new(method.name(), &spec.name),
@@ -25,7 +25,7 @@ fn bench_query_time(c: &mut Criterion) {
                     b.iter(|| {
                         let mut acc = 0u128;
                         for p in pairs {
-                            acc = acc.wrapping_add(oracle.query(p.source, p.target) as u128);
+                            acc = acc.wrapping_add(oracle.distance(p.source, p.target) as u128);
                         }
                         black_box(acc)
                     })

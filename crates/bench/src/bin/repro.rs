@@ -15,8 +15,10 @@
 //! Output goes to stdout; redirect it into `EXPERIMENTS.md` fences to refresh
 //! the recorded results.
 
-use hc2l_bench::tables::{ablation_tail_pruning, run_comparison, table1, table2, table3, table5, SuiteOptions};
 use hc2l_bench::figures::{figure6, figure7};
+use hc2l_bench::tables::{
+    ablation_tail_pruning, run_comparison, table1, table2, table3, table5, SuiteOptions,
+};
 use hc2l_roadnet::{SuiteScale, WeightMode};
 
 #[derive(Debug, Clone)]
@@ -182,6 +184,9 @@ fn main() {
         println!("{}", figure7(&opts, WeightMode::Distance).render());
     }
     if args.ablation {
-        println!("{}", ablation_tail_pruning(&opts, WeightMode::Distance).render());
+        println!(
+            "{}",
+            ablation_tail_pruning(&opts, WeightMode::Distance).render()
+        );
     }
 }

@@ -4,7 +4,7 @@ use hc2l::Hc2lConfig;
 use hc2l_roadnet::{distance_buckets, random_pairs, WeightMode};
 
 use crate::measure::{measure_build, measure_query_time};
-use crate::oracle::ALL_METHODS;
+use crate::oracle::Method;
 use crate::report::Table;
 use crate::tables::SuiteOptions;
 
@@ -24,14 +24,14 @@ pub fn figure6(opts: &SuiteOptions, mode: WeightMode, per_bucket: usize) -> Vec<
             &format!("Figure 6 — query time by distance bucket ({})", spec.name),
             &header_refs,
         );
-        for method in ALL_METHODS {
+        for method in Method::LABELLING {
             let build = measure_build(method, &g, 1);
             let mut row = vec![method.name().to_string()];
             for bucket in &buckets.buckets {
                 if bucket.is_empty() {
                     row.push("-".to_string());
                 } else {
-                    let m = measure_query_time(build.oracle.as_ref(), bucket);
+                    let m = measure_query_time(&build.oracle, bucket);
                     row.push(format!("{:.3}", m.avg_micros));
                 }
             }
@@ -48,7 +48,15 @@ pub fn figure7(opts: &SuiteOptions, mode: WeightMode) -> Table {
     let betas = [0.15, 0.20, 0.25, 0.30, 0.35];
     let mut t = Table::new(
         "Figure 7 — HC2L query time and cut size vs. balance threshold β",
-        &["Dataset", "β", "Query [µs]", "Avg cut", "Max cut", "Height", "Label size"],
+        &[
+            "Dataset",
+            "β",
+            "Query [µs]",
+            "Avg cut",
+            "Max cut",
+            "Height",
+            "Label size",
+        ],
     );
     for spec in opts.datasets() {
         let g = spec.build().graph(mode);
@@ -88,7 +96,7 @@ mod tests {
         opts.queries = 100;
         let tables = figure6(&opts, WeightMode::Distance, 20);
         assert_eq!(tables.len(), 1);
-        assert_eq!(tables[0].num_rows(), ALL_METHODS.len());
+        assert_eq!(tables[0].num_rows(), Method::LABELLING.len());
         assert!(tables[0].render().contains("Q10"));
     }
 

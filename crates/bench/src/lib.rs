@@ -26,5 +26,5 @@ pub mod report;
 pub mod tables;
 
 pub use measure::{measure_query_time, BuildMeasurement, QueryMeasurement};
-pub use oracle::{build_oracle, DistanceOracle, Method, ALL_METHODS};
+pub use oracle::{build_oracle, DistanceOracle, Method, Oracle, OracleBuilder, OracleConfig};
 pub use report::Table;

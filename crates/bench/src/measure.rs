@@ -5,7 +5,7 @@ use std::time::Instant;
 use hc2l_graph::{Distance, Graph, Vertex};
 use hc2l_roadnet::QueryPair;
 
-use crate::oracle::{build_oracle, DistanceOracle, Method};
+use crate::oracle::{build_oracle, DistanceOracle, Method, Oracle};
 
 /// Result of timing a batch of queries on one oracle.
 #[derive(Debug, Clone, Copy)]
@@ -24,7 +24,7 @@ pub struct QueryMeasurement {
 /// Result of building one index.
 pub struct BuildMeasurement {
     /// The built oracle.
-    pub oracle: Box<dyn DistanceOracle>,
+    pub oracle: Oracle,
     /// Wall-clock build time in seconds (measured here, around the whole
     /// build call).
     pub build_seconds: f64,
@@ -41,12 +41,12 @@ pub fn measure_build(method: Method, g: &Graph, threads: usize) -> BuildMeasurem
 }
 
 /// Times a batch of queries and samples the hub-scan counts.
-pub fn measure_query_time(oracle: &dyn DistanceOracle, pairs: &[QueryPair]) -> QueryMeasurement {
+pub fn measure_query_time(oracle: &impl DistanceOracle, pairs: &[QueryPair]) -> QueryMeasurement {
     assert!(!pairs.is_empty(), "cannot measure an empty workload");
     let start = Instant::now();
     let mut checksum: u128 = 0;
     for p in pairs {
-        let d: Distance = oracle.query(p.source, p.target);
+        let d: Distance = oracle.distance(p.source, p.target);
         checksum = checksum.wrapping_add(d as u128);
     }
     let elapsed = start.elapsed();
@@ -55,7 +55,10 @@ pub fn measure_query_time(oracle: &dyn DistanceOracle, pairs: &[QueryPair]) -> Q
     let mut hub_sum = 0usize;
     let mut hub_count = 0usize;
     for p in pairs.iter().step_by(sample_every) {
-        hub_sum += oracle.hubs_examined(p.source, p.target);
+        hub_sum += oracle
+            .distance_with_stats(p.source, p.target)
+            .1
+            .hubs_scanned;
         hub_count += 1;
     }
     QueryMeasurement {
@@ -73,13 +76,13 @@ pub fn measure_query_time(oracle: &dyn DistanceOracle, pairs: &[QueryPair]) -> Q
 /// Verifies that two oracles agree on a workload (used by integration tests
 /// and as a guard inside the experiment runners).
 pub fn oracles_agree(
-    a: &dyn DistanceOracle,
-    b: &dyn DistanceOracle,
+    a: &impl DistanceOracle,
+    b: &impl DistanceOracle,
     pairs: &[QueryPair],
 ) -> Result<(), (Vertex, Vertex, Distance, Distance)> {
     for p in pairs {
-        let da = a.query(p.source, p.target);
-        let db = b.query(p.source, p.target);
+        let da = a.distance(p.source, p.target);
+        let db = b.distance(p.source, p.target);
         if da != db {
             return Err((p.source, p.target, da, db));
         }
@@ -99,13 +102,13 @@ mod tests {
         let pairs = random_pairs(16, 200, 3);
         let hc2l = measure_build(Method::Hc2l, &g, 1);
         let hl = measure_build(Method::Hl, &g, 1);
-        let m1 = measure_query_time(hc2l.oracle.as_ref(), &pairs);
-        let m2 = measure_query_time(hl.oracle.as_ref(), &pairs);
+        let m1 = measure_query_time(&hc2l.oracle, &pairs);
+        let m2 = measure_query_time(&hl.oracle, &pairs);
         assert_eq!(m1.checksum, m2.checksum);
         assert_eq!(m1.num_queries, 200);
         assert!(m1.avg_micros >= 0.0);
         assert!(m1.avg_hubs > 0.0);
-        assert!(oracles_agree(hc2l.oracle.as_ref(), hl.oracle.as_ref(), &pairs).is_ok());
+        assert!(oracles_agree(&hc2l.oracle, &hl.oracle, &pairs).is_ok());
     }
 
     #[test]
@@ -113,6 +116,6 @@ mod tests {
     fn empty_workload_rejected() {
         let g = paper_figure1();
         let b = measure_build(Method::Hc2l, &g, 1);
-        measure_query_time(b.oracle.as_ref(), &[]);
+        measure_query_time(&b.oracle, &[]);
     }
 }

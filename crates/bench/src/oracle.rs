@@ -1,229 +1,17 @@
-//! A uniform interface over all distance-query methods so the experiment
-//! runners can treat HC2L and the baselines interchangeably.
+//! Re-export of the unified oracle API from `hc2l-oracle`.
+//!
+//! The experiment runners used to maintain their own adapter layer here;
+//! that role moved into the `hc2l-oracle` crate, where the
+//! [`DistanceOracle`] trait is implemented by every backend directly. This
+//! module keeps the benchmark-facing names stable and adds the one
+//! convenience the runners want: building by `(method, graph, threads)`.
 
-use hc2l::{Hc2lConfig, Hc2lIndex};
-use hc2l_ch::ContractionHierarchy;
-use hc2l_graph::{Distance, Graph, Vertex};
-use hc2l_h2h::H2hIndex;
-use hc2l_hl::HubLabelIndex;
-use hc2l_phl::PhlIndex;
+pub use hc2l_oracle::{DistanceOracle, Method, Oracle, OracleBuilder, OracleConfig, QueryStats};
 
-/// The methods compared in the paper's evaluation (plus CH, which the paper
-/// discusses as the search-based state of the art).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Method {
-    /// Hierarchical Cut 2-Hop Labelling (this paper), sequential build.
-    Hc2l,
-    /// HC2L built with multiple threads (HC2Lp).
-    Hc2lParallel,
-    /// Hierarchical 2-Hop Index (tree decomposition labelling).
-    H2h,
-    /// Pruned Highway Labelling.
-    Phl,
-    /// Hub Labelling (pruned landmark labelling over a CH order).
-    Hl,
-    /// Contraction Hierarchies (search-based baseline).
-    Ch,
-}
-
-impl Method {
-    /// Display name used in the generated tables.
-    pub fn name(self) -> &'static str {
-        match self {
-            Method::Hc2l => "HC2L",
-            Method::Hc2lParallel => "HC2Lp",
-            Method::H2h => "H2H",
-            Method::Phl => "PHL",
-            Method::Hl => "HL",
-            Method::Ch => "CH",
-        }
-    }
-}
-
-/// The labelling methods the paper's main tables compare (HC2Lp shares its
-/// index with HC2L, and CH is only used in auxiliary comparisons).
-pub const ALL_METHODS: [Method; 4] = [Method::Hc2l, Method::H2h, Method::Phl, Method::Hl];
-
-/// Object-safe facade over a built index.
-pub trait DistanceOracle: Send + Sync {
-    /// Method name.
-    fn name(&self) -> &'static str;
-    /// Exact distance query.
-    fn query(&self, s: Vertex, t: Vertex) -> Distance;
-    /// Number of hub entries (or settled vertices, for CH) examined for this
-    /// query — the paper's "average hub size" metric.
-    fn hubs_examined(&self, s: Vertex, t: Vertex) -> usize;
-    /// Bytes of distance-label storage (0 for pure search methods).
-    fn label_bytes(&self) -> usize;
-    /// Bytes of auxiliary LCA structures (Table 3; 0 when not applicable).
-    fn lca_bytes(&self) -> usize;
-    /// Wall-clock seconds the construction took.
-    fn construction_seconds(&self) -> f64;
-    /// Method-specific tree height (Table 5), when the method has a tree.
-    fn tree_height(&self) -> Option<u32> {
-        None
-    }
-    /// Method-specific maximum cut/bag width (Table 5), when applicable.
-    fn max_width(&self) -> Option<usize> {
-        None
-    }
-}
-
-/// Builds the index for `method` over `g`.
-pub fn build_oracle(method: Method, g: &Graph, threads: usize) -> Box<dyn DistanceOracle> {
-    match method {
-        Method::Hc2l => Box::new(Hc2lOracle(Hc2lIndex::build(g, Hc2lConfig::default()))),
-        Method::Hc2lParallel => Box::new(Hc2lOracle(Hc2lIndex::build(
-            g,
-            Hc2lConfig {
-                threads: threads.max(2),
-                parallel_grain: 512,
-                ..Default::default()
-            },
-        ))),
-        Method::H2h => Box::new(H2hOracle(H2hIndex::build(g))),
-        Method::Phl => Box::new(PhlOracle(PhlIndex::build(g))),
-        Method::Hl => Box::new(HlOracle(HubLabelIndex::build(g))),
-        Method::Ch => Box::new(ChOracle {
-            ch: ContractionHierarchy::build(g),
-            seconds: 0.0,
-        }),
-    }
-}
-
-/// Builds an HC2L oracle with an explicit configuration (β sweeps, ablation).
-pub fn build_hc2l_with(g: &Graph, config: Hc2lConfig) -> Hc2lIndex {
-    Hc2lIndex::build(g, config)
-}
-
-struct Hc2lOracle(pub Hc2lIndex);
-
-impl DistanceOracle for Hc2lOracle {
-    fn name(&self) -> &'static str {
-        "HC2L"
-    }
-    fn query(&self, s: Vertex, t: Vertex) -> Distance {
-        self.0.query(s, t)
-    }
-    fn hubs_examined(&self, s: Vertex, t: Vertex) -> usize {
-        self.0.query_with_stats(s, t).1.hubs_scanned
-    }
-    fn label_bytes(&self) -> usize {
-        self.0.stats().label_bytes
-    }
-    fn lca_bytes(&self) -> usize {
-        self.0.stats().lca_bytes
-    }
-    fn construction_seconds(&self) -> f64 {
-        self.0.construction_stats().seconds
-    }
-    fn tree_height(&self) -> Option<u32> {
-        Some(self.0.stats().hierarchy.height)
-    }
-    fn max_width(&self) -> Option<usize> {
-        Some(self.0.stats().hierarchy.max_cut_size)
-    }
-}
-
-struct H2hOracle(pub H2hIndex);
-
-impl DistanceOracle for H2hOracle {
-    fn name(&self) -> &'static str {
-        "H2H"
-    }
-    fn query(&self, s: Vertex, t: Vertex) -> Distance {
-        self.0.query(s, t)
-    }
-    fn hubs_examined(&self, s: Vertex, t: Vertex) -> usize {
-        self.0.query_with_stats(s, t).1
-    }
-    fn label_bytes(&self) -> usize {
-        self.0.stats().label_bytes
-    }
-    fn lca_bytes(&self) -> usize {
-        self.0.stats().lca_bytes
-    }
-    fn construction_seconds(&self) -> f64 {
-        self.0.construction_seconds
-    }
-    fn tree_height(&self) -> Option<u32> {
-        Some(self.0.stats().tree_height)
-    }
-    fn max_width(&self) -> Option<usize> {
-        Some(self.0.stats().max_bag_size)
-    }
-}
-
-struct PhlOracle(pub PhlIndex);
-
-impl DistanceOracle for PhlOracle {
-    fn name(&self) -> &'static str {
-        "PHL"
-    }
-    fn query(&self, s: Vertex, t: Vertex) -> Distance {
-        self.0.query(s, t)
-    }
-    fn hubs_examined(&self, s: Vertex, t: Vertex) -> usize {
-        self.0.query_with_stats(s, t).entries_scanned
-    }
-    fn label_bytes(&self) -> usize {
-        self.0.stats().memory_bytes
-    }
-    fn lca_bytes(&self) -> usize {
-        0
-    }
-    fn construction_seconds(&self) -> f64 {
-        self.0.construction_seconds
-    }
-}
-
-struct HlOracle(pub HubLabelIndex);
-
-impl DistanceOracle for HlOracle {
-    fn name(&self) -> &'static str {
-        "HL"
-    }
-    fn query(&self, s: Vertex, t: Vertex) -> Distance {
-        self.0.query(s, t)
-    }
-    fn hubs_examined(&self, s: Vertex, t: Vertex) -> usize {
-        self.0.query_with_stats(s, t).entries_scanned
-    }
-    fn label_bytes(&self) -> usize {
-        self.0.stats().memory_bytes
-    }
-    fn lca_bytes(&self) -> usize {
-        0
-    }
-    fn construction_seconds(&self) -> f64 {
-        self.0.construction_seconds
-    }
-}
-
-struct ChOracle {
-    ch: ContractionHierarchy,
-    seconds: f64,
-}
-
-impl DistanceOracle for ChOracle {
-    fn name(&self) -> &'static str {
-        "CH"
-    }
-    fn query(&self, s: Vertex, t: Vertex) -> Distance {
-        self.ch.query(s, t)
-    }
-    fn hubs_examined(&self, s: Vertex, t: Vertex) -> usize {
-        self.ch.query_with_stats(s, t).settled
-    }
-    fn label_bytes(&self) -> usize {
-        self.ch.memory_bytes()
-    }
-    fn lca_bytes(&self) -> usize {
-        0
-    }
-    fn construction_seconds(&self) -> f64 {
-        self.seconds
-    }
+/// Builds the index for `method` over `g`, using `threads` workers where the
+/// method supports parallel construction.
+pub fn build_oracle(method: Method, g: &hc2l_graph::Graph, threads: usize) -> Oracle {
+    OracleBuilder::new(method).threads(threads).build(g)
 }
 
 #[cfg(test)]
@@ -235,24 +23,17 @@ mod tests {
     #[test]
     fn all_oracles_answer_exactly() {
         let g = paper_figure1();
-        for method in [
-            Method::Hc2l,
-            Method::Hc2lParallel,
-            Method::H2h,
-            Method::Phl,
-            Method::Hl,
-            Method::Ch,
-        ] {
+        for method in Method::ALL {
             let oracle = build_oracle(method, &g, 2);
             for &(s, t) in &[(0u32, 7u32), (2, 9), (13, 14), (5, 5), (3, 12)] {
                 assert_eq!(
-                    oracle.query(s, t),
+                    oracle.distance(s, t),
                     dijkstra_distance(&g, s, t),
                     "{} wrong on ({s},{t})",
                     oracle.name()
                 );
             }
-            assert!(oracle.label_bytes() > 0 || method == Method::Ch || oracle.label_bytes() > 0);
+            assert!(oracle.index_bytes() > 0);
             assert!(oracle.construction_seconds() >= 0.0);
         }
     }
@@ -261,6 +42,6 @@ mod tests {
     fn method_names_are_stable() {
         assert_eq!(Method::Hc2l.name(), "HC2L");
         assert_eq!(Method::Hc2lParallel.name(), "HC2Lp");
-        assert_eq!(ALL_METHODS.len(), 4);
+        assert_eq!(Method::LABELLING.len(), 4);
     }
 }

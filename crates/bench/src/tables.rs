@@ -2,10 +2,12 @@
 
 use hc2l::Hc2lConfig;
 use hc2l_graph::Graph;
-use hc2l_roadnet::{dataset_summary, random_pairs, standard_suite, DatasetSpec, SuiteScale, WeightMode};
+use hc2l_roadnet::{
+    dataset_summary, random_pairs, standard_suite, DatasetSpec, SuiteScale, WeightMode,
+};
 
 use crate::measure::{measure_build, measure_query_time};
-use crate::oracle::{Method, ALL_METHODS};
+use crate::oracle::{DistanceOracle, Method};
 use crate::report::{fmt_bytes, fmt_seconds, Table};
 
 /// Options controlling which datasets to run and how many queries to time.
@@ -111,9 +113,9 @@ fn run_dataset(name: &str, g: &Graph, opts: &SuiteOptions, _mode: WeightMode) ->
     let pairs = random_pairs(g.num_vertices(), opts.queries, 0xC0FFEE);
     let mut rows = Vec::new();
     let mut checksum: Option<u128> = None;
-    for method in ALL_METHODS {
+    for method in Method::LABELLING {
         let build = measure_build(method, g, 1);
-        let q = measure_query_time(build.oracle.as_ref(), &pairs);
+        let q = measure_query_time(&build.oracle, &pairs);
         // All methods must agree on the workload; the checksum is a cheap
         // full-workload consistency guard.
         match checksum {
@@ -172,13 +174,22 @@ pub fn table1(opts: &SuiteOptions, mode: WeightMode) -> Table {
 /// Tables 2 and 4: query time, labelling size and construction time.
 pub fn table2(results: &[DatasetResult], mode: WeightMode) -> Table {
     let title = match mode {
-        WeightMode::Distance => "Table 2 — query time / labelling size / construction time (distance weights)",
-        WeightMode::TravelTime => "Table 4 — query time / labelling size / construction time (travel-time weights)",
+        WeightMode::Distance => {
+            "Table 2 — query time / labelling size / construction time (distance weights)"
+        }
+        WeightMode::TravelTime => {
+            "Table 4 — query time / labelling size / construction time (travel-time weights)"
+        }
     };
     let mut t = Table::new(
         title,
         &[
-            "Dataset", "Method", "Query [µs]", "Label size", "Construction", "HC2Lp constr.",
+            "Dataset",
+            "Method",
+            "Query [µs]",
+            "Label size",
+            "Construction",
+            "HC2Lp constr.",
         ],
     );
     for r in results {
@@ -204,18 +215,32 @@ pub fn table2(results: &[DatasetResult], mode: WeightMode) -> Table {
 pub fn table3(results: &[DatasetResult]) -> Table {
     let mut t = Table::new(
         "Table 3 — LCA storage and average hub size (AHS)",
-        &["Dataset", "LCA HC2L", "LCA H2H", "AHS HC2L", "AHS H2H", "AHS PHL", "AHS HL"],
+        &[
+            "Dataset", "LCA HC2L", "LCA H2H", "AHS HC2L", "AHS H2H", "AHS PHL", "AHS HL",
+        ],
     );
     for r in results {
         let get = |m: &str| r.row(m);
         t.add_row(vec![
             r.name.clone(),
-            get("HC2L").map(|x| fmt_bytes(x.lca_bytes)).unwrap_or_default(),
-            get("H2H").map(|x| fmt_bytes(x.lca_bytes)).unwrap_or_default(),
-            get("HC2L").map(|x| format!("{:.0}", x.avg_hubs)).unwrap_or_default(),
-            get("H2H").map(|x| format!("{:.0}", x.avg_hubs)).unwrap_or_default(),
-            get("PHL").map(|x| format!("{:.0}", x.avg_hubs)).unwrap_or_default(),
-            get("HL").map(|x| format!("{:.0}", x.avg_hubs)).unwrap_or_default(),
+            get("HC2L")
+                .map(|x| fmt_bytes(x.lca_bytes))
+                .unwrap_or_default(),
+            get("H2H")
+                .map(|x| fmt_bytes(x.lca_bytes))
+                .unwrap_or_default(),
+            get("HC2L")
+                .map(|x| format!("{:.0}", x.avg_hubs))
+                .unwrap_or_default(),
+            get("H2H")
+                .map(|x| format!("{:.0}", x.avg_hubs))
+                .unwrap_or_default(),
+            get("PHL")
+                .map(|x| format!("{:.0}", x.avg_hubs))
+                .unwrap_or_default(),
+            get("HL")
+                .map(|x| format!("{:.0}", x.avg_hubs))
+                .unwrap_or_default(),
         ]);
     }
     t
@@ -225,17 +250,31 @@ pub fn table3(results: &[DatasetResult]) -> Table {
 pub fn table5(results: &[DatasetResult]) -> Table {
     let mut t = Table::new(
         "Table 5 — tree height and max cut size/width",
-        &["Dataset", "Height HC2L", "Height H2H", "MaxCut HC2L", "Width H2H"],
+        &[
+            "Dataset",
+            "Height HC2L",
+            "Height H2H",
+            "MaxCut HC2L",
+            "Width H2H",
+        ],
     );
     for r in results {
         let hc2l = r.row("HC2L");
         let h2h = r.row("H2H");
         t.add_row(vec![
             r.name.clone(),
-            hc2l.and_then(|x| x.tree_height).map(|h| h.to_string()).unwrap_or_default(),
-            h2h.and_then(|x| x.tree_height).map(|h| h.to_string()).unwrap_or_default(),
-            hc2l.and_then(|x| x.max_width).map(|h| h.to_string()).unwrap_or_default(),
-            h2h.and_then(|x| x.max_width).map(|h| h.to_string()).unwrap_or_default(),
+            hc2l.and_then(|x| x.tree_height)
+                .map(|h| h.to_string())
+                .unwrap_or_default(),
+            h2h.and_then(|x| x.tree_height)
+                .map(|h| h.to_string())
+                .unwrap_or_default(),
+            hc2l.and_then(|x| x.max_width)
+                .map(|h| h.to_string())
+                .unwrap_or_default(),
+            h2h.and_then(|x| x.max_width)
+                .map(|h| h.to_string())
+                .unwrap_or_default(),
         ]);
     }
     t
@@ -287,7 +326,7 @@ mod tests {
         let results = run_comparison(WeightMode::Distance, &opts);
         assert_eq!(results.len(), 2);
         for r in &results {
-            assert_eq!(r.rows.len(), ALL_METHODS.len());
+            assert_eq!(r.rows.len(), Method::LABELLING.len());
             // HC2L must have the smallest per-query hub count among labelling
             // methods (that is the paper's core claim about search space).
             let hc2l_hubs = r.row("HC2L").unwrap().avg_hubs;
@@ -295,7 +334,7 @@ mod tests {
             assert!(hc2l_hubs <= hl_hubs * 1.5 + 5.0);
         }
         let t2 = table2(&results, WeightMode::Distance);
-        assert_eq!(t2.num_rows(), 2 * ALL_METHODS.len());
+        assert_eq!(t2.num_rows(), 2 * Method::LABELLING.len());
         let t3 = table3(&results);
         let t5 = table5(&results);
         assert_eq!(t3.num_rows(), 2);

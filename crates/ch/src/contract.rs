@@ -29,6 +29,8 @@ pub struct ContractionHierarchy {
     pub upward: Vec<Vec<UpwardEdge>>,
     /// Number of shortcut edges inserted during contraction.
     pub num_shortcuts: usize,
+    /// Wall-clock construction time in seconds.
+    pub construction_seconds: f64,
 }
 
 /// Working adjacency during contraction: a weighted dynamic graph with
@@ -98,7 +100,8 @@ impl DynamicGraph {
         limit: Distance,
         max_settled: usize,
     ) -> bool {
-        let mut dist: std::collections::HashMap<Vertex, Distance> = std::collections::HashMap::new();
+        let mut dist: std::collections::HashMap<Vertex, Distance> =
+            std::collections::HashMap::new();
         let mut heap: BinaryHeap<Reverse<(Distance, Vertex)>> = BinaryHeap::new();
         dist.insert(s, 0);
         heap.push(Reverse((0, s)));
@@ -153,6 +156,7 @@ impl DynamicGraph {
 impl ContractionHierarchy {
     /// Builds a contraction hierarchy with the lazy edge-difference ordering.
     pub fn build(g: &Graph) -> Self {
+        let start = std::time::Instant::now();
         let n = g.num_vertices();
         let mut dyn_graph = DynamicGraph::new(g);
         let mut rank = vec![0u32; n];
@@ -236,6 +240,7 @@ impl ContractionHierarchy {
             ordering,
             upward,
             num_shortcuts,
+            construction_seconds: start.elapsed().as_secs_f64(),
         }
     }
 
@@ -288,7 +293,11 @@ mod tests {
         let ch = ContractionHierarchy::build(&g);
         // A path has treewidth 1; the number of shortcuts should stay small
         // (well below the quadratic worst case).
-        assert!(ch.num_shortcuts <= 64, "too many shortcuts: {}", ch.num_shortcuts);
+        assert!(
+            ch.num_shortcuts <= 64,
+            "too many shortcuts: {}",
+            ch.num_shortcuts
+        );
     }
 
     #[test]

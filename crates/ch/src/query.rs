@@ -7,34 +7,23 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use hc2l_graph::{Distance, Vertex, INFINITY};
+use hc2l_graph::{Distance, QueryStats, Vertex, INFINITY};
 
 use crate::contract::ContractionHierarchy;
-
-/// Result of one CH query, including the number of settled vertices — the CH
-/// counterpart of the "search space" the paper contrasts labelling methods
-/// against.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ChQueryResult {
-    /// Shortest-path distance ([`INFINITY`] if disconnected).
-    pub distance: Distance,
-    /// Number of vertices settled across both search directions.
-    pub settled: usize,
-}
 
 impl ContractionHierarchy {
     /// Exact distance query.
     pub fn query(&self, s: Vertex, t: Vertex) -> Distance {
-        self.query_with_stats(s, t).distance
+        self.query_with_stats(s, t).0
     }
 
-    /// Exact distance query with search-space statistics.
-    pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> ChQueryResult {
+    /// Exact distance query with search-space statistics: `hubs_scanned` is
+    /// the number of vertices settled across both search directions — the CH
+    /// counterpart of the "search space" the paper contrasts labelling
+    /// methods against.
+    pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
         if s == t {
-            return ChQueryResult {
-                distance: 0,
-                settled: 0,
-            };
+            return (0, QueryStats::default());
         }
         let mut dist_f: HashMap<Vertex, Distance> = HashMap::new();
         let mut dist_b: HashMap<Vertex, Distance> = HashMap::new();
@@ -62,7 +51,9 @@ impl ContractionHierarchy {
             } else {
                 (&mut heap_b, &mut dist_b, &dist_f)
             };
-            let Some(Reverse((d, v))) = heap.pop() else { break };
+            let Some(Reverse((d, v))) = heap.pop() else {
+                break;
+            };
             if d > *dist.get(&v).unwrap_or(&INFINITY) {
                 continue;
             }
@@ -82,10 +73,7 @@ impl ContractionHierarchy {
             }
         }
 
-        ChQueryResult {
-            distance: best,
-            settled,
-        }
+        (best, QueryStats::scanned(settled))
     }
 }
 
@@ -137,10 +125,15 @@ mod tests {
     fn search_space_is_smaller_than_graph() {
         let g = path_graph(64, 1);
         let ch = ContractionHierarchy::build(&g);
-        let r = ch.query_with_stats(0, 63);
-        assert_eq!(r.distance, 63);
+        let (d, stats) = ch.query_with_stats(0, 63);
+        assert_eq!(d, 63);
+        assert_eq!(stats.lca_level, None);
         // Upward searches on a path settle far fewer vertices than Dijkstra's
         // full sweep would.
-        assert!(r.settled <= 40, "settled {} vertices", r.settled);
+        assert!(
+            stats.hubs_scanned <= 40,
+            "settled {} vertices",
+            stats.hubs_scanned
+        );
     }
 }

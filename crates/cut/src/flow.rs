@@ -64,11 +64,7 @@ impl Dinitz {
     pub fn add_edge(&mut self, from: u32, to: u32, cap: Cap) {
         let e1 = self.edges.len() as u32;
         let e2 = e1 + 1;
-        self.edges.push(FlowEdge {
-            to,
-            cap,
-            rev: e2,
-        });
+        self.edges.push(FlowEdge { to, cap, rev: e2 });
         self.edges.push(FlowEdge {
             to: from,
             cap: 0,
@@ -285,7 +281,14 @@ mod tests {
         // Two triangles joined at vertex 2: {0,1,2} and {2,3,4}.
         let g = GraphBuilder::from_edges(
             5,
-            &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 1), (3, 4, 1), (2, 4, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (2, 4, 1),
+            ],
         );
         let cut = min_vertex_cut(&g, &[0], &[4]);
         assert_eq!(cut.size, 1);
@@ -350,7 +353,15 @@ mod tests {
         // boundary sets C_A/C_B participate), cutting vertex 0 suffices.
         let g = GraphBuilder::from_edges(
             6,
-            &[(0, 1, 1), (1, 5, 1), (0, 2, 1), (2, 3, 1), (3, 5, 1), (0, 4, 1), (4, 5, 1)],
+            &[
+                (0, 1, 1),
+                (1, 5, 1),
+                (0, 2, 1),
+                (2, 3, 1),
+                (3, 5, 1),
+                (0, 4, 1),
+                (4, 5, 1),
+            ],
         );
         let cut = min_vertex_cut(&g, &[0], &[5]);
         assert_eq!(cut.size, 1);

@@ -331,8 +331,8 @@ mod tests {
     fn lca_cut_returns_the_right_vertices() {
         let h = figure5_hierarchy();
         let cut = h.lca_cut(13, 14); // 14 is in "0" subtree? no: 13 -> node of 14(0-based 13)...
-        // Vertex 13 (paper 14) is in the left child's cut; vertex 14 (paper 15)
-        // is in the right-right leaf; their LCA is the root.
+                                     // Vertex 13 (paper 14) is in the left child's cut; vertex 14 (paper 15)
+                                     // is in the right-right leaf; their LCA is the root.
         assert_eq!(cut, &[11, 4, 15]);
         assert_eq!(h.lca_cut(0, 7), &[0, 7]);
     }

@@ -46,7 +46,10 @@ impl NodeId {
     #[inline]
     pub fn child(self, bit: bool) -> NodeId {
         let level = self.level();
-        assert!(level < MAX_DEPTH, "tree exceeds maximum representable depth");
+        assert!(
+            level < MAX_DEPTH,
+            "tree exceeds maximum representable depth"
+        );
         let new_level = level + 1;
         let mut bits = self.path_bits();
         if bit {

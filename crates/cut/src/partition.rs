@@ -127,9 +127,7 @@ pub fn balanced_partition_masked(
     let dist_b = masked_dijkstra(g, v_b, alive);
 
     // Line 13: partition weights.
-    let pw = |v: Vertex| -> i64 {
-        dist_a[v as usize] as i64 - dist_b[v as usize] as i64
-    };
+    let pw = |v: Vertex| -> i64 { dist_a[v as usize] as i64 - dist_b[v as usize] as i64 };
     let mut ordered = alive_vertices.clone();
     ordered.sort_by_key(|&v| (pw(v), v));
 
@@ -249,7 +247,7 @@ mod tests {
             seen[v as usize] = true;
         }
         for v in 0..n {
-            let should = alive.map_or(true, |a| a[v]);
+            let should = alive.is_none_or(|a| a[v]);
             assert_eq!(seen[v], should, "vertex {v} coverage mismatch");
         }
     }
@@ -301,7 +299,15 @@ mod tests {
         // Two similar-size components: the split is free.
         let g = GraphBuilder::from_edges(
             9,
-            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (4, 5, 1), (5, 6, 1), (6, 7, 1), (7, 8, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 3, 1),
+                (4, 5, 1),
+                (5, 6, 1),
+                (6, 7, 1),
+                (7, 8, 1),
+            ],
         );
         let bp = balanced_partition(&g, 0.3);
         assert_is_partition(&bp, 9, None);
@@ -354,9 +360,7 @@ mod tests {
     fn masked_invocation_only_touches_alive_vertices() {
         let g = grid_graph(6, 6);
         let mut alive = vec![true; 36];
-        for v in 0..6 {
-            alive[v] = false;
-        }
+        alive[..6].fill(false);
         let bp = balanced_partition_masked(&g, &alive, 0.3, 0);
         assert_is_partition(&bp, 36, Some(&alive));
     }

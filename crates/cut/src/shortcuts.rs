@@ -53,7 +53,11 @@ pub fn add_shortcuts(
     partition: &[Vertex],
     cut_distances: &[Vec<Distance>],
 ) -> Vec<Shortcut> {
-    assert_eq!(cut.len(), cut_distances.len(), "one distance array per cut vertex");
+    assert_eq!(
+        cut.len(),
+        cut_distances.len(),
+        "one distance array per cut vertex"
+    );
     let borders = border_vertices(g, partition, cut);
     if borders.len() < 2 {
         return Vec::new();
@@ -166,7 +170,10 @@ mod tests {
         let part_b: Vec<Vertex> = [4u32, 6, 10, 11, 13, 15].iter().map(|v| v - 1).collect();
         let dists = cut_distance_arrays(&g, &cut);
         let shortcuts = add_shortcuts(&g, &cut, &part_b, &dists);
-        assert!(shortcuts.is_empty(), "P_B is distance-preserving (Example 4.6)");
+        assert!(
+            shortcuts.is_empty(),
+            "P_B is distance-preserving (Example 4.6)"
+        );
     }
 
     #[test]
@@ -174,8 +181,14 @@ mod tests {
         let g = paper_figure1();
         let cut: Vec<Vertex> = [5u32, 12, 16].iter().map(|v| v - 1).collect();
         for part in [
-            [1u32, 2, 3, 7, 8, 9, 14].iter().map(|v| v - 1).collect::<Vec<_>>(),
-            [4u32, 6, 10, 11, 13, 15].iter().map(|v| v - 1).collect::<Vec<_>>(),
+            [1u32, 2, 3, 7, 8, 9, 14]
+                .iter()
+                .map(|v| v - 1)
+                .collect::<Vec<_>>(),
+            [4u32, 6, 10, 11, 13, 15]
+                .iter()
+                .map(|v| v - 1)
+                .collect::<Vec<_>>(),
         ] {
             let dists = cut_distance_arrays(&g, &cut);
             let shortcuts = add_shortcuts(&g, &cut, &part, &dists);

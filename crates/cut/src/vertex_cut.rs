@@ -132,9 +132,8 @@ pub fn balanced_cut_masked(g: &Graph, alive: &[bool], config: CutConfig) -> Bala
             n_t.push(v);
         }
     }
-    let to_local = |vs: &[Vertex]| -> Vec<Vertex> {
-        vs.iter().filter_map(|&v| sub.to_local(v)).collect()
-    };
+    let to_local =
+        |vs: &[Vertex]| -> Vec<Vertex> { vs.iter().filter_map(|&v| sub.to_local(v)).collect() };
     let local_sources = to_local(&n_s);
     let local_sinks = to_local(&n_t);
 
@@ -145,8 +144,16 @@ pub fn balanced_cut_masked(g: &Graph, alive: &[bool], config: CutConfig) -> Bala
     } else {
         let mvc = min_vertex_cut(&sub.graph, &local_sources, &local_sinks);
         // Evaluate both extraction options and keep the more balanced split.
-        let cut_s: Vec<Vertex> = mvc.source_side_cut.iter().map(|&v| sub.to_parent(v)).collect();
-        let cut_t: Vec<Vertex> = mvc.sink_side_cut.iter().map(|&v| sub.to_parent(v)).collect();
+        let cut_s: Vec<Vertex> = mvc
+            .source_side_cut
+            .iter()
+            .map(|&v| sub.to_parent(v))
+            .collect();
+        let cut_t: Vec<Vertex> = mvc
+            .sink_side_cut
+            .iter()
+            .map(|&v| sub.to_parent(v))
+            .collect();
         let split_s = distribute_components(g, alive, &cut_s, &set_a, &set_b, &set_c);
         let split_t = distribute_components(g, alive, &cut_t, &set_a, &set_b, &set_c);
         return if split_s.balance() <= split_t.balance() {
@@ -216,20 +223,29 @@ mod tests {
         let n = g.num_vertices();
         // Disjoint cover of the alive vertices.
         let mut seen = vec![false; n];
-        for &v in bc.part_a.iter().chain(bc.cut.iter()).chain(bc.part_b.iter()) {
+        for &v in bc
+            .part_a
+            .iter()
+            .chain(bc.cut.iter())
+            .chain(bc.part_b.iter())
+        {
             assert!(!seen[v as usize], "vertex {v} assigned twice");
             seen[v as usize] = true;
         }
         for v in 0..n {
-            let should = alive.map_or(true, |a| a[v]);
+            let should = alive.is_none_or(|a| a[v]);
             assert_eq!(seen[v], should, "vertex {v} coverage mismatch");
         }
         // No edge may connect part_a and part_b directly.
         let in_a = VertexSet::from_slice(n, &bc.part_a);
         let in_b = VertexSet::from_slice(n, &bc.part_b);
         for (u, v, _) in g.edges() {
-            let cross = (in_a.contains(u) && in_b.contains(v)) || (in_a.contains(v) && in_b.contains(u));
-            assert!(!cross, "edge ({u},{v}) connects the two partitions directly");
+            let cross =
+                (in_a.contains(u) && in_b.contains(v)) || (in_a.contains(v) && in_b.contains(u));
+            assert!(
+                !cross,
+                "edge ({u},{v}) connects the two partitions directly"
+            );
         }
         // Removing the cut really separates the two sides.
         if !bc.part_a.is_empty() && !bc.part_b.is_empty() {
@@ -240,7 +256,10 @@ mod tests {
             let cc = connected_components_masked(g, Some(&mask));
             let a_label = cc.label[bc.part_a[0] as usize];
             for &v in &bc.part_b {
-                assert_ne!(cc.label[v as usize], a_label, "cut does not separate the sides");
+                assert_ne!(
+                    cc.label[v as usize], a_label,
+                    "cut does not separate the sides"
+                );
             }
         }
     }
@@ -261,7 +280,11 @@ mod tests {
         let g = grid_graph(8, 8);
         let bc = balanced_cut(&g, CutConfig { beta: 0.25 });
         assert_valid_cut(&g, &bc, None);
-        assert!(bc.cut.len() <= 12, "cut of size {} on an 8x8 grid", bc.cut.len());
+        assert!(
+            bc.cut.len() <= 12,
+            "cut of size {} on an 8x8 grid",
+            bc.cut.len()
+        );
         assert!(bc.balance() < 0.85);
     }
 
@@ -288,7 +311,12 @@ mod tests {
         let g = b.build();
         let bc = balanced_cut(&g, CutConfig { beta: 0.3 });
         assert_valid_cut(&g, &bc, None);
-        assert_eq!(bc.cut.len(), 1, "bridge vertex should be the whole cut, got {:?}", bc.cut);
+        assert_eq!(
+            bc.cut.len(),
+            1,
+            "bridge vertex should be the whole cut, got {:?}",
+            bc.cut
+        );
         assert!(bc.balance() <= 0.6);
     }
 
@@ -308,7 +336,10 @@ mod tests {
                     .map(|&c| dijkstra_distance(&g, s, c) + dijkstra_distance(&g, c, t))
                     .min()
                     .unwrap();
-                assert_eq!(direct, via_cut, "pair ({s},{t}) has no shortest path through the cut");
+                assert_eq!(
+                    direct, via_cut,
+                    "pair ({s},{t}) has no shortest path through the cut"
+                );
             }
         }
     }

@@ -91,7 +91,7 @@ pub fn connected_components_masked(g: &Graph, mask: Option<&[bool]>) -> Componen
     let mut label = vec![u32::MAX; n];
     let mut sizes = Vec::new();
     let mut stack = Vec::new();
-    let alive = |v: usize| mask.map_or(true, |m| m[v]);
+    let alive = |v: usize| mask.is_none_or(|m| m[v]);
     for start in 0..n {
         if label[start] != u32::MAX || !alive(start) {
             continue;
@@ -152,7 +152,14 @@ mod tests {
         // Two triangles and an isolated vertex.
         let g = GraphBuilder::from_edges(
             7,
-            &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (3, 4, 1), (4, 5, 1), (3, 5, 1)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (3, 5, 1),
+            ],
         );
         let cc = connected_components(&g);
         assert_eq!(cc.num_components(), 3);
@@ -165,7 +172,17 @@ mod tests {
 
     #[test]
     fn largest_and_second_largest() {
-        let g = GraphBuilder::from_edges(9, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (4, 5, 1), (6, 7, 1), (7, 8, 1)]);
+        let g = GraphBuilder::from_edges(
+            9,
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 3, 1),
+                (4, 5, 1),
+                (6, 7, 1),
+                (7, 8, 1),
+            ],
+        );
         let cc = connected_components(&g);
         assert_eq!(cc.sizes[cc.largest() as usize], 4);
         let second = cc.second_largest().unwrap();

@@ -132,7 +132,9 @@ pub fn contract_degree_one(g: &Graph) -> DegreeOneContraction {
     let mut contracted: Vec<Option<ContractedVertex>> = vec![None; n];
 
     // Queue of current degree-one vertices.
-    let mut queue: Vec<Vertex> = (0..n as Vertex).filter(|&v| degree[v as usize] == 1).collect();
+    let mut queue: Vec<Vertex> = (0..n as Vertex)
+        .filter(|&v| degree[v as usize] == 1)
+        .collect();
 
     // Peeling order: each removed vertex points to the single alive neighbour
     // it was attached to at removal time.
@@ -209,7 +211,14 @@ mod tests {
         // Triangle 0-1-2 plus pendant path 2-3-4-5.
         let g = GraphBuilder::from_edges(
             6,
-            &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 2), (3, 4, 3), (4, 5, 4)],
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (2, 3, 2),
+                (3, 4, 3),
+                (4, 5, 4),
+            ],
         );
         let c = contract_degree_one(&g);
         assert_eq!(c.core_size, 3);
@@ -247,7 +256,11 @@ mod tests {
             let (rw, _) = c.root_of(w);
             assert_eq!(rv, 2);
             assert_eq!(rw, 2);
-            assert_eq!(c.same_tree_distance(v, w), dijkstra_distance(&g, v, w), "pair ({v},{w})");
+            assert_eq!(
+                c.same_tree_distance(v, w),
+                dijkstra_distance(&g, v, w),
+                "pair ({v},{w})"
+            );
         }
     }
 

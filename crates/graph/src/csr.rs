@@ -101,7 +101,8 @@ mod tests {
 
     #[test]
     fn csr_matches_adjacency_lists() {
-        let g = GraphBuilder::from_edges(5, &[(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5), (0, 4, 9)]);
+        let g =
+            GraphBuilder::from_edges(5, &[(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5), (0, 4, 9)]);
         let csr = CsrGraph::from_graph(&g);
         assert_eq!(csr.num_vertices(), 5);
         assert_eq!(csr.num_edges(), 5);

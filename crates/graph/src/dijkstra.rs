@@ -225,7 +225,7 @@ mod tests {
     fn paper_example_distances() {
         let g = paper_example();
         let d = dijkstra(&g, 2); // vertex 3 in the paper
-        // Example 3.4 queries the pair (3, 10); the hubs give 2 + 3 = 5.
+                                 // Example 3.4 queries the pair (3, 10); the hubs give 2 + 3 = 5.
         assert_eq!(d[9], 5);
         // Example 3.1: shortest path (3, 2, 16, 15, 6, 11) of length 5.
         assert_eq!(d[10], 5);

@@ -69,7 +69,7 @@ impl Graph {
 
     /// Iterator over all vertices `0..n`.
     pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
-        (0..self.num_vertices() as Vertex).into_iter()
+        0..self.num_vertices() as Vertex
     }
 
     /// Iterator over every undirected edge exactly once (`u < v`).

@@ -18,6 +18,8 @@
 //!   root/parent bookkeeping described in Section 4.2 of the paper.
 //! * [`subgraph`] — induced subgraphs with id remapping, used when the
 //!   hierarchy recursion descends into partitions.
+//! * [`querystats`] — the shared per-query instrumentation record every
+//!   distance oracle in the workspace reports from `query_with_stats`.
 //!
 //! Distances are accumulated in `u64` ([`Distance`]) while individual edge
 //! weights are `u32` ([`Weight`]); road-network weights fit comfortably and
@@ -30,6 +32,7 @@ pub mod csr;
 pub mod dijkstra;
 pub mod graph;
 pub mod pathutil;
+pub mod querystats;
 pub mod subgraph;
 pub mod toy;
 pub mod types;
@@ -44,5 +47,6 @@ pub use dijkstra::{
 };
 pub use graph::{Edge, Graph};
 pub use pathutil::{eccentricity_from, extract_path, farthest_vertex, path_weight};
+pub use querystats::QueryStats;
 pub use subgraph::{InducedSubgraph, VertexSet};
 pub use types::{dist_add, is_finite, Distance, Vertex, Weight, INFINITY};

@@ -13,7 +13,8 @@ pub fn path_weight(g: &Graph, path: &[Vertex]) -> Distance {
     path.windows(2)
         .map(|w| {
             g.edge_weight(w[0], w[1])
-                .unwrap_or_else(|| panic!("no edge between {} and {}", w[0], w[1])) as Distance
+                .unwrap_or_else(|| panic!("no edge between {} and {}", w[0], w[1]))
+                as Distance
         })
         .sum()
 }
@@ -267,7 +268,7 @@ mod tests {
     fn greedy_decomposition_covers_every_vertex_once() {
         let g = paper_figure1();
         let paths = greedy_path_decomposition(&g, 2);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for p in &paths {
             // Consecutive vertices must be adjacent (it is a real path).
             for w in p.windows(2) {

@@ -1,0 +1,64 @@
+//! The workspace-wide per-query instrumentation record.
+//!
+//! Every distance oracle in the workspace (HC2L and all baselines) reports
+//! the same statistics from its `query_with_stats` path, so experiment
+//! runners can compare the paper's "average hub size" metric (Table 3)
+//! across methods without per-method result types.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-query instrumentation shared by every distance-oracle backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Number of label entries whose distance sums were evaluated — hub
+    /// entries for the labelling methods, settled vertices for search-based
+    /// methods such as Contraction Hierarchies. This is the paper's
+    /// "average hub size" metric (Table 3) when averaged over a workload.
+    pub hubs_scanned: usize,
+    /// Level/depth of the lowest common ancestor used to answer the query,
+    /// for methods that locate an LCA in a tree hierarchy (HC2L, H2H).
+    /// `None` for flat-label and search methods, and for queries answered
+    /// without consulting the hierarchy (e.g. purely from contraction trees).
+    pub lca_level: Option<u32>,
+}
+
+impl QueryStats {
+    /// Stats for a query that scanned `hubs` entries with no LCA involved.
+    #[inline]
+    pub fn scanned(hubs: usize) -> Self {
+        QueryStats {
+            hubs_scanned: hubs,
+            lca_level: None,
+        }
+    }
+
+    /// Stats for a query answered at hierarchy level `level` after scanning
+    /// `hubs` entries.
+    #[inline]
+    pub fn at_level(level: u32, hubs: usize) -> Self {
+        QueryStats {
+            hubs_scanned: hubs,
+            lca_level: Some(level),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_fields() {
+        let s = QueryStats::scanned(12);
+        assert_eq!(s.hubs_scanned, 12);
+        assert_eq!(s.lca_level, None);
+        let s = QueryStats::at_level(3, 5);
+        assert_eq!(s.hubs_scanned, 5);
+        assert_eq!(s.lca_level, Some(3));
+    }
+
+    #[test]
+    fn default_is_the_trivial_query() {
+        assert_eq!(QueryStats::default(), QueryStats::scanned(0));
+    }
+}

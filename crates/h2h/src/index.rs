@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use hc2l_graph::{Distance, Graph, Vertex, INFINITY};
+use hc2l_graph::{Distance, Graph, QueryStats, Vertex, INFINITY};
 
 use crate::lca::LcaStructure;
 use crate::tree_decomp::TreeDecomposition;
@@ -130,13 +130,13 @@ impl H2hIndex {
     }
 
     /// Exact distance query reporting how many positions were scanned (the
-    /// H2H "hub size" of Table 3).
-    pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, usize) {
+    /// H2H "hub size" of Table 3) in the shared [`QueryStats`] record.
+    pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
         if s == t {
-            return (0, 0);
+            return (0, QueryStats::default());
         }
         if self.root_of[s as usize] != self.root_of[t as usize] {
-            return (INFINITY, 0);
+            return (INFINITY, QueryStats::default());
         }
         let q = self
             .lca
@@ -153,7 +153,42 @@ impl H2hIndex {
                 best = d;
             }
         }
-        (best, positions.len())
+        (
+            best,
+            QueryStats::at_level(self.decomposition.depth[q as usize], positions.len()),
+        )
+    }
+
+    /// Batched one-to-many query: distances from `s` to every vertex in
+    /// `targets`, resolving the source's tree root and distance array once.
+    pub fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+        let root_s = self.root_of[s as usize];
+        let ds = &self.dist[s as usize];
+        targets
+            .iter()
+            .map(|&t| {
+                if s == t {
+                    return 0;
+                }
+                if self.root_of[t as usize] != root_s {
+                    return INFINITY;
+                }
+                let q = self
+                    .lca
+                    .lca(s, t)
+                    .expect("vertices in the same component must share a tree");
+                let dt = &self.dist[t as usize];
+                let mut best = INFINITY;
+                for &p in &self.pos[q as usize] {
+                    let p = p as usize;
+                    let d = ds[p].saturating_add(dt[p]);
+                    if d < best {
+                        best = d;
+                    }
+                }
+                best
+            })
+            .collect()
     }
 
     /// Size statistics (Tables 2, 3 and 5).
@@ -206,7 +241,11 @@ mod tests {
         for s in 0..g.num_vertices() as Vertex {
             let d = dijkstra(g, s);
             for t in 0..g.num_vertices() as Vertex {
-                assert_eq!(index.query(s, t), d[t as usize], "H2H query ({s},{t}) wrong");
+                assert_eq!(
+                    index.query(s, t),
+                    d[t as usize],
+                    "H2H query ({s},{t}) wrong"
+                );
             }
         }
     }
@@ -253,7 +292,10 @@ mod tests {
             assert_eq!(index.dist[v as usize].len(), path.len());
             let d = dijkstra(&g, v);
             for (i, &a) in path.iter().enumerate() {
-                assert_eq!(index.dist[v as usize][i], d[a as usize], "d({v}, {a}) wrong");
+                assert_eq!(
+                    index.dist[v as usize][i], d[a as usize],
+                    "d({v}, {a}) wrong"
+                );
             }
         }
     }
@@ -277,9 +319,28 @@ mod tests {
         let g = grid_graph(5, 5);
         let index = H2hIndex::build(&g);
         for &(s, t) in &[(0u32, 24u32), (3, 20), (7, 18)] {
-            let (_, scanned) = index.query_with_stats(s, t);
-            assert!(scanned <= index.stats().max_bag_size);
-            assert!(scanned >= 1);
+            let (_, stats) = index.query_with_stats(s, t);
+            assert!(stats.hubs_scanned <= index.stats().max_bag_size);
+            assert!(stats.hubs_scanned >= 1);
+            assert!(stats.lca_level.is_some());
+        }
+    }
+
+    #[test]
+    fn one_to_many_matches_pointwise_queries() {
+        let mut b = GraphBuilder::new(12);
+        for (u, v, w) in grid_graph(2, 3).edges() {
+            b.add_edge(u, v, w);
+            b.add_edge(u + 6, v + 6, w);
+        }
+        let g = b.build();
+        let index = H2hIndex::build(&g);
+        let targets: Vec<Vertex> = (0..12).collect();
+        for s in 0..12u32 {
+            let batch = index.one_to_many(s, &targets);
+            for (t, &d) in targets.iter().zip(batch.iter()) {
+                assert_eq!(d, index.query(s, *t));
+            }
         }
     }
 }

@@ -56,7 +56,11 @@ impl LcaStructure {
 
         // Sparse table of minimum positions.
         let m = euler.len();
-        let levels = if m <= 1 { 1 } else { (usize::BITS - (m - 1).leading_zeros()) as usize + 1 };
+        let levels = if m <= 1 {
+            1
+        } else {
+            (usize::BITS - (m - 1).leading_zeros()) as usize + 1
+        };
         let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
         table.push((0..m as u32).collect());
         let mut k = 1usize;

@@ -217,7 +217,11 @@ mod tests {
         let td = TreeDecomposition::build(&g);
         // The treewidth of a 6x6 grid is 6, so the heuristic should produce
         // bags of at least 7 but not absurdly more.
-        assert!(td.max_bag_size >= 6 && td.max_bag_size <= 20, "bag {}", td.max_bag_size);
+        assert!(
+            td.max_bag_size >= 6 && td.max_bag_size <= 20,
+            "bag {}",
+            td.max_bag_size
+        );
     }
 
     #[test]

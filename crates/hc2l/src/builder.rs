@@ -43,7 +43,10 @@ struct SubtreeBuild {
 ///
 /// The graph must use contiguous vertex ids `0..n`; isolated vertices are
 /// allowed. Returns the hierarchy and the per-vertex labels.
-pub fn build_hierarchy_and_labels(g: &Graph, config: &Hc2lConfig) -> (BalancedTreeHierarchy, LabelSet) {
+pub fn build_hierarchy_and_labels(
+    g: &Graph,
+    config: &Hc2lConfig,
+) -> (BalancedTreeHierarchy, LabelSet) {
     config.validate();
     let n = g.num_vertices();
     let map: Vec<Vertex> = (0..n as Vertex).collect();
@@ -116,27 +119,31 @@ fn build_subtree(sub: Graph, map: Vec<Vertex>, config: &Hc2lConfig) -> SubtreeBu
     for (local, array) in labelling.arrays.iter().enumerate() {
         arrays.push((map[local], array.clone()));
     }
-    let cut_orig: Vec<Vertex> = labelling.ordered_cut.iter().map(|&c| map[c as usize]).collect();
+    let cut_orig: Vec<Vertex> = labelling
+        .ordered_cut
+        .iter()
+        .map(|&c| map[c as usize])
+        .collect();
 
     let children = match split {
         None => [None, None],
         Some((part_a, part_b)) => {
             let build_child = |part: &[Vertex]| -> Box<SubtreeBuild> {
-                let shortcuts = add_shortcuts(
-                    &sub,
-                    &labelling.ordered_cut,
-                    part,
-                    &labelling.cut_distances,
-                );
+                let shortcuts =
+                    add_shortcuts(&sub, &labelling.ordered_cut, part, &labelling.cut_distances);
                 let mut child = InducedSubgraph::new(&sub, part);
                 for s in &shortcuts {
-                    child.add_shortcut_parent_ids(s.u, s.v, s.weight.min(u32::MAX as Distance) as u32);
+                    child.add_shortcut_parent_ids(
+                        s.u,
+                        s.v,
+                        s.weight.min(u32::MAX as Distance) as u32,
+                    );
                 }
                 let child_map: Vec<Vertex> = part.iter().map(|&v| map[v as usize]).collect();
                 Box::new(build_subtree(child.graph, child_map, config))
             };
-            let parallel = config.threads > 1
-                && part_a.len().min(part_b.len()) >= config.parallel_grain;
+            let parallel =
+                config.threads > 1 && part_a.len().min(part_b.len()) >= config.parallel_grain;
             let (left, right) = join(parallel, || build_child(&part_a), || build_child(&part_b));
             [Some(left), Some(right)]
         }
@@ -172,9 +179,17 @@ mod tests {
         let cfg = Hc2lConfig::default();
         let (h, _) = build_hierarchy_and_labels(&g, &cfg);
         assert!(h.is_complete());
-        assert_eq!(h.check_balance(cfg.beta), None, "balance invariant violated");
+        assert_eq!(
+            h.check_balance(cfg.beta),
+            None,
+            "balance invariant violated"
+        );
         // Height should be logarithmic-ish, far below n.
-        assert!(h.height() <= 16, "height {} too large for a 144-vertex grid", h.height());
+        assert!(
+            h.height() <= 16,
+            "height {} too large for a 144-vertex grid",
+            h.height()
+        );
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl Hc2lConfig {
             "β must be in (0, 0.5], got {}",
             self.beta
         );
-        assert!(self.leaf_threshold >= 1, "leaf threshold must be at least 1");
+        assert!(
+            self.leaf_threshold >= 1,
+            "leaf threshold must be at least 1"
+        );
         assert!(self.threads >= 1, "at least one thread is required");
     }
 }
@@ -98,7 +101,9 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = Hc2lConfig::parallel(8).without_tail_pruning().without_contraction();
+        let c = Hc2lConfig::parallel(8)
+            .without_tail_pruning()
+            .without_contraction();
         assert_eq!(c.threads, 8);
         assert!(!c.tail_pruning);
         assert!(!c.contract_degree_one);
@@ -114,8 +119,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_threads_panics() {
-        let mut c = Hc2lConfig::default();
-        c.threads = 0;
+        let c = Hc2lConfig {
+            threads: 0,
+            ..Default::default()
+        };
         c.validate();
     }
 }

@@ -6,24 +6,14 @@ use serde::{Deserialize, Serialize};
 
 use hc2l_cut::BalancedTreeHierarchy;
 use hc2l_graph::{
-    contract_degree_one, DegreeOneContraction, Distance, Graph, InducedSubgraph, Vertex, INFINITY,
+    contract_degree_one, DegreeOneContraction, Distance, Graph, InducedSubgraph, QueryStats,
+    Vertex, INFINITY,
 };
 
 use crate::builder::build_hierarchy_and_labels;
 use crate::config::Hc2lConfig;
 use crate::label::LabelSet;
 use crate::stats::{ConstructionStats, IndexStats};
-
-/// Per-query instrumentation, used to report the paper's "average hub size"
-/// metric (Table 3).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct QueryStats {
-    /// Level of the lowest common ancestor used for the query (0 when the
-    /// query was answered purely from the contraction trees).
-    pub lca_level: u32,
-    /// Number of hub (cut-vertex) entries whose distance sums were evaluated.
-    pub hubs_scanned: usize,
-}
 
 /// Hierarchical Cut 2-Hop Labelling index over a road network.
 ///
@@ -119,7 +109,7 @@ impl Hc2lIndex {
     }
 
     /// Like [`Hc2lIndex::query`], additionally reporting how many hub entries
-    /// were scanned.
+    /// were scanned (the shared [`QueryStats`] record).
     pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
         if s == t {
             return (0, QueryStats::default());
@@ -148,6 +138,46 @@ impl Hc2lIndex {
         }
     }
 
+    /// Batched one-to-many query: distances from `s` to every vertex in
+    /// `targets`.
+    ///
+    /// Amortises the per-query bookkeeping over the batch — the source's
+    /// contraction root and label are resolved once instead of per target —
+    /// which is the access pattern of the POI-search and dispatch workloads
+    /// from the paper's introduction.
+    pub fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+        let Some(c) = &self.contraction else {
+            return targets.iter().map(|&t| self.query(s, t)).collect();
+        };
+        let (rs, ds) = c.root_of(s);
+        let source_core = self.core_id[rs as usize];
+        targets
+            .iter()
+            .map(|&t| {
+                if s == t {
+                    return 0;
+                }
+                let (rt, dt) = c.root_of(t);
+                if rs == rt {
+                    return if c.is_contracted(s) && c.is_contracted(t) {
+                        c.same_tree_distance(s, t)
+                    } else {
+                        ds + dt
+                    };
+                }
+                let core_d = match (source_core, self.core_id[rt as usize]) {
+                    (Some(cs), Some(ct)) => self.query_core(cs, ct).0,
+                    _ => INFINITY,
+                };
+                if core_d >= INFINITY {
+                    INFINITY
+                } else {
+                    ds + core_d + dt
+                }
+            })
+            .collect()
+    }
+
     /// Query between two core vertices given by their *original* ids.
     fn query_core_by_orig(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
         let (Some(cs), Some(ct)) = (self.core_id[s as usize], self.core_id[t as usize]) else {
@@ -155,6 +185,11 @@ impl Hc2lIndex {
             // disconnected to stay safe.
             return (INFINITY, QueryStats::default());
         };
+        self.query_core(cs, ct)
+    }
+
+    /// Query between two core vertices given by their *compact core* ids.
+    fn query_core(&self, cs: Vertex, ct: Vertex) -> (Distance, QueryStats) {
         if cs == ct {
             return (0, QueryStats::default());
         }
@@ -171,10 +206,7 @@ impl Hc2lIndex {
         }
         (
             best.min(INFINITY),
-            QueryStats {
-                lca_level: level as u32,
-                hubs_scanned: common,
-            },
+            QueryStats::at_level(level as u32, common),
         )
     }
 
@@ -187,10 +219,7 @@ impl Hc2lIndex {
             .contraction
             .as_ref()
             .map(|c| {
-                c.contracted
-                    .iter()
-                    .filter(|x| x.is_some())
-                    .count()
+                c.contracted.iter().filter(|x| x.is_some()).count()
                     * std::mem::size_of::<hc2l_graph::ContractedVertex>()
             })
             .unwrap_or(0);
@@ -245,7 +274,9 @@ mod tests {
         for cfg in [
             Hc2lConfig::default().without_contraction(),
             Hc2lConfig::default().without_tail_pruning(),
-            Hc2lConfig::default().without_contraction().without_tail_pruning(),
+            Hc2lConfig::default()
+                .without_contraction()
+                .without_tail_pruning(),
         ] {
             let index = Hc2lIndex::build(&g, cfg);
             assert_all_pairs_exact(&g, &index);
@@ -264,7 +295,7 @@ mod tests {
         let mut b = GraphBuilder::new(0);
         let g0 = grid_graph(6, 6);
         for (u, v, _) in g0.edges() {
-            b.add_edge(u, v, 1 + ((u as u32 * 7 + v as u32 * 13) % 9));
+            b.add_edge(u, v, 1 + ((u * 7 + v * 13) % 9));
         }
         let g = b.build();
         for beta in [0.15, 0.2, 0.3, 0.45] {
@@ -337,6 +368,32 @@ mod tests {
     }
 
     #[test]
+    fn one_to_many_matches_pointwise_queries() {
+        let mut b = GraphBuilder::new(0);
+        for (u, v, w) in grid_graph(5, 5).edges() {
+            b.add_edge(u, v, w);
+        }
+        // Pendant chain so contracted sources and targets are exercised too.
+        b.add_edge(7, 25, 2);
+        b.add_edge(25, 26, 3);
+        let g = b.build();
+        let n = g.num_vertices() as Vertex;
+        let targets: Vec<Vertex> = (0..n).collect();
+        for cfg in [
+            Hc2lConfig::default(),
+            Hc2lConfig::default().without_contraction(),
+        ] {
+            let index = Hc2lIndex::build(&g, cfg);
+            for s in 0..n {
+                let batch = index.one_to_many(s, &targets);
+                for (t, &d) in targets.iter().zip(batch.iter()) {
+                    assert_eq!(d, index.query(s, *t), "one_to_many({s}, {t}) diverges");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn query_stats_report_small_hub_counts() {
         let g = grid_graph(10, 10);
         let index = Hc2lIndex::build(&g, Hc2lConfig::default());
@@ -353,7 +410,10 @@ mod tests {
         let s = index.stats();
         assert_eq!(s.num_vertices, 16);
         assert_eq!(s.core_vertices, 16);
-        assert_eq!(s.total_bytes, s.label_bytes + s.lca_bytes + s.contraction_bytes);
+        assert_eq!(
+            s.total_bytes,
+            s.label_bytes + s.lca_bytes + s.contraction_bytes
+        );
         assert!(s.avg_label_entries > 0.0);
         assert!(s.hierarchy.height >= 1);
         assert!(index.construction_stats().seconds >= 0.0);

@@ -45,6 +45,10 @@ pub mod prune;
 pub mod stats;
 
 pub use config::Hc2lConfig;
-pub use index::{Hc2lIndex, QueryStats};
+pub use index::Hc2lIndex;
 pub use label::{LabelSet, VertexLabel};
 pub use stats::{ConstructionStats, IndexStats};
+
+/// Re-export of the workspace-wide per-query instrumentation record, which
+/// [`Hc2lIndex::query_with_stats`] returns alongside the distance.
+pub use hc2l_graph::QueryStats;

@@ -156,12 +156,7 @@ mod tests {
         // The truncated scan yields min(2+3, 2+1) = 3.
         let a = &labelling.arrays[13];
         let b = &labelling.arrays[14];
-        let d = a
-            .iter()
-            .zip(b.iter())
-            .map(|(x, y)| x + y)
-            .min()
-            .unwrap();
+        let d = a.iter().zip(b.iter()).map(|(x, y)| x + y).min().unwrap();
         assert_eq!(d, 3);
     }
 
@@ -180,9 +175,9 @@ mod tests {
         let labelling = label_node(&g, &[4, 11, 15], false, 1);
         for (i, &c) in labelling.ordered_cut.iter().enumerate() {
             let d = dijkstra(&g, c);
-            for v in 0..16usize {
-                assert_eq!(labelling.arrays[v][i], d[v]);
-                assert_eq!(labelling.cut_distances[i][v], d[v]);
+            for (v, &dv) in d.iter().enumerate().take(16) {
+                assert_eq!(labelling.arrays[v][i], dv);
+                assert_eq!(labelling.cut_distances[i][v], dv);
             }
         }
     }

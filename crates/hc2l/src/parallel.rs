@@ -21,7 +21,7 @@ where
 {
     let n = items.len();
     if threads <= 1 || n <= 1 {
-        return items.iter().map(|item| f(item)).collect();
+        return items.iter().map(&f).collect();
     }
     let workers = threads.min(n);
     let next = AtomicUsize::new(0);
@@ -40,7 +40,11 @@ where
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker must have filled the slot"))
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("worker must have filled the slot")
+        })
         .collect()
 }
 
@@ -97,7 +101,7 @@ mod tests {
 
     #[test]
     fn join_can_borrow_shared_data() {
-        let data = vec![1, 2, 3, 4];
+        let data = [1, 2, 3, 4];
         let (s1, s2) = join(true, || data.iter().sum::<i32>(), || data.len());
         assert_eq!(s1, 10);
         assert_eq!(s2, 4);

@@ -141,7 +141,10 @@ mod tests {
         let g = GraphBuilder::from_edges(4, &[(0, 1, 1), (1, 3, 1), (0, 2, 1), (2, 3, 1)]);
         let dp = dist_and_prune(&g, 0, &marks(4, &[1]));
         assert_eq!(dp[3].dist, 2);
-        assert!(dp[3].pruned, "equal-length path through P must set the flag");
+        assert!(
+            dp[3].pruned,
+            "equal-length path through P must set the flag"
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ impl HubLabelIndex {
         let start = std::time::Instant::now();
         let mut order_of = vec![u32::MAX; n];
         for (i, &v) in order.iter().enumerate() {
-            assert_eq!(order_of[v as usize], u32::MAX, "duplicate vertex {v} in order");
+            assert_eq!(
+                order_of[v as usize],
+                u32::MAX,
+                "duplicate vertex {v} in order"
+            );
             order_of[v as usize] = i as u32;
         }
 
@@ -88,7 +92,10 @@ impl HubLabelIndex {
                 if query_labels(&labels[hub as usize], &labels[v as usize]) <= d {
                     continue;
                 }
-                labels[v as usize].push(HubEntry { hub: hub_idx, dist: d });
+                labels[v as usize].push(HubEntry {
+                    hub: hub_idx,
+                    dist: d,
+                });
                 for e in g.neighbors(v) {
                     let nd = d + e.weight as Distance;
                     if nd < dist[e.to as usize] {
@@ -243,7 +250,10 @@ mod tests {
         let g = paper_figure1();
         let index = HubLabelIndex::build(&g);
         let s = index.stats();
-        assert_eq!(s.total_entries, (0..16).map(|v| index.label(v).len()).sum::<usize>());
+        assert_eq!(
+            s.total_entries,
+            (0..16).map(|v| index.label(v).len()).sum::<usize>()
+        );
         assert!(s.avg_label_size >= 1.0);
         assert!(s.memory_bytes > 0);
     }

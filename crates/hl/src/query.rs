@@ -1,18 +1,8 @@
 //! Distance queries over hub labels (Equation 1 of the paper).
 
-use hc2l_graph::{Distance, Vertex};
+use hc2l_graph::{Distance, QueryStats, Vertex};
 
 use crate::build::{query_labels, HubLabelIndex};
-
-/// Result of a hub-labelling query with the number of hub entries touched,
-/// used for the "average hub size" comparison of Table 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct HlQueryResult {
-    /// Shortest-path distance.
-    pub distance: Distance,
-    /// Number of label entries scanned across both labels.
-    pub entries_scanned: usize,
-}
 
 impl HubLabelIndex {
     /// Exact distance query.
@@ -26,18 +16,31 @@ impl HubLabelIndex {
 
     /// Exact distance query with scan statistics. Hub labellings always scan
     /// both labels in full (this is precisely the drawback HC2L's hierarchy
-    /// avoids).
-    pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> HlQueryResult {
+    /// avoids), so `hubs_scanned` is the sum of both label lengths.
+    pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
         let distance = self.query(s, t);
-        let entries_scanned = if s == t {
+        let scanned = if s == t {
             0
         } else {
             self.label(s).len() + self.label(t).len()
         };
-        HlQueryResult {
-            distance,
-            entries_scanned,
-        }
+        (distance, QueryStats::scanned(scanned))
+    }
+
+    /// Batched one-to-many query: distances from `s` to every vertex in
+    /// `targets`, resolving the source label once for the whole batch.
+    pub fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+        let label_s = self.label(s);
+        targets
+            .iter()
+            .map(|&t| {
+                if s == t {
+                    0
+                } else {
+                    query_labels(label_s, self.label(t))
+                }
+            })
+            .collect()
     }
 }
 
@@ -90,9 +93,26 @@ mod tests {
     fn query_stats_scan_full_labels() {
         let g = paper_figure1();
         let index = HubLabelIndex::build(&g);
-        let r = index.query_with_stats(2, 9);
-        assert_eq!(r.entries_scanned, index.label(2).len() + index.label(9).len());
-        assert!(r.entries_scanned > 2);
-        assert_eq!(index.query_with_stats(4, 4).entries_scanned, 0);
+        let (_, stats) = index.query_with_stats(2, 9);
+        assert_eq!(
+            stats.hubs_scanned,
+            index.label(2).len() + index.label(9).len()
+        );
+        assert!(stats.hubs_scanned > 2);
+        assert_eq!(stats.lca_level, None);
+        assert_eq!(index.query_with_stats(4, 4).1.hubs_scanned, 0);
+    }
+
+    #[test]
+    fn one_to_many_matches_pointwise_queries() {
+        let g = grid_graph(4, 5);
+        let index = HubLabelIndex::build(&g);
+        let targets: Vec<Vertex> = (0..20).collect();
+        for s in 0..20u32 {
+            let batch = index.one_to_many(s, &targets);
+            for (t, &d) in targets.iter().zip(batch.iter()) {
+                assert_eq!(d, index.query(s, *t));
+            }
+        }
     }
 }

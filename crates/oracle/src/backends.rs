@@ -1,0 +1,244 @@
+//! [`DistanceOracle`] implementations for every backend index type.
+
+use hc2l::Hc2lIndex;
+use hc2l_ch::ContractionHierarchy;
+use hc2l_graph::{Distance, Graph, QueryStats, Vertex};
+use hc2l_h2h::H2hIndex;
+use hc2l_hl::HubLabelIndex;
+use hc2l_phl::PhlIndex;
+
+use crate::builder::OracleConfig;
+use crate::traits::DistanceOracle;
+
+impl DistanceOracle for Hc2lIndex {
+    fn build(g: &Graph, config: &OracleConfig) -> Self {
+        Hc2lIndex::build(g, config.effective_hc2l())
+    }
+
+    fn name(&self) -> &'static str {
+        if self.config().threads > 1 {
+            "HC2Lp"
+        } else {
+            "HC2L"
+        }
+    }
+
+    fn distance(&self, s: Vertex, t: Vertex) -> Distance {
+        self.query(s, t)
+    }
+
+    fn distance_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
+        self.query_with_stats(s, t)
+    }
+
+    fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+        Hc2lIndex::one_to_many(self, s, targets)
+    }
+
+    fn label_bytes(&self) -> usize {
+        self.stats().label_bytes
+    }
+
+    fn lca_bytes(&self) -> usize {
+        self.stats().lca_bytes
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.stats().total_bytes
+    }
+
+    fn construction_seconds(&self) -> f64 {
+        self.construction_stats().seconds
+    }
+
+    fn tree_height(&self) -> Option<u32> {
+        Some(self.stats().hierarchy.height)
+    }
+
+    fn max_width(&self) -> Option<usize> {
+        Some(self.stats().hierarchy.max_cut_size)
+    }
+}
+
+impl DistanceOracle for ContractionHierarchy {
+    fn build(g: &Graph, _config: &OracleConfig) -> Self {
+        ContractionHierarchy::build(g)
+    }
+
+    fn name(&self) -> &'static str {
+        "CH"
+    }
+
+    fn distance(&self, s: Vertex, t: Vertex) -> Distance {
+        self.query(s, t)
+    }
+
+    fn distance_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
+        self.query_with_stats(s, t)
+    }
+
+    fn label_bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+
+    fn construction_seconds(&self) -> f64 {
+        self.construction_seconds
+    }
+}
+
+impl DistanceOracle for H2hIndex {
+    fn build(g: &Graph, _config: &OracleConfig) -> Self {
+        H2hIndex::build(g)
+    }
+
+    fn name(&self) -> &'static str {
+        "H2H"
+    }
+
+    fn distance(&self, s: Vertex, t: Vertex) -> Distance {
+        self.query(s, t)
+    }
+
+    fn distance_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
+        self.query_with_stats(s, t)
+    }
+
+    fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+        H2hIndex::one_to_many(self, s, targets)
+    }
+
+    fn label_bytes(&self) -> usize {
+        self.stats().label_bytes
+    }
+
+    fn lca_bytes(&self) -> usize {
+        self.stats().lca_bytes
+    }
+
+    fn construction_seconds(&self) -> f64 {
+        self.construction_seconds
+    }
+
+    fn tree_height(&self) -> Option<u32> {
+        Some(self.stats().tree_height)
+    }
+
+    fn max_width(&self) -> Option<usize> {
+        Some(self.stats().max_bag_size)
+    }
+}
+
+impl DistanceOracle for HubLabelIndex {
+    fn build(g: &Graph, _config: &OracleConfig) -> Self {
+        HubLabelIndex::build(g)
+    }
+
+    fn name(&self) -> &'static str {
+        "HL"
+    }
+
+    fn distance(&self, s: Vertex, t: Vertex) -> Distance {
+        self.query(s, t)
+    }
+
+    fn distance_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
+        self.query_with_stats(s, t)
+    }
+
+    fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+        HubLabelIndex::one_to_many(self, s, targets)
+    }
+
+    fn label_bytes(&self) -> usize {
+        self.stats().memory_bytes
+    }
+
+    fn construction_seconds(&self) -> f64 {
+        self.construction_seconds
+    }
+}
+
+impl DistanceOracle for PhlIndex {
+    fn build(g: &Graph, _config: &OracleConfig) -> Self {
+        PhlIndex::build(g)
+    }
+
+    fn name(&self) -> &'static str {
+        "PHL"
+    }
+
+    fn distance(&self, s: Vertex, t: Vertex) -> Distance {
+        self.query(s, t)
+    }
+
+    fn distance_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
+        self.query_with_stats(s, t)
+    }
+
+    fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+        PhlIndex::one_to_many(self, s, targets)
+    }
+
+    fn label_bytes(&self) -> usize {
+        self.stats().memory_bytes
+    }
+
+    fn construction_seconds(&self) -> f64 {
+        self.construction_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::dijkstra_distance;
+    use hc2l_graph::toy::paper_figure1;
+
+    fn assert_exact<O: DistanceOracle>(g: &Graph, oracle: &O) {
+        for s in 0..g.num_vertices() as Vertex {
+            for t in 0..g.num_vertices() as Vertex {
+                assert_eq!(
+                    oracle.distance(s, t),
+                    dijkstra_distance(g, s, t),
+                    "{} wrong on ({s},{t})",
+                    oracle.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_backend_type_is_exact_through_the_trait() {
+        let g = paper_figure1();
+        let config = OracleConfig::default();
+        assert_exact(&g, &<Hc2lIndex as DistanceOracle>::build(&g, &config));
+        assert_exact(
+            &g,
+            &<ContractionHierarchy as DistanceOracle>::build(&g, &config),
+        );
+        assert_exact(&g, &<H2hIndex as DistanceOracle>::build(&g, &config));
+        assert_exact(&g, &<HubLabelIndex as DistanceOracle>::build(&g, &config));
+        assert_exact(&g, &<PhlIndex as DistanceOracle>::build(&g, &config));
+    }
+
+    #[test]
+    fn hc2l_name_tracks_thread_count() {
+        let g = paper_figure1();
+        let seq = <Hc2lIndex as DistanceOracle>::build(&g, &OracleConfig::default());
+        assert_eq!(DistanceOracle::name(&seq), "HC2L");
+        let par_cfg = OracleConfig::new(crate::Method::Hc2lParallel);
+        let par = <Hc2lIndex as DistanceOracle>::build(&g, &par_cfg);
+        assert_eq!(DistanceOracle::name(&par), "HC2Lp");
+    }
+
+    #[test]
+    fn index_bytes_cover_labels_and_lca() {
+        let g = paper_figure1();
+        let config = OracleConfig::default();
+        let hc2l = <Hc2lIndex as DistanceOracle>::build(&g, &config);
+        assert!(hc2l.index_bytes() >= hc2l.label_bytes() + hc2l.lca_bytes());
+        let ch = <ContractionHierarchy as DistanceOracle>::build(&g, &config);
+        assert_eq!(ch.lca_bytes(), 0);
+        assert_eq!(ch.index_bytes(), DistanceOracle::label_bytes(&ch));
+    }
+}

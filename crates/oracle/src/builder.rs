@@ -1,0 +1,146 @@
+//! Construction configuration and the fluent [`OracleBuilder`].
+
+use hc2l::Hc2lConfig;
+use hc2l_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+use crate::method::Method;
+use crate::oracle::Oracle;
+use crate::traits::DistanceOracle;
+
+/// Configuration shared by every oracle construction.
+///
+/// Backends read the fields that apply to them: the HC2L variants consume
+/// [`OracleConfig::hc2l`] (with [`OracleConfig::threads`] overriding the
+/// thread count for [`Method::Hc2lParallel`]); the baselines currently have
+/// no tunables and ignore everything except `method` (which only the
+/// [`Oracle`] enum dispatches on).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OracleConfig {
+    /// Which backend to construct (used by [`Oracle::build`]; ignored when
+    /// building a concrete backend type directly).
+    pub method: Method,
+    /// Construction parameters of the HC2L index (β, leaf threshold, tail
+    /// pruning, degree-one contraction, sequential thread count).
+    pub hc2l: Hc2lConfig,
+    /// Worker threads for parallel constructions ([`Method::Hc2lParallel`]).
+    pub threads: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            method: Method::Hc2l,
+            hc2l: Hc2lConfig::default(),
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(2),
+        }
+    }
+}
+
+impl OracleConfig {
+    /// Default configuration for a method.
+    pub fn new(method: Method) -> Self {
+        OracleConfig {
+            method,
+            ..Default::default()
+        }
+    }
+
+    /// The effective HC2L configuration for this oracle config: the parallel
+    /// variant forces a multi-threaded build with a finer work grain.
+    pub(crate) fn effective_hc2l(&self) -> Hc2lConfig {
+        match self.method {
+            Method::Hc2lParallel => Hc2lConfig {
+                threads: self.threads.max(2),
+                parallel_grain: self.hc2l.parallel_grain.min(512),
+                ..self.hc2l
+            },
+            _ => self.hc2l,
+        }
+    }
+}
+
+/// Fluent construction of an [`Oracle`]:
+///
+/// ```
+/// use hc2l_oracle::{DistanceOracle, Method, OracleBuilder};
+/// use hc2l_graph::toy::grid_graph;
+///
+/// let g = grid_graph(4, 4);
+/// let oracle = OracleBuilder::new(Method::H2h).build(&g);
+/// assert_eq!(oracle.name(), "H2H");
+/// assert_eq!(oracle.distance(0, 15), 6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OracleBuilder {
+    config: OracleConfig,
+}
+
+impl OracleBuilder {
+    /// Starts a builder for the given method with default parameters.
+    pub fn new(method: Method) -> Self {
+        OracleBuilder {
+            config: OracleConfig::new(method),
+        }
+    }
+
+    /// Sets the HC2L balance parameter β ∈ (0, 0.5].
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.config.hc2l.beta = beta;
+        self
+    }
+
+    /// Sets the worker-thread count for parallel constructions.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the full HC2L construction configuration.
+    pub fn hc2l_config(mut self, config: hc2l::Hc2lConfig) -> Self {
+        self.config.hc2l = config;
+        self
+    }
+
+    /// The assembled configuration.
+    pub fn config(&self) -> &OracleConfig {
+        &self.config
+    }
+
+    /// Builds the oracle over a graph.
+    pub fn build(&self, g: &Graph) -> Oracle {
+        Oracle::build(g, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_settings() {
+        let b = OracleBuilder::new(Method::Hc2lParallel)
+            .beta(0.3)
+            .threads(8);
+        assert_eq!(b.config().method, Method::Hc2lParallel);
+        assert!((b.config().hc2l.beta - 0.3).abs() < 1e-12);
+        assert_eq!(b.config().threads, 8);
+        let eff = b.config().effective_hc2l();
+        assert_eq!(eff.threads, 8);
+        assert!(eff.parallel_grain <= 512);
+    }
+
+    #[test]
+    fn sequential_hc2l_keeps_its_own_thread_count() {
+        let cfg = OracleConfig::new(Method::Hc2l);
+        assert_eq!(cfg.effective_hc2l().threads, 1);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped() {
+        let b = OracleBuilder::new(Method::Hc2l).threads(0);
+        assert_eq!(b.config().threads, 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Unified distance-oracle API over every backend in the HC2L workspace.
+//!
+//! The workspace implements six exact distance oracles — HC2L (sequential
+//! and parallel construction), Contraction Hierarchies, H2H, Hub Labelling
+//! and Pruned Highway Labelling — whose native crates historically exposed
+//! divergent construction and query signatures. This crate is the single
+//! spine the rest of the system (benchmarks, examples, future serving /
+//! persistence / sharding layers) plugs into:
+//!
+//! * [`DistanceOracle`] — the trait every backend implements:
+//!   `build(graph, &OracleConfig)`, `distance`, `distance_with_stats`
+//!   (returning the shared [`QueryStats`]), batched [`one_to_many`],
+//!   `index_bytes` and `name`, plus reporting extensions used by the
+//!   paper-table generators.
+//! * [`Method`] — runtime identification of the six backends.
+//! * [`Oracle`] — an enum holding any built backend, itself implementing
+//!   [`DistanceOracle`], so heterogeneous collections and runtime method
+//!   selection need no trait objects.
+//! * [`OracleBuilder`] / [`OracleConfig`] — fluent construction:
+//!
+//! ```
+//! use hc2l_oracle::{DistanceOracle, Method, OracleBuilder};
+//! use hc2l_graph::toy::paper_figure1;
+//! use hc2l_graph::dijkstra_distance;
+//!
+//! let g = paper_figure1();
+//! let oracle = OracleBuilder::new(Method::Hc2l).beta(0.2).build(&g);
+//! assert_eq!(oracle.distance(13, 14), 3); // Example 4.20
+//! assert_eq!(oracle.distance(13, 14), dijkstra_distance(&g, 13, 14));
+//! let to_all: Vec<_> = oracle.one_to_many(0, &[3, 7, 15]);
+//! assert_eq!(to_all.len(), 3);
+//! ```
+//!
+//! [`one_to_many`]: DistanceOracle::one_to_many
+//! [`QueryStats`]: hc2l_graph::QueryStats
+
+pub mod backends;
+pub mod builder;
+pub mod method;
+pub mod oracle;
+pub mod traits;
+
+pub use builder::{OracleBuilder, OracleConfig};
+pub use method::Method;
+pub use oracle::Oracle;
+pub use traits::DistanceOracle;
+
+/// Re-export of the shared per-query instrumentation record.
+pub use hc2l_graph::QueryStats;
+
+/// Canonical backend index types under the names the oracle layer uses.
+pub use hc2l::Hc2lIndex;
+pub use hc2l_ch::ContractionHierarchy as ChIndex;
+pub use hc2l_h2h::H2hIndex;
+pub use hc2l_hl::HubLabelIndex as HlIndex;
+pub use hc2l_phl::PhlIndex;

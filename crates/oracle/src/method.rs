@@ -1,0 +1,96 @@
+//! Runtime identification of the workspace's distance-oracle backends.
+
+use serde::{Deserialize, Serialize};
+
+/// The distance-query methods compared in the paper's evaluation, plus CH
+/// (which the paper discusses as the search-based state of the art).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Hierarchical Cut 2-Hop Labelling (this paper), sequential build.
+    Hc2l,
+    /// HC2L built with multiple threads (the paper's HC2Lp). The resulting
+    /// index is identical to [`Method::Hc2l`]'s; only construction differs.
+    Hc2lParallel,
+    /// Hierarchical 2-Hop Index (tree-decomposition labelling).
+    H2h,
+    /// Pruned Highway Labelling.
+    Phl,
+    /// Hub Labelling (pruned landmark labelling over a CH order).
+    Hl,
+    /// Contraction Hierarchies (search-based baseline).
+    Ch,
+}
+
+impl Method {
+    /// Every backend, in the order the comparison examples print them.
+    pub const ALL: [Method; 6] = [
+        Method::Hc2l,
+        Method::Hc2lParallel,
+        Method::H2h,
+        Method::Phl,
+        Method::Hl,
+        Method::Ch,
+    ];
+
+    /// The labelling methods the paper's main tables compare (HC2Lp shares
+    /// its index with HC2L, and CH is only used in auxiliary comparisons).
+    pub const LABELLING: [Method; 4] = [Method::Hc2l, Method::H2h, Method::Phl, Method::Hl];
+
+    /// Display name used in generated tables and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Hc2l => "HC2L",
+            Method::Hc2lParallel => "HC2Lp",
+            Method::H2h => "H2H",
+            Method::Phl => "PHL",
+            Method::Hl => "HL",
+            Method::Ch => "CH",
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Method {
+    type Err = String;
+
+    /// Parses the display name (case-insensitive), for CLI flags.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "hc2l" => Ok(Method::Hc2l),
+            "hc2lp" | "hc2l-parallel" | "hc2l_parallel" => Ok(Method::Hc2lParallel),
+            "h2h" => Ok(Method::H2h),
+            "phl" => Ok(Method::Phl),
+            "hl" => Ok(Method::Hl),
+            "ch" => Ok(Method::Ch),
+            other => Err(format!(
+                "unknown method '{other}' (expected one of hc2l, hc2lp, h2h, phl, hl, ch)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Method::Hc2l.name(), "HC2L");
+        assert_eq!(Method::Hc2lParallel.name(), "HC2Lp");
+        assert_eq!(Method::ALL.len(), 6);
+        assert_eq!(Method::LABELLING.len(), 4);
+    }
+
+    #[test]
+    fn parses_every_display_name() {
+        for m in Method::ALL {
+            assert_eq!(m.name().parse::<Method>().unwrap(), m);
+        }
+        assert!("dijkstra".parse::<Method>().is_err());
+    }
+}

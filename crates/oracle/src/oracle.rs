@@ -1,0 +1,200 @@
+//! The [`Oracle`] enum: any built backend behind one concrete type.
+
+use hc2l::Hc2lIndex;
+use hc2l_ch::ContractionHierarchy;
+use hc2l_graph::{Distance, Graph, QueryStats, Vertex};
+use hc2l_h2h::H2hIndex;
+use hc2l_hl::HubLabelIndex;
+use hc2l_phl::PhlIndex;
+
+use crate::builder::OracleConfig;
+use crate::method::Method;
+use crate::traits::DistanceOracle;
+
+/// A built distance oracle of any backend.
+///
+/// `Oracle` implements [`DistanceOracle`] by delegating to the wrapped
+/// index, so experiment runners hold `Vec<Oracle>` (or build one from a CLI
+/// flag) without trait objects or per-backend match arms at call sites.
+#[derive(Debug, Clone)]
+pub enum Oracle {
+    /// Sequentially built HC2L.
+    Hc2l(Hc2lIndex),
+    /// HC2L built with multiple threads (identical index, faster build).
+    Hc2lParallel(Hc2lIndex),
+    /// Contraction Hierarchies.
+    Ch(ContractionHierarchy),
+    /// Hierarchical 2-Hop Index.
+    H2h(H2hIndex),
+    /// Hub Labelling.
+    Hl(HubLabelIndex),
+    /// Pruned Highway Labelling.
+    Phl(PhlIndex),
+}
+
+/// Delegates a method call to whichever backend the enum holds.
+macro_rules! delegate {
+    ($self:ident, $inner:ident => $body:expr) => {
+        match $self {
+            Oracle::Hc2l($inner) | Oracle::Hc2lParallel($inner) => $body,
+            Oracle::Ch($inner) => $body,
+            Oracle::H2h($inner) => $body,
+            Oracle::Hl($inner) => $body,
+            Oracle::Phl($inner) => $body,
+        }
+    };
+}
+
+impl Oracle {
+    /// The method this oracle was built with.
+    pub fn method(&self) -> Method {
+        match self {
+            Oracle::Hc2l(_) => Method::Hc2l,
+            Oracle::Hc2lParallel(_) => Method::Hc2lParallel,
+            Oracle::Ch(_) => Method::Ch,
+            Oracle::H2h(_) => Method::H2h,
+            Oracle::Hl(_) => Method::Hl,
+            Oracle::Phl(_) => Method::Phl,
+        }
+    }
+}
+
+impl DistanceOracle for Oracle {
+    /// Builds the backend selected by `config.method`.
+    fn build(g: &Graph, config: &OracleConfig) -> Self {
+        match config.method {
+            Method::Hc2l => Oracle::Hc2l(DistanceOracle::build(g, config)),
+            Method::Hc2lParallel => Oracle::Hc2lParallel(DistanceOracle::build(g, config)),
+            Method::Ch => Oracle::Ch(DistanceOracle::build(g, config)),
+            Method::H2h => Oracle::H2h(DistanceOracle::build(g, config)),
+            Method::Hl => Oracle::Hl(DistanceOracle::build(g, config)),
+            Method::Phl => Oracle::Phl(DistanceOracle::build(g, config)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        // The variant, not the wrapped index, decides: a parallel-built HC2L
+        // index reports "HC2Lp" in tables even though the index is identical.
+        self.method().name()
+    }
+
+    fn distance(&self, s: Vertex, t: Vertex) -> Distance {
+        delegate!(self, inner => inner.distance(s, t))
+    }
+
+    fn distance_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
+        delegate!(self, inner => inner.distance_with_stats(s, t))
+    }
+
+    fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+        delegate!(self, inner => inner.one_to_many(s, targets))
+    }
+
+    fn index_bytes(&self) -> usize {
+        delegate!(self, inner => inner.index_bytes())
+    }
+
+    fn label_bytes(&self) -> usize {
+        delegate!(self, inner => inner.label_bytes())
+    }
+
+    fn lca_bytes(&self) -> usize {
+        delegate!(self, inner => inner.lca_bytes())
+    }
+
+    fn construction_seconds(&self) -> f64 {
+        delegate!(self, inner => inner.construction_seconds())
+    }
+
+    fn tree_height(&self) -> Option<u32> {
+        delegate!(self, inner => inner.tree_height())
+    }
+
+    fn max_width(&self) -> Option<usize> {
+        delegate!(self, inner => inner.max_width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OracleBuilder;
+    use hc2l_graph::dijkstra_distance;
+    use hc2l_graph::toy::paper_figure1;
+
+    #[test]
+    fn every_method_builds_and_answers_exactly() {
+        let g = paper_figure1();
+        for method in Method::ALL {
+            let oracle = OracleBuilder::new(method).threads(2).build(&g);
+            assert_eq!(oracle.method(), method);
+            assert_eq!(oracle.name(), method.name());
+            for &(s, t) in &[(0u32, 7u32), (2, 9), (13, 14), (5, 5), (3, 12)] {
+                assert_eq!(
+                    oracle.distance(s, t),
+                    dijkstra_distance(&g, s, t),
+                    "{} wrong on ({s},{t})",
+                    oracle.name()
+                );
+            }
+            assert!(
+                oracle.index_bytes() > 0,
+                "{} reports no bytes",
+                oracle.name()
+            );
+            assert!(oracle.construction_seconds() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn one_to_many_agrees_with_distance_for_every_method() {
+        let g = paper_figure1();
+        let targets: Vec<Vertex> = (0..16).collect();
+        for method in Method::ALL {
+            let oracle = OracleBuilder::new(method).threads(2).build(&g);
+            for s in 0..16u32 {
+                let batch = oracle.one_to_many(s, &targets);
+                assert_eq!(batch.len(), targets.len());
+                for (&t, &d) in targets.iter().zip(batch.iter()) {
+                    assert_eq!(
+                        d,
+                        oracle.distance(s, t),
+                        "{} one_to_many({s},{t})",
+                        oracle.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_surface_matches_method_capabilities() {
+        let g = paper_figure1();
+        let hc2l = OracleBuilder::new(Method::Hc2l).build(&g);
+        assert!(hc2l.tree_height().is_some());
+        assert!(hc2l.max_width().is_some());
+        assert!(hc2l.lca_bytes() > 0);
+        let hl = OracleBuilder::new(Method::Hl).build(&g);
+        assert_eq!(hl.tree_height(), None);
+        assert_eq!(hl.lca_bytes(), 0);
+        let (d, stats) = hc2l.distance_with_stats(2, 9);
+        assert_eq!(d, dijkstra_distance(&g, 2, 9));
+        assert!(stats.hubs_scanned > 0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_hc2l_produce_identical_indexes() {
+        let g = paper_figure1();
+        let seq = OracleBuilder::new(Method::Hc2l).build(&g);
+        let par = OracleBuilder::new(Method::Hc2lParallel)
+            .threads(4)
+            .build(&g);
+        assert_eq!(seq.label_bytes(), par.label_bytes());
+        for s in 0..16u32 {
+            for t in 0..16u32 {
+                assert_eq!(seq.distance(s, t), par.distance(s, t));
+            }
+        }
+        assert_eq!(par.name(), "HC2Lp");
+    }
+}

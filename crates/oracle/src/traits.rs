@@ -1,0 +1,75 @@
+//! The [`DistanceOracle`] trait: one construction-and-query interface for
+//! every backend in the workspace.
+
+use hc2l_graph::{Distance, Graph, QueryStats, Vertex};
+
+use crate::builder::OracleConfig;
+
+/// An exact shortest-path distance oracle over a weighted undirected graph.
+///
+/// All six workspace backends implement this trait, as does the type-erasing
+/// [`Oracle`](crate::Oracle) enum, so callers can be generic over the method
+/// (`fn f(o: &impl DistanceOracle)`) or select one at runtime via
+/// [`OracleBuilder`](crate::OracleBuilder).
+///
+/// Semantics shared by every implementation:
+///
+/// * distances are **exact** (equal to Dijkstra's) and symmetric;
+/// * `distance(v, v) == 0` for every vertex;
+/// * disconnected pairs return [`hc2l_graph::INFINITY`].
+pub trait DistanceOracle: Send + Sync {
+    /// Builds the oracle for a graph. Backends read the parts of
+    /// [`OracleConfig`] that apply to them (e.g. the HC2L β / threading
+    /// knobs) and ignore the rest.
+    fn build(g: &Graph, config: &OracleConfig) -> Self
+    where
+        Self: Sized;
+
+    /// Display name of the method ("HC2L", "H2H", ...).
+    fn name(&self) -> &'static str;
+
+    /// Exact shortest-path distance between two vertices.
+    fn distance(&self, s: Vertex, t: Vertex) -> Distance;
+
+    /// Like [`DistanceOracle::distance`], additionally reporting the shared
+    /// per-query instrumentation record.
+    fn distance_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats);
+
+    /// Batched one-to-many query: distances from `s` to every vertex in
+    /// `targets`, in order.
+    ///
+    /// Implementations amortise per-source work (label lookups, contraction
+    /// root resolution) over the batch; the default falls back to pointwise
+    /// [`DistanceOracle::distance`] calls.
+    fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+        targets.iter().map(|&t| self.distance(s, t)).collect()
+    }
+
+    /// Total index footprint in bytes (labels plus auxiliary structures).
+    fn index_bytes(&self) -> usize {
+        self.label_bytes() + self.lca_bytes()
+    }
+
+    /// Bytes of distance-label storage (Table 2's "Labelling Size"; the
+    /// upward-graph size for search-based CH).
+    fn label_bytes(&self) -> usize;
+
+    /// Bytes of auxiliary LCA structures (Table 3's "LCA Storage"; 0 when
+    /// the method has none).
+    fn lca_bytes(&self) -> usize {
+        0
+    }
+
+    /// Wall-clock seconds the construction took.
+    fn construction_seconds(&self) -> f64;
+
+    /// Height of the method's tree hierarchy (Table 5), when it has one.
+    fn tree_height(&self) -> Option<u32> {
+        None
+    }
+
+    /// Maximum cut size / bag width (Table 5), when applicable.
+    fn max_width(&self) -> Option<usize> {
+        None
+    }
+}

@@ -209,7 +209,9 @@ mod tests {
             let label = index.label(v);
             assert!(!label.is_empty(), "vertex {v} has an empty PHL label");
             for w in label.windows(2) {
-                assert!(w[0].path < w[1].path || (w[0].path == w[1].path && w[0].offset <= w[1].offset));
+                assert!(
+                    w[0].path < w[1].path || (w[0].path == w[1].path && w[0].offset <= w[1].offset)
+                );
             }
         }
     }

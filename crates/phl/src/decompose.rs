@@ -58,7 +58,8 @@ impl HighwayDecomposition {
                 for w in vertices.windows(2) {
                     acc += g
                         .edge_weight(w[0], w[1])
-                        .expect("decomposition produced a non-path") as Distance;
+                        .expect("decomposition produced a non-path")
+                        as Distance;
                     offsets.push(acc);
                 }
                 HighwayPath { vertices, offsets }
@@ -99,7 +100,7 @@ mod tests {
     fn every_vertex_on_exactly_one_path() {
         let g = paper_figure1();
         let d = HighwayDecomposition::build(&g);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for p in &d.paths {
             for &v in &p.vertices {
                 assert!(!seen[v as usize]);

@@ -1,18 +1,8 @@
 //! Distance queries over highway labels (Equation 2 of the paper).
 
-use hc2l_graph::{Distance, Vertex};
+use hc2l_graph::{Distance, QueryStats, Vertex};
 
 use crate::build::{query_labels, PhlIndex};
-
-/// Result of a PHL query with scan statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PhlQueryResult {
-    /// Shortest-path distance.
-    pub distance: Distance,
-    /// Number of label entries scanned across both labels (PHL, like HL,
-    /// always scans the full labels).
-    pub entries_scanned: usize,
-}
 
 impl PhlIndex {
     /// Exact distance query.
@@ -24,18 +14,33 @@ impl PhlIndex {
         query_labels(self.label(s), self.label(t))
     }
 
-    /// Exact distance query with scan statistics.
-    pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> PhlQueryResult {
+    /// Exact distance query with scan statistics. PHL, like HL, always scans
+    /// both labels in full, so `hubs_scanned` is the sum of both label
+    /// lengths.
+    pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
         let distance = self.query(s, t);
-        let entries_scanned = if s == t {
+        let scanned = if s == t {
             0
         } else {
             self.label(s).len() + self.label(t).len()
         };
-        PhlQueryResult {
-            distance,
-            entries_scanned,
-        }
+        (distance, QueryStats::scanned(scanned))
+    }
+
+    /// Batched one-to-many query: distances from `s` to every vertex in
+    /// `targets`, resolving the source label once for the whole batch.
+    pub fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+        let label_s = self.label(s);
+        targets
+            .iter()
+            .map(|&t| {
+                if s == t {
+                    0
+                } else {
+                    query_labels(label_s, self.label(t))
+                }
+            })
+            .collect()
     }
 }
 
@@ -51,7 +56,11 @@ mod tests {
         for s in 0..g.num_vertices() as Vertex {
             let d = dijkstra(g, s);
             for t in 0..g.num_vertices() as Vertex {
-                assert_eq!(index.query(s, t), d[t as usize], "PHL query ({s},{t}) wrong");
+                assert_eq!(
+                    index.query(s, t),
+                    d[t as usize],
+                    "PHL query ({s},{t}) wrong"
+                );
             }
         }
     }
@@ -90,8 +99,24 @@ mod tests {
     fn query_stats_scan_full_labels() {
         let g = paper_figure1();
         let index = PhlIndex::build(&g);
-        let r = index.query_with_stats(2, 9);
-        assert_eq!(r.entries_scanned, index.label(2).len() + index.label(9).len());
-        assert_eq!(index.query_with_stats(3, 3).entries_scanned, 0);
+        let (_, stats) = index.query_with_stats(2, 9);
+        assert_eq!(
+            stats.hubs_scanned,
+            index.label(2).len() + index.label(9).len()
+        );
+        assert_eq!(index.query_with_stats(3, 3).1.hubs_scanned, 0);
+    }
+
+    #[test]
+    fn one_to_many_matches_pointwise_queries() {
+        let g = grid_graph(4, 4);
+        let index = PhlIndex::build(&g);
+        let targets: Vec<Vertex> = (0..16).collect();
+        for s in 0..16u32 {
+            let batch = index.one_to_many(s, &targets);
+            for (t, &d) in targets.iter().zip(batch.iter()) {
+                assert_eq!(d, index.query(s, *t));
+            }
+        }
     }
 }

@@ -91,38 +91,62 @@ pub fn standard_suite(scale: SuiteScale) -> Vec<DatasetSpec> {
             ..Default::default()
         }),
     };
-    let multi = |name: &str,
-                 region: &str,
-                 cities: usize,
-                 rows: usize,
-                 cols: usize,
-                 seed: u64| DatasetSpec {
-        name: name.to_string(),
-        region: region.to_string(),
-        config: DatasetConfig::MultiCity(MultiCityConfig {
-            cities,
-            city: RoadNetworkConfig {
-                rows: rows * f,
-                cols: cols * f,
+    let multi = |name: &str, region: &str, cities: usize, rows: usize, cols: usize, seed: u64| {
+        DatasetSpec {
+            name: name.to_string(),
+            region: region.to_string(),
+            config: DatasetConfig::MultiCity(MultiCityConfig {
+                cities,
+                city: RoadNetworkConfig {
+                    rows: rows * f,
+                    cols: cols * f,
+                    seed,
+                    ..Default::default()
+                },
+                corridors_per_link: 2,
+                corridor_hops: 8,
                 seed,
-                ..Default::default()
-            },
-            corridors_per_link: 2,
-            corridor_hops: 8,
-            seed,
-        }),
+            }),
+        }
     };
     vec![
         city("NY-s", "synthetic stand-in for New York City", 14, 14, 101),
-        city("BAY-s", "synthetic stand-in for San Francisco Bay", 15, 15, 102),
+        city(
+            "BAY-s",
+            "synthetic stand-in for San Francisco Bay",
+            15,
+            15,
+            102,
+        ),
         city("COL-s", "synthetic stand-in for Colorado", 17, 17, 103),
         city("FLA-s", "synthetic stand-in for Florida", 22, 22, 104),
         multi("CAL-s", "synthetic stand-in for California", 2, 18, 18, 105),
         multi("E-s", "synthetic stand-in for Eastern USA", 3, 19, 19, 106),
         multi("W-s", "synthetic stand-in for Western USA", 4, 19, 19, 107),
-        multi("CTR-s", "synthetic stand-in for Central USA", 5, 21, 21, 108),
-        multi("USA-s", "synthetic stand-in for the whole USA", 6, 22, 22, 109),
-        multi("EUR-s", "synthetic stand-in for Western Europe", 6, 21, 21, 110),
+        multi(
+            "CTR-s",
+            "synthetic stand-in for Central USA",
+            5,
+            21,
+            21,
+            108,
+        ),
+        multi(
+            "USA-s",
+            "synthetic stand-in for the whole USA",
+            6,
+            22,
+            22,
+            109,
+        ),
+        multi(
+            "EUR-s",
+            "synthetic stand-in for Western Europe",
+            6,
+            21,
+            21,
+            110,
+        ),
     ]
 }
 

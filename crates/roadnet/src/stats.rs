@@ -61,7 +61,12 @@ pub fn format_summary_table(rows: &[DatasetSummary]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:<8} {:>10} {:>10} {:>12} {:>8.2} {:>8.1} MB\n",
-            r.name, r.num_vertices, r.num_edges, r.diameter, r.avg_degree, r.memory_mib()
+            r.name,
+            r.num_vertices,
+            r.num_edges,
+            r.diameter,
+            r.avg_degree,
+            r.memory_mib()
         ));
     }
     out
@@ -91,16 +96,17 @@ mod tests {
         let g = net.graph(WeightMode::Distance);
         let s = dataset_summary("CITY", "12x12 synthetic", &g);
         assert_eq!(s.num_vertices, 144);
-        assert!(s.diameter > 1000, "diameter should be in metres, got {}", s.diameter);
+        assert!(
+            s.diameter > 1000,
+            "diameter should be in metres, got {}",
+            s.diameter
+        );
     }
 
     #[test]
     fn table_formatting_contains_all_rows() {
         let g = paper_figure1();
-        let rows = vec![
-            dataset_summary("A", "", &g),
-            dataset_summary("B", "", &g),
-        ];
+        let rows = vec![dataset_summary("A", "", &g), dataset_summary("B", "", &g)];
         let table = format_summary_table(&rows);
         assert!(table.contains("A"));
         assert!(table.contains("B"));

@@ -200,9 +200,8 @@ pub fn generate_city(cfg: &RoadNetworkConfig) -> RoadNetwork {
     let mut keep = vec![false; candidates.len()];
     for &i in &order {
         let (u, v, class) = candidates[i];
-        if dsu.union(u as usize, v as usize) {
-            keep[i] = true;
-        } else if class == RoadClass::Highway || rng.random::<f64>() >= cfg.removal_fraction {
+        let spanning = dsu.union(u as usize, v as usize);
+        if spanning || class == RoadClass::Highway || rng.random::<f64>() >= cfg.removal_fraction {
             keep[i] = true;
         }
     }
@@ -275,7 +274,10 @@ pub fn generate_multi_city(cfg: &MultiCityConfig) -> RoadNetwork {
     let ring_radius = city_extent * cfg.cities as f64 / std::f64::consts::PI;
     for i in 0..cfg.cities {
         let mut sub_cfg = cfg.city.clone();
-        sub_cfg.seed = cfg.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i as u64);
+        sub_cfg.seed = cfg
+            .seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(i as u64);
         let city = generate_city(&sub_cfg);
         let angle = 2.0 * std::f64::consts::PI * i as f64 / cfg.cities as f64;
         let (cx, cy) = (ring_radius * angle.cos(), ring_radius * angle.sin());
@@ -314,7 +316,8 @@ pub fn generate_multi_city(cfg: &MultiCityConfig) -> RoadNetwork {
                 };
                 let (px, py) = coords[prev as usize];
                 let (cx2, cy2) = coords[cur as usize];
-                let length = (((px - cx2).powi(2) + (py - cy2).powi(2)).sqrt().round() as u32).max(1);
+                let length =
+                    (((px - cx2).powi(2) + (py - cy2).powi(2)).sqrt().round() as u32).max(1);
                 segments.push(Segment {
                     u: prev,
                     v: cur,
@@ -373,7 +376,10 @@ mod tests {
         assert_eq!(g.num_vertices(), 400);
         assert!(is_connected(&g));
         let avg = g.average_degree();
-        assert!(avg > 2.0 && avg < 3.6, "average degree {avg} outside road-network range");
+        assert!(
+            avg > 2.0 && avg < 3.6,
+            "average degree {avg} outside road-network range"
+        );
     }
 
     #[test]
@@ -383,11 +389,18 @@ mod tests {
         let c = RoadNetworkConfig::city(10, 12, 100).generate();
         assert_eq!(a.num_segments(), b.num_segments());
         assert_eq!(a.coords.len(), b.coords.len());
-        assert!(a.segments.iter().zip(b.segments.iter()).all(|(x, y)| x.u == y.u && x.v == y.v && x.length == y.length));
+        assert!(a
+            .segments
+            .iter()
+            .zip(b.segments.iter())
+            .all(|(x, y)| x.u == y.u && x.v == y.v && x.length == y.length));
         // A different seed should (overwhelmingly likely) differ.
         assert!(
             a.num_segments() != c.num_segments()
-                || a.segments.iter().zip(c.segments.iter()).any(|(x, y)| x.length != y.length)
+                || a.segments
+                    .iter()
+                    .zip(c.segments.iter())
+                    .any(|(x, y)| x.length != y.length)
         );
     }
 
@@ -407,7 +420,10 @@ mod tests {
         let g = net.graph(WeightMode::Distance);
         for &(s, t) in &[(0u32, 143u32), (5, 100), (30, 77)] {
             let d = dijkstra_distance(&g, s, t);
-            assert!(d as f64 + 1e-6 >= net.euclidean(s, t) * 0.7, "network distance should not undercut straight-line distance by much");
+            assert!(
+                d as f64 + 1e-6 >= net.euclidean(s, t) * 0.7,
+                "network distance should not undercut straight-line distance by much"
+            );
         }
     }
 

@@ -60,12 +60,7 @@ impl QueryBuckets {
         if d == 0 {
             return None;
         }
-        for i in 0..NUM_BUCKETS {
-            if d > self.bounds[i] && d <= self.bounds[i + 1] {
-                return Some(i);
-            }
-        }
-        None
+        bucket_index(&self.bounds, d)
     }
 
     /// Total number of queries across all buckets.
@@ -147,7 +142,10 @@ pub fn distance_buckets(g: &Graph, per_bucket: usize, l_min: Distance, seed: u64
                 None => continue,
             };
             if buckets[idx].len() < per_bucket {
-                buckets[idx].push(QueryPair { source: s, target: t });
+                buckets[idx].push(QueryPair {
+                    source: s,
+                    target: t,
+                });
                 if buckets[idx].len() == per_bucket {
                     full += 1;
                 }
@@ -164,12 +162,7 @@ pub fn distance_buckets(g: &Graph, per_bucket: usize, l_min: Distance, seed: u64
 }
 
 fn bucket_index(bounds: &[Distance], d: Distance) -> Option<usize> {
-    for i in 0..NUM_BUCKETS {
-        if d > bounds[i] && d <= bounds[i + 1] {
-            return Some(i);
-        }
-    }
-    None
+    (0..NUM_BUCKETS).find(|&i| d > bounds[i] && d <= bounds[i + 1])
 }
 
 #[cfg(test)]
@@ -185,7 +178,9 @@ mod tests {
         let pairs_a = random_pairs(100, 50, 7);
         let pairs_b = random_pairs(100, 50, 7);
         assert_eq!(pairs_a, pairs_b);
-        assert!(pairs_a.iter().all(|p| (p.source as usize) < 100 && (p.target as usize) < 100));
+        assert!(pairs_a
+            .iter()
+            .all(|p| (p.source as usize) < 100 && (p.target as usize) < 100));
         let pairs_c = random_pairs(100, 50, 8);
         assert_ne!(pairs_a, pairs_c);
     }
@@ -210,7 +205,10 @@ mod tests {
         }
         // At least the middle buckets should have found queries.
         let non_empty = buckets.buckets.iter().filter(|b| !b.is_empty()).count();
-        assert!(non_empty >= NUM_BUCKETS / 2, "only {non_empty} buckets populated");
+        assert!(
+            non_empty >= NUM_BUCKETS / 2,
+            "only {non_empty} buckets populated"
+        );
     }
 
     #[test]

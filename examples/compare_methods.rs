@@ -1,25 +1,24 @@
-//! Side-by-side comparison of HC2L with the baselines the paper evaluates
-//! against (H2H, PHL, HL), plus Contraction Hierarchies and bidirectional
-//! Dijkstra as search-based reference points — a miniature, human-readable
-//! version of Tables 2 and 3.
+//! Side-by-side comparison of every backend behind the unified
+//! [`DistanceOracle`] trait — a miniature, human-readable version of the
+//! paper's Tables 2 and 3, plus bidirectional Dijkstra as the
+//! no-preprocessing reference point.
+//!
+//! Every method goes through the same [`Method`] -> [`OracleBuilder`] ->
+//! [`DistanceOracle`] path; there is no per-backend code in this example.
 //!
 //! Run with `cargo run --release --example compare_methods`.
 
 use std::time::Instant;
 
-use hc2l::{Hc2lConfig, Hc2lIndex};
-use hc2l_ch::ContractionHierarchy;
-use hc2l_graph::{bidirectional_dijkstra, Distance, Graph};
-use hc2l_h2h::H2hIndex;
-use hc2l_hl::HubLabelIndex;
-use hc2l_phl::PhlIndex;
+use hc2l_graph::{bidirectional_dijkstra, Graph};
+use hc2l_oracle::{DistanceOracle, Method, OracleBuilder};
 use hc2l_roadnet::{random_pairs, QueryPair, RoadNetworkConfig, WeightMode};
 
-fn time_queries(mut f: impl FnMut(&QueryPair) -> Distance, pairs: &[QueryPair]) -> (f64, u128) {
+fn time_queries(oracle: &impl DistanceOracle, pairs: &[QueryPair]) -> (f64, u128) {
     let start = Instant::now();
     let mut checksum = 0u128;
     for p in pairs {
-        checksum = checksum.wrapping_add(f(p) as u128);
+        checksum = checksum.wrapping_add(oracle.distance(p.source, p.target) as u128);
     }
     (
         start.elapsed().as_secs_f64() * 1e6 / pairs.len() as f64,
@@ -27,12 +26,12 @@ fn time_queries(mut f: impl FnMut(&QueryPair) -> Distance, pairs: &[QueryPair]) 
     )
 }
 
-fn row(name: &str, build_secs: f64, micros: f64, label_bytes: usize, extra: &str) {
+fn row(name: &str, build_secs: f64, micros: f64, index_bytes: usize, extra: &str) {
     println!(
         "{name:<10} {:>12.2} s {:>12.3} µs {:>12.2} MB   {extra}",
         build_secs,
         micros,
-        label_bytes as f64 / (1024.0 * 1024.0)
+        index_bytes as f64 / (1024.0 * 1024.0)
     );
 }
 
@@ -50,78 +49,53 @@ fn main() {
         "method", "construction", "query", "index size"
     );
 
-    // HC2L (this paper).
-    let t = Instant::now();
-    let hc2l = Hc2lIndex::build(&graph, Hc2lConfig::default());
-    let hc2l_build = t.elapsed().as_secs_f64();
-    let (micros, reference_checksum) = time_queries(|p| hc2l.query(p.source, p.target), &pairs);
-    let s = hc2l.stats();
-    row(
-        "HC2L",
-        hc2l_build,
-        micros,
-        s.label_bytes,
-        &format!("height {}, max cut {}", s.hierarchy.height, s.hierarchy.max_cut_size),
-    );
-
-    // HC2Lp (parallel construction, identical index).
-    let t = Instant::now();
-    let _hc2lp = Hc2lIndex::build(&graph, Hc2lConfig::parallel(4));
-    row("HC2Lp", t.elapsed().as_secs_f64(), micros, s.label_bytes, "same index, parallel build");
-
-    // H2H.
-    let t = Instant::now();
-    let h2h = H2hIndex::build(&graph);
-    let h2h_build = t.elapsed().as_secs_f64();
-    let (micros, checksum) = time_queries(|p| h2h.query(p.source, p.target), &pairs);
-    assert_eq!(checksum, reference_checksum, "H2H disagrees with HC2L");
-    let hs = h2h.stats();
-    row(
-        "H2H",
-        h2h_build,
-        micros,
-        hs.label_bytes,
-        &format!("tree height {}, width {}, LCA {:.1} MB", hs.tree_height, hs.max_bag_size, hs.lca_bytes as f64 / 1048576.0),
-    );
-
-    // PHL.
-    let t = Instant::now();
-    let phl = PhlIndex::build(&graph);
-    let phl_build = t.elapsed().as_secs_f64();
-    let (micros, checksum) = time_queries(|p| phl.query(p.source, p.target), &pairs);
-    assert_eq!(checksum, reference_checksum, "PHL disagrees with HC2L");
-    row(
-        "PHL",
-        phl_build,
-        micros,
-        phl.stats().memory_bytes,
-        &format!("{} highways, avg label {:.1}", phl.stats().num_paths, phl.stats().avg_label_size),
-    );
-
-    // HL.
-    let t = Instant::now();
-    let hl = HubLabelIndex::build(&graph);
-    let hl_build = t.elapsed().as_secs_f64();
-    let (micros, checksum) = time_queries(|p| hl.query(p.source, p.target), &pairs);
-    assert_eq!(checksum, reference_checksum, "HL disagrees with HC2L");
-    row(
-        "HL",
-        hl_build,
-        micros,
-        hl.stats().memory_bytes,
-        &format!("avg label {:.1}", hl.stats().avg_label_size),
-    );
-
-    // CH (search-based).
-    let t = Instant::now();
-    let ch = ContractionHierarchy::build(&graph);
-    let ch_build = t.elapsed().as_secs_f64();
-    let ch_pairs = &pairs[..5_000.min(pairs.len())];
-    let (micros, _) = time_queries(|p| ch.query(p.source, p.target), ch_pairs);
-    row("CH", ch_build, micros, ch.memory_bytes(), "bidirectional upward search");
+    let mut reference_checksum: Option<u128> = None;
+    for method in Method::ALL {
+        let t = Instant::now();
+        let oracle = OracleBuilder::new(method).threads(4).build(&graph);
+        let build_secs = t.elapsed().as_secs_f64();
+        // CH queries run a graph search, so time them on a smaller slice.
+        let method_pairs = match method {
+            Method::Ch => &pairs[..5_000.min(pairs.len())],
+            _ => &pairs[..],
+        };
+        let (micros, checksum) = time_queries(&oracle, method_pairs);
+        if method_pairs.len() == pairs.len() {
+            match reference_checksum {
+                None => reference_checksum = Some(checksum),
+                Some(expected) => assert_eq!(
+                    checksum,
+                    expected,
+                    "{} disagrees with the previous methods",
+                    oracle.name()
+                ),
+            }
+        }
+        let extra = match (oracle.tree_height(), oracle.max_width()) {
+            (Some(h), Some(w)) => format!(
+                "height {h}, width {w}, LCA {:.1} KB",
+                oracle.lca_bytes() as f64 / 1024.0
+            ),
+            _ => String::new(),
+        };
+        row(
+            oracle.name(),
+            build_secs,
+            micros,
+            oracle.index_bytes(),
+            &extra,
+        );
+    }
 
     // Plain bidirectional Dijkstra for perspective.
     let dij_pairs = &pairs[..200.min(pairs.len())];
-    let (micros, _) = time_queries(|p| bidirectional_dijkstra(&graph, p.source, p.target), dij_pairs);
+    let start = Instant::now();
+    let mut checksum = 0u128;
+    for p in dij_pairs {
+        checksum =
+            checksum.wrapping_add(bidirectional_dijkstra(&graph, p.source, p.target) as u128);
+    }
+    let micros = start.elapsed().as_secs_f64() * 1e6 / dij_pairs.len() as f64;
+    std::hint::black_box(checksum);
     row("BiDijkstra", 0.0, micros, 0, "no preprocessing");
 }

@@ -3,15 +3,16 @@
 //! charging stations) and a stream of user locations, return the k closest
 //! POIs by road distance for each user.
 //!
-//! A distance labelling turns this into `|POIs|` exact queries per request,
-//! which is practical because each query costs well under a microsecond.
+//! Each request is a single [`DistanceOracle::one_to_many`] call: the batched
+//! API resolves the user's label once and streams the `|POIs|` exact
+//! distances from it, which is the natural shape for this workload.
 //!
 //! Run with `cargo run --release --example poi_search`.
 
 use std::time::Instant;
 
-use hc2l::{Hc2lConfig, Hc2lIndex};
 use hc2l_graph::{Distance, Vertex};
+use hc2l_oracle::{DistanceOracle, Method, OracleBuilder};
 use hc2l_roadnet::{RoadNetworkConfig, WeightMode};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -29,11 +30,11 @@ fn main() {
         graph.num_edges()
     );
 
-    let index = Hc2lIndex::build(&graph, Hc2lConfig::default());
+    let oracle = OracleBuilder::new(Method::Hc2l).build(&graph);
     println!(
-        "index: {:.1} MB labels, height {}",
-        index.stats().label_mib(),
-        index.stats().hierarchy.height
+        "{} index: {:.1} MB",
+        oracle.name(),
+        oracle.index_bytes() as f64 / (1024.0 * 1024.0)
     );
 
     let mut rng = StdRng::seed_from_u64(17);
@@ -45,11 +46,10 @@ fn main() {
     let mut total_top_distance: Distance = 0;
     let mut example_output: Option<(Vertex, Vec<(Vertex, Distance)>)> = None;
     for (i, &user) in requests.iter().enumerate() {
-        // Exact distance to every POI, then keep the k smallest.
-        let mut candidates: Vec<(Vertex, Distance)> = pois
-            .iter()
-            .map(|&p| (p, index.query(user, p)))
-            .collect();
+        // Exact distance to every POI in one batched call, then keep the k
+        // smallest.
+        let distances = oracle.one_to_many(user, &pois);
+        let mut candidates: Vec<(Vertex, Distance)> = pois.iter().copied().zip(distances).collect();
         candidates.sort_by_key(|&(_, d)| d);
         candidates.truncate(K);
         total_top_distance += candidates.first().map(|&(_, d)| d).unwrap_or(0);

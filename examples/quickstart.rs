@@ -1,11 +1,21 @@
-//! Quickstart: build an HC2L index over a synthetic city road network and
-//! answer a few distance queries.
+//! Quickstart: build a distance oracle over a synthetic city road network
+//! through the unified [`OracleBuilder`] API and answer a few queries.
+//!
+//! The same three lines work for every backend — swap [`Method::Hc2l`] for
+//! `Method::H2h`, `Method::Phl`, `Method::Hl`, `Method::Ch` or
+//! `Method::Hc2lParallel` and nothing else changes:
+//!
+//! ```ignore
+//! let oracle = OracleBuilder::new(Method::Hc2l).build(&graph);
+//! let d = oracle.distance(s, t);
+//! let row = oracle.one_to_many(s, &targets);
+//! ```
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use hc2l::{Hc2lConfig, Hc2lIndex};
-use hc2l_graph::dijkstra_distance;
-use hc2l_roadnet::{RoadNetworkConfig, WeightMode};
+use hc2l_repro::hc2l_graph::dijkstra_distance;
+use hc2l_repro::hc2l_roadnet::{self, RoadNetworkConfig, WeightMode};
+use hc2l_repro::{DistanceOracle, Method, OracleBuilder};
 
 fn main() {
     // 1. Generate a synthetic road network (a 64x64 city, ~4k intersections).
@@ -18,36 +28,42 @@ fn main() {
         graph.average_degree()
     );
 
-    // 2. Build the index. `Hc2lConfig::default()` uses the paper's settings
-    //    (β = 0.2, tail pruning and degree-one contraction enabled).
+    // 2. Build the oracle. `Method::Hc2l` with builder defaults uses the
+    //    paper's settings (β = 0.2, tail pruning and degree-one contraction
+    //    enabled); `.beta(...)` / `.threads(...)` tune the construction.
     let start = std::time::Instant::now();
-    let index = Hc2lIndex::build(&graph, Hc2lConfig::default());
-    println!("HC2L built in {:.2?}", start.elapsed());
-
-    let stats = index.stats();
+    let oracle = OracleBuilder::new(Method::Hc2l).beta(0.2).build(&graph);
+    println!("{} built in {:.2?}", oracle.name(), start.elapsed());
     println!(
-        "labelling: {:.2} MB across {} core vertices ({:.1} entries/vertex), tree height {}, max cut {}",
-        stats.label_mib(),
-        stats.core_vertices,
-        stats.avg_label_entries,
-        stats.hierarchy.height,
-        stats.hierarchy.max_cut_size
+        "index: {:.2} MB labels + {:.2} KB LCA bookkeeping",
+        oracle.label_bytes() as f64 / (1024.0 * 1024.0),
+        oracle.lca_bytes() as f64 / 1024.0
     );
 
     // 3. Query it. Results are exact: cross-check a few against Dijkstra.
     let pairs = [(0u32, 4095u32), (17, 2048), (100, 3333), (512, 640)];
     for (s, t) in pairs {
-        let d = index.query(s, t);
+        let d = oracle.distance(s, t);
         assert_eq!(d, dijkstra_distance(&graph, s, t));
         println!("distance({s:>4}, {t:>4}) = {d:>6} m");
     }
 
-    // 4. Throughput check: a million random queries.
+    // 4. Batched access: one source against many targets amortises the
+    //    per-source label lookup.
+    let targets: Vec<u32> = (0..graph.num_vertices() as u32).step_by(64).collect();
+    let row = oracle.one_to_many(0, &targets);
+    println!(
+        "one_to_many from vertex 0 to {} targets: first {:?}",
+        targets.len(),
+        &row[..4.min(row.len())]
+    );
+
+    // 5. Throughput check: a million random queries.
     let queries = hc2l_roadnet::random_pairs(graph.num_vertices(), 1_000_000, 7);
     let start = std::time::Instant::now();
     let mut checksum = 0u64;
     for q in &queries {
-        checksum = checksum.wrapping_add(index.query(q.source, q.target));
+        checksum = checksum.wrapping_add(oracle.distance(q.source, q.target));
     }
     let elapsed = start.elapsed();
     println!(

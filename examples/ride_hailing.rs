@@ -3,18 +3,19 @@
 //! computing a dense block of car-to-customer shortest-path distances every
 //! few seconds.
 //!
-//! The example builds an HC2L index once, then evaluates a 200 x 1000
-//! car-customer distance matrix (200k exact queries) and greedily assigns the
-//! nearest free car to each customer. It also reports how long the same
-//! matrix would take with plain bidirectional Dijkstra, to make the paper's
-//! latency argument concrete.
+//! The example builds a parallel-constructed HC2L oracle once through the
+//! unified [`OracleBuilder`] API, evaluates a 200 x 1000 car-customer
+//! distance matrix (200k exact queries, one [`DistanceOracle::one_to_many`]
+//! batch per car) and greedily assigns the nearest free car to each
+//! customer. It also reports how long the same matrix would take with plain
+//! bidirectional Dijkstra, to make the paper's latency argument concrete.
 //!
 //! Run with `cargo run --release --example ride_hailing`.
 
 use std::time::Instant;
 
-use hc2l::{Hc2lConfig, Hc2lIndex};
 use hc2l_graph::{bidirectional_dijkstra, Distance, Vertex};
+use hc2l_oracle::{DistanceOracle, Method, OracleBuilder};
 use hc2l_roadnet::synthetic::{generate_multi_city, MultiCityConfig};
 use hc2l_roadnet::{RoadNetworkConfig, WeightMode};
 use rand::rngs::StdRng;
@@ -42,8 +43,14 @@ fn main() {
     );
 
     let build_start = Instant::now();
-    let index = Hc2lIndex::build(&graph, Hc2lConfig::parallel(4));
-    println!("index built in {:.2?} (parallel HC2Lp build)", build_start.elapsed());
+    let oracle = OracleBuilder::new(Method::Hc2lParallel)
+        .threads(4)
+        .build(&graph);
+    println!(
+        "{} index built in {:.2?} (parallel build)",
+        oracle.name(),
+        build_start.elapsed()
+    );
 
     // Random fleet and customer positions.
     let mut rng = StdRng::seed_from_u64(5);
@@ -51,36 +58,35 @@ fn main() {
     let cars: Vec<Vertex> = (0..NUM_CARS).map(|_| rng.random_range(0..n)).collect();
     let customers: Vec<Vertex> = (0..NUM_CUSTOMERS).map(|_| rng.random_range(0..n)).collect();
 
-    // Full car x customer distance matrix through the index.
+    // Full car x customer distance matrix: one batched row per car.
     let start = Instant::now();
-    let mut matrix = vec![vec![0 as Distance; NUM_CUSTOMERS]; NUM_CARS];
-    for (ci, &car) in cars.iter().enumerate() {
-        for (pi, &person) in customers.iter().enumerate() {
-            matrix[ci][pi] = index.query(car, person);
-        }
-    }
-    let hc2l_elapsed = start.elapsed();
+    let matrix: Vec<Vec<Distance>> = cars
+        .iter()
+        .map(|&car| oracle.one_to_many(car, &customers))
+        .collect();
+    let oracle_elapsed = start.elapsed();
     let total_queries = NUM_CARS * NUM_CUSTOMERS;
     println!(
-        "{} exact distances via HC2L in {:.2?} ({:.3} µs/query)",
+        "{} exact distances via {} in {:.2?} ({:.3} µs/query)",
         total_queries,
-        hc2l_elapsed,
-        hc2l_elapsed.as_secs_f64() * 1e6 / total_queries as f64
+        oracle.name(),
+        oracle_elapsed,
+        oracle_elapsed.as_secs_f64() * 1e6 / total_queries as f64
     );
 
     // Greedy dispatch: each customer (in arrival order) gets the nearest
     // still-free car.
-    let mut car_taken = vec![false; NUM_CARS];
+    let mut car_taken = [false; NUM_CARS];
     let mut assigned = 0usize;
     let mut total_pickup_time: Distance = 0;
     for pi in 0..NUM_CUSTOMERS.min(NUM_CARS) {
         let mut best: Option<(usize, Distance)> = None;
-        for ci in 0..NUM_CARS {
+        for (ci, row) in matrix.iter().enumerate() {
             if car_taken[ci] {
                 continue;
             }
-            let d = matrix[ci][pi];
-            if best.map_or(true, |(_, bd)| d < bd) {
+            let d = row[pi];
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((ci, d));
             }
         }
@@ -107,6 +113,6 @@ fn main() {
         "bidirectional Dijkstra needs {:.1} ms/query — the full matrix would take ~{:.0} s instead of {:.2?}",
         per_query * 1e3,
         per_query * total_queries as f64,
-        hc2l_elapsed
+        oracle_elapsed
     );
 }

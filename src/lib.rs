@@ -1,8 +1,49 @@
-//! Umbrella crate re-exporting the HC2L reproduction workspace.
+//! Umbrella crate for the HC2L reproduction workspace.
 //!
-//! Most users should depend on the individual crates (`hc2l`, `hc2l-graph`,
-//! ...); this crate exists so the repository-level examples and integration
-//! tests have a single dependency root.
+//! The workspace reproduces *Hierarchical Cut Labelling — Scaling Up
+//! Distance Queries on Road Networks* (Farhan et al., SIGMOD 2023): the
+//! HC2L index itself plus the baselines the paper evaluates against (H2H,
+//! PHL, HL and Contraction Hierarchies), synthetic road-network generators,
+//! and a benchmark harness regenerating the paper's tables and figures.
+//!
+//! # Quick start: the unified oracle API
+//!
+//! Every backend is built and queried through the [`DistanceOracle`] trait;
+//! [`OracleBuilder`] selects the method at runtime:
+//!
+//! ```
+//! use hc2l_repro::{DistanceOracle, Method, OracleBuilder};
+//! use hc2l_repro::hc2l_graph::toy::paper_figure1;
+//!
+//! let g = paper_figure1();
+//!
+//! // Build any of the six methods the same way ...
+//! let oracle = OracleBuilder::new(Method::Hc2l).beta(0.2).build(&g);
+//!
+//! // ... and query it: point-to-point, with instrumentation, or batched.
+//! assert_eq!(oracle.distance(13, 14), 3); // the paper's Example 4.20
+//! let (d, stats) = oracle.distance_with_stats(2, 9);
+//! assert!(d > 0 && stats.hubs_scanned > 0);
+//! let row = oracle.one_to_many(0, &[3, 7, 15]);
+//! assert_eq!(row.len(), 3);
+//!
+//! // Identical call sites for every backend:
+//! for method in Method::ALL {
+//!     let oracle = OracleBuilder::new(method).threads(2).build(&g);
+//!     assert_eq!(oracle.distance(13, 14), 3, "{} disagrees", oracle.name());
+//! }
+//! ```
+//!
+//! # Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`hc2l_graph`] | graph substrate, Dijkstra baselines, shared [`QueryStats`] |
+//! | [`hc2l_cut`] | balanced vertex cuts + the balanced tree hierarchy (Section 4.1) |
+//! | [`hc2l`] | the HC2L index (Sections 4.2–4.4) |
+//! | [`hc2l_ch`] / [`hc2l_h2h`] / [`hc2l_hl`] / [`hc2l_phl`] | the baselines |
+//! | [`hc2l_oracle`] | the unified [`DistanceOracle`] API over all of the above |
+//! | [`hc2l_roadnet`] | synthetic road networks, DIMACS parsing, query workloads |
 
 pub use hc2l;
 pub use hc2l_ch;
@@ -10,5 +51,13 @@ pub use hc2l_cut;
 pub use hc2l_graph;
 pub use hc2l_h2h;
 pub use hc2l_hl;
+pub use hc2l_oracle;
 pub use hc2l_phl;
 pub use hc2l_roadnet;
+
+// The unified oracle API, flattened for convenience: most users only need
+// these five names plus a graph source.
+pub use hc2l_oracle::{DistanceOracle, Method, Oracle, OracleBuilder, OracleConfig};
+
+/// Re-export of the shared per-query instrumentation record.
+pub use hc2l_graph::QueryStats;

@@ -1,134 +1,123 @@
-//! Property-based exactness tests: on randomly generated weighted graphs,
-//! every labelling method must return exactly the Dijkstra distance for every
-//! queried pair. These are the strongest correctness guarantees in the suite
-//! because they explore graph shapes none of the hand-written tests contain.
+//! Exactness sweep on seeded random graphs: every backend, built through the
+//! unified [`DistanceOracle`] interface, must return exactly the Dijkstra
+//! distance for every pair. These are the strongest correctness guarantees
+//! in the suite because they explore graph shapes none of the hand-written
+//! tests contain; the generators live in `tests/common` and are
+//! deterministic per seed, so failures reproduce exactly.
 
-use proptest::prelude::*;
+mod common;
 
-use hc2l::{Hc2lConfig, Hc2lIndex};
-use hc2l_ch::ContractionHierarchy;
-use hc2l_graph::{dijkstra, Graph, GraphBuilder, Vertex};
-use hc2l_h2h::H2hIndex;
-use hc2l_hl::HubLabelIndex;
-use hc2l_phl::PhlIndex;
+use hc2l::Hc2lConfig;
+use hc2l_graph::{dijkstra, Graph, Vertex};
+use hc2l_oracle::{DistanceOracle, Method, OracleBuilder};
 
-/// Strategy: a random graph with `n` vertices built from a random spanning
-/// tree (guaranteeing connectivity) plus a sprinkle of extra edges, with
-/// small random weights.
-fn random_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
-    (3usize..=max_n).prop_flat_map(|n| {
-        let tree_parents = proptest::collection::vec(0usize..usize::MAX, n - 1);
-        let tree_weights = proptest::collection::vec(1u32..=20, n - 1);
-        let extra_edges = proptest::collection::vec((0usize..n, 0usize..n, 1u32..=20), 0..2 * n);
-        (tree_parents, tree_weights, extra_edges).prop_map(move |(parents, weights, extra)| {
-            let mut b = GraphBuilder::new(n);
-            for i in 1..n {
-                let p = parents[i - 1] % i;
-                b.add_edge(p as Vertex, i as Vertex, weights[i - 1]);
-            }
-            for (u, v, w) in extra {
-                if u != v {
-                    b.add_edge(u as Vertex, v as Vertex, w);
-                }
-            }
-            b.build()
-        })
-    })
-}
-
-/// Strategy: a random graph that may be disconnected (no spanning tree).
-fn random_sparse_graph(max_n: usize) -> impl Strategy<Value = Graph> {
-    (4usize..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0usize..n, 0usize..n, 1u32..=9), 0..3 * n).prop_map(
-            move |edges| {
-                let mut b = GraphBuilder::new(n);
-                for (u, v, w) in edges {
-                    if u != v {
-                        b.add_edge(u as Vertex, v as Vertex, w);
-                    }
-                }
-                b.build()
-            },
-        )
-    })
-}
-
-fn assert_method_exact(g: &Graph, name: &str, query: impl Fn(Vertex, Vertex) -> u64) {
+fn assert_oracle_exact(g: &Graph, oracle: &impl DistanceOracle) {
     let n = g.num_vertices();
     for s in 0..n as Vertex {
         let dist = dijkstra(g, s);
         for t in 0..n as Vertex {
-            let got = query(s, t);
+            let got = oracle.distance(s, t);
             assert_eq!(
-                got, dist[t as usize],
-                "{name}: query ({s},{t}) returned {got}, Dijkstra says {}",
+                got,
+                dist[t as usize],
+                "{}: query ({s},{t}) returned {got}, Dijkstra says {}",
+                oracle.name(),
                 dist[t as usize]
             );
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn hc2l_matches_dijkstra_on_connected_graphs(g in random_connected_graph(40)) {
-        let index = Hc2lIndex::build(&g, Hc2lConfig::default());
-        assert_method_exact(&g, "HC2L", |s, t| index.query(s, t));
+#[test]
+fn every_method_matches_dijkstra_on_connected_graphs() {
+    for (i, g) in common::connected_graph_cases(8, 40, 0xE1)
+        .iter()
+        .enumerate()
+    {
+        for method in Method::ALL {
+            let oracle = OracleBuilder::new(method).threads(2).build(g);
+            assert_oracle_exact(g, &oracle);
+        }
+        assert!(g.num_vertices() >= 3, "case {i} degenerate");
     }
+}
 
-    #[test]
-    fn hc2l_without_pruning_and_contraction_matches(g in random_connected_graph(30)) {
-        let index = Hc2lIndex::build(
-            &g,
-            Hc2lConfig::default().without_tail_pruning().without_contraction(),
-        );
-        assert_method_exact(&g, "HC2L(no-prune,no-contract)", |s, t| index.query(s, t));
+#[test]
+fn hc2l_without_pruning_and_contraction_matches() {
+    for g in common::connected_graph_cases(12, 30, 0xE2) {
+        let oracle = OracleBuilder::new(Method::Hc2l)
+            .hc2l_config(
+                Hc2lConfig::default()
+                    .without_tail_pruning()
+                    .without_contraction(),
+            )
+            .build(&g);
+        assert_oracle_exact(&g, &oracle);
     }
+}
 
-    #[test]
-    fn hc2l_handles_disconnected_graphs(g in random_sparse_graph(30)) {
-        let index = Hc2lIndex::build(&g, Hc2lConfig::default());
-        assert_method_exact(&g, "HC2L(sparse)", |s, t| index.query(s, t));
+#[test]
+fn hc2l_handles_disconnected_graphs() {
+    for g in common::sparse_graph_cases(16, 30, 0xE3) {
+        let oracle = OracleBuilder::new(Method::Hc2l).build(&g);
+        assert_oracle_exact(&g, &oracle);
     }
+}
 
-    #[test]
-    fn h2h_matches_dijkstra(g in random_connected_graph(30)) {
-        let index = H2hIndex::build(&g);
-        assert_method_exact(&g, "H2H", |s, t| index.query(s, t));
+#[test]
+fn hc2l_beta_sweep_matches() {
+    for (i, g) in common::connected_graph_cases(4, 35, 0xE4)
+        .iter()
+        .enumerate()
+    {
+        let beta = [0.15, 0.2, 0.3, 0.45][i % 4];
+        let oracle = OracleBuilder::new(Method::Hc2l).beta(beta).build(g);
+        assert_oracle_exact(g, &oracle);
     }
+}
 
-    #[test]
-    fn hub_labelling_matches_dijkstra(g in random_connected_graph(30)) {
-        let index = HubLabelIndex::build(&g);
-        assert_method_exact(&g, "HL", |s, t| index.query(s, t));
+#[test]
+fn one_to_many_matches_pointwise_on_random_graphs() {
+    for g in common::connected_graph_cases(6, 30, 0xE5) {
+        let n = g.num_vertices() as Vertex;
+        let targets: Vec<Vertex> = (0..n).collect();
+        for method in Method::ALL {
+            let oracle = OracleBuilder::new(method).threads(2).build(&g);
+            for s in 0..n {
+                let batch = oracle.one_to_many(s, &targets);
+                for (&t, &d) in targets.iter().zip(batch.iter()) {
+                    assert_eq!(
+                        d,
+                        oracle.distance(s, t),
+                        "{}: one_to_many({s},{t}) diverges",
+                        oracle.name()
+                    );
+                }
+            }
+        }
     }
+}
 
-    #[test]
-    fn phl_matches_dijkstra(g in random_connected_graph(30)) {
-        let index = PhlIndex::build(&g);
-        assert_method_exact(&g, "PHL", |s, t| index.query(s, t));
-    }
-
-    #[test]
-    fn contraction_hierarchies_match_dijkstra(g in random_connected_graph(30)) {
-        let ch = ContractionHierarchy::build(&g);
-        assert_method_exact(&g, "CH", |s, t| ch.query(s, t));
-    }
-
-    #[test]
-    fn all_methods_agree_pairwise(g in random_connected_graph(25)) {
-        let hc2l = Hc2lIndex::build(&g, Hc2lConfig::default());
-        let h2h = H2hIndex::build(&g);
-        let hl = HubLabelIndex::build(&g);
-        let phl = PhlIndex::build(&g);
+#[test]
+fn all_methods_agree_pairwise() {
+    for g in common::connected_graph_cases(6, 25, 0xE6) {
+        let oracles: Vec<_> = Method::ALL
+            .iter()
+            .map(|&m| OracleBuilder::new(m).threads(2).build(&g))
+            .collect();
         let n = g.num_vertices() as Vertex;
         for s in 0..n {
             for t in 0..n {
-                let d = hc2l.query(s, t);
-                prop_assert_eq!(h2h.query(s, t), d);
-                prop_assert_eq!(hl.query(s, t), d);
-                prop_assert_eq!(phl.query(s, t), d);
+                let reference = oracles[0].distance(s, t);
+                for oracle in &oracles[1..] {
+                    assert_eq!(
+                        oracle.distance(s, t),
+                        reference,
+                        "{} disagrees with {} on ({s},{t})",
+                        oracle.name(),
+                        oracles[0].name()
+                    );
+                }
             }
         }
     }

@@ -1,74 +1,62 @@
-//! Property-based tests of the structural invariants the paper's correctness
-//! arguments rest on: balanced cuts really separate and balance, shortcut
-//! insertion restores the distance-preserving property, tail pruning never
-//! changes query results, and the balanced tree hierarchy respects its
-//! definition.
+//! Structural invariants the paper's correctness arguments rest on: balanced
+//! cuts really separate and balance, shortcut insertion restores the
+//! distance-preserving property, tail pruning never changes query results,
+//! and the balanced tree hierarchy respects its definition. Each check runs
+//! over a sweep of seeded random graphs from `tests/common`.
 
-use proptest::prelude::*;
+mod common;
 
 use hc2l::{Hc2lConfig, Hc2lIndex};
 use hc2l_cut::{add_shortcuts, balanced_cut, CutConfig};
 use hc2l_graph::components::connected_components_masked;
-use hc2l_graph::{dijkstra, dijkstra_distance, Graph, GraphBuilder, InducedSubgraph, Vertex};
+use hc2l_graph::{dijkstra, dijkstra_distance, InducedSubgraph, Vertex};
 
-fn random_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
-    (6usize..=max_n).prop_flat_map(|n| {
-        let tree_parents = proptest::collection::vec(0usize..usize::MAX, n - 1);
-        let tree_weights = proptest::collection::vec(1u32..=15, n - 1);
-        let extra_edges = proptest::collection::vec((0usize..n, 0usize..n, 1u32..=15), 0..n);
-        (tree_parents, tree_weights, extra_edges).prop_map(move |(parents, weights, extra)| {
-            let mut b = GraphBuilder::new(n);
-            for i in 1..n {
-                let p = parents[i - 1] % i;
-                b.add_edge(p as Vertex, i as Vertex, weights[i - 1]);
-            }
-            for (u, v, w) in extra {
-                if u != v {
-                    b.add_edge(u as Vertex, v as Vertex, w);
-                }
-            }
-            b.build()
-        })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Algorithm 2's output is a partition whose cut really separates the two
-    /// sides.
-    #[test]
-    fn balanced_cut_separates_and_covers(g in random_connected_graph(60), beta in 0.15f64..=0.4) {
-        let bc = balanced_cut(&g, CutConfig { beta });
+/// Algorithm 2's output is a partition whose cut really separates the two
+/// sides.
+#[test]
+fn balanced_cut_separates_and_covers() {
+    for (i, g) in common::connected_graph_cases(16, 60, 0x1A)
+        .iter()
+        .enumerate()
+    {
+        let beta = 0.15 + 0.05 * (i % 6) as f64;
+        let bc = balanced_cut(g, CutConfig { beta });
         let n = g.num_vertices();
         // Disjoint cover.
         let mut seen = vec![false; n];
-        for &v in bc.part_a.iter().chain(bc.cut.iter()).chain(bc.part_b.iter()) {
-            prop_assert!(!seen[v as usize]);
+        for &v in bc
+            .part_a
+            .iter()
+            .chain(bc.cut.iter())
+            .chain(bc.part_b.iter())
+        {
+            assert!(!seen[v as usize], "vertex {v} appears twice");
             seen[v as usize] = true;
         }
-        prop_assert!(seen.into_iter().all(|s| s));
+        assert!(seen.into_iter().all(|s| s), "partition misses a vertex");
         // Separation: no component of G \ cut contains vertices of both sides.
         if !bc.part_a.is_empty() && !bc.part_b.is_empty() {
             let mut mask = vec![true; n];
             for &c in &bc.cut {
                 mask[c as usize] = false;
             }
-            let cc = connected_components_masked(&g, Some(&mask));
+            let cc = connected_components_masked(g, Some(&mask));
             let label_a = cc.label[bc.part_a[0] as usize];
             for &v in &bc.part_b {
-                prop_assert_ne!(cc.label[v as usize], label_a);
+                assert_ne!(cc.label[v as usize], label_a, "cut does not separate");
             }
         }
     }
+}
 
-    /// Algorithm 3 restores the distance-preserving property (Definition 4.5)
-    /// inside each partition.
-    #[test]
-    fn shortcuts_restore_distance_preservation(g in random_connected_graph(40)) {
+/// Algorithm 3 restores the distance-preserving property (Definition 4.5)
+/// inside each partition.
+#[test]
+fn shortcuts_restore_distance_preservation() {
+    for g in common::connected_graph_cases(12, 40, 0x2B) {
         let bc = balanced_cut(&g, CutConfig::default());
         if bc.cut.is_empty() || bc.part_a.len() < 2 {
-            return Ok(());
+            continue;
         }
         let cut_distances: Vec<Vec<u64>> = bc.cut.iter().map(|&c| dijkstra(&g, c)).collect();
         for part in [&bc.part_a, &bc.part_b] {
@@ -80,57 +68,66 @@ proptest! {
             for s in &shortcuts {
                 sub.add_shortcut_parent_ids(s.u, s.v, s.weight as u32);
             }
-            // Check a sample of pairs (all pairs for small partitions).
             for (i, &p) in part.iter().enumerate() {
                 for (j, &q) in part.iter().enumerate().skip(i + 1) {
-                    prop_assert_eq!(
+                    assert_eq!(
                         dijkstra_distance(&sub.graph, i as Vertex, j as Vertex),
                         dijkstra_distance(&g, p, q),
-                        "pair ({}, {}) not preserved", p, q
+                        "pair ({p}, {q}) not preserved"
                     );
                 }
             }
         }
     }
+}
 
-    /// The built hierarchy satisfies Definition 4.1: every vertex is mapped to
-    /// exactly one node, subtrees respect the balance bound, and the height
-    /// stays logarithmic-ish.
-    #[test]
-    fn hierarchy_respects_definition(g in random_connected_graph(80)) {
+/// The built hierarchy satisfies Definition 4.1: every vertex is mapped to
+/// exactly one node, subtrees respect the balance bound, and the height
+/// stays logarithmic-ish.
+#[test]
+fn hierarchy_respects_definition() {
+    for g in common::connected_graph_cases(12, 80, 0x3C) {
         let cfg = Hc2lConfig::default();
-        let index = Hc2lIndex::build(&g, cfg.clone().without_contraction());
+        let index = Hc2lIndex::build(&g, cfg.without_contraction());
         let h = index.hierarchy();
-        prop_assert!(h.is_complete());
-        prop_assert_eq!(h.check_balance(cfg.beta), None);
+        assert!(h.is_complete());
+        assert_eq!(h.check_balance(cfg.beta), None);
         // Height bound: generously, a few times log_{1/(1-β)}(n) plus slack
         // for leaf nodes.
         let n = g.num_vertices() as f64;
         let bound = (n.ln() / (1.0 / (1.0 - cfg.beta)).ln()).ceil() + 8.0;
-        prop_assert!((h.height() as f64) <= bound * 2.0,
-            "height {} exceeds bound {}", h.height(), bound * 2.0);
+        assert!(
+            (h.height() as f64) <= bound * 2.0,
+            "height {} exceeds bound {}",
+            h.height(),
+            bound * 2.0
+        );
     }
+}
 
-    /// Tail pruning is purely a space optimisation: queries with and without
-    /// it return identical results (and the pruned index is never larger).
-    #[test]
-    fn tail_pruning_is_lossless(g in random_connected_graph(35)) {
+/// Tail pruning is purely a space optimisation: queries with and without it
+/// return identical results (and the pruned index is never larger).
+#[test]
+fn tail_pruning_is_lossless() {
+    for g in common::connected_graph_cases(10, 35, 0x4D) {
         let pruned = Hc2lIndex::build(&g, Hc2lConfig::default());
         let full = Hc2lIndex::build(&g, Hc2lConfig::default().without_tail_pruning());
-        prop_assert!(pruned.stats().label_bytes <= full.stats().label_bytes);
+        assert!(pruned.stats().label_bytes <= full.stats().label_bytes);
         let n = g.num_vertices() as Vertex;
         for s in 0..n {
             for t in 0..n {
-                prop_assert_eq!(pruned.query(s, t), full.query(s, t));
+                assert_eq!(pruned.query(s, t), full.query(s, t));
             }
         }
     }
+}
 
-    /// The LCA cut of two vertices contains a hub realising their distance
-    /// (Definition 4.14, condition 2) whenever the two vertices are in
-    /// different subtrees.
-    #[test]
-    fn lca_cut_contains_a_realising_hub(g in random_connected_graph(40)) {
+/// The LCA cut of two vertices contains a hub realising their distance
+/// (Definition 4.14, condition 2) whenever the two vertices are in
+/// different subtrees.
+#[test]
+fn lca_cut_contains_a_realising_hub() {
+    for g in common::connected_graph_cases(8, 40, 0x5E) {
         let index = Hc2lIndex::build(&g, Hc2lConfig::default().without_contraction());
         let h = index.hierarchy();
         let n = g.num_vertices() as Vertex;
@@ -149,8 +146,11 @@ proptest! {
                     .map(|&c| dist_s[c as usize].saturating_add(dijkstra_distance(&g, c, t)))
                     .min()
                     .unwrap();
-                prop_assert_eq!(via_cut, dijkstra_distance(&g, s, t),
-                    "no hub in the LCA cut realises d({}, {})", s, t);
+                assert_eq!(
+                    via_cut,
+                    dijkstra_distance(&g, s, t),
+                    "no hub in the LCA cut realises d({s}, {t})"
+                );
             }
         }
     }

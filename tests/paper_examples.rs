@@ -13,6 +13,7 @@ use hc2l_graph::toy::paper_figure1;
 use hc2l_graph::{dijkstra, dijkstra_distance, Vertex};
 use hc2l_h2h::H2hIndex;
 use hc2l_hl::HubLabelIndex;
+use hc2l_oracle::{DistanceOracle, Method, OracleBuilder};
 use hc2l_phl::PhlIndex;
 
 /// Paper vertex id to 0-based id.
@@ -38,10 +39,10 @@ fn example_3_4_query_3_10_is_answered_by_every_method() {
     let g = paper_figure1();
     let expected = dijkstra_distance(&g, v(3), v(10)); // = 5
     assert_eq!(expected, 5);
-    assert_eq!(Hc2lIndex::build(&g, Hc2lConfig::default()).query(v(3), v(10)), expected);
-    assert_eq!(H2hIndex::build(&g).query(v(3), v(10)), expected);
-    assert_eq!(HubLabelIndex::build(&g).query(v(3), v(10)), expected);
-    assert_eq!(PhlIndex::build(&g).query(v(3), v(10)), expected);
+    for method in Method::ALL {
+        let oracle = OracleBuilder::new(method).threads(2).build(&g);
+        assert_eq!(oracle.distance(v(3), v(10)), expected, "{}", oracle.name());
+    }
 }
 
 #[test]

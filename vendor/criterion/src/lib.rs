@@ -1,0 +1,189 @@
+//! Vendored offline stand-in for [criterion](https://docs.rs/criterion).
+//!
+//! Supports the subset of the criterion API used by `crates/bench/benches`:
+//! benchmark groups with `sample_size` / `warm_up_time` / `measurement_time`,
+//! `bench_function` / `bench_with_input` with [`BenchmarkId`], and
+//! `Bencher::iter`. Instead of criterion's statistical machinery it reports a
+//! simple wall-clock mean per iteration, which is plenty for the relative
+//! comparisons the benches make.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level driver, one per `criterion_group!`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Identifier of one benchmark inside a group: a function name plus a
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples (the stand-in folds them into one mean but
+    /// keeps the knob so call sites compile unchanged).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure under the given id.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            measurement: self.measurement_time,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some((iters, mean)) => {
+                println!("  {id:<40} {:>12.3} µs/iter ({iters} iters)", mean * 1e6)
+            }
+            None => println!("  {id:<40} (no measurement)"),
+        }
+        self
+    }
+
+    /// Benchmarks a closure that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// `(iterations, mean seconds per iteration)` once measured.
+    report: Option<(u64, f64)>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: first for the warm-up window, then for the
+    /// measurement window, recording the mean wall-clock time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.measurement {
+            black_box(routine());
+            iters += 1;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        self.report = Some((iters, elapsed / iters.max(1) as f64));
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_a_mean() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        let id = BenchmarkId::new("HC2L", "NY-s");
+        assert_eq!(id.to_string(), "HC2L/NY-s");
+    }
+}

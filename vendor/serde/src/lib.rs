@@ -1,0 +1,14 @@
+//! Vendored offline stand-in for [serde](https://serde.rs).
+//!
+//! Provides just enough surface for `use serde::{Deserialize, Serialize};`
+//! plus `#[derive(Serialize, Deserialize)]` to compile: two marker traits and
+//! the no-op derive macros from the sibling `serde_derive` stand-in. See
+//! `vendor/README.md` for the swap-in story.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
