@@ -6,16 +6,24 @@
 //!   --table1 --table2 --table3 --table4 --table5   individual tables
 //!   --figure6 --figure7 --ablation                 figures / ablation
 //!   --all                                          everything (default)
+//!   --json-out FILE                                machine-readable bench (see `json` module)
+//!   --smoke                                        small/fast workloads for --json-out (CI)
 //!   --scale tiny|small|medium                      dataset scale (default: small)
 //!   --datasets N                                   how many suite datasets (default: 4)
 //!   --queries N                                    queries per dataset (default: 2000)
 //!   --threads N                                    threads for HC2Lp (default: all cores)
 //! ```
 //!
+//! `--json-out` runs the seeded reference workloads (64x64 grid + synthetic
+//! city), verifies every backend against Dijkstra, and writes per-method
+//! query ns/op, build seconds and index bytes as JSON; it exits non-zero on
+//! any divergence, which is what the CI smoke-bench step relies on.
+//!
 //! Output goes to stdout; redirect it into `EXPERIMENTS.md` fences to refresh
 //! the recorded results.
 
 use hc2l_bench::figures::{figure6, figure7};
+use hc2l_bench::json::{render_json, run_json_bench, smoke_workloads, standard_workloads};
 use hc2l_bench::tables::{
     ablation_tail_pruning, run_comparison, table1, table2, table3, table5, SuiteOptions,
 };
@@ -31,6 +39,8 @@ struct Args {
     figure6: bool,
     figure7: bool,
     ablation: bool,
+    json_out: Option<String>,
+    smoke: bool,
     opts: SuiteOptions,
 }
 
@@ -44,6 +54,8 @@ fn parse_args() -> Args {
         figure6: false,
         figure7: false,
         ablation: false,
+        json_out: None,
+        smoke: false,
         opts: SuiteOptions::default(),
     };
     let mut any = false;
@@ -95,6 +107,13 @@ fn parse_args() -> Args {
                 i += 1;
                 continue;
             }
+            "--json-out" => {
+                args.json_out = Some(read_value(&mut i));
+                any = true;
+            }
+            "--smoke" => {
+                args.smoke = true;
+            }
             "--scale" => {
                 let v = read_value(&mut i);
                 args.opts.scale = match v.as_str() {
@@ -143,6 +162,36 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     let opts = args.opts;
+
+    if args.smoke && args.json_out.is_none() {
+        eprintln!("--smoke only applies to the JSON bench; pass --json-out FILE as well");
+        std::process::exit(2);
+    }
+
+    if let Some(path) = &args.json_out {
+        let workloads = if args.smoke {
+            smoke_workloads(opts.queries.min(200))
+        } else {
+            standard_workloads(opts.queries)
+        };
+        match run_json_bench(&workloads, opts.threads) {
+            Ok(rows) => {
+                let json = render_json(&rows);
+                std::fs::write(path, &json).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("wrote {} rows to {path}", rows.len());
+                print!("{json}");
+            }
+            Err(msg) => {
+                eprintln!("EXACTNESS FAILURE: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     println!(
         "# HC2L reproduction — scale {:?}, {} datasets, {} queries/dataset, {} threads\n",
         opts.scale, opts.num_datasets, opts.queries, opts.threads

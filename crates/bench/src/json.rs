@@ -1,0 +1,251 @@
+//! Machine-readable benchmark output (`repro --json-out FILE`).
+//!
+//! Runs every labelling backend (plus CH) on a fixed set of *seeded*
+//! synthetic workloads and emits one JSON document with per-method query
+//! ns/op, build seconds and index bytes, so the perf trajectory of the
+//! repository can be tracked file-over-file across PRs (`BENCH_PR2.json` is
+//! the first committed point).
+//!
+//! The runner doubles as a correctness smoke test: every method's answers
+//! are checked against Dijkstra on the full query workload, and any mismatch
+//! aborts the process with a non-zero exit code — CI runs it on a small grid
+//! for exactly this reason.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use hc2l_graph::{dijkstra, Distance, Graph, GraphBuilder, Vertex};
+use hc2l_roadnet::{random_pairs, QueryPair, RoadNetworkConfig, WeightMode};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::measure::{measure_build, measure_one_to_many};
+use crate::oracle::{DistanceOracle, Method};
+
+/// One benchmark workload: a seeded graph plus a seeded query set.
+pub struct JsonWorkload {
+    /// Workload name as it appears in the JSON output.
+    pub name: String,
+    /// The graph under test.
+    pub graph: Graph,
+    /// Point-to-point query pairs.
+    pub pairs: Vec<QueryPair>,
+    /// How many timed repetitions of the pair set to run.
+    pub reps: usize,
+}
+
+/// A `rows x cols` grid with seeded random weights in `1..=20` — the
+/// reference workload for cross-PR query-time comparisons.
+pub fn seeded_grid(rows: usize, cols: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as Vertex;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1), rng.random_range(1..=20u32));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c), rng.random_range(1..=20u32));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The standard workload set: the seeded 64x64 grid plus a synthetic city.
+pub fn standard_workloads(queries: usize) -> Vec<JsonWorkload> {
+    let grid = seeded_grid(64, 64, 0xA11CE);
+    let city = RoadNetworkConfig::city(48, 48, 7)
+        .generate()
+        .graph(WeightMode::Distance);
+    vec![
+        JsonWorkload {
+            pairs: random_pairs(grid.num_vertices(), queries, 0xBEEF),
+            name: "grid-64x64".to_string(),
+            graph: grid,
+            reps: 25,
+        },
+        JsonWorkload {
+            pairs: random_pairs(city.num_vertices(), queries, 0xBEEF),
+            name: "city-48x48".to_string(),
+            graph: city,
+            reps: 25,
+        },
+    ]
+}
+
+/// A small, fast workload set for CI smoke runs.
+pub fn smoke_workloads(queries: usize) -> Vec<JsonWorkload> {
+    let grid = seeded_grid(16, 16, 0xA11CE);
+    vec![JsonWorkload {
+        pairs: random_pairs(grid.num_vertices(), queries, 0xBEEF),
+        name: "grid-16x16".to_string(),
+        graph: grid,
+        reps: 10,
+    }]
+}
+
+/// Per-method measurements on one workload.
+pub struct JsonRow {
+    /// Workload name.
+    pub workload: String,
+    /// Method display name.
+    pub method: &'static str,
+    /// Vertices / edges of the workload graph.
+    pub num_vertices: usize,
+    /// Edges of the workload graph.
+    pub num_edges: usize,
+    /// Wall-clock build seconds.
+    pub build_seconds: f64,
+    /// Mean point-to-point query latency in nanoseconds.
+    pub query_ns_per_op: f64,
+    /// Mean amortised one-to-many latency per target in nanoseconds.
+    pub one_to_many_ns_per_target: f64,
+    /// Total index footprint in bytes.
+    pub index_bytes: usize,
+    /// Number of distinct point-to-point queries timed per repetition.
+    pub num_queries: usize,
+}
+
+/// Runs every method on every workload, verifying exactness against Dijkstra.
+///
+/// Returns the measurement rows, or an error message describing the first
+/// divergence found.
+pub fn run_json_bench(workloads: &[JsonWorkload], threads: usize) -> Result<Vec<JsonRow>, String> {
+    let mut rows = Vec::new();
+    for w in workloads {
+        // Reference answers, one Dijkstra per distinct source.
+        let mut reference: HashMap<Vertex, Vec<Distance>> = HashMap::new();
+        for p in &w.pairs {
+            reference
+                .entry(p.source)
+                .or_insert_with(|| dijkstra(&w.graph, p.source));
+        }
+
+        for method in Method::ALL {
+            // HC2Lp must appear in every baseline (and be exactness-gated)
+            // even on single-core hosts: a 2-thread build is correct
+            // anywhere and produces an identical index.
+            let threads = if method == Method::Hc2lParallel {
+                threads.max(2)
+            } else {
+                threads
+            };
+            let build = measure_build(method, &w.graph, threads);
+            let oracle = &build.oracle;
+
+            // Exactness gate: the whole pair set must match Dijkstra.
+            for p in &w.pairs {
+                let got = oracle.distance(p.source, p.target);
+                let want = reference[&p.source][p.target as usize];
+                if got != want {
+                    return Err(format!(
+                        "{} on {}: query ({}, {}) returned {} but Dijkstra says {}",
+                        oracle.name(),
+                        w.name,
+                        p.source,
+                        p.target,
+                        got,
+                        want
+                    ));
+                }
+            }
+
+            // Point-to-point timing: one warmup pass, then `reps` timed passes.
+            let mut checksum: u128 = 0;
+            for p in &w.pairs {
+                checksum = checksum.wrapping_add(oracle.distance(p.source, p.target) as u128);
+            }
+            let start = Instant::now();
+            for _ in 0..w.reps {
+                for p in &w.pairs {
+                    checksum = checksum.wrapping_add(oracle.distance(p.source, p.target) as u128);
+                }
+            }
+            let elapsed = start.elapsed();
+            std::hint::black_box(checksum);
+            let query_ns = elapsed.as_secs_f64() * 1e9 / (w.reps * w.pairs.len()) as f64;
+
+            // One-to-many timing: batched rows from a few sources, through
+            // the buffer-reusing measurement helper.
+            let targets: Vec<Vertex> = w.pairs.iter().map(|p| p.target).collect();
+            let sources: Vec<Vertex> = w.pairs.iter().take(16).map(|p| p.source).collect();
+            let otm_ns = measure_one_to_many(oracle, &sources, &targets, w.reps);
+
+            rows.push(JsonRow {
+                workload: w.name.clone(),
+                method: oracle.name(),
+                num_vertices: w.graph.num_vertices(),
+                num_edges: w.graph.num_edges(),
+                build_seconds: build.build_seconds,
+                query_ns_per_op: query_ns,
+                one_to_many_ns_per_target: otm_ns,
+                index_bytes: oracle.index_bytes(),
+                num_queries: w.pairs.len(),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the rows as a stable, pretty-printed JSON document.
+///
+/// Serialisation is hand-rolled because the workspace builds offline against
+/// a marker-only serde stand-in (see `vendor/README.md`).
+pub fn render_json(rows: &[JsonRow]) -> String {
+    let mut out = String::from("{\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"method\": \"{}\", ",
+                "\"num_vertices\": {}, \"num_edges\": {}, ",
+                "\"build_seconds\": {:.6}, \"query_ns_per_op\": {:.1}, ",
+                "\"one_to_many_ns_per_target\": {:.1}, ",
+                "\"index_bytes\": {}, \"num_queries\": {}}}{}\n"
+            ),
+            r.workload,
+            r.method,
+            r.num_vertices,
+            r.num_edges,
+            r.build_seconds,
+            r.query_ns_per_op,
+            r.one_to_many_ns_per_target,
+            r.index_bytes,
+            r.num_queries,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_runs_and_renders() {
+        let workloads = smoke_workloads(50);
+        let rows = run_json_bench(&workloads, 1).expect("smoke bench must be exact");
+        assert!(!rows.is_empty());
+        let json = render_json(&rows);
+        assert!(json.contains("\"grid-16x16\""));
+        assert!(json.contains("\"query_ns_per_op\""));
+        assert!(json.ends_with("}\n"));
+        // Every method appears, including HC2Lp on single-core hosts.
+        for name in ["HC2L", "HC2Lp", "H2H", "PHL", "HL", "CH"] {
+            assert!(json.contains(&format!("\"{name}\"")), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn seeded_grid_is_deterministic() {
+        let a = seeded_grid(8, 8, 3);
+        let b = seeded_grid(8, 8, 3);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+}

@@ -20,6 +20,7 @@
 //! hot paths.
 
 pub mod figures;
+pub mod json;
 pub mod measure;
 pub mod oracle;
 pub mod report;

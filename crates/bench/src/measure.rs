@@ -73,6 +73,37 @@ pub fn measure_query_time(oracle: &impl DistanceOracle, pairs: &[QueryPair]) -> 
     }
 }
 
+/// Times batched one-to-many queries through
+/// [`DistanceOracle::one_to_many_into`], reusing a single output buffer for
+/// the whole run so per-batch allocation does not skew the query timings.
+///
+/// Returns the mean time per *target* in nanoseconds.
+pub fn measure_one_to_many(
+    oracle: &impl DistanceOracle,
+    sources: &[Vertex],
+    targets: &[Vertex],
+    reps: usize,
+) -> f64 {
+    assert!(
+        !sources.is_empty() && !targets.is_empty() && reps > 0,
+        "cannot measure an empty one-to-many workload"
+    );
+    let mut out: Vec<Distance> = Vec::with_capacity(targets.len());
+    // Warmup pass (also faults in the buffer at full capacity).
+    for &s in sources {
+        oracle.one_to_many_into(s, targets, &mut out);
+        std::hint::black_box(&out);
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        for &s in sources {
+            oracle.one_to_many_into(s, targets, &mut out);
+            std::hint::black_box(&out);
+        }
+    }
+    start.elapsed().as_secs_f64() * 1e9 / (reps * sources.len() * targets.len()) as f64
+}
+
 /// Verifies that two oracles agree on a workload (used by integration tests
 /// and as a guard inside the experiment runners).
 pub fn oracles_agree(
@@ -109,6 +140,16 @@ mod tests {
         assert!(m1.avg_micros >= 0.0);
         assert!(m1.avg_hubs > 0.0);
         assert!(oracles_agree(&hc2l.oracle, &hl.oracle, &pairs).is_ok());
+    }
+
+    #[test]
+    fn one_to_many_measurement_is_positive() {
+        let g = paper_figure1();
+        let b = measure_build(Method::Hc2l, &g, 1);
+        let sources = [0u32, 3, 7];
+        let targets: Vec<u32> = (0..16).collect();
+        let ns = measure_one_to_many(&b.oracle, &sources, &targets, 2);
+        assert!(ns > 0.0);
     }
 
     #[test]

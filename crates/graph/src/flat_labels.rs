@@ -1,0 +1,723 @@
+//! Flat arena storage for distance labels, shared by every labelling backend.
+//!
+//! The paper's microsecond-scale query times hinge on a label being "a
+//! contiguous block scanned once" (Section 4.2). Nested `Vec<Vec<…>>`
+//! layouts undercut that: every vertex costs two heap allocations, every
+//! query pays a pointer chase per level, and size statistics require a full
+//! O(n) walk. This module provides the *frozen* representations the query
+//! paths run on instead — single global arenas with CSR offsets:
+//!
+//! * [`FlatCsr`] — one value arena plus `n + 1` row offsets. Used for the
+//!   H2H ancestor-distance and position arrays, the flattened LCA sparse
+//!   table, the tree-decomposition bags/children, and PHL's packed
+//!   `(path, offset, dist)` label triples.
+//! * [`FlatLevelLabels`] — the HC2L layout: one global distance arena, one
+//!   global table of per-level sub-offsets, and one per-vertex index into
+//!   that table. Hub identities stay *implicit* (position `i` of a level's
+//!   array refers to the `i`-th ranked cut vertex of that hierarchy node),
+//!   which is why no parallel hub arena is needed and the footprint stays at
+//!   8 bytes per entry.
+//! * [`FlatEntryLabels`] — the hub/entry layout used by HL: a parallel
+//!   structure-of-arrays of hub ids and distances with per-vertex CSR
+//!   offsets. The merge-join mostly reads the 4-byte hub column, which is
+//!   why the column split wins for HL; PHL, which touches every column of
+//!   every scanned entry, instead keeps packed triples in a [`FlatCsr`]
+//!   (measured ~2x faster there than the column split).
+//!
+//! Construction keeps whatever nested scratch it likes; a `freeze()` step
+//! converts it into the arena once, computing all size totals at that point
+//! so `stats()` calls are O(1) afterwards. The arenas are `#[repr(Rust)]`
+//! plain vectors of `u32`/`u64`, so they also serialise losslessly through
+//! the little-endian byte codec (`to_bytes` / `from_bytes`) — the vendored
+//! serde stand-in is marker-only (see `vendor/README.md`), so persistence
+//! goes through this codec until the real serde is swapped back in.
+//!
+//! The module also hosts the branch-free query kernels ([`min_plus_scan`],
+//! [`min_plus_merge`]): chunked min-reductions with no early-exit branch in
+//! the loop body, which LLVM auto-vectorizes over the contiguous slices the
+//! arenas hand out.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Distance, Vertex, INFINITY};
+
+/// Chunk width of the branch-free min-reductions. Eight 64-bit lanes span
+/// two AVX2 registers (or four NEON registers); the accumulators live in
+/// registers across the whole scan.
+pub const MIN_PLUS_LANES: usize = 8;
+
+/// Branch-free `min_i (a[i] + b[i])` over the common prefix of two distance
+/// slices.
+///
+/// Both inputs must only contain values `<= INFINITY` (the workspace-wide
+/// invariant for stored distances), so a plain wrapping add cannot overflow
+/// — `2 * INFINITY == u64::MAX / 2`. The loop carries no data-dependent
+/// branch: each lane unconditionally accumulates its minimum, and the final
+/// result is clamped back to [`INFINITY`].
+#[inline]
+pub fn min_plus_scan(a: &[Distance], b: &[Distance]) -> Distance {
+    let len = a.len().min(b.len());
+    let (a, b) = (&a[..len], &b[..len]);
+    let mut lanes = [INFINITY; MIN_PLUS_LANES];
+    let mut ca = a.chunks_exact(MIN_PLUS_LANES);
+    let mut cb = b.chunks_exact(MIN_PLUS_LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..MIN_PLUS_LANES {
+            lanes[l] = lanes[l].min(xa[l] + xb[l]);
+        }
+    }
+    let mut best = INFINITY;
+    for &lane in &lanes {
+        best = best.min(lane);
+    }
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        best = best.min(x + y);
+    }
+    best.min(INFINITY)
+}
+
+/// Branch-free merge-join `min { da[i] + db[j] : ha[i] == hb[j] }` over two
+/// hub lists sorted by hub id (Equation 1 of the paper).
+///
+/// The classic merge loop hides an unpredictable three-way branch per step;
+/// here both cursors advance by comparison *masks* and the candidate sum is
+/// selected arithmetically, so the loop compiles to compare/select chains
+/// without a data-dependent jump.
+#[inline]
+pub fn min_plus_merge(ha: &[Vertex], da: &[Distance], hb: &[Vertex], db: &[Distance]) -> Distance {
+    debug_assert_eq!(ha.len(), da.len());
+    debug_assert_eq!(hb.len(), db.len());
+    let mut best = INFINITY;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ha.len() && j < hb.len() {
+        let (x, y) = (ha[i], hb[j]);
+        let d = da[i] + db[j];
+        let cand = if x == y { d } else { INFINITY };
+        best = best.min(cand);
+        i += (x <= y) as usize;
+        j += (y <= x) as usize;
+    }
+    best.min(INFINITY)
+}
+
+/// A frozen CSR array-of-arrays: one contiguous value arena plus `n + 1`
+/// row offsets.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlatCsr<T> {
+    values: Vec<T>,
+    offsets: Vec<u32>,
+}
+
+impl<T: Copy> FlatCsr<T> {
+    /// Freezes nested rows into the arena.
+    pub fn freeze(rows: &[Vec<T>]) -> Self {
+        let total: usize = rows.iter().map(|r| r.len()).sum();
+        assert!(total <= u32::MAX as usize, "arena exceeds u32 offsets");
+        let mut values = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        offsets.push(0);
+        for row in rows {
+            values.extend_from_slice(row);
+            offsets.push(values.len() as u32);
+        }
+        FlatCsr { values, offsets }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Length of row `i`.
+    #[inline]
+    pub fn row_len(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Total number of values across all rows (O(1): the arena length).
+    #[inline]
+    pub fn total_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Memory footprint in bytes (O(1): arena plus offset table).
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<T>() + self.offsets.len() * 4
+    }
+}
+
+impl<T: PodValue> FlatCsr<T> {
+    /// Serialises the arena with the shared little-endian codec.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_pod_slice(&mut out, &self.values);
+        write_pod_slice(&mut out, &self.offsets);
+        out
+    }
+
+    /// Reads an arena back from [`FlatCsr::to_bytes`] output. Returns `None`
+    /// on truncated or malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<(Self, usize)> {
+        let (values, n) = read_pod_slice::<T>(bytes)?;
+        let (offsets, m) = read_pod_slice::<u32>(&bytes[n..])?;
+        if offsets.is_empty() || offsets[0] != 0 {
+            return None;
+        }
+        if *offsets.last().unwrap() as usize != values.len() {
+            return None;
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        Some((FlatCsr { values, offsets }, n + m))
+    }
+}
+
+/// The frozen HC2L label arena: per-vertex, per-level distance arrays with
+/// implicit hub identities.
+///
+/// Layout (all indices `u32`):
+///
+/// ```text
+/// dists:         [  v0 level0 | v0 level1 | … | v1 level0 | …         ]
+/// level_offsets: [  o(v0,0) o(v0,1) … o(v0,L0) | o(v1,0) …           ]  absolute into dists
+/// level_index:   [  i(v0) i(v1) … i(vn)                               ]  into level_offsets
+/// ```
+///
+/// Vertex `v`'s offset table is `level_offsets[level_index[v] ..
+/// level_index[v+1]]`; a vertex with `L` levels owns `L + 1` table entries,
+/// so level `k`'s array is the slice between consecutive table entries —
+/// one bounds-checked lookup and one contiguous slice per query.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlatLevelLabels {
+    dists: Vec<Distance>,
+    level_offsets: Vec<u32>,
+    level_index: Vec<u32>,
+}
+
+/// Construction-time scratch for [`FlatLevelLabels`]: nested per-vertex
+/// buffers filled level by level, converted once by
+/// [`LevelLabelsBuilder::freeze`].
+#[derive(Debug, Clone, Default)]
+pub struct LevelLabelsBuilder {
+    dists: Vec<Vec<Distance>>,
+    ends: Vec<Vec<u32>>,
+}
+
+impl LevelLabelsBuilder {
+    /// Scratch for `n` vertices with no levels yet.
+    pub fn new(n: usize) -> Self {
+        LevelLabelsBuilder {
+            dists: vec![Vec::new(); n],
+            ends: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.dists.len()
+    }
+
+    /// Appends the distance array for vertex `v`'s next level.
+    pub fn push_level(&mut self, v: Vertex, array: &[Distance]) {
+        let d = &mut self.dists[v as usize];
+        d.extend_from_slice(array);
+        self.ends[v as usize].push(d.len() as u32);
+    }
+
+    /// Number of levels pushed for vertex `v` so far.
+    pub fn num_levels(&self, v: Vertex) -> usize {
+        self.ends[v as usize].len()
+    }
+
+    /// The distance array pushed for vertex `v` at `level` (scratch view).
+    pub fn level_array(&self, v: Vertex, level: usize) -> &[Distance] {
+        let ends = &self.ends[v as usize];
+        if level >= ends.len() {
+            return &[];
+        }
+        let start = if level == 0 {
+            0
+        } else {
+            ends[level - 1] as usize
+        };
+        &self.dists[v as usize][start..ends[level] as usize]
+    }
+
+    /// Converts the scratch into the frozen arena.
+    pub fn freeze(self) -> FlatLevelLabels {
+        let total: usize = self.dists.iter().map(|d| d.len()).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "label arena exceeds u32 offsets"
+        );
+        let n = self.dists.len();
+        let mut dists = Vec::with_capacity(total);
+        let mut level_offsets = Vec::with_capacity(2 * n);
+        let mut level_index = Vec::with_capacity(n + 1);
+        level_index.push(0);
+        for (d, ends) in self.dists.iter().zip(self.ends.iter()) {
+            let base = dists.len() as u32;
+            level_offsets.push(base);
+            for &end in ends {
+                level_offsets.push(base + end);
+            }
+            dists.extend_from_slice(d);
+            level_index.push(level_offsets.len() as u32);
+        }
+        FlatLevelLabels {
+            dists,
+            level_offsets,
+            level_index,
+        }
+    }
+}
+
+impl FlatLevelLabels {
+    /// An empty arena over `n` vertices (every vertex has zero levels).
+    pub fn empty(n: usize) -> Self {
+        LevelLabelsBuilder::new(n).freeze()
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.level_index.len() - 1
+    }
+
+    /// Number of levels stored for vertex `v`.
+    #[inline]
+    pub fn num_levels(&self, v: Vertex) -> usize {
+        (self.level_index[v as usize + 1] - self.level_index[v as usize]) as usize - 1
+    }
+
+    /// The distance array of vertex `v` at `level`, or an empty slice when
+    /// the level is out of range.
+    #[inline]
+    pub fn level_array(&self, v: Vertex, level: usize) -> &[Distance] {
+        let table = &self.level_offsets
+            [self.level_index[v as usize] as usize..self.level_index[v as usize + 1] as usize];
+        if level + 1 >= table.len() {
+            return &[];
+        }
+        &self.dists[table[level] as usize..table[level + 1] as usize]
+    }
+
+    /// Total distance entries stored for vertex `v`.
+    #[inline]
+    pub fn vertex_entries(&self, v: Vertex) -> usize {
+        let table = &self.level_offsets
+            [self.level_index[v as usize] as usize..self.level_index[v as usize + 1] as usize];
+        (table[table.len() - 1] - table[0]) as usize
+    }
+
+    /// Total number of distance entries (O(1): the arena length).
+    #[inline]
+    pub fn total_entries(&self) -> usize {
+        self.dists.len()
+    }
+
+    /// Mean entries per vertex (O(1)).
+    pub fn avg_entries(&self) -> f64 {
+        let n = self.num_vertices();
+        if n == 0 {
+            0.0
+        } else {
+            self.dists.len() as f64 / n as f64
+        }
+    }
+
+    /// Memory footprint in bytes (O(1)).
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.dists.len() * std::mem::size_of::<Distance>()
+            + self.level_offsets.len() * 4
+            + self.level_index.len() * 4
+    }
+
+    /// Serialises the arena with the shared little-endian codec.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_pod_slice(&mut out, &self.dists);
+        write_pod_slice(&mut out, &self.level_offsets);
+        write_pod_slice(&mut out, &self.level_index);
+        out
+    }
+
+    /// Reads an arena back from [`FlatLevelLabels::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Option<(Self, usize)> {
+        let (dists, a) = read_pod_slice::<Distance>(bytes)?;
+        let (level_offsets, b) = read_pod_slice::<u32>(&bytes[a..])?;
+        let (level_index, c) = read_pod_slice::<u32>(&bytes[a + b..])?;
+        if level_index.is_empty() || level_index[0] != 0 {
+            return None;
+        }
+        if *level_index.last().unwrap() as usize != level_offsets.len() {
+            return None;
+        }
+        if level_index.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        if level_offsets.iter().any(|&o| o as usize > dists.len()) {
+            return None;
+        }
+        // A valid freeze produces globally non-decreasing offsets (each
+        // vertex's table starts where the previous one ended), which is also
+        // what makes every level_array slice well-formed.
+        if level_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        Some((
+            FlatLevelLabels {
+                dists,
+                level_offsets,
+                level_index,
+            },
+            a + b + c,
+        ))
+    }
+}
+
+/// The frozen hub/entry label arena used by HL: a parallel
+/// structure-of-arrays of hub ids and distances with per-vertex CSR
+/// offsets.
+///
+/// `hubs[k]` is the hub id of entry `k` and `dists[k]` the distance from
+/// the labelled vertex. Entries of a vertex are sorted by hub id, so
+/// queries are linear merge-joins over two contiguous slices. The column
+/// split pays off exactly when the merge-join mostly reads the 4-byte hub
+/// column; backends that touch every field of every scanned entry (PHL)
+/// store packed structs in a [`FlatCsr`] instead.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlatEntryLabels {
+    hubs: Vec<Vertex>,
+    dists: Vec<Distance>,
+    offsets: Vec<u32>,
+}
+
+impl FlatEntryLabels {
+    /// Freezes nested `(hub, dist)` rows into the arena.
+    pub fn freeze_pairs(rows: &[Vec<(Vertex, Distance)>]) -> Self {
+        let total: usize = rows.iter().map(|r| r.len()).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "label arena exceeds u32 offsets"
+        );
+        let mut hubs = Vec::with_capacity(total);
+        let mut dists = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        offsets.push(0);
+        for row in rows {
+            for &(h, d) in row {
+                hubs.push(h);
+                dists.push(d);
+            }
+            offsets.push(hubs.len() as u32);
+        }
+        FlatEntryLabels {
+            hubs,
+            dists,
+            offsets,
+        }
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of entries of vertex `v`.
+    #[inline]
+    pub fn len_of(&self, v: Vertex) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Entry range of vertex `v` in the arenas.
+    #[inline]
+    pub fn range_of(&self, v: Vertex) -> std::ops::Range<usize> {
+        self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize
+    }
+
+    /// Hub ids of vertex `v`'s entries.
+    #[inline]
+    pub fn hubs(&self, v: Vertex) -> &[Vertex] {
+        &self.hubs[self.range_of(v)]
+    }
+
+    /// Distances of vertex `v`'s entries.
+    #[inline]
+    pub fn dists(&self, v: Vertex) -> &[Distance] {
+        &self.dists[self.range_of(v)]
+    }
+
+    /// Total number of entries (O(1): the arena length).
+    #[inline]
+    pub fn total_entries(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// Mean entries per vertex (O(1)).
+    pub fn avg_entries(&self) -> f64 {
+        let n = self.num_vertices();
+        if n == 0 {
+            0.0
+        } else {
+            self.hubs.len() as f64 / n as f64
+        }
+    }
+
+    /// Memory footprint in bytes (O(1)).
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.hubs.len() * 4
+            + self.dists.len() * std::mem::size_of::<Distance>()
+            + self.offsets.len() * 4
+    }
+
+    /// Serialises the arena with the shared little-endian codec.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_pod_slice(&mut out, &self.hubs);
+        write_pod_slice(&mut out, &self.dists);
+        write_pod_slice(&mut out, &self.offsets);
+        out
+    }
+
+    /// Reads an arena back from [`FlatEntryLabels::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Option<(Self, usize)> {
+        let (hubs, a) = read_pod_slice::<Vertex>(bytes)?;
+        let (dists, b) = read_pod_slice::<Distance>(&bytes[a..])?;
+        let (offsets, c) = read_pod_slice::<u32>(&bytes[a + b..])?;
+        if hubs.len() != dists.len() {
+            return None;
+        }
+        if offsets.is_empty() || offsets[0] != 0 {
+            return None;
+        }
+        if *offsets.last().unwrap() as usize != hubs.len() {
+            return None;
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        Some((
+            FlatEntryLabels {
+                hubs,
+                dists,
+                offsets,
+            },
+            a + b + c,
+        ))
+    }
+}
+
+/// Fixed-width little-endian scalar, the unit of the arena byte codec.
+pub trait PodValue: Copy {
+    /// Encoded width in bytes.
+    const WIDTH: usize;
+    /// Appends the little-endian encoding to `out`.
+    fn write_le(self, out: &mut Vec<u8>);
+    /// Decodes from exactly [`PodValue::WIDTH`] bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+impl PodValue for u32 {
+    const WIDTH: usize = 4;
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read_le(bytes: &[u8]) -> Self {
+        u32::from_le_bytes(bytes[..4].try_into().unwrap())
+    }
+}
+
+impl PodValue for u64 {
+    const WIDTH: usize = 8;
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read_le(bytes: &[u8]) -> Self {
+        u64::from_le_bytes(bytes[..8].try_into().unwrap())
+    }
+}
+
+/// Appends `len (u64 LE)` followed by the slice's values.
+pub fn write_pod_slice<T: PodValue>(out: &mut Vec<u8>, values: &[T]) {
+    (values.len() as u64).write_le(out);
+    for &v in values {
+        v.write_le(out);
+    }
+}
+
+/// Reads a slice written by [`write_pod_slice`]; returns the values and the
+/// number of bytes consumed, or `None` when the input is truncated.
+pub fn read_pod_slice<T: PodValue>(bytes: &[u8]) -> Option<(Vec<T>, usize)> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let len = u64::read_le(bytes) as usize;
+    let need = 8 + len.checked_mul(T::WIDTH)?;
+    if bytes.len() < need {
+        return None;
+    }
+    let mut values = Vec::with_capacity(len);
+    let mut at = 8;
+    for _ in 0..len {
+        values.push(T::read_le(&bytes[at..]));
+        at += T::WIDTH;
+    }
+    Some((values, at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_plus_scan_matches_naive() {
+        let a: Vec<Distance> = (0..37).map(|i| (i * 7 + 3) % 23).collect();
+        let b: Vec<Distance> = (0..41).map(|i| (i * 5 + 1) % 19).collect();
+        let naive = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| x + y)
+            .min()
+            .unwrap_or(INFINITY);
+        assert_eq!(min_plus_scan(&a, &b), naive);
+        assert_eq!(min_plus_scan(&[], &b), INFINITY);
+        assert_eq!(min_plus_scan(&a, &[]), INFINITY);
+    }
+
+    #[test]
+    fn min_plus_scan_handles_infinity() {
+        let a = vec![INFINITY, 5, INFINITY];
+        let b = vec![3, INFINITY, INFINITY];
+        assert_eq!(min_plus_scan(&a, &b), INFINITY);
+        let a = vec![INFINITY; 20];
+        let mut b = vec![INFINITY; 20];
+        b[17] = 1;
+        let mut a2 = a.clone();
+        a2[17] = 2;
+        assert_eq!(min_plus_scan(&a2, &b), 3);
+    }
+
+    #[test]
+    fn min_plus_merge_matches_naive() {
+        let ha = vec![1u32, 4, 6, 9, 12];
+        let da = vec![10u64, 2, 7, 1, 4];
+        let hb = vec![2u32, 4, 9, 10, 12, 14];
+        let db = vec![1u64, 3, 9, 0, 2, 8];
+        // Common hubs: 4 (2+3), 9 (1+9), 12 (4+2) -> 5.
+        assert_eq!(min_plus_merge(&ha, &da, &hb, &db), 5);
+        assert_eq!(min_plus_merge(&[], &[], &hb, &db), INFINITY);
+        // No common hubs.
+        assert_eq!(min_plus_merge(&[1], &[1], &[2], &[1]), INFINITY);
+    }
+
+    #[test]
+    fn flat_csr_round_trips_rows() {
+        let rows = vec![vec![1u64, 2, 3], vec![], vec![9, 8]];
+        let csr = FlatCsr::freeze(&rows);
+        assert_eq!(csr.num_rows(), 3);
+        assert_eq!(csr.row(0), &[1, 2, 3]);
+        assert_eq!(csr.row(1), &[] as &[u64]);
+        assert_eq!(csr.row(2), &[9, 8]);
+        assert_eq!(csr.row_len(2), 2);
+        assert_eq!(csr.total_values(), 5);
+        assert_eq!(csr.memory_bytes(), 5 * 8 + 4 * 4);
+        let bytes = csr.to_bytes();
+        let (back, used) = FlatCsr::<u64>::from_bytes(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, csr);
+        assert!(FlatCsr::<u64>::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn level_labels_freeze_preserves_arrays() {
+        let mut b = LevelLabelsBuilder::new(3);
+        b.push_level(0, &[1, 2, 3]);
+        b.push_level(0, &[]);
+        b.push_level(0, &[9]);
+        b.push_level(2, &[7, 7]);
+        assert_eq!(b.level_array(0, 0), &[1, 2, 3]);
+        assert_eq!(b.level_array(0, 2), &[9]);
+        let frozen = b.freeze();
+        assert_eq!(frozen.num_vertices(), 3);
+        assert_eq!(frozen.num_levels(0), 3);
+        assert_eq!(frozen.num_levels(1), 0);
+        assert_eq!(frozen.num_levels(2), 1);
+        assert_eq!(frozen.level_array(0, 0), &[1, 2, 3]);
+        assert_eq!(frozen.level_array(0, 1), &[] as &[Distance]);
+        assert_eq!(frozen.level_array(0, 2), &[9]);
+        assert_eq!(frozen.level_array(0, 3), &[] as &[Distance]);
+        assert_eq!(frozen.level_array(1, 0), &[] as &[Distance]);
+        assert_eq!(frozen.level_array(2, 0), &[7, 7]);
+        assert_eq!(frozen.vertex_entries(0), 4);
+        assert_eq!(frozen.vertex_entries(1), 0);
+        assert_eq!(frozen.total_entries(), 6);
+        assert!((frozen.avg_entries() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_labels_byte_codec_round_trips() {
+        let mut b = LevelLabelsBuilder::new(4);
+        b.push_level(1, &[5, 6]);
+        b.push_level(1, &[7]);
+        b.push_level(3, &[INFINITY, 0]);
+        let frozen = b.freeze();
+        let bytes = frozen.to_bytes();
+        let (back, used) = FlatLevelLabels::from_bytes(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, frozen);
+        assert!(FlatLevelLabels::from_bytes(&bytes[..10]).is_none());
+    }
+
+    #[test]
+    fn entry_labels_freeze_and_round_trip() {
+        let pairs = vec![vec![(3u32, 10u64), (7, 2)], vec![], vec![(1, 0)]];
+        let flat = FlatEntryLabels::freeze_pairs(&pairs);
+        assert_eq!(flat.num_vertices(), 3);
+        assert_eq!(flat.hubs(0), &[3, 7]);
+        assert_eq!(flat.dists(0), &[10, 2]);
+        assert_eq!(flat.len_of(1), 0);
+        assert_eq!(flat.total_entries(), 3);
+        assert!((flat.avg_entries() - 1.0).abs() < 1e-12);
+        let bytes = flat.to_bytes();
+        let (back, used) = FlatEntryLabels::from_bytes(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, flat);
+    }
+
+    #[test]
+    fn malformed_level_offsets_are_rejected() {
+        // Hand-craft bytes whose per-vertex offset table is decreasing:
+        // dists len 5, level_offsets [4, 1], level_index [0, 2]. Every other
+        // invariant holds, but slicing dists[4..1] would panic — the codec
+        // must reject it.
+        let mut bytes = Vec::new();
+        write_pod_slice(&mut bytes, &[0u64, 0, 0, 0, 0]);
+        write_pod_slice(&mut bytes, &[4u32, 1]);
+        write_pod_slice(&mut bytes, &[0u32, 2]);
+        assert!(FlatLevelLabels::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn corrupt_codec_input_is_rejected() {
+        let flat = FlatEntryLabels::freeze_pairs(&[vec![(1u32, 2u64)]]);
+        let mut bytes = flat.to_bytes();
+        // Corrupt the final offset so it no longer matches the arena length.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(FlatEntryLabels::from_bytes(&bytes).is_none());
+        assert!(FlatEntryLabels::from_bytes(&[]).is_none());
+    }
+}

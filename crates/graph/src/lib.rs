@@ -20,6 +20,11 @@
 //!   hierarchy recursion descends into partitions.
 //! * [`querystats`] — the shared per-query instrumentation record every
 //!   distance oracle in the workspace reports from `query_with_stats`.
+//! * [`flat_labels`] — the frozen flat label arenas every labelling backend
+//!   queries from (global distance/hub arenas with CSR offsets, built by a
+//!   one-shot `freeze()` after construction), plus the branch-free
+//!   min-reduction kernels ([`min_plus_scan`], [`min_plus_merge`]) that scan
+//!   them.
 //!
 //! Distances are accumulated in `u64` ([`Distance`]) while individual edge
 //! weights are `u32` ([`Weight`]); road-network weights fit comfortably and
@@ -30,6 +35,7 @@ pub mod components;
 pub mod contraction;
 pub mod csr;
 pub mod dijkstra;
+pub mod flat_labels;
 pub mod graph;
 pub mod pathutil;
 pub mod querystats;
@@ -44,6 +50,9 @@ pub use csr::CsrGraph;
 pub use dijkstra::{
     bidirectional_dijkstra, dijkstra, dijkstra_distance, dijkstra_targets, dijkstra_with_parents,
     multi_source_dijkstra, DijkstraResult,
+};
+pub use flat_labels::{
+    min_plus_merge, min_plus_scan, FlatCsr, FlatEntryLabels, FlatLevelLabels, LevelLabelsBuilder,
 };
 pub use graph::{Edge, Graph};
 pub use pathutil::{eccentricity_from, extract_path, farthest_vertex, path_weight};

@@ -1,9 +1,14 @@
 //! The H2H index: per-vertex distance and position arrays plus the RMQ-based
 //! LCA structure (Equation 3 of the paper).
+//!
+//! Post-build, the per-vertex ancestor-distance and bag-position arrays live
+//! in two frozen [`FlatCsr`] arenas — one contiguous block per array, no
+//! per-vertex heap allocations — and the bag scan of a query is a
+//! branch-free gather-and-min over the LCA's position row.
 
 use serde::{Deserialize, Serialize};
 
-use hc2l_graph::{Distance, Graph, QueryStats, Vertex, INFINITY};
+use hc2l_graph::{Distance, FlatCsr, Graph, QueryStats, Vertex, INFINITY};
 
 use crate::lca::LcaStructure;
 use crate::tree_decomp::TreeDecomposition;
@@ -32,12 +37,13 @@ pub struct H2hIndex {
     pub decomposition: TreeDecomposition,
     /// LCA structure over the decomposition forest.
     lca: LcaStructure,
-    /// `dist[v][i]` — distance from `v` to its ancestor at depth `i`
-    /// (the last entry is `d(v, v) = 0`).
-    dist: Vec<Vec<Distance>>,
-    /// `pos[v]` — depths of the members of `X(v)` (including `v` itself) in
-    /// `v`'s ancestor array.
-    pos: Vec<Vec<u32>>,
+    /// Frozen arena of per-vertex ancestor distances: row `v` holds the
+    /// distances from `v` to its ancestors at depths `0..=depth(v)` (the
+    /// last entry is `d(v, v) = 0`).
+    dist: FlatCsr<Distance>,
+    /// Frozen arena of per-vertex bag positions: row `v` holds the depths of
+    /// the members of `X(v)` (including `v` itself) in `v`'s ancestor array.
+    pos: FlatCsr<u32>,
     /// Root of each vertex's tree (to detect cross-component queries).
     root_of: Vec<Vertex>,
     /// Wall-clock construction time in seconds.
@@ -50,7 +56,7 @@ impl H2hIndex {
         let start = std::time::Instant::now();
         let n = g.num_vertices();
         let decomposition = TreeDecomposition::build(g);
-        let lca = LcaStructure::build(&decomposition.children, &decomposition.roots, n);
+        let lca = LcaStructure::build(decomposition.children_csr(), &decomposition.roots, n);
 
         // Process vertices parents-first (breadth-first from the roots).
         let mut order: Vec<Vertex> = Vec::with_capacity(n);
@@ -58,11 +64,14 @@ impl H2hIndex {
             decomposition.roots.iter().copied().collect();
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            for &c in &decomposition.children[v as usize] {
+            for &c in decomposition.children(v) {
                 queue.push_back(c);
             }
         }
 
+        // Construction scratch: the dynamic program reads previously
+        // computed ancestor arrays at random, so nested rows are convenient
+        // here; both arenas are frozen once at the end.
         let mut dist: Vec<Vec<Distance>> = vec![Vec::new(); n];
         let mut pos: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut root_of: Vec<Vertex> = vec![0; n];
@@ -81,7 +90,7 @@ impl H2hIndex {
             // already-computed array of the deeper of the two.
             for i in 0..depth_v {
                 let mut best = INFINITY;
-                for &(x, wx) in &decomposition.bag[v as usize] {
+                for &(x, wx) in decomposition.bag(v) {
                     let depth_x = decomposition.depth[x as usize] as usize;
                     let via = if depth_x >= i {
                         // a_i is an ancestor of x (or x itself).
@@ -98,7 +107,8 @@ impl H2hIndex {
             }
             dist[v as usize] = d;
             // Position array: depths of bag members plus v itself.
-            let mut p: Vec<u32> = decomposition.bag[v as usize]
+            let mut p: Vec<u32> = decomposition
+                .bag(v)
                 .iter()
                 .map(|&(x, _)| decomposition.depth[x as usize])
                 .collect();
@@ -111,8 +121,8 @@ impl H2hIndex {
         H2hIndex {
             decomposition,
             lca,
-            dist,
-            pos,
+            dist: FlatCsr::freeze(&dist),
+            pos: FlatCsr::freeze(&pos),
             root_of,
             construction_seconds: start.elapsed().as_secs_f64(),
         }
@@ -120,7 +130,20 @@ impl H2hIndex {
 
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
-        self.dist.len()
+        self.dist.num_rows()
+    }
+
+    /// The ancestor-distance array of vertex `v` (one entry per depth on its
+    /// root path, `d(v, v) = 0` last).
+    #[inline]
+    pub fn ancestor_dists(&self, v: Vertex) -> &[Distance] {
+        self.dist.row(v as usize)
+    }
+
+    /// The bag-position array of vertex `v`.
+    #[inline]
+    pub fn bag_positions(&self, v: Vertex) -> &[u32] {
+        self.pos.row(v as usize)
     }
 
     /// Exact distance query (Equation 3).
@@ -142,72 +165,78 @@ impl H2hIndex {
             .lca
             .lca(s, t)
             .expect("vertices in the same component must share a tree");
-        let positions = &self.pos[q as usize];
-        let ds = &self.dist[s as usize];
-        let dt = &self.dist[t as usize];
-        let mut best = INFINITY;
-        for &p in positions {
-            let p = p as usize;
-            let d = ds[p].saturating_add(dt[p]);
-            if d < best {
-                best = d;
-            }
-        }
+        let positions = self.pos.row(q as usize);
+        let best = bag_scan(
+            positions,
+            self.dist.row(s as usize),
+            self.dist.row(t as usize),
+        );
         (
             best,
             QueryStats::at_level(self.decomposition.depth[q as usize], positions.len()),
         )
     }
 
-    /// Batched one-to-many query: distances from `s` to every vertex in
-    /// `targets`, resolving the source's tree root and distance array once.
-    pub fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+    /// Batched one-to-many query into a caller-provided buffer, resolving
+    /// the source's tree root and distance row once.
+    pub fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
         let root_s = self.root_of[s as usize];
-        let ds = &self.dist[s as usize];
-        targets
-            .iter()
-            .map(|&t| {
-                if s == t {
-                    return 0;
-                }
-                if self.root_of[t as usize] != root_s {
-                    return INFINITY;
-                }
-                let q = self
-                    .lca
-                    .lca(s, t)
-                    .expect("vertices in the same component must share a tree");
-                let dt = &self.dist[t as usize];
-                let mut best = INFINITY;
-                for &p in &self.pos[q as usize] {
-                    let p = p as usize;
-                    let d = ds[p].saturating_add(dt[p]);
-                    if d < best {
-                        best = d;
-                    }
-                }
-                best
-            })
-            .collect()
+        let ds = self.dist.row(s as usize);
+        out.clear();
+        out.extend(targets.iter().map(|&t| {
+            if s == t {
+                return 0;
+            }
+            if self.root_of[t as usize] != root_s {
+                return INFINITY;
+            }
+            let q = self
+                .lca
+                .lca(s, t)
+                .expect("vertices in the same component must share a tree");
+            bag_scan(self.pos.row(q as usize), ds, self.dist.row(t as usize))
+        }));
     }
 
-    /// Size statistics (Tables 2, 3 and 5).
+    /// Batched one-to-many query: allocating variant of
+    /// [`H2hIndex::one_to_many_into`].
+    pub fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+        let mut out = Vec::new();
+        self.one_to_many_into(s, targets, &mut out);
+        out
+    }
+
+    /// Size statistics (Tables 2, 3 and 5; O(1), totals are fixed by the
+    /// freeze step).
     pub fn stats(&self) -> H2hStats {
-        let total_entries: usize = self.dist.iter().map(|d| d.len()).sum();
-        let pos_entries: usize = self.pos.iter().map(|p| p.len()).sum();
+        let total_entries = self.dist.total_values();
         H2hStats {
             total_entries,
-            avg_label_size: if self.dist.is_empty() {
+            avg_label_size: if self.dist.num_rows() == 0 {
                 0.0
             } else {
-                total_entries as f64 / self.dist.len() as f64
+                total_entries as f64 / self.dist.num_rows() as f64
             },
-            label_bytes: total_entries * std::mem::size_of::<Distance>() + pos_entries * 4,
+            label_bytes: total_entries * std::mem::size_of::<Distance>()
+                + self.pos.total_values() * 4,
             lca_bytes: self.lca.memory_bytes(),
             tree_height: self.decomposition.height,
             max_bag_size: self.decomposition.max_bag_size,
         }
     }
+}
+
+/// Branch-free bag scan of Equation 3: gathers `ds[p] + dt[p]` for every
+/// position in the LCA's bag and keeps the minimum, with no early-exit
+/// branch in the loop body.
+#[inline]
+fn bag_scan(positions: &[u32], ds: &[Distance], dt: &[Distance]) -> Distance {
+    let mut best = INFINITY;
+    for &p in positions {
+        let p = p as usize;
+        best = best.min(ds[p] + dt[p]);
+    }
+    best.min(INFINITY)
 }
 
 /// Distance from `v`'s ancestor chain: `d(a_i, a_j)` where both indices refer
@@ -289,11 +318,12 @@ mod tests {
         let index = H2hIndex::build(&g);
         for v in 0..16u32 {
             let path = index.decomposition.root_path(v);
-            assert_eq!(index.dist[v as usize].len(), path.len());
+            assert_eq!(index.ancestor_dists(v).len(), path.len());
             let d = dijkstra(&g, v);
             for (i, &a) in path.iter().enumerate() {
                 assert_eq!(
-                    index.dist[v as usize][i], d[a as usize],
+                    index.ancestor_dists(v)[i],
+                    d[a as usize],
                     "d({v}, {a}) wrong"
                 );
             }
@@ -336,11 +366,28 @@ mod tests {
         let g = b.build();
         let index = H2hIndex::build(&g);
         let targets: Vec<Vertex> = (0..12).collect();
+        let mut buf = Vec::new();
         for s in 0..12u32 {
             let batch = index.one_to_many(s, &targets);
+            index.one_to_many_into(s, &targets, &mut buf);
+            assert_eq!(batch, buf);
             for (t, &d) in targets.iter().zip(batch.iter()) {
                 assert_eq!(d, index.query(s, *t));
             }
         }
+    }
+
+    #[test]
+    fn byte_codec_round_trips_the_frozen_arenas() {
+        let g = grid_graph(4, 4);
+        let index = H2hIndex::build(&g);
+        let bytes = index.dist.to_bytes();
+        let (back, used) = FlatCsr::<Distance>::from_bytes(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, index.dist);
+        let bytes = index.pos.to_bytes();
+        let (back, used) = FlatCsr::<u32>::from_bytes(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, index.pos);
     }
 }

@@ -4,10 +4,15 @@
 //! ancestor of two tree-decomposition nodes in O(1); its memory footprint is
 //! what the paper reports in Table 3's "LCA Storage" column (4.64 GB on the
 //! full USA graph), and what HC2L's 8-byte-per-vertex bitstrings replace.
+//!
+//! The sparse table is stored as a single row-major arena (`table` +
+//! `row_starts`) rather than a vector of rows, so an RMQ lookup is two
+//! indexed loads from one allocation — the same flat-arena discipline as the
+//! label storage in `hc2l_graph::flat_labels`.
 
 use serde::{Deserialize, Serialize};
 
-use hc2l_graph::Vertex;
+use hc2l_graph::{FlatCsr, Vertex};
 
 /// Euler-tour + sparse-table RMQ structure over a rooted forest.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -19,15 +24,18 @@ pub struct LcaStructure {
     /// First occurrence of each vertex in the Euler tour (`u32::MAX` when the
     /// vertex is not part of the forest).
     first: Vec<u32>,
-    /// Sparse table over `euler_depth`: `table[k][i]` is the index (into the
-    /// Euler arrays) of the minimum depth in the window starting at `i` of
-    /// length `2^k`.
-    table: Vec<Vec<u32>>,
+    /// Row-major sparse table over `euler_depth`: the entry for `(k, i)` is
+    /// the index (into the Euler arrays) of the minimum depth in the window
+    /// starting at `i` of length `2^k`, stored at `table[row_starts[k] + i]`.
+    table: Vec<u32>,
+    /// Start of each level's row in `table` (`levels + 1` entries).
+    row_starts: Vec<u32>,
 }
 
 impl LcaStructure {
-    /// Builds the structure from parent/children arrays and the forest roots.
-    pub fn build(children: &[Vec<Vertex>], roots: &[Vertex], num_vertices: usize) -> Self {
+    /// Builds the structure from the frozen children arena and the forest
+    /// roots.
+    pub fn build(children: &FlatCsr<Vertex>, roots: &[Vertex], num_vertices: usize) -> Self {
         let mut euler = Vec::with_capacity(2 * num_vertices);
         let mut euler_depth = Vec::with_capacity(2 * num_vertices);
         let mut first = vec![u32::MAX; num_vertices];
@@ -47,45 +55,51 @@ impl LcaStructure {
                     euler.push(v);
                     euler_depth.push(depth);
                 }
-                if child_idx < children[v as usize].len() {
+                let kids = children.row(v as usize);
+                if child_idx < kids.len() {
                     stack.push((v, depth, child_idx + 1));
-                    stack.push((children[v as usize][child_idx], depth + 1, 0));
+                    stack.push((kids[child_idx], depth + 1, 0));
                 }
             }
         }
 
-        // Sparse table of minimum positions.
+        // Sparse table of minimum positions, written directly into the flat
+        // row-major arena.
         let m = euler.len();
-        let levels = if m <= 1 {
-            1
-        } else {
-            (usize::BITS - (m - 1).leading_zeros()) as usize + 1
-        };
-        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
-        table.push((0..m as u32).collect());
+        let mut table: Vec<u32> = Vec::with_capacity(2 * m.max(1));
+        let mut row_starts: Vec<u32> = vec![0];
+        table.extend(0..m as u32);
+        row_starts.push(table.len() as u32);
         let mut k = 1usize;
         while (1 << k) <= m {
             let half = 1usize << (k - 1);
-            let prev = &table[k - 1];
-            let mut row = Vec::with_capacity(m - (1 << k) + 1);
+            let prev_start = row_starts[k - 1] as usize;
             for i in 0..=(m - (1 << k)) {
-                let a = prev[i];
-                let b = prev[i + half];
-                row.push(if euler_depth[a as usize] <= euler_depth[b as usize] {
+                let a = table[prev_start + i];
+                let b = table[prev_start + i + half];
+                table.push(if euler_depth[a as usize] <= euler_depth[b as usize] {
                     a
                 } else {
                     b
                 });
             }
-            table.push(row);
+            row_starts.push(table.len() as u32);
             k += 1;
         }
+        // The final length bounds every intermediate push, so one check
+        // guards all `as u32` casts above (the same u32-offset limit the
+        // other arena freezes assert).
+        assert!(
+            table.len() <= u32::MAX as usize,
+            "LCA sparse table exceeds u32 offsets"
+        );
 
         LcaStructure {
             euler,
             euler_depth,
             first,
             table,
+            row_starts,
         }
     }
 
@@ -100,8 +114,9 @@ impl LcaStructure {
         let (lo, hi) = (lo as usize, hi as usize);
         let len = hi - lo + 1;
         let k = (usize::BITS - 1 - len.leading_zeros()) as usize;
-        let a = self.table[k][lo];
-        let b = self.table[k][hi + 1 - (1 << k)];
+        let row = self.row_starts[k] as usize;
+        let a = self.table[row + lo];
+        let b = self.table[row + hi + 1 - (1 << k)];
         let idx = if self.euler_depth[a as usize] <= self.euler_depth[b as usize] {
             a
         } else {
@@ -117,12 +132,14 @@ impl LcaStructure {
         Some(candidate)
     }
 
-    /// Memory footprint in bytes (Table 3's "LCA Storage").
+    /// Memory footprint in bytes (Table 3's "LCA Storage"; O(1), all arenas
+    /// are flat).
     pub fn memory_bytes(&self) -> usize {
         self.euler.len() * 4
             + self.euler_depth.len() * 4
             + self.first.len() * 4
-            + self.table.iter().map(|r| r.len() * 4).sum::<usize>()
+            + self.table.len() * 4
+            + self.row_starts.len() * 4
     }
 }
 
@@ -148,7 +165,7 @@ mod tests {
             vec![],
             vec![],
         ];
-        LcaStructure::build(&children, &[0], 7)
+        LcaStructure::build(&FlatCsr::freeze(&children), &[0], 7)
     }
 
     #[test]
@@ -173,7 +190,7 @@ mod tests {
     fn forest_components_are_detected() {
         // Two separate edges: 0-1 and 2-3 (1 and 3 children).
         let children = vec![vec![1], vec![], vec![3], vec![]];
-        let l = LcaStructure::build(&children, &[0, 2], 4);
+        let l = LcaStructure::build(&FlatCsr::freeze(&children), &[0, 2], 4);
         assert_eq!(l.lca(0, 1), Some(0));
         assert_eq!(l.lca(2, 3), Some(2));
         // Different trees: the structure returns the minimum-depth vertex of
@@ -192,7 +209,36 @@ mod tests {
 
     #[test]
     fn single_vertex_tree() {
-        let l = LcaStructure::build(&[vec![]], &[0], 1);
+        let l = LcaStructure::build(&FlatCsr::freeze(&[vec![]]), &[0], 1);
         assert_eq!(l.lca(0, 0), Some(0));
+    }
+
+    #[test]
+    fn flat_table_matches_naive_rmq() {
+        // Deep-ish random tree: verify every pair against a naive scan of
+        // the Euler depth range.
+        let children = vec![
+            vec![1, 2],
+            vec![3, 4],
+            vec![5],
+            vec![6, 7],
+            vec![],
+            vec![8],
+            vec![],
+            vec![],
+            vec![9],
+            vec![],
+        ];
+        let l = LcaStructure::build(&FlatCsr::freeze(&children), &[0], 10);
+        for u in 0..10u32 {
+            for v in 0..10u32 {
+                let (fu, fv) = (l.first[u as usize], l.first[v as usize]);
+                let (lo, hi) = if fu <= fv { (fu, fv) } else { (fv, fu) };
+                let naive = (lo..=hi)
+                    .min_by_key(|&i| l.euler_depth[i as usize])
+                    .map(|i| l.euler[i as usize]);
+                assert_eq!(l.lca(u, v), naive, "pair ({u},{v})");
+            }
+        }
     }
 }

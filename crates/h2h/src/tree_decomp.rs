@@ -11,9 +11,13 @@ use std::collections::{BTreeMap, BinaryHeap};
 
 use serde::{Deserialize, Serialize};
 
-use hc2l_graph::{Distance, Graph, Vertex};
+use hc2l_graph::{Distance, FlatCsr, Graph, Vertex};
 
 /// A tree decomposition produced by minimum-degree elimination.
+///
+/// The retained structure is fully flat: bags and children lists are frozen
+/// into [`FlatCsr`] arenas at the end of the build, so the decomposition an
+/// index keeps around holds no nested vectors.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TreeDecomposition {
     /// Elimination position of each vertex (0 = eliminated first).
@@ -21,12 +25,12 @@ pub struct TreeDecomposition {
     /// For each vertex `v`, the other members of its bag `X(v) \ {v}` with
     /// their shortcut distances at elimination time. All of them are
     /// eliminated after `v`, hence are ancestors of `v` in the tree.
-    pub bag: Vec<Vec<(Vertex, Distance)>>,
+    bag: FlatCsr<(Vertex, Distance)>,
     /// Parent of each vertex's tree node (`None` for the root and for
     /// vertices in other connected components acting as roots).
     pub parent: Vec<Option<Vertex>>,
     /// Children lists (inverse of `parent`).
-    pub children: Vec<Vec<Vertex>>,
+    children: FlatCsr<Vertex>,
     /// Roots of the decomposition forest (one per connected component).
     pub roots: Vec<Vertex>,
     /// Depth of each vertex's node (root depth 0).
@@ -140,14 +144,33 @@ impl TreeDecomposition {
 
         TreeDecomposition {
             elim_order,
-            bag,
+            bag: FlatCsr::freeze(&bag),
             parent,
-            children,
+            children: FlatCsr::freeze(&children),
             roots,
             depth,
             height,
             max_bag_size,
         }
+    }
+
+    /// The bag `X(v) \ {v}` of vertex `v`: ancestor members with their
+    /// shortcut distances.
+    #[inline]
+    pub fn bag(&self, v: Vertex) -> &[(Vertex, Distance)] {
+        self.bag.row(v as usize)
+    }
+
+    /// The children of vertex `v`'s tree node.
+    #[inline]
+    pub fn children(&self, v: Vertex) -> &[Vertex] {
+        self.children.row(v as usize)
+    }
+
+    /// The frozen children arena (consumed by the LCA structure build).
+    #[inline]
+    pub fn children_csr(&self) -> &FlatCsr<Vertex> {
+        &self.children
     }
 
     /// Number of vertices.
@@ -178,7 +201,7 @@ mod tests {
         let g = paper_figure1();
         let td = TreeDecomposition::build(&g);
         for v in 0..16u32 {
-            for &(u, _) in &td.bag[v as usize] {
+            for &(u, _) in td.bag(v) {
                 assert!(
                     td.elim_order[u as usize] > td.elim_order[v as usize],
                     "bag member {u} of {v} was eliminated earlier"

@@ -21,7 +21,7 @@ use hc2l_cut::{add_shortcuts, balanced_cut, BalancedTreeHierarchy, CutConfig};
 use hc2l_graph::{Distance, Graph, InducedSubgraph, Vertex};
 
 use crate::config::Hc2lConfig;
-use crate::label::LabelSet;
+use crate::label::{LabelSet, LevelLabelsBuilder};
 use crate::node_build::label_node;
 use crate::parallel::join;
 
@@ -42,7 +42,9 @@ struct SubtreeBuild {
 /// Builds the hierarchy and labelling for (the core of) a graph.
 ///
 /// The graph must use contiguous vertex ids `0..n`; isolated vertices are
-/// allowed. Returns the hierarchy and the per-vertex labels.
+/// allowed. Returns the hierarchy and the per-vertex labels, already frozen
+/// into the flat query arena (construction scratch stays nested; the final
+/// `freeze()` is the only conversion).
 pub fn build_hierarchy_and_labels(
     g: &Graph,
     config: &Hc2lConfig,
@@ -53,9 +55,9 @@ pub fn build_hierarchy_and_labels(
     let root_build = build_subtree(g.clone(), map, config);
 
     let mut hierarchy = BalancedTreeHierarchy::new(n);
-    let mut labels = LabelSet::new(n);
+    let mut labels = LevelLabelsBuilder::new(n);
     merge_subtree(&root_build, hierarchy.root(), &mut hierarchy, &mut labels);
-    (hierarchy, labels)
+    (hierarchy, labels.freeze())
 }
 
 /// Depth-first merge of the intermediate tree into the flat data structures.
@@ -63,11 +65,11 @@ fn merge_subtree(
     build: &SubtreeBuild,
     node: u32,
     hierarchy: &mut BalancedTreeHierarchy,
-    labels: &mut LabelSet,
+    labels: &mut LevelLabelsBuilder,
 ) {
     hierarchy.assign_cut(node, build.cut.clone());
     for (v, array) in &build.arrays {
-        labels.label_mut(*v).push_level(array);
+        labels.push_level(*v, array);
     }
     for (side, child) in build.children.iter().enumerate() {
         if let Some(child) = child {
@@ -169,7 +171,7 @@ mod tests {
         assert!(h.is_complete());
         for v in 0..16u32 {
             // A vertex mapped to level L has exactly L + 1 per-level arrays.
-            assert_eq!(labels.label(v).num_levels() as u32, h.level_of(v) + 1);
+            assert_eq!(labels.num_levels(v) as u32, h.level_of(v) + 1);
         }
     }
 

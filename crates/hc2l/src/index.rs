@@ -6,8 +6,8 @@ use serde::{Deserialize, Serialize};
 
 use hc2l_cut::BalancedTreeHierarchy;
 use hc2l_graph::{
-    contract_degree_one, DegreeOneContraction, Distance, Graph, InducedSubgraph, QueryStats,
-    Vertex, INFINITY,
+    contract_degree_one, min_plus_scan, DegreeOneContraction, Distance, Graph, InducedSubgraph,
+    QueryStats, Vertex, INFINITY,
 };
 
 use crate::builder::build_hierarchy_and_labels;
@@ -138,44 +138,51 @@ impl Hc2lIndex {
         }
     }
 
-    /// Batched one-to-many query: distances from `s` to every vertex in
-    /// `targets`.
+    /// Batched one-to-many query into a caller-provided buffer: distances
+    /// from `s` to every vertex in `targets`.
     ///
     /// Amortises the per-query bookkeeping over the batch — the source's
     /// contraction root and label are resolved once instead of per target —
     /// which is the access pattern of the POI-search and dispatch workloads
     /// from the paper's introduction.
-    pub fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+    pub fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
+        out.clear();
         let Some(c) = &self.contraction else {
-            return targets.iter().map(|&t| self.query(s, t)).collect();
+            out.extend(targets.iter().map(|&t| self.query(s, t)));
+            return;
         };
         let (rs, ds) = c.root_of(s);
         let source_core = self.core_id[rs as usize];
-        targets
-            .iter()
-            .map(|&t| {
-                if s == t {
-                    return 0;
-                }
-                let (rt, dt) = c.root_of(t);
-                if rs == rt {
-                    return if c.is_contracted(s) && c.is_contracted(t) {
-                        c.same_tree_distance(s, t)
-                    } else {
-                        ds + dt
-                    };
-                }
-                let core_d = match (source_core, self.core_id[rt as usize]) {
-                    (Some(cs), Some(ct)) => self.query_core(cs, ct).0,
-                    _ => INFINITY,
-                };
-                if core_d >= INFINITY {
-                    INFINITY
+        out.extend(targets.iter().map(|&t| {
+            if s == t {
+                return 0;
+            }
+            let (rt, dt) = c.root_of(t);
+            if rs == rt {
+                return if c.is_contracted(s) && c.is_contracted(t) {
+                    c.same_tree_distance(s, t)
                 } else {
-                    ds + core_d + dt
-                }
-            })
-            .collect()
+                    ds + dt
+                };
+            }
+            let core_d = match (source_core, self.core_id[rt as usize]) {
+                (Some(cs), Some(ct)) => self.query_core(cs, ct).0,
+                _ => INFINITY,
+            };
+            if core_d >= INFINITY {
+                INFINITY
+            } else {
+                ds + core_d + dt
+            }
+        }));
+    }
+
+    /// Batched one-to-many query: allocating variant of
+    /// [`Hc2lIndex::one_to_many_into`].
+    pub fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+        let mut out = Vec::new();
+        self.one_to_many_into(s, targets, &mut out);
+        out
     }
 
     /// Query between two core vertices given by their *original* ids.
@@ -189,23 +196,20 @@ impl Hc2lIndex {
     }
 
     /// Query between two core vertices given by their *compact core* ids.
+    ///
+    /// One LCA bit-operation, two contiguous arena slices, one branch-free
+    /// min-reduction (`hc2l_graph::min_plus_scan`) — the hot path carries no
+    /// per-entry branch and no pointer chase.
     fn query_core(&self, cs: Vertex, ct: Vertex) -> (Distance, QueryStats) {
         if cs == ct {
             return (0, QueryStats::default());
         }
         let level = self.hierarchy.lca_level(cs, ct) as usize;
-        let a = self.labels.label(cs).level_array(level);
-        let b = self.labels.label(ct).level_array(level);
+        let a = self.labels.level_array(cs, level);
+        let b = self.labels.level_array(ct, level);
         let common = a.len().min(b.len());
-        let mut best = INFINITY;
-        for i in 0..common {
-            let d = a[i].saturating_add(b[i]);
-            if d < best {
-                best = d;
-            }
-        }
         (
-            best.min(INFINITY),
+            min_plus_scan(a, b),
             QueryStats::at_level(level as u32, common),
         )
     }

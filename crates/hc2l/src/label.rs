@@ -7,150 +7,50 @@
 //! ordering — which halves the memory footprint compared to `(hub, distance)`
 //! pair layouts.
 //!
-//! Internally each vertex's arrays are flattened into one contiguous buffer
-//! with per-level offsets, so a query touches exactly one contiguous slice.
+//! Since PR 2 the post-build representation is the shared flat arena from
+//! `hc2l_graph::flat_labels`: one global distance vector for the whole label
+//! set, a global table of per-level sub-offsets and one per-vertex index —
+//! no per-vertex heap allocations survive construction. The recursive
+//! builder fills a [`LevelLabelsBuilder`] scratch and `freeze()`s it once
+//! (see [`crate::builder::build_hierarchy_and_labels`]); a query then reads
+//! exactly one contiguous slice per endpoint and reduces it with the
+//! branch-free [`hc2l_graph::min_plus_scan`] kernel.
 
-use serde::{Deserialize, Serialize};
+pub use hc2l_graph::{FlatLevelLabels, LevelLabelsBuilder};
 
-use hc2l_graph::{Distance, Vertex};
-
-/// The label of a single vertex: its per-level distance arrays, flattened.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct VertexLabel {
-    /// Concatenated distance arrays, level 0 first.
-    dists: Vec<Distance>,
-    /// `offsets[k]..offsets[k+1]` is the slice of level `k`'s array;
-    /// `offsets.len()` is the number of levels plus one.
-    offsets: Vec<u32>,
-}
-
-impl VertexLabel {
-    /// Creates an empty label (no levels).
-    pub fn new() -> Self {
-        VertexLabel {
-            dists: Vec::new(),
-            offsets: vec![0],
-        }
-    }
-
-    /// Appends the distance array for the next level.
-    pub fn push_level(&mut self, array: &[Distance]) {
-        self.dists.extend_from_slice(array);
-        self.offsets.push(self.dists.len() as u32);
-    }
-
-    /// Number of levels stored (the vertex's node level plus one, once the
-    /// label is complete).
-    pub fn num_levels(&self) -> usize {
-        self.offsets.len() - 1
-    }
-
-    /// The distance array at `level`, or an empty slice when the level is out
-    /// of range.
-    #[inline]
-    pub fn level_array(&self, level: usize) -> &[Distance] {
-        if level + 1 >= self.offsets.len() {
-            return &[];
-        }
-        &self.dists[self.offsets[level] as usize..self.offsets[level + 1] as usize]
-    }
-
-    /// Total number of distance entries across all levels.
-    pub fn num_entries(&self) -> usize {
-        self.dists.len()
-    }
-
-    /// Approximate memory footprint in bytes.
-    pub fn memory_bytes(&self) -> usize {
-        self.dists.len() * std::mem::size_of::<Distance>()
-            + self.offsets.len() * std::mem::size_of::<u32>()
-    }
-}
-
-/// The labels of every vertex of the graph.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct LabelSet {
-    labels: Vec<VertexLabel>,
-}
-
-impl LabelSet {
-    /// Creates `n` empty labels.
-    pub fn new(n: usize) -> Self {
-        LabelSet {
-            labels: vec![VertexLabel::new(); n],
-        }
-    }
-
-    /// Number of vertices covered.
-    pub fn num_vertices(&self) -> usize {
-        self.labels.len()
-    }
-
-    /// Label of vertex `v`.
-    #[inline]
-    pub fn label(&self, v: Vertex) -> &VertexLabel {
-        &self.labels[v as usize]
-    }
-
-    /// Mutable label of vertex `v`.
-    pub fn label_mut(&mut self, v: Vertex) -> &mut VertexLabel {
-        &mut self.labels[v as usize]
-    }
-
-    /// Total number of distance entries across all labels.
-    pub fn total_entries(&self) -> usize {
-        self.labels.iter().map(|l| l.num_entries()).sum()
-    }
-
-    /// Mean number of entries per vertex label.
-    pub fn avg_entries(&self) -> f64 {
-        if self.labels.is_empty() {
-            0.0
-        } else {
-            self.total_entries() as f64 / self.labels.len() as f64
-        }
-    }
-
-    /// Total memory footprint of the labelling in bytes.
-    pub fn memory_bytes(&self) -> usize {
-        self.labels.iter().map(|l| l.memory_bytes()).sum()
-    }
-}
+/// The frozen labels of every vertex of the graph: the HC2L instantiation of
+/// the shared [`FlatLevelLabels`] arena.
+///
+/// All size totals (`total_entries`, `avg_entries`, `memory_bytes`) are O(1)
+/// reads of the arena lengths — they are fixed by the freeze step instead of
+/// being recomputed by iterating every vertex.
+pub type LabelSet = FlatLevelLabels;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn empty_label_has_no_levels() {
-        let l = VertexLabel::new();
-        assert_eq!(l.num_levels(), 0);
-        assert_eq!(l.num_entries(), 0);
-        assert!(l.level_array(0).is_empty());
-    }
-
-    #[test]
-    fn push_level_round_trips() {
-        let mut l = VertexLabel::new();
-        l.push_level(&[1, 2, 3]);
-        l.push_level(&[]);
-        l.push_level(&[9]);
-        assert_eq!(l.num_levels(), 3);
-        assert_eq!(l.level_array(0), &[1, 2, 3]);
-        assert_eq!(l.level_array(1), &[] as &[Distance]);
-        assert_eq!(l.level_array(2), &[9]);
-        assert!(l.level_array(3).is_empty());
-        assert_eq!(l.num_entries(), 4);
-    }
-
-    #[test]
-    fn label_set_accounting() {
-        let mut set = LabelSet::new(3);
-        set.label_mut(0).push_level(&[5, 6]);
-        set.label_mut(1).push_level(&[7]);
+    fn scratch_freezes_into_queryable_arena() {
+        let mut b = LevelLabelsBuilder::new(3);
+        b.push_level(0, &[5, 6]);
+        b.push_level(1, &[7]);
+        let set: LabelSet = b.freeze();
+        assert_eq!(set.num_vertices(), 3);
         assert_eq!(set.total_entries(), 3);
         assert!((set.avg_entries() - 1.0).abs() < 1e-12);
+        assert_eq!(set.level_array(0, 0), &[5, 6]);
+        assert_eq!(set.level_array(2, 0), &[] as &[u64]);
+        // 3 dists * 8 + (table entries + vertex index) * 4.
         assert!(set.memory_bytes() >= 3 * 8);
-        assert_eq!(set.label(2).num_levels(), 0);
+    }
+
+    #[test]
+    fn empty_set_accounts_zero_entries() {
+        let set = LabelSet::empty(4);
+        assert_eq!(set.num_vertices(), 4);
+        assert_eq!(set.total_entries(), 0);
+        assert_eq!(set.avg_entries(), 0.0);
+        assert_eq!(set.num_levels(3), 0);
     }
 }

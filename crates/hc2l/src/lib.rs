@@ -46,7 +46,7 @@ pub mod stats;
 
 pub use config::Hc2lConfig;
 pub use index::Hc2lIndex;
-pub use label::{LabelSet, VertexLabel};
+pub use label::{LabelSet, LevelLabelsBuilder};
 pub use stats::{ConstructionStats, IndexStats};
 
 /// Re-export of the workspace-wide per-query instrumentation record, which

@@ -6,18 +6,7 @@ use std::collections::BinaryHeap;
 use serde::{Deserialize, Serialize};
 
 use hc2l_ch::ContractionHierarchy;
-use hc2l_graph::{Distance, Graph, Vertex, INFINITY};
-
-/// One label entry: the hub is identified by its *order index* (0 = most
-/// important vertex), so label vectors sorted by hub id are automatically in
-/// descending importance and can be merged linearly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct HubEntry {
-    /// Position of the hub in the importance order (0 = most important).
-    pub hub: u32,
-    /// Distance from the labelled vertex to the hub.
-    pub dist: Distance,
-}
+use hc2l_graph::{Distance, FlatEntryLabels, Graph, Vertex, INFINITY};
 
 /// Size statistics of a hub labelling.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -31,10 +20,14 @@ pub struct HubLabelStats {
 }
 
 /// A hub-labelling index.
+///
+/// Queries run entirely on the frozen [`FlatEntryLabels`] arena: per-vertex
+/// hub-id and distance columns are contiguous, and the merge-join advances
+/// branch-free (`hc2l_graph::min_plus_merge`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HubLabelIndex {
-    /// Per-vertex labels, each sorted by hub order index.
-    labels: Vec<Vec<HubEntry>>,
+    /// Frozen per-vertex labels, each sorted by hub order index.
+    labels: FlatEntryLabels,
     /// `order_of[v]` — importance position of vertex `v` (0 = most important).
     order_of: Vec<u32>,
     /// Wall-clock seconds spent building (ordering + labelling).
@@ -71,7 +64,11 @@ impl HubLabelIndex {
             order_of[v as usize] = i as u32;
         }
 
-        let mut labels: Vec<Vec<HubEntry>> = vec![Vec::new(); n];
+        // Construction-time scratch: nested per-vertex entry lists. The
+        // pruning rule queries the partially built labels, so the nested
+        // shape is convenient here; it is frozen into the flat arena once,
+        // at the end.
+        let mut labels: Vec<Vec<(Vertex, Distance)>> = vec![Vec::new(); n];
         // Scratch buffers reused across the pruned Dijkstra runs.
         let mut dist = vec![INFINITY; n];
         let mut touched: Vec<Vertex> = Vec::new();
@@ -89,13 +86,10 @@ impl HubLabelIndex {
                 // Prune: if the existing labels already certify a distance no
                 // larger than d between hub and v, v (and everything behind
                 // it) is covered by more important hubs.
-                if query_labels(&labels[hub as usize], &labels[v as usize]) <= d {
+                if query_nested(&labels[hub as usize], &labels[v as usize]) <= d {
                     continue;
                 }
-                labels[v as usize].push(HubEntry {
-                    hub: hub_idx,
-                    dist: d,
-                });
+                labels[v as usize].push((hub_idx, d));
                 for e in g.neighbors(v) {
                     let nd = d + e.weight as Distance;
                     if nd < dist[e.to as usize] {
@@ -111,9 +105,10 @@ impl HubLabelIndex {
             touched.clear();
         }
 
-        // Labels were filled in increasing hub index, so they are sorted.
+        // Labels were filled in increasing hub index, so they are sorted;
+        // freeze them into the flat query arena.
         HubLabelIndex {
-            labels,
+            labels: FlatEntryLabels::freeze_pairs(&labels),
             order_of,
             construction_seconds: start.elapsed().as_secs_f64(),
         }
@@ -121,12 +116,30 @@ impl HubLabelIndex {
 
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
-        self.labels.len()
+        self.labels.num_vertices()
     }
 
-    /// The label of a vertex.
-    pub fn label(&self, v: Vertex) -> &[HubEntry] {
-        &self.labels[v as usize]
+    /// The frozen label arena.
+    pub fn labels(&self) -> &FlatEntryLabels {
+        &self.labels
+    }
+
+    /// Hub ids of vertex `v`'s label (sorted ascending).
+    #[inline]
+    pub fn label_hubs(&self, v: Vertex) -> &[Vertex] {
+        self.labels.hubs(v)
+    }
+
+    /// Distances of vertex `v`'s label, parallel to [`Self::label_hubs`].
+    #[inline]
+    pub fn label_dists(&self, v: Vertex) -> &[Distance] {
+        self.labels.dists(v)
+    }
+
+    /// Number of entries in vertex `v`'s label.
+    #[inline]
+    pub fn label_len(&self, v: Vertex) -> usize {
+        self.labels.len_of(v)
     }
 
     /// Importance position of a vertex (0 = most important).
@@ -134,32 +147,51 @@ impl HubLabelIndex {
         self.order_of[v as usize]
     }
 
-    /// Size statistics.
+    /// Size statistics (O(1): totals are fixed by the freeze step).
     pub fn stats(&self) -> HubLabelStats {
-        let total: usize = self.labels.iter().map(|l| l.len()).sum();
         HubLabelStats {
-            total_entries: total,
-            avg_label_size: if self.labels.is_empty() {
-                0.0
-            } else {
-                total as f64 / self.labels.len() as f64
-            },
-            memory_bytes: total * std::mem::size_of::<HubEntry>()
-                + self.labels.len() * std::mem::size_of::<Vec<HubEntry>>(),
+            total_entries: self.labels.total_entries(),
+            avg_label_size: self.labels.avg_entries(),
+            memory_bytes: self.labels.memory_bytes(),
         }
+    }
+
+    /// Serialises the frozen index with the shared little-endian codec (the
+    /// vendored serde stand-in is marker-only, see `vendor/README.md`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.labels.to_bytes();
+        hc2l_graph::flat_labels::write_pod_slice(&mut out, &self.order_of);
+        hc2l_graph::flat_labels::write_pod_slice(&mut out, &[self.construction_seconds.to_bits()]);
+        out
+    }
+
+    /// Reads an index back from [`HubLabelIndex::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let (labels, a) = FlatEntryLabels::from_bytes(bytes)?;
+        let (order_of, b) = hc2l_graph::flat_labels::read_pod_slice::<u32>(&bytes[a..])?;
+        let (secs, _) = hc2l_graph::flat_labels::read_pod_slice::<u64>(&bytes[a + b..])?;
+        if order_of.len() != labels.num_vertices() || secs.len() != 1 {
+            return None;
+        }
+        Some(HubLabelIndex {
+            labels,
+            order_of,
+            construction_seconds: f64::from_bits(secs[0]),
+        })
     }
 }
 
-/// Merge-join of two sorted labels (Equation 1 of the paper).
-pub(crate) fn query_labels(a: &[HubEntry], b: &[HubEntry]) -> Distance {
+/// Merge-join of two *construction-time* labels (Equation 1 of the paper),
+/// over the nested scratch representation.
+fn query_nested(a: &[(Vertex, Distance)], b: &[(Vertex, Distance)]) -> Distance {
     let mut best = INFINITY;
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
-        match a[i].hub.cmp(&b[j].hub) {
+        match a[i].0.cmp(&b[j].0) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                let d = a[i].dist + b[j].dist;
+                let d = a[i].1 + b[j].1;
                 if d < best {
                     best = d;
                 }
@@ -181,14 +213,16 @@ mod tests {
         let g = paper_figure1();
         let index = HubLabelIndex::build(&g);
         for v in 0..16u32 {
-            let label = index.label(v);
-            assert!(!label.is_empty());
-            for w in label.windows(2) {
-                assert!(w[0].hub < w[1].hub);
+            let hubs = index.label_hubs(v);
+            let dists = index.label_dists(v);
+            assert!(!hubs.is_empty());
+            assert_eq!(hubs.len(), dists.len());
+            for w in hubs.windows(2) {
+                assert!(w[0] < w[1]);
             }
             // Every vertex's label ends with itself at distance zero.
-            let own = label.iter().find(|e| e.hub == index.order_of(v));
-            assert_eq!(own.map(|e| e.dist), Some(0));
+            let own = hubs.iter().position(|&h| h == index.order_of(v));
+            assert_eq!(own.map(|i| dists[i]), Some(0));
         }
     }
 
@@ -225,14 +259,14 @@ mod tests {
             (6, 6),
         ];
         for (paper_id, size) in canonical_sizes {
-            let got = index.label(paper_id - 1).len();
+            let got = index.label_len(paper_id - 1);
             assert!(
                 got <= size && got >= 1,
                 "label of paper vertex {paper_id}: got {got}, canonical {size}"
             );
         }
         // The most important vertex has a trivial label; the bottom ones do not.
-        assert_eq!(index.label(13).len(), 1);
+        assert_eq!(index.label_len(13), 1);
         assert!(index.stats().total_entries >= 40);
     }
 
@@ -252,9 +286,25 @@ mod tests {
         let s = index.stats();
         assert_eq!(
             s.total_entries,
-            (0..16).map(|v| index.label(v).len()).sum::<usize>()
+            (0..16).map(|v| index.label_len(v)).sum::<usize>()
         );
         assert!(s.avg_label_size >= 1.0);
         assert!(s.memory_bytes > 0);
+    }
+
+    #[test]
+    fn byte_codec_round_trips_the_frozen_index() {
+        let g = paper_figure1();
+        let index = HubLabelIndex::build(&g);
+        let bytes = index.to_bytes();
+        let back = HubLabelIndex::from_bytes(&bytes).expect("codec must round-trip");
+        assert_eq!(back.labels(), index.labels());
+        for v in 0..16u32 {
+            assert_eq!(back.order_of(v), index.order_of(v));
+            for t in 0..16u32 {
+                assert_eq!(back.query(v, t), index.query(v, t));
+            }
+        }
+        assert!(HubLabelIndex::from_bytes(&bytes[..bytes.len() / 2]).is_none());
     }
 }

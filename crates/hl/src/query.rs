@@ -1,17 +1,23 @@
 //! Distance queries over hub labels (Equation 1 of the paper).
 
-use hc2l_graph::{Distance, QueryStats, Vertex};
+use hc2l_graph::{min_plus_merge, Distance, QueryStats, Vertex};
 
-use crate::build::{query_labels, HubLabelIndex};
+use crate::build::HubLabelIndex;
 
 impl HubLabelIndex {
-    /// Exact distance query.
+    /// Exact distance query: a branch-free merge-join over the two frozen
+    /// hub/distance column pairs.
     #[inline]
     pub fn query(&self, s: Vertex, t: Vertex) -> Distance {
         if s == t {
             return 0;
         }
-        query_labels(self.label(s), self.label(t))
+        min_plus_merge(
+            self.label_hubs(s),
+            self.label_dists(s),
+            self.label_hubs(t),
+            self.label_dists(t),
+        )
     }
 
     /// Exact distance query with scan statistics. Hub labellings always scan
@@ -22,25 +28,33 @@ impl HubLabelIndex {
         let scanned = if s == t {
             0
         } else {
-            self.label(s).len() + self.label(t).len()
+            self.label_len(s) + self.label_len(t)
         };
         (distance, QueryStats::scanned(scanned))
     }
 
-    /// Batched one-to-many query: distances from `s` to every vertex in
-    /// `targets`, resolving the source label once for the whole batch.
+    /// Batched one-to-many query into a caller-provided buffer: distances
+    /// from `s` to every vertex in `targets`, resolving the source label
+    /// slices once for the whole batch.
+    pub fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
+        let hubs_s = self.label_hubs(s);
+        let dists_s = self.label_dists(s);
+        out.clear();
+        out.extend(targets.iter().map(|&t| {
+            if s == t {
+                0
+            } else {
+                min_plus_merge(hubs_s, dists_s, self.label_hubs(t), self.label_dists(t))
+            }
+        }));
+    }
+
+    /// Batched one-to-many query: allocating variant of
+    /// [`HubLabelIndex::one_to_many_into`].
     pub fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
-        let label_s = self.label(s);
-        targets
-            .iter()
-            .map(|&t| {
-                if s == t {
-                    0
-                } else {
-                    query_labels(label_s, self.label(t))
-                }
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.one_to_many_into(s, targets, &mut out);
+        out
     }
 }
 
@@ -94,10 +108,7 @@ mod tests {
         let g = paper_figure1();
         let index = HubLabelIndex::build(&g);
         let (_, stats) = index.query_with_stats(2, 9);
-        assert_eq!(
-            stats.hubs_scanned,
-            index.label(2).len() + index.label(9).len()
-        );
+        assert_eq!(stats.hubs_scanned, index.label_len(2) + index.label_len(9));
         assert!(stats.hubs_scanned > 2);
         assert_eq!(stats.lca_level, None);
         assert_eq!(index.query_with_stats(4, 4).1.hubs_scanned, 0);
@@ -108,8 +119,11 @@ mod tests {
         let g = grid_graph(4, 5);
         let index = HubLabelIndex::build(&g);
         let targets: Vec<Vertex> = (0..20).collect();
+        let mut buf = Vec::new();
         for s in 0..20u32 {
             let batch = index.one_to_many(s, &targets);
+            index.one_to_many_into(s, &targets, &mut buf);
+            assert_eq!(batch, buf);
             for (t, &d) in targets.iter().zip(batch.iter()) {
                 assert_eq!(d, index.query(s, *t));
             }

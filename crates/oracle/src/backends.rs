@@ -35,6 +35,10 @@ impl DistanceOracle for Hc2lIndex {
         Hc2lIndex::one_to_many(self, s, targets)
     }
 
+    fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
+        Hc2lIndex::one_to_many_into(self, s, targets, out)
+    }
+
     fn label_bytes(&self) -> usize {
         self.stats().label_bytes
     }
@@ -107,6 +111,10 @@ impl DistanceOracle for H2hIndex {
         H2hIndex::one_to_many(self, s, targets)
     }
 
+    fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
+        H2hIndex::one_to_many_into(self, s, targets, out)
+    }
+
     fn label_bytes(&self) -> usize {
         self.stats().label_bytes
     }
@@ -149,6 +157,10 @@ impl DistanceOracle for HubLabelIndex {
         HubLabelIndex::one_to_many(self, s, targets)
     }
 
+    fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
+        HubLabelIndex::one_to_many_into(self, s, targets, out)
+    }
+
     fn label_bytes(&self) -> usize {
         self.stats().memory_bytes
     }
@@ -177,6 +189,10 @@ impl DistanceOracle for PhlIndex {
 
     fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
         PhlIndex::one_to_many(self, s, targets)
+    }
+
+    fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
+        PhlIndex::one_to_many_into(self, s, targets, out)
     }
 
     fn label_bytes(&self) -> usize {

@@ -90,6 +90,10 @@ impl DistanceOracle for Oracle {
         delegate!(self, inner => inner.one_to_many(s, targets))
     }
 
+    fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
+        delegate!(self, inner => inner.one_to_many_into(s, targets, out))
+    }
+
     fn index_bytes(&self) -> usize {
         delegate!(self, inner => inner.index_bytes())
     }

@@ -39,10 +39,25 @@ pub trait DistanceOracle: Send + Sync {
     /// `targets`, in order.
     ///
     /// Implementations amortise per-source work (label lookups, contraction
-    /// root resolution) over the batch; the default falls back to pointwise
-    /// [`DistanceOracle::distance`] calls.
+    /// root resolution) over the batch; the default allocates a fresh vector
+    /// and delegates to [`DistanceOracle::one_to_many_into`].
     fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
-        targets.iter().map(|&t| self.distance(s, t)).collect()
+        let mut out = Vec::new();
+        self.one_to_many_into(s, targets, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`DistanceOracle::one_to_many`]: clears
+    /// `out` and fills it with the distances from `s` to every vertex in
+    /// `targets`, in order.
+    ///
+    /// Batch callers (benchmark loops, POI/dispatch services) call this in a
+    /// loop with one long-lived buffer so steady-state batched querying does
+    /// no per-batch allocation. The default falls back to pointwise
+    /// [`DistanceOracle::distance`] calls.
+    fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
+        out.clear();
+        out.extend(targets.iter().map(|&t| self.distance(s, t)));
     }
 
     /// Total index footprint in bytes (labels plus auxiliary structures).

@@ -5,7 +5,7 @@ use hc2l_graph::{Distance, QueryStats, Vertex};
 use crate::build::{query_labels, PhlIndex};
 
 impl PhlIndex {
-    /// Exact distance query.
+    /// Exact distance query over the frozen packed-entry arena.
     #[inline]
     pub fn query(&self, s: Vertex, t: Vertex) -> Distance {
         if s == t {
@@ -22,25 +22,32 @@ impl PhlIndex {
         let scanned = if s == t {
             0
         } else {
-            self.label(s).len() + self.label(t).len()
+            self.label_len(s) + self.label_len(t)
         };
         (distance, QueryStats::scanned(scanned))
     }
 
-    /// Batched one-to-many query: distances from `s` to every vertex in
-    /// `targets`, resolving the source label once for the whole batch.
-    pub fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+    /// Batched one-to-many query into a caller-provided buffer: distances
+    /// from `s` to every vertex in `targets`, resolving the source label
+    /// slices once for the whole batch.
+    pub fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
         let label_s = self.label(s);
-        targets
-            .iter()
-            .map(|&t| {
-                if s == t {
-                    0
-                } else {
-                    query_labels(label_s, self.label(t))
-                }
-            })
-            .collect()
+        out.clear();
+        out.extend(targets.iter().map(|&t| {
+            if s == t {
+                0
+            } else {
+                query_labels(label_s, self.label(t))
+            }
+        }));
+    }
+
+    /// Batched one-to-many query: allocating variant of
+    /// [`PhlIndex::one_to_many_into`].
+    pub fn one_to_many(&self, s: Vertex, targets: &[Vertex]) -> Vec<Distance> {
+        let mut out = Vec::new();
+        self.one_to_many_into(s, targets, &mut out);
+        out
     }
 }
 
@@ -100,10 +107,7 @@ mod tests {
         let g = paper_figure1();
         let index = PhlIndex::build(&g);
         let (_, stats) = index.query_with_stats(2, 9);
-        assert_eq!(
-            stats.hubs_scanned,
-            index.label(2).len() + index.label(9).len()
-        );
+        assert_eq!(stats.hubs_scanned, index.label_len(2) + index.label_len(9));
         assert_eq!(index.query_with_stats(3, 3).1.hubs_scanned, 0);
     }
 
@@ -112,11 +116,24 @@ mod tests {
         let g = grid_graph(4, 4);
         let index = PhlIndex::build(&g);
         let targets: Vec<Vertex> = (0..16).collect();
+        let mut buf = Vec::new();
         for s in 0..16u32 {
             let batch = index.one_to_many(s, &targets);
+            index.one_to_many_into(s, &targets, &mut buf);
+            assert_eq!(batch, buf);
             for (t, &d) in targets.iter().zip(batch.iter()) {
                 assert_eq!(d, index.query(s, *t));
             }
         }
+    }
+
+    #[test]
+    fn byte_codec_round_trips_the_frozen_arena() {
+        let g = grid_graph(4, 4);
+        let index = PhlIndex::build(&g);
+        let bytes = index.labels_to_bytes();
+        let back = PhlIndex::labels_from_bytes(&bytes).expect("codec must round-trip");
+        assert_eq!(&back, index.labels());
+        assert!(PhlIndex::labels_from_bytes(&bytes[..bytes.len() - 2]).is_none());
     }
 }

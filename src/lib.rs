@@ -34,11 +34,26 @@
 //! }
 //! ```
 //!
+//! # Storage: frozen flat label arenas
+//!
+//! Every labelling backend answers queries from a *frozen flat arena*
+//! (`hc2l_graph::flat_labels`) rather than nested per-vertex vectors.
+//! Construction builds whatever nested scratch it likes, then a one-shot
+//! `freeze()` converts it into one global distance arena with per-vertex CSR
+//! offsets (plus per-level sub-offsets for HC2L, whose hub identities stay
+//! implicit in the cut ordering — position `i` of a level's array refers to
+//! the `i`-th ranked cut vertex, so only 8 bytes per entry are stored). A
+//! query therefore touches one or two contiguous slices and reduces them
+//! with branch-free chunked min-kernels (`min_plus_scan`,
+//! `min_plus_merge`); all size totals are O(1) reads fixed at freeze time,
+//! and the arenas round-trip through a little-endian byte codec
+//! (`to_bytes`/`from_bytes`) for persistence.
+//!
 //! # Crate map
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`hc2l_graph`] | graph substrate, Dijkstra baselines, shared [`QueryStats`] |
+//! | [`hc2l_graph`] | graph substrate, Dijkstra baselines, flat label arenas, shared [`QueryStats`] |
 //! | [`hc2l_cut`] | balanced vertex cuts + the balanced tree hierarchy (Section 4.1) |
 //! | [`hc2l`] | the HC2L index (Sections 4.2–4.4) |
 //! | [`hc2l_ch`] / [`hc2l_h2h`] / [`hc2l_hl`] / [`hc2l_phl`] | the baselines |
