@@ -8,6 +8,8 @@
 //!   --all                                          everything (default)
 //!   --json-out FILE                                machine-readable bench (see `json` module)
 //!   --smoke                                        small/fast workloads for --json-out (CI)
+//!   --save-index DIR                               keep the saved index containers in DIR
+//!   --load-index DIR                               serve-only: load indexes from DIR, skip builds
 //!   --scale tiny|small|medium                      dataset scale (default: small)
 //!   --datasets N                                   how many suite datasets (default: 4)
 //!   --queries N                                    queries per dataset (default: 2000)
@@ -16,14 +18,21 @@
 //!
 //! `--json-out` runs the seeded reference workloads (64x64 grid + synthetic
 //! city), verifies every backend against Dijkstra, and writes per-method
-//! query ns/op, build seconds and index bytes as JSON; it exits non-zero on
-//! any divergence, which is what the CI smoke-bench step relies on.
+//! query ns/op, build seconds, load seconds and (exact on-disk) index bytes
+//! as JSON; it exits non-zero on any divergence, which is what the CI
+//! smoke-bench step relies on. Every run exercises the index-container
+//! save→load round trip (into a scratch directory next to the JSON file
+//! unless `--save-index` names one); `--load-index DIR` instead *serves*
+//! prebuilt indexes from DIR without constructing anything — the
+//! build-once/load-many deployment path.
 //!
 //! Output goes to stdout; redirect it into `EXPERIMENTS.md` fences to refresh
 //! the recorded results.
 
 use hc2l_bench::figures::{figure6, figure7};
-use hc2l_bench::json::{render_json, run_json_bench, smoke_workloads, standard_workloads};
+use hc2l_bench::json::{
+    render_json, run_json_bench, smoke_workloads, standard_workloads, IndexPersistence,
+};
 use hc2l_bench::tables::{
     ablation_tail_pruning, run_comparison, table1, table2, table3, table5, SuiteOptions,
 };
@@ -41,6 +50,8 @@ struct Args {
     ablation: bool,
     json_out: Option<String>,
     smoke: bool,
+    save_index: Option<String>,
+    load_index: Option<String>,
     opts: SuiteOptions,
 }
 
@@ -56,6 +67,8 @@ fn parse_args() -> Args {
         ablation: false,
         json_out: None,
         smoke: false,
+        save_index: None,
+        load_index: None,
         opts: SuiteOptions::default(),
     };
     let mut any = false;
@@ -114,6 +127,12 @@ fn parse_args() -> Args {
             "--smoke" => {
                 args.smoke = true;
             }
+            "--save-index" => {
+                args.save_index = Some(read_value(&mut i));
+            }
+            "--load-index" => {
+                args.load_index = Some(read_value(&mut i));
+            }
             "--scale" => {
                 let v = read_value(&mut i);
                 args.opts.scale = match v.as_str() {
@@ -163,8 +182,17 @@ fn main() {
     let args = parse_args();
     let opts = args.opts;
 
-    if args.smoke && args.json_out.is_none() {
-        eprintln!("--smoke only applies to the JSON bench; pass --json-out FILE as well");
+    if (args.smoke || args.save_index.is_some() || args.load_index.is_some())
+        && args.json_out.is_none()
+    {
+        eprintln!(
+            "--smoke / --save-index / --load-index only apply to the JSON bench; \
+             pass --json-out FILE as well"
+        );
+        std::process::exit(2);
+    }
+    if args.save_index.is_some() && args.load_index.is_some() {
+        eprintln!("--save-index and --load-index are mutually exclusive");
         std::process::exit(2);
     }
 
@@ -174,7 +202,21 @@ fn main() {
         } else {
             standard_workloads(opts.queries)
         };
-        match run_json_bench(&workloads, opts.threads) {
+        let persist = if let Some(dir) = &args.load_index {
+            IndexPersistence::LoadOnly { dir: dir.into() }
+        } else if let Some(dir) = &args.save_index {
+            IndexPersistence::RoundTrip {
+                dir: dir.into(),
+                keep: true,
+            }
+        } else {
+            // Scratch round trip next to the JSON file, removed afterwards.
+            IndexPersistence::RoundTrip {
+                dir: format!("{path}.indexes").into(),
+                keep: false,
+            }
+        };
+        match run_json_bench(&workloads, opts.threads, &persist) {
             Ok(rows) => {
                 let json = render_json(&rows);
                 std::fs::write(path, &json).unwrap_or_else(|e| {

@@ -2,9 +2,19 @@
 //!
 //! Runs every labelling backend (plus CH) on a fixed set of *seeded*
 //! synthetic workloads and emits one JSON document with per-method query
-//! ns/op, build seconds and index bytes, so the perf trajectory of the
-//! repository can be tracked file-over-file across PRs (`BENCH_PR2.json` is
-//! the first committed point).
+//! ns/op, build seconds, **load seconds** and index bytes, so the perf
+//! trajectory of the repository can be tracked file-over-file across PRs
+//! (`BENCH_PR2.json` is the first committed point, `BENCH_PR3.json` adds the
+//! persistence column).
+//!
+//! Since the persistence PR the runner also exercises the index-container
+//! round trip: each built index is saved to disk, reloaded (timed — this is
+//! the "build once / load many" number a serve-only deployment cares
+//! about), checked for agreement with the built index on the whole query
+//! workload, and the *loaded* index is what the query timings run on — so a
+//! format regression that changed any answer, byte size or query latency is
+//! caught here. `--load-index DIR` skips construction entirely and serves
+//! from previously saved files.
 //!
 //! The runner doubles as a correctness smoke test: every method's answers
 //! are checked against Dijkstra on the full query workload, and any mismatch
@@ -12,6 +22,7 @@
 //! for exactly this reason.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use hc2l_graph::{dijkstra, Distance, Graph, GraphBuilder, Vertex};
@@ -20,7 +31,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::measure::{measure_build, measure_one_to_many};
-use crate::oracle::{DistanceOracle, Method};
+use crate::oracle::{DistanceOracle, Method, Oracle};
 
 /// One benchmark workload: a seeded graph plus a seeded query set.
 pub struct JsonWorkload {
@@ -32,6 +43,37 @@ pub struct JsonWorkload {
     pub pairs: Vec<QueryPair>,
     /// How many timed repetitions of the pair set to run.
     pub reps: usize,
+}
+
+/// How the JSON bench exercises index persistence.
+pub enum IndexPersistence {
+    /// Build, save into `dir`, reload (timed), verify the loaded index
+    /// agrees with the built one on the whole workload, and time queries on
+    /// the loaded index. With `keep: false` the files are removed at the
+    /// end (`repro --save-index DIR` sets `keep: true`).
+    RoundTrip {
+        /// Directory the container files are written to (created if absent).
+        dir: PathBuf,
+        /// Whether to leave the files on disk after the run.
+        keep: bool,
+    },
+    /// Serve-only mode (`repro --load-index DIR`): load each method's index
+    /// from a previous `--save-index` run instead of building.
+    /// `build_seconds` is reported as 0.
+    LoadOnly {
+        /// Directory holding the previously saved container files.
+        dir: PathBuf,
+    },
+}
+
+impl IndexPersistence {
+    /// The container file a given workload + method pair maps to.
+    pub fn index_path(dir: &Path, workload: &str, method: Method) -> PathBuf {
+        dir.join(format!(
+            "{workload}-{}.hc2l",
+            method.name().to_ascii_lowercase()
+        ))
+    }
 }
 
 /// A `rows x cols` grid with seeded random weights in `1..=20` — the
@@ -96,23 +138,56 @@ pub struct JsonRow {
     pub num_vertices: usize,
     /// Edges of the workload graph.
     pub num_edges: usize,
-    /// Wall-clock build seconds.
+    /// Wall-clock build seconds (0 in `--load-index` mode).
     pub build_seconds: f64,
+    /// Wall-clock seconds to load the saved index container back from disk
+    /// — the serve-restart cost that replaces `build_seconds` in a
+    /// build-once/load-many deployment.
+    pub load_seconds: f64,
     /// Mean point-to-point query latency in nanoseconds.
     pub query_ns_per_op: f64,
     /// Mean amortised one-to-many latency per target in nanoseconds.
     pub one_to_many_ns_per_target: f64,
-    /// Total index footprint in bytes.
+    /// Total index footprint in bytes (the exact container-file size).
     pub index_bytes: usize,
     /// Number of distinct point-to-point queries timed per repetition.
     pub num_queries: usize,
 }
 
-/// Runs every method on every workload, verifying exactness against Dijkstra.
+/// Runs every method on every workload, verifying exactness against Dijkstra
+/// and exercising the save/load round trip per [`IndexPersistence`].
 ///
 /// Returns the measurement rows, or an error message describing the first
-/// divergence found.
-pub fn run_json_bench(workloads: &[JsonWorkload], threads: usize) -> Result<Vec<JsonRow>, String> {
+/// divergence (or persistence failure) found.
+pub fn run_json_bench(
+    workloads: &[JsonWorkload],
+    threads: usize,
+    persist: &IndexPersistence,
+) -> Result<Vec<JsonRow>, String> {
+    let dir = match persist {
+        IndexPersistence::RoundTrip { dir, .. } | IndexPersistence::LoadOnly { dir } => dir,
+    };
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let mut written: Vec<PathBuf> = Vec::new();
+    let result = run_persisted(workloads, threads, persist, dir, &mut written);
+    // Scratch files are removed whether the run succeeded or aborted on a
+    // divergence — a failing gate must not leak container files.
+    if let IndexPersistence::RoundTrip { keep: false, .. } = persist {
+        for path in &written {
+            let _ = std::fs::remove_file(path);
+        }
+        let _ = std::fs::remove_dir(dir);
+    }
+    result
+}
+
+fn run_persisted(
+    workloads: &[JsonWorkload],
+    threads: usize,
+    persist: &IndexPersistence,
+    dir: &Path,
+    written: &mut Vec<PathBuf>,
+) -> Result<Vec<JsonRow>, String> {
     let mut rows = Vec::new();
     for w in workloads {
         // Reference answers, one Dijkstra per distinct source.
@@ -132,8 +207,58 @@ pub fn run_json_bench(workloads: &[JsonWorkload], threads: usize) -> Result<Vec<
             } else {
                 threads
             };
-            let build = measure_build(method, &w.graph, threads);
-            let oracle = &build.oracle;
+            let path = IndexPersistence::index_path(dir, &w.name, method);
+
+            // Obtain the oracle: build + save + reload, or load only.
+            let (oracle, build_seconds, load_seconds) = match persist {
+                IndexPersistence::RoundTrip { .. } => {
+                    let build = measure_build(method, &w.graph, threads);
+                    build
+                        .oracle
+                        .save(&path)
+                        .map_err(|e| format!("saving {} failed: {e}", path.display()))?;
+                    written.push(path.clone());
+                    let start = Instant::now();
+                    let loaded = Oracle::load(&path)
+                        .map_err(|e| format!("loading {} failed: {e}", path.display()))?;
+                    let load_seconds = start.elapsed().as_secs_f64();
+                    // The container round trip must be lossless: diff the
+                    // loaded index against the built one on the whole
+                    // workload, and the reported size against the file.
+                    for p in &w.pairs {
+                        let (a, b) = (
+                            build.oracle.distance(p.source, p.target),
+                            loaded.distance(p.source, p.target),
+                        );
+                        if a != b {
+                            return Err(format!(
+                                "{} on {}: loaded index answers ({}, {}) with {} but the built index says {}",
+                                loaded.name(), w.name, p.source, p.target, b, a
+                            ));
+                        }
+                    }
+                    let file_len = std::fs::metadata(&path)
+                        .map(|m| m.len() as usize)
+                        .unwrap_or(0);
+                    if file_len != loaded.index_bytes() {
+                        return Err(format!(
+                            "{} on {}: index_bytes reports {} but {} is {} bytes",
+                            loaded.name(),
+                            w.name,
+                            loaded.index_bytes(),
+                            path.display(),
+                            file_len
+                        ));
+                    }
+                    (loaded, build.build_seconds, load_seconds)
+                }
+                IndexPersistence::LoadOnly { .. } => {
+                    let start = Instant::now();
+                    let loaded = Oracle::load(&path)
+                        .map_err(|e| format!("loading {} failed: {e}", path.display()))?;
+                    (loaded, 0.0, start.elapsed().as_secs_f64())
+                }
+            };
 
             // Exactness gate: the whole pair set must match Dijkstra.
             for p in &w.pairs {
@@ -171,14 +296,15 @@ pub fn run_json_bench(workloads: &[JsonWorkload], threads: usize) -> Result<Vec<
             // the buffer-reusing measurement helper.
             let targets: Vec<Vertex> = w.pairs.iter().map(|p| p.target).collect();
             let sources: Vec<Vertex> = w.pairs.iter().take(16).map(|p| p.source).collect();
-            let otm_ns = measure_one_to_many(oracle, &sources, &targets, w.reps);
+            let otm_ns = measure_one_to_many(&oracle, &sources, &targets, w.reps);
 
             rows.push(JsonRow {
                 workload: w.name.clone(),
                 method: oracle.name(),
                 num_vertices: w.graph.num_vertices(),
                 num_edges: w.graph.num_edges(),
-                build_seconds: build.build_seconds,
+                build_seconds,
+                load_seconds,
                 query_ns_per_op: query_ns,
                 one_to_many_ns_per_target: otm_ns,
                 index_bytes: oracle.index_bytes(),
@@ -200,7 +326,8 @@ pub fn render_json(rows: &[JsonRow]) -> String {
             concat!(
                 "    {{\"workload\": \"{}\", \"method\": \"{}\", ",
                 "\"num_vertices\": {}, \"num_edges\": {}, ",
-                "\"build_seconds\": {:.6}, \"query_ns_per_op\": {:.1}, ",
+                "\"build_seconds\": {:.6}, \"load_seconds\": {:.6}, ",
+                "\"query_ns_per_op\": {:.1}, ",
                 "\"one_to_many_ns_per_target\": {:.1}, ",
                 "\"index_bytes\": {}, \"num_queries\": {}}}{}\n"
             ),
@@ -209,6 +336,7 @@ pub fn render_json(rows: &[JsonRow]) -> String {
             r.num_vertices,
             r.num_edges,
             r.build_seconds,
+            r.load_seconds,
             r.query_ns_per_op,
             r.one_to_many_ns_per_target,
             r.index_bytes,
@@ -224,19 +352,61 @@ pub fn render_json(rows: &[JsonRow]) -> String {
 mod tests {
     use super::*;
 
+    fn scratch_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("hc2l-json-bench-{tag}-{}", std::process::id()))
+    }
+
     #[test]
-    fn smoke_bench_runs_and_renders() {
+    fn smoke_bench_round_trips_and_renders() {
         let workloads = smoke_workloads(50);
-        let rows = run_json_bench(&workloads, 1).expect("smoke bench must be exact");
+        let persist = IndexPersistence::RoundTrip {
+            dir: scratch_dir("roundtrip"),
+            keep: false,
+        };
+        let rows = run_json_bench(&workloads, 1, &persist).expect("smoke bench must be exact");
         assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.load_seconds > 0.0, "{} missing load time", r.method);
+            assert!(r.index_bytes > 0);
+        }
         let json = render_json(&rows);
         assert!(json.contains("\"grid-16x16\""));
         assert!(json.contains("\"query_ns_per_op\""));
+        assert!(json.contains("\"load_seconds\""));
         assert!(json.ends_with("}\n"));
         // Every method appears, including HC2Lp on single-core hosts.
         for name in ["HC2L", "HC2Lp", "H2H", "PHL", "HL", "CH"] {
             assert!(json.contains(&format!("\"{name}\"")), "{name} missing");
         }
+    }
+
+    #[test]
+    fn save_then_load_only_serves_identically() {
+        let workloads = smoke_workloads(30);
+        let dir = scratch_dir("loadonly");
+        let saved = run_json_bench(
+            &workloads,
+            1,
+            &IndexPersistence::RoundTrip {
+                dir: dir.clone(),
+                keep: true,
+            },
+        )
+        .expect("save run must succeed");
+        // Serve-only: no construction, same exactness gate.
+        let loaded = run_json_bench(
+            &workloads,
+            1,
+            &IndexPersistence::LoadOnly { dir: dir.clone() },
+        )
+        .expect("load-only run must succeed");
+        assert_eq!(saved.len(), loaded.len());
+        for (s, l) in saved.iter().zip(loaded.iter()) {
+            assert_eq!(s.method, l.method);
+            assert_eq!(s.index_bytes, l.index_bytes);
+            assert_eq!(l.build_seconds, 0.0);
+        }
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

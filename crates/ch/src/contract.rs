@@ -1,11 +1,20 @@
 //! Contraction and hierarchy construction.
+//!
+//! Construction works on a mutable [`DynamicGraph`] scratch; the queryable
+//! state — the upward adjacency plus the vertex ranks — is frozen into the
+//! flat [`FrozenCh`] view at the end, which is also exactly what the index
+//! container persists (see [`PersistentIndex`]).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 
-use hc2l_graph::{Distance, Graph, Vertex, INFINITY};
+use hc2l_graph::container::{
+    method_tag, Container, ContainerWriter, DecodeError, MetaReader, MetaWriter, PersistentIndex,
+};
+use hc2l_graph::flat_labels::{Borrowed, Owned, Store};
+use hc2l_graph::{Distance, FlatEntryLabels, Graph, Vertex, INFINITY};
 
 use crate::order::NodeOrdering;
 
@@ -19,14 +28,157 @@ pub struct UpwardEdge {
     pub weight: Distance,
 }
 
+/// The frozen, queryable state of a contraction hierarchy: the upward
+/// adjacency as a [`FlatEntryLabels`] arena (target column, weight column,
+/// per-vertex CSR offsets).
+///
+/// Generic over the [`Store`]: the owned instantiation is what
+/// [`ContractionHierarchy::build`] produces; the borrowed one
+/// ([`FrozenChRef`]) views the sections of a loaded index container without
+/// copying, and the bidirectional upward search runs on either unchanged.
+pub struct FrozenCh<S: Store = Owned> {
+    upward: FlatEntryLabels<S>,
+}
+
+/// A [`FrozenCh`] borrowing its arenas from a loaded container.
+pub type FrozenChRef<'a> = FrozenCh<Borrowed<'a>>;
+
+/// Container section tags of the CH backend.
+mod sec {
+    /// Scalar metadata ([`MetaWriter`] blob).
+    pub const META: u32 = 0;
+    /// Upward-edge target column (`u32`).
+    pub const UP_TARGETS: u32 = 1;
+    /// Upward-edge weight column (`u64`).
+    pub const UP_WEIGHTS: u32 = 2;
+    /// Per-vertex CSR offsets into the columns (`u32`).
+    pub const UP_OFFSETS: u32 = 3;
+    /// Contraction rank of each vertex (`u32`).
+    pub const RANK: u32 = 4;
+}
+
+impl<S: Store> FrozenCh<S> {
+    /// Wraps a frozen upward arena.
+    pub fn new(upward: FlatEntryLabels<S>) -> Self {
+        FrozenCh { upward }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.upward.num_vertices()
+    }
+
+    /// Targets of vertex `v`'s upward edges (sorted ascending).
+    #[inline]
+    pub fn upward_targets(&self, v: Vertex) -> &[Vertex] {
+        self.upward.hubs(v)
+    }
+
+    /// Weights of vertex `v`'s upward edges, parallel to
+    /// [`FrozenCh::upward_targets`].
+    #[inline]
+    pub fn upward_weights(&self, v: Vertex) -> &[Distance] {
+        self.upward.dists(v)
+    }
+
+    /// Number of upward edges of vertex `v`.
+    #[inline]
+    pub fn upward_degree(&self, v: Vertex) -> usize {
+        self.upward.len_of(v)
+    }
+
+    /// Vertex `v`'s upward edges as [`UpwardEdge`] values.
+    pub fn upward_edges(&self, v: Vertex) -> impl Iterator<Item = UpwardEdge> + '_ {
+        self.upward_targets(v)
+            .iter()
+            .zip(self.upward_weights(v))
+            .map(|(&to, &weight)| UpwardEdge { to, weight })
+    }
+
+    /// Total number of upward edges (original + shortcuts).
+    #[inline]
+    pub fn num_upward_edges(&self) -> usize {
+        self.upward.total_entries()
+    }
+
+    /// In-memory footprint of the upward arena in bytes.
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.upward.memory_bytes()
+    }
+
+    /// The underlying arena.
+    pub fn arena(&self) -> &FlatEntryLabels<S> {
+        &self.upward
+    }
+}
+
+impl<'a> FrozenCh<Borrowed<'a>> {
+    /// Zero-copy view of the upward graph stored in a loaded container
+    /// (little-endian hosts; see `Container::section_pods`).
+    pub fn from_container(c: &'a Container) -> Result<Self, DecodeError> {
+        let targets = c.section_pods::<u32>(sec::UP_TARGETS)?;
+        let weights = c.section_pods::<u64>(sec::UP_WEIGHTS)?;
+        let offsets = c.section_pods::<u32>(sec::UP_OFFSETS)?;
+        let frozen = FrozenCh::new(FlatEntryLabels::from_parts(targets, weights, offsets)?);
+        validate_upward(&frozen, c.section_pods::<u32>(sec::RANK)?)?;
+        Ok(frozen)
+    }
+}
+
+/// Validates the upward-graph invariants the bidirectional search relies on
+/// (per-vertex targets strictly sorted, every edge pointing to a strictly
+/// higher rank) so that a crafted container fails with a typed error
+/// instead of silently returning non-shortest distances.
+fn validate_upward<S: Store>(frozen: &FrozenCh<S>, rank: &[u32]) -> Result<(), DecodeError> {
+    if rank.len() != frozen.num_vertices() {
+        return Err(DecodeError::Malformed(
+            "rank array does not cover every vertex",
+        ));
+    }
+    for v in 0..frozen.num_vertices() as Vertex {
+        let targets = frozen.upward_targets(v);
+        if targets.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(DecodeError::Malformed("upward targets not strictly sorted"));
+        }
+        for &t in targets {
+            if t as usize >= rank.len() || rank[t as usize] <= rank[v as usize] {
+                return Err(DecodeError::Malformed(
+                    "upward edge does not point to a higher rank",
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl<S: Store> std::fmt::Debug for FrozenCh<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrozenCh")
+            .field("upward", &self.upward)
+            .finish()
+    }
+}
+
+impl<S: Store> Clone for FrozenCh<S>
+where
+    FlatEntryLabels<S>: Clone,
+{
+    fn clone(&self) -> Self {
+        FrozenCh {
+            upward: self.upward.clone(),
+        }
+    }
+}
+
 /// A built contraction hierarchy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ContractionHierarchy {
     /// The contraction order.
     pub ordering: NodeOrdering,
-    /// Upward adjacency: for each vertex, its edges towards higher-ranked
-    /// vertices (original edges and shortcuts).
-    pub upward: Vec<Vec<UpwardEdge>>,
+    /// The frozen upward graph queries run on.
+    frozen: FrozenCh,
     /// Number of shortcut edges inserted during contraction.
     pub num_shortcuts: usize,
     /// Wall-clock construction time in seconds.
@@ -210,12 +362,12 @@ impl ContractionHierarchy {
         // final dynamic graph, keep the direction towards the higher rank.
         // `dyn_graph.adj` accumulated all shortcuts that were ever added.
         let ordering = NodeOrdering::from_ranks(rank);
-        let mut upward: Vec<Vec<UpwardEdge>> = vec![Vec::new(); n];
+        let mut upward: Vec<Vec<(Vertex, Distance)>> = vec![Vec::new(); n];
         let mut num_shortcuts = 0usize;
         for v in 0..n as Vertex {
             for &(u, w) in &dyn_graph.adj[v as usize] {
                 if ordering.is_higher(u, v) {
-                    upward[v as usize].push(UpwardEdge { to: u, weight: w });
+                    upward[v as usize].push((u, w));
                     if g.edge_weight(v, u).map(|ow| ow as Distance) != Some(w) {
                         num_shortcuts += 1;
                     }
@@ -223,12 +375,12 @@ impl ContractionHierarchy {
             }
         }
         for list in &mut upward {
-            list.sort_by_key(|e| e.to);
+            list.sort_by_key(|e| e.0);
             list.dedup_by(|a, b| {
-                if a.to == b.to {
+                if a.0 == b.0 {
                     // Keep the smaller weight (dedup removes `a` when true, so
                     // fold it into `b` first).
-                    b.weight = b.weight.min(a.weight);
+                    b.1 = b.1.min(a.1);
                     true
                 } else {
                     false
@@ -238,27 +390,99 @@ impl ContractionHierarchy {
 
         ContractionHierarchy {
             ordering,
-            upward,
+            frozen: FrozenCh::new(FlatEntryLabels::freeze_pairs(&upward)),
             num_shortcuts,
             construction_seconds: start.elapsed().as_secs_f64(),
         }
     }
 
+    /// The frozen upward graph.
+    pub fn frozen(&self) -> &FrozenCh {
+        &self.frozen
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
-        self.upward.len()
+        self.frozen.num_vertices()
+    }
+
+    /// Targets of vertex `v`'s upward edges (sorted ascending).
+    #[inline]
+    pub fn upward_targets(&self, v: Vertex) -> &[Vertex] {
+        self.frozen.upward_targets(v)
+    }
+
+    /// Weights of vertex `v`'s upward edges.
+    #[inline]
+    pub fn upward_weights(&self, v: Vertex) -> &[Distance] {
+        self.frozen.upward_weights(v)
+    }
+
+    /// Vertex `v`'s upward edges as [`UpwardEdge`] values.
+    pub fn upward_edges(&self, v: Vertex) -> impl Iterator<Item = UpwardEdge> + '_ {
+        self.frozen.upward_edges(v)
     }
 
     /// Total number of upward edges (original + shortcuts).
     pub fn num_upward_edges(&self) -> usize {
-        self.upward.iter().map(|l| l.len()).sum()
+        self.frozen.num_upward_edges()
     }
 
-    /// Approximate memory footprint of the upward graph in bytes.
+    /// Memory footprint of the queryable state (upward arena + ranks).
     pub fn memory_bytes(&self) -> usize {
-        self.num_upward_edges() * std::mem::size_of::<UpwardEdge>()
-            + self.upward.len() * std::mem::size_of::<Vec<UpwardEdge>>()
-            + self.ordering.rank.len() * 4
+        self.frozen.memory_bytes() + self.ordering.rank.len() * 4
+    }
+}
+
+impl PersistentIndex for ContractionHierarchy {
+    const METHOD_TAG: u32 = method_tag::CH;
+
+    fn write_sections(&self, w: &mut ContainerWriter) {
+        let mut meta = MetaWriter::new();
+        meta.u64(self.num_shortcuts as u64)
+            .f64(self.construction_seconds);
+        w.push_section(sec::META, meta.finish());
+        let (targets, weights, offsets) = self.frozen.upward.parts();
+        w.push_pods(sec::UP_TARGETS, targets);
+        w.push_pods(sec::UP_WEIGHTS, weights);
+        w.push_pods(sec::UP_OFFSETS, offsets);
+        w.push_pods(sec::RANK, &self.ordering.rank);
+    }
+
+    fn read_sections(c: &Container) -> Result<Self, DecodeError> {
+        let mut meta = MetaReader::new(c.section(sec::META)?);
+        let num_shortcuts = meta.usize()?;
+        let construction_seconds = meta.f64()?;
+        meta.finish()?;
+
+        let upward = FlatEntryLabels::from_parts(
+            c.read_pod_vec::<u32>(sec::UP_TARGETS)?,
+            c.read_pod_vec::<u64>(sec::UP_WEIGHTS)?,
+            c.read_pod_vec::<u32>(sec::UP_OFFSETS)?,
+        )?;
+        let rank = c.read_pod_vec::<u32>(sec::RANK)?;
+        if rank.len() != upward.num_vertices() {
+            return Err(DecodeError::Malformed(
+                "rank array does not cover every vertex",
+            ));
+        }
+        // The ranks must be a permutation of 0..n for the ordering (and the
+        // upward-edge invariant) to make sense.
+        let mut seen = vec![false; rank.len()];
+        for &r in &rank {
+            match seen.get_mut(r as usize) {
+                Some(slot) if !*slot => *slot = true,
+                _ => return Err(DecodeError::Malformed("ranks are not a permutation")),
+            }
+        }
+        let frozen = FrozenCh::new(upward);
+        validate_upward(&frozen, &rank)?;
+        Ok(ContractionHierarchy {
+            ordering: NodeOrdering::from_ranks(rank),
+            frozen,
+            num_shortcuts,
+            construction_seconds,
+        })
     }
 }
 
@@ -281,7 +505,7 @@ mod tests {
         let g = grid_graph(5, 5);
         let ch = ContractionHierarchy::build(&g);
         for v in 0..25u32 {
-            for e in &ch.upward[v as usize] {
+            for e in ch.upward_edges(v) {
                 assert!(ch.ordering.is_higher(e.to, v));
             }
         }
@@ -308,10 +532,31 @@ mod tests {
         for v in 0..16u32 {
             if v != top {
                 assert!(
-                    !ch.upward[v as usize].is_empty(),
+                    ch.frozen().upward_degree(v) > 0,
                     "vertex {v} has no upward edge"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn container_round_trip_preserves_the_upward_graph() {
+        let g = grid_graph(4, 5);
+        let ch = ContractionHierarchy::build(&g);
+        let mut w = ContainerWriter::new(ContractionHierarchy::METHOD_TAG);
+        ch.write_sections(&mut w);
+        let c = Container::from_bytes(&w.finish()).unwrap();
+        let back = ContractionHierarchy::read_sections(&c).unwrap();
+        assert_eq!(back.ordering.rank, ch.ordering.rank);
+        assert_eq!(back.num_shortcuts, ch.num_shortcuts);
+        for v in 0..20u32 {
+            assert_eq!(back.upward_targets(v), ch.upward_targets(v));
+            assert_eq!(back.upward_weights(v), ch.upward_weights(v));
+        }
+        // Zero-copy borrowed view serves the same adjacency.
+        let view = FrozenCh::from_container(&c).unwrap();
+        for v in 0..20u32 {
+            assert_eq!(view.upward_targets(v), ch.upward_targets(v));
         }
     }
 }

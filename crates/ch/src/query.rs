@@ -3,15 +3,20 @@
 //! Both search frontiers only relax edges of the upward graph; the shortest
 //! path is found at the vertex where the two searches meet (which, by the CH
 //! correctness argument, is the highest-ranked vertex of some shortest path).
+//!
+//! The search is implemented once on the [`FrozenCh`] view, so it runs
+//! identically on an owned, freshly built hierarchy and on a borrowed
+//! zero-copy view of a loaded index container.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use hc2l_graph::flat_labels::Store;
 use hc2l_graph::{Distance, QueryStats, Vertex, INFINITY};
 
-use crate::contract::ContractionHierarchy;
+use crate::contract::{ContractionHierarchy, FrozenCh};
 
-impl ContractionHierarchy {
+impl<S: Store> FrozenCh<S> {
     /// Exact distance query.
     pub fn query(&self, s: Vertex, t: Vertex) -> Distance {
         self.query_with_stats(s, t).0
@@ -64,16 +69,29 @@ impl ContractionHierarchy {
                     best = cand;
                 }
             }
-            for e in &self.upward[v as usize] {
-                let nd = d + e.weight;
-                if nd < *dist.get(&e.to).unwrap_or(&INFINITY) {
-                    dist.insert(e.to, nd);
-                    heap.push(Reverse((nd, e.to)));
+            for (&to, &weight) in self.upward_targets(v).iter().zip(self.upward_weights(v)) {
+                let nd = d + weight;
+                if nd < *dist.get(&to).unwrap_or(&INFINITY) {
+                    dist.insert(to, nd);
+                    heap.push(Reverse((nd, to)));
                 }
             }
         }
 
         (best, QueryStats::scanned(settled))
+    }
+}
+
+impl ContractionHierarchy {
+    /// Exact distance query.
+    pub fn query(&self, s: Vertex, t: Vertex) -> Distance {
+        self.frozen().query(s, t)
+    }
+
+    /// Exact distance query with search-space statistics (see
+    /// [`FrozenCh::query_with_stats`]).
+    pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
+        self.frozen().query_with_stats(s, t)
     }
 }
 

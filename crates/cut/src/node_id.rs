@@ -29,6 +29,21 @@ impl NodeId {
     /// The root node (empty bitstring).
     pub const ROOT: NodeId = NodeId(0);
 
+    /// The packed 64-bit representation (what HC2L persists per vertex — the
+    /// paper's 8-byte "LCA storage").
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id from [`NodeId::raw`] output. Every 64-bit value is a
+    /// syntactically valid id (6 length bits + path bits), so this cannot
+    /// fail; garbage input merely yields a node that matches nothing.
+    #[inline]
+    pub const fn from_raw(bits: u64) -> NodeId {
+        NodeId(bits)
+    }
+
     /// Length (depth/level) of this node id.
     #[inline]
     pub fn level(self) -> u32 {

@@ -1,0 +1,934 @@
+//! Sectioned on-disk index containers: zero-copy persistence for every
+//! distance-oracle backend in the workspace.
+//!
+//! Construction and querying are separate phases of a hub-labelling system:
+//! indexes are built once (minutes of CPU on continental road networks) and
+//! served many times, so a production deployment wants to `save` a built
+//! index and `load` it in milliseconds instead of re-running construction.
+//! This module defines the file format and the [`PersistentIndex`] trait the
+//! backends implement; the `hc2l-oracle` crate surfaces both as
+//! `Oracle::save(path)` / `OracleBuilder::load(path)`.
+//!
+//! # File format (`FORMAT_VERSION` 1)
+//!
+//! A container is a flat sequence of byte *sections* addressed by a table of
+//! contents, preceded by a fixed 64-byte header. All integers are
+//! little-endian.
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------------
+//!      0     8  magic  b"HC2LIDX\0"
+//!      8     4  format version (u32) — bumped on any layout change
+//!     12     4  method tag (u32)     — which backend wrote the file
+//!     16     4  section count (u32)
+//!     20     4  reserved (0)
+//!     24     8  checksum (u64)       — FNV-1a over header fields + sections
+//!     32     8  total file size (u64)
+//!     40    24  reserved (0)
+//!     64   24n  table of contents: n entries of
+//!               { tag: u32, reserved: u32, offset: u64, length: u64 }
+//!      …        section payloads, each starting at a 64-byte-aligned offset
+//!               (zero padding between sections; none after the last)
+//! ```
+//!
+//! Section **tags** are small integers private to each backend (tag 0 is
+//! conventionally the backend's scalar metadata). Each payload is either a
+//! raw array of fixed-width little-endian values (one array per section, so
+//! a loaded section can be reinterpreted in place) or an opaque metadata
+//! blob written with [`MetaWriter`].
+//!
+//! The 64-byte **alignment** of every section start means that on a
+//! little-endian host a section holding `u32`/`u64`/[`Pod`] values can be
+//! viewed directly as a typed slice of the loaded buffer
+//! ([`Container::section_pods`]) — no per-element decode, no copy — which is
+//! what the borrowed (`Borrowed`) instantiations of the flat label arenas
+//! run queries on. It is also the page/cache-line friendly layout a future
+//! `mmap` path needs.
+//!
+//! The **checksum** covers the version, method tag, section count and every
+//! section's (tag, length, payload); a flipped byte anywhere surfaces as
+//! [`DecodeError::ChecksumMismatch`] instead of a wrong distance.
+//!
+//! # Robustness contract
+//!
+//! *Corrupt* files (truncation, bit rot, partial writes) always fail with a
+//! typed [`DecodeError`] — the checksum catches them before any backend
+//! decoding runs. On top of that, the backends' `read_sections`/`from_parts`
+//! validators re-check every structural invariant their query paths index
+//! by, so even a checksum-*valid* but hand-crafted file cannot cause memory
+//! unsafety, a hang, or a silent wrong answer; the residual worst case for
+//! adversarial input is a bounds-check panic at query time on invariants
+//! that would require rebuilding the index to verify (e.g. that an LCA
+//! sparse table really encodes a tree).
+//!
+//! # Versioning policy
+//!
+//! `FORMAT_VERSION` identifies the container layout *and* the per-backend
+//! section schemas; any incompatible change to either bumps it. Readers
+//! reject other versions with [`DecodeError::UnsupportedVersion`] — indexes
+//! are cheap to rebuild, so no cross-version migration is attempted.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::flat_labels::PodValue;
+
+/// Magic bytes identifying an index container file.
+pub const MAGIC: [u8; 8] = *b"HC2LIDX\0";
+
+/// Current container format version (see the module docs for the policy).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Alignment of every section payload within the file.
+pub const SECTION_ALIGN: u64 = 64;
+
+/// Size of the fixed header.
+pub const HEADER_BYTES: usize = 64;
+
+/// Size of one table-of-contents entry.
+pub const TOC_ENTRY_BYTES: usize = 24;
+
+/// Method tags stored in the container header. The `hc2l-oracle` crate maps
+/// its `Method` enum onto these; backends accept the tags that denote their
+/// own index layout (HC2L and HC2Lp share one).
+pub mod method_tag {
+    /// Hierarchical Cut 2-Hop Labelling, sequential build.
+    pub const HC2L: u32 = 1;
+    /// HC2L built in parallel (identical index layout to [`HC2L`]).
+    pub const HC2L_PARALLEL: u32 = 2;
+    /// Hierarchical 2-Hop Index.
+    pub const H2H: u32 = 3;
+    /// Pruned Highway Labelling.
+    pub const PHL: u32 = 4;
+    /// Hub Labelling.
+    pub const HL: u32 = 5;
+    /// Contraction Hierarchies.
+    pub const CH: u32 = 6;
+}
+
+/// A decode failure: malformed codec input or a malformed/corrupt container.
+///
+/// This is the one typed error every `from_bytes`/`from_parts`/`read_*` path
+/// in the workspace reports — the byte codec in `flat_labels`, the arena
+/// validators, and the container reader all share it, so callers never see a
+/// panic on bad input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the structure it claims to hold.
+    Truncated,
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The stored checksum does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum recomputed from the file.
+        computed: u64,
+    },
+    /// The header's method tag maps to no known backend.
+    UnknownMethod {
+        /// Tag found in the header.
+        tag: u32,
+    },
+    /// A backend was asked to load a container written by another method.
+    MethodMismatch {
+        /// The canonical tag of the loading backend.
+        expected: u32,
+        /// Tag found in the header.
+        found: u32,
+    },
+    /// A section the backend's schema requires is absent.
+    MissingSection {
+        /// The missing section's tag.
+        tag: u32,
+    },
+    /// A section's byte length is not a multiple of its element width.
+    BadSectionLen {
+        /// The offending section's tag.
+        tag: u32,
+    },
+    /// A structural invariant does not hold (non-monotone offsets,
+    /// inconsistent array lengths, out-of-range indices, …).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input truncated"),
+            DecodeError::BadMagic => write!(f, "not an index container (bad magic)"),
+            DecodeError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported container version {found} (expected {FORMAT_VERSION})"
+                )
+            }
+            DecodeError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: header says {stored:#018x}, contents hash to {computed:#018x}"
+            ),
+            DecodeError::UnknownMethod { tag } => write!(f, "unknown method tag {tag}"),
+            DecodeError::MethodMismatch { expected, found } => write!(
+                f,
+                "container was written by method tag {found}, expected {expected}"
+            ),
+            DecodeError::MissingSection { tag } => write!(f, "required section {tag} missing"),
+            DecodeError::BadSectionLen { tag } => {
+                write!(
+                    f,
+                    "section {tag} length is not a multiple of the element width"
+                )
+            }
+            DecodeError::Malformed(what) => write!(f, "malformed index data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A persistence failure: the I/O layer or the decode layer.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The file's contents could not be decoded.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "index file I/O failed: {e}"),
+            PersistError::Decode(e) => write!(f, "index file invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<DecodeError> for PersistError {
+    fn from(e: DecodeError) -> Self {
+        PersistError::Decode(e)
+    }
+}
+
+/// Marker for values whose in-memory representation equals their on-disk
+/// encoding: fixed width, no padding bytes, every bit pattern valid, fields
+/// little-endian on a little-endian host.
+///
+/// # Safety
+///
+/// Implementors must guarantee `size_of::<Self>() == Self::WIDTH`, that the
+/// type contains no padding and no invalid bit patterns, and that
+/// [`PodValue::write_le`] emits exactly the type's little-endian memory
+/// representation. Only then may a `&[u8]` section be reinterpreted as
+/// `&[Self]` ([`Container::section_pods`]).
+pub unsafe trait Pod: PodValue {}
+
+// SAFETY: primitive integers are padding-free and valid for any bit pattern;
+// their codec is their little-endian byte representation.
+unsafe impl Pod for u32 {}
+// SAFETY: as above.
+unsafe impl Pod for u64 {}
+
+/// The layout of one section: its tag and payload length in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionSpec {
+    /// Backend-private section tag.
+    pub tag: u32,
+    /// Payload length in bytes (excluding alignment padding).
+    pub len: u64,
+}
+
+#[inline]
+fn align_up(x: u64) -> u64 {
+    (x + (SECTION_ALIGN - 1)) & !(SECTION_ALIGN - 1)
+}
+
+/// Exact size in bytes of the container file a given section layout
+/// produces: header, table of contents, and 64-byte-aligned payloads. This
+/// is what `DistanceOracle::index_bytes` reports.
+pub fn file_size(specs: &[SectionSpec]) -> u64 {
+    let mut end = HEADER_BYTES as u64 + (specs.len() * TOC_ENTRY_BYTES) as u64;
+    let mut cursor = align_up(end);
+    for s in specs {
+        end = cursor + s.len;
+        cursor = align_up(end);
+    }
+    end
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn container_checksum(version: u32, method_tag: u32, sections: &[(u32, Vec<u8>)]) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &version.to_le_bytes());
+    h = fnv1a(h, &method_tag.to_le_bytes());
+    h = fnv1a(h, &(sections.len() as u32).to_le_bytes());
+    for (tag, payload) in sections {
+        h = fnv1a(h, &tag.to_le_bytes());
+        h = fnv1a(h, &(payload.len() as u64).to_le_bytes());
+        h = fnv1a(h, payload);
+    }
+    h
+}
+
+/// Assembles a container file section by section.
+///
+/// The measuring variant ([`ContainerWriter::measuring`]) records section
+/// layouts without encoding any payload, so `index_bytes`-style size
+/// reporting costs no serialisation of the (potentially multi-GB) arenas.
+#[derive(Debug, Clone)]
+pub struct ContainerWriter {
+    method_tag: u32,
+    /// When set, `push_pods` only records each section's layout; payloads
+    /// are not encoded and `finish`/`write_to` must not be called.
+    measure_only: bool,
+    sections: Vec<(u32, Vec<u8>)>,
+    specs: Vec<SectionSpec>,
+}
+
+impl ContainerWriter {
+    /// A writer stamping the given method tag into the header.
+    pub fn new(method_tag: u32) -> Self {
+        ContainerWriter {
+            method_tag,
+            measure_only: false,
+            sections: Vec::new(),
+            specs: Vec::new(),
+        }
+    }
+
+    /// A layout-only writer: accepts the same `push_*` calls but records
+    /// only each section's (tag, length), skipping payload encoding.
+    pub fn measuring(method_tag: u32) -> Self {
+        ContainerWriter {
+            measure_only: true,
+            ..ContainerWriter::new(method_tag)
+        }
+    }
+
+    /// The method tag this container will carry.
+    pub fn method_tag(&self) -> u32 {
+        self.method_tag
+    }
+
+    fn record(&mut self, tag: u32, len: u64) {
+        assert!(
+            self.specs.iter().all(|s| s.tag != tag),
+            "duplicate section tag {tag}"
+        );
+        self.specs.push(SectionSpec { tag, len });
+    }
+
+    /// Appends a raw payload section. Tags must be unique within a file.
+    pub fn push_section(&mut self, tag: u32, payload: Vec<u8>) {
+        self.record(tag, payload.len() as u64);
+        if !self.measure_only {
+            self.sections.push((tag, payload));
+        }
+    }
+
+    /// Appends a section holding a raw array of fixed-width little-endian
+    /// values (the zero-copy-readable section shape).
+    pub fn push_pods<T: PodValue>(&mut self, tag: u32, values: &[T]) {
+        self.record(tag, (values.len() * T::WIDTH) as u64);
+        if self.measure_only {
+            return;
+        }
+        let mut payload = Vec::with_capacity(values.len() * T::WIDTH);
+        for &v in values {
+            v.write_le(&mut payload);
+        }
+        self.sections.push((tag, payload));
+    }
+
+    /// The layout of the sections pushed so far.
+    pub fn specs(&self) -> Vec<SectionSpec> {
+        self.specs.clone()
+    }
+
+    /// Serialises the container into one byte buffer (in-memory path; the
+    /// file path [`ContainerWriter::write_to`] streams instead of
+    /// assembling the whole file).
+    pub fn finish(&self) -> Vec<u8> {
+        let total = file_size(&self.specs) as usize;
+        let mut out = Vec::with_capacity(total);
+        self.emit(&mut out).expect("writing to a Vec cannot fail");
+        debug_assert_eq!(out.len(), total);
+        out
+    }
+
+    /// Writes the container to a file, streaming header, table of contents
+    /// and sections so no whole-file buffer is assembled (the section
+    /// payloads themselves are the only serialised copy in memory).
+    pub fn write_to(&self, path: &Path) -> Result<(), PersistError> {
+        let file = std::fs::File::create(path)?;
+        let mut out = std::io::BufWriter::new(file);
+        self.emit(&mut out)?;
+        std::io::Write::flush(&mut out)?;
+        Ok(())
+    }
+
+    /// Emits header + TOC + aligned payloads into any sink.
+    fn emit<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
+        assert!(
+            !self.measure_only,
+            "a measuring writer has no payloads to serialise"
+        );
+        let total = file_size(&self.specs);
+        out.write_all(&MAGIC)?;
+        out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        out.write_all(&self.method_tag.to_le_bytes())?;
+        out.write_all(&(self.sections.len() as u32).to_le_bytes())?;
+        out.write_all(&0u32.to_le_bytes())?;
+        let checksum = container_checksum(FORMAT_VERSION, self.method_tag, &self.sections);
+        out.write_all(&checksum.to_le_bytes())?;
+        out.write_all(&total.to_le_bytes())?;
+        out.write_all(&[0u8; HEADER_BYTES - 40])?;
+
+        // Table of contents, then the payloads at their aligned offsets.
+        let mut offset = align_up((HEADER_BYTES + self.sections.len() * TOC_ENTRY_BYTES) as u64);
+        for (tag, payload) in &self.sections {
+            out.write_all(&tag.to_le_bytes())?;
+            out.write_all(&0u32.to_le_bytes())?;
+            out.write_all(&offset.to_le_bytes())?;
+            out.write_all(&(payload.len() as u64).to_le_bytes())?;
+            offset = align_up(offset + payload.len() as u64);
+        }
+        let mut at = (HEADER_BYTES + self.sections.len() * TOC_ENTRY_BYTES) as u64;
+        const PAD: [u8; SECTION_ALIGN as usize] = [0u8; SECTION_ALIGN as usize];
+        for (_, payload) in &self.sections {
+            let start = align_up(at);
+            out.write_all(&PAD[..(start - at) as usize])?;
+            out.write_all(payload)?;
+            at = start + payload.len() as u64;
+        }
+        Ok(())
+    }
+}
+
+/// One parsed table-of-contents entry.
+#[derive(Debug, Clone, Copy)]
+struct TocEntry {
+    tag: u32,
+    offset: u64,
+    len: u64,
+}
+
+/// A loaded, validated container.
+///
+/// The whole file lives in one 8-byte-aligned buffer; sections are handed
+/// out as byte slices ([`Container::section`]), as zero-copy typed slices
+/// ([`Container::section_pods`], little-endian hosts), or as freshly decoded
+/// vectors ([`Container::read_pod_vec`], any host).
+#[derive(Debug, Clone)]
+pub struct Container {
+    /// Backing buffer in `u64` units so every 64-byte-aligned section start
+    /// is at least 8-byte aligned in memory.
+    buf: Vec<u64>,
+    /// Length of the file in bytes (the buffer rounds up to 8).
+    len: usize,
+    method_tag: u32,
+    toc: Vec<TocEntry>,
+}
+
+impl Container {
+    /// Parses and validates a container from its raw bytes (header, table of
+    /// contents, alignment, checksum). The bytes are copied once into the
+    /// aligned backing buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let words = bytes.len().div_ceil(8);
+        let mut buf = vec![0u64; words];
+        // SAFETY: a `u64` buffer may always be viewed as initialised bytes;
+        // the view covers exactly the allocation's first `words * 8` bytes.
+        let dst =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), words * 8) };
+        dst[..bytes.len()].copy_from_slice(bytes);
+        Container::from_buffer(buf, bytes.len())
+    }
+
+    /// Reads and parses a container file: one read straight into the
+    /// aligned backing buffer (no transient second copy of the file), then
+    /// the same in-place validation as [`Container::from_bytes`].
+    pub fn open(path: &Path) -> Result<Self, PersistError> {
+        use std::io::Read;
+        let mut file = std::fs::File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| PersistError::Decode(DecodeError::Truncated))?;
+        let words = len.div_ceil(8);
+        let mut buf = vec![0u64; words];
+        // SAFETY: as in `from_bytes` — an initialised `u64` buffer viewed as
+        // bytes, within its allocation.
+        let dst =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), words * 8) };
+        file.read_exact(&mut dst[..len])?;
+        Ok(Container::from_buffer(buf, len)?)
+    }
+
+    /// Validates an already-aligned buffer holding the first `len` bytes of
+    /// a container file.
+    fn from_buffer(buf: Vec<u64>, len: usize) -> Result<Self, DecodeError> {
+        // SAFETY: the `u64` buffer is fully initialised and
+        // `len <= buf.len() * 8`. The raw-pointer slice stays valid across
+        // the later move of `buf` into the struct (a `Vec` move does not
+        // relocate its heap allocation), and it is only read before this
+        // function returns.
+        let bytes: &[u8] = unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), len) };
+        if bytes.len() < HEADER_BYTES {
+            return Err(DecodeError::Truncated);
+        }
+        if bytes[..8] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        let version = u32_at(8);
+        if version != FORMAT_VERSION {
+            return Err(DecodeError::UnsupportedVersion { found: version });
+        }
+        let method_tag = u32_at(12);
+        let count = u32_at(16) as usize;
+        let stored_checksum = u64_at(24);
+        let stored_size = u64_at(32);
+        if stored_size as usize != bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let toc_end = HEADER_BYTES
+            .checked_add(
+                count
+                    .checked_mul(TOC_ENTRY_BYTES)
+                    .ok_or(DecodeError::Truncated)?,
+            )
+            .ok_or(DecodeError::Truncated)?;
+        if bytes.len() < toc_end {
+            return Err(DecodeError::Truncated);
+        }
+
+        let mut toc = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = HEADER_BYTES + i * TOC_ENTRY_BYTES;
+            let entry = TocEntry {
+                tag: u32_at(at),
+                offset: u64_at(at + 8),
+                len: u64_at(at + 16),
+            };
+            if !entry.offset.is_multiple_of(SECTION_ALIGN) {
+                return Err(DecodeError::Malformed("section offset not 64-byte aligned"));
+            }
+            if entry.offset < toc_end as u64 {
+                return Err(DecodeError::Malformed("section overlaps the header"));
+            }
+            let end = entry
+                .offset
+                .checked_add(entry.len)
+                .ok_or(DecodeError::Truncated)?;
+            if end > bytes.len() as u64 {
+                return Err(DecodeError::Truncated);
+            }
+            if toc.iter().any(|e: &TocEntry| e.tag == entry.tag) {
+                return Err(DecodeError::Malformed("duplicate section tag"));
+            }
+            toc.push(entry);
+        }
+
+        // Verify the checksum over the parsed sections.
+        let mut h = fnv1a(FNV_OFFSET, &version.to_le_bytes());
+        h = fnv1a(h, &method_tag.to_le_bytes());
+        h = fnv1a(h, &(count as u32).to_le_bytes());
+        for e in &toc {
+            h = fnv1a(h, &e.tag.to_le_bytes());
+            h = fnv1a(h, &e.len.to_le_bytes());
+            h = fnv1a(h, &bytes[e.offset as usize..(e.offset + e.len) as usize]);
+        }
+        if h != stored_checksum {
+            return Err(DecodeError::ChecksumMismatch {
+                stored: stored_checksum,
+                computed: h,
+            });
+        }
+
+        Ok(Container {
+            len,
+            buf,
+            method_tag,
+            toc,
+        })
+    }
+
+    /// The whole file as bytes.
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: the `u64` buffer is fully initialised and the view stays
+        // within its allocation (`len <= buf.len() * 8`).
+        unsafe { std::slice::from_raw_parts(self.buf.as_ptr().cast::<u8>(), self.len) }
+    }
+
+    /// The method tag stored in the header.
+    pub fn method_tag(&self) -> u32 {
+        self.method_tag
+    }
+
+    /// The layout of the stored sections.
+    pub fn specs(&self) -> Vec<SectionSpec> {
+        self.toc
+            .iter()
+            .map(|e| SectionSpec {
+                tag: e.tag,
+                len: e.len,
+            })
+            .collect()
+    }
+
+    /// The raw payload of a section.
+    pub fn section(&self, tag: u32) -> Result<&[u8], DecodeError> {
+        let e = self
+            .toc
+            .iter()
+            .find(|e| e.tag == tag)
+            .ok_or(DecodeError::MissingSection { tag })?;
+        Ok(&self.bytes()[e.offset as usize..(e.offset + e.len) as usize])
+    }
+
+    /// Zero-copy typed view of a section: reinterprets the loaded bytes as a
+    /// slice of [`Pod`] values without decoding. Only available on
+    /// little-endian hosts (the on-disk encoding *is* the little-endian
+    /// memory representation there); big-endian hosts must use
+    /// [`Container::read_pod_vec`].
+    pub fn section_pods<T: Pod>(&self, tag: u32) -> Result<&[T], DecodeError> {
+        if cfg!(target_endian = "big") {
+            return Err(DecodeError::Malformed(
+                "zero-copy section views require a little-endian host",
+            ));
+        }
+        let bytes = self.section(tag)?;
+        if bytes.len() % std::mem::size_of::<T>() != 0 {
+            return Err(DecodeError::BadSectionLen { tag });
+        }
+        debug_assert_eq!(bytes.as_ptr() as usize % std::mem::align_of::<T>(), 0);
+        // SAFETY: `Pod` guarantees `T` is padding-free, valid for any bit
+        // pattern and laid out as its little-endian encoding; the buffer is
+        // 8-byte aligned and sections start at 64-byte offsets, so the
+        // pointer is aligned for any `Pod` type in the workspace.
+        Ok(unsafe {
+            std::slice::from_raw_parts(
+                bytes.as_ptr().cast::<T>(),
+                bytes.len() / std::mem::size_of::<T>(),
+            )
+        })
+    }
+
+    /// Decodes a section into an owned vector (works on any host, for any
+    /// [`PodValue`] — including non-castable encodings like packed tuples).
+    pub fn read_pod_vec<T: PodValue>(&self, tag: u32) -> Result<Vec<T>, DecodeError> {
+        let bytes = self.section(tag)?;
+        if bytes.len() % T::WIDTH != 0 {
+            return Err(DecodeError::BadSectionLen { tag });
+        }
+        let mut values = Vec::with_capacity(bytes.len() / T::WIDTH);
+        let mut at = 0;
+        while at < bytes.len() {
+            values.push(T::read_le(&bytes[at..]));
+            at += T::WIDTH;
+        }
+        Ok(values)
+    }
+}
+
+/// An index that can be persisted to (and restored from) a sectioned
+/// container file.
+///
+/// Backends implement [`PersistentIndex::write_sections`] /
+/// [`PersistentIndex::read_sections`]; the save/load entry points, the
+/// section layout and the exact on-disk size derive from those, so the
+/// reported `index_bytes` can never drift from what `save_to` writes.
+pub trait PersistentIndex: Sized {
+    /// The canonical method tag written into the container header.
+    const METHOD_TAG: u32;
+
+    /// Whether this backend can load a container carrying `tag` (HC2L also
+    /// accepts the HC2Lp tag: the two share one index layout).
+    fn accepts_tag(tag: u32) -> bool {
+        tag == Self::METHOD_TAG
+    }
+
+    /// Serialises the index into container sections.
+    fn write_sections(&self, w: &mut ContainerWriter);
+
+    /// Reconstructs the index from a loaded container's sections.
+    fn read_sections(c: &Container) -> Result<Self, DecodeError>;
+
+    /// The section layout `save_to` would write, derived from
+    /// [`PersistentIndex::write_sections`] itself so it can never drift
+    /// from the real serialisation — run against a *measuring* writer, so
+    /// no arena payload is actually encoded (only small metadata blobs
+    /// are).
+    fn section_layout(&self) -> Vec<SectionSpec> {
+        let mut w = ContainerWriter::measuring(Self::METHOD_TAG);
+        self.write_sections(&mut w);
+        w.specs()
+    }
+
+    /// Exact size in bytes of the container file `save_to` writes.
+    fn serialized_bytes(&self) -> usize {
+        file_size(&self.section_layout()) as usize
+    }
+
+    /// Saves the index to a container file.
+    fn save_to(&self, path: &Path) -> Result<(), PersistError> {
+        let mut w = ContainerWriter::new(Self::METHOD_TAG);
+        self.write_sections(&mut w);
+        w.write_to(path)
+    }
+
+    /// Loads an index from a container file, checking the method tag.
+    fn load_from(path: &Path) -> Result<Self, PersistError> {
+        let c = Container::open(path)?;
+        if !Self::accepts_tag(c.method_tag()) {
+            return Err(DecodeError::MethodMismatch {
+                expected: Self::METHOD_TAG,
+                found: c.method_tag(),
+            }
+            .into());
+        }
+        Ok(Self::read_sections(&c)?)
+    }
+}
+
+/// Fixed-order scalar metadata encoder (each field occupies one
+/// little-endian `u64` slot; `f64` fields are stored via their bit pattern).
+#[derive(Debug, Default)]
+pub struct MetaWriter {
+    buf: Vec<u8>,
+}
+
+impl MetaWriter {
+    /// An empty metadata blob.
+    pub fn new() -> Self {
+        MetaWriter::default()
+    }
+
+    /// Appends an integer field.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a float field.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// The encoded blob.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reader matching [`MetaWriter`]'s encoding; fields must be read in the
+/// order they were written.
+#[derive(Debug)]
+pub struct MetaReader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> MetaReader<'a> {
+    /// Starts reading a metadata blob.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        MetaReader { bytes }
+    }
+
+    /// Reads the next integer field.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        if self.bytes.len() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let v = u64::from_le_bytes(self.bytes[..8].try_into().unwrap());
+        self.bytes = &self.bytes[8..];
+        Ok(v)
+    }
+
+    /// Reads the next integer field as a `usize`.
+    pub fn usize(&mut self) -> Result<usize, DecodeError> {
+        usize::try_from(self.u64()?).map_err(|_| DecodeError::Malformed("metadata field overflow"))
+    }
+
+    /// Reads the next float field.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads the next boolean field.
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        Ok(self.u64()? != 0)
+    }
+
+    /// Asserts the whole blob was consumed.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(DecodeError::Malformed("trailing metadata bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_writer() -> ContainerWriter {
+        let mut w = ContainerWriter::new(method_tag::HL);
+        w.push_pods::<u32>(1, &[1, 2, 3]);
+        w.push_pods::<u64>(2, &[10, 20]);
+        let mut meta = MetaWriter::new();
+        meta.u64(7).f64(0.25).bool(true);
+        w.push_section(0, meta.finish());
+        w
+    }
+
+    #[test]
+    fn round_trip_preserves_sections() {
+        let w = sample_writer();
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), file_size(&w.specs()) as usize);
+        let c = Container::from_bytes(&bytes).unwrap();
+        assert_eq!(c.method_tag(), method_tag::HL);
+        assert_eq!(c.read_pod_vec::<u32>(1).unwrap(), vec![1, 2, 3]);
+        assert_eq!(c.read_pod_vec::<u64>(2).unwrap(), vec![10, 20]);
+        assert_eq!(c.section_pods::<u32>(1).unwrap(), &[1, 2, 3]);
+        assert_eq!(c.section_pods::<u64>(2).unwrap(), &[10, 20]);
+        let mut meta = MetaReader::new(c.section(0).unwrap());
+        assert_eq!(meta.u64().unwrap(), 7);
+        assert_eq!(meta.f64().unwrap(), 0.25);
+        assert!(meta.bool().unwrap());
+        meta.finish().unwrap();
+    }
+
+    #[test]
+    fn sections_are_aligned() {
+        let w = sample_writer();
+        let bytes = w.finish();
+        let c = Container::from_bytes(&bytes).unwrap();
+        for spec in c.specs() {
+            let payload = c.section(spec.tag).unwrap();
+            assert_eq!(
+                (payload.as_ptr() as usize - c.bytes().as_ptr() as usize) % SECTION_ALIGN as usize,
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_not_panicked() {
+        let bytes = sample_writer().finish();
+        // Truncation.
+        assert_eq!(
+            Container::from_bytes(&bytes[..bytes.len() - 1]).unwrap_err(),
+            DecodeError::Truncated
+        );
+        assert_eq!(
+            Container::from_bytes(&[]).unwrap_err(),
+            DecodeError::Truncated
+        );
+        // Bad magic.
+        let mut b = bytes.clone();
+        b[0] ^= 0xFF;
+        assert_eq!(
+            Container::from_bytes(&b).unwrap_err(),
+            DecodeError::BadMagic
+        );
+        // Wrong version.
+        let mut b = bytes.clone();
+        b[8] = 0xEE;
+        assert!(matches!(
+            Container::from_bytes(&b).unwrap_err(),
+            DecodeError::UnsupportedVersion { .. }
+        ));
+        // A flipped payload byte fails the checksum.
+        let mut b = bytes.clone();
+        let last = b.len() - 1;
+        b[last] ^= 0x01;
+        assert!(matches!(
+            Container::from_bytes(&b).unwrap_err(),
+            DecodeError::ChecksumMismatch { .. }
+        ));
+        // A flipped checksum byte fails too.
+        let mut b = bytes.clone();
+        b[24] ^= 0x01;
+        assert!(matches!(
+            Container::from_bytes(&b).unwrap_err(),
+            DecodeError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_sections_and_bad_lengths_are_reported() {
+        let bytes = sample_writer().finish();
+        let c = Container::from_bytes(&bytes).unwrap();
+        assert_eq!(
+            c.section(99).unwrap_err(),
+            DecodeError::MissingSection { tag: 99 }
+        );
+        // Section 1 holds three u32s (12 bytes): not a whole number of u64s.
+        assert_eq!(
+            c.read_pod_vec::<u64>(1).unwrap_err(),
+            DecodeError::BadSectionLen { tag: 1 }
+        );
+    }
+
+    #[test]
+    fn file_size_matches_serialisation_for_edge_cases() {
+        for w in [
+            ContainerWriter::new(0),
+            {
+                let mut w = ContainerWriter::new(1);
+                w.push_pods::<u32>(5, &[]);
+                w
+            },
+            sample_writer(),
+        ] {
+            assert_eq!(w.finish().len(), file_size(&w.specs()) as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_tags_panic_at_write_time() {
+        let mut w = ContainerWriter::new(0);
+        w.push_pods::<u32>(1, &[1]);
+        w.push_pods::<u32>(1, &[2]);
+    }
+}

@@ -17,28 +17,41 @@
 //!   array refers to the `i`-th ranked cut vertex of that hierarchy node),
 //!   which is why no parallel hub arena is needed and the footprint stays at
 //!   8 bytes per entry.
-//! * [`FlatEntryLabels`] — the hub/entry layout used by HL: a parallel
+//! * [`FlatEntryLabels`] — the hub/entry layout used by HL (and, since the
+//!   persistence refactor, the CH upward graph): a parallel
 //!   structure-of-arrays of hub ids and distances with per-vertex CSR
 //!   offsets. The merge-join mostly reads the 4-byte hub column, which is
 //!   why the column split wins for HL; PHL, which touches every column of
 //!   every scanned entry, instead keeps packed triples in a [`FlatCsr`]
 //!   (measured ~2x faster there than the column split).
 //!
+//! # Ownership-generic storage
+//!
+//! Every arena is generic over a [`Store`] parameter deciding who owns the
+//! backing slices: [`Owned`] (the default — plain `Vec`s, what `freeze()`
+//! produces after construction) or [`Borrowed`] (`&[T]` views into a loaded
+//! index container, see `crate::container`). The accessors and the query
+//! kernels are written once against `&[T]` and therefore run unchanged on
+//! either instantiation — a serve-only process can answer queries straight
+//! out of the loaded file buffer without materialising a single `Vec`.
+//!
 //! Construction keeps whatever nested scratch it likes; a `freeze()` step
 //! converts it into the arena once, computing all size totals at that point
-//! so `stats()` calls are O(1) afterwards. The arenas are `#[repr(Rust)]`
-//! plain vectors of `u32`/`u64`, so they also serialise losslessly through
-//! the little-endian byte codec (`to_bytes` / `from_bytes`) — the vendored
-//! serde stand-in is marker-only (see `vendor/README.md`), so persistence
-//! goes through this codec until the real serde is swapped back in.
+//! so `stats()` calls are O(1) afterwards. The arenas serialise losslessly
+//! through the little-endian byte codec (`to_bytes` / `from_bytes`, built on
+//! [`PodValue`]) — the vendored serde stand-in is marker-only (see
+//! `vendor/README.md`) — and malformed input surfaces as the typed
+//! [`DecodeError`] shared with the container module, never a panic.
 //!
 //! The module also hosts the branch-free query kernels ([`min_plus_scan`],
 //! [`min_plus_merge`]): chunked min-reductions with no early-exit branch in
 //! the loop body, which LLVM auto-vectorizes over the contiguous slices the
 //! arenas hand out.
 
-use serde::{Deserialize, Serialize};
+use std::marker::PhantomData;
+use std::ops::Deref;
 
+use crate::container::DecodeError;
 use crate::types::{Distance, Vertex, INFINITY};
 
 /// Chunk width of the branch-free min-reductions. Eight 64-bit lanes span
@@ -100,27 +113,61 @@ pub fn min_plus_merge(ha: &[Vertex], da: &[Distance], hb: &[Vertex], db: &[Dista
     best.min(INFINITY)
 }
 
-/// A frozen CSR array-of-arrays: one contiguous value arena plus `n + 1`
-/// row offsets.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct FlatCsr<T> {
-    values: Vec<T>,
-    offsets: Vec<u32>,
+/// Who owns an arena's backing slices: [`Owned`] `Vec`s (the build path) or
+/// [`Borrowed`] views into a loaded container buffer (the zero-copy path).
+pub trait Store {
+    /// The slice container for element type `T`.
+    type Slice<T: Copy + 'static>: Deref<Target = [T]>;
 }
 
-impl<T: Copy> FlatCsr<T> {
-    /// Freezes nested rows into the arena.
-    pub fn freeze(rows: &[Vec<T>]) -> Self {
-        let total: usize = rows.iter().map(|r| r.len()).sum();
-        assert!(total <= u32::MAX as usize, "arena exceeds u32 offsets");
-        let mut values = Vec::with_capacity(total);
-        let mut offsets = Vec::with_capacity(rows.len() + 1);
-        offsets.push(0);
-        for row in rows {
-            values.extend_from_slice(row);
-            offsets.push(values.len() as u32);
+/// Owned, `Vec`-backed storage — what `freeze()` and the byte codec produce.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Owned;
+
+impl Store for Owned {
+    type Slice<T: Copy + 'static> = Vec<T>;
+}
+
+/// Borrowed storage: the arena's slices point into memory owned elsewhere
+/// (typically a loaded `crate::container::Container` buffer).
+#[derive(Debug, Clone, Copy)]
+pub struct Borrowed<'a>(PhantomData<&'a ()>);
+
+impl<'a> Store for Borrowed<'a> {
+    type Slice<T: Copy + 'static> = &'a [T];
+}
+
+/// A frozen CSR array-of-arrays: one contiguous value arena plus `n + 1`
+/// row offsets.
+pub struct FlatCsr<T: Copy + 'static, S: Store = Owned> {
+    values: S::Slice<T>,
+    offsets: S::Slice<u32>,
+}
+
+/// A [`FlatCsr`] borrowing its arenas from a loaded container buffer.
+pub type FlatCsrRef<'a, T> = FlatCsr<T, Borrowed<'a>>;
+
+impl<T: Copy + 'static, S: Store> FlatCsr<T, S> {
+    /// Assembles an arena from its two raw parts, validating the CSR
+    /// invariants (offsets start at 0, are non-decreasing, and end at the
+    /// value count).
+    pub fn from_parts(values: S::Slice<T>, offsets: S::Slice<u32>) -> Result<Self, DecodeError> {
+        match offsets.first() {
+            None => return Err(DecodeError::Malformed("CSR offset table is empty")),
+            Some(&first) if first != 0 => {
+                return Err(DecodeError::Malformed("CSR offsets do not start at 0"))
+            }
+            _ => {}
         }
-        FlatCsr { values, offsets }
+        if offsets[offsets.len() - 1] as usize != values.len() {
+            return Err(DecodeError::Malformed(
+                "CSR offsets do not end at the arena length",
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(DecodeError::Malformed("CSR offsets decrease"));
+        }
+        Ok(FlatCsr { values, offsets })
     }
 
     /// Number of rows.
@@ -152,9 +199,31 @@ impl<T: Copy> FlatCsr<T> {
     pub fn memory_bytes(&self) -> usize {
         self.values.len() * std::mem::size_of::<T>() + self.offsets.len() * 4
     }
+
+    /// The raw parts: the value arena and the offset table.
+    #[inline]
+    pub fn parts(&self) -> (&[T], &[u32]) {
+        (&self.values, &self.offsets)
+    }
 }
 
-impl<T: PodValue> FlatCsr<T> {
+impl<T: Copy + 'static> FlatCsr<T, Owned> {
+    /// Freezes nested rows into the arena.
+    pub fn freeze(rows: &[Vec<T>]) -> Self {
+        let total: usize = rows.iter().map(|r| r.len()).sum();
+        assert!(total <= u32::MAX as usize, "arena exceeds u32 offsets");
+        let mut values = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        offsets.push(0);
+        for row in rows {
+            values.extend_from_slice(row);
+            offsets.push(values.len() as u32);
+        }
+        FlatCsr { values, offsets }
+    }
+}
+
+impl<T: PodValue, S: Store> FlatCsr<T, S> {
     /// Serialises the arena with the shared little-endian codec.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -162,24 +231,49 @@ impl<T: PodValue> FlatCsr<T> {
         write_pod_slice(&mut out, &self.offsets);
         out
     }
+}
 
-    /// Reads an arena back from [`FlatCsr::to_bytes`] output. Returns `None`
-    /// on truncated or malformed input.
-    pub fn from_bytes(bytes: &[u8]) -> Option<(Self, usize)> {
+impl<T: PodValue> FlatCsr<T, Owned> {
+    /// Reads an arena back from [`FlatCsr::to_bytes`] output, reporting the
+    /// bytes consumed alongside.
+    pub fn from_bytes(bytes: &[u8]) -> Result<(Self, usize), DecodeError> {
         let (values, n) = read_pod_slice::<T>(bytes)?;
         let (offsets, m) = read_pod_slice::<u32>(&bytes[n..])?;
-        if offsets.is_empty() || offsets[0] != 0 {
-            return None;
-        }
-        if *offsets.last().unwrap() as usize != values.len() {
-            return None;
-        }
-        if offsets.windows(2).any(|w| w[0] > w[1]) {
-            return None;
-        }
-        Some((FlatCsr { values, offsets }, n + m))
+        Ok((FlatCsr::from_parts(values, offsets)?, n + m))
     }
 }
+
+impl<T: Copy + 'static + std::fmt::Debug, S: Store> std::fmt::Debug for FlatCsr<T, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlatCsr")
+            .field("values", &&self.values[..])
+            .field("offsets", &&self.offsets[..])
+            .finish()
+    }
+}
+
+impl<T: Copy + 'static, S: Store> Clone for FlatCsr<T, S>
+where
+    S::Slice<T>: Clone,
+    S::Slice<u32>: Clone,
+{
+    fn clone(&self) -> Self {
+        FlatCsr {
+            values: self.values.clone(),
+            offsets: self.offsets.clone(),
+        }
+    }
+}
+
+impl<T: Copy + 'static + PartialEq, S: Store, S2: Store> PartialEq<FlatCsr<T, S2>>
+    for FlatCsr<T, S>
+{
+    fn eq(&self, other: &FlatCsr<T, S2>) -> bool {
+        self.values[..] == other.values[..] && self.offsets[..] == other.offsets[..]
+    }
+}
+
+impl<T: Copy + 'static + Eq, S: Store> Eq for FlatCsr<T, S> {}
 
 /// The frozen HC2L label arena: per-vertex, per-level distance arrays with
 /// implicit hub identities.
@@ -196,12 +290,14 @@ impl<T: PodValue> FlatCsr<T> {
 /// level_index[v+1]]`; a vertex with `L` levels owns `L + 1` table entries,
 /// so level `k`'s array is the slice between consecutive table entries —
 /// one bounds-checked lookup and one contiguous slice per query.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct FlatLevelLabels {
-    dists: Vec<Distance>,
-    level_offsets: Vec<u32>,
-    level_index: Vec<u32>,
+pub struct FlatLevelLabels<S: Store = Owned> {
+    dists: S::Slice<Distance>,
+    level_offsets: S::Slice<u32>,
+    level_index: S::Slice<u32>,
 }
+
+/// A [`FlatLevelLabels`] borrowing its arenas from a loaded container.
+pub type FlatLevelLabelsRef<'a> = FlatLevelLabels<Borrowed<'a>>;
 
 /// Construction-time scratch for [`FlatLevelLabels`]: nested per-vertex
 /// buffers filled level by level, converted once by
@@ -281,10 +377,65 @@ impl LevelLabelsBuilder {
     }
 }
 
-impl FlatLevelLabels {
+impl FlatLevelLabels<Owned> {
     /// An empty arena over `n` vertices (every vertex has zero levels).
     pub fn empty(n: usize) -> Self {
         LevelLabelsBuilder::new(n).freeze()
+    }
+
+    /// Reads an arena back from [`FlatLevelLabels::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<(Self, usize), DecodeError> {
+        let (dists, a) = read_pod_slice::<Distance>(bytes)?;
+        let (level_offsets, b) = read_pod_slice::<u32>(&bytes[a..])?;
+        let (level_index, c) = read_pod_slice::<u32>(&bytes[a + b..])?;
+        Ok((
+            FlatLevelLabels::from_parts(dists, level_offsets, level_index)?,
+            a + b + c,
+        ))
+    }
+}
+
+impl<S: Store> FlatLevelLabels<S> {
+    /// Assembles an arena from its three raw parts, validating every
+    /// invariant a query relies on so that no slice operation can panic.
+    pub fn from_parts(
+        dists: S::Slice<Distance>,
+        level_offsets: S::Slice<u32>,
+        level_index: S::Slice<u32>,
+    ) -> Result<Self, DecodeError> {
+        match level_index.first() {
+            None => return Err(DecodeError::Malformed("level index is empty")),
+            Some(&first) if first != 0 => {
+                return Err(DecodeError::Malformed("level index does not start at 0"))
+            }
+            _ => {}
+        }
+        if level_index[level_index.len() - 1] as usize != level_offsets.len() {
+            return Err(DecodeError::Malformed(
+                "level index does not end at the offset-table length",
+            ));
+        }
+        if level_index.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(DecodeError::Malformed(
+                "level index is not strictly increasing",
+            ));
+        }
+        if level_offsets.iter().any(|&o| o as usize > dists.len()) {
+            return Err(DecodeError::Malformed(
+                "level offset exceeds the distance arena",
+            ));
+        }
+        // A valid freeze produces globally non-decreasing offsets (each
+        // vertex's table starts where the previous one ended), which is also
+        // what makes every level_array slice well-formed.
+        if level_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(DecodeError::Malformed("level offsets decrease"));
+        }
+        Ok(FlatLevelLabels {
+            dists,
+            level_offsets,
+            level_index,
+        })
     }
 
     /// Number of vertices covered.
@@ -343,6 +494,12 @@ impl FlatLevelLabels {
             + self.level_index.len() * 4
     }
 
+    /// The raw parts: distance arena, level-offset table, per-vertex index.
+    #[inline]
+    pub fn parts(&self) -> (&[Distance], &[u32], &[u32]) {
+        (&self.dists, &self.level_offsets, &self.level_index)
+    }
+
     /// Serialises the arena with the shared little-endian codec.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -351,40 +508,41 @@ impl FlatLevelLabels {
         write_pod_slice(&mut out, &self.level_index);
         out
     }
+}
 
-    /// Reads an arena back from [`FlatLevelLabels::to_bytes`] output.
-    pub fn from_bytes(bytes: &[u8]) -> Option<(Self, usize)> {
-        let (dists, a) = read_pod_slice::<Distance>(bytes)?;
-        let (level_offsets, b) = read_pod_slice::<u32>(&bytes[a..])?;
-        let (level_index, c) = read_pod_slice::<u32>(&bytes[a + b..])?;
-        if level_index.is_empty() || level_index[0] != 0 {
-            return None;
-        }
-        if *level_index.last().unwrap() as usize != level_offsets.len() {
-            return None;
-        }
-        if level_index.windows(2).any(|w| w[0] >= w[1]) {
-            return None;
-        }
-        if level_offsets.iter().any(|&o| o as usize > dists.len()) {
-            return None;
-        }
-        // A valid freeze produces globally non-decreasing offsets (each
-        // vertex's table starts where the previous one ended), which is also
-        // what makes every level_array slice well-formed.
-        if level_offsets.windows(2).any(|w| w[0] > w[1]) {
-            return None;
-        }
-        Some((
-            FlatLevelLabels {
-                dists,
-                level_offsets,
-                level_index,
-            },
-            a + b + c,
-        ))
+impl<S: Store> std::fmt::Debug for FlatLevelLabels<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlatLevelLabels")
+            .field("dists", &&self.dists[..])
+            .field("level_offsets", &&self.level_offsets[..])
+            .field("level_index", &&self.level_index[..])
+            .finish()
     }
 }
+
+impl<S: Store> Clone for FlatLevelLabels<S>
+where
+    S::Slice<Distance>: Clone,
+    S::Slice<u32>: Clone,
+{
+    fn clone(&self) -> Self {
+        FlatLevelLabels {
+            dists: self.dists.clone(),
+            level_offsets: self.level_offsets.clone(),
+            level_index: self.level_index.clone(),
+        }
+    }
+}
+
+impl<S: Store, S2: Store> PartialEq<FlatLevelLabels<S2>> for FlatLevelLabels<S> {
+    fn eq(&self, other: &FlatLevelLabels<S2>) -> bool {
+        self.dists[..] == other.dists[..]
+            && self.level_offsets[..] == other.level_offsets[..]
+            && self.level_index[..] == other.level_index[..]
+    }
+}
+
+impl<S: Store> Eq for FlatLevelLabels<S> {}
 
 /// The frozen hub/entry label arena used by HL: a parallel
 /// structure-of-arrays of hub ids and distances with per-vertex CSR
@@ -396,14 +554,16 @@ impl FlatLevelLabels {
 /// split pays off exactly when the merge-join mostly reads the 4-byte hub
 /// column; backends that touch every field of every scanned entry (PHL)
 /// store packed structs in a [`FlatCsr`] instead.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct FlatEntryLabels {
-    hubs: Vec<Vertex>,
-    dists: Vec<Distance>,
-    offsets: Vec<u32>,
+pub struct FlatEntryLabels<S: Store = Owned> {
+    hubs: S::Slice<Vertex>,
+    dists: S::Slice<Distance>,
+    offsets: S::Slice<u32>,
 }
 
-impl FlatEntryLabels {
+/// A [`FlatEntryLabels`] borrowing its arenas from a loaded container.
+pub type FlatEntryLabelsRef<'a> = FlatEntryLabels<Borrowed<'a>>;
+
+impl FlatEntryLabels<Owned> {
     /// Freezes nested `(hub, dist)` rows into the arena.
     pub fn freeze_pairs(rows: &[Vec<(Vertex, Distance)>]) -> Self {
         let total: usize = rows.iter().map(|r| r.len()).sum();
@@ -427,6 +587,53 @@ impl FlatEntryLabels {
             dists,
             offsets,
         }
+    }
+
+    /// Reads an arena back from [`FlatEntryLabels::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<(Self, usize), DecodeError> {
+        let (hubs, a) = read_pod_slice::<Vertex>(bytes)?;
+        let (dists, b) = read_pod_slice::<Distance>(&bytes[a..])?;
+        let (offsets, c) = read_pod_slice::<u32>(&bytes[a + b..])?;
+        Ok((
+            FlatEntryLabels::from_parts(hubs, dists, offsets)?,
+            a + b + c,
+        ))
+    }
+}
+
+impl<S: Store> FlatEntryLabels<S> {
+    /// Assembles an arena from its three raw parts, validating the parallel
+    /// columns and the CSR invariants.
+    pub fn from_parts(
+        hubs: S::Slice<Vertex>,
+        dists: S::Slice<Distance>,
+        offsets: S::Slice<u32>,
+    ) -> Result<Self, DecodeError> {
+        if hubs.len() != dists.len() {
+            return Err(DecodeError::Malformed(
+                "hub and distance columns differ in length",
+            ));
+        }
+        match offsets.first() {
+            None => return Err(DecodeError::Malformed("entry offset table is empty")),
+            Some(&first) if first != 0 => {
+                return Err(DecodeError::Malformed("entry offsets do not start at 0"))
+            }
+            _ => {}
+        }
+        if offsets[offsets.len() - 1] as usize != hubs.len() {
+            return Err(DecodeError::Malformed(
+                "entry offsets do not end at the arena length",
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(DecodeError::Malformed("entry offsets decrease"));
+        }
+        Ok(FlatEntryLabels {
+            hubs,
+            dists,
+            offsets,
+        })
     }
 
     /// Number of vertices covered.
@@ -483,6 +690,12 @@ impl FlatEntryLabels {
             + self.offsets.len() * 4
     }
 
+    /// The raw parts: hub column, distance column, offset table.
+    #[inline]
+    pub fn parts(&self) -> (&[Vertex], &[Distance], &[u32]) {
+        (&self.hubs, &self.dists, &self.offsets)
+    }
+
     /// Serialises the arena with the shared little-endian codec.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -491,34 +704,42 @@ impl FlatEntryLabels {
         write_pod_slice(&mut out, &self.offsets);
         out
     }
+}
 
-    /// Reads an arena back from [`FlatEntryLabels::to_bytes`] output.
-    pub fn from_bytes(bytes: &[u8]) -> Option<(Self, usize)> {
-        let (hubs, a) = read_pod_slice::<Vertex>(bytes)?;
-        let (dists, b) = read_pod_slice::<Distance>(&bytes[a..])?;
-        let (offsets, c) = read_pod_slice::<u32>(&bytes[a + b..])?;
-        if hubs.len() != dists.len() {
-            return None;
-        }
-        if offsets.is_empty() || offsets[0] != 0 {
-            return None;
-        }
-        if *offsets.last().unwrap() as usize != hubs.len() {
-            return None;
-        }
-        if offsets.windows(2).any(|w| w[0] > w[1]) {
-            return None;
-        }
-        Some((
-            FlatEntryLabels {
-                hubs,
-                dists,
-                offsets,
-            },
-            a + b + c,
-        ))
+impl<S: Store> std::fmt::Debug for FlatEntryLabels<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlatEntryLabels")
+            .field("hubs", &&self.hubs[..])
+            .field("dists", &&self.dists[..])
+            .field("offsets", &&self.offsets[..])
+            .finish()
     }
 }
+
+impl<S: Store> Clone for FlatEntryLabels<S>
+where
+    S::Slice<Vertex>: Clone,
+    S::Slice<Distance>: Clone,
+    S::Slice<u32>: Clone,
+{
+    fn clone(&self) -> Self {
+        FlatEntryLabels {
+            hubs: self.hubs.clone(),
+            dists: self.dists.clone(),
+            offsets: self.offsets.clone(),
+        }
+    }
+}
+
+impl<S: Store, S2: Store> PartialEq<FlatEntryLabels<S2>> for FlatEntryLabels<S> {
+    fn eq(&self, other: &FlatEntryLabels<S2>) -> bool {
+        self.hubs[..] == other.hubs[..]
+            && self.dists[..] == other.dists[..]
+            && self.offsets[..] == other.offsets[..]
+    }
+}
+
+impl<S: Store> Eq for FlatEntryLabels<S> {}
 
 /// Fixed-width little-endian scalar, the unit of the arena byte codec.
 pub trait PodValue: Copy {
@@ -550,6 +771,21 @@ impl PodValue for u64 {
     }
 }
 
+/// Packed pair encoding used by nested bag structures (e.g. the H2H tree
+/// decomposition's `(vertex, distance)` bags): 12 bytes on disk, not
+/// zero-copy castable (the in-memory tuple has padding) but decodable on any
+/// host.
+impl PodValue for (u32, u64) {
+    const WIDTH: usize = 12;
+    fn write_le(self, out: &mut Vec<u8>) {
+        self.0.write_le(out);
+        self.1.write_le(out);
+    }
+    fn read_le(bytes: &[u8]) -> Self {
+        (u32::read_le(bytes), u64::read_le(&bytes[4..]))
+    }
+}
+
 /// Appends `len (u64 LE)` followed by the slice's values.
 pub fn write_pod_slice<T: PodValue>(out: &mut Vec<u8>, values: &[T]) {
     (values.len() as u64).write_le(out);
@@ -559,15 +795,16 @@ pub fn write_pod_slice<T: PodValue>(out: &mut Vec<u8>, values: &[T]) {
 }
 
 /// Reads a slice written by [`write_pod_slice`]; returns the values and the
-/// number of bytes consumed, or `None` when the input is truncated.
-pub fn read_pod_slice<T: PodValue>(bytes: &[u8]) -> Option<(Vec<T>, usize)> {
+/// number of bytes consumed, or [`DecodeError::Truncated`] when the input is
+/// shorter than its length prefix claims.
+pub fn read_pod_slice<T: PodValue>(bytes: &[u8]) -> Result<(Vec<T>, usize), DecodeError> {
     if bytes.len() < 8 {
-        return None;
+        return Err(DecodeError::Truncated);
     }
     let len = u64::read_le(bytes) as usize;
-    let need = 8 + len.checked_mul(T::WIDTH)?;
+    let need = 8 + len.checked_mul(T::WIDTH).ok_or(DecodeError::Truncated)?;
     if bytes.len() < need {
-        return None;
+        return Err(DecodeError::Truncated);
     }
     let mut values = Vec::with_capacity(len);
     let mut at = 8;
@@ -575,7 +812,7 @@ pub fn read_pod_slice<T: PodValue>(bytes: &[u8]) -> Option<(Vec<T>, usize)> {
         values.push(T::read_le(&bytes[at..]));
         at += T::WIDTH;
     }
-    Some((values, at))
+    Ok((values, at))
 }
 
 #[cfg(test)]
@@ -638,7 +875,20 @@ mod tests {
         let (back, used) = FlatCsr::<u64>::from_bytes(&bytes).unwrap();
         assert_eq!(used, bytes.len());
         assert_eq!(back, csr);
-        assert!(FlatCsr::<u64>::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(FlatCsr::<u64>::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn borrowed_views_serve_the_same_rows() {
+        let rows = vec![vec![4u64, 5], vec![6]];
+        let owned = FlatCsr::freeze(&rows);
+        let (values, offsets) = owned.parts();
+        let view: FlatCsrRef<'_, u64> = FlatCsr::from_parts(values, offsets).unwrap();
+        assert_eq!(view.num_rows(), owned.num_rows());
+        for i in 0..owned.num_rows() {
+            assert_eq!(view.row(i), owned.row(i));
+        }
+        assert_eq!(view, owned);
     }
 
     #[test]
@@ -678,7 +928,7 @@ mod tests {
         let (back, used) = FlatLevelLabels::from_bytes(&bytes).unwrap();
         assert_eq!(used, bytes.len());
         assert_eq!(back, frozen);
-        assert!(FlatLevelLabels::from_bytes(&bytes[..10]).is_none());
+        assert!(FlatLevelLabels::from_bytes(&bytes[..10]).is_err());
     }
 
     #[test]
@@ -707,7 +957,10 @@ mod tests {
         write_pod_slice(&mut bytes, &[0u64, 0, 0, 0, 0]);
         write_pod_slice(&mut bytes, &[4u32, 1]);
         write_pod_slice(&mut bytes, &[0u32, 2]);
-        assert!(FlatLevelLabels::from_bytes(&bytes).is_none());
+        assert!(matches!(
+            FlatLevelLabels::from_bytes(&bytes),
+            Err(DecodeError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -717,7 +970,20 @@ mod tests {
         // Corrupt the final offset so it no longer matches the arena length.
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
-        assert!(FlatEntryLabels::from_bytes(&bytes).is_none());
-        assert!(FlatEntryLabels::from_bytes(&[]).is_none());
+        assert!(FlatEntryLabels::from_bytes(&bytes).is_err());
+        assert_eq!(
+            FlatEntryLabels::from_bytes(&[]).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn packed_pair_codec_round_trips() {
+        let pairs: Vec<(u32, u64)> = vec![(1, 2), (u32::MAX, u64::MAX), (0, 0)];
+        let mut bytes = Vec::new();
+        write_pod_slice(&mut bytes, &pairs);
+        let (back, used) = read_pod_slice::<(u32, u64)>(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, pairs);
     }
 }

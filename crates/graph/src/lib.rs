@@ -24,7 +24,14 @@
 //!   queries from (global distance/hub arenas with CSR offsets, built by a
 //!   one-shot `freeze()` after construction), plus the branch-free
 //!   min-reduction kernels ([`min_plus_scan`], [`min_plus_merge`]) that scan
-//!   them.
+//!   them. The arenas are generic over a [`Store`] parameter, so the same
+//!   query kernels run on owned `Vec` arenas or on borrowed slices of a
+//!   loaded index file.
+//! * [`container`] — the sectioned on-disk index format (magic/version
+//!   header, per-section table of contents with 64-byte alignment,
+//!   checksum) and the [`PersistentIndex`] trait every backend implements
+//!   for save/load; see its module docs for the exact byte layout and the
+//!   versioning policy.
 //!
 //! Distances are accumulated in `u64` ([`Distance`]) while individual edge
 //! weights are `u32` ([`Weight`]); road-network weights fit comfortably and
@@ -32,6 +39,7 @@
 
 pub mod builder;
 pub mod components;
+pub mod container;
 pub mod contraction;
 pub mod csr;
 pub mod dijkstra;
@@ -45,6 +53,10 @@ pub mod types;
 
 pub use builder::GraphBuilder;
 pub use components::{connected_components, largest_component, ComponentLabels};
+pub use container::{
+    Container, ContainerWriter, DecodeError, MetaReader, MetaWriter, PersistError, PersistentIndex,
+    SectionSpec,
+};
 pub use contraction::{contract_degree_one, ContractedVertex, DegreeOneContraction};
 pub use csr::CsrGraph;
 pub use dijkstra::{
@@ -52,7 +64,8 @@ pub use dijkstra::{
     multi_source_dijkstra, DijkstraResult,
 };
 pub use flat_labels::{
-    min_plus_merge, min_plus_scan, FlatCsr, FlatEntryLabels, FlatLevelLabels, LevelLabelsBuilder,
+    min_plus_merge, min_plus_scan, Borrowed, FlatCsr, FlatCsrRef, FlatEntryLabels,
+    FlatEntryLabelsRef, FlatLevelLabels, FlatLevelLabelsRef, LevelLabelsBuilder, Owned, Store,
 };
 pub use graph::{Edge, Graph};
 pub use pathutil::{eccentricity_from, extract_path, farthest_vertex, path_weight};

@@ -8,31 +8,37 @@
 //! The sparse table is stored as a single row-major arena (`table` +
 //! `row_starts`) rather than a vector of rows, so an RMQ lookup is two
 //! indexed loads from one allocation — the same flat-arena discipline as the
-//! label storage in `hc2l_graph::flat_labels`.
+//! label storage in `hc2l_graph::flat_labels`. Like those arenas, the
+//! structure is generic over a [`Store`]: owned after a build, borrowed
+//! (zero-copy) over the sections of a loaded index container.
 
-use serde::{Deserialize, Serialize};
-
+use hc2l_graph::container::DecodeError;
+use hc2l_graph::flat_labels::{Owned, Store};
 use hc2l_graph::{FlatCsr, Vertex};
 
+/// The raw arrays of an [`LcaStructure`], in [`LcaStructure::from_parts`]
+/// order: Euler tour, tour depths, first occurrences, sparse table, row
+/// index.
+pub type LcaParts<'a> = (&'a [Vertex], &'a [u32], &'a [u32], &'a [u32], &'a [u32]);
+
 /// Euler-tour + sparse-table RMQ structure over a rooted forest.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct LcaStructure {
+pub struct LcaStructure<S: Store = Owned> {
     /// Euler tour of vertices (2n - 1 entries per tree).
-    euler: Vec<Vertex>,
+    euler: S::Slice<Vertex>,
     /// Depths parallel to `euler`.
-    euler_depth: Vec<u32>,
+    euler_depth: S::Slice<u32>,
     /// First occurrence of each vertex in the Euler tour (`u32::MAX` when the
     /// vertex is not part of the forest).
-    first: Vec<u32>,
+    first: S::Slice<u32>,
     /// Row-major sparse table over `euler_depth`: the entry for `(k, i)` is
     /// the index (into the Euler arrays) of the minimum depth in the window
     /// starting at `i` of length `2^k`, stored at `table[row_starts[k] + i]`.
-    table: Vec<u32>,
+    table: S::Slice<u32>,
     /// Start of each level's row in `table` (`levels + 1` entries).
-    row_starts: Vec<u32>,
+    row_starts: S::Slice<u32>,
 }
 
-impl LcaStructure {
+impl LcaStructure<Owned> {
     /// Builds the structure from the frozen children arena and the forest
     /// roots.
     pub fn build(children: &FlatCsr<Vertex>, roots: &[Vertex], num_vertices: usize) -> Self {
@@ -102,6 +108,60 @@ impl LcaStructure {
             row_starts,
         }
     }
+}
+
+impl<S: Store> LcaStructure<S> {
+    /// Assembles the structure from its five raw arrays, validating every
+    /// invariant [`LcaStructure::lca`] relies on (parallel tour arrays, the
+    /// exact sparse-table row widths, in-range indices) so that a loaded
+    /// structure cannot panic on lookups.
+    pub fn from_parts(
+        euler: S::Slice<Vertex>,
+        euler_depth: S::Slice<u32>,
+        first: S::Slice<u32>,
+        table: S::Slice<u32>,
+        row_starts: S::Slice<u32>,
+    ) -> Result<Self, DecodeError> {
+        let m = euler.len();
+        if euler_depth.len() != m {
+            return Err(DecodeError::Malformed("Euler tour arrays differ in length"));
+        }
+        let rows = if m == 0 { 1 } else { m.ilog2() as usize + 1 };
+        if row_starts.len() != rows + 1 || row_starts[0] != 0 {
+            return Err(DecodeError::Malformed("sparse-table row index malformed"));
+        }
+        for k in 0..rows {
+            let width = if k == 0 { m } else { m + 1 - (1usize << k) };
+            if (row_starts[k + 1] as usize) < row_starts[k] as usize
+                || row_starts[k + 1] as usize - row_starts[k] as usize != width
+            {
+                return Err(DecodeError::Malformed("sparse-table row width malformed"));
+            }
+        }
+        if row_starts[rows] as usize != table.len() {
+            return Err(DecodeError::Malformed(
+                "sparse table does not end at its row index",
+            ));
+        }
+        if table.iter().any(|&x| x as usize >= m.max(1)) && m > 0 {
+            return Err(DecodeError::Malformed("sparse-table entry out of range"));
+        }
+        if euler.iter().any(|&v| v as usize >= first.len()) {
+            return Err(DecodeError::Malformed("Euler tour vertex out of range"));
+        }
+        if first.iter().any(|&f| f != u32::MAX && f as usize >= m) {
+            return Err(DecodeError::Malformed(
+                "first-occurrence index out of range",
+            ));
+        }
+        Ok(LcaStructure {
+            euler,
+            euler_depth,
+            first,
+            table,
+            row_starts,
+        })
+    }
 
     /// Lowest common ancestor of `u` and `v`; `None` when they belong to
     /// different trees of the forest (different connected components).
@@ -140,6 +200,42 @@ impl LcaStructure {
             + self.first.len() * 4
             + self.table.len() * 4
             + self.row_starts.len() * 4
+    }
+
+    /// The raw arrays: Euler tour, tour depths, first occurrences, sparse
+    /// table, row index.
+    pub fn parts(&self) -> LcaParts<'_> {
+        (
+            &self.euler,
+            &self.euler_depth,
+            &self.first,
+            &self.table,
+            &self.row_starts,
+        )
+    }
+}
+
+impl<S: Store> std::fmt::Debug for LcaStructure<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LcaStructure")
+            .field("euler_len", &self.euler.len())
+            .field("table_len", &self.table.len())
+            .finish()
+    }
+}
+
+impl<S: Store> Clone for LcaStructure<S>
+where
+    S::Slice<u32>: Clone,
+{
+    fn clone(&self) -> Self {
+        LcaStructure {
+            euler: self.euler.clone(),
+            euler_depth: self.euler_depth.clone(),
+            first: self.first.clone(),
+            table: self.table.clone(),
+            row_starts: self.row_starts.clone(),
+        }
     }
 }
 
@@ -211,6 +307,30 @@ mod tests {
     fn single_vertex_tree() {
         let l = LcaStructure::build(&FlatCsr::freeze(&[vec![]]), &[0], 1);
         assert_eq!(l.lca(0, 0), Some(0));
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_garbage() {
+        let l = sample();
+        let (euler, depth, first, table, rows) = l.parts();
+        let view: LcaStructure<hc2l_graph::flat_labels::Borrowed<'_>> =
+            LcaStructure::from_parts(euler, depth, first, table, rows).unwrap();
+        for u in 0..7u32 {
+            for v in 0..7u32 {
+                assert_eq!(view.lca(u, v), l.lca(u, v));
+            }
+        }
+        // Truncated tour arrays must be rejected.
+        assert!(
+            LcaStructure::<hc2l_graph::flat_labels::Borrowed<'_>>::from_parts(
+                &euler[..euler.len() - 1],
+                depth,
+                first,
+                table,
+                rows
+            )
+            .is_err()
+        );
     }
 
     #[test]

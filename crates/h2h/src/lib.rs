@@ -24,6 +24,6 @@ pub mod index;
 pub mod lca;
 pub mod tree_decomp;
 
-pub use index::{H2hIndex, H2hStats};
+pub use index::{FrozenH2h, FrozenH2hRef, H2hIndex, H2hStats};
 pub use lca::LcaStructure;
 pub use tree_decomp::TreeDecomposition;

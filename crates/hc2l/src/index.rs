@@ -1,38 +1,70 @@
 //! The queryable HC2L index.
+//!
+//! [`Hc2lIndex`] couples the frozen queryable state ([`FrozenHc2l`]) with
+//! the construction configuration and diagnostics. Every query delegates to
+//! the frozen view, so a loaded index (whose construction-only hierarchy is
+//! gone) answers bit-identically to a freshly built one.
 
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use hc2l_cut::BalancedTreeHierarchy;
-use hc2l_graph::{
-    contract_degree_one, min_plus_scan, DegreeOneContraction, Distance, Graph, InducedSubgraph,
-    QueryStats, Vertex, INFINITY,
+use hc2l_cut::{BalancedTreeHierarchy, HierarchyStats};
+use hc2l_graph::container::{
+    method_tag, Container, ContainerWriter, DecodeError, MetaReader, MetaWriter, PersistentIndex,
 };
+use hc2l_graph::{contract_degree_one, Distance, Graph, InducedSubgraph, QueryStats, Vertex};
 
 use crate::builder::build_hierarchy_and_labels;
 use crate::config::Hc2lConfig;
+use crate::frozen::{FrozenContraction, FrozenHc2l, NO_VERTEX};
 use crate::label::LabelSet;
 use crate::stats::{ConstructionStats, IndexStats};
+
+/// Container section tags of the HC2L backend (shared by HC2L and HC2Lp —
+/// the two constructions produce one index layout).
+mod sec {
+    /// Scalar metadata blob (config, hierarchy summary, timings).
+    pub const META: u32 = 0;
+    /// Label distance arena (`u64`).
+    pub const LABEL_DISTS: u32 = 1;
+    /// Label per-level offset table (`u32`).
+    pub const LABEL_OFFSETS: u32 = 2;
+    /// Label per-vertex index (`u32`).
+    pub const LABEL_INDEX: u32 = 3;
+    /// Packed hierarchy bitstrings of the core vertices (`u64`).
+    pub const BITS: u32 = 4;
+    /// Original id → core id map (`u32`).
+    pub const CORE_ID: u32 = 5;
+    /// Contraction root column (`u32`).
+    pub const CONT_ROOT: u32 = 6;
+    /// Contraction parent column (`u32`).
+    pub const CONT_PARENT: u32 = 7;
+    /// Contraction depth column (`u32`).
+    pub const CONT_DEPTH: u32 = 8;
+    /// Contraction distance-to-root column (`u64`).
+    pub const CONT_DIST: u32 = 9;
+}
 
 /// Hierarchical Cut 2-Hop Labelling index over a road network.
 ///
 /// Build it once with [`Hc2lIndex::build`], then answer any number of exact
-/// distance queries with [`Hc2lIndex::query`].
+/// distance queries with [`Hc2lIndex::query`] — or persist it with
+/// `PersistentIndex::save_to` and reload it in milliseconds.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Hc2lIndex {
     config: Hc2lConfig,
-    /// Hierarchy and labels are built over the *core* graph (after degree-one
-    /// contraction), using compact core vertex ids.
-    hierarchy: BalancedTreeHierarchy,
-    labels: LabelSet,
-    /// Mapping from original vertex id to compact core id (`None` for
-    /// contracted vertices).
-    core_id: Vec<Option<Vertex>>,
-    /// Degree-one contraction bookkeeping (`None` when disabled).
-    contraction: Option<DegreeOneContraction>,
+    /// The frozen queryable state (labels, bitstrings, id maps, contraction
+    /// columns) — everything a query touches, nothing it does not.
+    frozen: FrozenHc2l,
+    /// The full balanced tree hierarchy — construction state kept for
+    /// diagnostics on built indexes; `None` after a load (queries only need
+    /// the per-vertex bitstrings inside `frozen`).
+    hierarchy: Option<BalancedTreeHierarchy>,
+    /// Summary statistics of the hierarchy, fixed at build time and
+    /// persisted (Tables 3 and 5 stay available on loaded indexes).
+    hier_stats: HierarchyStats,
     construction: ConstructionStats,
-    num_vertices: usize,
 }
 
 impl Hc2lIndex {
@@ -54,12 +86,26 @@ impl Hc2lIndex {
         // Step 2: compact the core and build hierarchy + labels over it.
         let core_graph_source = contraction.as_ref().map(|c| &c.core).unwrap_or(g);
         let core_sub = InducedSubgraph::new(core_graph_source, &core_vertices);
-        let mut core_id = vec![None; n];
+        let mut core_id = vec![NO_VERTEX; n];
         for (compact, &orig) in core_sub.local_to_parent.iter().enumerate() {
-            core_id[orig as usize] = Some(compact as Vertex);
+            core_id[orig as usize] = compact as Vertex;
         }
         let (hierarchy, labels) = build_hierarchy_and_labels(&core_sub.graph, &config);
 
+        // Step 3: freeze the queryable state — the label arena is already
+        // flat; denormalise the per-core-vertex bitstrings and flatten the
+        // contraction bookkeeping (dropping its core-graph copy).
+        let bits: Vec<u64> = (0..core_sub.graph.num_vertices() as Vertex)
+            .map(|cv| hierarchy.bits_of(cv).raw())
+            .collect();
+        let frozen_contraction = match &contraction {
+            Some(c) => FrozenContraction::from_degree_one(c),
+            None => FrozenContraction::empty(),
+        };
+        let frozen = FrozenHc2l::from_parts(labels, bits, core_id, frozen_contraction)
+            .expect("freshly frozen state must validate");
+
+        let hier_stats = hierarchy.stats();
         let construction = ConstructionStats {
             seconds: start.elapsed().as_secs_f64(),
             threads: config.threads,
@@ -67,18 +113,16 @@ impl Hc2lIndex {
 
         Hc2lIndex {
             config,
-            hierarchy,
-            labels,
-            core_id,
-            contraction,
+            frozen,
+            hierarchy: Some(hierarchy),
+            hier_stats,
             construction,
-            num_vertices: n,
         }
     }
 
     /// Number of vertices of the indexed graph.
     pub fn num_vertices(&self) -> usize {
-        self.num_vertices
+        self.frozen.num_vertices()
     }
 
     /// The construction configuration.
@@ -91,90 +135,40 @@ impl Hc2lIndex {
         self.construction
     }
 
-    /// The balanced tree hierarchy (over core vertex ids).
-    pub fn hierarchy(&self) -> &BalancedTreeHierarchy {
-        &self.hierarchy
+    /// The balanced tree hierarchy (over core vertex ids) — available on
+    /// built indexes, `None` after a load (only the per-vertex bitstrings
+    /// survive persistence; they are all queries need).
+    pub fn hierarchy(&self) -> Option<&BalancedTreeHierarchy> {
+        self.hierarchy.as_ref()
+    }
+
+    /// The frozen queryable state.
+    pub fn frozen(&self) -> &FrozenHc2l {
+        &self.frozen
     }
 
     /// The label set (over core vertex ids).
     pub fn labels(&self) -> &LabelSet {
-        &self.labels
+        self.frozen.labels()
     }
 
-    /// Exact shortest-path distance between two vertices; [`INFINITY`] when
-    /// they are disconnected.
+    /// Exact shortest-path distance between two vertices;
+    /// [`hc2l_graph::INFINITY`] when they are disconnected.
     #[inline]
     pub fn query(&self, s: Vertex, t: Vertex) -> Distance {
-        self.query_with_stats(s, t).0
+        self.frozen.query(s, t)
     }
 
     /// Like [`Hc2lIndex::query`], additionally reporting how many hub entries
     /// were scanned (the shared [`QueryStats`] record).
     pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
-        if s == t {
-            return (0, QueryStats::default());
-        }
-        match &self.contraction {
-            None => self.query_core_by_orig(s, t),
-            Some(c) => {
-                let (rs, ds) = c.root_of(s);
-                let (rt, dt) = c.root_of(t);
-                if rs == rt {
-                    // Both live in (or at the root of) the same pendant tree.
-                    let d = if c.is_contracted(s) && c.is_contracted(t) {
-                        c.same_tree_distance(s, t)
-                    } else {
-                        ds + dt
-                    };
-                    return (d, QueryStats::default());
-                }
-                let (core_d, stats) = self.query_core_by_orig(rs, rt);
-                if core_d >= INFINITY {
-                    (INFINITY, stats)
-                } else {
-                    (ds + core_d + dt, stats)
-                }
-            }
-        }
+        self.frozen.query_with_stats(s, t)
     }
 
-    /// Batched one-to-many query into a caller-provided buffer: distances
-    /// from `s` to every vertex in `targets`.
-    ///
-    /// Amortises the per-query bookkeeping over the batch — the source's
-    /// contraction root and label are resolved once instead of per target —
-    /// which is the access pattern of the POI-search and dispatch workloads
-    /// from the paper's introduction.
+    /// Batched one-to-many query into a caller-provided buffer (see
+    /// [`FrozenHc2l::one_to_many_into`]).
     pub fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
-        out.clear();
-        let Some(c) = &self.contraction else {
-            out.extend(targets.iter().map(|&t| self.query(s, t)));
-            return;
-        };
-        let (rs, ds) = c.root_of(s);
-        let source_core = self.core_id[rs as usize];
-        out.extend(targets.iter().map(|&t| {
-            if s == t {
-                return 0;
-            }
-            let (rt, dt) = c.root_of(t);
-            if rs == rt {
-                return if c.is_contracted(s) && c.is_contracted(t) {
-                    c.same_tree_distance(s, t)
-                } else {
-                    ds + dt
-                };
-            }
-            let core_d = match (source_core, self.core_id[rt as usize]) {
-                (Some(cs), Some(ct)) => self.query_core(cs, ct).0,
-                _ => INFINITY,
-            };
-            if core_d >= INFINITY {
-                INFINITY
-            } else {
-                ds + core_d + dt
-            }
-        }));
+        self.frozen.one_to_many_into(s, targets, out)
     }
 
     /// Batched one-to-many query: allocating variant of
@@ -185,64 +179,153 @@ impl Hc2lIndex {
         out
     }
 
-    /// Query between two core vertices given by their *original* ids.
-    fn query_core_by_orig(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
-        let (Some(cs), Some(ct)) = (self.core_id[s as usize], self.core_id[t as usize]) else {
-            // Only possible if contraction is disabled mid-way; treat as
-            // disconnected to stay safe.
-            return (INFINITY, QueryStats::default());
-        };
-        self.query_core(cs, ct)
-    }
-
-    /// Query between two core vertices given by their *compact core* ids.
-    ///
-    /// One LCA bit-operation, two contiguous arena slices, one branch-free
-    /// min-reduction (`hc2l_graph::min_plus_scan`) — the hot path carries no
-    /// per-entry branch and no pointer chase.
-    fn query_core(&self, cs: Vertex, ct: Vertex) -> (Distance, QueryStats) {
-        if cs == ct {
-            return (0, QueryStats::default());
-        }
-        let level = self.hierarchy.lca_level(cs, ct) as usize;
-        let a = self.labels.level_array(cs, level);
-        let b = self.labels.level_array(ct, level);
-        let common = a.len().min(b.len());
-        (
-            min_plus_scan(a, b),
-            QueryStats::at_level(level as u32, common),
-        )
-    }
-
     /// Index size and shape statistics (Tables 2, 3 and 5).
     pub fn stats(&self) -> IndexStats {
-        let hierarchy = self.hierarchy.stats();
-        let label_bytes = self.labels.memory_bytes();
-        let lca_bytes = self.hierarchy.lca_storage_bytes();
-        let contraction_bytes = self
-            .contraction
-            .as_ref()
-            .map(|c| {
-                c.contracted.iter().filter(|x| x.is_some()).count()
-                    * std::mem::size_of::<hc2l_graph::ContractedVertex>()
-            })
-            .unwrap_or(0);
-        let core_vertices = self.labels.num_vertices();
+        let n = self.frozen.num_vertices();
+        let contracted = self.frozen.contraction().contracted_count();
+        let label_bytes = self.frozen.labels().memory_bytes();
+        let lca_bytes = self.frozen.lca_storage_bytes();
+        // The flattened columns' real footprint (held in memory *and*
+        // persisted), not a per-contracted-vertex estimate.
+        let contraction_bytes = self.frozen.contraction().memory_bytes();
         IndexStats {
-            num_vertices: self.num_vertices,
-            core_vertices,
-            contraction_ratio: self
-                .contraction
-                .as_ref()
-                .map(|c| c.contraction_ratio())
-                .unwrap_or(0.0),
+            num_vertices: n,
+            core_vertices: self.frozen.num_core_vertices(),
+            contraction_ratio: if n == 0 {
+                0.0
+            } else {
+                contracted as f64 / n as f64
+            },
             label_bytes,
             lca_bytes,
             contraction_bytes,
             total_bytes: label_bytes + lca_bytes + contraction_bytes,
-            avg_label_entries: self.labels.avg_entries(),
-            hierarchy,
+            avg_label_entries: self.frozen.labels().avg_entries(),
+            hierarchy: self.hier_stats,
         }
+    }
+}
+
+impl PersistentIndex for Hc2lIndex {
+    const METHOD_TAG: u32 = method_tag::HC2L;
+
+    /// HC2L and HC2Lp produce one index layout; a file written under either
+    /// tag loads into the same type.
+    fn accepts_tag(tag: u32) -> bool {
+        tag == method_tag::HC2L || tag == method_tag::HC2L_PARALLEL
+    }
+
+    fn write_sections(&self, w: &mut ContainerWriter) {
+        let mut meta = MetaWriter::new();
+        meta.f64(self.config.beta)
+            .u64(self.config.leaf_threshold as u64)
+            .bool(self.config.tail_pruning)
+            .bool(self.config.contract_degree_one)
+            .u64(self.config.threads as u64)
+            .u64(self.config.parallel_grain as u64)
+            .f64(self.construction.seconds)
+            .u64(self.construction.threads as u64)
+            .u64(self.hier_stats.num_nodes as u64)
+            .u64(self.hier_stats.internal_nodes as u64)
+            .u64(self.hier_stats.leaves as u64)
+            .u64(self.hier_stats.height as u64)
+            .u64(self.hier_stats.max_cut_size as u64)
+            .f64(self.hier_stats.avg_cut_size)
+            .u64(self.hier_stats.lca_storage_bytes as u64);
+        w.push_section(sec::META, meta.finish());
+
+        let (dists, level_offsets, level_index) = self.frozen.labels().parts();
+        w.push_pods(sec::LABEL_DISTS, dists);
+        w.push_pods(sec::LABEL_OFFSETS, level_offsets);
+        w.push_pods(sec::LABEL_INDEX, level_index);
+        let (bits, core_id) = self.frozen.id_parts();
+        w.push_pods(sec::BITS, bits);
+        w.push_pods(sec::CORE_ID, core_id);
+        let (root, parent, depth, dist) = self.frozen.contraction().parts();
+        w.push_pods(sec::CONT_ROOT, root);
+        w.push_pods(sec::CONT_PARENT, parent);
+        w.push_pods(sec::CONT_DEPTH, depth);
+        w.push_pods(sec::CONT_DIST, dist);
+    }
+
+    fn read_sections(c: &Container) -> Result<Self, DecodeError> {
+        let mut meta = MetaReader::new(c.section(sec::META)?);
+        let config = Hc2lConfig {
+            beta: meta.f64()?,
+            leaf_threshold: meta.usize()?,
+            tail_pruning: meta.bool()?,
+            contract_degree_one: meta.bool()?,
+            threads: meta.usize()?,
+            parallel_grain: meta.usize()?,
+        };
+        let construction = ConstructionStats {
+            seconds: meta.f64()?,
+            threads: meta.usize()?,
+        };
+        let hier_stats = HierarchyStats {
+            num_nodes: meta.usize()?,
+            internal_nodes: meta.usize()?,
+            leaves: meta.usize()?,
+            height: u32::try_from(meta.u64()?)
+                .map_err(|_| DecodeError::Malformed("hierarchy height overflow"))?,
+            max_cut_size: meta.usize()?,
+            avg_cut_size: meta.f64()?,
+            lca_storage_bytes: meta.usize()?,
+        };
+        meta.finish()?;
+
+        let labels = LabelSet::from_parts(
+            c.read_pod_vec::<u64>(sec::LABEL_DISTS)?,
+            c.read_pod_vec::<u32>(sec::LABEL_OFFSETS)?,
+            c.read_pod_vec::<u32>(sec::LABEL_INDEX)?,
+        )?;
+        let core_id = c.read_pod_vec::<u32>(sec::CORE_ID)?;
+        let contraction = FrozenContraction::from_parts(
+            c.read_pod_vec::<u32>(sec::CONT_ROOT)?,
+            c.read_pod_vec::<u32>(sec::CONT_PARENT)?,
+            c.read_pod_vec::<u32>(sec::CONT_DEPTH)?,
+            c.read_pod_vec::<u64>(sec::CONT_DIST)?,
+            core_id.len(),
+        )?;
+        let frozen = FrozenHc2l::from_parts(
+            labels,
+            c.read_pod_vec::<u64>(sec::BITS)?,
+            core_id,
+            contraction,
+        )?;
+        Ok(Hc2lIndex {
+            config,
+            frozen,
+            hierarchy: None,
+            hier_stats,
+            construction,
+        })
+    }
+}
+
+impl<'a> FrozenHc2l<hc2l_graph::flat_labels::Borrowed<'a>> {
+    /// Zero-copy view of an HC2L index stored in a loaded container
+    /// (little-endian hosts; see `Container::section_pods`).
+    pub fn from_container(c: &'a Container) -> Result<Self, DecodeError> {
+        let labels = hc2l_graph::FlatLevelLabels::from_parts(
+            c.section_pods::<u64>(sec::LABEL_DISTS)?,
+            c.section_pods::<u32>(sec::LABEL_OFFSETS)?,
+            c.section_pods::<u32>(sec::LABEL_INDEX)?,
+        )?;
+        let core_id = c.section_pods::<u32>(sec::CORE_ID)?;
+        let contraction = FrozenContraction::from_parts(
+            c.section_pods::<u32>(sec::CONT_ROOT)?,
+            c.section_pods::<u32>(sec::CONT_PARENT)?,
+            c.section_pods::<u32>(sec::CONT_DEPTH)?,
+            c.section_pods::<u64>(sec::CONT_DIST)?,
+            core_id.len(),
+        )?;
+        FrozenHc2l::from_parts(
+            labels,
+            c.section_pods::<u64>(sec::BITS)?,
+            core_id,
+            contraction,
+        )
     }
 }
 
@@ -250,7 +333,7 @@ impl Hc2lIndex {
 mod tests {
     use super::*;
     use hc2l_graph::toy::{grid_graph, paper_figure1, path_graph, star_graph};
-    use hc2l_graph::{dijkstra, GraphBuilder};
+    use hc2l_graph::{dijkstra, GraphBuilder, INFINITY};
 
     fn assert_all_pairs_exact(g: &Graph, index: &Hc2lIndex) {
         for s in 0..g.num_vertices() as Vertex {
@@ -434,6 +517,35 @@ mod tests {
         let index = Hc2lIndex::build(&g, Hc2lConfig::default());
         for v in 0..10u32 {
             assert_eq!(index.query(v, v), 0);
+        }
+    }
+
+    #[test]
+    fn container_round_trip_preserves_queries_and_stats() {
+        let mut b = GraphBuilder::new(0);
+        for (u, v, w) in grid_graph(5, 5).edges() {
+            b.add_edge(u, v, w);
+        }
+        b.add_edge(7, 25, 2);
+        b.add_edge(25, 26, 3);
+        let g = b.build();
+        let index = Hc2lIndex::build(&g, Hc2lConfig::default());
+        let mut w = ContainerWriter::new(Hc2lIndex::METHOD_TAG);
+        index.write_sections(&mut w);
+        let c = Container::from_bytes(&w.finish()).unwrap();
+        let back = Hc2lIndex::read_sections(&c).unwrap();
+        assert!(back.hierarchy().is_none());
+        assert_eq!(
+            back.stats().hierarchy.height,
+            index.stats().hierarchy.height
+        );
+        assert_eq!(back.stats().label_bytes, index.stats().label_bytes);
+        assert!((back.config().beta - index.config().beta).abs() < 1e-12);
+        let n = g.num_vertices() as Vertex;
+        for s in 0..n {
+            for t in 0..n {
+                assert_eq!(back.query(s, t), index.query(s, t));
+            }
         }
     }
 }

@@ -37,6 +37,7 @@
 
 pub mod builder;
 pub mod config;
+pub mod frozen;
 pub mod index;
 pub mod label;
 pub mod node_build;
@@ -45,6 +46,7 @@ pub mod prune;
 pub mod stats;
 
 pub use config::Hc2lConfig;
+pub use frozen::{FrozenContraction, FrozenHc2l, FrozenHc2lRef};
 pub use index::Hc2lIndex;
 pub use label::{LabelSet, LevelLabelsBuilder};
 pub use stats::{ConstructionStats, IndexStats};

@@ -6,6 +6,10 @@ use std::collections::BinaryHeap;
 use serde::{Deserialize, Serialize};
 
 use hc2l_ch::ContractionHierarchy;
+use hc2l_graph::container::{
+    method_tag, Container, ContainerWriter, DecodeError, MetaReader, MetaWriter, PersistentIndex,
+};
+use hc2l_graph::flat_labels::{Borrowed, Owned, Store};
 use hc2l_graph::{Distance, FlatEntryLabels, Graph, Vertex, INFINITY};
 
 /// Size statistics of a hub labelling.
@@ -19,17 +23,147 @@ pub struct HubLabelStats {
     pub memory_bytes: usize,
 }
 
+/// Container section tags of the HL backend.
+mod sec {
+    /// Scalar metadata ([`super::MetaWriter`] blob).
+    pub const META: u32 = 0;
+    /// Hub-id column (`u32`).
+    pub const HUBS: u32 = 1;
+    /// Distance column (`u64`).
+    pub const DISTS: u32 = 2;
+    /// Per-vertex CSR offsets (`u32`).
+    pub const OFFSETS: u32 = 3;
+    /// Importance position of each vertex (`u32`).
+    pub const ORDER: u32 = 4;
+}
+
+/// The frozen, queryable state of a hub labelling: the [`FlatEntryLabels`]
+/// arena plus each vertex's importance position.
+///
+/// Generic over the [`Store`]: owned after a build, borrowed (zero-copy)
+/// over the sections of a loaded index container — the merge-join query
+/// kernel runs on either instantiation unchanged.
+pub struct FrozenHubLabels<S: Store = Owned> {
+    /// Frozen per-vertex labels, each sorted by hub order index.
+    labels: FlatEntryLabels<S>,
+    /// `order_of[v]` — importance position of vertex `v` (0 = most important).
+    order_of: S::Slice<u32>,
+}
+
+/// A [`FrozenHubLabels`] borrowing its arenas from a loaded container.
+pub type FrozenHubLabelsRef<'a> = FrozenHubLabels<Borrowed<'a>>;
+
+impl<S: Store> FrozenHubLabels<S> {
+    /// Assembles the frozen state, validating that the order array covers
+    /// every labelled vertex and that every label is strictly sorted by hub
+    /// id — the invariant the merge-join relies on; an unsorted label would
+    /// silently miss common hubs, so a crafted file fails here instead.
+    pub fn from_parts(
+        labels: FlatEntryLabels<S>,
+        order_of: S::Slice<u32>,
+    ) -> Result<Self, DecodeError> {
+        if order_of.len() != labels.num_vertices() {
+            return Err(DecodeError::Malformed(
+                "order array does not cover every vertex",
+            ));
+        }
+        for v in 0..labels.num_vertices() as Vertex {
+            if labels.hubs(v).windows(2).any(|w| w[0] >= w[1]) {
+                return Err(DecodeError::Malformed("hub label not strictly sorted"));
+            }
+        }
+        Ok(FrozenHubLabels { labels, order_of })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.num_vertices()
+    }
+
+    /// The frozen label arena.
+    pub fn labels(&self) -> &FlatEntryLabels<S> {
+        &self.labels
+    }
+
+    /// Hub ids of vertex `v`'s label (sorted ascending).
+    #[inline]
+    pub fn label_hubs(&self, v: Vertex) -> &[Vertex] {
+        self.labels.hubs(v)
+    }
+
+    /// Distances of vertex `v`'s label, parallel to
+    /// [`FrozenHubLabels::label_hubs`].
+    #[inline]
+    pub fn label_dists(&self, v: Vertex) -> &[Distance] {
+        self.labels.dists(v)
+    }
+
+    /// Number of entries in vertex `v`'s label.
+    #[inline]
+    pub fn label_len(&self, v: Vertex) -> usize {
+        self.labels.len_of(v)
+    }
+
+    /// Importance position of a vertex (0 = most important).
+    #[inline]
+    pub fn order_of(&self, v: Vertex) -> u32 {
+        self.order_of[v as usize]
+    }
+
+    /// Size statistics (O(1): totals are fixed by the freeze step).
+    pub fn stats(&self) -> HubLabelStats {
+        HubLabelStats {
+            total_entries: self.labels.total_entries(),
+            avg_label_size: self.labels.avg_entries(),
+            memory_bytes: self.labels.memory_bytes(),
+        }
+    }
+}
+
+impl<'a> FrozenHubLabels<Borrowed<'a>> {
+    /// Zero-copy view of the labelling stored in a loaded container
+    /// (little-endian hosts; see `Container::section_pods`).
+    pub fn from_container(c: &'a Container) -> Result<Self, DecodeError> {
+        let labels = FlatEntryLabels::from_parts(
+            c.section_pods::<u32>(sec::HUBS)?,
+            c.section_pods::<u64>(sec::DISTS)?,
+            c.section_pods::<u32>(sec::OFFSETS)?,
+        )?;
+        FrozenHubLabels::from_parts(labels, c.section_pods::<u32>(sec::ORDER)?)
+    }
+}
+
+impl<S: Store> std::fmt::Debug for FrozenHubLabels<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrozenHubLabels")
+            .field("labels", &self.labels)
+            .field("order_of", &&self.order_of[..])
+            .finish()
+    }
+}
+
+impl<S: Store> Clone for FrozenHubLabels<S>
+where
+    FlatEntryLabels<S>: Clone,
+    S::Slice<u32>: Clone,
+{
+    fn clone(&self) -> Self {
+        FrozenHubLabels {
+            labels: self.labels.clone(),
+            order_of: self.order_of.clone(),
+        }
+    }
+}
+
 /// A hub-labelling index.
 ///
-/// Queries run entirely on the frozen [`FlatEntryLabels`] arena: per-vertex
+/// Queries run entirely on the frozen [`FrozenHubLabels`] state: per-vertex
 /// hub-id and distance columns are contiguous, and the merge-join advances
 /// branch-free (`hc2l_graph::min_plus_merge`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HubLabelIndex {
-    /// Frozen per-vertex labels, each sorted by hub order index.
-    labels: FlatEntryLabels,
-    /// `order_of[v]` — importance position of vertex `v` (0 = most important).
-    order_of: Vec<u32>,
+    frozen: FrozenHubLabels,
     /// Wall-clock seconds spent building (ordering + labelling).
     pub construction_seconds: f64,
 }
@@ -108,75 +242,107 @@ impl HubLabelIndex {
         // Labels were filled in increasing hub index, so they are sorted;
         // freeze them into the flat query arena.
         HubLabelIndex {
-            labels: FlatEntryLabels::freeze_pairs(&labels),
-            order_of,
+            frozen: FrozenHubLabels {
+                labels: FlatEntryLabels::freeze_pairs(&labels),
+                order_of,
+            },
             construction_seconds: start.elapsed().as_secs_f64(),
         }
     }
 
+    /// The frozen queryable state.
+    pub fn frozen(&self) -> &FrozenHubLabels {
+        &self.frozen
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
-        self.labels.num_vertices()
+        self.frozen.num_vertices()
     }
 
     /// The frozen label arena.
     pub fn labels(&self) -> &FlatEntryLabels {
-        &self.labels
+        self.frozen.labels()
     }
 
     /// Hub ids of vertex `v`'s label (sorted ascending).
     #[inline]
     pub fn label_hubs(&self, v: Vertex) -> &[Vertex] {
-        self.labels.hubs(v)
+        self.frozen.label_hubs(v)
     }
 
     /// Distances of vertex `v`'s label, parallel to [`Self::label_hubs`].
     #[inline]
     pub fn label_dists(&self, v: Vertex) -> &[Distance] {
-        self.labels.dists(v)
+        self.frozen.label_dists(v)
     }
 
     /// Number of entries in vertex `v`'s label.
     #[inline]
     pub fn label_len(&self, v: Vertex) -> usize {
-        self.labels.len_of(v)
+        self.frozen.label_len(v)
     }
 
     /// Importance position of a vertex (0 = most important).
     pub fn order_of(&self, v: Vertex) -> u32 {
-        self.order_of[v as usize]
+        self.frozen.order_of(v)
     }
 
     /// Size statistics (O(1): totals are fixed by the freeze step).
     pub fn stats(&self) -> HubLabelStats {
-        HubLabelStats {
-            total_entries: self.labels.total_entries(),
-            avg_label_size: self.labels.avg_entries(),
-            memory_bytes: self.labels.memory_bytes(),
-        }
+        self.frozen.stats()
     }
 
     /// Serialises the frozen index with the shared little-endian codec (the
     /// vendored serde stand-in is marker-only, see `vendor/README.md`).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = self.labels.to_bytes();
-        hc2l_graph::flat_labels::write_pod_slice(&mut out, &self.order_of);
+        let mut out = self.frozen.labels.to_bytes();
+        hc2l_graph::flat_labels::write_pod_slice(&mut out, &self.frozen.order_of);
         hc2l_graph::flat_labels::write_pod_slice(&mut out, &[self.construction_seconds.to_bits()]);
         out
     }
 
     /// Reads an index back from [`HubLabelIndex::to_bytes`] output.
-    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
         let (labels, a) = FlatEntryLabels::from_bytes(bytes)?;
         let (order_of, b) = hc2l_graph::flat_labels::read_pod_slice::<u32>(&bytes[a..])?;
         let (secs, _) = hc2l_graph::flat_labels::read_pod_slice::<u64>(&bytes[a + b..])?;
-        if order_of.len() != labels.num_vertices() || secs.len() != 1 {
-            return None;
+        if secs.len() != 1 {
+            return Err(DecodeError::Malformed("expected one timing field"));
         }
-        Some(HubLabelIndex {
-            labels,
-            order_of,
+        Ok(HubLabelIndex {
+            frozen: FrozenHubLabels::from_parts(labels, order_of)?,
             construction_seconds: f64::from_bits(secs[0]),
+        })
+    }
+}
+
+impl PersistentIndex for HubLabelIndex {
+    const METHOD_TAG: u32 = method_tag::HL;
+
+    fn write_sections(&self, w: &mut ContainerWriter) {
+        let mut meta = MetaWriter::new();
+        meta.f64(self.construction_seconds);
+        w.push_section(sec::META, meta.finish());
+        let (hubs, dists, offsets) = self.frozen.labels.parts();
+        w.push_pods(sec::HUBS, hubs);
+        w.push_pods(sec::DISTS, dists);
+        w.push_pods(sec::OFFSETS, offsets);
+        w.push_pods(sec::ORDER, &self.frozen.order_of);
+    }
+
+    fn read_sections(c: &Container) -> Result<Self, DecodeError> {
+        let mut meta = MetaReader::new(c.section(sec::META)?);
+        let construction_seconds = meta.f64()?;
+        meta.finish()?;
+        let labels = FlatEntryLabels::from_parts(
+            c.read_pod_vec::<u32>(sec::HUBS)?,
+            c.read_pod_vec::<u64>(sec::DISTS)?,
+            c.read_pod_vec::<u32>(sec::OFFSETS)?,
+        )?;
+        Ok(HubLabelIndex {
+            frozen: FrozenHubLabels::from_parts(labels, c.read_pod_vec::<u32>(sec::ORDER)?)?,
+            construction_seconds,
         })
     }
 }
@@ -305,6 +471,23 @@ mod tests {
                 assert_eq!(back.query(v, t), index.query(v, t));
             }
         }
-        assert!(HubLabelIndex::from_bytes(&bytes[..bytes.len() / 2]).is_none());
+        assert!(HubLabelIndex::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn container_round_trip_and_borrowed_view_agree() {
+        let g = paper_figure1();
+        let index = HubLabelIndex::build(&g);
+        let mut w = ContainerWriter::new(HubLabelIndex::METHOD_TAG);
+        index.write_sections(&mut w);
+        let c = Container::from_bytes(&w.finish()).unwrap();
+        let back = HubLabelIndex::read_sections(&c).unwrap();
+        let view = FrozenHubLabels::from_container(&c).unwrap();
+        for s in 0..16u32 {
+            for t in 0..16u32 {
+                assert_eq!(back.query(s, t), index.query(s, t));
+                assert_eq!(view.query(s, t), index.query(s, t));
+            }
+        }
     }
 }

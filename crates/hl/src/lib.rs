@@ -14,4 +14,4 @@
 pub mod build;
 pub mod query;
 
-pub use build::{HubLabelIndex, HubLabelStats};
+pub use build::{FrozenHubLabels, FrozenHubLabelsRef, HubLabelIndex, HubLabelStats};

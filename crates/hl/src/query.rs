@@ -1,10 +1,15 @@
 //! Distance queries over hub labels (Equation 1 of the paper).
+//!
+//! The merge-join is implemented once on the [`FrozenHubLabels`] view, so it
+//! runs identically on an owned, freshly built index and on a borrowed
+//! zero-copy view of a loaded index container.
 
+use hc2l_graph::flat_labels::Store;
 use hc2l_graph::{min_plus_merge, Distance, QueryStats, Vertex};
 
-use crate::build::HubLabelIndex;
+use crate::build::{FrozenHubLabels, HubLabelIndex};
 
-impl HubLabelIndex {
+impl<S: Store> FrozenHubLabels<S> {
     /// Exact distance query: a branch-free merge-join over the two frozen
     /// hub/distance column pairs.
     #[inline]
@@ -47,6 +52,25 @@ impl HubLabelIndex {
                 min_plus_merge(hubs_s, dists_s, self.label_hubs(t), self.label_dists(t))
             }
         }));
+    }
+}
+
+impl HubLabelIndex {
+    /// Exact distance query (see [`FrozenHubLabels::query`]).
+    #[inline]
+    pub fn query(&self, s: Vertex, t: Vertex) -> Distance {
+        self.frozen().query(s, t)
+    }
+
+    /// Exact distance query with scan statistics (see
+    /// [`FrozenHubLabels::query_with_stats`]).
+    pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
+        self.frozen().query_with_stats(s, t)
+    }
+
+    /// Batched one-to-many query into a caller-provided buffer.
+    pub fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
+        self.frozen().one_to_many_into(s, targets, out)
     }
 
     /// Batched one-to-many query: allocating variant of

@@ -113,6 +113,23 @@ impl OracleBuilder {
     pub fn build(&self, g: &Graph) -> Oracle {
         Oracle::build(g, &self.config)
     }
+
+    /// Loads a previously saved oracle from a sectioned index-container
+    /// file, dispatching on the method tag stored in the file header — the
+    /// serve-only counterpart of [`OracleBuilder::build`]. Construction
+    /// parameters travel with the file, so no builder configuration is
+    /// needed:
+    ///
+    /// ```no_run
+    /// use hc2l_oracle::{DistanceOracle, OracleBuilder};
+    ///
+    /// let oracle = OracleBuilder::load(std::path::Path::new("paris.hc2l")).unwrap();
+    /// let d = oracle.distance(0, 42);
+    /// # let _ = d;
+    /// ```
+    pub fn load(path: &std::path::Path) -> Result<Oracle, hc2l_graph::PersistError> {
+        Oracle::load(path)
+    }
 }
 
 #[cfg(test)]

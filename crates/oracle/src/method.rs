@@ -1,5 +1,6 @@
 //! Runtime identification of the workspace's distance-oracle backends.
 
+use hc2l_graph::container::method_tag;
 use serde::{Deserialize, Serialize};
 
 /// The distance-query methods compared in the paper's evaluation, plus CH
@@ -35,6 +36,24 @@ impl Method {
     /// The labelling methods the paper's main tables compare (HC2Lp shares
     /// its index with HC2L, and CH is only used in auxiliary comparisons).
     pub const LABELLING: [Method; 4] = [Method::Hc2l, Method::H2h, Method::Phl, Method::Hl];
+
+    /// The method tag stored in index-container headers
+    /// (`hc2l_graph::container::method_tag`).
+    pub fn tag(self) -> u32 {
+        match self {
+            Method::Hc2l => method_tag::HC2L,
+            Method::Hc2lParallel => method_tag::HC2L_PARALLEL,
+            Method::H2h => method_tag::H2H,
+            Method::Phl => method_tag::PHL,
+            Method::Hl => method_tag::HL,
+            Method::Ch => method_tag::CH,
+        }
+    }
+
+    /// The method denoted by a container header tag, if any.
+    pub fn from_tag(tag: u32) -> Option<Method> {
+        Method::ALL.into_iter().find(|m| m.tag() == tag)
+    }
 
     /// Display name used in generated tables and reports.
     pub fn name(self) -> &'static str {
@@ -84,6 +103,15 @@ mod tests {
         assert_eq!(Method::Hc2lParallel.name(), "HC2Lp");
         assert_eq!(Method::ALL.len(), 6);
         assert_eq!(Method::LABELLING.len(), 4);
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for m in Method::ALL {
+            assert_eq!(Method::from_tag(m.tag()), Some(m));
+        }
+        assert_eq!(Method::from_tag(0), None);
+        assert_eq!(Method::from_tag(999), None);
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! The [`Oracle`] enum: any built backend behind one concrete type.
 
+use std::path::Path;
+
 use hc2l::Hc2lIndex;
 use hc2l_ch::ContractionHierarchy;
-use hc2l_graph::{Distance, Graph, QueryStats, Vertex};
+use hc2l_graph::container::{Container, ContainerWriter, DecodeError};
+use hc2l_graph::{Distance, Graph, PersistError, PersistentIndex, QueryStats, Vertex};
 use hc2l_h2h::H2hIndex;
 use hc2l_hl::HubLabelIndex;
 use hc2l_phl::PhlIndex;
@@ -57,6 +60,37 @@ impl Oracle {
             Oracle::Phl(_) => Method::Phl,
         }
     }
+
+    /// Saves the oracle to a sectioned index-container file
+    /// (`hc2l_graph::container`), stamping the *variant's* method tag into
+    /// the header — a parallel-built HC2L index round-trips as
+    /// [`Method::Hc2lParallel`] even though it shares HC2L's layout.
+    pub fn save(&self, path: &Path) -> Result<(), PersistError> {
+        let mut w = ContainerWriter::new(self.method().tag());
+        delegate!(self, inner => inner.write_sections(&mut w));
+        w.write_to(path)
+    }
+
+    /// Loads an oracle from a container file, dispatching on the method tag
+    /// stored in the header. Runs in milliseconds — no construction, just
+    /// section decoding — and the loaded oracle answers bit-identically to
+    /// the one that was saved.
+    pub fn load(path: &Path) -> Result<Oracle, PersistError> {
+        let c = Container::open(path)?;
+        let method = Method::from_tag(c.method_tag()).ok_or(PersistError::Decode(
+            DecodeError::UnknownMethod {
+                tag: c.method_tag(),
+            },
+        ))?;
+        Ok(match method {
+            Method::Hc2l => Oracle::Hc2l(Hc2lIndex::read_sections(&c)?),
+            Method::Hc2lParallel => Oracle::Hc2lParallel(Hc2lIndex::read_sections(&c)?),
+            Method::Ch => Oracle::Ch(ContractionHierarchy::read_sections(&c)?),
+            Method::H2h => Oracle::H2h(H2hIndex::read_sections(&c)?),
+            Method::Hl => Oracle::Hl(HubLabelIndex::read_sections(&c)?),
+            Method::Phl => Oracle::Phl(PhlIndex::read_sections(&c)?),
+        })
+    }
 }
 
 impl DistanceOracle for Oracle {
@@ -92,6 +126,10 @@ impl DistanceOracle for Oracle {
 
     fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
         delegate!(self, inner => inner.one_to_many_into(s, targets, out))
+    }
+
+    fn save(&self, path: &Path) -> Result<(), PersistError> {
+        Oracle::save(self, path)
     }
 
     fn index_bytes(&self) -> usize {

@@ -1,7 +1,9 @@
 //! The [`DistanceOracle`] trait: one construction-and-query interface for
 //! every backend in the workspace.
 
-use hc2l_graph::{Distance, Graph, QueryStats, Vertex};
+use std::path::Path;
+
+use hc2l_graph::{Distance, Graph, PersistError, QueryStats, Vertex};
 
 use crate::builder::OracleConfig;
 
@@ -60,7 +62,19 @@ pub trait DistanceOracle: Send + Sync {
         out.extend(targets.iter().map(|&t| self.distance(s, t)));
     }
 
-    /// Total index footprint in bytes (labels plus auxiliary structures).
+    /// Saves the built index to a sectioned container file
+    /// (`hc2l_graph::container`); reload it with
+    /// [`OracleBuilder::load`](crate::OracleBuilder::load) — milliseconds
+    /// instead of re-running construction.
+    fn save(&self, path: &Path) -> Result<(), PersistError>;
+
+    /// Total index footprint in bytes: the **exact size of the container
+    /// file** that [`DistanceOracle::save`] writes (header, section table
+    /// and 64-byte-aligned sections) — so bench output and the paper's
+    /// index-size tables agree with what lands on disk. Implementations
+    /// derive it from the same serialisation path as `save`; the default
+    /// (in-memory labels + LCA structures) only stands in for oracles
+    /// without a persistent form.
     fn index_bytes(&self) -> usize {
         self.label_bytes() + self.lca_bytes()
     }

@@ -5,7 +5,11 @@ use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 
-use hc2l_graph::flat_labels::{read_pod_slice, write_pod_slice, PodValue};
+use hc2l_graph::container::{
+    method_tag, Container, ContainerWriter, DecodeError, MetaReader, MetaWriter, PersistentIndex,
+    Pod,
+};
+use hc2l_graph::flat_labels::{read_pod_slice, write_pod_slice, Borrowed, Owned, PodValue, Store};
 use hc2l_graph::{Distance, FlatCsr, Graph, Vertex, INFINITY};
 
 use crate::decompose::HighwayDecomposition;
@@ -18,31 +22,61 @@ use crate::decompose::HighwayDecomposition;
 /// keeps each label to one prefetch stream — the three-parallel-columns
 /// layout used by HL measured ~2x slower here (six distant streams per
 /// query).
+///
+/// The struct is `repr(C)` with an explicit padding word so that its
+/// in-memory layout (24 bytes, no implicit padding) equals its on-disk
+/// little-endian encoding — that is what lets a loaded container section be
+/// viewed as `&[PhlEntry]` without decoding (the [`Pod`] contract).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(C)]
 pub struct PhlEntry {
     /// Highway (path) index; smaller = more important.
     pub path: u32,
+    /// Explicit padding keeping the struct layout identical to its encoding
+    /// (always zero; ordered after `path` so derived comparisons are
+    /// unaffected).
+    pad: u32,
     /// Offset of the attachment point along the highway.
     pub offset: Distance,
     /// Distance from the labelled vertex to the attachment point.
     pub dist: Distance,
 }
 
+impl PhlEntry {
+    /// A label entry for highway `path`, attachment offset `offset`,
+    /// distance `dist`.
+    pub fn new(path: u32, offset: Distance, dist: Distance) -> Self {
+        PhlEntry {
+            path,
+            pad: 0,
+            offset,
+            dist,
+        }
+    }
+}
+
 impl PodValue for PhlEntry {
-    const WIDTH: usize = 20;
+    const WIDTH: usize = 24;
     fn write_le(self, out: &mut Vec<u8>) {
         self.path.write_le(out);
+        self.pad.write_le(out);
         self.offset.write_le(out);
         self.dist.write_le(out);
     }
     fn read_le(bytes: &[u8]) -> Self {
         PhlEntry {
             path: u32::read_le(bytes),
-            offset: u64::read_le(&bytes[4..]),
-            dist: u64::read_le(&bytes[12..]),
+            pad: u32::read_le(&bytes[4..]),
+            offset: u64::read_le(&bytes[8..]),
+            dist: u64::read_le(&bytes[16..]),
         }
     }
 }
+
+// SAFETY: `repr(C)` with fields u32, u32, u64, u64 — size 24 == WIDTH, no
+// implicit padding, every bit pattern valid, and `write_le` emits the fields
+// in declaration order, i.e. exactly the little-endian memory image.
+unsafe impl Pod for PhlEntry {}
 
 /// Size statistics of a highway labelling.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -57,18 +91,121 @@ pub struct PhlStats {
     pub num_paths: usize,
 }
 
+/// Container section tags of the PHL backend.
+mod sec {
+    /// Scalar metadata blob.
+    pub const META: u32 = 0;
+    /// Packed [`super::PhlEntry`] arena (24-byte records).
+    pub const ENTRIES: u32 = 1;
+    /// Per-vertex CSR offsets (`u32`).
+    pub const OFFSETS: u32 = 2;
+}
+
+/// The frozen, queryable state of a pruned highway labelling: the packed
+/// [`PhlEntry`] triples in a [`FlatCsr`] arena, sorted by `(path, offset)`
+/// per vertex.
+///
+/// Generic over the [`Store`]: owned after a build, borrowed (zero-copy)
+/// over a loaded container's sections.
+pub struct FrozenPhlLabels<S: Store = Owned> {
+    labels: FlatCsr<PhlEntry, S>,
+}
+
+/// A [`FrozenPhlLabels`] borrowing its arena from a loaded container.
+pub type FrozenPhlLabelsRef<'a> = FrozenPhlLabels<Borrowed<'a>>;
+
+impl<S: Store> FrozenPhlLabels<S> {
+    /// Wraps a frozen label arena (trusted: the build path sorts before
+    /// freezing).
+    pub fn new(labels: FlatCsr<PhlEntry, S>) -> Self {
+        FrozenPhlLabels { labels }
+    }
+
+    /// Wraps a *loaded* arena, validating the per-vertex `(path, offset)`
+    /// sort order the query merge-join relies on — an unsorted label would
+    /// silently skip matching highways, so a crafted file fails here with a
+    /// typed error instead.
+    pub fn from_sorted(labels: FlatCsr<PhlEntry, S>) -> Result<Self, DecodeError> {
+        for v in 0..labels.num_rows() {
+            if labels.row(v).windows(2).any(|w| w[0] > w[1]) {
+                return Err(DecodeError::Malformed(
+                    "PHL label not sorted by (path, offset)",
+                ));
+            }
+        }
+        Ok(FrozenPhlLabels { labels })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.num_rows()
+    }
+
+    /// The label of vertex `v`: packed entries sorted by `(path, offset)`.
+    #[inline]
+    pub fn label(&self, v: Vertex) -> &[PhlEntry] {
+        self.labels.row(v as usize)
+    }
+
+    /// Number of entries in vertex `v`'s label.
+    #[inline]
+    pub fn label_len(&self, v: Vertex) -> usize {
+        self.labels.row_len(v as usize)
+    }
+
+    /// The underlying arena.
+    pub fn arena(&self) -> &FlatCsr<PhlEntry, S> {
+        &self.labels
+    }
+}
+
+impl<'a> FrozenPhlLabels<Borrowed<'a>> {
+    /// Zero-copy view of the labelling stored in a loaded container
+    /// (little-endian hosts; see `Container::section_pods`).
+    pub fn from_container(c: &'a Container) -> Result<Self, DecodeError> {
+        FrozenPhlLabels::from_sorted(FlatCsr::from_parts(
+            c.section_pods::<PhlEntry>(sec::ENTRIES)?,
+            c.section_pods::<u32>(sec::OFFSETS)?,
+        )?)
+    }
+}
+
+impl<S: Store> std::fmt::Debug for FrozenPhlLabels<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrozenPhlLabels")
+            .field("labels", &self.labels)
+            .finish()
+    }
+}
+
+impl<S: Store> Clone for FrozenPhlLabels<S>
+where
+    FlatCsr<PhlEntry, S>: Clone,
+{
+    fn clone(&self) -> Self {
+        FrozenPhlLabels {
+            labels: self.labels.clone(),
+        }
+    }
+}
+
 /// A pruned highway labelling index.
 ///
-/// Post-build, the [`PhlEntry`] triples live packed in a frozen [`FlatCsr`]
-/// arena — one contiguous block per vertex, one global allocation — sorted
-/// by `(path, offset)` per vertex, so queries are merge-joins over
-/// contiguous entry slices.
+/// Post-build, the [`PhlEntry`] triples live packed in the frozen
+/// [`FrozenPhlLabels`] arena — one contiguous block per vertex, one global
+/// allocation — sorted by `(path, offset)` per vertex, so queries are
+/// merge-joins over contiguous entry slices.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PhlIndex {
-    /// Frozen per-vertex labels, sorted by (path, offset).
-    labels: FlatCsr<PhlEntry>,
-    /// The highway decomposition used.
-    pub decomposition: HighwayDecomposition,
+    /// The frozen labels queries run on.
+    frozen: FrozenPhlLabels,
+    /// The highway decomposition used — construction state kept for
+    /// diagnostics on built indexes; `None` after a load (queries never
+    /// touch it, every queried fact lives in the frozen labels).
+    pub decomposition: Option<HighwayDecomposition>,
+    /// Number of highways the labelling was built from.
+    num_paths: usize,
     /// Wall-clock construction time in seconds.
     pub construction_seconds: f64,
 }
@@ -111,11 +248,7 @@ impl PhlIndex {
                     if query_labels_unsorted(&labels[hub as usize], &labels[v as usize]) <= d {
                         continue;
                     }
-                    labels[v as usize].push(PhlEntry {
-                        path: path_idx,
-                        offset: hub_offset,
-                        dist: d,
-                    });
+                    labels[v as usize].push(PhlEntry::new(path_idx, hub_offset, d));
                     for e in g.neighbors(v) {
                         let nd = d + e.weight as Distance;
                         if nd < dist[e.to as usize] {
@@ -138,65 +271,104 @@ impl PhlIndex {
         for label in &mut labels {
             label.sort_unstable();
         }
+        let num_paths = decomposition.num_paths();
         PhlIndex {
-            labels: FlatCsr::freeze(&labels),
-            decomposition,
+            frozen: FrozenPhlLabels::new(FlatCsr::freeze(&labels)),
+            decomposition: Some(decomposition),
+            num_paths,
             construction_seconds: start.elapsed().as_secs_f64(),
         }
     }
 
+    /// The frozen queryable state.
+    pub fn frozen(&self) -> &FrozenPhlLabels {
+        &self.frozen
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
-        self.labels.num_rows()
+        self.frozen.num_vertices()
     }
 
     /// The frozen label arena.
     pub fn labels(&self) -> &FlatCsr<PhlEntry> {
-        &self.labels
+        self.frozen.arena()
     }
 
     /// The label of vertex `v`: packed entries sorted by `(path, offset)`.
     #[inline]
     pub fn label(&self, v: Vertex) -> &[PhlEntry] {
-        self.labels.row(v as usize)
+        self.frozen.label(v)
     }
 
     /// Number of entries in vertex `v`'s label.
     #[inline]
     pub fn label_len(&self, v: Vertex) -> usize {
-        self.labels.row_len(v as usize)
+        self.frozen.label_len(v)
     }
 
     /// Size statistics (O(1): totals are fixed by the freeze step).
     pub fn stats(&self) -> PhlStats {
+        let labels = self.frozen.arena();
         PhlStats {
-            total_entries: self.labels.total_values(),
-            avg_label_size: if self.labels.num_rows() == 0 {
+            total_entries: labels.total_values(),
+            avg_label_size: if labels.num_rows() == 0 {
                 0.0
             } else {
-                self.labels.total_values() as f64 / self.labels.num_rows() as f64
+                labels.total_values() as f64 / labels.num_rows() as f64
             },
-            memory_bytes: self.labels.memory_bytes(),
-            num_paths: self.decomposition.num_paths(),
+            memory_bytes: labels.memory_bytes(),
+            num_paths: self.num_paths,
         }
     }
 
     /// Serialises the frozen index labels with the shared little-endian
     /// codec (the vendored serde stand-in is marker-only).
     pub fn labels_to_bytes(&self) -> Vec<u8> {
-        let mut out = self.labels.to_bytes();
+        let mut out = self.frozen.arena().to_bytes();
         write_pod_slice(&mut out, &[self.construction_seconds.to_bits()]);
         out
     }
 
     /// Reads a label arena back from [`PhlIndex::labels_to_bytes`] output.
-    pub fn labels_from_bytes(bytes: &[u8]) -> Option<FlatCsr<PhlEntry>> {
+    pub fn labels_from_bytes(bytes: &[u8]) -> Result<FlatCsr<PhlEntry>, DecodeError> {
         let (labels, used) = FlatCsr::<PhlEntry>::from_bytes(bytes)?;
         let (secs, _) = read_pod_slice::<u64>(&bytes[used..])?;
         if secs.len() != 1 {
-            return None;
+            return Err(DecodeError::Malformed("expected one timing field"));
         }
-        Some(labels)
+        Ok(labels)
+    }
+}
+
+impl PersistentIndex for PhlIndex {
+    const METHOD_TAG: u32 = method_tag::PHL;
+
+    fn write_sections(&self, w: &mut ContainerWriter) {
+        let mut meta = MetaWriter::new();
+        meta.u64(self.num_paths as u64)
+            .f64(self.construction_seconds);
+        w.push_section(sec::META, meta.finish());
+        let (entries, offsets) = self.frozen.arena().parts();
+        w.push_pods(sec::ENTRIES, entries);
+        w.push_pods(sec::OFFSETS, offsets);
+    }
+
+    fn read_sections(c: &Container) -> Result<Self, DecodeError> {
+        let mut meta = MetaReader::new(c.section(sec::META)?);
+        let num_paths = meta.usize()?;
+        let construction_seconds = meta.f64()?;
+        meta.finish()?;
+        let labels = FlatCsr::from_parts(
+            c.read_pod_vec::<PhlEntry>(sec::ENTRIES)?,
+            c.read_pod_vec::<u32>(sec::OFFSETS)?,
+        )?;
+        Ok(PhlIndex {
+            frozen: FrozenPhlLabels::from_sorted(labels)?,
+            decomposition: None,
+            num_paths,
+            construction_seconds,
+        })
     }
 }
 
@@ -348,9 +520,10 @@ mod tests {
     fn own_path_entry_has_zero_distance() {
         let g = paper_figure1();
         let index = PhlIndex::build(&g);
+        let decomposition = index.decomposition.as_ref().expect("built index");
         for v in 0..16u32 {
-            let own_path = index.decomposition.path_of[v as usize];
-            let own_offset = index.decomposition.offset_of[v as usize];
+            let own_path = decomposition.path_of[v as usize];
+            let own_offset = decomposition.offset_of[v as usize];
             assert!(
                 index
                     .label(v)
@@ -403,11 +576,7 @@ mod tests {
             let make = |next: &mut dyn FnMut() -> u64| {
                 let len = 1 + (next() % 6) as usize;
                 let mut g: Vec<PhlEntry> = (0..len)
-                    .map(|_| PhlEntry {
-                        path: 0,
-                        offset: next() % 50,
-                        dist: next() % 100,
-                    })
+                    .map(|_| PhlEntry::new(0, next() % 50, next() % 100))
                     .collect();
                 g.sort_unstable();
                 g
@@ -436,5 +605,36 @@ mod tests {
             (0..16).map(|v| index.label_len(v)).sum::<usize>()
         );
         assert!(s.memory_bytes >= s.total_entries * std::mem::size_of::<PhlEntry>());
+    }
+
+    #[test]
+    fn entry_layout_is_pod() {
+        // The Pod contract FrozenPhlLabelsRef relies on: in-memory size ==
+        // encoded width.
+        assert_eq!(std::mem::size_of::<PhlEntry>(), PhlEntry::WIDTH);
+        let e = PhlEntry::new(3, 17, 99);
+        let mut bytes = Vec::new();
+        e.write_le(&mut bytes);
+        assert_eq!(bytes.len(), PhlEntry::WIDTH);
+        assert_eq!(PhlEntry::read_le(&bytes), e);
+    }
+
+    #[test]
+    fn container_round_trip_and_borrowed_view_agree() {
+        let g = paper_figure1();
+        let index = PhlIndex::build(&g);
+        let mut w = ContainerWriter::new(PhlIndex::METHOD_TAG);
+        index.write_sections(&mut w);
+        let c = Container::from_bytes(&w.finish()).unwrap();
+        let back = PhlIndex::read_sections(&c).unwrap();
+        assert!(back.decomposition.is_none());
+        assert_eq!(back.stats().num_paths, index.stats().num_paths);
+        let view = FrozenPhlLabels::from_container(&c).unwrap();
+        for s in 0..16u32 {
+            for t in 0..16u32 {
+                assert_eq!(back.query(s, t), index.query(s, t));
+                assert_eq!(view.query(s, t), index.query(s, t));
+            }
+        }
     }
 }

@@ -21,5 +21,5 @@ pub mod build;
 pub mod decompose;
 pub mod query;
 
-pub use build::{PhlEntry, PhlIndex, PhlStats};
+pub use build::{FrozenPhlLabels, FrozenPhlLabelsRef, PhlEntry, PhlIndex, PhlStats};
 pub use decompose::{HighwayDecomposition, HighwayPath};

@@ -1,10 +1,15 @@
 //! Distance queries over highway labels (Equation 2 of the paper).
+//!
+//! The merge-join is implemented once on the [`FrozenPhlLabels`] view, so it
+//! runs identically on an owned, freshly built index and on a borrowed
+//! zero-copy view of a loaded index container.
 
+use hc2l_graph::flat_labels::Store;
 use hc2l_graph::{Distance, QueryStats, Vertex};
 
-use crate::build::{query_labels, PhlIndex};
+use crate::build::{query_labels, FrozenPhlLabels, PhlIndex};
 
-impl PhlIndex {
+impl<S: Store> FrozenPhlLabels<S> {
     /// Exact distance query over the frozen packed-entry arena.
     #[inline]
     pub fn query(&self, s: Vertex, t: Vertex) -> Distance {
@@ -40,6 +45,25 @@ impl PhlIndex {
                 query_labels(label_s, self.label(t))
             }
         }));
+    }
+}
+
+impl PhlIndex {
+    /// Exact distance query (see [`FrozenPhlLabels::query`]).
+    #[inline]
+    pub fn query(&self, s: Vertex, t: Vertex) -> Distance {
+        self.frozen().query(s, t)
+    }
+
+    /// Exact distance query with scan statistics (see
+    /// [`FrozenPhlLabels::query_with_stats`]).
+    pub fn query_with_stats(&self, s: Vertex, t: Vertex) -> (Distance, QueryStats) {
+        self.frozen().query_with_stats(s, t)
+    }
+
+    /// Batched one-to-many query into a caller-provided buffer.
+    pub fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
+        self.frozen().one_to_many_into(s, targets, out)
     }
 
     /// Batched one-to-many query: allocating variant of
@@ -134,6 +158,6 @@ mod tests {
         let bytes = index.labels_to_bytes();
         let back = PhlIndex::labels_from_bytes(&bytes).expect("codec must round-trip");
         assert_eq!(&back, index.labels());
-        assert!(PhlIndex::labels_from_bytes(&bytes[..bytes.len() - 2]).is_none());
+        assert!(PhlIndex::labels_from_bytes(&bytes[..bytes.len() - 2]).is_err());
     }
 }

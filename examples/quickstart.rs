@@ -58,7 +58,25 @@ fn main() {
         &row[..4.min(row.len())]
     );
 
-    // 5. Throughput check: a million random queries.
+    // 5. Persist & reload: build once, serve many times. `save` writes a
+    //    sectioned container file (its exact size is `index_bytes()`);
+    //    `OracleBuilder::load` restores any method in milliseconds.
+    let index_path =
+        std::env::temp_dir().join(format!("quickstart-index-{}.hc2l", std::process::id()));
+    oracle.save(&index_path).expect("saving the index");
+    let start = std::time::Instant::now();
+    let served = OracleBuilder::load(&index_path).expect("loading the index");
+    println!(
+        "index reloaded in {:.2?} ({} bytes on disk) — answers are bit-identical",
+        start.elapsed(),
+        served.index_bytes()
+    );
+    for (s, t) in pairs {
+        assert_eq!(served.distance(s, t), oracle.distance(s, t));
+    }
+    std::fs::remove_file(&index_path).ok();
+
+    // 6. Throughput check: a million random queries.
     let queries = hc2l_roadnet::random_pairs(graph.num_vertices(), 1_000_000, 7);
     let start = std::time::Instant::now();
     let mut checksum = 0u64;

@@ -45,9 +45,38 @@
 //! the `i`-th ranked cut vertex, so only 8 bytes per entry are stored). A
 //! query therefore touches one or two contiguous slices and reduces them
 //! with branch-free chunked min-kernels (`min_plus_scan`,
-//! `min_plus_merge`); all size totals are O(1) reads fixed at freeze time,
-//! and the arenas round-trip through a little-endian byte codec
-//! (`to_bytes`/`from_bytes`) for persistence.
+//! `min_plus_merge`); all size totals are O(1) reads fixed at freeze time.
+//!
+//! # Persist & reload: sectioned index containers
+//!
+//! Construction and serving are separate phases: an index is built once and
+//! queried many times, so every backend splits its *queryable* state into a
+//! `Frozen*` view (generic over ownership — owned `Vec` arenas after a
+//! build, borrowed zero-copy slices of a loaded file) and persists it
+//! through the sectioned container format of `hc2l_graph::container`
+//! (magic/version header, per-section table of contents with 64-byte
+//! alignment, checksum). [`DistanceOracle::save`] writes the file —
+//! `index_bytes()` reports its exact size — and [`OracleBuilder::load`]
+//! restores any method in milliseconds, dispatching on the method tag
+//! stored in the header:
+//!
+//! ```
+//! use hc2l_repro::{DistanceOracle, Method, OracleBuilder};
+//! use hc2l_repro::hc2l_graph::toy::paper_figure1;
+//!
+//! let g = paper_figure1();
+//! let oracle = OracleBuilder::new(Method::H2h).build(&g);
+//! let path = std::env::temp_dir().join(format!("hc2l-doc-{}.hc2l", std::process::id()));
+//! oracle.save(&path).unwrap();
+//! let served = OracleBuilder::load(&path).unwrap();   // serve-only restart
+//! assert_eq!(served.method(), Method::H2h);
+//! assert_eq!(served.distance(13, 14), oracle.distance(13, 14));
+//! assert_eq!(oracle.index_bytes(), std::fs::metadata(&path).unwrap().len() as usize);
+//! std::fs::remove_file(&path).ok();
+//! ```
+//!
+//! Corrupt or truncated files surface as typed `PersistError`s (bad magic,
+//! unsupported version, checksum mismatch, …), never panics.
 //!
 //! # Crate map
 //!
@@ -76,3 +105,7 @@ pub use hc2l_oracle::{DistanceOracle, Method, Oracle, OracleBuilder, OracleConfi
 
 /// Re-export of the shared per-query instrumentation record.
 pub use hc2l_graph::QueryStats;
+
+/// Re-exports of the persistence layer: the error types `save`/`load`
+/// return and the trait backends implement for container files.
+pub use hc2l_graph::{DecodeError, PersistError, PersistentIndex};

@@ -89,7 +89,7 @@ fn hierarchy_respects_definition() {
     for g in common::connected_graph_cases(12, 80, 0x3C) {
         let cfg = Hc2lConfig::default();
         let index = Hc2lIndex::build(&g, cfg.without_contraction());
-        let h = index.hierarchy();
+        let h = index.hierarchy().expect("built index keeps its hierarchy");
         assert!(h.is_complete());
         assert_eq!(h.check_balance(cfg.beta), None);
         // Height bound: generously, a few times log_{1/(1-β)}(n) plus slack
@@ -129,7 +129,7 @@ fn tail_pruning_is_lossless() {
 fn lca_cut_contains_a_realising_hub() {
     for g in common::connected_graph_cases(8, 40, 0x5E) {
         let index = Hc2lIndex::build(&g, Hc2lConfig::default().without_contraction());
-        let h = index.hierarchy();
+        let h = index.hierarchy().expect("built index keeps its hierarchy");
         let n = g.num_vertices() as Vertex;
         for s in 0..n {
             let dist_s = dijkstra(&g, s);

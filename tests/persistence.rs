@@ -1,0 +1,308 @@
+//! Index persistence: the save → load round trip through the whole oracle
+//! stack (PR 3).
+//!
+//! Pins down, for every [`Method`]:
+//!
+//! * save → load → **bit-identical** query results, checked both against the
+//!   built index and against Dijkstra ground truth, on graphs that exercise
+//!   degree-one contraction and disconnected components;
+//! * `index_bytes()` equals the exact byte size of the file `save` writes;
+//! * corrupted files (truncation, bad magic, wrong version, flipped
+//!   checksum/payload bytes, foreign method tags) surface as typed
+//!   [`PersistError`]s, never panics;
+//! * the zero-copy `Frozen*Ref` views over a loaded container answer
+//!   identically to the owned indexes they were saved from.
+
+mod common;
+
+use std::path::PathBuf;
+
+use common::random_connected_graph;
+use hc2l::Hc2lConfig;
+use hc2l_graph::container::{Container, ContainerWriter, DecodeError};
+use hc2l_graph::toy::grid_graph;
+use hc2l_graph::{dijkstra, Graph, GraphBuilder, PersistError, PersistentIndex, Vertex};
+use hc2l_oracle::{DistanceOracle, Method, Oracle, OracleBuilder};
+
+/// Scratch directory for this test binary's container files.
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("persistence");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(name)
+}
+
+/// A grid with pendant trees and a second component: exercises the HC2L
+/// contraction columns and the cross-component INFINITY paths.
+fn gnarly_graph() -> Graph {
+    let mut b = GraphBuilder::new(0);
+    for (u, v, w) in grid_graph(5, 5).edges() {
+        b.add_edge(u, v, w);
+    }
+    // Pendant chain and star off the grid.
+    b.add_edge(7, 25, 2);
+    b.add_edge(25, 26, 3);
+    b.add_edge(26, 27, 1);
+    b.add_edge(12, 28, 4);
+    // A separate component.
+    b.add_edge(29, 30, 5);
+    b.add_edge(30, 31, 2);
+    b.build()
+}
+
+#[test]
+fn every_method_round_trips_with_bit_identical_queries() {
+    let graphs = [gnarly_graph(), random_connected_graph(40, 30, 0xD15C)];
+    for (gi, g) in graphs.iter().enumerate() {
+        let n = g.num_vertices() as Vertex;
+        let targets: Vec<Vertex> = (0..n).collect();
+        for method in Method::ALL {
+            let built = OracleBuilder::new(method).threads(2).build(g);
+            let path = scratch(&format!("rt-{gi}-{}.hc2l", method.name()));
+            built.save(&path).expect("save must succeed");
+
+            // index_bytes is the exact on-disk size.
+            let file_len = std::fs::metadata(&path).expect("saved file").len() as usize;
+            assert_eq!(
+                built.index_bytes(),
+                file_len,
+                "{}: index_bytes vs file size",
+                method
+            );
+
+            let loaded = OracleBuilder::load(&path).expect("load must succeed");
+            assert_eq!(loaded.method(), method, "method tag round-trips");
+            assert_eq!(loaded.name(), built.name());
+            assert_eq!(loaded.index_bytes(), built.index_bytes());
+            assert_eq!(loaded.label_bytes(), built.label_bytes());
+            assert_eq!(loaded.lca_bytes(), built.lca_bytes());
+            assert_eq!(loaded.tree_height(), built.tree_height());
+            assert_eq!(loaded.max_width(), built.max_width());
+
+            // Bit-identical answers: vs the built index and vs Dijkstra.
+            let mut buf = Vec::new();
+            for s in 0..n {
+                let truth = dijkstra(g, s);
+                for t in 0..n {
+                    let d = loaded.distance(s, t);
+                    assert_eq!(d, built.distance(s, t), "{method} loaded ({s},{t})");
+                    assert_eq!(d, truth[t as usize], "{method} vs Dijkstra ({s},{t})");
+                }
+                loaded.one_to_many_into(s, &targets, &mut buf);
+                for (&t, &d) in targets.iter().zip(buf.iter()) {
+                    assert_eq!(d, built.distance(s, t), "{method} otm ({s},{t})");
+                }
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+#[test]
+fn hc2lp_round_trips_as_the_parallel_variant() {
+    let g = grid_graph(6, 6);
+    let built = OracleBuilder::new(Method::Hc2lParallel)
+        .threads(3)
+        .build(&g);
+    let path = scratch("hc2lp.hc2l");
+    built.save(&path).expect("save");
+    let loaded = Oracle::load(&path).expect("load");
+    assert_eq!(loaded.method(), Method::Hc2lParallel);
+    assert_eq!(loaded.name(), "HC2Lp");
+    for s in (0..36u32).step_by(3) {
+        for t in 0..36u32 {
+            assert_eq!(loaded.distance(s, t), built.distance(s, t));
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_files_yield_clean_errors_not_panics() {
+    let g = random_connected_graph(24, 12, 7);
+    let built = OracleBuilder::new(Method::Hl).build(&g);
+    let path = scratch("corrupt.hc2l");
+    built.save(&path).expect("save");
+    let bytes = std::fs::read(&path).expect("read back");
+    std::fs::remove_file(&path).ok();
+
+    let load = |mutated: Vec<u8>| -> Result<Oracle, PersistError> {
+        let p = scratch("corrupt-case.hc2l");
+        std::fs::write(&p, &mutated).expect("write case");
+        let r = Oracle::load(&p);
+        std::fs::remove_file(&p).ok();
+        r
+    };
+    let decode_err = |r: Result<Oracle, PersistError>| -> DecodeError {
+        match r {
+            Err(PersistError::Decode(e)) => e,
+            Err(PersistError::Io(e)) => panic!("expected decode error, got I/O error {e}"),
+            Ok(_) => panic!("corrupted file loaded successfully"),
+        }
+    };
+
+    // Truncation at several byte counts, including mid-header.
+    for cut in [0, 7, 40, bytes.len() / 2, bytes.len() - 1] {
+        let e = decode_err(load(bytes[..cut].to_vec()));
+        assert_eq!(e, DecodeError::Truncated, "truncated at {cut}");
+    }
+    // Bad magic.
+    let mut b = bytes.clone();
+    b[0] ^= 0x5A;
+    assert_eq!(decode_err(load(b)), DecodeError::BadMagic);
+    // Unsupported version.
+    let mut b = bytes.clone();
+    b[8] = 0xEE;
+    assert!(matches!(
+        decode_err(load(b)),
+        DecodeError::UnsupportedVersion { found } if found != 0
+    ));
+    // A flipped byte in the stored checksum itself.
+    let mut b = bytes.clone();
+    b[24] ^= 0x01;
+    assert!(matches!(
+        decode_err(load(b)),
+        DecodeError::ChecksumMismatch { .. }
+    ));
+    // A flipped byte deep inside a section payload.
+    let mut b = bytes.clone();
+    let last = b.len() - 1;
+    b[last] ^= 0x80;
+    assert!(matches!(
+        decode_err(load(b)),
+        DecodeError::ChecksumMismatch { .. }
+    ));
+}
+
+#[test]
+fn foreign_and_unknown_method_tags_are_rejected() {
+    // A container written under a tag no backend claims.
+    let mut w = ContainerWriter::new(0xDEAD);
+    w.push_pods::<u32>(0, &[1, 2, 3]);
+    let path = scratch("unknown-tag.hc2l");
+    w.write_to(&path).expect("write");
+    assert!(matches!(
+        Oracle::load(&path),
+        Err(PersistError::Decode(DecodeError::UnknownMethod {
+            tag: 0xDEAD
+        }))
+    ));
+
+    // A valid CH container refused by the HL backend (method mismatch), and
+    // accepted with identical answers by the CH backend.
+    let g = grid_graph(4, 4);
+    let ch = hc2l_ch::ContractionHierarchy::build(&g);
+    ch.save_to(&path).expect("save CH");
+    assert!(matches!(
+        hc2l_hl::HubLabelIndex::load_from(&path),
+        Err(PersistError::Decode(DecodeError::MethodMismatch { .. }))
+    ));
+    let ch_back = hc2l_ch::ContractionHierarchy::load_from(&path).expect("load CH");
+    for s in 0..16u32 {
+        for t in 0..16u32 {
+            assert_eq!(ch_back.query(s, t), ch.query(s, t));
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn zero_copy_views_answer_from_the_loaded_buffer() {
+    // The same query kernels run on borrowed `&[u8]`-backed arenas: build
+    // each labelling backend, serialise it, and query the Frozen*Ref views
+    // straight out of the container buffer.
+    let g = gnarly_graph();
+    let n = g.num_vertices() as Vertex;
+
+    let hc2l = hc2l::Hc2lIndex::build(&g, Hc2lConfig::default());
+    let mut w = ContainerWriter::new(hc2l::Hc2lIndex::METHOD_TAG);
+    hc2l.write_sections(&mut w);
+    let c = Container::from_bytes(&w.finish()).unwrap();
+    let view = hc2l::FrozenHc2lRef::from_container(&c).unwrap();
+    for s in 0..n {
+        for t in 0..n {
+            assert_eq!(view.query(s, t), hc2l.query(s, t), "HC2L view ({s},{t})");
+        }
+    }
+
+    let hl = hc2l_hl::HubLabelIndex::build(&g);
+    let mut w = ContainerWriter::new(hc2l_hl::HubLabelIndex::METHOD_TAG);
+    hl.write_sections(&mut w);
+    let c = Container::from_bytes(&w.finish()).unwrap();
+    let view = hc2l_hl::FrozenHubLabelsRef::from_container(&c).unwrap();
+    for s in 0..n {
+        for t in 0..n {
+            assert_eq!(view.query(s, t), hl.query(s, t), "HL view ({s},{t})");
+        }
+    }
+
+    let phl = hc2l_phl::PhlIndex::build(&g);
+    let mut w = ContainerWriter::new(hc2l_phl::PhlIndex::METHOD_TAG);
+    phl.write_sections(&mut w);
+    let c = Container::from_bytes(&w.finish()).unwrap();
+    let view = hc2l_phl::FrozenPhlLabelsRef::from_container(&c).unwrap();
+    for s in 0..n {
+        for t in 0..n {
+            assert_eq!(view.query(s, t), phl.query(s, t), "PHL view ({s},{t})");
+        }
+    }
+
+    let h2h = hc2l_h2h::H2hIndex::build(&g);
+    let mut w = ContainerWriter::new(hc2l_h2h::H2hIndex::METHOD_TAG);
+    h2h.write_sections(&mut w);
+    let c = Container::from_bytes(&w.finish()).unwrap();
+    let view = hc2l_h2h::FrozenH2hRef::from_container(&c).unwrap();
+    for s in 0..n {
+        for t in 0..n {
+            assert_eq!(view.query(s, t), h2h.query(s, t), "H2H view ({s},{t})");
+        }
+    }
+
+    let ch = hc2l_ch::ContractionHierarchy::build(&g);
+    let mut w = ContainerWriter::new(hc2l_ch::ContractionHierarchy::METHOD_TAG);
+    ch.write_sections(&mut w);
+    let c = Container::from_bytes(&w.finish()).unwrap();
+    let view = hc2l_ch::FrozenChRef::from_container(&c).unwrap();
+    for s in 0..n {
+        for t in 0..n {
+            assert_eq!(view.query(s, t), ch.query(s, t), "CH view ({s},{t})");
+        }
+    }
+}
+
+#[test]
+fn loading_is_much_cheaper_than_building() {
+    // The build-once/load-many premise: even in debug builds, decoding the
+    // container must beat re-running construction outright (the release-mode
+    // 10x criterion is tracked by BENCH_PR3.json).
+    let g = grid_graph(30, 30);
+    let start = std::time::Instant::now();
+    let built = OracleBuilder::new(Method::Hc2l).build(&g);
+    let build_time = start.elapsed();
+
+    let path = scratch("timing.hc2l");
+    built.save(&path).expect("save");
+    let start = std::time::Instant::now();
+    let loaded = Oracle::load(&path).expect("load");
+    let load_time = start.elapsed();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded.distance(0, 899), built.distance(0, 899));
+    assert!(
+        load_time < build_time,
+        "loading ({load_time:?}) should beat building ({build_time:?})"
+    );
+}
+
+#[test]
+fn loaded_indexes_report_consistent_diagnostics() {
+    let g = random_connected_graph(30, 20, 99);
+    for method in Method::ALL {
+        let built = OracleBuilder::new(method).threads(2).build(&g);
+        let path = scratch(&format!("diag-{}.hc2l", method.name()));
+        built.save(&path).expect("save");
+        let loaded = Oracle::load(&path).expect("load");
+        assert!((loaded.construction_seconds() - built.construction_seconds()).abs() < 1e-12);
+        assert!(loaded.index_bytes() > 0);
+        std::fs::remove_file(&path).ok();
+    }
+}
