@@ -18,13 +18,15 @@
 //!
 //! `--json-out` runs the seeded reference workloads (64x64 grid + synthetic
 //! city), verifies every backend against Dijkstra, and writes per-method
-//! query ns/op, build seconds, load seconds and (exact on-disk) index bytes
-//! as JSON; it exits non-zero on any divergence, which is what the CI
-//! smoke-bench step relies on. Every run exercises the index-container
-//! save→load round trip (into a scratch directory next to the JSON file
-//! unless `--save-index` names one); `--load-index DIR` instead *serves*
-//! prebuilt indexes from DIR without constructing anything — the
-//! build-once/load-many deployment path.
+//! query ns/op, build seconds, load seconds, (exact on-disk) index bytes,
+//! and the serving-throughput columns — aggregate `queries_per_second` and
+//! `cache_hit_rate` from 8 workers sharing one mmap-opened index through
+//! the `hc2l-serve` layer — as JSON; it exits non-zero on any divergence,
+//! which is what the CI smoke-bench step relies on. Every run exercises the
+//! index-container save→load round trip (into a scratch directory, created
+//! on demand, next to the JSON file unless `--save-index` names one);
+//! `--load-index DIR` instead *serves* prebuilt indexes from DIR without
+//! constructing anything — the build-once/load-many deployment path.
 //!
 //! Output goes to stdout; redirect it into `EXPERIMENTS.md` fences to refresh
 //! the recorded results.

@@ -6,15 +6,60 @@
 //!
 //! The search is implemented once on the [`FrozenCh`] view, so it runs
 //! identically on an owned, freshly built hierarchy and on a borrowed
-//! zero-copy view of a loaded index container.
+//! zero-copy view of a loaded index container — and it runs on *reused
+//! thread-local scratch* (flat distance arrays + touched lists + heaps)
+//! rather than per-query hash maps, so steady-state serving does no
+//! per-query allocation and the inner loop is array indexing instead of
+//! hashing. Each worker thread of a serving fan-out gets its own scratch;
+//! the [`FrozenCh`] itself stays shared and read-only.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use hc2l_graph::flat_labels::Store;
 use hc2l_graph::{Distance, QueryStats, Vertex, INFINITY};
 
 use crate::contract::{ContractionHierarchy, FrozenCh};
+
+/// Reusable per-thread search state: one distance array and touched list
+/// per direction, plus the two frontier heaps. The arrays are reset lazily
+/// (only the touched entries are cleared), so a query costs O(search
+/// space), not O(n).
+#[derive(Default)]
+struct Scratch {
+    dist_f: Vec<Distance>,
+    dist_b: Vec<Distance>,
+    touched_f: Vec<Vertex>,
+    touched_b: Vec<Vertex>,
+    heap_f: BinaryHeap<Reverse<(Distance, Vertex)>>,
+    heap_b: BinaryHeap<Reverse<(Distance, Vertex)>>,
+}
+
+impl Scratch {
+    /// Grows the distance arrays to cover `n` vertices and clears whatever
+    /// the previous query touched.
+    fn reset(&mut self, n: usize) {
+        if self.dist_f.len() < n {
+            self.dist_f.resize(n, INFINITY);
+            self.dist_b.resize(n, INFINITY);
+        }
+        for &v in &self.touched_f {
+            self.dist_f[v as usize] = INFINITY;
+        }
+        for &v in &self.touched_b {
+            self.dist_b[v as usize] = INFINITY;
+        }
+        self.touched_f.clear();
+        self.touched_b.clear();
+        self.heap_f.clear();
+        self.heap_b.clear();
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
 
 impl<S: Store> FrozenCh<S> {
     /// Exact distance query.
@@ -30,55 +75,69 @@ impl<S: Store> FrozenCh<S> {
         if s == t {
             return (0, QueryStats::default());
         }
-        let mut dist_f: HashMap<Vertex, Distance> = HashMap::new();
-        let mut dist_b: HashMap<Vertex, Distance> = HashMap::new();
-        let mut heap_f: BinaryHeap<Reverse<(Distance, Vertex)>> = BinaryHeap::new();
-        let mut heap_b: BinaryHeap<Reverse<(Distance, Vertex)>> = BinaryHeap::new();
-        dist_f.insert(s, 0);
-        dist_b.insert(t, 0);
-        heap_f.push(Reverse((0, s)));
-        heap_b.push(Reverse((0, t)));
-        let mut best = INFINITY;
-        let mut settled = 0usize;
+        SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            scratch.reset(self.num_vertices());
+            let Scratch {
+                dist_f,
+                dist_b,
+                touched_f,
+                touched_b,
+                heap_f,
+                heap_b,
+            } = &mut *scratch;
+            dist_f[s as usize] = 0;
+            dist_b[t as usize] = 0;
+            touched_f.push(s);
+            touched_b.push(t);
+            heap_f.push(Reverse((0, s)));
+            heap_b.push(Reverse((0, t)));
+            let mut best = INFINITY;
+            let mut settled = 0usize;
 
-        // The upward searches can each be run to exhaustion; stopping early
-        // when the frontier minimum exceeds the best meeting point is the
-        // standard optimisation.
-        loop {
-            let top_f = heap_f.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
-            let top_b = heap_b.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
-            if top_f >= best && top_b >= best {
-                break;
-            }
-            let forward = top_f <= top_b;
-            let (heap, dist, other) = if forward {
-                (&mut heap_f, &mut dist_f, &dist_b)
-            } else {
-                (&mut heap_b, &mut dist_b, &dist_f)
-            };
-            let Some(Reverse((d, v))) = heap.pop() else {
-                break;
-            };
-            if d > *dist.get(&v).unwrap_or(&INFINITY) {
-                continue;
-            }
-            settled += 1;
-            if let Some(&od) = other.get(&v) {
-                let cand = d + od;
-                if cand < best {
-                    best = cand;
+            // The upward searches can each be run to exhaustion; stopping
+            // early when the frontier minimum exceeds the best meeting
+            // point is the standard optimisation.
+            loop {
+                let top_f = heap_f.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
+                let top_b = heap_b.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
+                if top_f >= best && top_b >= best {
+                    break;
+                }
+                let forward = top_f <= top_b;
+                let (heap, dist, touched, other) = if forward {
+                    (&mut *heap_f, &mut *dist_f, &mut *touched_f, &*dist_b)
+                } else {
+                    (&mut *heap_b, &mut *dist_b, &mut *touched_b, &*dist_f)
+                };
+                let Some(Reverse((d, v))) = heap.pop() else {
+                    break;
+                };
+                if d > dist[v as usize] {
+                    continue;
+                }
+                settled += 1;
+                let od = other[v as usize];
+                if od < INFINITY {
+                    let cand = d + od;
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+                for (&to, &weight) in self.upward_targets(v).iter().zip(self.upward_weights(v)) {
+                    let nd = d + weight;
+                    if nd < dist[to as usize] {
+                        if dist[to as usize] == INFINITY {
+                            touched.push(to);
+                        }
+                        dist[to as usize] = nd;
+                        heap.push(Reverse((nd, to)));
+                    }
                 }
             }
-            for (&to, &weight) in self.upward_targets(v).iter().zip(self.upward_weights(v)) {
-                let nd = d + weight;
-                if nd < *dist.get(&to).unwrap_or(&INFINITY) {
-                    dist.insert(to, nd);
-                    heap.push(Reverse((nd, to)));
-                }
-            }
-        }
 
-        (best, QueryStats::scanned(settled))
+            (best, QueryStats::scanned(settled))
+        })
     }
 }
 

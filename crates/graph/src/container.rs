@@ -43,8 +43,10 @@
 //! viewed directly as a typed slice of the loaded buffer
 //! ([`Container::section_pods`]) — no per-element decode, no copy — which is
 //! what the borrowed (`Borrowed`) instantiations of the flat label arenas
-//! run queries on. It is also the page/cache-line friendly layout a future
-//! `mmap` path needs.
+//! run queries on. The same layout is what makes the memory-mapped load
+//! path ([`Container::open_mmap`]) possible: a mapping is page-aligned, so
+//! every section is 64-byte aligned in memory and queries run straight out
+//! of the page cache.
 //!
 //! The **checksum** covers the version, method tag, section count and every
 //! section's (tag, length, payload); a flipped byte anywhere surfaces as
@@ -444,21 +446,173 @@ struct TocEntry {
     len: u64,
 }
 
+/// Direct `mmap`/`munmap` declarations for the memory-mapped load path.
+///
+/// The workspace builds offline with no libc crate; these mirror the POSIX
+/// prototypes (std already links the platform libc, so the symbols resolve).
+/// Constants are the Linux/macOS values, which agree for the two flags used.
+/// Gated to 64-bit targets: the declaration fixes `offset` as `i64`, which
+/// only matches the C `off_t` where it is 64 bits — 32-bit hosts take the
+/// buffered-read fallback instead of an FFI-mismatched call.
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// A read-only private file mapping, unmapped on drop.
+#[cfg(all(unix, target_pointer_width = "64"))]
+struct MmapRegion {
+    ptr: *const u8,
+    len: usize,
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+impl MmapRegion {
+    /// Maps `len` bytes of an open file read-only. Returns `None` when the
+    /// kernel refuses (zero-length files, exotic filesystems, resource
+    /// limits) so the caller can fall back to the buffered read path.
+    fn map(file: &std::fs::File, len: usize) -> Option<Self> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            return None;
+        }
+        // SAFETY: a fresh PROT_READ + MAP_PRIVATE mapping of a file we hold
+        // open; no existing mapping is affected (addr hint is null).
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::map_failed() || ptr.is_null() {
+            return None;
+        }
+        Some(MmapRegion {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: the mapping covers `len` readable bytes for as long as
+        // this region lives (munmap only runs in `drop`).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` are exactly what mmap returned; the region is
+        // unmapped once, here.
+        unsafe {
+            sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+        }
+    }
+}
+
+// SAFETY: the mapping is read-only and never remapped after construction;
+// sharing the raw pointer across threads is no different from sharing a
+// `&[u8]`.
+#[cfg(all(unix, target_pointer_width = "64"))]
+unsafe impl Send for MmapRegion {}
+#[cfg(all(unix, target_pointer_width = "64"))]
+unsafe impl Sync for MmapRegion {}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+impl std::fmt::Debug for MmapRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapRegion")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// Who holds a loaded container's bytes.
+#[derive(Debug)]
+enum Backing {
+    /// One heap buffer in `u64` units so every 64-byte-aligned section
+    /// start is at least 8-byte aligned in memory. The `usize` is the file
+    /// length in bytes (the buffer rounds up to 8).
+    Owned(Vec<u64>, usize),
+    /// A read-only file mapping ([`Container::open_mmap`]): page-aligned by
+    /// the kernel, so section alignment holds a fortiori and the borrowed
+    /// `Frozen*Ref` views query straight out of the mapping with no copy.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped(MmapRegion),
+}
+
+impl Backing {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            // SAFETY: the `u64` buffer is fully initialised and the view
+            // stays within its allocation (`len <= buf.len() * 8`).
+            Backing::Owned(buf, len) => unsafe {
+                std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), *len)
+            },
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped(region) => region.bytes(),
+        }
+    }
+}
+
 /// A loaded, validated container.
 ///
-/// The whole file lives in one 8-byte-aligned buffer; sections are handed
+/// The whole file lives in one 8-byte-aligned buffer — an owned heap
+/// allocation ([`Container::open`], [`Container::from_bytes`]) or a
+/// read-only file mapping ([`Container::open_mmap`]); sections are handed
 /// out as byte slices ([`Container::section`]), as zero-copy typed slices
 /// ([`Container::section_pods`], little-endian hosts), or as freshly decoded
 /// vectors ([`Container::read_pod_vec`], any host).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Container {
-    /// Backing buffer in `u64` units so every 64-byte-aligned section start
-    /// is at least 8-byte aligned in memory.
-    buf: Vec<u64>,
-    /// Length of the file in bytes (the buffer rounds up to 8).
-    len: usize,
+    backing: Backing,
     method_tag: u32,
     toc: Vec<TocEntry>,
+}
+
+impl Clone for Container {
+    /// Cloning always produces an *owned* container (a mapped backing is
+    /// copied into a heap buffer; re-validation is skipped since the bytes
+    /// were already checked).
+    fn clone(&self) -> Self {
+        let bytes = self.bytes();
+        let words = bytes.len().div_ceil(8);
+        let mut buf = vec![0u64; words];
+        // SAFETY: a `u64` buffer may always be viewed as initialised bytes;
+        // the view covers exactly the allocation's first `words * 8` bytes.
+        let dst =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), words * 8) };
+        dst[..bytes.len()].copy_from_slice(bytes);
+        Container {
+            backing: Backing::Owned(buf, bytes.len()),
+            method_tag: self.method_tag,
+            toc: self.toc.clone(),
+        }
+    }
 }
 
 impl Container {
@@ -473,7 +627,7 @@ impl Container {
         let dst =
             unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), words * 8) };
         dst[..bytes.len()].copy_from_slice(bytes);
-        Container::from_buffer(buf, bytes.len())
+        Container::from_backing(Backing::Owned(buf, bytes.len()))
     }
 
     /// Reads and parses a container file: one read straight into the
@@ -491,18 +645,62 @@ impl Container {
         let dst =
             unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), words * 8) };
         file.read_exact(&mut dst[..len])?;
-        Ok(Container::from_buffer(buf, len)?)
+        Ok(Container::from_backing(Backing::Owned(buf, len))?)
     }
 
-    /// Validates an already-aligned buffer holding the first `len` bytes of
-    /// a container file.
-    fn from_buffer(buf: Vec<u64>, len: usize) -> Result<Self, DecodeError> {
-        // SAFETY: the `u64` buffer is fully initialised and
-        // `len <= buf.len() * 8`. The raw-pointer slice stays valid across
-        // the later move of `buf` into the struct (a `Vec` move does not
-        // relocate its heap allocation), and it is only read before this
-        // function returns.
-        let bytes: &[u8] = unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), len) };
+    /// Memory-maps and validates a container file: the sections are served
+    /// straight out of the read-only mapping — no heap copy of the (possibly
+    /// multi-GB) arenas, and physical pages are shared between every process
+    /// serving the same index file.
+    ///
+    /// Checksum validation still reads every byte once (faulting the pages
+    /// in), preserving the corruption-detection contract of
+    /// [`Container::open`]; what the mapping saves is the allocation and the
+    /// copy, and it keeps the index evictable under memory pressure.
+    ///
+    /// Falls back to the buffered [`Container::open`] read path when the
+    /// platform has no `mmap` or the kernel refuses the mapping (for
+    /// instance a zero-length file), so callers can use this
+    /// unconditionally; [`Container::is_mapped`] reports which path served.
+    pub fn open_mmap(path: &Path) -> Result<Self, PersistError> {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            let file = std::fs::File::open(path)?;
+            let len = usize::try_from(file.metadata()?.len())
+                .map_err(|_| PersistError::Decode(DecodeError::Truncated))?;
+            if let Some(region) = MmapRegion::map(&file, len) {
+                return Ok(Container::from_backing(Backing::Mapped(region))?);
+            }
+        }
+        Container::open(path)
+    }
+
+    /// Whether this container serves its sections from a file mapping
+    /// (the [`Container::open_mmap`] fast path) rather than a heap buffer.
+    pub fn is_mapped(&self) -> bool {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            matches!(self.backing, Backing::Mapped(_))
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            false
+        }
+    }
+
+    /// Validates a backing holding the bytes of a container file.
+    fn from_backing(backing: Backing) -> Result<Self, DecodeError> {
+        let (method_tag, toc) = Container::validate(backing.bytes())?;
+        Ok(Container {
+            backing,
+            method_tag,
+            toc,
+        })
+    }
+
+    /// Parses and checks a container image: header, table of contents,
+    /// alignment, checksum.
+    fn validate(bytes: &[u8]) -> Result<(u32, Vec<TocEntry>), DecodeError> {
         if bytes.len() < HEADER_BYTES {
             return Err(DecodeError::Truncated);
         }
@@ -576,19 +774,18 @@ impl Container {
             });
         }
 
-        Ok(Container {
-            len,
-            buf,
-            method_tag,
-            toc,
-        })
+        Ok((method_tag, toc))
     }
 
     /// The whole file as bytes.
     fn bytes(&self) -> &[u8] {
-        // SAFETY: the `u64` buffer is fully initialised and the view stays
-        // within its allocation (`len <= buf.len() * 8`).
-        unsafe { std::slice::from_raw_parts(self.buf.as_ptr().cast::<u8>(), self.len) }
+        self.backing.bytes()
+    }
+
+    /// Length of the container file in bytes (what
+    /// `DistanceOracle::index_bytes` reports for a loaded index).
+    pub fn file_len(&self) -> usize {
+        self.bytes().len()
     }
 
     /// The method tag stored in the header.
@@ -930,5 +1127,89 @@ mod tests {
         let mut w = ContainerWriter::new(0);
         w.push_pods::<u32>(1, &[1]);
         w.push_pods::<u32>(1, &[2]);
+    }
+
+    fn scratch_file(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hc2l-container-{tag}-{}.hc2l", std::process::id()))
+    }
+
+    #[test]
+    fn mmap_open_serves_identical_sections() {
+        let w = sample_writer();
+        let path = scratch_file("mmap");
+        w.write_to(&path).unwrap();
+        let mapped = Container::open_mmap(&path).unwrap();
+        let read = Container::open(&path).unwrap();
+        assert!(!read.is_mapped());
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(mapped.is_mapped());
+        assert_eq!(mapped.method_tag(), read.method_tag());
+        assert_eq!(mapped.file_len(), read.file_len());
+        assert_eq!(
+            mapped.section_pods::<u32>(1).unwrap(),
+            read.section_pods::<u32>(1).unwrap()
+        );
+        assert_eq!(
+            mapped.section_pods::<u64>(2).unwrap(),
+            read.section_pods::<u64>(2).unwrap()
+        );
+        assert_eq!(mapped.section(0).unwrap(), read.section(0).unwrap());
+        // Mapped sections keep the 64-byte alignment contract.
+        for spec in mapped.specs() {
+            let payload = mapped.section(spec.tag).unwrap();
+            assert_eq!(
+                (payload.as_ptr() as usize - mapped.bytes().as_ptr() as usize)
+                    % SECTION_ALIGN as usize,
+                0
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_open_detects_corruption() {
+        let path = scratch_file("mmap-corrupt");
+        let mut bytes = sample_writer().finish();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Container::open_mmap(&path).unwrap_err(),
+            PersistError::Decode(DecodeError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_open_falls_back_on_empty_files() {
+        // mmap refuses zero-length mappings; the fallback read path must
+        // still report the usual typed truncation error.
+        let path = scratch_file("mmap-empty");
+        std::fs::write(&path, []).unwrap();
+        assert!(matches!(
+            Container::open_mmap(&path).unwrap_err(),
+            PersistError::Decode(DecodeError::Truncated)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cloning_a_mapped_container_produces_an_owned_copy() {
+        let path = scratch_file("mmap-clone");
+        sample_writer().write_to(&path).unwrap();
+        let mapped = Container::open_mmap(&path).unwrap();
+        let clone = mapped.clone();
+        assert!(!clone.is_mapped());
+        assert_eq!(clone.file_len(), mapped.file_len());
+        // The clone survives the original (and its mapping) being dropped.
+        drop(mapped);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(clone.read_pod_vec::<u32>(1).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn containers_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Container>();
     }
 }

@@ -130,6 +130,27 @@ impl OracleBuilder {
     pub fn load(path: &std::path::Path) -> Result<Oracle, hc2l_graph::PersistError> {
         Oracle::load(path)
     }
+
+    /// Opens a previously saved oracle *in place*: the container file is
+    /// memory-mapped (`hc2l_graph::container::Container::open_mmap`, with a
+    /// buffered-read fallback) and queries run on zero-copy views of the
+    /// mapping — no decode of the label arenas into fresh heap memory, and
+    /// physical pages shared across every process serving the same file.
+    /// The serving counterpart of [`OracleBuilder::load`]; the returned
+    /// [`SharedOracle`](crate::SharedOracle) is `Send + Sync` and cheap to
+    /// clone, so one open index fans out to N worker threads behind an
+    /// `Arc`:
+    ///
+    /// ```no_run
+    /// use hc2l_oracle::OracleBuilder;
+    ///
+    /// let oracle = OracleBuilder::open(std::path::Path::new("paris.hc2l")).unwrap();
+    /// let d = oracle.distance(0, 42);
+    /// # let _ = d;
+    /// ```
+    pub fn open(path: &std::path::Path) -> Result<crate::SharedOracle, hc2l_graph::PersistError> {
+        crate::SharedOracle::open(path)
+    }
 }
 
 #[cfg(test)]

@@ -39,11 +39,13 @@ pub mod builder;
 pub mod method;
 pub mod oracle;
 pub mod traits;
+pub mod view;
 
 pub use builder::{OracleBuilder, OracleConfig};
 pub use method::Method;
 pub use oracle::Oracle;
 pub use traits::DistanceOracle;
+pub use view::{FrozenView, SharedOracle};
 
 /// Re-export of the shared per-query instrumentation record.
 pub use hc2l_graph::QueryStats;

@@ -61,6 +61,11 @@ impl Oracle {
         }
     }
 
+    /// Number of vertices of the indexed graph.
+    pub fn num_vertices(&self) -> usize {
+        delegate!(self, inner => inner.num_vertices())
+    }
+
     /// Saves the oracle to a sectioned index-container file
     /// (`hc2l_graph::container`), stamping the *variant's* method tag into
     /// the header — a parallel-built HC2L index round-trips as

@@ -30,6 +30,9 @@ pub mod workload;
 pub use datasets::{standard_suite, DatasetSpec, SuiteScale};
 pub use dimacs::{parse_gr_reader, parse_gr_str, write_gr};
 pub use stats::{dataset_summary, DatasetSummary};
-pub use synthetic::{RoadNetwork, RoadNetworkConfig};
+pub use synthetic::{seeded_grid, RoadNetwork, RoadNetworkConfig};
 pub use weights::WeightMode;
-pub use workload::{distance_buckets, random_pairs, QueryBuckets, QueryPair};
+pub use workload::{
+    distance_buckets, random_pairs, read_workload_file, write_workload_file, QueryBuckets,
+    QueryPair, ReplayWorkload,
+};

@@ -332,6 +332,28 @@ pub fn generate_multi_city(cfg: &MultiCityConfig) -> RoadNetwork {
     RoadNetwork { coords, segments }
 }
 
+/// A `rows x cols` grid with seeded random weights in `1..=20` — the
+/// reference workload for cross-PR query-time comparisons (the JSON bench)
+/// and for serve-smoke workload generation, so the bench runner and the
+/// `hc2l-query` client reconstruct the *same* graph from `(rows, cols,
+/// seed)` alone.
+pub fn seeded_grid(rows: usize, cols: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as Vertex;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1), rng.random_range(1..=20u32));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c), rng.random_range(1..=20u32));
+            }
+        }
+    }
+    b.build()
+}
+
 /// Minimal union-find used to guarantee connectivity of generated networks.
 struct DisjointSets {
     parent: Vec<usize>,

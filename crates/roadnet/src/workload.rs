@@ -165,6 +165,111 @@ fn bucket_index(bounds: &[Distance], d: Distance) -> Option<usize> {
     (0..NUM_BUCKETS).find(|&i| d > bounds[i] && d <= bounds[i + 1])
 }
 
+/// A query workload loaded from (or destined for) a workload file: pairs
+/// plus, optionally, the expected exact distance of every pair — which lets
+/// a replay client gate exactness without having the graph at hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayWorkload {
+    /// The query pairs, in replay order.
+    pub pairs: Vec<QueryPair>,
+    /// Expected distances parallel to `pairs`; empty when the file carried
+    /// none.
+    pub expected: Vec<Distance>,
+}
+
+impl ReplayWorkload {
+    /// Whether the workload carries expected distances to verify against.
+    pub fn has_expected(&self) -> bool {
+        !self.expected.is_empty()
+    }
+}
+
+/// Serialises a workload to the plain-text query-file format consumed by
+/// [`read_workload_file`] (and by the `hc2l-query` replay client): one
+/// `source target [expected]` triple per line, `#` comments, unreachable
+/// distances spelled `inf`.
+pub fn write_workload_file(
+    path: &std::path::Path,
+    pairs: &[QueryPair],
+    expected: Option<&[Distance]>,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(e) = expected {
+        assert_eq!(e.len(), pairs.len(), "one expected distance per pair");
+    }
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "# hc2l query workload: source target [expected]")?;
+    for (i, p) in pairs.iter().enumerate() {
+        match expected {
+            Some(e) if e[i] >= hc2l_graph::INFINITY => {
+                writeln!(out, "{} {} inf", p.source, p.target)?
+            }
+            Some(e) => writeln!(out, "{} {} {}", p.source, p.target, e[i])?,
+            None => writeln!(out, "{} {}", p.source, p.target)?,
+        }
+    }
+    out.flush()
+}
+
+/// Parses a query file written by [`write_workload_file`]. Blank lines and
+/// `#` comments are skipped; a malformed line is an
+/// [`std::io::ErrorKind::InvalidData`] error naming the line number. Lines
+/// either all carry an expected distance or none do.
+pub fn read_workload_file(path: &std::path::Path) -> std::io::Result<ReplayWorkload> {
+    let text = std::fs::read_to_string(path)?;
+    let bad = |line: usize, what: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}:{line}: {what}", path.display()),
+        )
+    };
+    let mut w = ReplayWorkload {
+        pairs: Vec::new(),
+        expected: Vec::new(),
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut fields = content.split_whitespace();
+        let source: Vertex = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| bad(line, "expected a source vertex id"))?;
+        let target: Vertex = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| bad(line, "expected a target vertex id"))?;
+        let expected = match fields.next() {
+            None => None,
+            Some("inf") => Some(hc2l_graph::INFINITY),
+            Some(f) => Some(
+                f.parse::<Distance>()
+                    .map_err(|_| bad(line, "expected a distance or 'inf'"))?,
+            ),
+        };
+        if fields.next().is_some() {
+            return Err(bad(line, "trailing fields"));
+        }
+        match expected {
+            Some(d) => {
+                if w.pairs.len() != w.expected.len() {
+                    return Err(bad(line, "mixed lines with and without expected distances"));
+                }
+                w.expected.push(d);
+            }
+            None if !w.expected.is_empty() => {
+                return Err(bad(line, "mixed lines with and without expected distances"));
+            }
+            None => {}
+        }
+        w.pairs.push(QueryPair { source, target });
+    }
+    Ok(w)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +343,66 @@ mod tests {
     #[should_panic]
     fn empty_graph_rejected() {
         random_pairs(0, 10, 1);
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hc2l-workload-{tag}-{}.q", std::process::id()))
+    }
+
+    #[test]
+    fn workload_file_round_trips_with_and_without_expected() {
+        let pairs = random_pairs(50, 20, 9);
+        let expected: Vec<Distance> = (0..20)
+            .map(|i| {
+                if i == 7 {
+                    hc2l_graph::INFINITY
+                } else {
+                    i as Distance * 3
+                }
+            })
+            .collect();
+        let path = scratch("roundtrip");
+
+        write_workload_file(&path, &pairs, Some(&expected)).unwrap();
+        let w = read_workload_file(&path).unwrap();
+        assert_eq!(w.pairs, pairs);
+        assert_eq!(w.expected, expected);
+        assert!(w.has_expected());
+
+        write_workload_file(&path, &pairs, None).unwrap();
+        let w = read_workload_file(&path).unwrap();
+        assert_eq!(w.pairs, pairs);
+        assert!(!w.has_expected());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn workload_file_rejects_malformed_lines() {
+        let path = scratch("malformed");
+        for bad in [
+            "1\n",
+            "1 2 3 4\n",
+            "a b\n",
+            "1 2 xyz\n",
+            "1 2 3\n4 5\n", // mixed expected / no-expected
+            "1 2\n4 5 6\n",
+        ] {
+            std::fs::write(&path, bad).unwrap();
+            let err = read_workload_file(&path).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{bad:?}");
+        }
+        // Comments and blank lines are fine.
+        std::fs::write(&path, "# header\n\n1 2 # trailing comment\n3 4\n").unwrap();
+        let w = read_workload_file(&path).unwrap();
+        assert_eq!(w.pairs.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seeded_grid_is_shared_and_deterministic() {
+        let a = crate::seeded_grid(8, 8, 3);
+        let b = crate::seeded_grid(8, 8, 3);
+        assert_eq!(a.num_vertices(), 64);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
     }
 }

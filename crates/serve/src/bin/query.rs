@@ -1,0 +1,431 @@
+//! `hc2l-query` — client for the `hc2l-serve` daemon.
+//!
+//! ```text
+//! hc2l-query [--addr HOST:PORT | --addr-file FILE [--wait SECS]] MODE
+//!
+//! modes:
+//!   --distance S T          one point-to-point query, prints the distance
+//!   --replay FILE           replay a workload file (hc2l_roadnet format:
+//!                           `source target [expected]` lines); gates
+//!                           exactness when expected distances are present
+//!     --reps N              replay the file N times (default 1)
+//!     --batch N             group pairs by source and send one-to-many
+//!                           requests of up to N targets (default: point
+//!                           queries)
+//!   --stats                 print server counters
+//!   --shutdown              stop the daemon
+//!
+//! workload generation (no server needed):
+//!   --gen-grid RxC --out FILE [--count N] [--seed S] [--grid-seed S]
+//!                           write a workload over the seeded reference
+//!                           grid, with exact expected distances (Dijkstra)
+//! ```
+//!
+//! Replay prints `replayed N queries in S s (QPS q/s), M mismatches` and
+//! exits non-zero if any answer disagrees with the file's expected
+//! distance, if the server errors, or if nothing was replayed — which is
+//! what the CI serve-smoke step gates on.
+
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+use hc2l_graph::{dijkstra, Distance, INFINITY};
+use hc2l_oracle::Method;
+use hc2l_roadnet::{random_pairs, read_workload_file, seeded_grid, write_workload_file, QueryPair};
+use hc2l_serve::{read_response, write_request, Request, Response};
+
+#[derive(Default)]
+struct Args {
+    addr: Option<String>,
+    addr_file: Option<String>,
+    wait_secs: u64,
+    distance: Option<(u32, u32)>,
+    replay: Option<String>,
+    reps: usize,
+    batch: usize,
+    stats: bool,
+    shutdown: bool,
+    gen_grid: Option<(usize, usize)>,
+    out: Option<String>,
+    count: usize,
+    seed: u64,
+    grid_seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!("see the module documentation at the top of query.rs for usage");
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        wait_secs: 30,
+        reps: 1,
+        count: 500,
+        seed: 0xBEEF,
+        grid_seed: 0xA11CE,
+        ..Args::default()
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let read_value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {}", argv[*i - 1]);
+            exit(2);
+        })
+    };
+    macro_rules! parse {
+        ($i:expr, $what:literal) => {
+            read_value($i).parse().unwrap_or_else(|_| {
+                eprintln!(concat!("invalid ", $what));
+                exit(2);
+            })
+        };
+    }
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = Some(read_value(&mut i)),
+            "--addr-file" => args.addr_file = Some(read_value(&mut i)),
+            "--wait" => args.wait_secs = parse!(&mut i, "--wait"),
+            "--distance" => {
+                let s = parse!(&mut i, "--distance source");
+                let t = parse!(&mut i, "--distance target");
+                args.distance = Some((s, t));
+            }
+            "--replay" => args.replay = Some(read_value(&mut i)),
+            "--reps" => args.reps = parse!(&mut i, "--reps"),
+            "--batch" => args.batch = parse!(&mut i, "--batch"),
+            "--stats" => args.stats = true,
+            "--shutdown" => args.shutdown = true,
+            "--gen-grid" => {
+                let v = read_value(&mut i);
+                let (r, c) = v.split_once('x').unwrap_or_else(|| {
+                    eprintln!("--gen-grid expects ROWSxCOLS, e.g. 16x16");
+                    exit(2);
+                });
+                let rows = r.parse().unwrap_or(0);
+                let cols = c.parse().unwrap_or(0);
+                if rows == 0 || cols == 0 {
+                    eprintln!("--gen-grid expects ROWSxCOLS, e.g. 16x16");
+                    exit(2);
+                }
+                args.gen_grid = Some((rows, cols));
+            }
+            "--out" => args.out = Some(read_value(&mut i)),
+            "--count" => args.count = parse!(&mut i, "--count"),
+            "--seed" => args.seed = parse!(&mut i, "--seed"),
+            "--grid-seed" => args.grid_seed = parse!(&mut i, "--grid-seed"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// A connected session: framed requests over one TCP stream.
+struct Session {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Session {
+    fn connect(args: &Args) -> Session {
+        let addr = resolve_addr(args);
+        let stream = TcpStream::connect(&addr).unwrap_or_else(|e| {
+            eprintln!("cannot connect to {addr}: {e}");
+            exit(1);
+        });
+        stream.set_nodelay(true).ok();
+        Session {
+            reader: BufReader::new(stream.try_clone().expect("clone TCP stream")),
+            writer: BufWriter::new(stream),
+        }
+    }
+
+    fn ask(&mut self, req: &Request) -> Response {
+        write_request(&mut self.writer, req).unwrap_or_else(|e| {
+            eprintln!("request failed: {e}");
+            exit(1);
+        });
+        match read_response(&mut self.reader) {
+            Ok(Some(resp)) => resp,
+            Ok(None) => {
+                eprintln!("server hung up");
+                exit(1);
+            }
+            Err(e) => {
+                eprintln!("response failed: {e}");
+                exit(1);
+            }
+        }
+    }
+}
+
+/// `--addr` verbatim, or poll `--addr-file` until the daemon writes it.
+fn resolve_addr(args: &Args) -> String {
+    if let Some(addr) = &args.addr {
+        return addr.clone();
+    }
+    let Some(file) = &args.addr_file else {
+        eprintln!("--addr HOST:PORT or --addr-file FILE is required");
+        exit(2);
+    };
+    let deadline = Instant::now() + Duration::from_secs(args.wait_secs);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(file) {
+            let addr = text.trim().to_string();
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        if Instant::now() >= deadline {
+            eprintln!("timed out waiting for {file}");
+            exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn generate_workload(args: &Args) {
+    let (rows, cols) = args.gen_grid.expect("gen mode");
+    let Some(out) = &args.out else {
+        eprintln!("--gen-grid needs --out FILE");
+        exit(2);
+    };
+    let g = seeded_grid(rows, cols, args.grid_seed);
+    let pairs = random_pairs(g.num_vertices(), args.count.max(1), args.seed);
+    // Exact expected distances, one Dijkstra per distinct source.
+    let mut by_source: std::collections::HashMap<u32, Vec<Distance>> =
+        std::collections::HashMap::new();
+    let expected: Vec<Distance> = pairs
+        .iter()
+        .map(|p| {
+            by_source
+                .entry(p.source)
+                .or_insert_with(|| dijkstra(&g, p.source))[p.target as usize]
+        })
+        .collect();
+    write_workload_file(std::path::Path::new(out), &pairs, Some(&expected)).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    eprintln!(
+        "wrote {} queries over the {rows}x{cols} grid (seed {:#x}) to {out}",
+        pairs.len(),
+        args.grid_seed
+    );
+}
+
+/// Groups consecutive same-source pairs into one-to-many batches of at most
+/// `batch` targets (preserving replay order within a group).
+fn batch_plan(pairs: &[QueryPair], batch: usize) -> Vec<(u32, Vec<u32>)> {
+    let mut plan: Vec<(u32, Vec<u32>)> = Vec::new();
+    let mut by_source: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    let mut order: Vec<u32> = Vec::new();
+    for p in pairs {
+        let entry = by_source.entry(p.source).or_insert_with(|| {
+            order.push(p.source);
+            Vec::new()
+        });
+        entry.push(p.target);
+    }
+    for s in order {
+        let targets = &by_source[&s];
+        for chunk in targets.chunks(batch.max(1)) {
+            plan.push((s, chunk.to_vec()));
+        }
+    }
+    plan
+}
+
+fn replay(args: &Args, session: &mut Session) {
+    let file = args.replay.as_deref().expect("replay mode");
+    let w = read_workload_file(std::path::Path::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot read workload {file}: {e}");
+        exit(1);
+    });
+    if w.pairs.is_empty() {
+        eprintln!("workload {file} holds no queries");
+        exit(1);
+    }
+    let expected: std::collections::HashMap<(u32, u32), Distance> = if w.has_expected() {
+        w.pairs
+            .iter()
+            .zip(&w.expected)
+            .map(|(p, &d)| ((p.source, p.target), d))
+            .collect()
+    } else {
+        Default::default()
+    };
+    let mut mismatches = 0u64;
+    let mut queries = 0u64;
+    let mut check = |s: u32, t: u32, got: Distance| {
+        queries += 1;
+        if let Some(&want) = expected.get(&(s, t)) {
+            if got != want {
+                if mismatches < 10 {
+                    let render = |d: Distance| {
+                        if d >= INFINITY {
+                            "inf".to_string()
+                        } else {
+                            d.to_string()
+                        }
+                    };
+                    eprintln!(
+                        "MISMATCH ({s}, {t}): server says {}, workload expects {}",
+                        render(got),
+                        render(want)
+                    );
+                }
+                mismatches += 1;
+            }
+        }
+    };
+
+    // The grouping is pure in (pairs, batch): build the request values
+    // once, outside the timed section, so the printed q/s measures the
+    // server, not plan construction.
+    let plan: Vec<Request> = if args.batch > 0 {
+        batch_plan(&w.pairs, args.batch)
+            .into_iter()
+            .map(|(source, targets)| Request::OneToMany { source, targets })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let start = Instant::now();
+    for _ in 0..args.reps.max(1) {
+        if args.batch > 0 {
+            for req in &plan {
+                let Request::OneToMany { source, targets } = req else {
+                    unreachable!("the plan holds only one-to-many requests");
+                };
+                match session.ask(req) {
+                    Response::Distances(ds) if ds.len() == targets.len() => {
+                        for (&t, d) in targets.iter().zip(ds) {
+                            check(*source, t, d);
+                        }
+                    }
+                    Response::Error(msg) => {
+                        eprintln!("server error: {msg}");
+                        exit(1);
+                    }
+                    other => {
+                        eprintln!("unexpected response {other:?}");
+                        exit(1);
+                    }
+                }
+            }
+        } else {
+            for p in &w.pairs {
+                match session.ask(&Request::Distance(p.source, p.target)) {
+                    Response::Distance(d) => check(p.source, p.target, d),
+                    Response::Error(msg) => {
+                        eprintln!("server error: {msg}");
+                        exit(1);
+                    }
+                    other => {
+                        eprintln!("unexpected response {other:?}");
+                        exit(1);
+                    }
+                }
+            }
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let qps = if seconds > 0.0 {
+        queries as f64 / seconds
+    } else {
+        0.0
+    };
+    println!(
+        "replayed {queries} queries in {seconds:.3} s ({qps:.0} q/s), {mismatches} mismatches{}",
+        if expected.is_empty() {
+            " (no expected distances in file)"
+        } else {
+            ""
+        }
+    );
+    if mismatches > 0 || queries == 0 || qps <= 0.0 {
+        exit(1);
+    }
+}
+
+fn print_stats(session: &mut Session) {
+    let Response::Stats(s) = session.ask(&Request::Stats) else {
+        eprintln!("unexpected response to Stats");
+        exit(1);
+    };
+    let method = Method::from_tag(s.method_tag)
+        .map(|m| m.to_string())
+        .unwrap_or_else(|| format!("unknown tag {}", s.method_tag));
+    println!(
+        "method {method}\nnum_vertices {}\nindex_bytes {}\nthreads {}\nmapped {}\n\
+         distance_queries {}\none_to_many_queries {}\none_to_many_targets {}\n\
+         cache_hits {}\ncache_misses {}\ncache_hit_rate {:.4}\ncache_len {}\ncache_capacity {}",
+        s.num_vertices,
+        s.index_bytes,
+        s.threads,
+        s.mapped,
+        s.distance_queries,
+        s.one_to_many_queries,
+        s.one_to_many_targets,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_hit_rate(),
+        s.cache_len,
+        s.cache_capacity
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    if args.gen_grid.is_some() {
+        generate_workload(&args);
+        return;
+    }
+    let modes = [
+        args.distance.is_some(),
+        args.replay.is_some(),
+        args.stats,
+        args.shutdown,
+    ];
+    if modes.iter().filter(|&&m| m).count() != 1 {
+        eprintln!("pick exactly one mode: --distance, --replay, --stats or --shutdown");
+        exit(2);
+    }
+    let mut session = Session::connect(&args);
+    if let Some((s, t)) = args.distance {
+        match session.ask(&Request::Distance(s, t)) {
+            Response::Distance(d) if d >= INFINITY => println!("inf"),
+            Response::Distance(d) => println!("{d}"),
+            Response::Error(msg) => {
+                eprintln!("server error: {msg}");
+                exit(1);
+            }
+            other => {
+                eprintln!("unexpected response {other:?}");
+                exit(1);
+            }
+        }
+    } else if args.replay.is_some() {
+        replay(&args, &mut session);
+    } else if args.stats {
+        print_stats(&mut session);
+    } else if args.shutdown {
+        match session.ask(&Request::Shutdown) {
+            Response::ShuttingDown => eprintln!("server acknowledged shutdown"),
+            other => {
+                eprintln!("unexpected response {other:?}");
+                exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! `hc2l-serve` — the serve-only distance-query daemon.
+//!
+//! ```text
+//! hc2l-serve --index paris.hc2l [--port 7171] [--threads N] [--cache N]
+//!            [--addr-file FILE] [--buffered]
+//! hc2l-serve --index paris.hc2l --bench [--threads N] [--cache N]
+//!            [--bench-queries N] [--bench-reps N] [--seed S]
+//! ```
+//!
+//! Loads one saved index container (memory-mapped; `--buffered` forces the
+//! heap-read fallback) and serves the binary wire protocol on
+//! `127.0.0.1:PORT` with a blocking thread-per-connection loop of at most
+//! `--threads` workers, until a client sends `Shutdown`. `--port 0` picks
+//! an ephemeral port; `--addr-file` writes the resolved `host:port` to a
+//! file once listening, which is how scripted callers (CI) rendezvous.
+//!
+//! `--bench` skips the socket layer entirely: it self-drives the shared
+//! oracle with `--threads` in-process workers over a seeded random pair
+//! workload and prints aggregate queries/second — the serving-throughput
+//! number for the loaded index.
+
+use std::process::exit;
+use std::sync::Arc;
+
+use hc2l_oracle::OracleBuilder;
+use hc2l_roadnet::random_pairs;
+use hc2l_serve::{measure_throughput, serve, ServeState};
+
+struct Args {
+    index: String,
+    port: u16,
+    threads: usize,
+    cache: usize,
+    addr_file: Option<String>,
+    buffered: bool,
+    bench: bool,
+    bench_queries: usize,
+    bench_reps: usize,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!("see the module documentation at the top of serve.rs for usage");
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        index: String::new(),
+        port: 7171,
+        threads: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4),
+        cache: 1 << 16,
+        addr_file: None,
+        buffered: false,
+        bench: false,
+        bench_queries: 2000,
+        bench_reps: 200,
+        seed: 0xBEEF,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let read_value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {}", argv[*i - 1]);
+            exit(2);
+        })
+    };
+    macro_rules! parse {
+        ($i:expr, $what:literal) => {
+            read_value($i).parse().unwrap_or_else(|_| {
+                eprintln!(concat!("invalid ", $what));
+                exit(2);
+            })
+        };
+    }
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--index" => args.index = read_value(&mut i),
+            "--port" => args.port = parse!(&mut i, "--port"),
+            "--threads" => args.threads = parse!(&mut i, "--threads"),
+            "--cache" => args.cache = parse!(&mut i, "--cache"),
+            "--addr-file" => args.addr_file = Some(read_value(&mut i)),
+            "--buffered" => args.buffered = true,
+            "--bench" => args.bench = true,
+            "--bench-queries" => args.bench_queries = parse!(&mut i, "--bench-queries"),
+            "--bench-reps" => args.bench_reps = parse!(&mut i, "--bench-reps"),
+            "--seed" => args.seed = parse!(&mut i, "--seed"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+    if args.index.is_empty() {
+        eprintln!("--index FILE is required");
+        exit(2);
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let path = std::path::Path::new(&args.index);
+    let oracle = if args.buffered {
+        hc2l_oracle::SharedOracle::open_buffered(path)
+    } else {
+        OracleBuilder::open(path)
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("cannot open index {}: {e}", path.display());
+        exit(1);
+    });
+    eprintln!(
+        "loaded {} index: {} vertices, {} bytes, {}",
+        oracle.method(),
+        oracle.num_vertices(),
+        oracle.index_bytes(),
+        if oracle.is_mapped() {
+            "memory-mapped"
+        } else {
+            "heap-buffered"
+        }
+    );
+    let num_vertices = oracle.num_vertices();
+    let threads = args.threads.max(1);
+    let state = Arc::new(ServeState::new(oracle, threads, args.cache));
+
+    if args.bench {
+        let pairs = random_pairs(num_vertices, args.bench_queries.max(1), args.seed);
+        let report = measure_throughput(&state, &pairs, threads, args.bench_reps.max(1));
+        println!(
+            "threads {} queries {} seconds {:.4} queries_per_second {:.0} cache_hit_rate {:.4}",
+            report.threads,
+            report.queries,
+            report.seconds,
+            report.queries_per_second,
+            report.cache_hit_rate
+        );
+        return;
+    }
+
+    let server = serve(Arc::clone(&state), ("127.0.0.1", args.port)).unwrap_or_else(|e| {
+        eprintln!("cannot bind 127.0.0.1:{}: {e}", args.port);
+        exit(1);
+    });
+    let addr = server.addr();
+    if let Some(file) = &args.addr_file {
+        // Write-then-rename so a polling client never reads a partial file.
+        let tmp = format!("{file}.tmp");
+        std::fs::write(&tmp, format!("{addr}\n"))
+            .and_then(|_| std::fs::rename(&tmp, file))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write --addr-file {file}: {e}");
+                exit(1);
+            });
+    }
+    eprintln!(
+        "serving on {addr} with {} worker threads (cache: {} entries)",
+        threads, args.cache
+    );
+    if let Err(e) = server.wait() {
+        eprintln!("serve loop failed: {e}");
+        exit(1);
+    }
+    let stats = state.stats();
+    eprintln!(
+        "shut down cleanly: {} distance queries, {} one-to-many ({} targets), cache hit rate {:.4}",
+        stats.distance_queries,
+        stats.one_to_many_queries,
+        stats.one_to_many_targets,
+        stats.cache_hit_rate()
+    );
+}

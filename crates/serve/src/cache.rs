@@ -1,0 +1,353 @@
+//! A sharded LRU cache for point-to-point query results.
+//!
+//! Labelling queries are tens of nanoseconds, so a result cache only pays
+//! off when it is (a) lock-cheap — the key is sharded so concurrent workers
+//! rarely contend on the same mutex — and (b) optional — capacity 0 turns
+//! the cache into a no-op so the serving layer can A/B it. Hit and miss
+//! counters are kept globally (relaxed atomics) for the server's `Stats`
+//! response and the bench's cache-hit-rate column.
+//!
+//! Distances in this workspace are symmetric, so keys are canonicalised to
+//! `(min(s,t), max(s,t))`: a `(t, s)` probe hits a cached `(s, t)` result.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use hc2l_graph::{Distance, Vertex};
+
+/// Counter snapshot of a [`QueryCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the oracle.
+    pub misses: u64,
+    /// Entries currently resident across all shards.
+    pub len: usize,
+    /// Total capacity across all shards (0 = cache disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, 0.0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One shard: a bounded LRU map from packed `(s, t)` keys to distances.
+///
+/// Recency is an intrusive doubly-linked list threaded through a slot
+/// arena, so `get`/`insert` are O(1) with no per-operation allocation once
+/// the shard is full (slots are recycled in place).
+struct Shard {
+    map: HashMap<u64, u32>,
+    slots: Vec<Slot>,
+    /// Most recently used slot, `NIL` when empty.
+    head: u32,
+    /// Least recently used slot, `NIL` when empty.
+    tail: u32,
+    capacity: usize,
+}
+
+struct Slot {
+    key: u64,
+    value: Distance,
+    prev: u32,
+    next: u32,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Unlinks a slot from the recency list.
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let s = &self.slots[i as usize];
+            (s.prev, s.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n as usize].prev = prev,
+        }
+    }
+
+    /// Links a slot at the most-recently-used end.
+    fn push_front(&mut self, i: u32) {
+        self.slots[i as usize].prev = NIL;
+        self.slots[i as usize].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h as usize].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: u64) -> Option<Distance> {
+        let i = *self.map.get(&key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(self.slots[i as usize].value)
+    }
+
+    fn insert(&mut self, key: u64, value: Distance) {
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i as usize].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        let i = if self.slots.len() < self.capacity {
+            self.slots.push(Slot {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.slots.len() - 1) as u32
+        } else {
+            // Evict the least recently used entry and recycle its slot.
+            let i = self.tail;
+            self.unlink(i);
+            let evicted = self.slots[i as usize].key;
+            self.map.remove(&evicted);
+            self.slots[i as usize].key = key;
+            self.slots[i as usize].value = value;
+            i
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+}
+
+/// A sharded LRU result cache keyed on canonicalised `(s, t)` pairs.
+///
+/// Shared by reference across worker threads; each operation locks exactly
+/// one shard (picked by key hash), and the hit/miss counters are relaxed
+/// atomics outside any lock.
+pub struct QueryCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryCache")
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl QueryCache {
+    /// Default shard count: enough that 8–16 workers rarely collide.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// A cache holding at most `capacity` entries spread over `shards`
+    /// mutex-protected shards. `capacity == 0` disables the cache entirely
+    /// (every lookup is a recorded miss, inserts are dropped).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards);
+        QueryCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity: per_shard * shards,
+        }
+    }
+
+    /// A disabled cache: no storage, all lookups miss.
+    pub fn disabled() -> Self {
+        QueryCache::new(0, 1)
+    }
+
+    /// Whether the cache can hold anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    #[inline]
+    fn key(s: Vertex, t: Vertex) -> u64 {
+        // Distances are symmetric: canonicalise so (t, s) hits (s, t).
+        let (lo, hi) = if s <= t { (s, t) } else { (t, s) };
+        (lo as u64) << 32 | hi as u64
+    }
+
+    #[inline]
+    fn shard_of(&self, key: u64) -> usize {
+        // Fibonacci hash of the packed pair; the packed key's low bits are
+        // the raw vertex id, which would shard-skew grid workloads.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as usize % self.shards.len()
+    }
+
+    /// Looks up a pair, updating recency and the hit/miss counters.
+    pub fn get(&self, s: Vertex, t: Vertex) -> Option<Distance> {
+        if !self.is_enabled() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let key = QueryCache::key(s, t);
+        let got = self.shards[self.shard_of(key)].lock().unwrap().get(key);
+        match got {
+            Some(d) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(d)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a pair's distance (no-op when disabled).
+    pub fn insert(&self, s: Vertex, t: Vertex, d: Distance) {
+        if !self.is_enabled() {
+            return;
+        }
+        let key = QueryCache::key(s, t);
+        self.shards[self.shard_of(key)]
+            .lock()
+            .unwrap()
+            .insert(key, d);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            len: self
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap().map.len())
+                .sum(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_after_insert_and_symmetry() {
+        let cache = QueryCache::new(64, 4);
+        assert_eq!(cache.get(1, 2), None);
+        cache.insert(1, 2, 42);
+        assert_eq!(cache.get(1, 2), Some(42));
+        assert_eq!(cache.get(2, 1), Some(42), "symmetric key must hit");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // One shard so the eviction order is fully deterministic.
+        let cache = QueryCache::new(2, 1);
+        cache.insert(1, 1, 10);
+        cache.insert(2, 2, 20);
+        assert_eq!(cache.get(1, 1), Some(10)); // touch 1 → 2 becomes LRU
+        cache.insert(3, 3, 30); // evicts 2
+        assert_eq!(cache.get(1, 1), Some(10));
+        assert_eq!(cache.get(2, 2), None);
+        assert_eq!(cache.get(3, 3), Some(30));
+        assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_recency() {
+        let cache = QueryCache::new(2, 1);
+        cache.insert(1, 1, 10);
+        cache.insert(2, 2, 20);
+        cache.insert(1, 1, 11); // update, touches 1
+        cache.insert(3, 3, 30); // evicts 2, not 1
+        assert_eq!(cache.get(1, 1), Some(11));
+        assert_eq!(cache.get(2, 2), None);
+    }
+
+    #[test]
+    fn disabled_cache_is_a_noop() {
+        let cache = QueryCache::disabled();
+        assert!(!cache.is_enabled());
+        cache.insert(1, 2, 3);
+        assert_eq!(cache.get(1, 2), None);
+        let s = cache.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.capacity, 0);
+    }
+
+    #[test]
+    fn concurrent_use_keeps_counts_consistent() {
+        let cache = std::sync::Arc::new(QueryCache::new(1024, 8));
+        let threads: Vec<_> = (0..8u32)
+            .map(|id| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..1000u32 {
+                        let (s, t) = (i % 97, (i * 7 + id) % 89);
+                        if cache.get(s, t).is_none() {
+                            cache.insert(s, t, (s + t) as u64);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8 * 1000);
+        assert!(s.len <= s.capacity);
+        // Every cached answer is still the right one.
+        for s_v in 0..97u32 {
+            for t_v in 0..89u32 {
+                if let Some(d) = cache.get(s_v, t_v) {
+                    assert_eq!(d, (s_v + t_v) as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_stress_never_loses_map_list_sync() {
+        let cache = QueryCache::new(8, 1);
+        for i in 0..10_000u32 {
+            cache.insert(i % 23, (i * 13) % 31, i as u64);
+            cache.get((i * 5) % 23, (i * 11) % 31);
+        }
+        let s = cache.stats();
+        assert!(s.len <= 8);
+    }
+}

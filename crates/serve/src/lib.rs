@@ -1,0 +1,53 @@
+//! `hc2l-serve`: the concurrent query-serving subsystem of the HC2L
+//! workspace.
+//!
+//! The construction crates build an index once; the persistence layer
+//! (`hc2l_graph::container`) saves and reloads it in milliseconds; this
+//! crate is the third phase — *serving* a loaded index to many concurrent
+//! clients, the deployment shape the paper's sub-microsecond query times
+//! exist for:
+//!
+//! * **mmap-backed loading** — the daemon opens indexes with
+//!   `OracleBuilder::open`, which memory-maps the container
+//!   (`Container::open_mmap`) and queries zero-copy views of the mapping;
+//!   one physical copy of a multi-GB index serves every process on the
+//!   host.
+//! * **shared read-only oracles** — [`ServeState`] bundles the oracle (a
+//!   `SharedOracle` view or an owned `Oracle`), a sharded LRU result cache
+//!   ([`QueryCache`]) and relaxed-atomic counters; worker threads query it
+//!   behind one `Arc` with no locks on the oracle path.
+//! * **a wire protocol and daemon** — a length-prefixed binary protocol
+//!   ([`protocol`]) carrying `Distance`, batched `OneToMany`, `Stats` and
+//!   `Shutdown` over TCP, served by a blocking thread-per-connection loop
+//!   ([`serve`]) with per-connection reused batch buffers. The `hc2l-serve`
+//!   binary is the daemon; `hc2l-query` is the matching client, able to
+//!   replay `hc2l_roadnet` workload files and gate exactness.
+//! * **throughput measurement** — [`measure_throughput`] drives N in-process
+//!   workers over a pair set and reports aggregate queries/second and cache
+//!   hit rate; the daemon's `--bench` flag and the JSON bench's throughput
+//!   columns are this number.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use hc2l_oracle::OracleBuilder;
+//! use hc2l_serve::{serve, ServeState};
+//!
+//! let oracle = OracleBuilder::open(std::path::Path::new("paris.hc2l")).unwrap();
+//! let state = Arc::new(ServeState::new(oracle, 8, 1 << 20));
+//! let server = serve(state, ("0.0.0.0", 7171)).unwrap();
+//! println!("serving on {}", server.addr());
+//! server.wait().unwrap();
+//! ```
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+pub mod throughput;
+
+pub use cache::{CacheStats, QueryCache};
+pub use protocol::{
+    read_request, read_response, write_request, write_response, Request, Response, ServerStats,
+    MAX_ONE_TO_MANY_TARGETS,
+};
+pub use server::{serve, ServeState, ServedOracle, ServerHandle};
+pub use throughput::{measure_throughput, ThroughputReport};

@@ -1,0 +1,461 @@
+//! The length-prefixed binary wire protocol between `hc2l-serve` and its
+//! clients.
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  --------------------------------------------
+//!      0     4  payload length in bytes (u32, little-endian)
+//!      4     1  opcode
+//!      5     …  opcode-specific fields (little-endian integers)
+//! ```
+//!
+//! Requests: `Distance(s, t)`, `OneToMany(s, targets…)`, `Stats`,
+//! `Shutdown`. Responses mirror them, plus `Error(message)` for malformed
+//! or out-of-range requests (the connection stays usable afterwards — a bad
+//! query must not take down a worker).
+//!
+//! The codec is hand-rolled over `std::io::{Read, Write}` (the workspace
+//! builds offline; the vendored serde is marker-only) and defensive in both
+//! directions: frames are capped at [`MAX_FRAME_BYTES`] and every decode
+//! error is a typed `io::Error`, so a garbage-spewing peer cannot make the
+//! server allocate unboundedly or panic.
+
+use std::io::{self, Read, Write};
+
+use hc2l_graph::{Distance, Vertex};
+
+/// Upper bound on one frame's payload (compare: a one-to-many request of
+/// 1M targets is 4MB). Anything larger is rejected as malformed.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Largest one-to-many batch the server accepts: the *response* carries 8
+/// bytes per distance (plus opcode and count), so batches beyond this would
+/// produce a frame the peer must reject as oversized. The server answers
+/// larger requests with [`Response::Error`]; clients chunk instead.
+pub const MAX_ONE_TO_MANY_TARGETS: usize = (MAX_FRAME_BYTES - 16) / 8;
+
+mod op {
+    pub const DISTANCE: u8 = 1;
+    pub const ONE_TO_MANY: u8 = 2;
+    pub const STATS: u8 = 3;
+    pub const SHUTDOWN: u8 = 4;
+    pub const ERROR: u8 = 0xFF;
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Exact point-to-point distance.
+    Distance(Vertex, Vertex),
+    /// Batched distances from one source to many targets.
+    OneToMany {
+        /// Source vertex.
+        source: Vertex,
+        /// Target vertices, answered in order.
+        targets: Vec<Vertex>,
+    },
+    /// Server counters and index identification.
+    Stats,
+    /// Stop accepting connections and exit the serve loop.
+    Shutdown,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Distance`].
+    Distance(Distance),
+    /// Answer to [`Request::OneToMany`], parallel to the request's targets.
+    Distances(Vec<Distance>),
+    /// Answer to [`Request::Stats`].
+    Stats(ServerStats),
+    /// Acknowledgement of [`Request::Shutdown`].
+    ShuttingDown,
+    /// The request was malformed or out of range; the connection survives.
+    Error(String),
+}
+
+/// Counters and identification reported by [`Request::Stats`] — which
+/// backend is loaded travels as the container method tag, so the client
+/// renders the proper display name via `Method::from_tag(..)` without
+/// string-matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Container method tag of the served index (`Method::tag`).
+    pub method_tag: u32,
+    /// Vertices of the indexed graph.
+    pub num_vertices: u64,
+    /// Container file size in bytes.
+    pub index_bytes: u64,
+    /// Worker-thread cap of the serve loop.
+    pub threads: u32,
+    /// Whether the index is served from a file mapping.
+    pub mapped: bool,
+    /// Point-to-point queries answered.
+    pub distance_queries: u64,
+    /// One-to-many requests answered.
+    pub one_to_many_queries: u64,
+    /// Total targets across all one-to-many requests.
+    pub one_to_many_targets: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Result-cache resident entries.
+    pub cache_len: u64,
+    /// Result-cache capacity (0 = disabled).
+    pub cache_capacity: u64,
+}
+
+impl ServerStats {
+    /// Cache hits over total lookups, 0.0 when nothing was looked up.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+fn bad(what: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.into())
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer hung up between requests). EOF anywhere *inside* a
+/// frame — including partway through the length prefix — is an error: the
+/// first prefix byte alone distinguishes "no next frame" from "truncated
+/// frame".
+fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut got = 0usize;
+    while got < len.len() {
+        match r.read(&mut len[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(bad("EOF inside a frame length prefix")),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len == 0 {
+        return Err(bad("empty frame"));
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(bad(format!("frame of {len} bytes exceeds the cap")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(!payload.is_empty() && payload.len() <= MAX_FRAME_BYTES);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Cursor over a frame payload.
+struct Fields<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Fields<'a> {
+    fn u32(&mut self) -> io::Result<u32> {
+        if self.bytes.len() < 4 {
+            return Err(bad("truncated frame"));
+        }
+        let v = u32::from_le_bytes(self.bytes[..4].try_into().unwrap());
+        self.bytes = &self.bytes[4..];
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        if self.bytes.len() < 8 {
+            return Err(bad("truncated frame"));
+        }
+        let v = u64::from_le_bytes(self.bytes[..8].try_into().unwrap());
+        self.bytes = &self.bytes[8..];
+        Ok(v)
+    }
+
+    fn finish(self) -> io::Result<()> {
+        if self.bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes in frame"))
+        }
+    }
+}
+
+/// Writes one request as a frame.
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
+    let mut p = Vec::new();
+    match req {
+        Request::Distance(s, t) => {
+            p.push(op::DISTANCE);
+            p.extend_from_slice(&s.to_le_bytes());
+            p.extend_from_slice(&t.to_le_bytes());
+        }
+        Request::OneToMany { source, targets } => {
+            p.push(op::ONE_TO_MANY);
+            p.extend_from_slice(&source.to_le_bytes());
+            p.extend_from_slice(&(targets.len() as u32).to_le_bytes());
+            for t in targets {
+                p.extend_from_slice(&t.to_le_bytes());
+            }
+        }
+        Request::Stats => p.push(op::STATS),
+        Request::Shutdown => p.push(op::SHUTDOWN),
+    }
+    write_frame(w, &p)
+}
+
+/// Reads one request; `Ok(None)` on clean EOF between frames.
+pub fn read_request<R: Read>(r: &mut R) -> io::Result<Option<Request>> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let (opcode, rest) = payload.split_first().expect("frames are non-empty");
+    let mut f = Fields { bytes: rest };
+    let req = match *opcode {
+        op::DISTANCE => {
+            let (s, t) = (f.u32()?, f.u32()?);
+            f.finish()?;
+            Request::Distance(s, t)
+        }
+        op::ONE_TO_MANY => {
+            let source = f.u32()?;
+            let count = f.u32()? as usize;
+            // Checked multiply: a huge claimed count must fail the length
+            // comparison, not wrap it into passing on 32-bit hosts.
+            if count.checked_mul(4) != Some(f.bytes.len()) {
+                return Err(bad("one-to-many target count disagrees with frame length"));
+            }
+            let mut targets = Vec::with_capacity(count);
+            for _ in 0..count {
+                targets.push(f.u32()?);
+            }
+            f.finish()?;
+            Request::OneToMany { source, targets }
+        }
+        op::STATS => {
+            f.finish()?;
+            Request::Stats
+        }
+        op::SHUTDOWN => {
+            f.finish()?;
+            Request::Shutdown
+        }
+        other => return Err(bad(format!("unknown request opcode {other}"))),
+    };
+    Ok(Some(req))
+}
+
+/// Writes one response as a frame.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
+    let mut p = Vec::new();
+    match resp {
+        Response::Distance(d) => {
+            p.push(op::DISTANCE);
+            p.extend_from_slice(&d.to_le_bytes());
+        }
+        Response::Distances(ds) => return write_distances(w, ds),
+        Response::Stats(s) => {
+            p.push(op::STATS);
+            p.extend_from_slice(&s.method_tag.to_le_bytes());
+            p.extend_from_slice(&s.threads.to_le_bytes());
+            for v in [
+                s.num_vertices,
+                s.index_bytes,
+                s.mapped as u64,
+                s.distance_queries,
+                s.one_to_many_queries,
+                s.one_to_many_targets,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_len,
+                s.cache_capacity,
+            ] {
+                p.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Response::ShuttingDown => p.push(op::SHUTDOWN),
+        Response::Error(msg) => {
+            p.push(op::ERROR);
+            p.extend_from_slice(msg.as_bytes());
+        }
+    }
+    write_frame(w, &p)
+}
+
+/// Writes a [`Response::Distances`] frame directly from a slice — the
+/// serving hot path encodes a reused batch buffer without first cloning it
+/// into an owned `Response`.
+pub fn write_distances<W: Write>(w: &mut W, ds: &[Distance]) -> io::Result<()> {
+    let mut p = Vec::with_capacity(5 + ds.len() * 8);
+    p.push(op::ONE_TO_MANY);
+    p.extend_from_slice(&(ds.len() as u32).to_le_bytes());
+    for d in ds {
+        p.extend_from_slice(&d.to_le_bytes());
+    }
+    write_frame(w, &p)
+}
+
+/// Reads one response; `Ok(None)` on clean EOF between frames.
+pub fn read_response<R: Read>(r: &mut R) -> io::Result<Option<Response>> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let (opcode, rest) = payload.split_first().expect("frames are non-empty");
+    let mut f = Fields { bytes: rest };
+    let resp = match *opcode {
+        op::DISTANCE => {
+            let d = f.u64()?;
+            f.finish()?;
+            Response::Distance(d)
+        }
+        op::ONE_TO_MANY => {
+            let count = f.u32()? as usize;
+            // Checked multiply, as on the request side.
+            if count.checked_mul(8) != Some(f.bytes.len()) {
+                return Err(bad("distance count disagrees with frame length"));
+            }
+            let mut ds = Vec::with_capacity(count);
+            for _ in 0..count {
+                ds.push(f.u64()?);
+            }
+            f.finish()?;
+            Response::Distances(ds)
+        }
+        op::STATS => {
+            let s = ServerStats {
+                method_tag: f.u32()?,
+                threads: f.u32()?,
+                num_vertices: f.u64()?,
+                index_bytes: f.u64()?,
+                mapped: f.u64()? != 0,
+                distance_queries: f.u64()?,
+                one_to_many_queries: f.u64()?,
+                one_to_many_targets: f.u64()?,
+                cache_hits: f.u64()?,
+                cache_misses: f.u64()?,
+                cache_len: f.u64()?,
+                cache_capacity: f.u64()?,
+            };
+            f.finish()?;
+            Response::Stats(s)
+        }
+        op::SHUTDOWN => {
+            f.finish()?;
+            Response::ShuttingDown
+        }
+        op::ERROR => Response::Error(
+            String::from_utf8(f.bytes.to_vec()).map_err(|_| bad("error message not UTF-8"))?,
+        ),
+        other => return Err(bad(format!("unknown response opcode {other}"))),
+    };
+    Ok(Some(resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_request(&mut r).unwrap(), Some(req));
+        assert_eq!(read_request(&mut r).unwrap(), None, "clean EOF after");
+    }
+
+    fn round_trip_response(resp: Response) {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_response(&mut r).unwrap(), Some(resp));
+        assert_eq!(read_response(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Distance(3, 999_999));
+        round_trip_request(Request::OneToMany {
+            source: 7,
+            targets: vec![],
+        });
+        round_trip_request(Request::OneToMany {
+            source: 7,
+            targets: (0..100).collect(),
+        });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Distance(hc2l_graph::INFINITY));
+        round_trip_response(Response::Distances(vec![1, 2, 3, u64::MAX]));
+        round_trip_response(Response::Stats(ServerStats {
+            method_tag: 3,
+            num_vertices: 4096,
+            index_bytes: 123_456,
+            threads: 8,
+            mapped: true,
+            distance_queries: 10,
+            one_to_many_queries: 2,
+            one_to_many_targets: 64,
+            cache_hits: 5,
+            cache_misses: 5,
+            cache_len: 5,
+            cache_capacity: 100,
+        }));
+        round_trip_response(Response::ShuttingDown);
+        round_trip_response(Response::Error("no such vertex".into()));
+    }
+
+    #[test]
+    fn garbage_fails_typed_not_panicking() {
+        // Unknown opcode.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[42, 0, 0]).unwrap();
+        assert!(read_request(&mut buf.as_slice()).is_err());
+        // Oversized frame length.
+        let huge = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes();
+        assert!(read_request(&mut huge.as_slice()).is_err());
+        // Zero-length frame.
+        assert!(read_request(&mut [0u8; 4].as_slice()).is_err());
+        // Truncated mid-frame (not at a boundary) is an error, not None.
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Distance(1, 2)).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(read_request(&mut buf.as_slice()).is_err());
+        // Truncated *inside the length prefix* is an error too — only a
+        // zero-byte EOF is a clean boundary.
+        assert!(read_request(&mut [0x07u8, 0x00].as_slice()).is_err());
+        // Count field lying about the payload size.
+        let mut p = vec![2u8]; // ONE_TO_MANY
+        p.extend_from_slice(&1u32.to_le_bytes()); // source
+        p.extend_from_slice(&1000u32.to_le_bytes()); // claims 1000 targets
+        p.extend_from_slice(&5u32.to_le_bytes()); // provides one
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &p).unwrap();
+        assert!(read_request(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut s = ServerStats::default();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

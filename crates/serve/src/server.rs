@@ -1,0 +1,682 @@
+//! The serve loop: shared state, a blocking thread-per-connection TCP
+//! server, and in-process request execution.
+//!
+//! One [`ServeState`] — index, result cache, counters — is built per served
+//! index and shared behind an `Arc`: the daemon's connection handlers, the
+//! `--bench` self-drive workers and the in-process tests all execute
+//! requests through the same [`ServeState::distance`] /
+//! [`ServeState::one_to_many_into`] entry points, so every path is measured
+//! and cached identically. The query path takes **no locks**: the oracle is
+//! read-only (`Send + Sync`), counters are relaxed atomics, and only a
+//! cache probe touches a (sharded) mutex.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use hc2l_graph::{Distance, Vertex};
+use hc2l_oracle::{DistanceOracle, Method, Oracle, SharedOracle};
+
+use crate::cache::QueryCache;
+use crate::protocol::{read_request, write_response, Request, Response, ServerStats};
+
+/// Any index the serve loop can answer from: a zero-copy mmap-backed view
+/// ([`SharedOracle`], the daemon's path) or an owned in-memory index
+/// ([`Oracle`], the path tests and embedded users take after `build`/`load`).
+#[derive(Debug, Clone)]
+pub enum ServedOracle {
+    /// Zero-copy view over a loaded container (see `OracleBuilder::open`).
+    Shared(SharedOracle),
+    /// Owned index (built in-process or decoded by `OracleBuilder::load`);
+    /// boxed so the rarely-held large variant does not inflate the enum.
+    Built(Box<Oracle>),
+}
+
+impl ServedOracle {
+    /// The served method.
+    pub fn method(&self) -> Method {
+        match self {
+            ServedOracle::Shared(o) => o.method(),
+            ServedOracle::Built(o) => o.method(),
+        }
+    }
+
+    /// Number of vertices of the indexed graph.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            ServedOracle::Shared(o) => o.num_vertices(),
+            ServedOracle::Built(o) => o.num_vertices(),
+        }
+    }
+
+    /// Container-file footprint in bytes.
+    pub fn index_bytes(&self) -> usize {
+        match self {
+            ServedOracle::Shared(o) => o.index_bytes(),
+            ServedOracle::Built(o) => o.index_bytes(),
+        }
+    }
+
+    /// Whether answers come straight out of a file mapping.
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            ServedOracle::Shared(o) => o.is_mapped(),
+            ServedOracle::Built(_) => false,
+        }
+    }
+
+    #[inline]
+    fn distance(&self, s: Vertex, t: Vertex) -> Distance {
+        match self {
+            ServedOracle::Shared(o) => o.distance(s, t),
+            ServedOracle::Built(o) => o.distance(s, t),
+        }
+    }
+
+    #[inline]
+    fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
+        match self {
+            ServedOracle::Shared(o) => o.one_to_many_into(s, targets, out),
+            ServedOracle::Built(o) => o.one_to_many_into(s, targets, out),
+        }
+    }
+}
+
+impl From<SharedOracle> for ServedOracle {
+    fn from(o: SharedOracle) -> Self {
+        ServedOracle::Shared(o)
+    }
+}
+
+impl From<Oracle> for ServedOracle {
+    fn from(o: Oracle) -> Self {
+        ServedOracle::Built(Box::new(o))
+    }
+}
+
+/// Everything a worker needs to answer queries: the read-only oracle, the
+/// sharded result cache, and the served/shutdown counters.
+#[derive(Debug)]
+pub struct ServeState {
+    oracle: ServedOracle,
+    cache: QueryCache,
+    threads: usize,
+    distance_queries: AtomicU64,
+    one_to_many_queries: AtomicU64,
+    one_to_many_targets: AtomicU64,
+    shutdown: AtomicBool,
+    /// Set by [`serve`] once the listener is bound; used to nudge the
+    /// blocking `accept` out of its wait when shutdown is requested.
+    bound_addr: OnceLock<SocketAddr>,
+}
+
+impl ServeState {
+    /// Wraps an oracle with a result cache of `cache_capacity` entries
+    /// (0 disables caching) for a serve loop of `threads` workers.
+    pub fn new(oracle: impl Into<ServedOracle>, threads: usize, cache_capacity: usize) -> Self {
+        ServeState {
+            oracle: oracle.into(),
+            cache: QueryCache::new(cache_capacity, QueryCache::DEFAULT_SHARDS),
+            threads: threads.max(1),
+            distance_queries: AtomicU64::new(0),
+            one_to_many_queries: AtomicU64::new(0),
+            one_to_many_targets: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            bound_addr: OnceLock::new(),
+        }
+    }
+
+    /// The served oracle.
+    pub fn oracle(&self) -> &ServedOracle {
+        &self.oracle
+    }
+
+    /// The result cache (for inspection; workers go through
+    /// [`ServeState::distance`]).
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    /// Answers a point-to-point query through the cache, counting it.
+    #[inline]
+    pub fn distance(&self, s: Vertex, t: Vertex) -> Distance {
+        self.distance_queries.fetch_add(1, Ordering::Relaxed);
+        if let Some(d) = self.cache.get(s, t) {
+            return d;
+        }
+        let d = self.oracle.distance(s, t);
+        self.cache.insert(s, t, d);
+        d
+    }
+
+    /// Answers a batched one-to-many query into a caller-provided buffer,
+    /// counting it. Batches bypass the point cache: the batched kernels
+    /// amortise the per-source work already, and polluting the LRU with
+    /// whole rows would evict the point working set.
+    pub fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
+        self.one_to_many_queries.fetch_add(1, Ordering::Relaxed);
+        self.one_to_many_targets
+            .fetch_add(targets.len() as u64, Ordering::Relaxed);
+        self.oracle.one_to_many_into(s, targets, out);
+    }
+
+    /// Requests the serve loop to stop accepting and drain. When a server
+    /// is running, the blocking `accept` is nudged awake with a throwaway
+    /// loopback connection so the loop observes the flag promptly.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.bound_addr.get() {
+            let _ = TcpStream::connect_timeout(addr, std::time::Duration::from_secs(1));
+        }
+    }
+
+    /// Whether shutdown was requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Counter snapshot in wire form.
+    pub fn stats(&self) -> ServerStats {
+        let cache = self.cache.stats();
+        ServerStats {
+            method_tag: self.oracle.method().tag(),
+            num_vertices: self.oracle.num_vertices() as u64,
+            index_bytes: self.oracle.index_bytes() as u64,
+            threads: self.threads as u32,
+            mapped: self.oracle.is_mapped(),
+            distance_queries: self.distance_queries.load(Ordering::Relaxed),
+            one_to_many_queries: self.one_to_many_queries.load(Ordering::Relaxed),
+            one_to_many_targets: self.one_to_many_targets.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_len: cache.len as u64,
+            cache_capacity: cache.capacity as u64,
+        }
+    }
+
+    /// Validates a one-to-many request: batch bounded by the
+    /// response-frame cap, every vertex in range.
+    fn check_one_to_many(&self, source: Vertex, targets: &[Vertex]) -> Result<(), String> {
+        let n = self.oracle.num_vertices() as Vertex;
+        if targets.len() > crate::protocol::MAX_ONE_TO_MANY_TARGETS {
+            return Err(format!(
+                "batch of {} targets exceeds the {}-target response-frame cap; split it",
+                targets.len(),
+                crate::protocol::MAX_ONE_TO_MANY_TARGETS
+            ));
+        }
+        if source >= n {
+            return Err(format!(
+                "source {source} out of range on a {n}-vertex index"
+            ));
+        }
+        if let Some(bad) = targets.iter().find(|&&t| t >= n) {
+            return Err(format!("target {bad} out of range on a {n}-vertex index"));
+        }
+        Ok(())
+    }
+
+    /// Executes one request. Out-of-range vertices produce a
+    /// [`Response::Error`], never a panic — one bad client query must not
+    /// take a worker thread down.
+    pub fn execute(&self, req: &Request, batch_buf: &mut Vec<Distance>) -> Response {
+        let n = self.oracle.num_vertices() as Vertex;
+        match req {
+            Request::Distance(s, t) => {
+                if *s >= n || *t >= n {
+                    return Response::Error(format!(
+                        "vertex out of range: ({s}, {t}) on a {n}-vertex index"
+                    ));
+                }
+                Response::Distance(self.distance(*s, *t))
+            }
+            Request::OneToMany { source, targets } => {
+                match self.check_one_to_many(*source, targets) {
+                    Err(msg) => Response::Error(msg),
+                    Ok(()) => {
+                        self.one_to_many_into(*source, targets, batch_buf);
+                        Response::Distances(batch_buf.clone())
+                    }
+                }
+            }
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Shutdown => {
+                self.request_shutdown();
+                Response::ShuttingDown
+            }
+        }
+    }
+}
+
+/// A running server: the bound address plus the accept-loop handle.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    accept_loop: Option<JoinHandle<io::Result<()>>>,
+    state: Arc<ServeState>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (counters, shutdown flag).
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Blocks until the serve loop exits (i.e. until some client sends
+    /// `Shutdown`), then reports the accept loop's result.
+    pub fn wait(mut self) -> io::Result<()> {
+        let handle = self
+            .accept_loop
+            .take()
+            .expect("wait consumes the only handle");
+        handle.join().expect("accept loop panicked")
+    }
+
+    /// Requests shutdown from this side and waits for the drain.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.state.request_shutdown();
+        self.wait()
+    }
+}
+
+/// Binds `addr` and runs a blocking thread-per-connection accept loop in a
+/// background thread until a `Shutdown` request arrives.
+///
+/// Each accepted connection gets its own handler thread with its own reused
+/// batch buffer; at most `state.threads` connections are served at once —
+/// later ones queue in the listen backlog, preserving strict bounds on
+/// worker memory. Returns once the listener is bound, so the caller can
+/// read the resolved address immediately (pass port 0 for an ephemeral
+/// port).
+pub fn serve(state: Arc<ServeState>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    state
+        .bound_addr
+        .set(bound)
+        .map_err(|_| io::Error::new(io::ErrorKind::AddrInUse, "state already serves a listener"))?;
+    let loop_state = Arc::clone(&state);
+    let accept_loop = std::thread::Builder::new()
+        .name("hc2l-serve-accept".into())
+        .spawn(move || accept_loop(listener, loop_state))?;
+    Ok(ServerHandle {
+        addr: bound,
+        accept_loop: Some(accept_loop),
+        state,
+    })
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServeState>) -> io::Result<()> {
+    // Active-handler cap: a plain counter, checked before spawning. The
+    // accept loop blocks in `accept`, so a `Shutdown` executed by a handler
+    // nudges it with a loopback connection (see `ServerHandle::shutdown`).
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    // Live connection streams, so the drain below can unblock handler
+    // threads parked in a blocking read (an idle client must not wedge
+    // shutdown). Each handler removes its own entry when it exits, so the
+    // registry holds only open connections.
+    let conns: Arc<std::sync::Mutex<std::collections::HashMap<u64, TcpStream>>> =
+        Arc::new(std::sync::Mutex::new(std::collections::HashMap::new()));
+    let mut next_conn_id: u64 = 0;
+    let mut result: io::Result<()> = Ok(());
+    loop {
+        if state.is_shutting_down() {
+            break;
+        }
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            // Transient per-connection failures must not kill the listener.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::Interrupted
+                        | io::ErrorKind::ConnectionAborted
+                        | io::ErrorKind::ConnectionReset
+                ) =>
+            {
+                continue
+            }
+            // Anything else (fd exhaustion, listener teardown) ends the
+            // loop — but through the drain below, never abandoning live
+            // handler threads.
+            Err(e) => {
+                result = Err(e);
+                break;
+            }
+        };
+        if state.is_shutting_down() {
+            break;
+        }
+        // Worker cap: park excess connections until a slot frees up. The
+        // cap is *soft* — after a bounded wait the connection is served
+        // anyway, so a daemon whose slots are all held by idle clients
+        // still makes progress (and can still be told to shut down over
+        // the wire).
+        let cap_deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while active.load(Ordering::Acquire) >= state.threads
+            && std::time::Instant::now() < cap_deadline
+        {
+            if state.is_shutting_down() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        if state.is_shutting_down() {
+            break;
+        }
+        handlers.retain(|h| !h.is_finished());
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        match stream.try_clone() {
+            Ok(clone) => conns.lock().unwrap().insert(conn_id, clone),
+            // An unregistered connection could not be unblocked by the
+            // shutdown drain and would wedge the final join; refuse it
+            // (the peer sees a reset and can retry) rather than serve it
+            // untracked.
+            Err(_) => {
+                drop(stream);
+                continue;
+            }
+        };
+        active.fetch_add(1, Ordering::AcqRel);
+        let conn_state = Arc::clone(&state);
+        let conn_active = Arc::clone(&active);
+        let conn_registry = Arc::clone(&conns);
+        let spawned = std::thread::Builder::new()
+            .name("hc2l-serve-worker".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &conn_state);
+                conn_registry.lock().unwrap().remove(&conn_id);
+                conn_active.fetch_sub(1, Ordering::AcqRel);
+            });
+        match spawned {
+            Ok(handle) => handlers.push(handle),
+            Err(e) => {
+                // The closure (and its stream) never ran: undo the
+                // bookkeeping and end the loop through the drain.
+                conns.lock().unwrap().remove(&conn_id);
+                active.fetch_sub(1, Ordering::AcqRel);
+                result = Err(e);
+                break;
+            }
+        }
+    }
+    // Drain: close both halves of every still-open connection so handlers
+    // parked in a blocking read observe EOF and exit, then join them all —
+    // on the error paths too, so no handler thread is ever abandoned.
+    for (_, stream) in conns.lock().unwrap().drain() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    result
+}
+
+/// Serves one connection until the peer hangs up, a protocol error occurs,
+/// or shutdown is requested. The batch buffer lives for the whole
+/// connection, so steady-state one-to-many serving does no per-request
+/// allocation beyond the response frame.
+fn handle_connection(stream: TcpStream, state: &ServeState) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut batch_buf: Vec<Distance> = Vec::new();
+    while let Some(req) = read_request(&mut reader)? {
+        // A Shutdown request is acknowledged *before* the drain starts:
+        // `execute` would set the shutdown flag first, and the accept
+        // loop's drain could then close this very socket ahead of the
+        // response reaching the peer.
+        if matches!(req, Request::Shutdown) {
+            write_response(&mut writer, &Response::ShuttingDown)?;
+            state.request_shutdown();
+            break;
+        }
+        // Batched answers stream straight from the reused buffer; routing
+        // them through an owned `Response` would clone the whole row per
+        // request.
+        if let Request::OneToMany { source, targets } = &req {
+            match state.check_one_to_many(*source, targets) {
+                Err(msg) => write_response(&mut writer, &Response::Error(msg))?,
+                Ok(()) => {
+                    state.one_to_many_into(*source, targets, &mut batch_buf);
+                    crate::protocol::write_distances(&mut writer, &batch_buf)?;
+                }
+            }
+        } else {
+            let resp = state.execute(&req, &mut batch_buf);
+            write_response(&mut writer, &resp)?;
+        }
+        if state.is_shutting_down() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::write_request;
+    use hc2l_graph::toy::paper_figure1;
+    use hc2l_oracle::OracleBuilder;
+
+    fn test_state(cache: usize) -> Arc<ServeState> {
+        let g = paper_figure1();
+        let oracle = OracleBuilder::new(Method::Hl).build(&g);
+        Arc::new(ServeState::new(oracle, 4, cache))
+    }
+
+    fn ask(addr: SocketAddr, req: &Request) -> Response {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_request(&mut writer, req).unwrap();
+        crate::protocol::read_response(&mut reader)
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let state = test_state(256);
+        let expected = state.oracle().distance(2, 9);
+        let server = serve(Arc::clone(&state), ("127.0.0.1", 0)).unwrap();
+        let addr = server.addr();
+
+        assert_eq!(
+            ask(addr, &Request::Distance(2, 9)),
+            Response::Distance(expected)
+        );
+        // A second ask hits the cache and agrees.
+        assert_eq!(
+            ask(addr, &Request::Distance(9, 2)),
+            Response::Distance(expected)
+        );
+
+        let targets: Vec<Vertex> = (0..16).collect();
+        let Response::Distances(row) = ask(
+            addr,
+            &Request::OneToMany {
+                source: 3,
+                targets: targets.clone(),
+            },
+        ) else {
+            panic!("expected a Distances response");
+        };
+        let mut want = Vec::new();
+        state.oracle().one_to_many_into(3, &targets, &mut want);
+        assert_eq!(row, want);
+
+        // Out-of-range queries error without killing the server.
+        assert!(matches!(
+            ask(addr, &Request::Distance(999, 0)),
+            Response::Error(_)
+        ));
+
+        let Response::Stats(stats) = ask(addr, &Request::Stats) else {
+            panic!("expected a Stats response");
+        };
+        assert_eq!(stats.method_tag, Method::Hl.tag());
+        assert_eq!(stats.num_vertices, 16);
+        assert_eq!(stats.distance_queries, 2);
+        assert_eq!(stats.one_to_many_queries, 1);
+        assert_eq!(stats.one_to_many_targets, 16);
+        assert!(stats.cache_hits >= 1);
+
+        assert_eq!(ask(addr, &Request::Shutdown), Response::ShuttingDown);
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn shutdown_from_the_handle_side() {
+        let state = test_state(0);
+        let server = serve(Arc::clone(&state), ("127.0.0.1", 0)).unwrap();
+        let addr = server.addr();
+        assert!(matches!(
+            ask(addr, &Request::Distance(0, 5)),
+            Response::Distance(_)
+        ));
+        server.shutdown().unwrap();
+        assert!(state.is_shutting_down());
+    }
+
+    #[test]
+    fn concurrent_clients_get_exact_answers() {
+        let state = test_state(1024);
+        let server = serve(Arc::clone(&state), ("127.0.0.1", 0)).unwrap();
+        let addr = server.addr();
+        let mut expected = [[0u64; 16]; 16];
+        for s in 0..16u32 {
+            for t in 0..16u32 {
+                expected[s as usize][t as usize] = state.oracle().distance(s, t);
+            }
+        }
+        let clients: Vec<_> = (0..8u32)
+            .map(|id| {
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = BufWriter::new(stream);
+                    let mut got = Vec::new();
+                    for i in 0..200u32 {
+                        let (s, t) = ((i + id) % 16, (i * 7) % 16);
+                        write_request(&mut writer, &Request::Distance(s, t)).unwrap();
+                        let Some(Response::Distance(d)) =
+                            crate::protocol::read_response(&mut reader).unwrap()
+                        else {
+                            panic!("expected a distance");
+                        };
+                        got.push((s, t, d));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for c in clients {
+            for (s, t, d) in c.join().unwrap() {
+                assert_eq!(d, expected[s as usize][t as usize]);
+            }
+        }
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_even_with_an_idle_connection() {
+        // An idle client parked between requests must not wedge the drain:
+        // the accept loop half-closes live sockets so blocked reads see EOF.
+        let state = test_state(0);
+        let server = serve(Arc::clone(&state), ("127.0.0.1", 0)).unwrap();
+        let addr = server.addr();
+        let idle = TcpStream::connect(addr).unwrap();
+        // Make sure the idle connection is accepted and its handler is
+        // parked in a read before shutdown is requested.
+        assert!(matches!(
+            ask(addr, &Request::Distance(1, 2)),
+            Response::Distance(_)
+        ));
+        let done = std::thread::spawn(move || server.shutdown());
+        // The drain must finish promptly despite the idle connection.
+        let start = std::time::Instant::now();
+        done.join().unwrap().unwrap();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "drain took {:?}",
+            start.elapsed()
+        );
+        drop(idle);
+    }
+
+    #[test]
+    fn saturated_daemon_still_accepts_a_shutdown_client() {
+        // All worker slots held by an idle client: the soft cap must let a
+        // late client in so a wire-protocol Shutdown can still land.
+        let g = paper_figure1();
+        let oracle = OracleBuilder::new(Method::Hl).build(&g);
+        let state = Arc::new(ServeState::new(oracle, 1, 0)); // one slot
+        let server = serve(Arc::clone(&state), ("127.0.0.1", 0)).unwrap();
+        let addr = server.addr();
+        // Occupy the only slot with a connection that stays idle.
+        let idle = TcpStream::connect(addr).unwrap();
+        // Give the accept loop time to hand the idle connection to a worker.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // A second client must still get served (after the soft-cap wait)
+        // and be able to shut the daemon down.
+        assert_eq!(ask(addr, &Request::Shutdown), Response::ShuttingDown);
+        server.wait().unwrap();
+        drop(idle);
+    }
+
+    #[test]
+    fn oversized_batches_are_rejected_not_framed() {
+        // A request whose *response* would exceed the frame cap must fail
+        // as a typed Error on the server, not as a malformed frame on the
+        // client (u64 distances are twice the width of u32 targets).
+        let state = test_state(0);
+        let mut buf = Vec::new();
+        let resp = state.execute(
+            &Request::OneToMany {
+                source: 0,
+                targets: vec![0; crate::protocol::MAX_ONE_TO_MANY_TARGETS + 1],
+            },
+            &mut buf,
+        );
+        assert!(matches!(resp, Response::Error(ref msg) if msg.contains("cap")));
+        // A cap-sized batch of valid targets still answers (length checks
+        // happen before vertex-range checks).
+        let resp = state.execute(
+            &Request::OneToMany {
+                source: 0,
+                targets: vec![1; 100],
+            },
+            &mut buf,
+        );
+        assert!(matches!(resp, Response::Distances(ref d) if d.len() == 100));
+    }
+
+    #[test]
+    fn execute_bypasses_cache_for_batches_but_counts_them() {
+        let state = test_state(64);
+        let mut buf = Vec::new();
+        let resp = state.execute(
+            &Request::OneToMany {
+                source: 0,
+                targets: vec![1, 2, 3],
+            },
+            &mut buf,
+        );
+        assert!(matches!(resp, Response::Distances(ref d) if d.len() == 3));
+        let stats = state.stats();
+        assert_eq!(stats.one_to_many_queries, 1);
+        assert_eq!(stats.one_to_many_targets, 3);
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+    }
+}

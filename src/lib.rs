@@ -78,6 +78,46 @@
 //! Corrupt or truncated files surface as typed `PersistError`s (bad magic,
 //! unsupported version, checksum mismatch, …), never panics.
 //!
+//! # Serve: one mmap-opened index, many concurrent workers
+//!
+//! The third phase after build and load is *serving*. [`OracleBuilder::open`]
+//! memory-maps a container file and returns a [`SharedOracle`] — a
+//! `Send + Sync` handle whose queries run on zero-copy views straight out of
+//! the mapping, so one physical copy of the index serves every thread (and,
+//! via the page cache, every process) on the host:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hc2l_repro::hc2l_graph::toy::paper_figure1;
+//! use hc2l_repro::{DistanceOracle, Method, OracleBuilder};
+//!
+//! let g = paper_figure1();
+//! let oracle = OracleBuilder::new(Method::Hl).build(&g);
+//! let path = std::env::temp_dir().join(format!("hc2l-serve-doc-{}.hc2l", std::process::id()));
+//! oracle.save(&path).unwrap();
+//!
+//! let shared = Arc::new(OracleBuilder::open(&path).unwrap());   // mmap, zero-copy
+//! let workers: Vec<_> = (0..4)
+//!     .map(|i| {
+//!         let o = Arc::clone(&shared);
+//!         std::thread::spawn(move || o.distance(i, 15 - i))
+//!     })
+//!     .collect();
+//! for (i, w) in workers.into_iter().enumerate() {
+//!     assert_eq!(w.join().unwrap(), oracle.distance(i as u32, 15 - i as u32));
+//! }
+//! std::fs::remove_file(&path).ok();
+//! ```
+//!
+//! The [`hc2l_serve`] crate turns this into a deployable daemon: a sharded
+//! LRU result cache, a length-prefixed TCP wire protocol
+//! (`Distance` / batched `OneToMany` / `Stats` / `Shutdown`), the
+//! `hc2l-serve` binary (thread-per-connection serve loop, `--bench`
+//! self-drive throughput mode) and the `hc2l-query` client (point queries,
+//! workload-file replay with exactness gating, workload generation). See
+//! `examples/serve_demo.rs` for the full build → save → mmap-open → serve
+//! walkthrough.
+//!
 //! # Crate map
 //!
 //! | crate | contents |
@@ -88,6 +128,7 @@
 //! | [`hc2l_ch`] / [`hc2l_h2h`] / [`hc2l_hl`] / [`hc2l_phl`] | the baselines |
 //! | [`hc2l_oracle`] | the unified [`DistanceOracle`] API over all of the above |
 //! | [`hc2l_roadnet`] | synthetic road networks, DIMACS parsing, query workloads |
+//! | [`hc2l_serve`] | concurrent query serving: daemon, wire protocol, result cache, throughput bench |
 
 pub use hc2l;
 pub use hc2l_ch;
@@ -98,10 +139,14 @@ pub use hc2l_hl;
 pub use hc2l_oracle;
 pub use hc2l_phl;
 pub use hc2l_roadnet;
+pub use hc2l_serve;
 
 // The unified oracle API, flattened for convenience: most users only need
 // these five names plus a graph source.
 pub use hc2l_oracle::{DistanceOracle, Method, Oracle, OracleBuilder, OracleConfig};
+
+/// Re-export of the zero-copy serving handle (`OracleBuilder::open`).
+pub use hc2l_oracle::SharedOracle;
 
 /// Re-export of the shared per-query instrumentation record.
 pub use hc2l_graph::QueryStats;
