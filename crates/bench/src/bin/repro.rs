@@ -19,10 +19,13 @@
 //! `--json-out` runs the seeded reference workloads (64x64 grid + synthetic
 //! city), verifies every backend against Dijkstra, and writes per-method
 //! query ns/op, build seconds, load seconds, (exact on-disk) index bytes,
-//! and the serving-throughput columns — aggregate `queries_per_second` and
+//! the serving-throughput columns — aggregate `queries_per_second` and
 //! `cache_hit_rate` from 8 workers sharing one mmap-opened index through
-//! the `hc2l-serve` layer — as JSON; it exits non-zero on any divergence,
-//! which is what the CI smoke-bench step relies on. Every run exercises the
+//! the `hc2l-serve` layer — and the `concurrent_connections` scaling
+//! column (an epoll-model server holding 512 mostly-idle connections, 64
+//! in `--smoke` mode, with every over-the-wire answer gated against
+//! Dijkstra) as JSON; it exits non-zero on any divergence, which is what
+//! the CI smoke-bench steps rely on. Every run exercises the
 //! index-container save→load round trip (into a scratch directory, created
 //! on demand, next to the JSON file unless `--save-index` names one);
 //! `--load-index DIR` instead *serves* prebuilt indexes from DIR without

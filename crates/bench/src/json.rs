@@ -29,6 +29,14 @@
 //! number a deployment of that method would sustain on a repeating
 //! workload (`BENCH_PR4.json` is the first committed point with these
 //! columns).
+//!
+//! Since the event-driven-serving PR each row additionally carries
+//! **`concurrent_connections`**: an epoll-model server is booted on the
+//! same shared state and holds that many TCP connections (mostly idle,
+//! [`SERVE_THREADS`] actively replaying the pair set) while every
+//! over-the-wire answer is gated against Dijkstra — a mismatch aborts the
+//! bench (`BENCH_PR5.json` is the first committed point with this column;
+//! [`SCALING_CONNECTIONS`] = 512 on the standard workloads).
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -54,6 +62,10 @@ pub struct JsonWorkload {
     pub pairs: Vec<QueryPair>,
     /// How many timed repetitions of the pair set to run.
     pub reps: usize,
+    /// Concurrent TCP connections (mostly idle, [`SERVE_THREADS`] active)
+    /// the connection-scaling gate holds against an epoll-model server
+    /// while verifying exactness — the `concurrent_connections` column.
+    pub connections: usize,
 }
 
 /// How the JSON bench exercises index persistence.
@@ -103,17 +115,21 @@ pub fn standard_workloads(queries: usize) -> Vec<JsonWorkload> {
             name: "grid-64x64".to_string(),
             graph: grid,
             reps: 25,
+            connections: SCALING_CONNECTIONS,
         },
         JsonWorkload {
             pairs: random_pairs(city.num_vertices(), queries, 0xBEEF),
             name: "city-48x48".to_string(),
             graph: city,
             reps: 25,
+            connections: SCALING_CONNECTIONS,
         },
     ]
 }
 
-/// A small, fast workload set for CI smoke runs.
+/// A small, fast workload set for CI smoke runs. The connection-scaling
+/// gate runs at 64 connections here: CI runners commonly cap open fds at
+/// 1024, and the client side of the gate lives in the same process.
 pub fn smoke_workloads(queries: usize) -> Vec<JsonWorkload> {
     let grid = seeded_grid(16, 16, 0xA11CE);
     vec![JsonWorkload {
@@ -121,6 +137,7 @@ pub fn smoke_workloads(queries: usize) -> Vec<JsonWorkload> {
         name: "grid-16x16".to_string(),
         graph: grid,
         reps: 10,
+        connections: 64,
     }]
 }
 
@@ -152,6 +169,11 @@ pub struct JsonRow {
     /// the same pair set [`SERVE_REPS`] times, so steady-state serving of a
     /// repeating workload is what this measures).
     pub cache_hit_rate: f64,
+    /// Concurrent TCP connections the epoll-model server held — mostly
+    /// idle, [`SERVE_THREADS`] actively replaying — while every answer was
+    /// verified exact over the wire. The connection-*scaling* claim of the
+    /// serving layer, next to the raw-throughput claim above.
+    pub concurrent_connections: usize,
     /// Total index footprint in bytes (the exact container-file size).
     pub index_bytes: usize,
     /// Number of distinct point-to-point queries timed per repetition.
@@ -170,6 +192,14 @@ pub const SERVE_REPS: usize = 25;
 
 /// Result-cache capacity used for the throughput run.
 pub const SERVE_CACHE: usize = 1 << 16;
+
+/// Connection count of the scaling gate on the standard workloads — the
+/// "≥ 512 concurrent connections, bit-identical answers" serving bar.
+pub const SCALING_CONNECTIONS: usize = 512;
+
+/// Times each active client replays the pair set during the scaling gate
+/// (over real sockets, so far fewer reps than the in-process run).
+pub const SCALING_REPS: usize = 2;
 
 /// Runs every method on every workload, verifying exactness against Dijkstra
 /// and exercising the save/load round trip per [`IndexPersistence`].
@@ -341,7 +371,85 @@ fn run_persisted(
                 }
             }
             let state = Arc::new(ServeState::new(shared, SERVE_THREADS, SERVE_CACHE));
-            let report = measure_throughput(&state, &w.pairs, SERVE_THREADS, SERVE_REPS);
+            // Two passes, best kept — the same scheduler-noise filter the
+            // point timings use (a single pass on a small 1-core host can
+            // lose double-digit percent to an ill-timed preemption).
+            let report = {
+                let a = measure_throughput(&state, &w.pairs, SERVE_THREADS, SERVE_REPS);
+                let b = measure_throughput(&state, &w.pairs, SERVE_THREADS, SERVE_REPS);
+                if a.queries_per_second >= b.queries_per_second {
+                    a
+                } else {
+                    b
+                }
+            };
+
+            // Connection-scaling gate: an epoll-model server holds
+            // `w.connections` concurrent connections — SERVE_THREADS of
+            // them replaying, the rest idle — and every over-the-wire
+            // answer must match the loaded index bit for bit. Off Linux the
+            // model degrades to blocking thread-per-connection, whose
+            // worker cap admits backlogged connections one 5s grace period
+            // at a time — a 512-connection storm would take tens of
+            // minutes there — so the count is clamped to what that model
+            // actually serves well; the recorded column reflects the
+            // clamped value.
+            let connections =
+                if hc2l_serve::ServeModel::platform_default() == hc2l_serve::ServeModel::Epoll {
+                    w.connections
+                } else {
+                    w.connections.min(32)
+                };
+            let expected: Vec<Distance> = w
+                .pairs
+                .iter()
+                .map(|p| reference[&p.source][p.target as usize])
+                .collect();
+            let server = hc2l_serve::serve_with_model(
+                Arc::clone(&state),
+                ("127.0.0.1", 0),
+                hc2l_serve::ServeModel::platform_default(),
+            )
+            .map_err(|e| {
+                format!(
+                    "{} on {}: cannot bind the scaling server: {e}",
+                    oracle.name(),
+                    w.name
+                )
+            })?;
+            let scaling = hc2l_serve::measure_connection_scaling(
+                server.addr(),
+                &w.pairs,
+                &expected,
+                connections,
+                SERVE_THREADS,
+                SCALING_REPS,
+            )
+            .map_err(|e| {
+                format!(
+                    "{} on {}: scaling run at {connections} connections failed: {e}",
+                    oracle.name(),
+                    w.name,
+                )
+            })?;
+            server.shutdown().map_err(|e| {
+                format!(
+                    "{} on {}: scaling server drain failed: {e}",
+                    oracle.name(),
+                    w.name
+                )
+            })?;
+            if scaling.mismatches > 0 {
+                return Err(format!(
+                    "{} on {}: {} of {} answers served over {} concurrent connections \
+                     disagreed with Dijkstra",
+                    oracle.name(),
+                    w.name,
+                    scaling.mismatches,
+                    scaling.queries,
+                    scaling.connections
+                ));
+            }
 
             rows.push(JsonRow {
                 workload: w.name.clone(),
@@ -354,6 +462,7 @@ fn run_persisted(
                 one_to_many_ns_per_target: otm_ns,
                 queries_per_second: report.queries_per_second,
                 cache_hit_rate: report.cache_hit_rate,
+                concurrent_connections: scaling.connections,
                 index_bytes: oracle.index_bytes(),
                 num_queries: w.pairs.len(),
             });
@@ -378,6 +487,7 @@ pub fn render_json(rows: &[JsonRow]) -> String {
                 "\"one_to_many_ns_per_target\": {:.1}, ",
                 "\"queries_per_second\": {:.0}, ",
                 "\"cache_hit_rate\": {:.4}, ",
+                "\"concurrent_connections\": {}, ",
                 "\"index_bytes\": {}, \"num_queries\": {}}}{}\n"
             ),
             r.workload,
@@ -390,6 +500,7 @@ pub fn render_json(rows: &[JsonRow]) -> String {
             r.one_to_many_ns_per_target,
             r.queries_per_second,
             r.cache_hit_rate,
+            r.concurrent_connections,
             r.index_bytes,
             r.num_queries,
             if i + 1 < rows.len() { "," } else { "" }
@@ -424,6 +535,11 @@ mod tests {
                 "{} missing serving throughput",
                 r.method
             );
+            assert_eq!(
+                r.concurrent_connections, 64,
+                "{} scaling gate did not run at the smoke count",
+                r.method
+            );
             // Each serve worker replays the pair set SERVE_REPS times, so
             // the steady state is dominated by hits.
             assert!(
@@ -439,6 +555,7 @@ mod tests {
         assert!(json.contains("\"load_seconds\""));
         assert!(json.contains("\"queries_per_second\""));
         assert!(json.contains("\"cache_hit_rate\""));
+        assert!(json.contains("\"concurrent_connections\": 64"));
         assert!(json.ends_with("}\n"));
         // Every method appears, including HC2Lp on single-core hosts.
         for name in ["HC2L", "HC2Lp", "H2H", "PHL", "HL", "CH"] {

@@ -3,6 +3,12 @@
 //! Both search frontiers only relax edges of the upward graph; the shortest
 //! path is found at the vertex where the two searches meet (which, by the CH
 //! correctness argument, is the highest-ranked vertex of some shortest path).
+//! Two standard prunings keep the searches small: tentative distances at or
+//! past the best meeting candidate are never pushed (they cannot improve
+//! it), and *stall-on-demand* (Geisberger et al.) skips relaxing any
+//! settled vertex that a higher neighbour already reaches shorter — on the
+//! undirected hierarchies built here the upward adjacency doubles as the
+//! incoming-downward edge set, so the stall test reuses the same arrays.
 //!
 //! The search is implemented once on the [`FrozenCh`] view, so it runs
 //! identically on an owned, freshly built hierarchy and on a borrowed
@@ -119,13 +125,43 @@ impl<S: Store> FrozenCh<S> {
                 settled += 1;
                 let od = other[v as usize];
                 if od < INFINITY {
+                    // `d` is the length of a real upward path, so the
+                    // meeting candidate stays valid even when `v` is
+                    // stalled below.
                     let cand = d + od;
                     if cand < best {
                         best = cand;
                     }
                 }
+                // Stall-on-demand (Geisberger et al.): on an undirected
+                // hierarchy the upward adjacency of `v` is also the set of
+                // downward edges *into* `v`, so if some higher neighbour
+                // already reaches `v` shorter than `d`, every shortest
+                // up-down path avoids settling `v` here — its relaxation
+                // can be skipped wholesale. This is the optimisation that
+                // keeps CH search spaces small on grid-like graphs.
+                let stalled = self
+                    .upward_targets(v)
+                    .iter()
+                    .zip(self.upward_weights(v))
+                    .any(|(&to, &weight)| {
+                        let du = dist[to as usize];
+                        du != INFINITY && du + weight < d
+                    });
+                if stalled {
+                    continue;
+                }
                 for (&to, &weight) in self.upward_targets(v).iter().zip(self.upward_weights(v)) {
                     let nd = d + weight;
+                    // Bidirectional pruning: upward distances only grow, so
+                    // a tentative distance at or past the best meeting
+                    // candidate can never improve it — any meeting through
+                    // `to` costs at least `nd`. Skipping the push keeps the
+                    // heaps free of entries the stop condition would only
+                    // drain and discard.
+                    if nd >= best {
+                        continue;
+                    }
                     if nd < dist[to as usize] {
                         if dist[to as usize] == INFINITY {
                             touched.push(to);

@@ -12,6 +12,13 @@
 //!     --batch N             group pairs by source and send one-to-many
 //!                           requests of up to N targets (default: point
 //!                           queries)
+//!     --clients N           replay over N concurrent connections, each
+//!                           running the full workload (default 1); the
+//!                           printed q/s aggregates all clients
+//!     --idle N              additionally hold N idle connections open for
+//!                           the duration of the replay (default 0) — the
+//!                           connection-scaling shape: many held
+//!                           connections, few active ones
 //!   --stats                 print server counters
 //!   --shutdown              stop the daemon
 //!
@@ -45,6 +52,8 @@ struct Args {
     replay: Option<String>,
     reps: usize,
     batch: usize,
+    clients: usize,
+    idle: usize,
     stats: bool,
     shutdown: bool,
     gen_grid: Option<(usize, usize)>,
@@ -63,6 +72,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         wait_secs: 30,
         reps: 1,
+        clients: 1,
         count: 500,
         seed: 0xBEEF,
         grid_seed: 0xA11CE,
@@ -98,6 +108,8 @@ fn parse_args() -> Args {
             "--replay" => args.replay = Some(read_value(&mut i)),
             "--reps" => args.reps = parse!(&mut i, "--reps"),
             "--batch" => args.batch = parse!(&mut i, "--batch"),
+            "--clients" => args.clients = parse!(&mut i, "--clients"),
+            "--idle" => args.idle = parse!(&mut i, "--idle"),
             "--stats" => args.stats = true,
             "--shutdown" => args.shutdown = true,
             "--gen-grid" => {
@@ -245,7 +257,67 @@ fn batch_plan(pairs: &[QueryPair], batch: usize) -> Vec<(u32, Vec<u32>)> {
     plan
 }
 
-fn replay(args: &Args, session: &mut Session) {
+/// Replays the plan once per rep over one connection, returning
+/// `(queries, mismatches)`. `reported` caps mismatch diagnostics across
+/// all concurrent clients.
+fn run_replay_client(
+    session: &mut Session,
+    plan: &[Request],
+    expected: &std::collections::HashMap<(u32, u32), Distance>,
+    reps: usize,
+    reported: &std::sync::atomic::AtomicU64,
+) -> (u64, u64) {
+    use std::sync::atomic::Ordering;
+    let mut mismatches = 0u64;
+    let mut queries = 0u64;
+    let mut check = |s: u32, t: u32, got: Distance| {
+        queries += 1;
+        if let Some(&want) = expected.get(&(s, t)) {
+            if got != want {
+                if reported.fetch_add(1, Ordering::Relaxed) < 10 {
+                    let render = |d: Distance| {
+                        if d >= INFINITY {
+                            "inf".to_string()
+                        } else {
+                            d.to_string()
+                        }
+                    };
+                    eprintln!(
+                        "MISMATCH ({s}, {t}): server says {}, workload expects {}",
+                        render(got),
+                        render(want)
+                    );
+                }
+                mismatches += 1;
+            }
+        }
+    };
+    for _ in 0..reps {
+        for req in plan {
+            match (req, session.ask(req)) {
+                (Request::Distance(s, t), Response::Distance(d)) => check(*s, *t, d),
+                (Request::OneToMany { source, targets }, Response::Distances(ds))
+                    if ds.len() == targets.len() =>
+                {
+                    for (&t, d) in targets.iter().zip(ds) {
+                        check(*source, t, d);
+                    }
+                }
+                (_, Response::Error(msg)) => {
+                    eprintln!("server error: {msg}");
+                    exit(1);
+                }
+                (_, other) => {
+                    eprintln!("unexpected response {other:?}");
+                    exit(1);
+                }
+            }
+        }
+    }
+    (queries, mismatches)
+}
+
+fn replay(args: &Args) {
     let file = args.replay.as_deref().expect("replay mode");
     let w = read_workload_file(std::path::Path::new(file)).unwrap_or_else(|e| {
         eprintln!("cannot read workload {file}: {e}");
@@ -264,30 +336,6 @@ fn replay(args: &Args, session: &mut Session) {
     } else {
         Default::default()
     };
-    let mut mismatches = 0u64;
-    let mut queries = 0u64;
-    let mut check = |s: u32, t: u32, got: Distance| {
-        queries += 1;
-        if let Some(&want) = expected.get(&(s, t)) {
-            if got != want {
-                if mismatches < 10 {
-                    let render = |d: Distance| {
-                        if d >= INFINITY {
-                            "inf".to_string()
-                        } else {
-                            d.to_string()
-                        }
-                    };
-                    eprintln!(
-                        "MISMATCH ({s}, {t}): server says {}, workload expects {}",
-                        render(got),
-                        render(want)
-                    );
-                }
-                mismatches += 1;
-            }
-        }
-    };
 
     // The grouping is pure in (pairs, batch): build the request values
     // once, outside the timed section, so the printed q/s measures the
@@ -298,55 +346,55 @@ fn replay(args: &Args, session: &mut Session) {
             .map(|(source, targets)| Request::OneToMany { source, targets })
             .collect()
     } else {
-        Vec::new()
+        w.pairs
+            .iter()
+            .map(|p| Request::Distance(p.source, p.target))
+            .collect()
     };
+
+    // Idle connections are held open for the whole replay — with
+    // `--clients` this reproduces the deployed shape: a large connection
+    // table, a few active members.
+    let idle: Vec<TcpStream> = (0..args.idle)
+        .map(|_| {
+            let addr = resolve_addr(args);
+            TcpStream::connect(&addr).unwrap_or_else(|e| {
+                eprintln!("cannot open idle connection to {addr}: {e}");
+                exit(1);
+            })
+        })
+        .collect();
+
+    let clients = args.clients.max(1);
+    let reps = args.reps.max(1);
+    let reported = std::sync::atomic::AtomicU64::new(0);
     let start = Instant::now();
-    for _ in 0..args.reps.max(1) {
-        if args.batch > 0 {
-            for req in &plan {
-                let Request::OneToMany { source, targets } = req else {
-                    unreachable!("the plan holds only one-to-many requests");
-                };
-                match session.ask(req) {
-                    Response::Distances(ds) if ds.len() == targets.len() => {
-                        for (&t, d) in targets.iter().zip(ds) {
-                            check(*source, t, d);
-                        }
-                    }
-                    Response::Error(msg) => {
-                        eprintln!("server error: {msg}");
-                        exit(1);
-                    }
-                    other => {
-                        eprintln!("unexpected response {other:?}");
-                        exit(1);
-                    }
-                }
-            }
-        } else {
-            for p in &w.pairs {
-                match session.ask(&Request::Distance(p.source, p.target)) {
-                    Response::Distance(d) => check(p.source, p.target, d),
-                    Response::Error(msg) => {
-                        eprintln!("server error: {msg}");
-                        exit(1);
-                    }
-                    other => {
-                        eprintln!("unexpected response {other:?}");
-                        exit(1);
-                    }
-                }
-            }
-        }
-    }
+    let (queries, mismatches) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut session = Session::connect(args);
+                    run_replay_client(&mut session, &plan, &expected, reps, &reported)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay client panicked"))
+            .fold((0u64, 0u64), |acc, (q, m)| (acc.0 + q, acc.1 + m))
+    });
     let seconds = start.elapsed().as_secs_f64();
+    drop(idle);
     let qps = if seconds > 0.0 {
         queries as f64 / seconds
     } else {
         0.0
     };
     println!(
-        "replayed {queries} queries in {seconds:.3} s ({qps:.0} q/s), {mismatches} mismatches{}",
+        "replayed {queries} queries in {seconds:.3} s ({qps:.0} q/s) across {clients} \
+         client{} (+{} idle), {mismatches} mismatches{}",
+        if clients == 1 { "" } else { "s" },
+        args.idle,
         if expected.is_empty() {
             " (no expected distances in file)"
         } else {
@@ -401,6 +449,10 @@ fn main() {
         eprintln!("pick exactly one mode: --distance, --replay, --stats or --shutdown");
         exit(2);
     }
+    if args.replay.is_some() {
+        replay(&args);
+        return;
+    }
     let mut session = Session::connect(&args);
     if let Some((s, t)) = args.distance {
         match session.ask(&Request::Distance(s, t)) {
@@ -415,8 +467,6 @@ fn main() {
                 exit(1);
             }
         }
-    } else if args.replay.is_some() {
-        replay(&args, &mut session);
     } else if args.stats {
         print_stats(&mut session);
     } else if args.shutdown {

@@ -2,40 +2,53 @@
 //!
 //! ```text
 //! hc2l-serve --index paris.hc2l [--port 7171] [--threads N] [--cache N]
-//!            [--addr-file FILE] [--buffered]
+//!            [--model epoll|threads] [--addr-file FILE] [--buffered]
 //! hc2l-serve --index paris.hc2l --bench [--threads N] [--cache N]
 //!            [--bench-queries N] [--bench-reps N] [--seed S]
+//!            [--bench-scaling 8,64,512]
 //! ```
 //!
 //! Loads one saved index container (memory-mapped; `--buffered` forces the
 //! heap-read fallback) and serves the binary wire protocol on
-//! `127.0.0.1:PORT` with a blocking thread-per-connection loop of at most
-//! `--threads` workers, until a client sends `Shutdown`. `--port 0` picks
-//! an ephemeral port; `--addr-file` writes the resolved `host:port` to a
+//! `127.0.0.1:PORT` until a client sends `Shutdown`. `--model` picks the
+//! connection model: `epoll` (the default where it exists) multiplexes any
+//! number of connections over `--threads` reactor threads; `threads` is the
+//! buffered thread-per-connection loop of at most `--threads` workers.
+//! `epoll` is Linux-only and silently degrades to `threads` elsewhere —
+//! the effective model is printed at startup. `--port 0` picks an
+//! ephemeral port; `--addr-file` writes the resolved `host:port` to a
 //! file once listening, which is how scripted callers (CI) rendezvous.
 //!
 //! `--bench` skips the socket layer entirely: it self-drives the shared
 //! oracle with `--threads` in-process workers over a seeded random pair
 //! workload and prints aggregate queries/second — the serving-throughput
-//! number for the loaded index.
+//! number for the loaded index. `--bench-scaling COUNTS` additionally
+//! boots a real server on an ephemeral port and sweeps the comma-separated
+//! connection counts (mostly idle connections, 8 active replayers whose
+//! answers are gated against the index), printing one over-the-wire
+//! throughput line per count and exiting non-zero on any mismatch.
 
 use std::process::exit;
 use std::sync::Arc;
 
 use hc2l_oracle::OracleBuilder;
 use hc2l_roadnet::random_pairs;
-use hc2l_serve::{measure_throughput, serve, ServeState};
+use hc2l_serve::{
+    measure_connection_scaling, measure_throughput, serve_with_model, ServeModel, ServeState,
+};
 
 struct Args {
     index: String,
     port: u16,
     threads: usize,
     cache: usize,
+    model: ServeModel,
     addr_file: Option<String>,
     buffered: bool,
     bench: bool,
     bench_queries: usize,
     bench_reps: usize,
+    bench_scaling: Option<Vec<usize>>,
     seed: u64,
 }
 
@@ -52,11 +65,13 @@ fn parse_args() -> Args {
             .map(|p| p.get())
             .unwrap_or(4),
         cache: 1 << 16,
+        model: ServeModel::platform_default(),
         addr_file: None,
         buffered: false,
         bench: false,
         bench_queries: 2000,
         bench_reps: 200,
+        bench_scaling: None,
         seed: 0xBEEF,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -82,11 +97,34 @@ fn parse_args() -> Args {
             "--port" => args.port = parse!(&mut i, "--port"),
             "--threads" => args.threads = parse!(&mut i, "--threads"),
             "--cache" => args.cache = parse!(&mut i, "--cache"),
+            "--model" => {
+                args.model = read_value(&mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(2);
+                })
+            }
             "--addr-file" => args.addr_file = Some(read_value(&mut i)),
             "--buffered" => args.buffered = true,
             "--bench" => args.bench = true,
             "--bench-queries" => args.bench_queries = parse!(&mut i, "--bench-queries"),
             "--bench-reps" => args.bench_reps = parse!(&mut i, "--bench-reps"),
+            "--bench-scaling" => {
+                let list = read_value(&mut i);
+                let counts: Vec<usize> = list
+                    .split(',')
+                    .map(|c| {
+                        c.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("invalid --bench-scaling count {c:?}");
+                            exit(2);
+                        })
+                    })
+                    .collect();
+                if counts.is_empty() {
+                    eprintln!("--bench-scaling needs at least one connection count");
+                    exit(2);
+                }
+                args.bench_scaling = Some(counts);
+            }
             "--seed" => args.seed = parse!(&mut i, "--seed"),
             "--help" | "-h" => usage(),
             other => {
@@ -141,13 +179,56 @@ fn main() {
             report.queries_per_second,
             report.cache_hit_rate
         );
+        if let Some(counts) = &args.bench_scaling {
+            // Expected answers from the index itself: the sweep gates that
+            // concurrent serving over the wire is bit-identical to it.
+            let expected: Vec<u64> = pairs
+                .iter()
+                .map(|p| state.oracle().distance(p.source, p.target))
+                .collect();
+            let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", 0), args.model)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot bind the scaling server: {e}");
+                    exit(1);
+                });
+            let mut failed = false;
+            for &count in counts {
+                match measure_connection_scaling(server.addr(), &pairs, &expected, count, 8, 2) {
+                    Ok(r) => {
+                        println!(
+                            "connections {} active {} queries {} seconds {:.4} \
+                             queries_per_second {:.0} mismatches {}",
+                            r.connections,
+                            r.active,
+                            r.queries,
+                            r.seconds,
+                            r.queries_per_second,
+                            r.mismatches
+                        );
+                        failed |= r.mismatches > 0;
+                    }
+                    Err(e) => {
+                        eprintln!("scaling run at {count} connections failed: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            server.shutdown().unwrap_or_else(|e| {
+                eprintln!("scaling server shutdown failed: {e}");
+                exit(1);
+            });
+            if failed {
+                exit(1);
+            }
+        }
         return;
     }
 
-    let server = serve(Arc::clone(&state), ("127.0.0.1", args.port)).unwrap_or_else(|e| {
-        eprintln!("cannot bind 127.0.0.1:{}: {e}", args.port);
-        exit(1);
-    });
+    let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", args.port), args.model)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind 127.0.0.1:{}: {e}", args.port);
+            exit(1);
+        });
     let addr = server.addr();
     if let Some(file) = &args.addr_file {
         // Write-then-rename so a polling client never reads a partial file.
@@ -160,8 +241,10 @@ fn main() {
             });
     }
     eprintln!(
-        "serving on {addr} with {} worker threads (cache: {} entries)",
-        threads, args.cache
+        "serving on {addr} with the {} model, {} threads (cache: {} entries)",
+        args.model.effective(),
+        threads,
+        args.cache
     );
     if let Err(e) = server.wait() {
         eprintln!("serve loop failed: {e}");

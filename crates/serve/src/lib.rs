@@ -18,14 +18,25 @@
 //!   behind one `Arc` with no locks on the oracle path.
 //! * **a wire protocol and daemon** — a length-prefixed binary protocol
 //!   ([`protocol`]) carrying `Distance`, batched `OneToMany`, `Stats` and
-//!   `Shutdown` over TCP, served by a blocking thread-per-connection loop
-//!   ([`serve`]) with per-connection reused batch buffers. The `hc2l-serve`
-//!   binary is the daemon; `hc2l-query` is the matching client, able to
-//!   replay `hc2l_roadnet` workload files and gate exactness.
+//!   `Shutdown` over TCP, decodable both blockingly and incrementally
+//!   ([`FrameDecoder`] accepts frames in arbitrary fragments). Two
+//!   connection models serve it through one execution path
+//!   ([`serve_with_model`]): the event-driven epoll reactor
+//!   ([`ServeModel::Epoll`], the Linux default — N reactor threads,
+//!   per-connection state tables, write backpressure, 512+ mostly-idle
+//!   connections with no thread per client) and the blocking
+//!   thread-per-connection loop ([`ServeModel::Threads`], the portable
+//!   fallback). The `hc2l-serve` binary is the daemon (`--model
+//!   epoll|threads`); `hc2l-query` is the matching client, able to replay
+//!   `hc2l_roadnet` workload files over `--clients N` concurrent
+//!   connections and gate exactness.
 //! * **throughput measurement** — [`measure_throughput`] drives N in-process
 //!   workers over a pair set and reports aggregate queries/second and cache
-//!   hit rate; the daemon's `--bench` flag and the JSON bench's throughput
-//!   columns are this number.
+//!   hit rate; [`measure_connection_scaling`] holds hundreds of mostly-idle
+//!   TCP connections against a running server and verifies every answer
+//!   over the wire. The daemon's `--bench`/`--bench-scaling` flags and the
+//!   JSON bench's throughput + `concurrent_connections` columns are these
+//!   numbers.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -41,13 +52,17 @@
 
 pub mod cache;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub(crate) mod reactor;
 pub mod server;
 pub mod throughput;
 
 pub use cache::{CacheStats, QueryCache};
 pub use protocol::{
-    read_request, read_response, write_request, write_response, Request, Response, ServerStats,
-    MAX_ONE_TO_MANY_TARGETS,
+    read_request, read_response, write_request, write_response, FrameDecoder, Request, Response,
+    ServerStats, MAX_FRAME_BYTES, MAX_ONE_TO_MANY_TARGETS,
 };
-pub use server::{serve, ServeState, ServedOracle, ServerHandle};
-pub use throughput::{measure_throughput, ThroughputReport};
+pub use server::{serve, serve_with_model, ServeModel, ServeState, ServedOracle, ServerHandle};
+pub use throughput::{
+    measure_connection_scaling, measure_throughput, ConnectionScalingReport, ThroughputReport,
+};

@@ -21,20 +21,46 @@
 //! directions: frames are capped at [`MAX_FRAME_BYTES`] and every decode
 //! error is a typed `io::Error`, so a garbage-spewing peer cannot make the
 //! server allocate unboundedly or panic.
+//!
+//! Two decoders share one payload grammar: the blocking
+//! [`read_request`]/[`read_response`] pair (used by the thread-per-connection
+//! model and the clients, where a partial frame simply blocks the reader)
+//! and the incremental [`FrameDecoder`] (used by the epoll reactor, where
+//! non-blocking reads deliver frames in arbitrary fragments and the decoder
+//! must carry state across calls).
 
 use std::io::{self, Read, Write};
 
 use hc2l_graph::{Distance, Vertex};
 
 /// Upper bound on one frame's payload (compare: a one-to-many request of
-/// 1M targets is 4MB). Anything larger is rejected as malformed.
+/// 1M targets is 4MB). Anything larger is rejected as malformed — by both
+/// decoders on the way in, and by [`write_frame`]'s typed error on the way
+/// out, so an oversized frame can never even be produced.
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
 
-/// Largest one-to-many batch the server accepts: the *response* carries 8
-/// bytes per distance (plus opcode and count), so batches beyond this would
-/// produce a frame the peer must reject as oversized. The server answers
-/// larger requests with [`Response::Error`]; clients chunk instead.
-pub const MAX_ONE_TO_MANY_TARGETS: usize = (MAX_FRAME_BYTES - 16) / 8;
+/// Largest one-to-many batch the server accepts.
+///
+/// Both encodings must stay under [`MAX_FRAME_BYTES`] for a batch of `N`:
+///
+/// * request payload: 1 (opcode) + 4 (source) + 4 (count) + 4·N, and
+/// * response payload: 1 (opcode) + 4 (count) + 8·N —
+///
+/// the response is twice as wide per entry, so it binds:
+/// `N = (MAX_FRAME_BYTES - 5) / 8`. A batch of exactly this size round-trips
+/// in both directions (the request frame is then well under the cap); one
+/// more target would push the *response* payload over the cap, so the server
+/// answers larger requests with [`Response::Error`] and clients chunk
+/// instead. The boundary is pinned by tests on both decoders.
+pub const MAX_ONE_TO_MANY_TARGETS: usize = (MAX_FRAME_BYTES - 5) / 8;
+
+// The derivation above, pinned at compile time: a cap-sized batch fits both
+// encodings, one more target overflows the response.
+const _: () = {
+    assert!(1 + 4 + 4 + 4 * MAX_ONE_TO_MANY_TARGETS <= MAX_FRAME_BYTES);
+    assert!(1 + 4 + 8 * MAX_ONE_TO_MANY_TARGETS <= MAX_FRAME_BYTES);
+    assert!(1 + 4 + 8 * (MAX_ONE_TO_MANY_TARGETS + 1) > MAX_FRAME_BYTES);
+};
 
 mod op {
     pub const DISTANCE: u8 = 1;
@@ -143,22 +169,144 @@ fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
         }
     }
     let len = u32::from_le_bytes(len) as usize;
-    if len == 0 {
-        return Err(bad("empty frame"));
-    }
-    if len > MAX_FRAME_BYTES {
-        return Err(bad(format!("frame of {len} bytes exceeds the cap")));
-    }
+    check_frame_len(len)?;
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
 }
 
+/// The shared frame-length gate of both decoders (and, inverted, of the
+/// encoder): zero-length and over-cap frames are malformed.
+fn check_frame_len(len: usize) -> io::Result<()> {
+    if len == 0 {
+        return Err(bad("empty frame"));
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(bad(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    Ok(())
+}
+
 fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
-    debug_assert!(!payload.is_empty() && payload.len() <= MAX_FRAME_BYTES);
+    // Enforced (not just debug-asserted): a peer that rejects oversized
+    // frames as malformed must never be handed one, release builds included.
+    check_frame_len(payload.len())?;
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
+}
+
+/// Incremental frame decoder for non-blocking connections.
+///
+/// The epoll reactor reads whatever the socket has — possibly one byte,
+/// possibly three and a half frames — and [`feed`](FrameDecoder::feed)s it
+/// here; [`next_request`](FrameDecoder::next_request) then yields each
+/// complete frame as it materialises. Defensiveness matches the blocking
+/// decoder exactly: the length prefix is validated the moment its four
+/// bytes are in (an over-cap or zero length fails typed *before* any
+/// payload is buffered, so a hostile peer cannot make the decoder allocate
+/// beyond [`MAX_FRAME_BYTES`]), and a connection that hits EOF while
+/// [`is_idle`](FrameDecoder::is_idle) is false was truncated mid-frame.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    /// Bytes received but not yet decoded; `pos` marks the consumed prefix,
+    /// compacted whenever a frame completes so the buffer never outgrows
+    /// one frame plus one read's worth of fragments.
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder at a frame boundary.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends bytes received from the peer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: the consumed prefix is dead weight.
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= (64 << 10) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether the decoder sits at a frame boundary (no partial frame
+    /// buffered). EOF while this is `false` means the peer truncated a
+    /// frame — the same condition the blocking decoder reports as an error.
+    pub fn is_idle(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the next `next_request`/`next_response` call would make
+    /// progress — a complete frame is buffered, or a malformed length
+    /// prefix will fail typed. The reactor uses this to resume execution of
+    /// backpressure-paused frames without waiting for (possibly never
+    /// arriving) socket readability.
+    pub fn has_complete_frame(&self) -> bool {
+        let pending = &self.buf[self.pos..];
+        if pending.len() < 4 {
+            return false;
+        }
+        let len = u32::from_le_bytes(pending[..4].try_into().unwrap()) as usize;
+        if check_frame_len(len).is_err() {
+            return true; // the next decode call errors immediately
+        }
+        pending.len() >= 4 + len
+    }
+
+    /// Pops the next complete frame payload, `Ok(None)` while more bytes
+    /// are needed. Errors are sticky in practice: the caller drops the
+    /// connection, exactly as the blocking model does.
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let pending = &self.buf[self.pos..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(pending[..4].try_into().unwrap()) as usize;
+        // Validate the prefix as soon as it is readable — before waiting
+        // for (or buffering) a payload that would bust the cap.
+        check_frame_len(len)?;
+        if pending.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = pending[4..4 + len].to_vec();
+        self.pos += 4 + len;
+        if self.is_idle() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok(Some(payload))
+    }
+
+    /// Pops the next complete request, `Ok(None)` while more bytes are
+    /// needed.
+    pub fn next_request(&mut self) -> io::Result<Option<Request>> {
+        match self.next_frame()? {
+            None => Ok(None),
+            Some(payload) => decode_request_payload(&payload).map(Some),
+        }
+    }
+
+    /// Pops the next complete response, `Ok(None)` while more bytes are
+    /// needed.
+    pub fn next_response(&mut self) -> io::Result<Option<Response>> {
+        match self.next_frame()? {
+            None => Ok(None),
+            Some(payload) => decode_response_payload(&payload).map(Some),
+        }
+    }
 }
 
 /// Cursor over a frame payload.
@@ -222,6 +370,12 @@ pub fn read_request<R: Read>(r: &mut R) -> io::Result<Option<Request>> {
     let Some(payload) = read_frame(r)? else {
         return Ok(None);
     };
+    decode_request_payload(&payload).map(Some)
+}
+
+/// Decodes one request frame payload — the grammar shared by the blocking
+/// reader and the incremental [`FrameDecoder`].
+fn decode_request_payload(payload: &[u8]) -> io::Result<Request> {
     let (opcode, rest) = payload.split_first().expect("frames are non-empty");
     let mut f = Fields { bytes: rest };
     let req = match *opcode {
@@ -255,7 +409,7 @@ pub fn read_request<R: Read>(r: &mut R) -> io::Result<Option<Request>> {
         }
         other => return Err(bad(format!("unknown request opcode {other}"))),
     };
-    Ok(Some(req))
+    Ok(req)
 }
 
 /// Writes one response as a frame.
@@ -313,6 +467,12 @@ pub fn read_response<R: Read>(r: &mut R) -> io::Result<Option<Response>> {
     let Some(payload) = read_frame(r)? else {
         return Ok(None);
     };
+    decode_response_payload(&payload).map(Some)
+}
+
+/// Decodes one response frame payload — shared with the incremental
+/// [`FrameDecoder`].
+fn decode_response_payload(payload: &[u8]) -> io::Result<Response> {
     let (opcode, rest) = payload.split_first().expect("frames are non-empty");
     let mut f = Fields { bytes: rest };
     let resp = match *opcode {
@@ -361,7 +521,7 @@ pub fn read_response<R: Read>(r: &mut R) -> io::Result<Option<Response>> {
         ),
         other => return Err(bad(format!("unknown response opcode {other}"))),
     };
-    Ok(Some(resp))
+    Ok(resp)
 }
 
 #[cfg(test)]
@@ -448,6 +608,184 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(&mut buf, &p).unwrap();
         assert!(read_request(&mut buf.as_slice()).is_err());
+    }
+
+    /// Feeds `buf` to a fresh incremental decoder in one piece and drains
+    /// every complete request.
+    fn incremental_requests(buf: &[u8]) -> io::Result<Vec<Request>> {
+        let mut dec = FrameDecoder::new();
+        dec.feed(buf);
+        let mut out = Vec::new();
+        while let Some(req) = dec.next_request()? {
+            out.push(req);
+        }
+        assert!(dec.is_idle(), "whole frames must be fully consumed");
+        Ok(out)
+    }
+
+    #[test]
+    fn incremental_decoder_agrees_with_blocking_on_whole_frames() {
+        let reqs = [
+            Request::Distance(3, 999_999),
+            Request::OneToMany {
+                source: 7,
+                targets: (0..100).collect(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for req in &reqs {
+            write_request(&mut buf, req).unwrap();
+        }
+        assert_eq!(incremental_requests(&buf).unwrap(), reqs);
+    }
+
+    #[test]
+    fn incremental_decoder_handles_every_split_offset() {
+        // One pipelined stream of three frames, split across two feeds at
+        // every possible offset: the decoder must produce the identical
+        // request sequence regardless of where the fragment boundary falls.
+        let reqs = [
+            Request::Distance(1, 2),
+            Request::OneToMany {
+                source: 9,
+                targets: vec![4, 5, 6],
+            },
+            Request::Stats,
+        ];
+        let mut buf = Vec::new();
+        for req in &reqs {
+            write_request(&mut buf, req).unwrap();
+        }
+        for split in 0..=buf.len() {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for chunk in [&buf[..split], &buf[split..]] {
+                dec.feed(chunk);
+                while let Some(req) = dec.next_request().unwrap() {
+                    got.push(req);
+                }
+            }
+            assert_eq!(got, reqs, "split at {split}");
+            assert!(dec.is_idle());
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_handles_byte_at_a_time_delivery() {
+        let req = Request::OneToMany {
+            source: 3,
+            targets: (0..32).collect(),
+        };
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let mut dec = FrameDecoder::new();
+        for (i, b) in buf.iter().enumerate() {
+            dec.feed(std::slice::from_ref(b));
+            let got = dec.next_request().unwrap();
+            if i + 1 < buf.len() {
+                assert_eq!(
+                    got,
+                    None,
+                    "frame complete after {} of {} bytes?",
+                    i + 1,
+                    buf.len()
+                );
+                assert!(!dec.is_idle(), "mid-frame must not read as a boundary");
+            } else {
+                assert_eq!(got, Some(req.clone()));
+            }
+        }
+        assert!(dec.is_idle());
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_garbage_like_the_blocking_one() {
+        // Unknown opcode.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[42, 0, 0]).unwrap();
+        assert!(incremental_requests(&buf).is_err());
+        // Zero-length frame.
+        assert!(incremental_requests(&[0u8; 4]).is_err());
+        // Count field lying about the payload size.
+        let mut p = vec![2u8];
+        p.extend_from_slice(&1u32.to_le_bytes());
+        p.extend_from_slice(&1000u32.to_le_bytes());
+        p.extend_from_slice(&5u32.to_le_bytes());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &p).unwrap();
+        assert!(incremental_requests(&buf).is_err());
+    }
+
+    #[test]
+    fn frame_of_exactly_max_frame_bytes_round_trips_on_both_decoders() {
+        // An Error response whose message fills the payload to exactly the
+        // cap: 1 opcode byte + (MAX_FRAME_BYTES - 1) message bytes.
+        let msg = "x".repeat(MAX_FRAME_BYTES - 1);
+        let resp = Response::Error(msg);
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        assert_eq!(buf.len(), 4 + MAX_FRAME_BYTES);
+        // Blocking decoder.
+        let mut r = buf.as_slice();
+        assert_eq!(read_response(&mut r).unwrap(), Some(resp.clone()));
+        assert_eq!(read_response(&mut r).unwrap(), None);
+        // Incremental decoder, fed in two fragments to cross the prefix.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&buf[..7]);
+        assert_eq!(dec.next_response().unwrap(), None);
+        dec.feed(&buf[7..]);
+        assert_eq!(dec.next_response().unwrap(), Some(resp));
+        assert!(dec.is_idle());
+    }
+
+    #[test]
+    fn frame_over_max_frame_bytes_fails_typed_on_both_decoders() {
+        // The writer refuses to produce one...
+        let msg = "x".repeat(MAX_FRAME_BYTES); // payload would be cap + 1
+        let mut buf = Vec::new();
+        let err = write_response(&mut buf, &Response::Error(msg)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            buf.is_empty(),
+            "nothing may hit the wire on a refused frame"
+        );
+        // ...and both decoders reject a crafted over-cap prefix without
+        // waiting for (or buffering) the payload.
+        let prefix = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes();
+        let err = read_request(&mut prefix.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&prefix);
+        let err = dec.next_request().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn one_to_many_bound_is_exact_against_both_encodings() {
+        // (The arithmetic derivation is a compile-time assertion next to
+        // the constant.) A cap-sized batch round-trips in both directions...
+        let req = Request::OneToMany {
+            source: 1,
+            targets: vec![7; MAX_ONE_TO_MANY_TARGETS],
+        };
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        assert_eq!(read_request(&mut buf.as_slice()).unwrap(), Some(req));
+        let ds = vec![42u64; MAX_ONE_TO_MANY_TARGETS];
+        let mut buf = Vec::new();
+        write_distances(&mut buf, &ds).unwrap();
+        assert_eq!(buf.len(), 4 + 1 + 4 + 8 * MAX_ONE_TO_MANY_TARGETS);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&buf);
+        assert_eq!(dec.next_response().unwrap(), Some(Response::Distances(ds)));
+
+        // ...while one more distance is refused by the encoder itself.
+        let ds = vec![42u64; MAX_ONE_TO_MANY_TARGETS + 1];
+        let mut buf = Vec::new();
+        let err = write_distances(&mut buf, &ds).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

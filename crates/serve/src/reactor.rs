@@ -1,0 +1,651 @@
+//! The event-driven connection model: N reactor threads, each owning an
+//! epoll instance and a table of non-blocking connections.
+//!
+//! The blocking model (`crate::server::serve`) spends one OS thread per
+//! connection — fine for a dozen clients, hopeless for the hundreds of
+//! mostly-idle connections a deployed query daemon holds. Here,
+//! [`run`] spawns `ServeState::threads` reactors; reactor 0 additionally
+//! owns the (non-blocking) listener and deals accepted connections out
+//! round-robin, handing a connection to a sibling through a mutex inbox
+//! plus an `eventfd` wake. Each reactor then multiplexes its connections
+//! with level-triggered `epoll_wait`:
+//!
+//! * **reads** pull whatever the socket has into an incremental
+//!   [`FrameDecoder`](crate::protocol::FrameDecoder) — partial frames are
+//!   carried across events, so a peer dribbling one byte per segment
+//!   decodes exactly like one writing whole frames;
+//! * **execution** goes through the same `respond` path as the blocking
+//!   model (validation, counters, cache, streamed batch responses), with
+//!   responses encoded into a per-connection write buffer;
+//! * **writes** flush opportunistically and fall back to `EPOLLOUT`
+//!   interest when the socket is full, with **backpressure**: while a
+//!   connection owes [`HIGH_WATER`] or more unflushed bytes, its reads are
+//!   paused (EPOLLIN deregistered) and no further requests are executed, so
+//!   a client that stops reading cannot balloon server memory;
+//! * **shutdown** is polled on every `epoll_wait` timeout and broadcast
+//!   over the wake fds, then each reactor drains: stops accepting, gives
+//!   every connection a bounded window ([`DRAIN_DEADLINE`]) to take its
+//!   final flushed bytes, and exits — an idle connection or a half-written
+//!   frame can delay exit by at most that window, never hang it.
+//!
+//! The epoll/eventfd bindings are direct `extern "C"` declarations,
+//! mirroring the `mmap` precedent in `hc2l_graph::container` — no new
+//! dependencies, and the whole module is `target_os = "linux"`; other
+//! platforms fall back to the blocking model via `ServeModel::effective`.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use hc2l_graph::Distance;
+
+use crate::protocol::FrameDecoder;
+use crate::server::{respond, ServeState};
+
+/// Raw epoll / eventfd bindings (see the module docs for why these are
+/// hand-declared rather than pulled from a crate).
+mod sys {
+    use std::ffi::c_void;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    /// `O_CLOEXEC` / `O_NONBLOCK`, shared by `epoll_create1` and `eventfd`.
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_NONBLOCK: i32 = 0o4000;
+
+    /// Mirrors the kernel's `struct epoll_event`; x86-64 is the one ABI
+    /// where it is packed (the 32-bit layout was kept on 64-bit).
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: i32) -> i32;
+    }
+}
+
+/// Backpressure threshold: while a connection owes this many unflushed
+/// response bytes, its reads are paused and no further requests execute.
+/// One maximal response frame (≈16MB) still buffers atomically — the mark
+/// bounds *additional* pile-up, not a single frame.
+const HIGH_WATER: usize = 1 << 20;
+
+/// `epoll_wait` timeout — the upper bound on how stale a reactor's view of
+/// the shutdown flag can be (wake fds make the common cases immediate).
+const EPOLL_TIMEOUT_MS: i32 = 25;
+
+/// How long a draining reactor keeps flushing already-queued response bytes
+/// to slow readers before closing their connections anyway.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(3);
+
+/// Read-syscall chunk size (one shared scratch buffer per reactor).
+const READ_CHUNK: usize = 64 << 10;
+
+/// Events fetched per `epoll_wait`.
+const MAX_EVENTS: usize = 256;
+
+/// Reactors above this count stop paying for themselves — each one is a
+/// full query-executing thread.
+const MAX_REACTORS: usize = 16;
+
+/// `epoll_event.data` sentinel for the wake eventfd.
+const DATA_WAKE: u64 = u64::MAX;
+/// `epoll_event.data` sentinel for the listener.
+const DATA_LISTENER: u64 = u64::MAX - 1;
+
+/// Thin RAII epoll handle.
+struct Epoll(i32);
+
+impl Epoll {
+    fn new() -> io::Result<Epoll> {
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll(fd))
+    }
+
+    fn ctl(&self, op: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        let mut ev = sys::EpollEvent { events, data };
+        let arg = if op == sys::EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut ev as *mut sys::EpollEvent
+        };
+        if unsafe { sys::epoll_ctl(self.0, op, fd, arg) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, events, data)
+    }
+
+    fn modify(&self, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, events, data)
+    }
+
+    fn del(&self, fd: i32) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits for events; EINTR reads as "no events" rather than an error.
+    fn wait(&self, events: &mut [sys::EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let n = unsafe {
+            sys::epoll_wait(self.0, events.as_mut_ptr(), events.len() as i32, timeout_ms)
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.0) };
+    }
+}
+
+/// An `eventfd`-backed waker: any thread can nudge a reactor out of
+/// `epoll_wait` (new handed-over connection, shutdown broadcast).
+struct WakeFd(i32);
+
+impl WakeFd {
+    fn new() -> io::Result<WakeFd> {
+        let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakeFd(fd))
+    }
+
+    fn wake(&self) {
+        let one: u64 = 1;
+        let _ = unsafe { sys::write(self.0, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Clears the pending wake count so level-triggered epoll quiets down.
+    fn drain(&self) {
+        let mut count: u64 = 0;
+        let _ = unsafe { sys::read(self.0, (&mut count as *mut u64).cast(), 8) };
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.0) };
+    }
+}
+
+/// The cross-thread face of one reactor: where reactor 0 deposits accepted
+/// connections, and how anyone interrupts its `epoll_wait`.
+struct ReactorHandle {
+    wake: WakeFd,
+    inbox: Mutex<Vec<TcpStream>>,
+}
+
+impl ReactorHandle {
+    fn new() -> io::Result<ReactorHandle> {
+        Ok(ReactorHandle {
+            wake: WakeFd::new()?,
+            inbox: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+/// Per-connection state: socket, incremental decoder, write buffer with
+/// flush cursor, and the reused batch buffer (so steady-state one-to-many
+/// serving allocates nothing per request — same property as the blocking
+/// model's per-thread buffer).
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: Vec<u8>,
+    out_pos: usize,
+    batch_buf: Vec<Distance>,
+    /// Event mask currently registered with epoll.
+    interest: u32,
+    /// No further requests will be executed (shutdown acknowledged, or a
+    /// protocol error); the connection closes once `out` drains.
+    closing: bool,
+    /// The peer closed its write side; buffered frames still execute.
+    read_eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            batch_buf: Vec::new(),
+            interest: 0,
+            closing: false,
+            read_eof: false,
+        }
+    }
+
+    /// Response bytes queued but not yet accepted by the socket.
+    fn pending_write(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+}
+
+/// The event mask a connection should be registered with right now.
+fn desired_interest(conn: &Conn) -> u32 {
+    let mut ev = sys::EPOLLRDHUP;
+    if !conn.closing && !conn.read_eof && conn.pending_write() < HIGH_WATER {
+        ev |= sys::EPOLLIN;
+    }
+    if conn.pending_write() > 0 {
+        ev |= sys::EPOLLOUT;
+    }
+    ev
+}
+
+/// Flushes as much of the write buffer as the socket will take.
+/// `Err` means the connection is dead.
+fn flush(conn: &mut Conn) -> io::Result<()> {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if conn.out_pos == conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+        // A 16MB batch response must not stay pinned by an idle connection.
+        if conn.out.capacity() > (2 << 20) {
+            conn.out.shrink_to(64 << 10);
+        }
+    } else if conn.out_pos >= (1 << 20) {
+        // Partially flushed giant buffer: drop the consumed prefix.
+        conn.out.drain(..conn.out_pos);
+        conn.out_pos = 0;
+    }
+    Ok(())
+}
+
+/// Decodes and executes buffered requests until input runs dry, the
+/// connection is closing, or backpressure pauses it. A decode error is a
+/// protocol error: the connection stops reading and will be dropped (after
+/// a best-effort flush), exactly like the blocking model.
+fn process_frames(conn: &mut Conn, state: &ServeState, shutdown_seen: &mut bool) -> io::Result<()> {
+    while !conn.closing && conn.pending_write() < HIGH_WATER {
+        let Some(req) = conn.decoder.next_request()? else {
+            break;
+        };
+        if respond(state, &req, &mut conn.out, &mut conn.batch_buf)? {
+            *shutdown_seen = true;
+            conn.closing = true;
+        }
+    }
+    Ok(())
+}
+
+/// Per-event read budget of [`drive_conn`]: a client that pipelines
+/// requests as fast as the reactor answers them would otherwise never hit
+/// `WouldBlock`, monopolising its reactor — siblings on the same epoll
+/// would starve and the shutdown flag would go unchecked for as long as
+/// the flood lasts. Once the budget is spent the connection yields back to
+/// `epoll_wait`; level-triggered `EPOLLIN` re-delivers it immediately if
+/// bytes remain, now interleaved fairly with every other ready connection.
+const READ_BUDGET: usize = 1 << 20;
+
+/// Drives one connection as far as it can go without blocking:
+/// execute buffered frames → flush → read more, repeated until the socket
+/// runs dry, backpressure pauses the reads, or the per-event
+/// [`READ_BUDGET`] is spent. Returns `false` when the connection should be
+/// closed now.
+fn drive_conn(
+    conn: &mut Conn,
+    state: &ServeState,
+    scratch: &mut [u8],
+    shutdown_seen: &mut bool,
+) -> bool {
+    let mut budget = READ_BUDGET;
+    loop {
+        if process_frames(conn, state, shutdown_seen).is_err() {
+            // Protocol error: no more requests from this peer; whatever
+            // responses are already owed still flush, then it drops.
+            conn.closing = true;
+        }
+        if flush(conn).is_err() {
+            return false;
+        }
+        // Backpressure resume: if the flush freed room below the high-water
+        // mark and complete frames are already buffered (paused by an
+        // earlier pass), execute them before touching the socket again —
+        // otherwise a client waiting on those answers before sending (or
+        // one that already half-closed) would strand them forever.
+        if !conn.closing && conn.pending_write() < HIGH_WATER && conn.decoder.has_complete_frame() {
+            continue;
+        }
+        if conn.closing || conn.read_eof {
+            break;
+        }
+        if conn.pending_write() >= HIGH_WATER {
+            break; // backpressure: EPOLLIN comes off via desired_interest
+        }
+        // Fairness yield — placed after the resume check, so no complete
+        // frame can be left stranded: if bytes remain in the socket,
+        // EPOLLIN fires again on the very next wait.
+        if budget == 0 {
+            break;
+        }
+        match conn.stream.read(scratch) {
+            // EOF: loop once more so frames the peer pipelined before
+            // half-closing still execute and answer.
+            Ok(0) => conn.read_eof = true,
+            Ok(n) => {
+                budget = budget.saturating_sub(n);
+                conn.decoder.feed(&scratch[..n]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    // The loop exits past EOF only once no complete frame remains decodable
+    // below the high-water mark — so under the mark, input is truly
+    // exhausted and the connection lives only until its writes drain.
+    let input_done = conn.closing || (conn.read_eof && conn.pending_write() < HIGH_WATER);
+    !(input_done && conn.pending_write() == 0)
+}
+
+/// Registers a fresh connection with this reactor and drives it once
+/// (a fast client may have written its first request already).
+fn register_conn(
+    epoll: &Epoll,
+    conns: &mut HashMap<i32, Conn>,
+    stream: TcpStream,
+    state: &ServeState,
+    scratch: &mut [u8],
+    shutdown_seen: &mut bool,
+) {
+    stream.set_nodelay(true).ok();
+    if stream.set_nonblocking(true).is_err() {
+        return; // peer sees a reset and can retry
+    }
+    let fd = stream.as_raw_fd();
+    let mut conn = Conn::new(stream);
+    if !drive_conn(&mut conn, state, scratch, shutdown_seen) {
+        return;
+    }
+    conn.interest = desired_interest(&conn);
+    if epoll.add(fd, conn.interest, fd as u64).is_err() {
+        return;
+    }
+    conns.insert(fd, conn);
+}
+
+/// Accepts until the backlog is empty, registering local connections and
+/// dealing the rest round-robin to sibling reactors. A fatal listener
+/// error propagates; transient per-connection failures are skipped.
+#[allow(clippy::too_many_arguments)]
+fn accept_burst(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    handles: &[ReactorHandle],
+    my_id: usize,
+    next_target: &mut usize,
+    conns: &mut HashMap<i32, Conn>,
+    state: &ServeState,
+    scratch: &mut [u8],
+    shutdown_seen: &mut bool,
+) -> io::Result<()> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let target = *next_target % handles.len();
+                *next_target += 1;
+                if target == my_id {
+                    register_conn(epoll, conns, stream, state, scratch, shutdown_seen);
+                } else {
+                    // Hand over non-blocking already, so the sibling never
+                    // risks a blocking call on it.
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    handles[target].inbox.lock().unwrap().push(stream);
+                    handles[target].wake.wake();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::Interrupted
+                        | io::ErrorKind::ConnectionAborted
+                        | io::ErrorKind::ConnectionReset
+                ) =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One reactor thread. Reactor 0 passes the listener; the rest serve only
+/// handed-over connections. Runs until shutdown is requested and the drain
+/// completes.
+fn reactor_loop(
+    id: usize,
+    listener: Option<TcpListener>,
+    state: Arc<ServeState>,
+    handles: Arc<Vec<ReactorHandle>>,
+) -> io::Result<()> {
+    let epoll = Epoll::new()?;
+    epoll.add(handles[id].wake.0, sys::EPOLLIN, DATA_WAKE)?;
+    if let Some(l) = &listener {
+        epoll.add(l.as_raw_fd(), sys::EPOLLIN, DATA_LISTENER)?;
+    }
+    let mut conns: HashMap<i32, Conn> = HashMap::new();
+    let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut next_target = id;
+    let mut draining: Option<Instant> = None;
+    let mut result: io::Result<()> = Ok(());
+
+    loop {
+        if state.is_shutting_down() && draining.is_none() {
+            // Enter the drain: stop accepting, close everything that owes
+            // the peer nothing, give the rest a bounded flush window.
+            draining = Some(Instant::now() + DRAIN_DEADLINE);
+            if let Some(l) = &listener {
+                let _ = epoll.del(l.as_raw_fd());
+            }
+            conns.retain(|&fd, c| {
+                c.closing = true;
+                if flush(c).is_err() || c.pending_write() == 0 {
+                    let _ = epoll.del(fd);
+                    return false;
+                }
+                let want = desired_interest(c);
+                if want != c.interest && epoll.modify(fd, want, fd as u64).is_ok() {
+                    c.interest = want;
+                }
+                true
+            });
+        }
+        if let Some(deadline) = draining {
+            if conns.is_empty() || Instant::now() >= deadline {
+                break;
+            }
+        }
+
+        let nev = match epoll.wait(&mut events, EPOLL_TIMEOUT_MS) {
+            Ok(n) => n,
+            Err(e) => {
+                result = Err(e);
+                state.request_shutdown();
+                break;
+            }
+        };
+        let mut shutdown_seen = false;
+        for ev in &events[..nev] {
+            // Copy the (possibly packed) fields out before matching.
+            let data = ev.data;
+            let evs = ev.events;
+            match data {
+                DATA_WAKE => handles[id].wake.drain(),
+                DATA_LISTENER => {
+                    if draining.is_some() {
+                        continue;
+                    }
+                    let Some(l) = &listener else { continue };
+                    if let Err(e) = accept_burst(
+                        l,
+                        &epoll,
+                        &handles,
+                        id,
+                        &mut next_target,
+                        &mut conns,
+                        &state,
+                        &mut scratch,
+                        &mut shutdown_seen,
+                    ) {
+                        // Fatal accept error (fd exhaustion, listener
+                        // teardown): stop the whole server through the
+                        // drain, never abandoning live connections.
+                        result = Err(e);
+                        state.request_shutdown();
+                        shutdown_seen = true;
+                    }
+                }
+                _ => {
+                    let fd = data as i32;
+                    let Some(conn) = conns.get_mut(&fd) else {
+                        continue; // stale event for a just-closed fd
+                    };
+                    let keep = evs & sys::EPOLLERR == 0
+                        && drive_conn(conn, &state, &mut scratch, &mut shutdown_seen);
+                    if keep {
+                        let want = desired_interest(conn);
+                        if want != conn.interest && epoll.modify(fd, want, fd as u64).is_ok() {
+                            conn.interest = want;
+                        }
+                    } else {
+                        let _ = epoll.del(fd);
+                        conns.remove(&fd);
+                    }
+                }
+            }
+        }
+
+        // Adopt connections reactor 0 handed over (dropped when already
+        // shutting down — the peer sees a reset, same as a refused accept).
+        let newcomers: Vec<TcpStream> = std::mem::take(&mut *handles[id].inbox.lock().unwrap());
+        for stream in newcomers {
+            if draining.is_some() || state.is_shutting_down() {
+                continue;
+            }
+            register_conn(
+                &epoll,
+                &mut conns,
+                stream,
+                &state,
+                &mut scratch,
+                &mut shutdown_seen,
+            );
+        }
+
+        if shutdown_seen {
+            // A wire Shutdown landed on this reactor; siblings find out now
+            // instead of at their next timeout.
+            for h in handles.iter() {
+                h.wake.wake();
+            }
+        }
+    }
+    result
+}
+
+/// Runs the epoll connection model on `listener` until shutdown: spawns
+/// `state.threads() - 1` sibling reactors (capped at [`MAX_REACTORS`]) and
+/// runs reactor 0 — listener owner — on the calling thread. Returns after
+/// every reactor has drained; the first error (if any) wins.
+pub(crate) fn run(listener: TcpListener, state: Arc<ServeState>) -> io::Result<()> {
+    let n = state.threads().clamp(1, MAX_REACTORS);
+    let handles: Vec<ReactorHandle> = (0..n)
+        .map(|_| ReactorHandle::new())
+        .collect::<io::Result<_>>()?;
+    let handles = Arc::new(handles);
+    let mut joins = Vec::new();
+    for id in 1..n {
+        let st = Arc::clone(&state);
+        let hs = Arc::clone(&handles);
+        let spawned = std::thread::Builder::new()
+            .name(format!("hc2l-serve-reactor-{id}"))
+            .spawn(move || reactor_loop(id, None, st, hs));
+        match spawned {
+            Ok(j) => joins.push(j),
+            Err(e) => {
+                // Could not build the full fleet: stop the ones that exist.
+                state.request_shutdown();
+                for h in handles.iter() {
+                    h.wake.wake();
+                }
+                for j in joins {
+                    let _ = j.join();
+                }
+                return Err(e);
+            }
+        }
+    }
+    let mut result = reactor_loop(0, Some(listener), Arc::clone(&state), Arc::clone(&handles));
+    // Reactor 0 only returns once shutdown is requested (it requests it
+    // itself on fatal errors); make sure no sibling sleeps through the news.
+    for h in handles.iter() {
+        h.wake.wake();
+    }
+    for j in joins {
+        match j.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                if result.is_ok() {
+                    result = Err(e);
+                }
+            }
+            Err(_) => {
+                if result.is_ok() {
+                    result = Err(io::Error::other("reactor thread panicked"));
+                }
+            }
+        }
+    }
+    result
+}

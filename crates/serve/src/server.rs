@@ -1,5 +1,6 @@
-//! The serve loop: shared state, a blocking thread-per-connection TCP
-//! server, and in-process request execution.
+//! The serve loop: shared state, two interchangeable TCP connection models
+//! (blocking thread-per-connection and an event-driven epoll reactor), and
+//! in-process request execution.
 //!
 //! One [`ServeState`] — index, result cache, counters — is built per served
 //! index and shared behind an `Arc`: the daemon's connection handlers, the
@@ -9,8 +10,13 @@
 //! and cached identically. The query path takes **no locks**: the oracle is
 //! read-only (`Send + Sync`), counters are relaxed atomics, and only a
 //! cache probe touches a (sharded) mutex.
+//!
+//! [`serve`] keeps the original blocking model; [`serve_with_model`] selects
+//! a [`ServeModel`] — the epoll reactor (`crate::reactor`) holds hundreds of
+//! mostly-idle connections on a handful of threads, where the blocking model
+//! would need one OS thread per client.
 
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -21,6 +27,70 @@ use hc2l_oracle::{DistanceOracle, Method, Oracle, SharedOracle};
 
 use crate::cache::QueryCache;
 use crate::protocol::{read_request, write_response, Request, Response, ServerStats};
+
+/// How the serve loop multiplexes client connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeModel {
+    /// One blocking OS thread per connection (buffered reads and writes) —
+    /// the portable fallback, right up to a few dozen concurrent clients.
+    Threads,
+    /// Event-driven reactor: N threads each own an epoll instance and a
+    /// per-connection state table with incremental frame decoding, so
+    /// hundreds of mostly-idle connections cost no threads and no blocked
+    /// stacks. Linux-only; [`ServeModel::effective`] falls back to
+    /// [`ServeModel::Threads`] elsewhere.
+    Epoll,
+}
+
+impl ServeModel {
+    /// The model that will actually run on this platform: `Epoll` degrades
+    /// to `Threads` off Linux (epoll is a Linux syscall family).
+    pub fn effective(self) -> ServeModel {
+        if cfg!(target_os = "linux") {
+            self
+        } else {
+            ServeModel::Threads
+        }
+    }
+
+    /// The platform default: the reactor where it exists, threads elsewhere.
+    pub fn platform_default() -> ServeModel {
+        ServeModel::Epoll.effective()
+    }
+
+    /// Every model that actually runs on this platform — what tests (and
+    /// anything else wanting full coverage) iterate over.
+    pub fn available() -> &'static [ServeModel] {
+        if cfg!(target_os = "linux") {
+            &[ServeModel::Threads, ServeModel::Epoll]
+        } else {
+            &[ServeModel::Threads]
+        }
+    }
+}
+
+impl std::str::FromStr for ServeModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(ServeModel::Threads),
+            "epoll" => Ok(ServeModel::Epoll),
+            other => Err(format!(
+                "unknown connection model {other:?} (threads|epoll)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ServeModel::Threads => "threads",
+            ServeModel::Epoll => "epoll",
+        })
+    }
+}
 
 /// Any index the serve loop can answer from: a zero-copy mmap-backed view
 /// ([`SharedOracle`], the daemon's path) or an owned in-memory index
@@ -67,16 +137,19 @@ impl ServedOracle {
         }
     }
 
+    /// Uncounted, uncached point-to-point query straight at the index
+    /// (callers wanting the serve path go through [`ServeState::distance`]).
     #[inline]
-    fn distance(&self, s: Vertex, t: Vertex) -> Distance {
+    pub fn distance(&self, s: Vertex, t: Vertex) -> Distance {
         match self {
             ServedOracle::Shared(o) => o.distance(s, t),
             ServedOracle::Built(o) => o.distance(s, t),
         }
     }
 
+    /// Uncounted batched query straight at the index.
     #[inline]
-    fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
+    pub fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
         match self {
             ServedOracle::Shared(o) => o.one_to_many_into(s, targets, out),
             ServedOracle::Built(o) => o.one_to_many_into(s, targets, out),
@@ -107,8 +180,8 @@ pub struct ServeState {
     one_to_many_queries: AtomicU64,
     one_to_many_targets: AtomicU64,
     shutdown: AtomicBool,
-    /// Set by [`serve`] once the listener is bound; used to nudge the
-    /// blocking `accept` out of its wait when shutdown is requested.
+    /// Set by [`serve`] once the listener is bound; guards against two
+    /// serve loops sharing one state's shutdown flag.
     bound_addr: OnceLock<SocketAddr>,
 }
 
@@ -133,6 +206,11 @@ impl ServeState {
         &self.oracle
     }
 
+    /// Configured worker cap (thread model) / reactor count (epoll model).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// The result cache (for inspection; workers go through
     /// [`ServeState::distance`]).
     pub fn cache(&self) -> &QueryCache {
@@ -140,6 +218,11 @@ impl ServeState {
     }
 
     /// Answers a point-to-point query through the cache, counting it.
+    ///
+    /// The in-process hot path: vertices are trusted to be in range (the
+    /// throughput driver and embedded users own their workloads). Anything
+    /// arriving over the wire goes through [`ServeState::try_distance`],
+    /// which validates *before* counting or caching.
     #[inline]
     pub fn distance(&self, s: Vertex, t: Vertex) -> Distance {
         self.distance_queries.fetch_add(1, Ordering::Relaxed);
@@ -162,14 +245,17 @@ impl ServeState {
         self.oracle.one_to_many_into(s, targets, out);
     }
 
-    /// Requests the serve loop to stop accepting and drain. When a server
-    /// is running, the blocking `accept` is nudged awake with a throwaway
-    /// loopback connection so the loop observes the flag promptly.
+    /// Requests the serve loop to stop accepting and drain.
+    ///
+    /// Both connection models poll this flag on a bounded interval (the
+    /// thread model's accept is non-blocking, the reactor's `epoll_wait`
+    /// carries a timeout), so raising it is all that's needed — the old
+    /// loopback-connect "nudge" is gone. The nudge was a shutdown race of
+    /// its own: it silently never arrived when the listener was bound to a
+    /// non-loopback or wildcard address, leaving `accept` blocked forever
+    /// with the flag already set.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(addr) = self.bound_addr.get() {
-            let _ = TcpStream::connect_timeout(addr, std::time::Duration::from_secs(1));
-        }
     }
 
     /// Whether shutdown was requested.
@@ -196,6 +282,43 @@ impl ServeState {
         }
     }
 
+    /// Validates a point-to-point request: both vertices in range.
+    ///
+    /// Validation runs **before** [`ServeState::distance`] so a rejected
+    /// request never increments the served-query counter, never records a
+    /// cache miss, and never inserts a garbage key into the result cache —
+    /// `Stats` and `cache_hit_rate` count only queries that were actually
+    /// answered.
+    fn check_distance(&self, s: Vertex, t: Vertex) -> Result<(), String> {
+        let n = self.oracle.num_vertices() as Vertex;
+        if s >= n || t >= n {
+            return Err(format!(
+                "vertex out of range: ({s}, {t}) on a {n}-vertex index"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Answers a point-to-point query with validation first: out-of-range
+    /// vertices produce `Err` without touching any counter or the cache.
+    pub fn try_distance(&self, s: Vertex, t: Vertex) -> Result<Distance, String> {
+        self.check_distance(s, t)?;
+        Ok(self.distance(s, t))
+    }
+
+    /// Answers a batched query with validation first: a rejected batch
+    /// touches no counter and no cache.
+    pub fn try_one_to_many_into(
+        &self,
+        source: Vertex,
+        targets: &[Vertex],
+        out: &mut Vec<Distance>,
+    ) -> Result<(), String> {
+        self.check_one_to_many(source, targets)?;
+        self.one_to_many_into(source, targets, out);
+        Ok(())
+    }
+
     /// Validates a one-to-many request: batch bounded by the
     /// response-frame cap, every vertex in range.
     fn check_one_to_many(&self, source: Vertex, targets: &[Vertex]) -> Result<(), String> {
@@ -220,25 +343,18 @@ impl ServeState {
 
     /// Executes one request. Out-of-range vertices produce a
     /// [`Response::Error`], never a panic — one bad client query must not
-    /// take a worker thread down.
+    /// take a worker thread down — and a rejected request leaves every
+    /// counter and the cache untouched (see [`ServeState::try_distance`]).
     pub fn execute(&self, req: &Request, batch_buf: &mut Vec<Distance>) -> Response {
-        let n = self.oracle.num_vertices() as Vertex;
         match req {
-            Request::Distance(s, t) => {
-                if *s >= n || *t >= n {
-                    return Response::Error(format!(
-                        "vertex out of range: ({s}, {t}) on a {n}-vertex index"
-                    ));
-                }
-                Response::Distance(self.distance(*s, *t))
-            }
+            Request::Distance(s, t) => match self.try_distance(*s, *t) {
+                Err(msg) => Response::Error(msg),
+                Ok(d) => Response::Distance(d),
+            },
             Request::OneToMany { source, targets } => {
-                match self.check_one_to_many(*source, targets) {
+                match self.try_one_to_many_into(*source, targets, batch_buf) {
                     Err(msg) => Response::Error(msg),
-                    Ok(()) => {
-                        self.one_to_many_into(*source, targets, batch_buf);
-                        Response::Distances(batch_buf.clone())
-                    }
+                    Ok(()) => Response::Distances(batch_buf.clone()),
                 }
             }
             Request::Stats => Response::Stats(self.stats()),
@@ -248,6 +364,38 @@ impl ServeState {
             }
         }
     }
+}
+
+/// Executes one decoded request and writes the encoded response to `w` —
+/// the single request-execution path shared by the blocking handler and the
+/// epoll reactor, so both models validate, count, cache and stream batched
+/// answers identically. Returns `true` when the request was `Shutdown`: the
+/// acknowledgement is written (and for the blocking model flushed) *before*
+/// the shutdown flag is raised, so the drain cannot close the socket under
+/// a response that was never sent.
+pub(crate) fn respond<W: Write>(
+    state: &ServeState,
+    req: &Request,
+    w: &mut W,
+    batch_buf: &mut Vec<Distance>,
+) -> io::Result<bool> {
+    if matches!(req, Request::Shutdown) {
+        write_response(w, &Response::ShuttingDown)?;
+        state.request_shutdown();
+        return Ok(true);
+    }
+    // Batched answers stream straight from the reused buffer; routing them
+    // through an owned `Response` would clone the whole row per request.
+    if let Request::OneToMany { source, targets } = req {
+        match state.try_one_to_many_into(*source, targets, batch_buf) {
+            Err(msg) => write_response(w, &Response::Error(msg))?,
+            Ok(()) => crate::protocol::write_distances(w, batch_buf)?,
+        }
+        return Ok(false);
+    }
+    let resp = state.execute(req, batch_buf);
+    write_response(w, &resp)?;
+    Ok(false)
 }
 
 /// A running server: the bound address plus the accept-loop handle.
@@ -286,18 +434,34 @@ impl ServerHandle {
     }
 }
 
-/// Binds `addr` and runs a blocking thread-per-connection accept loop in a
-/// background thread until a `Shutdown` request arrives.
-///
-/// Each accepted connection gets its own handler thread with its own reused
-/// batch buffer; at most `state.threads` connections are served at once —
-/// later ones queue in the listen backlog, preserving strict bounds on
-/// worker memory. Returns once the listener is bound, so the caller can
-/// read the resolved address immediately (pass port 0 for an ephemeral
-/// port).
+/// Binds `addr` and serves it with the blocking thread-per-connection model
+/// until a `Shutdown` request arrives — shorthand for [`serve_with_model`]
+/// with [`ServeModel::Threads`].
 pub fn serve(state: Arc<ServeState>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    serve_with_model(state, addr, ServeModel::Threads)
+}
+
+/// Binds `addr` and runs the chosen connection model in a background thread
+/// until a `Shutdown` request arrives.
+///
+/// Under [`ServeModel::Threads`] each accepted connection gets its own
+/// handler thread with its own reused batch buffer; at most `state.threads`
+/// connections are served at once — later ones queue in the listen backlog,
+/// preserving strict bounds on worker memory. Under [`ServeModel::Epoll`]
+/// (falling back to `Threads` off Linux) `state.threads` reactor threads
+/// multiplex any number of connections over non-blocking sockets. Returns
+/// once the listener is bound, so the caller can read the resolved address
+/// immediately (pass port 0 for an ephemeral port).
+pub fn serve_with_model(
+    state: Arc<ServeState>,
+    addr: impl ToSocketAddrs,
+    model: ServeModel,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let bound = listener.local_addr()?;
+    // Both models poll the shutdown flag instead of blocking in `accept`:
+    // the flag alone stops the loop, with no loopback nudge that could miss.
+    listener.set_nonblocking(true)?;
     state
         .bound_addr
         .set(bound)
@@ -305,7 +469,13 @@ pub fn serve(state: Arc<ServeState>, addr: impl ToSocketAddrs) -> io::Result<Ser
     let loop_state = Arc::clone(&state);
     let accept_loop = std::thread::Builder::new()
         .name("hc2l-serve-accept".into())
-        .spawn(move || accept_loop(listener, loop_state))?;
+        .spawn(move || match model.effective() {
+            ServeModel::Threads => accept_loop(listener, loop_state),
+            #[cfg(target_os = "linux")]
+            ServeModel::Epoll => crate::reactor::run(listener, loop_state),
+            #[cfg(not(target_os = "linux"))]
+            ServeModel::Epoll => unreachable!("ServeModel::effective falls back off Linux"),
+        })?;
     Ok(ServerHandle {
         addr: bound,
         accept_loop: Some(accept_loop),
@@ -313,10 +483,17 @@ pub fn serve(state: Arc<ServeState>, addr: impl ToSocketAddrs) -> io::Result<Ser
     })
 }
 
+/// How long the non-blocking accept loop sleeps when the backlog is empty —
+/// the upper bound on how stale its view of the shutdown flag can be.
+const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(2);
+
 fn accept_loop(listener: TcpListener, state: Arc<ServeState>) -> io::Result<()> {
     // Active-handler cap: a plain counter, checked before spawning. The
-    // accept loop blocks in `accept`, so a `Shutdown` executed by a handler
-    // nudges it with a loopback connection (see `ServerHandle::shutdown`).
+    // listener is non-blocking: an empty backlog sleeps `ACCEPT_POLL` and
+    // re-checks the shutdown flag, so a `Shutdown` requested while a client
+    // holds an idle connection (or a half-written frame) cannot leave this
+    // loop blocked in `accept` — the race the old loopback-connect nudge
+    // papered over.
     let active = Arc::new(AtomicUsize::new(0));
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     // Live connection streams, so the drain below can unblock handler
@@ -333,6 +510,11 @@ fn accept_loop(listener: TcpListener, state: Arc<ServeState>) -> io::Result<()> 
         }
         let (stream, _) = match listener.accept() {
             Ok(conn) => conn,
+            // Empty backlog: sleep briefly and re-check the shutdown flag.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
             // Transient per-connection failures must not kill the listener.
             Err(e)
                 if matches!(
@@ -373,6 +555,12 @@ fn accept_loop(listener: TcpListener, state: Arc<ServeState>) -> io::Result<()> 
             break;
         }
         handlers.retain(|h| !h.is_finished());
+        // Accepted sockets must not inherit the listener's non-blocking
+        // mode: this model's handlers park in blocking reads by design.
+        if stream.set_nonblocking(false).is_err() {
+            drop(stream);
+            continue;
+        }
         let conn_id = next_conn_id;
         next_conn_id += 1;
         match stream.try_clone() {
@@ -431,29 +619,11 @@ fn handle_connection(stream: TcpStream, state: &ServeState) -> io::Result<()> {
     let mut writer = BufWriter::new(stream);
     let mut batch_buf: Vec<Distance> = Vec::new();
     while let Some(req) = read_request(&mut reader)? {
-        // A Shutdown request is acknowledged *before* the drain starts:
-        // `execute` would set the shutdown flag first, and the accept
-        // loop's drain could then close this very socket ahead of the
+        // `respond` acknowledges a Shutdown *before* raising the flag, so
+        // the accept loop's drain cannot close this socket ahead of the
         // response reaching the peer.
-        if matches!(req, Request::Shutdown) {
-            write_response(&mut writer, &Response::ShuttingDown)?;
-            state.request_shutdown();
+        if respond(state, &req, &mut writer, &mut batch_buf)? {
             break;
-        }
-        // Batched answers stream straight from the reused buffer; routing
-        // them through an owned `Response` would clone the whole row per
-        // request.
-        if let Request::OneToMany { source, targets } = &req {
-            match state.check_one_to_many(*source, targets) {
-                Err(msg) => write_response(&mut writer, &Response::Error(msg))?,
-                Ok(()) => {
-                    state.one_to_many_into(*source, targets, &mut batch_buf);
-                    crate::protocol::write_distances(&mut writer, &batch_buf)?;
-                }
-            }
-        } else {
-            let resp = state.execute(&req, &mut batch_buf);
-            write_response(&mut writer, &resp)?;
         }
         if state.is_shutting_down() {
             break;
@@ -475,6 +645,10 @@ mod tests {
         Arc::new(ServeState::new(oracle, 4, cache))
     }
 
+    fn models() -> &'static [ServeModel] {
+        ServeModel::available()
+    }
+
     fn ask(addr: SocketAddr, req: &Request) -> Response {
         let stream = TcpStream::connect(addr).unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
@@ -487,9 +661,15 @@ mod tests {
 
     #[test]
     fn end_to_end_over_tcp() {
+        for &model in models() {
+            end_to_end_over_tcp_with(model);
+        }
+    }
+
+    fn end_to_end_over_tcp_with(model: ServeModel) {
         let state = test_state(256);
         let expected = state.oracle().distance(2, 9);
-        let server = serve(Arc::clone(&state), ("127.0.0.1", 0)).unwrap();
+        let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", 0), model).unwrap();
         let addr = server.addr();
 
         assert_eq!(
@@ -527,10 +707,10 @@ mod tests {
         };
         assert_eq!(stats.method_tag, Method::Hl.tag());
         assert_eq!(stats.num_vertices, 16);
-        assert_eq!(stats.distance_queries, 2);
-        assert_eq!(stats.one_to_many_queries, 1);
-        assert_eq!(stats.one_to_many_targets, 16);
-        assert!(stats.cache_hits >= 1);
+        assert_eq!(stats.distance_queries, 2, "{model}");
+        assert_eq!(stats.one_to_many_queries, 1, "{model}");
+        assert_eq!(stats.one_to_many_targets, 16, "{model}");
+        assert!(stats.cache_hits >= 1, "{model}");
 
         assert_eq!(ask(addr, &Request::Shutdown), Response::ShuttingDown);
         server.wait().unwrap();
@@ -538,21 +718,29 @@ mod tests {
 
     #[test]
     fn shutdown_from_the_handle_side() {
-        let state = test_state(0);
-        let server = serve(Arc::clone(&state), ("127.0.0.1", 0)).unwrap();
-        let addr = server.addr();
-        assert!(matches!(
-            ask(addr, &Request::Distance(0, 5)),
-            Response::Distance(_)
-        ));
-        server.shutdown().unwrap();
-        assert!(state.is_shutting_down());
+        for &model in models() {
+            let state = test_state(0);
+            let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", 0), model).unwrap();
+            let addr = server.addr();
+            assert!(matches!(
+                ask(addr, &Request::Distance(0, 5)),
+                Response::Distance(_)
+            ));
+            server.shutdown().unwrap();
+            assert!(state.is_shutting_down());
+        }
     }
 
     #[test]
     fn concurrent_clients_get_exact_answers() {
+        for &model in models() {
+            concurrent_clients_get_exact_answers_with(model);
+        }
+    }
+
+    fn concurrent_clients_get_exact_answers_with(model: ServeModel) {
         let state = test_state(1024);
-        let server = serve(Arc::clone(&state), ("127.0.0.1", 0)).unwrap();
+        let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", 0), model).unwrap();
         let addr = server.addr();
         let mut expected = [[0u64; 16]; 16];
         for s in 0..16u32 {
@@ -591,28 +779,218 @@ mod tests {
 
     #[test]
     fn shutdown_drains_even_with_an_idle_connection() {
-        // An idle client parked between requests must not wedge the drain:
-        // the accept loop half-closes live sockets so blocked reads see EOF.
+        for &model in models() {
+            shutdown_drains_with_stuck_client(model, &[]);
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_even_with_a_half_written_frame() {
+        // A client that wrote part of a frame — here 2 of the 4 length
+        // prefix bytes — and then went quiet is the other face of the
+        // idle-connection shutdown race: the handler (or reactor) holds a
+        // partial decode and must still be torn down promptly.
+        for &model in models() {
+            shutdown_drains_with_stuck_client(model, &[0x07, 0x00]);
+        }
+    }
+
+    /// Opens a connection, writes `partial` (possibly nothing) without ever
+    /// completing a frame, requests shutdown from the handle side, and
+    /// asserts the daemon exits within a bounded time.
+    fn shutdown_drains_with_stuck_client(model: ServeModel, partial: &[u8]) {
+        use std::io::Write as _;
         let state = test_state(0);
-        let server = serve(Arc::clone(&state), ("127.0.0.1", 0)).unwrap();
+        let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", 0), model).unwrap();
         let addr = server.addr();
-        let idle = TcpStream::connect(addr).unwrap();
-        // Make sure the idle connection is accepted and its handler is
-        // parked in a read before shutdown is requested.
+        let mut stuck = TcpStream::connect(addr).unwrap();
+        if !partial.is_empty() {
+            stuck.write_all(partial).unwrap();
+            stuck.flush().unwrap();
+        }
+        // Make sure the stuck connection is accepted and being served
+        // before shutdown is requested.
         assert!(matches!(
             ask(addr, &Request::Distance(1, 2)),
             Response::Distance(_)
         ));
         let done = std::thread::spawn(move || server.shutdown());
-        // The drain must finish promptly despite the idle connection.
+        // The drain must finish promptly despite the stuck connection.
         let start = std::time::Instant::now();
         done.join().unwrap().unwrap();
         assert!(
             start.elapsed() < std::time::Duration::from_secs(10),
-            "drain took {:?}",
+            "{model} drain took {:?}",
             start.elapsed()
         );
-        drop(idle);
+        drop(stuck);
+    }
+
+    #[test]
+    fn slow_writers_decode_correctly_on_both_models() {
+        // A valid Distance and OneToMany frame delivered one byte at a
+        // time (every flush is its own TCP segment thanks to nodelay) must
+        // decode identically to whole-frame delivery on both models.
+        use std::io::Write as _;
+        for &model in models() {
+            let state = test_state(0);
+            let expected_d = state.oracle().distance(2, 9);
+            let targets: Vec<Vertex> = (0..8).collect();
+            let mut expected_row = Vec::new();
+            state
+                .oracle()
+                .one_to_many_into(3, &targets, &mut expected_row);
+            let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", 0), model).unwrap();
+
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            stream.set_nodelay(true).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut frames = Vec::new();
+            write_request(&mut frames, &Request::Distance(2, 9)).unwrap();
+            write_request(
+                &mut frames,
+                &Request::OneToMany {
+                    source: 3,
+                    targets: targets.clone(),
+                },
+            )
+            .unwrap();
+            for b in &frames {
+                writer.write_all(std::slice::from_ref(b)).unwrap();
+                writer.flush().unwrap();
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+            assert_eq!(
+                crate::protocol::read_response(&mut reader).unwrap(),
+                Some(Response::Distance(expected_d)),
+                "{model}"
+            );
+            assert_eq!(
+                crate::protocol::read_response(&mut reader).unwrap(),
+                Some(Response::Distances(expected_row.clone())),
+                "{model}"
+            );
+            drop((reader, writer));
+            server.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn backpressured_pipelined_requests_are_all_answered() {
+        // Regression: a client that pipelines a batch whose response
+        // (8 bytes x 150k targets = 1.2MB) exceeds the reactor's 1MB
+        // backpressure high-water mark, plus a point query, *before reading
+        // anything*, must still receive every answer once it starts
+        // reading — the paused frames must resume when the write buffer
+        // drains, not strand in the decoder. (The threads model has no
+        // backpressure path; it simply blocks in write until the client
+        // reads, so it covers the same contract trivially.)
+        use std::io::Write as _;
+        for &model in models() {
+            let state = test_state(0);
+            let expected_row_val = state.oracle().distance(0, 1);
+            let expected_d = state.oracle().distance(2, 9);
+            let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", 0), model).unwrap();
+
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+                .unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let targets = vec![1u32; 150_000];
+            write_request(&mut writer, &Request::OneToMany { source: 0, targets }).unwrap();
+            write_request(&mut writer, &Request::Distance(2, 9)).unwrap();
+            writer.flush().unwrap();
+            // Give the server time to execute the batch, hit the high-water
+            // mark and pause, with both frames fully delivered.
+            std::thread::sleep(std::time::Duration::from_millis(200));
+
+            let mut reader = BufReader::new(stream);
+            let Some(Response::Distances(ds)) =
+                crate::protocol::read_response(&mut reader).unwrap()
+            else {
+                panic!("{model}: expected the batched response");
+            };
+            assert_eq!(ds.len(), 150_000, "{model}");
+            assert!(ds.iter().all(|&d| d == expected_row_val), "{model}");
+            let Some(Response::Distance(d)) = crate::protocol::read_response(&mut reader).unwrap()
+            else {
+                panic!("{model}: the pipelined point query was stranded");
+            };
+            assert_eq!(d, expected_d, "{model}");
+            drop((reader, writer));
+            server.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn rejected_requests_leave_stats_and_cache_untouched() {
+        // Out-of-range queries must not count as served work nor seed the
+        // cache with garbage keys — `Stats` and `cache_hit_rate` stay
+        // honest. Checked through `execute` and over the wire on both
+        // models.
+        let state = test_state(256);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            state.execute(&Request::Distance(999, 0), &mut buf),
+            Response::Error(_)
+        ));
+        assert!(matches!(
+            state.execute(
+                &Request::OneToMany {
+                    source: 0,
+                    targets: vec![1, 999],
+                },
+                &mut buf
+            ),
+            Response::Error(_)
+        ));
+        assert!(matches!(
+            state.execute(
+                &Request::OneToMany {
+                    source: 999,
+                    targets: vec![1],
+                },
+                &mut buf
+            ),
+            Response::Error(_)
+        ));
+        let stats = state.stats();
+        assert_eq!(stats.distance_queries, 0);
+        assert_eq!(stats.one_to_many_queries, 0);
+        assert_eq!(stats.one_to_many_targets, 0);
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+        assert_eq!(stats.cache_len, 0);
+        assert_eq!(state.cache().stats().len, 0);
+
+        for &model in models() {
+            let state = test_state(256);
+            let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", 0), model).unwrap();
+            let addr = server.addr();
+            assert!(matches!(
+                ask(addr, &Request::Distance(999, 0)),
+                Response::Error(_)
+            ));
+            assert!(matches!(
+                ask(
+                    addr,
+                    &Request::OneToMany {
+                        source: 0,
+                        targets: vec![999],
+                    }
+                ),
+                Response::Error(_)
+            ));
+            let Response::Stats(stats) = ask(addr, &Request::Stats) else {
+                panic!("expected a Stats response");
+            };
+            assert_eq!(stats.distance_queries, 0, "{model}");
+            assert_eq!(stats.one_to_many_queries, 0, "{model}");
+            assert_eq!(stats.cache_hits + stats.cache_misses, 0, "{model}");
+            assert_eq!(stats.cache_len, 0, "{model}");
+            server.shutdown().unwrap();
+        }
     }
 
     #[test]

@@ -111,12 +111,18 @@
 //!
 //! The [`hc2l_serve`] crate turns this into a deployable daemon: a sharded
 //! LRU result cache, a length-prefixed TCP wire protocol
-//! (`Distance` / batched `OneToMany` / `Stats` / `Shutdown`), the
-//! `hc2l-serve` binary (thread-per-connection serve loop, `--bench`
-//! self-drive throughput mode) and the `hc2l-query` client (point queries,
-//! workload-file replay with exactness gating, workload generation). See
-//! `examples/serve_demo.rs` for the full build → save → mmap-open → serve
-//! walkthrough.
+//! (`Distance` / batched `OneToMany` / `Stats` / `Shutdown`) with both a
+//! blocking and an incremental frame decoder, two connection models behind
+//! one execution path — an event-driven epoll reactor (the Linux default:
+//! N reactor threads multiplexing hundreds of mostly-idle non-blocking
+//! connections with write backpressure) and a blocking
+//! thread-per-connection fallback — the `hc2l-serve` binary (`--model
+//! epoll|threads`, `--bench` self-drive throughput mode, `--bench-scaling`
+//! connection sweep) and the `hc2l-query` client (point queries,
+//! workload-file replay over `--clients N` concurrent connections with
+//! exactness gating, workload generation). See `examples/serve_demo.rs`
+//! for the full build → save → mmap-open → serve walkthrough and
+//! `crates/serve/src/bin/README.md` for the model table.
 //!
 //! # Crate map
 //!
@@ -128,7 +134,7 @@
 //! | [`hc2l_ch`] / [`hc2l_h2h`] / [`hc2l_hl`] / [`hc2l_phl`] | the baselines |
 //! | [`hc2l_oracle`] | the unified [`DistanceOracle`] API over all of the above |
 //! | [`hc2l_roadnet`] | synthetic road networks, DIMACS parsing, query workloads |
-//! | [`hc2l_serve`] | concurrent query serving: daemon, wire protocol, result cache, throughput bench |
+//! | [`hc2l_serve`] | concurrent query serving: epoll/threads daemon, wire protocol, result cache, throughput + connection-scaling bench |
 
 pub use hc2l;
 pub use hc2l_ch;

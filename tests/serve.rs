@@ -17,11 +17,18 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use hc2l_graph::{dijkstra, Distance, Graph, Vertex};
-use hc2l_oracle::{Method, Oracle, OracleBuilder, SharedOracle};
+use hc2l_oracle::{DistanceOracle, Method, Oracle, OracleBuilder, SharedOracle};
 use hc2l_roadnet::seeded_grid;
 use hc2l_serve::{
-    measure_throughput, read_response, serve, write_request, Request, Response, ServeState,
+    measure_connection_scaling, measure_throughput, read_response, serve_with_model, write_request,
+    Request, Response, ServeModel, ServeState,
 };
+
+/// The connection models that actually run on this host: both on Linux,
+/// only the blocking fallback elsewhere.
+fn models() -> &'static [ServeModel] {
+    ServeModel::available()
+}
 
 const WORKERS: usize = 8;
 const QUERIES_PER_WORKER: usize = 1000;
@@ -170,15 +177,21 @@ fn throughput_driver_reports_positive_qps_for_every_method() {
 
 #[test]
 fn daemon_serves_a_saved_index_over_tcp_with_exact_answers() {
+    for &model in models() {
+        daemon_serves_over_tcp_with(model);
+    }
+}
+
+fn daemon_serves_over_tcp_with(model: ServeModel) {
     let g = test_graph();
     let truth = ground_truth(&g);
     let built = OracleBuilder::new(Method::H2h).build(&g);
-    let path = scratch("tcp-h2h");
+    let path = scratch(&format!("tcp-h2h-{model}"));
     built.save(&path).expect("save");
 
     let shared = SharedOracle::open(&path).expect("open");
     let state = Arc::new(ServeState::new(shared, 4, 256));
-    let server = serve(Arc::clone(&state), ("127.0.0.1", 0)).expect("bind");
+    let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", 0), model).expect("bind");
     let addr = server.addr();
 
     let clients: Vec<_> = (0..4usize)
@@ -224,6 +237,114 @@ fn daemon_serves_a_saved_index_over_tcp_with_exact_answers() {
     }
     server.wait().expect("clean shutdown");
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn daemon_holds_hundreds_of_mostly_idle_connections_with_exact_answers() {
+    // The connection-scaling claim in miniature: one mmap-served index,
+    // 256 concurrent connections of which 8 replay a Dijkstra-verified
+    // workload while 248 idle — every answer must be bit-identical and the
+    // daemon must still drain cleanly afterwards. (The committed
+    // BENCH_PR5.json runs the same gate at 512 connections per method.)
+    let g = test_graph();
+    let truth = ground_truth(&g);
+    let built = OracleBuilder::new(Method::Hc2l).build(&g);
+    let path = scratch("scaling-hc2l");
+    built.save(&path).expect("save");
+    let shared = SharedOracle::open(&path).expect("open");
+    let state = Arc::new(ServeState::new(shared, 4, 4096));
+    let server = serve_with_model(
+        Arc::clone(&state),
+        ("127.0.0.1", 0),
+        ServeModel::platform_default(),
+    )
+    .expect("bind");
+
+    let pairs = hc2l_roadnet::random_pairs(g.num_vertices(), 300, 13);
+    let expected: Vec<Distance> = pairs
+        .iter()
+        .map(|p| truth[p.source as usize][p.target as usize])
+        .collect();
+    // The blocking fallback admits backlogged connections one worker-cap
+    // grace period at a time, so hold a count it can actually accept.
+    let connections = if ServeModel::platform_default() == ServeModel::Epoll {
+        256
+    } else {
+        32
+    };
+    let report = measure_connection_scaling(server.addr(), &pairs, &expected, connections, 8, 2)
+        .expect("scaling run");
+    assert_eq!(report.connections, connections);
+    assert_eq!(
+        report.mismatches, 0,
+        "served answers diverged from Dijkstra"
+    );
+    assert_eq!(report.queries, 8 * 2 * 300);
+    assert!(report.queries_per_second > 0.0);
+
+    let start = std::time::Instant::now();
+    server.shutdown().expect("clean shutdown");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(10),
+        "drain took {:?}",
+        start.elapsed()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn frames_split_at_every_offset_decode_identically_over_tcp() {
+    // A valid Distance frame and a OneToMany frame, each delivered across
+    // two `write` calls split at every possible offset (nodelay makes each
+    // write its own segment): both connection models must decode them
+    // exactly as whole-frame delivery — never erroring, never stalling.
+    use std::io::Write as _;
+    let g = test_graph();
+    let oracle = OracleBuilder::new(Method::Hl).build(&g);
+    let expected_d = oracle.distance(5, 60);
+    let targets: Vec<Vertex> = (0..6).collect();
+    let expected_row = oracle.one_to_many(9, &targets);
+    for &model in models() {
+        let state = Arc::new(ServeState::new(Oracle::clone(&oracle), 4, 0));
+        let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", 0), model).expect("bind");
+        let addr = server.addr();
+
+        let mut frames = Vec::new();
+        write_request(&mut frames, &Request::Distance(5, 60)).unwrap();
+        let point_len = frames.len();
+        write_request(
+            &mut frames,
+            &Request::OneToMany {
+                source: 9,
+                targets: targets.clone(),
+            },
+        )
+        .unwrap();
+
+        for split in 0..=frames.len() {
+            let stream = std::net::TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).ok();
+            let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            writer.write_all(&frames[..split]).unwrap();
+            writer.flush().unwrap();
+            // Let the server chew on the partial frame before the rest.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            writer.write_all(&frames[split..]).unwrap();
+            writer.flush().unwrap();
+            assert_eq!(
+                read_response(&mut reader).unwrap(),
+                Some(Response::Distance(expected_d)),
+                "{model}, split at {split} (point frame is {point_len} bytes)"
+            );
+            assert_eq!(
+                read_response(&mut reader).unwrap(),
+                Some(Response::Distances(expected_row.clone())),
+                "{model}, split at {split}"
+            );
+        }
+        server.shutdown().expect("clean shutdown");
+    }
 }
 
 #[test]
