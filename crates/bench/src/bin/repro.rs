@@ -21,10 +21,14 @@
 //! query ns/op, build seconds, load seconds, (exact on-disk) index bytes,
 //! the serving-throughput columns — aggregate `queries_per_second` and
 //! `cache_hit_rate` from 8 workers sharing one mmap-opened index through
-//! the `hc2l-serve` layer — and the `concurrent_connections` scaling
+//! the `hc2l-serve` layer — the `concurrent_connections` scaling
 //! column (an epoll-model server holding 512 mostly-idle connections, 64
 //! in `--smoke` mode, with every over-the-wire answer gated against
-//! Dijkstra) as JSON; it exits non-zero on any divergence, which is what
+//! Dijkstra), and the live-update columns — `update_ms_1/100/10000`
+//! (seeded mostly-increase traffic batches absorbed into each index,
+//! re-gated against Dijkstra on the re-weighted graph), the
+//! `update_strategy` that absorbed them and the `rebuild_ms` baseline they
+//! race — as JSON; it exits non-zero on any divergence, which is what
 //! the CI smoke-bench steps rely on. Every run exercises the
 //! index-container save→load round trip (into a scratch directory, created
 //! on demand, next to the JSON file unless `--save-index` names one);

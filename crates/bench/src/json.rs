@@ -37,6 +37,20 @@
 //! over-the-wire answer is gated against Dijkstra — a mismatch aborts the
 //! bench (`BENCH_PR5.json` is the first committed point with this column;
 //! [`SCALING_CONNECTIONS`] = 512 on the standard workloads).
+//!
+//! Since the dynamic-updates PR each row also carries **`update_ms_1`**,
+//! **`update_ms_100`** and **`update_ms_10000`** — wall-clock milliseconds
+//! to absorb a seeded live-traffic batch (mostly weight increases) of that
+//! size into a clone of the built index (the updatable-daemon scenario; in
+//! `--load-index` mode the loaded clone is used and backends whose
+//! incremental path needs unpersisted construction state honestly fall
+//! back to `rebuild`) — plus **`update_strategy`** (how
+//! the small batch was absorbed: `ch-customize`, `hc2l-relabel` or
+//! `rebuild`) and **`rebuild_ms`**, the from-scratch build on the
+//! re-weighted graph the incremental paths are racing. Every updated index
+//! is re-gated against Dijkstra on the re-weighted graph before its timing
+//! is accepted (`BENCH_PR6.json` is the first committed point with these
+//! columns).
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -178,6 +192,20 @@ pub struct JsonRow {
     pub index_bytes: usize,
     /// Number of distinct point-to-point queries timed per repetition.
     pub num_queries: usize,
+    /// Milliseconds to absorb a 1-update live-traffic batch (exactness
+    /// re-gated against Dijkstra on the re-weighted graph).
+    pub update_ms_1: f64,
+    /// Milliseconds to absorb a 100-update batch.
+    pub update_ms_100: f64,
+    /// Milliseconds to absorb a 10,000-update batch.
+    pub update_ms_10000: f64,
+    /// How the 1-update batch was absorbed (`UpdateStrategy::name`):
+    /// `ch-customize` and `hc2l-relabel` are incremental, `rebuild` is the
+    /// fallback every other backend takes.
+    pub update_strategy: &'static str,
+    /// Milliseconds for a from-scratch build on the re-weighted graph — the
+    /// baseline the incremental update paths must beat on small batches.
+    pub rebuild_ms: f64,
 }
 
 /// Worker threads of the throughput measurement — fixed (not
@@ -256,8 +284,10 @@ fn run_persisted(
             };
             let path = IndexPersistence::index_path(dir, &w.name, method);
 
-            // Obtain the oracle: build + save + reload, or load only.
-            let (oracle, build_seconds, load_seconds) = match persist {
+            // Obtain the oracle: build + save + reload, or load only. The
+            // built oracle is kept around (RoundTrip mode) because the
+            // live-update timings run on it — see below.
+            let (oracle, built, build_seconds, load_seconds) = match persist {
                 IndexPersistence::RoundTrip { .. } => {
                     let build = measure_build(method, &w.graph, threads);
                     build
@@ -297,13 +327,18 @@ fn run_persisted(
                             file_len
                         ));
                     }
-                    (loaded, build.build_seconds, load_seconds)
+                    (
+                        loaded,
+                        Some(build.oracle),
+                        build.build_seconds,
+                        load_seconds,
+                    )
                 }
                 IndexPersistence::LoadOnly { .. } => {
                     let start = Instant::now();
                     let loaded = Oracle::load(&path)
                         .map_err(|e| format!("loading {} failed: {e}", path.display()))?;
-                    (loaded, 0.0, start.elapsed().as_secs_f64())
+                    (loaded, None, 0.0, start.elapsed().as_secs_f64())
                 }
             };
 
@@ -451,6 +486,56 @@ fn run_persisted(
                 ));
             }
 
+            // Live-update timings: seeded traffic batches (mostly weight
+            // increases over existing edges) absorbed by a clone of the
+            // *built* index — the daemon's updatable mode (`--grid`) owns a
+            // built oracle, and HC2L's incremental relabel needs the
+            // construction-time hierarchy, which is not persisted. In
+            // `--load-index` mode only the loaded clone exists, so
+            // hierarchy-less backends honestly fall back to `rebuild`
+            // there. Each updated clone is re-gated against Dijkstra on the
+            // re-weighted graph on a sample of the workload pairs — an
+            // inexact incremental path aborts the bench exactly like an
+            // inexact query path would.
+            let update_base = built.as_ref().unwrap_or(&oracle);
+            let updates = hc2l_roadnet::random_weight_updates(&w.graph, 10_000, 0x7AFF1C);
+            let mut update_ms = [0.0f64; 3];
+            let mut update_strategy = "";
+            for (slot, count) in [1usize, 100, 10_000].into_iter().enumerate() {
+                let mut g = w.graph.clone();
+                let mut o = update_base.clone();
+                let report = o.apply_updates(&mut g, &updates[..count]);
+                update_ms[slot] = report.micros as f64 / 1000.0;
+                if slot == 0 {
+                    update_strategy = report.strategy.name();
+                }
+                let mut after: HashMap<Vertex, Vec<Distance>> = HashMap::new();
+                for p in w.pairs.iter().take(40) {
+                    let want = after
+                        .entry(p.source)
+                        .or_insert_with(|| dijkstra(&g, p.source))[p.target as usize];
+                    let got = o.distance(p.source, p.target);
+                    if got != want {
+                        return Err(format!(
+                            "{} on {}: after a {count}-update batch ({}), query ({}, {}) \
+                             returned {got} but Dijkstra on the re-weighted graph says {want}",
+                            oracle.name(),
+                            w.name,
+                            report.strategy.name(),
+                            p.source,
+                            p.target,
+                        ));
+                    }
+                }
+            }
+            // The incremental paths race a from-scratch build on the same
+            // re-weighted graph (the 100-update metric).
+            let rebuild_ms = {
+                let mut g = w.graph.clone();
+                hc2l_oracle::apply_batch(&mut g, &updates[..100]);
+                measure_build(method, &g, threads).build_seconds * 1000.0
+            };
+
             rows.push(JsonRow {
                 workload: w.name.clone(),
                 method: oracle.name(),
@@ -465,6 +550,11 @@ fn run_persisted(
                 concurrent_connections: scaling.connections,
                 index_bytes: oracle.index_bytes(),
                 num_queries: w.pairs.len(),
+                update_ms_1: update_ms[0],
+                update_ms_100: update_ms[1],
+                update_ms_10000: update_ms[2],
+                update_strategy,
+                rebuild_ms,
             });
         }
     }
@@ -488,7 +578,10 @@ pub fn render_json(rows: &[JsonRow]) -> String {
                 "\"queries_per_second\": {:.0}, ",
                 "\"cache_hit_rate\": {:.4}, ",
                 "\"concurrent_connections\": {}, ",
-                "\"index_bytes\": {}, \"num_queries\": {}}}{}\n"
+                "\"index_bytes\": {}, \"num_queries\": {}, ",
+                "\"update_ms_1\": {:.3}, \"update_ms_100\": {:.3}, ",
+                "\"update_ms_10000\": {:.3}, \"update_strategy\": \"{}\", ",
+                "\"rebuild_ms\": {:.3}}}{}\n"
             ),
             r.workload,
             r.method,
@@ -503,6 +596,11 @@ pub fn render_json(rows: &[JsonRow]) -> String {
             r.concurrent_connections,
             r.index_bytes,
             r.num_queries,
+            r.update_ms_1,
+            r.update_ms_100,
+            r.update_ms_10000,
+            r.update_strategy,
+            r.rebuild_ms,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -548,6 +646,20 @@ mod tests {
                 r.method,
                 r.cache_hit_rate
             );
+            assert!(r.update_ms_1 > 0.0, "{} missing update timing", r.method);
+            assert!(r.rebuild_ms > 0.0, "{} missing rebuild timing", r.method);
+            // CH absorbs batches by re-customizing over its fixed order —
+            // that must be measurably faster than building from scratch on
+            // small batches, which is the whole point of the dynamic layer.
+            if r.method == "CH" {
+                assert_eq!(r.update_strategy, "ch-customize");
+                assert!(
+                    r.update_ms_1 < r.rebuild_ms,
+                    "CH incremental update ({} ms) is not faster than a rebuild ({} ms)",
+                    r.update_ms_1,
+                    r.rebuild_ms
+                );
+            }
         }
         let json = render_json(&rows);
         assert!(json.contains("\"grid-16x16\""));
@@ -556,6 +668,11 @@ mod tests {
         assert!(json.contains("\"queries_per_second\""));
         assert!(json.contains("\"cache_hit_rate\""));
         assert!(json.contains("\"concurrent_connections\": 64"));
+        assert!(json.contains("\"update_ms_1\""));
+        assert!(json.contains("\"update_ms_100\""));
+        assert!(json.contains("\"update_ms_10000\""));
+        assert!(json.contains("\"update_strategy\": \"ch-customize\""));
+        assert!(json.contains("\"rebuild_ms\""));
         assert!(json.ends_with("}\n"));
         // Every method appears, including HC2Lp on single-core hosts.
         for name in ["HC2L", "HC2Lp", "H2H", "PHL", "HL", "CH"] {

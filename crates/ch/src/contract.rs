@@ -185,6 +185,71 @@ pub struct ContractionHierarchy {
     pub construction_seconds: f64,
 }
 
+/// [`ContractionHierarchy::recontract`] gave up: replaying the stored
+/// order on the new metric ran past one of its budgets, so finishing
+/// would have been slower than a rebuild. The hierarchy is left exactly
+/// as it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecontractAborted {
+    /// Shortcut fill-in exploded: more shortcut edges were added than a
+    /// small multiple of the original upward-graph size.
+    FillIn {
+        /// Shortcut edges added before giving up.
+        added: usize,
+        /// The fill-in budget that was exceeded.
+        budget: usize,
+    },
+    /// Witness-search work exploded: the searches settled more vertices
+    /// than a multiple of what replaying the original metric could cost.
+    /// Fill-in alone misses this — the shortcut *count* can stay modest
+    /// while the searches that prune them get quadratically more
+    /// expensive (every pair of a densified vertex's neighbours runs a
+    /// search, and scarce witnesses push each search to its settle cap).
+    Work {
+        /// Vertices the witness searches settled before giving up.
+        settled: usize,
+        /// The settle budget that was exceeded.
+        budget: usize,
+    },
+    /// A single vertex's contraction-time degree blew up: the pending
+    /// vertex alone would cost more neighbour-pair witness searches than
+    /// the pair budget allows. Checked *before* paying that quadratic
+    /// cost, unlike the [`RecontractAborted::Work`] check which settles
+    /// up after each vertex.
+    Pairs {
+        /// Neighbour pairs examined (including the pending vertex's).
+        pairs: usize,
+        /// The pair budget that was exceeded.
+        budget: usize,
+    },
+}
+
+impl std::fmt::Display for RecontractAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecontractAborted::FillIn { added, budget } => write!(
+                f,
+                "re-contraction aborted: {added} shortcuts added exceeds the fill-in budget \
+                 of {budget} (the stored order does not suit the new metric; rebuild instead)"
+            ),
+            RecontractAborted::Work { settled, budget } => write!(
+                f,
+                "re-contraction aborted: witness searches settled {settled} vertices, \
+                 exceeding the work budget of {budget} (the stored order does not suit \
+                 the new metric; rebuild instead)"
+            ),
+            RecontractAborted::Pairs { pairs, budget } => write!(
+                f,
+                "re-contraction aborted: {pairs} neighbour pairs to examine exceeds the \
+                 pair budget of {budget} (the stored order does not suit the new metric; \
+                 rebuild instead)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecontractAborted {}
+
 /// Working adjacency during contraction: a weighted dynamic graph with
 /// deletion by masking.
 struct DynamicGraph {
@@ -251,6 +316,7 @@ impl DynamicGraph {
         excluded: Vertex,
         limit: Distance,
         max_settled: usize,
+        work: &mut usize,
     ) -> bool {
         let mut dist: std::collections::HashMap<Vertex, Distance> =
             std::collections::HashMap::new();
@@ -263,13 +329,16 @@ impl DynamicGraph {
                 continue;
             }
             if v == t {
+                *work += settled;
                 return d <= limit;
             }
             if d > limit {
+                *work += settled;
                 return false;
             }
             settled += 1;
             if settled > max_settled {
+                *work += settled;
                 return false;
             }
             for (u, w) in self.neighbors(v) {
@@ -283,12 +352,21 @@ impl DynamicGraph {
                 }
             }
         }
+        *work += settled;
         false
     }
 
     /// Shortcuts required to contract `v` right now: pairs of uncontracted
-    /// neighbours whose shortest interconnection runs through `v`.
-    fn required_shortcuts(&self, v: Vertex, max_settled: usize) -> Vec<(Vertex, Vertex, Distance)> {
+    /// neighbours whose shortest interconnection runs through `v`. Adds the
+    /// number of vertices the witness searches settled to `work` — the
+    /// direct measure of contraction cost the re-contraction work budget is
+    /// denominated in.
+    fn required_shortcuts(
+        &self,
+        v: Vertex,
+        max_settled: usize,
+        work: &mut usize,
+    ) -> Vec<(Vertex, Vertex, Distance)> {
         let neighbors: Vec<(Vertex, Distance)> = self.neighbors(v).collect();
         let mut shortcuts = Vec::new();
         for i in 0..neighbors.len() {
@@ -296,7 +374,7 @@ impl DynamicGraph {
                 let (a, wa) = neighbors[i];
                 let (b, wb) = neighbors[j];
                 let through = wa + wb;
-                if !self.witness_exists(a, b, v, through, max_settled) {
+                if !self.witness_exists(a, b, v, through, max_settled, work) {
                     shortcuts.push((a, b, through));
                 }
             }
@@ -318,7 +396,7 @@ impl ContractionHierarchy {
         let max_settled = 60;
 
         let priority = |dg: &DynamicGraph, contracted_neighbors: &[u32], v: Vertex| -> i64 {
-            let shortcuts = dg.required_shortcuts(v, max_settled).len() as i64;
+            let shortcuts = dg.required_shortcuts(v, max_settled, &mut 0).len() as i64;
             let degree = dg.degree(v) as i64;
             2 * (shortcuts - degree) + contracted_neighbors[v as usize] as i64
         };
@@ -344,7 +422,7 @@ impl ContractionHierarchy {
                 }
             }
             // Contract v.
-            let shortcuts = dyn_graph.required_shortcuts(v, max_settled);
+            let shortcuts = dyn_graph.required_shortcuts(v, max_settled, &mut 0);
             dyn_graph.contracted[v as usize] = true;
             rank[v as usize] = next_rank;
             next_rank += 1;
@@ -362,43 +440,144 @@ impl ContractionHierarchy {
         // final dynamic graph, keep the direction towards the higher rank.
         // `dyn_graph.adj` accumulated all shortcuts that were ever added.
         let ordering = NodeOrdering::from_ranks(rank);
-        let mut upward: Vec<Vec<(Vertex, Distance)>> = vec![Vec::new(); n];
-        let mut num_shortcuts = 0usize;
-        for v in 0..n as Vertex {
-            for &(u, w) in &dyn_graph.adj[v as usize] {
-                if ordering.is_higher(u, v) {
-                    upward[v as usize].push((u, w));
-                    if g.edge_weight(v, u).map(|ow| ow as Distance) != Some(w) {
-                        num_shortcuts += 1;
-                    }
-                }
-            }
-        }
-        for list in &mut upward {
-            list.sort_by_key(|e| e.0);
-            list.dedup_by(|a, b| {
-                if a.0 == b.0 {
-                    // Keep the smaller weight (dedup removes `a` when true, so
-                    // fold it into `b` first).
-                    b.1 = b.1.min(a.1);
-                    true
-                } else {
-                    false
-                }
-            });
-        }
+        let (frozen, num_shortcuts) = assemble_upward(g, &ordering, &dyn_graph);
 
         ContractionHierarchy {
             ordering,
-            frozen: FrozenCh::new(FlatEntryLabels::freeze_pairs(&upward)),
+            frozen,
             num_shortcuts,
             construction_seconds: start.elapsed().as_secs_f64(),
         }
     }
 
+    /// Re-derives the whole upward graph from the (re-weighted) graph `g` by
+    /// contracting every vertex in the *stored* order — the incremental
+    /// metric-update path (`hc2l_dynamic::customize_ch` wraps this). `g`
+    /// must have the topology the hierarchy was built on, with arbitrarily
+    /// changed weights.
+    ///
+    /// A full [`ContractionHierarchy::build`] spends most of its time
+    /// *choosing* the order: every priority evaluation (one per vertex up
+    /// front, plus every lazy re-prioritisation) runs the same witness
+    /// searches a contraction does. Replaying a fixed order runs only the
+    /// contraction-time searches — several times fewer — while still
+    /// running them against the **new** metric, so the pruned upward graph
+    /// is exact for `g` by the same witness argument as a fresh build, and
+    /// stays witness-small (a closure-based customization would bloat the
+    /// upward graph and slow every subsequent query).
+    ///
+    /// The stored order is only *good* for metrics close to the one it was
+    /// chosen for. A drastic re-weighting (say, most edges changed by large
+    /// factors) can densify the replay: witness searches fail where the
+    /// order expected them to succeed, extra shortcuts raise degrees, and
+    /// each further contraction gets quadratically more expensive. To keep
+    /// the incremental path strictly cheaper than a rebuild, the replay
+    /// carries two budgets and returns [`RecontractAborted`] the moment
+    /// either is exceeded, leaving the hierarchy **unchanged** so the
+    /// caller can rebuild (that is what `hc2l_dynamic` does):
+    ///
+    /// * a **fill-in** budget — a small multiple of the original upward
+    ///   size — bounding how many shortcut edges the replay may add, and
+    /// * a **work** budget bounding the number of neighbour pairs examined
+    ///   (each pair costs one capped witness search). The baseline is what
+    ///   replaying the *original* metric costs, which is derivable from the
+    ///   stored hierarchy alone: a vertex's adjacency is complete before it
+    ///   contracts, and its uncontracted neighbours at that moment are
+    ///   exactly its higher-ranked ones — so its contraction-time degree
+    ///   *is* its upward degree, and the baseline is Σ C(upward_deg(v), 2).
+    ///   The work budget catches metrics where fill-in stays modest but the
+    ///   searches pruning it get quadratically more expensive.
+    pub fn recontract(&mut self, g: &Graph) -> Result<(), RecontractAborted> {
+        let n = self.ordering.rank.len();
+        assert_eq!(
+            n,
+            g.num_vertices(),
+            "update graph has a different vertex count than the hierarchy"
+        );
+        let mut dyn_graph = DynamicGraph::new(g);
+        let max_settled = 60;
+        // A healthy replay adds about as many shortcuts as the original
+        // build did; the budgets only trip on pathological densification,
+        // where finishing the replay would cost far more than a rebuild.
+        let fill_budget = 2 * self.frozen.num_upward_edges() + 256;
+        // Pair baseline: a vertex's contraction-time degree is its upward
+        // degree (see the doc comment), so replaying the original metric
+        // examines exactly Σ C(upward_deg(v), 2) neighbour pairs.
+        let baseline_pairs: usize = (0..n as Vertex)
+            .map(|v| {
+                let d = self.frozen.upward_degree(v);
+                d * d.saturating_sub(1) / 2
+            })
+            .sum();
+        let pair_budget = 4 * baseline_pairs + 4 * n + 1024;
+        // Settle budget: healthy witness searches terminate early (a witness
+        // is found, or the radius bound kicks in) and average ~12 settled
+        // vertices per baseline pair on the bench networks; searches on a
+        // metric the order does not suit run to the `max_settled` cap *and*
+        // multiply in number as degrees densify. 32 per baseline pair is
+        // ~2.5x a healthy replay's work — aborting there plus rebuilding is
+        // still far cheaper than finishing a pathological replay.
+        let work_budget = 32 * baseline_pairs + 8 * n + 4096;
+        let mut added = 0usize;
+        let mut pairs = 0usize;
+        let mut settled = 0usize;
+        for &v in &self.ordering.by_rank {
+            let d = dyn_graph.degree(v);
+            pairs += d * d.saturating_sub(1) / 2;
+            if pairs > pair_budget {
+                return Err(RecontractAborted::Pairs {
+                    pairs,
+                    budget: pair_budget,
+                });
+            }
+            let shortcuts = dyn_graph.required_shortcuts(v, max_settled, &mut settled);
+            dyn_graph.contracted[v as usize] = true;
+            for &(a, b, w) in &shortcuts {
+                if dyn_graph.add_edge(a, b, w) {
+                    added += 1;
+                }
+            }
+            if added > fill_budget {
+                return Err(RecontractAborted::FillIn {
+                    added,
+                    budget: fill_budget,
+                });
+            }
+            if settled > work_budget {
+                return Err(RecontractAborted::Work {
+                    settled,
+                    budget: work_budget,
+                });
+            }
+        }
+        let (frozen, num_shortcuts) = assemble_upward(g, &self.ordering, &dyn_graph);
+        self.frozen = frozen;
+        self.num_shortcuts = num_shortcuts;
+        Ok(())
+    }
+
     /// The frozen upward graph.
     pub fn frozen(&self) -> &FrozenCh {
         &self.frozen
+    }
+
+    /// Replaces the frozen upward graph in place, keeping the contraction
+    /// order. This is the installation point of the dynamic-update path
+    /// (`hc2l-dynamic`): customization recomputes the upward weights for the
+    /// *existing* order and swaps them in without re-running contraction.
+    /// The replacement must satisfy the same invariants as a built upward
+    /// graph (strictly sorted targets, edges towards strictly higher ranks);
+    /// they are re-checked here so a buggy updater fails loudly.
+    pub fn replace_upward(&mut self, upward: FrozenCh, num_shortcuts: usize) {
+        assert_eq!(
+            upward.num_vertices(),
+            self.ordering.rank.len(),
+            "replacement upward graph has the wrong vertex count"
+        );
+        validate_upward(&upward, &self.ordering.rank)
+            .expect("replacement upward graph violates the CH invariants");
+        self.frozen = upward;
+        self.num_shortcuts = num_shortcuts;
     }
 
     /// Number of vertices.
@@ -432,6 +611,49 @@ impl ContractionHierarchy {
     pub fn memory_bytes(&self) -> usize {
         self.frozen.memory_bytes() + self.ordering.rank.len() * 4
     }
+}
+
+/// Turns the fully contracted [`DynamicGraph`] into the frozen upward graph:
+/// for every (possibly shortcut) edge accumulated in `dyn_graph.adj`, keep
+/// the direction towards the higher rank, dedup parallel edges to the
+/// minimum weight, and count edges absent from (or re-weighted relative to)
+/// the base graph as shortcuts. Shared by [`ContractionHierarchy::build`]
+/// and [`ContractionHierarchy::recontract`].
+fn assemble_upward(
+    g: &Graph,
+    ordering: &NodeOrdering,
+    dyn_graph: &DynamicGraph,
+) -> (FrozenCh, usize) {
+    let n = ordering.rank.len();
+    let mut upward: Vec<Vec<(Vertex, Distance)>> = vec![Vec::new(); n];
+    let mut num_shortcuts = 0usize;
+    for v in 0..n as Vertex {
+        for &(u, w) in &dyn_graph.adj[v as usize] {
+            if ordering.is_higher(u, v) {
+                upward[v as usize].push((u, w));
+                if g.edge_weight(v, u).map(|ow| ow as Distance) != Some(w) {
+                    num_shortcuts += 1;
+                }
+            }
+        }
+    }
+    for list in &mut upward {
+        list.sort_by_key(|e| e.0);
+        list.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                // Keep the smaller weight (dedup removes `a` when true, so
+                // fold it into `b` first).
+                b.1 = b.1.min(a.1);
+                true
+            } else {
+                false
+            }
+        });
+    }
+    (
+        FrozenCh::new(FlatEntryLabels::freeze_pairs(&upward)),
+        num_shortcuts,
+    )
 }
 
 impl PersistentIndex for ContractionHierarchy {

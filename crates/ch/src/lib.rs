@@ -18,5 +18,5 @@ pub mod contract;
 pub mod order;
 pub mod query;
 
-pub use contract::{ContractionHierarchy, FrozenCh, FrozenChRef, UpwardEdge};
+pub use contract::{ContractionHierarchy, FrozenCh, FrozenChRef, RecontractAborted, UpwardEdge};
 pub use order::NodeOrdering;

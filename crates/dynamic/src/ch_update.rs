@@ -1,0 +1,167 @@
+//! Incremental CH maintenance: re-contraction over a fixed order.
+//!
+//! The expensive part of building a contraction hierarchy is *choosing* the
+//! order: the lazy edge-difference queue evaluates a vertex's priority by
+//! running the very witness searches a contraction runs — once per vertex up
+//! front and again on every lazy re-prioritisation. The order itself,
+//! however, only affects *performance*, never correctness: contracting the
+//! vertices of a re-weighted graph in any fixed order yields an exact
+//! hierarchy for the new metric. A weight-update batch therefore skips all
+//! ordering work and replays the stored order via
+//! [`ContractionHierarchy::recontract`], running only the contraction-time
+//! witness searches — several times fewer — against the **new** weights.
+//!
+//! Because the witness searches re-run on the updated metric, shortcuts the
+//! old metric needed but the new one makes redundant are pruned, and vice
+//! versa: the upward graph stays as small as a fresh build's (an
+//! alternative closure-based customization that keeps a superset topology
+//! bloats the upward graph with elimination fill-in and slows every
+//! subsequent query). Repeated batches compose — each one starts from the
+//! base graph `g`, not from the previous upward graph.
+//!
+//! The stored order only stays cheap for metrics *close* to the one it was
+//! chosen for. When a drastic batch (most edges changed by large factors)
+//! densifies the replay past its budgets — shortcut fill-in, or
+//! witness-search work measured in neighbour pairs examined —
+//! [`customize_ch`] returns `false` with the hierarchy untouched, and the
+//! oracle layer falls back to a from-scratch rebuild — reported honestly
+//! as the `rebuild` strategy.
+
+use hc2l_ch::ContractionHierarchy;
+use hc2l_graph::Graph;
+
+/// Re-derives the upward graph of `ch` from the re-weighted graph `g`,
+/// keeping the contraction order fixed. `g` must be the *same topology* the
+/// hierarchy was built on, with arbitrarily changed weights.
+///
+/// Returns `true` on success: the result answers queries exactly on `g`
+/// (gated in this crate's tests) and `num_shortcuts` is recomputed against
+/// `g` like the builder does. Returns `false` — with `ch` unchanged — when
+/// the replay exceeds its fill-in or work budget (see
+/// [`hc2l_ch::RecontractAborted`]); the caller should rebuild.
+pub fn customize_ch(ch: &mut ContractionHierarchy, g: &Graph) -> bool {
+    ch.recontract(g).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::toy::{grid_graph, paper_figure1};
+    use hc2l_graph::{dijkstra, GraphBuilder, Vertex};
+
+    fn weighted_grid(rows: usize, cols: usize) -> Graph {
+        let mut b = GraphBuilder::new(0);
+        for (u, v, _) in grid_graph(rows, cols).edges() {
+            b.add_edge(u, v, 1 + ((u * 7 + v * 13) % 9));
+        }
+        b.build()
+    }
+
+    fn assert_all_pairs_exact(g: &Graph, ch: &ContractionHierarchy) {
+        for s in 0..g.num_vertices() as Vertex {
+            let dist = dijkstra(g, s);
+            for t in 0..g.num_vertices() as Vertex {
+                assert_eq!(
+                    ch.query(s, t),
+                    dist[t as usize],
+                    "CH query ({s}, {t}) diverges after customization"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn customization_without_changes_stays_exact() {
+        let g = paper_figure1();
+        let mut ch = ContractionHierarchy::build(&g);
+        assert!(customize_ch(&mut ch, &g));
+        assert_all_pairs_exact(&g, &ch);
+    }
+
+    #[test]
+    fn increases_and_decreases_stay_exact() {
+        let mut g = weighted_grid(6, 7);
+        let mut ch = ContractionHierarchy::build(&g);
+        // Mostly increases (live traffic), a few recoveries.
+        let edges: Vec<_> = g.edges().collect();
+        for (i, (u, v, w)) in edges.into_iter().enumerate() {
+            if i % 3 == 0 {
+                g.set_edge_weight(u, v, w * 5 + 1);
+            } else if i % 7 == 0 {
+                g.set_edge_weight(u, v, 1);
+            }
+        }
+        assert!(customize_ch(&mut ch, &g));
+        assert_all_pairs_exact(&g, &ch);
+    }
+
+    #[test]
+    fn repeated_batches_compose() {
+        // Several rounds exercise shortcut churn: a shortcut pruned after
+        // one batch must come back when a later metric needs it again.
+        let mut g = weighted_grid(5, 5);
+        let mut ch = ContractionHierarchy::build(&g);
+        for round in 0..4u32 {
+            let edges: Vec<_> = g.edges().collect();
+            for (i, (u, v, _)) in edges.into_iter().enumerate() {
+                let w = 1 + ((i as u32 * 31 + round * 17 + u + v) % 50);
+                g.set_edge_weight(u, v, w);
+            }
+            assert!(customize_ch(&mut ch, &g));
+            assert_all_pairs_exact(&g, &ch);
+        }
+    }
+
+    #[test]
+    fn drastic_batch_aborts_and_leaves_hierarchy_unchanged() {
+        let g0 = weighted_grid(28, 28);
+        let mut ch = ContractionHierarchy::build(&g0);
+        // Maze metric: a scattering of unit-weight streets in a sea of
+        // million-weight closures — nothing like the metric the order was
+        // chosen for, so the replay must hit a budget and give up.
+        let mut g = g0.clone();
+        let edges: Vec<_> = g.edges().collect();
+        for (i, (u, v, _)) in edges.into_iter().enumerate() {
+            let h = u
+                .wrapping_mul(2654435761)
+                .wrapping_add(v.wrapping_mul(40503))
+                .wrapping_add(i as u32 * 97);
+            let w = if h % 11 == 0 { 1 } else { 1_000_000 };
+            g.set_edge_weight(u, v, w);
+        }
+        assert!(
+            !customize_ch(&mut ch, &g),
+            "expected the maze metric to abort the fixed-order replay"
+        );
+        // The abort leaves the hierarchy exactly as it was: still exact on
+        // the old metric (the oracle layer rebuilds on the new one).
+        let dist = dijkstra(&g0, 0);
+        for t in (0..g0.num_vertices() as Vertex).step_by(23) {
+            assert_eq!(ch.query(0, t), dist[t as usize]);
+        }
+    }
+
+    #[test]
+    fn customization_is_faster_than_rebuild() {
+        let g0 = weighted_grid(28, 28);
+        let mut g = g0.clone();
+        let mut ch = ContractionHierarchy::build(&g0);
+        g.set_edge_weight(0, 1, 999);
+        let t0 = std::time::Instant::now();
+        assert!(customize_ch(&mut ch, &g));
+        let incremental = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let rebuilt = ContractionHierarchy::build(&g);
+        let rebuild = t1.elapsed();
+        assert!(
+            incremental < rebuild,
+            "customization ({incremental:?}) is not faster than a rebuild ({rebuild:?})"
+        );
+        // Both absorb the update exactly.
+        let dist = dijkstra(&g, 0);
+        for t in (0..g.num_vertices() as Vertex).step_by(37) {
+            assert_eq!(ch.query(0, t), dist[t as usize]);
+            assert_eq!(rebuilt.query(0, t), dist[t as usize]);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! The weight-update batch type and its bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+use hc2l_graph::{Graph, Vertex, Weight};
+
+/// One edge re-weighting: set the weight of the existing undirected edge
+/// `(u, v)` to `new_weight`. Updates never insert or delete edges — live
+/// traffic changes travel times, not the road topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightUpdate {
+    /// One endpoint of the edge.
+    pub u: Vertex,
+    /// The other endpoint.
+    pub v: Vertex,
+    /// The new weight (replaces the old one; may be larger or smaller).
+    pub new_weight: Weight,
+}
+
+impl WeightUpdate {
+    /// Convenience constructor.
+    pub fn new(u: Vertex, v: Vertex, new_weight: Weight) -> Self {
+        WeightUpdate { u, v, new_weight }
+    }
+}
+
+/// How a batch was absorbed by the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateStrategy {
+    /// CH: upward weights re-customized over the fixed contraction order.
+    ChCustomize,
+    /// HC2L: label distances patched over the fixed tree hierarchy.
+    Hc2lRelabel,
+    /// Everything else (or an incremental precondition failed): the index
+    /// was rebuilt from scratch on the re-weighted graph.
+    Rebuild,
+}
+
+impl UpdateStrategy {
+    /// Stable wire/JSON tag of the strategy.
+    pub fn tag(self) -> u32 {
+        match self {
+            UpdateStrategy::ChCustomize => 1,
+            UpdateStrategy::Hc2lRelabel => 2,
+            UpdateStrategy::Rebuild => 3,
+        }
+    }
+
+    /// Inverse of [`UpdateStrategy::tag`].
+    pub fn from_tag(tag: u32) -> Option<Self> {
+        match tag {
+            1 => Some(UpdateStrategy::ChCustomize),
+            2 => Some(UpdateStrategy::Hc2lRelabel),
+            3 => Some(UpdateStrategy::Rebuild),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name (matches the wire tag order).
+    pub fn name(self) -> &'static str {
+        match self {
+            UpdateStrategy::ChCustomize => "ch-customize",
+            UpdateStrategy::Hc2lRelabel => "hc2l-relabel",
+            UpdateStrategy::Rebuild => "rebuild",
+        }
+    }
+}
+
+impl std::fmt::Display for UpdateStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The outcome of applying one [`WeightUpdate`] batch to an oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateReport {
+    /// The strategy that absorbed the batch.
+    pub strategy: UpdateStrategy,
+    /// Updates that named an existing edge and were applied.
+    pub applied: usize,
+    /// Updates that named a missing edge, a self loop or an out-of-range
+    /// vertex; they are skipped, the rest of the batch still applies.
+    pub rejected: usize,
+    /// Wall-clock time spent absorbing the batch, in microseconds.
+    pub micros: u64,
+}
+
+/// Applies a batch to a graph in place with [`Graph::set_edge_weight`],
+/// returning `(applied, rejected)` counts. Updates against phantom edges
+/// are counted and skipped; the remainder of the batch still applies —
+/// a live feed should not lose 10k fresh travel times to one stale id.
+pub fn apply_batch(g: &mut Graph, updates: &[WeightUpdate]) -> (usize, usize) {
+    let mut applied = 0;
+    let mut rejected = 0;
+    for up in updates {
+        if g.set_edge_weight(up.u, up.v, up.new_weight) {
+            applied += 1;
+        } else {
+            rejected += 1;
+        }
+    }
+    (applied, rejected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc2l_graph::GraphBuilder;
+
+    #[test]
+    fn batch_application_counts_applied_and_rejected() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 10);
+        b.add_edge(1, 2, 20);
+        let mut g = b.build();
+        let ups = [
+            WeightUpdate::new(0, 1, 15),
+            WeightUpdate::new(2, 1, 5),
+            WeightUpdate::new(0, 3, 7), // no such edge
+            WeightUpdate::new(1, 1, 9), // self loop
+        ];
+        assert_eq!(apply_batch(&mut g, &ups), (2, 2));
+        assert_eq!(g.edge_weight(0, 1), Some(15));
+        assert_eq!(g.edge_weight(1, 2), Some(5));
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn strategy_tags_round_trip() {
+        for s in [
+            UpdateStrategy::ChCustomize,
+            UpdateStrategy::Hc2lRelabel,
+            UpdateStrategy::Rebuild,
+        ] {
+            assert_eq!(UpdateStrategy::from_tag(s.tag()), Some(s));
+            assert!(!s.name().is_empty());
+        }
+        assert_eq!(UpdateStrategy::from_tag(0), None);
+        assert_eq!(UpdateStrategy::from_tag(99), None);
+    }
+}

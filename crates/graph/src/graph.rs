@@ -123,6 +123,29 @@ impl Graph {
         }
     }
 
+    /// Overwrites the weight of an existing undirected edge `(u, v)` in both
+    /// adjacency directions, regardless of whether the new weight is larger
+    /// or smaller than the old one. Returns `false` (and changes nothing)
+    /// when the edge does not exist — dynamic-update batches use this to
+    /// reject updates against phantom edges instead of inserting them.
+    pub fn set_edge_weight(&mut self, u: Vertex, v: Vertex, w: Weight) -> bool {
+        if u == v {
+            return false;
+        }
+        let (un, vn) = (u as usize, v as usize);
+        if un >= self.adj.len() || vn >= self.adj.len() {
+            return false;
+        }
+        match self.adj[un].iter_mut().find(|e| e.to == v) {
+            Some(e) => e.weight = w,
+            None => return false,
+        }
+        if let Some(r) = self.adj[vn].iter_mut().find(|e| e.to == u) {
+            r.weight = w;
+        }
+        true
+    }
+
     /// Sum of all edge weights; handy for sanity checks in tests.
     pub fn total_weight(&self) -> Distance {
         self.edges().map(|(_, _, w)| w as Distance).sum()
@@ -211,6 +234,26 @@ mod tests {
         assert!(g2.add_or_relax_edge(0, 3, 7));
         assert_eq!(g2.num_edges(), 1);
         assert_eq!(g.num_edges(), before);
+    }
+
+    #[test]
+    fn set_edge_weight_overwrites_both_directions() {
+        let mut g = triangle();
+        // Raising a weight works (add_or_relax cannot do this).
+        assert!(g.set_edge_weight(0, 1, 9));
+        assert_eq!(g.edge_weight(0, 1), Some(9));
+        assert_eq!(g.edge_weight(1, 0), Some(9));
+        // Lowering works too and the edge count never changes.
+        assert!(g.set_edge_weight(1, 0, 2));
+        assert_eq!(g.edge_weight(0, 1), Some(2));
+        assert_eq!(g.num_edges(), 3);
+        // Missing edges, self loops and out-of-range ids are rejected.
+        let mut g2 = Graph::with_vertices(4);
+        g2.add_or_relax_edge(0, 1, 5);
+        assert!(!g2.set_edge_weight(0, 2, 7));
+        assert!(!g2.set_edge_weight(1, 1, 7));
+        assert!(!g2.set_edge_weight(0, 99, 7));
+        assert_eq!(g2.edge_weight(0, 1), Some(5));
     }
 
     #[test]

@@ -147,6 +147,25 @@ impl Hc2lIndex {
         &self.frozen
     }
 
+    /// Replaces the label arena in place, keeping the hierarchy, bitstrings,
+    /// id maps and contraction columns. This is the installation point of
+    /// the dynamic-update path (`hc2l-dynamic`): a weight-update batch keeps
+    /// the tree hierarchy fixed and patches only the distance arrays, so
+    /// everything else of the frozen state is reused verbatim. The
+    /// replacement is re-validated by `FrozenHc2l::from_parts`, so an
+    /// updater that produced labels for the wrong vertex count fails loudly
+    /// instead of answering garbage.
+    pub fn replace_labels(&mut self, labels: LabelSet) {
+        let (bits, core_id) = self.frozen.id_parts();
+        self.frozen = FrozenHc2l::from_parts(
+            labels,
+            bits.to_vec(),
+            core_id.to_vec(),
+            self.frozen.contraction().clone(),
+        )
+        .expect("replacement labels violate the frozen-state invariants");
+    }
+
     /// The label set (over core vertex ids).
     pub fn labels(&self) -> &LabelSet {
         self.frozen.labels()

@@ -14,8 +14,28 @@ use hc2l_h2h::H2hIndex;
 use hc2l_hl::HubLabelIndex;
 use hc2l_phl::PhlIndex;
 
+use hc2l_dynamic::{
+    apply_batch, customize_ch, update_hc2l, UpdateReport, UpdateStrategy, WeightUpdate,
+};
+
 use crate::builder::OracleConfig;
+use crate::method::Method;
 use crate::traits::DistanceOracle;
+
+/// Splits a batch into updates that name a real edge of `graph` and the
+/// rejected remainder, mirroring [`hc2l_dynamic::apply_batch`]'s rules.
+fn partition_valid(graph: &Graph, updates: &[WeightUpdate]) -> (Vec<WeightUpdate>, usize) {
+    let n = graph.num_vertices();
+    let valid: Vec<WeightUpdate> = updates
+        .iter()
+        .filter(|up| {
+            (up.u as usize) < n && (up.v as usize) < n && up.u != up.v && graph.has_edge(up.u, up.v)
+        })
+        .copied()
+        .collect();
+    let rejected = updates.len() - valid.len();
+    (valid, rejected)
+}
 
 impl DistanceOracle for Hc2lIndex {
     fn build(g: &Graph, config: &OracleConfig) -> Self {
@@ -44,6 +64,36 @@ impl DistanceOracle for Hc2lIndex {
 
     fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
         Hc2lIndex::one_to_many_into(self, s, targets, out)
+    }
+
+    fn method(&self) -> Method {
+        if self.config().threads > 1 {
+            Method::Hc2lParallel
+        } else {
+            Method::Hc2l
+        }
+    }
+
+    /// HC2L: relabel over the fixed tree hierarchy; falls back to a rebuild
+    /// when the walk reports the batch as unsupported (loaded index,
+    /// contracted endpoint, or a metric that needs new shortcut topology).
+    fn apply_updates(&mut self, graph: &mut Graph, updates: &[WeightUpdate]) -> UpdateReport {
+        let start = std::time::Instant::now();
+        let (valid, rejected) = partition_valid(graph, updates);
+        let relabelled = update_hc2l(self, graph, &valid).is_ok();
+        let (applied, _) = apply_batch(graph, &valid);
+        let strategy = if relabelled {
+            UpdateStrategy::Hc2lRelabel
+        } else {
+            *self = Hc2lIndex::build(graph, *self.config());
+            UpdateStrategy::Rebuild
+        };
+        UpdateReport {
+            strategy,
+            applied,
+            rejected,
+            micros: start.elapsed().as_micros() as u64,
+        }
     }
 
     fn save(&self, path: &Path) -> Result<(), PersistError> {
@@ -92,6 +142,31 @@ impl DistanceOracle for ContractionHierarchy {
         self.query_with_stats(s, t)
     }
 
+    fn method(&self) -> Method {
+        Method::Ch
+    }
+
+    /// CH: re-contract over the fixed contraction order — all ordering
+    /// work (the bulk of a build) is skipped. A drastic batch that would
+    /// densify the replay past its fill-in or witness-search work budget
+    /// falls back to a from-scratch rebuild, reported as such.
+    fn apply_updates(&mut self, graph: &mut Graph, updates: &[WeightUpdate]) -> UpdateReport {
+        let start = std::time::Instant::now();
+        let (applied, rejected) = apply_batch(graph, updates);
+        let strategy = if customize_ch(self, graph) {
+            UpdateStrategy::ChCustomize
+        } else {
+            *self = ContractionHierarchy::build(graph);
+            UpdateStrategy::Rebuild
+        };
+        UpdateReport {
+            strategy,
+            applied,
+            rejected,
+            micros: start.elapsed().as_micros() as u64,
+        }
+    }
+
     fn save(&self, path: &Path) -> Result<(), PersistError> {
         PersistentIndex::save_to(self, path)
     }
@@ -116,6 +191,10 @@ impl DistanceOracle for H2hIndex {
 
     fn name(&self) -> &'static str {
         "H2H"
+    }
+
+    fn method(&self) -> Method {
+        Method::H2h
     }
 
     fn distance(&self, s: Vertex, t: Vertex) -> Distance {
@@ -172,6 +251,10 @@ impl DistanceOracle for HubLabelIndex {
         "HL"
     }
 
+    fn method(&self) -> Method {
+        Method::Hl
+    }
+
     fn distance(&self, s: Vertex, t: Vertex) -> Distance {
         self.query(s, t)
     }
@@ -212,6 +295,10 @@ impl DistanceOracle for PhlIndex {
 
     fn name(&self) -> &'static str {
         "PHL"
+    }
+
+    fn method(&self) -> Method {
+        Method::Phl
     }
 
     fn distance(&self, s: Vertex, t: Vertex) -> Distance {

@@ -50,6 +50,10 @@ pub use view::{FrozenView, SharedOracle};
 /// Re-export of the shared per-query instrumentation record.
 pub use hc2l_graph::QueryStats;
 
+/// Re-exports of the dynamic-update batch API, so serving and benchmark
+/// layers depend on one crate for both querying and updating.
+pub use hc2l_dynamic::{apply_batch, UpdateReport, UpdateStrategy, WeightUpdate};
+
 /// Canonical backend index types under the names the oracle layer uses.
 pub use hc2l::Hc2lIndex;
 pub use hc2l_ch::ContractionHierarchy as ChIndex;

@@ -10,6 +10,8 @@ use hc2l_h2h::H2hIndex;
 use hc2l_hl::HubLabelIndex;
 use hc2l_phl::PhlIndex;
 
+use hc2l_dynamic::{UpdateReport, WeightUpdate};
+
 use crate::builder::OracleConfig;
 use crate::method::Method;
 use crate::traits::DistanceOracle;
@@ -117,6 +119,17 @@ impl DistanceOracle for Oracle {
         self.method().name()
     }
 
+    fn method(&self) -> Method {
+        Oracle::method(self)
+    }
+
+    /// Dispatches to the backend's incremental path (CH customization, the
+    /// HC2L relabel) or the uniform rebuild fallback; the report says which
+    /// strategy actually absorbed the batch.
+    fn apply_updates(&mut self, graph: &mut Graph, updates: &[WeightUpdate]) -> UpdateReport {
+        delegate!(self, inner => inner.apply_updates(graph, updates))
+    }
+
     fn distance(&self, s: Vertex, t: Vertex) -> Distance {
         delegate!(self, inner => inner.distance(s, t))
     }
@@ -166,6 +179,7 @@ impl DistanceOracle for Oracle {
 mod tests {
     use super::*;
     use crate::builder::OracleBuilder;
+    use hc2l_dynamic::UpdateStrategy;
     use hc2l_graph::dijkstra_distance;
     use hc2l_graph::toy::paper_figure1;
 
@@ -227,6 +241,98 @@ mod tests {
         let (d, stats) = hc2l.distance_with_stats(2, 9);
         assert_eq!(d, dijkstra_distance(&g, 2, 9));
         assert!(stats.hubs_scanned > 0);
+    }
+
+    #[test]
+    fn apply_updates_keeps_every_method_exact() {
+        use hc2l_dynamic::WeightUpdate;
+        use hc2l_graph::dijkstra;
+
+        let g0 = paper_figure1();
+        let edges: Vec<_> = g0.edges().collect();
+        let (u1, v1, w1) = edges[0];
+        let (u2, v2, _) = edges[edges.len() - 1];
+        let ups = [
+            WeightUpdate::new(u1, v1, w1 * 4 + 3), // increase
+            WeightUpdate::new(u2, v2, 1),          // decrease (or no-op)
+            WeightUpdate::new(3, 3, 7),            // self loop: rejected
+        ];
+        for method in Method::ALL {
+            let mut oracle = OracleBuilder::new(method).threads(2).build(&g0);
+            let mut g = g0.clone();
+            let report = oracle.apply_updates(&mut g, &ups);
+            assert_eq!(report.applied, 2, "{method:?}");
+            assert_eq!(report.rejected, 1, "{method:?}");
+            match method {
+                Method::Ch => assert_eq!(report.strategy, UpdateStrategy::ChCustomize),
+                Method::Hc2l | Method::Hc2lParallel => assert!(
+                    matches!(
+                        report.strategy,
+                        UpdateStrategy::Hc2lRelabel | UpdateStrategy::Rebuild
+                    ),
+                    "{method:?} reported {:?}",
+                    report.strategy
+                ),
+                _ => assert_eq!(report.strategy, UpdateStrategy::Rebuild, "{method:?}"),
+            }
+            // The graph carries the new weights and the oracle answers for
+            // them exactly.
+            assert_eq!(g.edge_weight(u1, v1), Some(w1 * 4 + 3));
+            for s in 0..16u32 {
+                let dist = dijkstra(&g, s);
+                for t in 0..16u32 {
+                    assert_eq!(
+                        oracle.distance(s, t),
+                        dist[t as usize],
+                        "{method:?} wrong on ({s},{t}) after update"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trait_method_accessor_matches_variant() {
+        let g = paper_figure1();
+        for method in Method::ALL {
+            let oracle = OracleBuilder::new(method).threads(2).build(&g);
+            assert_eq!(DistanceOracle::method(&oracle), method);
+        }
+    }
+
+    #[test]
+    fn repeated_update_batches_compose_through_the_oracle() {
+        use hc2l_dynamic::WeightUpdate;
+        use hc2l_graph::dijkstra;
+        use hc2l_graph::toy::grid_graph;
+
+        let g0 = grid_graph(6, 6);
+        for method in [Method::Ch, Method::Hc2l] {
+            let mut oracle = OracleBuilder::new(method).build(&g0);
+            let mut g = g0.clone();
+            for round in 1..4u32 {
+                let ups: Vec<WeightUpdate> = g
+                    .edges()
+                    .enumerate()
+                    .filter(|(i, _)| (*i as u32 + round).is_multiple_of(6))
+                    .map(|(i, (u, v, _))| {
+                        WeightUpdate::new(u, v, 1 + ((i as u32 + round * 11) % 20))
+                    })
+                    .collect();
+                let report = oracle.apply_updates(&mut g, &ups);
+                assert_eq!(report.rejected, 0);
+                for s in (0..36u32).step_by(5) {
+                    let dist = dijkstra(&g, s);
+                    for t in 0..36u32 {
+                        assert_eq!(
+                            oracle.distance(s, t),
+                            dist[t as usize],
+                            "{method:?} round {round} wrong on ({s},{t})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -3,9 +3,11 @@
 
 use std::path::Path;
 
+use hc2l_dynamic::{apply_batch, UpdateReport, UpdateStrategy, WeightUpdate};
 use hc2l_graph::{Distance, Graph, PersistError, QueryStats, Vertex};
 
 use crate::builder::OracleConfig;
+use crate::method::Method;
 
 /// An exact shortest-path distance oracle over a weighted undirected graph.
 ///
@@ -29,6 +31,38 @@ pub trait DistanceOracle: Send + Sync {
 
     /// Display name of the method ("HC2L", "H2H", ...).
     fn name(&self) -> &'static str;
+
+    /// The [`Method`] this oracle answers for — the machine-readable
+    /// counterpart of [`DistanceOracle::name`], so callers can branch on
+    /// capabilities (or rebuild with the same method) without string
+    /// comparisons.
+    fn method(&self) -> Method;
+
+    /// Absorbs a batch of edge re-weightings: applies it to `graph` (the
+    /// graph this oracle currently answers for) and brings the index back
+    /// in sync with the new metric.
+    ///
+    /// Backends with an incremental path (CH customization, the HC2L
+    /// fixed-hierarchy relabel) override this; the default rebuilds from
+    /// scratch on the re-weighted graph so the API is uniform across all
+    /// backends. Updates naming a missing edge, a self loop or an
+    /// out-of-range vertex are counted in [`UpdateReport::rejected`] and
+    /// skipped; the rest of the batch still applies. Either way the oracle
+    /// answers exactly for the re-weighted graph afterwards.
+    fn apply_updates(&mut self, graph: &mut Graph, updates: &[WeightUpdate]) -> UpdateReport
+    where
+        Self: Sized,
+    {
+        let start = std::time::Instant::now();
+        let (applied, rejected) = apply_batch(graph, updates);
+        *self = Self::build(graph, &OracleConfig::new(self.method()));
+        UpdateReport {
+            strategy: UpdateStrategy::Rebuild,
+            applied,
+            rejected,
+            micros: start.elapsed().as_micros() as u64,
+        }
+    }
 
     /// Exact shortest-path distance between two vertices.
     fn distance(&self, s: Vertex, t: Vertex) -> Distance;

@@ -1,0 +1,147 @@
+//! Weight-update workloads: live-traffic batches for the dynamic layer.
+//!
+//! An update workload is a batch of edge re-weightings — the file analogue
+//! of the serve protocol's `UpdateWeights` frame. The plain-text format
+//! mirrors the query-workload files: one `u v new_weight` triple per line,
+//! `#` comments, blank lines skipped. Real traffic is mostly slowdowns, so
+//! the generator biases toward weight *increases* (congestion) with a
+//! configurable fraction of decreases (roads clearing up).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use hc2l_dynamic::WeightUpdate;
+use hc2l_graph::{Graph, Weight};
+
+/// Samples `count` weight updates over existing edges of `g`, seeded and
+/// reproducible. Roughly 80% of the updates are increases (weight scaled by
+/// 2-8x, congestion) and 20% are decreases (weight halved, floor 1) — the
+/// "live traffic" mix the paper's dynamic scenario assumes. Edges are drawn
+/// uniformly with replacement; a later update to the same edge wins, which
+/// is exactly the batch semantics of `apply_batch`.
+pub fn random_weight_updates(g: &Graph, count: usize, seed: u64) -> Vec<WeightUpdate> {
+    let edges: Vec<(u32, u32, Weight)> = g.edges().collect();
+    assert!(
+        !edges.is_empty(),
+        "cannot sample updates from an edgeless graph"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let (u, v, w) = edges[rng.random_range(0..edges.len())];
+            let new_weight = if rng.random_range(0..10u32) < 8 {
+                w.saturating_mul(2 + rng.random_range(0..7u32)).max(1)
+            } else {
+                (w / 2).max(1)
+            };
+            WeightUpdate::new(u, v, new_weight)
+        })
+        .collect()
+}
+
+/// Serialises an update batch to the plain-text format consumed by
+/// [`read_update_file`] (and by `hc2l-query --update-file`): one
+/// `u v new_weight` triple per line, `#` comments.
+pub fn write_update_file(path: &std::path::Path, updates: &[WeightUpdate]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "# hc2l weight updates: u v new_weight")?;
+    for up in updates {
+        writeln!(out, "{} {} {}", up.u, up.v, up.new_weight)?;
+    }
+    out.flush()
+}
+
+/// Parses an update file written by [`write_update_file`]. Blank lines and
+/// `#` comments are skipped; a malformed line is an
+/// [`std::io::ErrorKind::InvalidData`] error naming the line number.
+pub fn read_update_file(path: &std::path::Path) -> std::io::Result<Vec<WeightUpdate>> {
+    let text = std::fs::read_to_string(path)?;
+    let bad = |line: usize, what: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}:{line}: {what}", path.display()),
+        )
+    };
+    let mut updates = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut fields = content.split_whitespace();
+        let mut field = |what: &str| -> std::io::Result<u32> {
+            fields
+                .next()
+                .and_then(|f| f.parse().ok())
+                .ok_or_else(|| bad(line, what))
+        };
+        let u = field("expected an endpoint vertex id")?;
+        let v = field("expected an endpoint vertex id")?;
+        let new_weight = field("expected a new edge weight")?;
+        if fields.next().is_some() {
+            return Err(bad(line, "trailing fields"));
+        }
+        updates.push(WeightUpdate::new(u, v, new_weight));
+    }
+    Ok(updates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hc2l-updates-{tag}-{}.u", std::process::id()))
+    }
+
+    #[test]
+    fn random_updates_are_reproducible_mostly_increases_and_on_real_edges() {
+        let g = crate::seeded_grid(6, 6, 11);
+        let a = random_weight_updates(&g, 200, 5);
+        let b = random_weight_updates(&g, 200, 5);
+        assert_eq!(a, b);
+        assert_ne!(a, random_weight_updates(&g, 200, 6));
+        let mut increases = 0usize;
+        for up in &a {
+            let old = g
+                .edge_weight(up.u, up.v)
+                .expect("update targets a real edge");
+            assert!(up.new_weight >= 1);
+            if up.new_weight > old {
+                increases += 1;
+            }
+        }
+        assert!(
+            increases > a.len() / 2,
+            "live traffic should be mostly slowdowns: {increases}/{}",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn update_file_round_trips() {
+        let g = crate::seeded_grid(5, 5, 3);
+        let updates = random_weight_updates(&g, 40, 9);
+        let path = scratch("roundtrip");
+        write_update_file(&path, &updates).unwrap();
+        assert_eq!(read_update_file(&path).unwrap(), updates);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn update_file_rejects_malformed_lines() {
+        let path = scratch("malformed");
+        for bad in ["1 2\n", "1 2 3 4\n", "a b c\n", "1 2 x\n"] {
+            std::fs::write(&path, bad).unwrap();
+            let err = read_update_file(&path).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{bad:?}");
+        }
+        std::fs::write(&path, "# header\n\n1 2 30 # comment\n4 5 6\n").unwrap();
+        let updates = read_update_file(&path).unwrap();
+        assert_eq!(updates.len(), 2);
+        assert_eq!(updates[0], WeightUpdate::new(1, 2, 30));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -19,6 +19,12 @@
 //!                           the duration of the replay (default 0) — the
 //!                           connection-scaling shape: many held
 //!                           connections, few active ones
+//!   --update U V W          re-weight edge (U, V) to W on the live daemon
+//!   --update-file FILE      send a whole weight-update batch (hc2l_roadnet
+//!                           update format: `u v new_weight` lines); both
+//!                           print the strategy that absorbed the batch
+//!                           (ch-customize / hc2l-relabel / rebuild),
+//!                           applied/rejected counts and the new epoch
 //!   --stats                 print server counters
 //!   --shutdown              stop the daemon
 //!
@@ -26,6 +32,12 @@
 //!   --gen-grid RxC --out FILE [--count N] [--seed S] [--grid-seed S]
 //!                           write a workload over the seeded reference
 //!                           grid, with exact expected distances (Dijkstra)
+//!     --apply-updates FILE  apply a weight-update batch to the grid first,
+//!                           so the expected distances gate a daemon that
+//!                           has absorbed the same batch
+//!   --gen-grid RxC --gen-updates N --out FILE [--seed S] [--grid-seed S]
+//!                           write a weight-update batch over the grid's
+//!                           edges instead (mostly increases — live traffic)
 //! ```
 //!
 //! Replay prints `replayed N queries in S s (QPS q/s), M mismatches` and
@@ -56,7 +68,11 @@ struct Args {
     idle: usize,
     stats: bool,
     shutdown: bool,
+    update: Option<hc2l_oracle::WeightUpdate>,
+    update_file: Option<String>,
     gen_grid: Option<(usize, usize)>,
+    gen_updates: usize,
+    apply_updates: Option<String>,
     out: Option<String>,
     count: usize,
     seed: u64,
@@ -112,6 +128,15 @@ fn parse_args() -> Args {
             "--idle" => args.idle = parse!(&mut i, "--idle"),
             "--stats" => args.stats = true,
             "--shutdown" => args.shutdown = true,
+            "--update" => {
+                let u = parse!(&mut i, "--update endpoint");
+                let v = parse!(&mut i, "--update endpoint");
+                let w = parse!(&mut i, "--update weight");
+                args.update = Some(hc2l_oracle::WeightUpdate::new(u, v, w));
+            }
+            "--update-file" => args.update_file = Some(read_value(&mut i)),
+            "--gen-updates" => args.gen_updates = parse!(&mut i, "--gen-updates"),
+            "--apply-updates" => args.apply_updates = Some(read_value(&mut i)),
             "--gen-grid" => {
                 let v = read_value(&mut i);
                 let (r, c) = v.split_once('x').unwrap_or_else(|| {
@@ -211,7 +236,29 @@ fn generate_workload(args: &Args) {
         eprintln!("--gen-grid needs --out FILE");
         exit(2);
     };
-    let g = seeded_grid(rows, cols, args.grid_seed);
+    let mut g = seeded_grid(rows, cols, args.grid_seed);
+    if args.gen_updates > 0 {
+        let updates = hc2l_roadnet::random_weight_updates(&g, args.gen_updates, args.seed);
+        hc2l_roadnet::write_update_file(std::path::Path::new(out), &updates).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            exit(1);
+        });
+        eprintln!(
+            "wrote {} weight updates over the {rows}x{cols} grid (seed {:#x}) to {out}",
+            updates.len(),
+            args.grid_seed
+        );
+        return;
+    }
+    if let Some(file) = &args.apply_updates {
+        let updates =
+            hc2l_roadnet::read_update_file(std::path::Path::new(file)).unwrap_or_else(|e| {
+                eprintln!("cannot read updates {file}: {e}");
+                exit(1);
+            });
+        let (applied, rejected) = hc2l_oracle::apply_batch(&mut g, &updates);
+        eprintln!("applied {applied} updates from {file} to the grid ({rejected} rejected)");
+    }
     let pairs = random_pairs(g.num_vertices(), args.count.max(1), args.seed);
     // Exact expected distances, one Dijkstra per distinct source.
     let mut by_source: std::collections::HashMap<u32, Vec<Distance>> =
@@ -406,6 +453,36 @@ fn replay(args: &Args) {
     }
 }
 
+/// Sends one `UpdateWeights` batch and prints the outcome — which strategy
+/// absorbed it, how much of it stuck, and the generation now being served.
+fn send_updates(session: &mut Session, updates: Vec<hc2l_oracle::WeightUpdate>) {
+    let sent = updates.len();
+    match session.ask(&Request::UpdateWeights(updates)) {
+        Response::Updated(o) => {
+            let strategy = hc2l_oracle::UpdateStrategy::from_tag(o.strategy_tag)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("unknown tag {}", o.strategy_tag));
+            println!(
+                "updated {} of {sent} edges via {strategy} in {} us ({} rejected), \
+                 now serving epoch {}",
+                o.applied, o.micros, o.rejected, o.epoch
+            );
+            if o.applied == 0 && sent > 0 {
+                eprintln!("no update named an existing edge");
+                exit(1);
+            }
+        }
+        Response::Error(msg) => {
+            eprintln!("server error: {msg}");
+            exit(1);
+        }
+        other => {
+            eprintln!("unexpected response {other:?}");
+            exit(1);
+        }
+    }
+}
+
 fn print_stats(session: &mut Session) {
     let Response::Stats(s) = session.ask(&Request::Stats) else {
         eprintln!("unexpected response to Stats");
@@ -431,6 +508,7 @@ fn print_stats(session: &mut Session) {
         s.cache_len,
         s.cache_capacity
     );
+    println!("update_batches {}\nepoch {}", s.update_batches, s.epoch);
 }
 
 fn main() {
@@ -444,9 +522,14 @@ fn main() {
         args.replay.is_some(),
         args.stats,
         args.shutdown,
+        args.update.is_some(),
+        args.update_file.is_some(),
     ];
     if modes.iter().filter(|&&m| m).count() != 1 {
-        eprintln!("pick exactly one mode: --distance, --replay, --stats or --shutdown");
+        eprintln!(
+            "pick exactly one mode: --distance, --replay, --stats, --shutdown, \
+             --update or --update-file"
+        );
         exit(2);
     }
     if args.replay.is_some() {
@@ -467,6 +550,19 @@ fn main() {
                 exit(1);
             }
         }
+    } else if let Some(update) = args.update {
+        send_updates(&mut session, vec![update]);
+    } else if let Some(file) = &args.update_file {
+        let updates =
+            hc2l_roadnet::read_update_file(std::path::Path::new(file)).unwrap_or_else(|e| {
+                eprintln!("cannot read updates {file}: {e}");
+                exit(1);
+            });
+        if updates.is_empty() {
+            eprintln!("update file {file} holds no updates");
+            exit(1);
+        }
+        send_updates(&mut session, updates);
     } else if args.stats {
         print_stats(&mut session);
     } else if args.shutdown {

@@ -3,6 +3,7 @@
 //! ```text
 //! hc2l-serve --index paris.hc2l [--port 7171] [--threads N] [--cache N]
 //!            [--model epoll|threads] [--addr-file FILE] [--buffered]
+//! hc2l-serve --grid ROWSxCOLS [--grid-seed S] [--method hc2l|ch|...] [...]
 //! hc2l-serve --index paris.hc2l --bench [--threads N] [--cache N]
 //!            [--bench-queries N] [--bench-reps N] [--seed S]
 //!            [--bench-scaling 8,64,512]
@@ -18,6 +19,13 @@
 //! the effective model is printed at startup. `--port 0` picks an
 //! ephemeral port; `--addr-file` writes the resolved `host:port` to a
 //! file once listening, which is how scripted callers (CI) rendezvous.
+//!
+//! `--grid ROWSxCOLS` serves a seeded synthetic grid instead of a saved
+//! container: the daemon builds a `--method` index (default `ch`) over the
+//! grid in-process and — because it then owns the underlying graph — accepts
+//! live `UpdateWeights` frames (`hc2l-query --update/--update-file`). A
+//! daemon started from `--index` serves a static snapshot and answers
+//! update frames with a typed error.
 //!
 //! `--bench` skips the socket layer entirely: it self-drives the shared
 //! oracle with `--threads` in-process workers over a seeded random pair
@@ -39,6 +47,9 @@ use hc2l_serve::{
 
 struct Args {
     index: String,
+    grid: Option<(usize, usize)>,
+    grid_seed: u64,
+    method: hc2l_oracle::Method,
     port: u16,
     threads: usize,
     cache: usize,
@@ -60,6 +71,11 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         index: String::new(),
+        grid: None,
+        // Matches hc2l-query's --grid-seed default, so generated workloads
+        // and update batches line up with a `--grid` daemon out of the box.
+        grid_seed: 0xA11CE,
+        method: hc2l_oracle::Method::Ch,
         port: 7171,
         threads: std::thread::available_parallelism()
             .map(|p| p.get())
@@ -94,6 +110,24 @@ fn parse_args() -> Args {
     while i < argv.len() {
         match argv[i].as_str() {
             "--index" => args.index = read_value(&mut i),
+            "--grid" => {
+                let spec = read_value(&mut i);
+                let parsed = spec.split_once('x').and_then(|(r, c)| {
+                    Some((r.trim().parse().ok()?, c.trim().parse().ok()?))
+                        .filter(|&(r, c): &(usize, usize)| r >= 2 && c >= 2)
+                });
+                args.grid = Some(parsed.unwrap_or_else(|| {
+                    eprintln!("invalid --grid {spec:?}: expected ROWSxCOLS, both >= 2");
+                    exit(2);
+                }));
+            }
+            "--grid-seed" => args.grid_seed = parse!(&mut i, "--grid-seed"),
+            "--method" => {
+                args.method = read_value(&mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(2);
+                })
+            }
             "--port" => args.port = parse!(&mut i, "--port"),
             "--threads" => args.threads = parse!(&mut i, "--threads"),
             "--cache" => args.cache = parse!(&mut i, "--cache"),
@@ -134,8 +168,8 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    if args.index.is_empty() {
-        eprintln!("--index FILE is required");
+    if args.index.is_empty() == args.grid.is_none() {
+        eprintln!("exactly one of --index FILE or --grid ROWSxCOLS is required");
         exit(2);
     }
     args
@@ -143,30 +177,43 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let path = std::path::Path::new(&args.index);
-    let oracle = if args.buffered {
-        hc2l_oracle::SharedOracle::open_buffered(path)
-    } else {
-        OracleBuilder::open(path)
-    }
-    .unwrap_or_else(|e| {
-        eprintln!("cannot open index {}: {e}", path.display());
-        exit(1);
-    });
-    eprintln!(
-        "loaded {} index: {} vertices, {} bytes, {}",
-        oracle.method(),
-        oracle.num_vertices(),
-        oracle.index_bytes(),
-        if oracle.is_mapped() {
-            "memory-mapped"
-        } else {
-            "heap-buffered"
-        }
-    );
-    let num_vertices = oracle.num_vertices();
     let threads = args.threads.max(1);
-    let state = Arc::new(ServeState::new(oracle, threads, args.cache));
+    let (state, num_vertices) = if let Some((rows, cols)) = args.grid {
+        let g = hc2l_roadnet::seeded_grid(rows, cols, args.grid_seed);
+        let n = g.num_vertices();
+        let oracle = OracleBuilder::new(args.method).build(&g);
+        eprintln!(
+            "built {} index over a {rows}x{cols} seeded grid ({n} vertices); \
+             live weight updates enabled",
+            args.method
+        );
+        let state = Arc::new(ServeState::with_updates(g, oracle, threads, args.cache));
+        (state, n)
+    } else {
+        let path = std::path::Path::new(&args.index);
+        let oracle = if args.buffered {
+            hc2l_oracle::SharedOracle::open_buffered(path)
+        } else {
+            OracleBuilder::open(path)
+        }
+        .unwrap_or_else(|e| {
+            eprintln!("cannot open index {}: {e}", path.display());
+            exit(1);
+        });
+        eprintln!(
+            "loaded {} index: {} vertices, {} bytes, {}; static snapshot, weight updates disabled",
+            oracle.method(),
+            oracle.num_vertices(),
+            oracle.index_bytes(),
+            if oracle.is_mapped() {
+                "memory-mapped"
+            } else {
+                "heap-buffered"
+            }
+        );
+        let n = oracle.num_vertices();
+        (Arc::new(ServeState::new(oracle, threads, args.cache)), n)
+    };
 
     if args.bench {
         let pairs = random_pairs(num_vertices, args.bench_queries.max(1), args.seed);

@@ -9,6 +9,14 @@
 //!
 //! Distances in this workspace are symmetric, so keys are canonicalised to
 //! `(min(s,t), max(s,t))`: a `(t, s)` probe hits a cached `(s, t)` result.
+//!
+//! Entries are tagged with the **index generation** (epoch) they were
+//! computed against: after a weight-update batch swaps in a new generation,
+//! the serving layer probes with the new epoch and every stale entry reads
+//! as a miss — O(1) whole-cache invalidation with no sweep. Stale slots are
+//! overwritten on re-insert or age out through the LRU. The epoch-less
+//! [`QueryCache::get`]/[`QueryCache::insert`] are conveniences for
+//! single-generation users (epoch 0).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,6 +67,9 @@ struct Shard {
 struct Slot {
     key: u64,
     value: Distance,
+    /// Index generation the value was computed against; a probe from a
+    /// different generation reads as a miss.
+    epoch: u64,
     prev: u32,
     next: u32,
 }
@@ -103,8 +114,11 @@ impl Shard {
         self.head = i;
     }
 
-    fn get(&mut self, key: u64) -> Option<Distance> {
+    fn get(&mut self, key: u64, epoch: u64) -> Option<Distance> {
         let i = *self.map.get(&key)?;
+        if self.slots[i as usize].epoch != epoch {
+            return None; // stale generation: a miss, overwritten on insert
+        }
         if self.head != i {
             self.unlink(i);
             self.push_front(i);
@@ -112,9 +126,10 @@ impl Shard {
         Some(self.slots[i as usize].value)
     }
 
-    fn insert(&mut self, key: u64, value: Distance) {
+    fn insert(&mut self, key: u64, value: Distance, epoch: u64) {
         if let Some(&i) = self.map.get(&key) {
             self.slots[i as usize].value = value;
+            self.slots[i as usize].epoch = epoch;
             if self.head != i {
                 self.unlink(i);
                 self.push_front(i);
@@ -125,6 +140,7 @@ impl Shard {
             self.slots.push(Slot {
                 key,
                 value,
+                epoch,
                 prev: NIL,
                 next: NIL,
             });
@@ -137,6 +153,7 @@ impl Shard {
             self.map.remove(&evicted);
             self.slots[i as usize].key = key;
             self.slots[i as usize].value = value;
+            self.slots[i as usize].epoch = epoch;
             i
         };
         self.map.insert(key, i);
@@ -209,14 +226,29 @@ impl QueryCache {
         (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as usize % self.shards.len()
     }
 
-    /// Looks up a pair, updating recency and the hit/miss counters.
+    /// Looks up a pair at generation 0 (single-generation users).
     pub fn get(&self, s: Vertex, t: Vertex) -> Option<Distance> {
+        self.get_at(s, t, 0)
+    }
+
+    /// Stores a pair's distance at generation 0 (no-op when disabled).
+    pub fn insert(&self, s: Vertex, t: Vertex, d: Distance) {
+        self.insert_at(s, t, d, 0)
+    }
+
+    /// Looks up a pair computed against index generation `epoch`, updating
+    /// recency and the hit/miss counters. An entry stored under any other
+    /// generation reads as a miss.
+    pub fn get_at(&self, s: Vertex, t: Vertex, epoch: u64) -> Option<Distance> {
         if !self.is_enabled() {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         let key = QueryCache::key(s, t);
-        let got = self.shards[self.shard_of(key)].lock().unwrap().get(key);
+        let got = self.shards[self.shard_of(key)]
+            .lock()
+            .unwrap()
+            .get(key, epoch);
         match got {
             Some(d) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -229,8 +261,12 @@ impl QueryCache {
         }
     }
 
-    /// Stores a pair's distance (no-op when disabled).
-    pub fn insert(&self, s: Vertex, t: Vertex, d: Distance) {
+    /// Stores a pair's distance computed against index generation `epoch`
+    /// (no-op when disabled). The caller passes the epoch it *queried* at,
+    /// not the current one — if a generation swap raced the query, the
+    /// entry lands tagged with the old epoch and can never serve a stale
+    /// answer to new-generation probes.
+    pub fn insert_at(&self, s: Vertex, t: Vertex, d: Distance, epoch: u64) {
         if !self.is_enabled() {
             return;
         }
@@ -238,7 +274,7 @@ impl QueryCache {
         self.shards[self.shard_of(key)]
             .lock()
             .unwrap()
-            .insert(key, d);
+            .insert(key, d, epoch);
     }
 
     /// Counter snapshot.
@@ -295,6 +331,25 @@ mod tests {
         cache.insert(3, 3, 30); // evicts 2, not 1
         assert_eq!(cache.get(1, 1), Some(11));
         assert_eq!(cache.get(2, 2), None);
+    }
+
+    #[test]
+    fn epoch_mismatch_reads_as_a_miss() {
+        let cache = QueryCache::new(64, 4);
+        cache.insert_at(1, 2, 42, 0);
+        assert_eq!(cache.get_at(1, 2, 0), Some(42));
+        // A new generation sees the old entry as a miss...
+        assert_eq!(cache.get_at(1, 2, 1), None);
+        // ...and re-inserting under the new epoch takes over the slot.
+        cache.insert_at(1, 2, 43, 1);
+        assert_eq!(cache.get_at(1, 2, 1), Some(43));
+        assert_eq!(cache.get_at(1, 2, 0), None, "old generation is gone");
+        // A racing insert tagged with a stale epoch can never poison the
+        // current generation.
+        cache.insert_at(3, 4, 99, 0);
+        assert_eq!(cache.get_at(3, 4, 1), None);
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
     }
 
     #[test]

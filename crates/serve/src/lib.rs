@@ -16,9 +16,19 @@
 //!   `SharedOracle` view or an owned `Oracle`), a sharded LRU result cache
 //!   ([`QueryCache`]) and relaxed-atomic counters; worker threads query it
 //!   behind one `Arc` with no locks on the oracle path.
+//! * **live weight updates** — `UpdateWeights` frames carry edge
+//!   re-weighting batches (live traffic) to a daemon started from an owned
+//!   graph ([`ServeState::with_updates`]); the batch is absorbed
+//!   incrementally where the backend supports it (CH customization, HC2L
+//!   relabelling — see `hc2l-dynamic`) or by rebuild otherwise, and the
+//!   refreshed index is published as a new epoch-tagged generation with one
+//!   pointer swap — in-flight queries finish on the old generation, cache
+//!   entries from it read as misses, and no query ever blocks on an update
+//!   (the epoll model offloads absorption to a worker thread).
 //! * **a wire protocol and daemon** — a length-prefixed binary protocol
-//!   ([`protocol`]) carrying `Distance`, batched `OneToMany`, `Stats` and
-//!   `Shutdown` over TCP, decodable both blockingly and incrementally
+//!   ([`protocol`]) carrying `Distance`, batched `OneToMany`,
+//!   `UpdateWeights`, `Stats` and `Shutdown` over TCP, decodable both
+//!   blockingly and incrementally
 //!   ([`FrameDecoder`] accepts frames in arbitrary fragments). Two
 //!   connection models serve it through one execution path
 //!   ([`serve_with_model`]): the event-driven epoll reactor
@@ -60,9 +70,11 @@ pub mod throughput;
 pub use cache::{CacheStats, QueryCache};
 pub use protocol::{
     read_request, read_response, write_request, write_response, FrameDecoder, Request, Response,
-    ServerStats, MAX_FRAME_BYTES, MAX_ONE_TO_MANY_TARGETS,
+    ServerStats, UpdateOutcome, MAX_FRAME_BYTES, MAX_ONE_TO_MANY_TARGETS, MAX_UPDATE_BATCH,
 };
-pub use server::{serve, serve_with_model, ServeModel, ServeState, ServedOracle, ServerHandle};
+pub use server::{
+    serve, serve_with_model, Generation, ServeModel, ServeState, ServedOracle, ServerHandle,
+};
 pub use throughput::{
     measure_connection_scaling, measure_throughput, ConnectionScalingReport, ThroughputReport,
 };

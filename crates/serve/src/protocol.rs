@@ -11,10 +11,10 @@
 //!      5     …  opcode-specific fields (little-endian integers)
 //! ```
 //!
-//! Requests: `Distance(s, t)`, `OneToMany(s, targets…)`, `Stats`,
-//! `Shutdown`. Responses mirror them, plus `Error(message)` for malformed
-//! or out-of-range requests (the connection stays usable afterwards — a bad
-//! query must not take down a worker).
+//! Requests: `Distance(s, t)`, `OneToMany(s, targets…)`,
+//! `UpdateWeights(batch…)`, `Stats`, `Shutdown`. Responses mirror them, plus
+//! `Error(message)` for malformed or out-of-range requests (the connection
+//! stays usable afterwards — a bad query must not take down a worker).
 //!
 //! The codec is hand-rolled over `std::io::{Read, Write}` (the workspace
 //! builds offline; the vendored serde is marker-only) and defensive in both
@@ -32,6 +32,7 @@
 use std::io::{self, Read, Write};
 
 use hc2l_graph::{Distance, Vertex};
+use hc2l_oracle::WeightUpdate;
 
 /// Upper bound on one frame's payload (compare: a one-to-many request of
 /// 1M targets is 4MB). Anything larger is rejected as malformed — by both
@@ -62,11 +63,26 @@ const _: () = {
     assert!(1 + 4 + 8 * (MAX_ONE_TO_MANY_TARGETS + 1) > MAX_FRAME_BYTES);
 };
 
+/// Largest weight-update batch one frame can carry. The request payload is
+/// 1 (opcode) + 4 (count) + 12·N (u, v, new_weight as u32 each), and the
+/// response is a fixed-size report, so only the request binds:
+/// `N = (MAX_FRAME_BYTES - 5) / 12` ≈ 1.4M updates per frame — far beyond
+/// any realistic traffic tick; larger feeds chunk into multiple frames.
+pub const MAX_UPDATE_BATCH: usize = (MAX_FRAME_BYTES - 5) / 12;
+
+// Pinned like the one-to-many cap: a cap-sized batch fits, one more update
+// overflows the request payload.
+const _: () = {
+    assert!(1 + 4 + 12 * MAX_UPDATE_BATCH <= MAX_FRAME_BYTES);
+    assert!(1 + 4 + 12 * (MAX_UPDATE_BATCH + 1) > MAX_FRAME_BYTES);
+};
+
 mod op {
     pub const DISTANCE: u8 = 1;
     pub const ONE_TO_MANY: u8 = 2;
     pub const STATS: u8 = 3;
     pub const SHUTDOWN: u8 = 4;
+    pub const UPDATE_WEIGHTS: u8 = 5;
     pub const ERROR: u8 = 0xFF;
 }
 
@@ -82,6 +98,9 @@ pub enum Request {
         /// Target vertices, answered in order.
         targets: Vec<Vertex>,
     },
+    /// Apply a batch of edge re-weightings to the served index; subsequent
+    /// queries (on any connection) answer on the re-weighted graph.
+    UpdateWeights(Vec<WeightUpdate>),
     /// Server counters and index identification.
     Stats,
     /// Stop accepting connections and exit the serve loop.
@@ -97,10 +116,30 @@ pub enum Response {
     Distances(Vec<Distance>),
     /// Answer to [`Request::Stats`].
     Stats(ServerStats),
+    /// Answer to [`Request::UpdateWeights`]: how the batch was absorbed.
+    Updated(UpdateOutcome),
     /// Acknowledgement of [`Request::Shutdown`].
     ShuttingDown,
     /// The request was malformed or out of range; the connection survives.
     Error(String),
+}
+
+/// Wire form of an absorbed weight-update batch (the serve-side view of
+/// `hc2l_oracle::UpdateReport`, plus the index generation it produced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateOutcome {
+    /// `UpdateStrategy::tag()` of the strategy that absorbed the batch
+    /// (1 = ch-customize, 2 = hc2l-relabel, 3 = rebuild).
+    pub strategy_tag: u32,
+    /// Updates that named an existing edge and were applied.
+    pub applied: u64,
+    /// Updates skipped for naming a missing edge or out-of-range vertex.
+    pub rejected: u64,
+    /// Wall-clock microseconds spent absorbing the batch.
+    pub micros: u64,
+    /// Index generation now being served; every query answered after this
+    /// response was sent reflects at least this generation.
+    pub epoch: u64,
 }
 
 /// Counters and identification reported by [`Request::Stats`] — which
@@ -133,6 +172,10 @@ pub struct ServerStats {
     pub cache_len: u64,
     /// Result-cache capacity (0 = disabled).
     pub cache_capacity: u64,
+    /// `UpdateWeights` batches absorbed since startup.
+    pub update_batches: u64,
+    /// Index generation currently being served (0 until the first update).
+    pub epoch: u64,
 }
 
 impl ServerStats {
@@ -359,6 +402,15 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
                 p.extend_from_slice(&t.to_le_bytes());
             }
         }
+        Request::UpdateWeights(updates) => {
+            p.push(op::UPDATE_WEIGHTS);
+            p.extend_from_slice(&(updates.len() as u32).to_le_bytes());
+            for up in updates {
+                p.extend_from_slice(&up.u.to_le_bytes());
+                p.extend_from_slice(&up.v.to_le_bytes());
+                p.extend_from_slice(&up.new_weight.to_le_bytes());
+            }
+        }
         Request::Stats => p.push(op::STATS),
         Request::Shutdown => p.push(op::SHUTDOWN),
     }
@@ -399,6 +451,20 @@ fn decode_request_payload(payload: &[u8]) -> io::Result<Request> {
             f.finish()?;
             Request::OneToMany { source, targets }
         }
+        op::UPDATE_WEIGHTS => {
+            let count = f.u32()? as usize;
+            // Checked multiply, as for one-to-many: a lying count must fail
+            // the length comparison, never wrap past it.
+            if count.checked_mul(12) != Some(f.bytes.len()) {
+                return Err(bad("update count disagrees with frame length"));
+            }
+            let mut updates = Vec::with_capacity(count);
+            for _ in 0..count {
+                updates.push(WeightUpdate::new(f.u32()?, f.u32()?, f.u32()?));
+            }
+            f.finish()?;
+            Request::UpdateWeights(updates)
+        }
         op::STATS => {
             f.finish()?;
             Request::Stats
@@ -436,7 +502,16 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
                 s.cache_misses,
                 s.cache_len,
                 s.cache_capacity,
+                s.update_batches,
+                s.epoch,
             ] {
+                p.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Response::Updated(o) => {
+            p.push(op::UPDATE_WEIGHTS);
+            p.extend_from_slice(&o.strategy_tag.to_le_bytes());
+            for v in [o.applied, o.rejected, o.micros, o.epoch] {
                 p.extend_from_slice(&v.to_le_bytes());
             }
         }
@@ -508,9 +583,22 @@ fn decode_response_payload(payload: &[u8]) -> io::Result<Response> {
                 cache_misses: f.u64()?,
                 cache_len: f.u64()?,
                 cache_capacity: f.u64()?,
+                update_batches: f.u64()?,
+                epoch: f.u64()?,
             };
             f.finish()?;
             Response::Stats(s)
+        }
+        op::UPDATE_WEIGHTS => {
+            let o = UpdateOutcome {
+                strategy_tag: f.u32()?,
+                applied: f.u64()?,
+                rejected: f.u64()?,
+                micros: f.u64()?,
+                epoch: f.u64()?,
+            };
+            f.finish()?;
+            Response::Updated(o)
         }
         op::SHUTDOWN => {
             f.finish()?;
@@ -557,6 +645,12 @@ mod tests {
         });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::UpdateWeights(vec![]));
+        round_trip_request(Request::UpdateWeights(
+            (0..50)
+                .map(|i| WeightUpdate::new(i, i + 1, 10 + i))
+                .collect(),
+        ));
     }
 
     #[test]
@@ -576,9 +670,18 @@ mod tests {
             cache_misses: 5,
             cache_len: 5,
             cache_capacity: 100,
+            update_batches: 2,
+            epoch: 2,
         }));
         round_trip_response(Response::ShuttingDown);
         round_trip_response(Response::Error("no such vertex".into()));
+        round_trip_response(Response::Updated(UpdateOutcome {
+            strategy_tag: 2,
+            applied: 100,
+            rejected: 3,
+            micros: 12_345,
+            epoch: 7,
+        }));
     }
 
     #[test]
@@ -652,6 +755,10 @@ mod tests {
                 source: 9,
                 targets: vec![4, 5, 6],
             },
+            Request::UpdateWeights(vec![
+                WeightUpdate::new(0, 1, 42),
+                WeightUpdate::new(5, 6, 7),
+            ]),
             Request::Stats,
         ];
         let mut buf = Vec::new();
@@ -716,6 +823,47 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(&mut buf, &p).unwrap();
         assert!(incremental_requests(&buf).is_err());
+        // Update count lying about the payload size fails the same way on
+        // both decoders.
+        let mut p = vec![5u8]; // UPDATE_WEIGHTS
+        p.extend_from_slice(&1000u32.to_le_bytes()); // claims 1000 updates
+        p.extend_from_slice(&[0u8; 12]); // provides one
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &p).unwrap();
+        assert!(read_request(&mut buf.as_slice()).is_err());
+        assert!(incremental_requests(&buf).is_err());
+    }
+
+    #[test]
+    fn update_batch_bound_is_exact_and_over_cap_fails_before_buffering() {
+        // A cap-sized batch still encodes within the frame cap...
+        let updates = vec![WeightUpdate::new(1, 2, 3); MAX_UPDATE_BATCH];
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::UpdateWeights(updates.clone())).unwrap();
+        assert_eq!(buf.len(), 4 + 1 + 4 + 12 * MAX_UPDATE_BATCH);
+        let mut r = buf.as_slice();
+        assert_eq!(
+            read_request(&mut r).unwrap(),
+            Some(Request::UpdateWeights(updates))
+        );
+        // ...one more update is refused by the encoder itself...
+        let updates = vec![WeightUpdate::new(1, 2, 3); MAX_UPDATE_BATCH + 1];
+        let mut buf = Vec::new();
+        let err = write_request(&mut buf, &Request::UpdateWeights(updates)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            buf.is_empty(),
+            "nothing may hit the wire on a refused frame"
+        );
+        // ...and a crafted over-cap length prefix (what such a batch's frame
+        // would have to claim) fails typed on the incremental decoder from
+        // the prefix alone — before any payload is buffered.
+        let over = (1 + 4 + 12 * (MAX_UPDATE_BATCH + 1)) as u32;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&over.to_le_bytes());
+        let err = dec.next_request().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(dec.has_complete_frame(), "malformed prefix must fail fast");
     }
 
     #[test]

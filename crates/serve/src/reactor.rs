@@ -22,6 +22,14 @@
 //!   connection owes [`HIGH_WATER`] or more unflushed bytes, its reads are
 //!   paused (EPOLLIN deregistered) and no further requests are executed, so
 //!   a client that stops reading cannot balloon server memory;
+//! * **weight updates** are offloaded: absorbing an `UpdateWeights` batch
+//!   can take index-rebuild time, and a reactor thread must never stall its
+//!   other connections that long — the batch runs on a spawned worker
+//!   thread, the requesting connection pauses (no further frames execute,
+//!   preserving per-connection response order) and resumes when the worker
+//!   deposits the encoded response in the reactor's completion inbox and
+//!   wakes it. Every other connection keeps querying throughout, on the old
+//!   index generation until the swap, on the new one after;
 //! * **shutdown** is polled on every `epoll_wait` timeout and broadcast
 //!   over the wake fds, then each reactor drains: stops accepting, gives
 //!   every connection a bounded window ([`DRAIN_DEADLINE`]) to take its
@@ -42,7 +50,7 @@ use std::time::{Duration, Instant};
 
 use hc2l_graph::Distance;
 
-use crate::protocol::FrameDecoder;
+use crate::protocol::{write_response, FrameDecoder, Request, Response};
 use crate::server::{respond, ServeState};
 
 /// Raw epoll / eventfd bindings (see the module docs for why these are
@@ -204,11 +212,24 @@ impl Drop for WakeFd {
     }
 }
 
+/// A finished weight-update batch on its way back to the connection that
+/// requested it: the already-encoded response frame, addressed by fd plus
+/// the connection token (fds are recycled; tokens are not, so a completion
+/// for a connection that died mid-update is dropped instead of being
+/// delivered to an unrelated newcomer on the same fd).
+struct UpdateDone {
+    fd: i32,
+    token: u64,
+    frame: Vec<u8>,
+}
+
 /// The cross-thread face of one reactor: where reactor 0 deposits accepted
-/// connections, and how anyone interrupts its `epoll_wait`.
+/// connections, where update workers deposit finished batches, and how
+/// anyone interrupts its `epoll_wait`.
 struct ReactorHandle {
     wake: WakeFd,
     inbox: Mutex<Vec<TcpStream>>,
+    done: Mutex<Vec<UpdateDone>>,
 }
 
 impl ReactorHandle {
@@ -216,8 +237,18 @@ impl ReactorHandle {
         Ok(ReactorHandle {
             wake: WakeFd::new()?,
             inbox: Mutex::new(Vec::new()),
+            done: Mutex::new(Vec::new()),
         })
     }
+}
+
+/// What frame-processing needs beyond the connection itself: the shared
+/// state and, for update offloading, the reactor's own identity (worker
+/// threads address completions back to `handles[id]`).
+struct ReactorCtx<'a> {
+    state: &'a Arc<ServeState>,
+    handles: &'a Arc<Vec<ReactorHandle>>,
+    id: usize,
 }
 
 /// Per-connection state: socket, incremental decoder, write buffer with
@@ -226,6 +257,9 @@ impl ReactorHandle {
 /// model's per-thread buffer).
 struct Conn {
     stream: TcpStream,
+    /// Distinguishes this connection from any later one recycled onto the
+    /// same fd (update completions are addressed by `(fd, token)`).
+    token: u64,
     decoder: FrameDecoder,
     out: Vec<u8>,
     out_pos: usize,
@@ -237,12 +271,20 @@ struct Conn {
     closing: bool,
     /// The peer closed its write side; buffered frames still execute.
     read_eof: bool,
+    /// An `UpdateWeights` batch is running on a worker thread; no further
+    /// frames execute until its completion lands (responses stay ordered),
+    /// and reads are paused like under backpressure.
+    awaiting_update: bool,
 }
+
+/// Source of connection tokens (process-wide, never recycled).
+static NEXT_TOKEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl Conn {
     fn new(stream: TcpStream) -> Conn {
         Conn {
             stream,
+            token: NEXT_TOKEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             decoder: FrameDecoder::new(),
             out: Vec::new(),
             out_pos: 0,
@@ -250,6 +292,7 @@ impl Conn {
             interest: 0,
             closing: false,
             read_eof: false,
+            awaiting_update: false,
         }
     }
 
@@ -262,7 +305,8 @@ impl Conn {
 /// The event mask a connection should be registered with right now.
 fn desired_interest(conn: &Conn) -> u32 {
     let mut ev = sys::EPOLLRDHUP;
-    if !conn.closing && !conn.read_eof && conn.pending_write() < HIGH_WATER {
+    if !conn.closing && !conn.read_eof && !conn.awaiting_update && conn.pending_write() < HIGH_WATER
+    {
         ev |= sys::EPOLLIN;
     }
     if conn.pending_write() > 0 {
@@ -299,20 +343,66 @@ fn flush(conn: &mut Conn) -> io::Result<()> {
 }
 
 /// Decodes and executes buffered requests until input runs dry, the
-/// connection is closing, or backpressure pauses it. A decode error is a
-/// protocol error: the connection stops reading and will be dropped (after
-/// a best-effort flush), exactly like the blocking model.
-fn process_frames(conn: &mut Conn, state: &ServeState, shutdown_seen: &mut bool) -> io::Result<()> {
-    while !conn.closing && conn.pending_write() < HIGH_WATER {
+/// connection is closing, an offloaded update pauses it, or backpressure
+/// pauses it. A decode error is a protocol error: the connection stops
+/// reading and will be dropped (after a best-effort flush), exactly like
+/// the blocking model.
+fn process_frames(conn: &mut Conn, ctx: &ReactorCtx, shutdown_seen: &mut bool) -> io::Result<()> {
+    while !conn.closing && !conn.awaiting_update && conn.pending_write() < HIGH_WATER {
         let Some(req) = conn.decoder.next_request()? else {
             break;
         };
-        if respond(state, &req, &mut conn.out, &mut conn.batch_buf)? {
+        if let Request::UpdateWeights(updates) = req {
+            // Offloaded: the reactor must keep serving its other
+            // connections while the batch (potentially an index rebuild)
+            // absorbs on a worker thread. This connection pauses so its
+            // responses stay in request order.
+            spawn_update_worker(ctx, conn, updates);
+            continue; // loop exits via awaiting_update (or error queued)
+        }
+        if respond(ctx.state, &req, &mut conn.out, &mut conn.batch_buf)? {
             *shutdown_seen = true;
             conn.closing = true;
         }
     }
     Ok(())
+}
+
+/// Starts a worker thread absorbing `updates` for `conn`. On the (resource
+/// exhaustion) failure to spawn, a typed error response is queued instead —
+/// the protocol stays in lockstep either way.
+fn spawn_update_worker(ctx: &ReactorCtx, conn: &mut Conn, updates: Vec<hc2l_oracle::WeightUpdate>) {
+    let state = Arc::clone(ctx.state);
+    let handles = Arc::clone(ctx.handles);
+    let id = ctx.id;
+    let fd = conn.stream.as_raw_fd();
+    let token = conn.token;
+    let spawned = std::thread::Builder::new()
+        .name("hc2l-serve-update".into())
+        .spawn(move || {
+            let resp = match state.try_apply_updates(&updates) {
+                Ok(outcome) => Response::Updated(outcome),
+                Err(msg) => Response::Error(msg),
+            };
+            let mut frame = Vec::new();
+            if write_response(&mut frame, &resp).is_ok() {
+                handles[id]
+                    .done
+                    .lock()
+                    .unwrap()
+                    .push(UpdateDone { fd, token, frame });
+                handles[id].wake.wake();
+            }
+        });
+    match spawned {
+        Ok(_) => conn.awaiting_update = true,
+        Err(_) => {
+            let _ = write_response(
+                &mut conn.out,
+                &Response::Error("update worker could not be spawned; retry".into()),
+            );
+        }
+    }
 }
 
 /// Per-event read budget of [`drive_conn`]: a client that pipelines
@@ -331,13 +421,13 @@ const READ_BUDGET: usize = 1 << 20;
 /// closed now.
 fn drive_conn(
     conn: &mut Conn,
-    state: &ServeState,
+    ctx: &ReactorCtx,
     scratch: &mut [u8],
     shutdown_seen: &mut bool,
 ) -> bool {
     let mut budget = READ_BUDGET;
     loop {
-        if process_frames(conn, state, shutdown_seen).is_err() {
+        if process_frames(conn, ctx, shutdown_seen).is_err() {
             // Protocol error: no more requests from this peer; whatever
             // responses are already owed still flush, then it drops.
             conn.closing = true;
@@ -350,10 +440,14 @@ fn drive_conn(
         // earlier pass), execute them before touching the socket again —
         // otherwise a client waiting on those answers before sending (or
         // one that already half-closed) would strand them forever.
-        if !conn.closing && conn.pending_write() < HIGH_WATER && conn.decoder.has_complete_frame() {
+        if !conn.closing
+            && !conn.awaiting_update
+            && conn.pending_write() < HIGH_WATER
+            && conn.decoder.has_complete_frame()
+        {
             continue;
         }
-        if conn.closing || conn.read_eof {
+        if conn.closing || conn.read_eof || conn.awaiting_update {
             break;
         }
         if conn.pending_write() >= HIGH_WATER {
@@ -380,8 +474,11 @@ fn drive_conn(
     }
     // The loop exits past EOF only once no complete frame remains decodable
     // below the high-water mark — so under the mark, input is truly
-    // exhausted and the connection lives only until its writes drain.
-    let input_done = conn.closing || (conn.read_eof && conn.pending_write() < HIGH_WATER);
+    // exhausted and the connection lives only until its writes drain. A
+    // connection awaiting an offloaded update stays alive regardless: its
+    // response is still owed.
+    let input_done = conn.closing
+        || (conn.read_eof && !conn.awaiting_update && conn.pending_write() < HIGH_WATER);
     !(input_done && conn.pending_write() == 0)
 }
 
@@ -391,7 +488,7 @@ fn register_conn(
     epoll: &Epoll,
     conns: &mut HashMap<i32, Conn>,
     stream: TcpStream,
-    state: &ServeState,
+    ctx: &ReactorCtx,
     scratch: &mut [u8],
     shutdown_seen: &mut bool,
 ) {
@@ -401,7 +498,7 @@ fn register_conn(
     }
     let fd = stream.as_raw_fd();
     let mut conn = Conn::new(stream);
-    if !drive_conn(&mut conn, state, scratch, shutdown_seen) {
+    if !drive_conn(&mut conn, ctx, scratch, shutdown_seen) {
         return;
     }
     conn.interest = desired_interest(&conn);
@@ -414,25 +511,23 @@ fn register_conn(
 /// Accepts until the backlog is empty, registering local connections and
 /// dealing the rest round-robin to sibling reactors. A fatal listener
 /// error propagates; transient per-connection failures are skipped.
-#[allow(clippy::too_many_arguments)]
 fn accept_burst(
     listener: &TcpListener,
     epoll: &Epoll,
-    handles: &[ReactorHandle],
-    my_id: usize,
+    ctx: &ReactorCtx,
     next_target: &mut usize,
     conns: &mut HashMap<i32, Conn>,
-    state: &ServeState,
     scratch: &mut [u8],
     shutdown_seen: &mut bool,
 ) -> io::Result<()> {
+    let handles = ctx.handles.as_slice();
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
                 let target = *next_target % handles.len();
                 *next_target += 1;
-                if target == my_id {
-                    register_conn(epoll, conns, stream, state, scratch, shutdown_seen);
+                if target == ctx.id {
+                    register_conn(epoll, conns, stream, ctx, scratch, shutdown_seen);
                 } else {
                     // Hand over non-blocking already, so the sibling never
                     // risks a blocking call on it.
@@ -473,6 +568,11 @@ fn reactor_loop(
     if let Some(l) = &listener {
         epoll.add(l.as_raw_fd(), sys::EPOLLIN, DATA_LISTENER)?;
     }
+    let ctx = ReactorCtx {
+        state: &state,
+        handles: &handles,
+        id,
+    };
     let mut conns: HashMap<i32, Conn> = HashMap::new();
     let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
     let mut scratch = vec![0u8; READ_CHUNK];
@@ -530,11 +630,9 @@ fn reactor_loop(
                     if let Err(e) = accept_burst(
                         l,
                         &epoll,
-                        &handles,
-                        id,
+                        &ctx,
                         &mut next_target,
                         &mut conns,
-                        &state,
                         &mut scratch,
                         &mut shutdown_seen,
                     ) {
@@ -552,7 +650,7 @@ fn reactor_loop(
                         continue; // stale event for a just-closed fd
                     };
                     let keep = evs & sys::EPOLLERR == 0
-                        && drive_conn(conn, &state, &mut scratch, &mut shutdown_seen);
+                        && drive_conn(conn, &ctx, &mut scratch, &mut shutdown_seen);
                     if keep {
                         let want = desired_interest(conn);
                         if want != conn.interest && epoll.modify(fd, want, fd as u64).is_ok() {
@@ -563,6 +661,32 @@ fn reactor_loop(
                         conns.remove(&fd);
                     }
                 }
+            }
+        }
+
+        // Deliver finished weight-update batches to the connections that
+        // requested them: queue the encoded response, unpause, and re-drive
+        // (frames the peer pipelined behind the update now execute, on the
+        // new generation). A completion whose connection died mid-update —
+        // or whose fd was recycled (token mismatch) — is dropped.
+        let done: Vec<UpdateDone> = std::mem::take(&mut *handles[id].done.lock().unwrap());
+        for d in done {
+            let Some(conn) = conns.get_mut(&d.fd) else {
+                continue;
+            };
+            if conn.token != d.token {
+                continue;
+            }
+            conn.awaiting_update = false;
+            conn.out.extend_from_slice(&d.frame);
+            if drive_conn(conn, &ctx, &mut scratch, &mut shutdown_seen) {
+                let want = desired_interest(conn);
+                if want != conn.interest && epoll.modify(d.fd, want, d.fd as u64).is_ok() {
+                    conn.interest = want;
+                }
+            } else {
+                let _ = epoll.del(d.fd);
+                conns.remove(&d.fd);
             }
         }
 
@@ -577,7 +701,7 @@ fn reactor_loop(
                 &epoll,
                 &mut conns,
                 stream,
-                &state,
+                &ctx,
                 &mut scratch,
                 &mut shutdown_seen,
             );

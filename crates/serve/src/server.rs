@@ -7,9 +7,21 @@
 //! `--bench` self-drive workers and the in-process tests all execute
 //! requests through the same [`ServeState::distance`] /
 //! [`ServeState::one_to_many_into`] entry points, so every path is measured
-//! and cached identically. The query path takes **no locks**: the oracle is
-//! read-only (`Send + Sync`), counters are relaxed atomics, and only a
-//! cache probe touches a (sharded) mutex.
+//! and cached identically. The query path takes **no blocking locks**: the
+//! oracle lives in an epoch-tagged generation behind an `RwLock<Arc<_>>`
+//! whose read side is only ever held for one `Arc` clone, counters are
+//! relaxed atomics, and only a cache probe touches a (sharded) mutex.
+//!
+//! **Live weight updates** ([`ServeState::try_apply_updates`]): a state
+//! built with [`ServeState::with_updates`] additionally owns the underlying
+//! graph plus an updatable [`Oracle`]; an `UpdateWeights` batch is absorbed
+//! there (incrementally for CH / HC2L, by rebuild otherwise — see
+//! `hc2l_oracle::DistanceOracle::apply_updates`) and the refreshed index is
+//! published as a **new generation** with one brief write lock. In-flight
+//! queries hold `Arc`s to the old generation and finish on it — they never
+//! block on an update, and never observe a half-applied batch. Cache
+//! entries are epoch-tagged, so the swap invalidates the whole cache in
+//! O(1) without a sweep.
 //!
 //! [`serve`] keeps the original blocking model; [`serve_with_model`] selects
 //! a [`ServeModel`] — the epoll reactor (`crate::reactor`) holds hundreds of
@@ -19,14 +31,16 @@
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
 
-use hc2l_graph::{Distance, Vertex};
-use hc2l_oracle::{DistanceOracle, Method, Oracle, SharedOracle};
+use hc2l_graph::{Distance, Graph, Vertex};
+use hc2l_oracle::{DistanceOracle, Method, Oracle, SharedOracle, WeightUpdate};
 
 use crate::cache::QueryCache;
-use crate::protocol::{read_request, write_response, Request, Response, ServerStats};
+use crate::protocol::{
+    read_request, write_response, Request, Response, ServerStats, UpdateOutcome, MAX_UPDATE_BATCH,
+};
 
 /// How the serve loop multiplexes client connections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,16 +183,59 @@ impl From<Oracle> for ServedOracle {
     }
 }
 
-/// Everything a worker needs to answer queries: the read-only oracle, the
-/// sharded result cache, and the served/shutdown counters.
+/// One immutable index generation: the oracle snapshot being served plus
+/// the epoch that tags its cache entries. Queries grab an `Arc<Generation>`
+/// and answer entirely on it, so a concurrent weight update (which installs
+/// a *new* generation) never blocks them or changes answers mid-request.
+/// Derefs to [`ServedOracle`], so `state.oracle().distance(s, t)` reads the
+/// same as before generations existed.
+#[derive(Debug)]
+pub struct Generation {
+    oracle: ServedOracle,
+    epoch: u64,
+}
+
+impl Generation {
+    /// The index generation number: 0 at build, +1 per absorbed update
+    /// batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl std::ops::Deref for Generation {
+    type Target = ServedOracle;
+
+    fn deref(&self) -> &ServedOracle {
+        &self.oracle
+    }
+}
+
+/// The updatable source of truth behind a [`ServeState::with_updates`]
+/// daemon: the live graph and an owned oracle that absorbs weight batches
+/// (incrementally where the backend supports it). Guarded by a mutex so
+/// concurrent batches serialise; queries never touch it.
+#[derive(Debug)]
+struct UpdateEngine {
+    graph: Graph,
+    oracle: Oracle,
+}
+
+/// Everything a worker needs to answer queries: the current index
+/// generation, the sharded result cache, and the served/shutdown counters.
 #[derive(Debug)]
 pub struct ServeState {
-    oracle: ServedOracle,
+    /// Current generation; the write lock is held only for the pointer swap
+    /// at the end of an update, the read lock only for an `Arc` clone.
+    generation: RwLock<Arc<Generation>>,
+    /// Present when the daemon owns the graph and can absorb updates.
+    engine: Option<Mutex<UpdateEngine>>,
     cache: QueryCache,
     threads: usize,
     distance_queries: AtomicU64,
     one_to_many_queries: AtomicU64,
     one_to_many_targets: AtomicU64,
+    update_batches: AtomicU64,
     shutdown: AtomicBool,
     /// Set by [`serve`] once the listener is bound; guards against two
     /// serve loops sharing one state's shutdown flag.
@@ -187,23 +244,113 @@ pub struct ServeState {
 
 impl ServeState {
     /// Wraps an oracle with a result cache of `cache_capacity` entries
-    /// (0 disables caching) for a serve loop of `threads` workers.
+    /// (0 disables caching) for a serve loop of `threads` workers. The
+    /// index is served as-is: `UpdateWeights` requests are answered with a
+    /// typed error (use [`ServeState::with_updates`] to enable them).
     pub fn new(oracle: impl Into<ServedOracle>, threads: usize, cache_capacity: usize) -> Self {
+        ServeState::build(oracle.into(), None, threads, cache_capacity)
+    }
+
+    /// Like [`ServeState::new`], but keeps `graph` and the owned `oracle`
+    /// as the updatable source of truth: `UpdateWeights` batches are
+    /// absorbed there and published as new generations while queries keep
+    /// answering on the old one.
+    pub fn with_updates(
+        graph: Graph,
+        oracle: Oracle,
+        threads: usize,
+        cache_capacity: usize,
+    ) -> Self {
+        let served = ServedOracle::from(oracle.clone());
+        ServeState::build(
+            served,
+            Some(Mutex::new(UpdateEngine { graph, oracle })),
+            threads,
+            cache_capacity,
+        )
+    }
+
+    fn build(
+        oracle: ServedOracle,
+        engine: Option<Mutex<UpdateEngine>>,
+        threads: usize,
+        cache_capacity: usize,
+    ) -> Self {
         ServeState {
-            oracle: oracle.into(),
+            generation: RwLock::new(Arc::new(Generation { oracle, epoch: 0 })),
+            engine,
             cache: QueryCache::new(cache_capacity, QueryCache::DEFAULT_SHARDS),
             threads: threads.max(1),
             distance_queries: AtomicU64::new(0),
             one_to_many_queries: AtomicU64::new(0),
             one_to_many_targets: AtomicU64::new(0),
+            update_batches: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             bound_addr: OnceLock::new(),
         }
     }
 
-    /// The served oracle.
-    pub fn oracle(&self) -> &ServedOracle {
-        &self.oracle
+    /// The currently served generation (an `Arc` snapshot: stable for the
+    /// caller even while updates swap in newer generations).
+    pub fn oracle(&self) -> Arc<Generation> {
+        self.generation.read().unwrap().clone()
+    }
+
+    /// The current index generation number.
+    pub fn epoch(&self) -> u64 {
+        self.generation.read().unwrap().epoch
+    }
+
+    /// Whether this state can absorb `UpdateWeights` batches.
+    pub fn supports_updates(&self) -> bool {
+        self.engine.is_some()
+    }
+
+    /// Absorbs a weight-update batch and publishes the re-weighted index as
+    /// a new generation. Concurrent batches serialise on the engine mutex;
+    /// queries keep answering on the old generation throughout and switch
+    /// at the pointer swap. `Err` (static index, oversized batch) leaves
+    /// the served index untouched.
+    pub fn try_apply_updates(&self, updates: &[WeightUpdate]) -> Result<UpdateOutcome, String> {
+        let Some(engine) = &self.engine else {
+            return Err(
+                "this daemon serves a static index snapshot and cannot apply weight updates \
+                 (start it from an owned graph, e.g. --grid, to enable them)"
+                    .into(),
+            );
+        };
+        if updates.len() > MAX_UPDATE_BATCH {
+            return Err(format!(
+                "batch of {} updates exceeds the {}-update frame cap; split it",
+                updates.len(),
+                MAX_UPDATE_BATCH
+            ));
+        }
+        let mut guard = engine.lock().unwrap();
+        let UpdateEngine { graph, oracle } = &mut *guard;
+        let report = oracle.apply_updates(graph, updates);
+        let served = ServedOracle::from(oracle.clone());
+        // Publish: one brief write lock for the pointer swap. Readers that
+        // cloned the old Arc finish on the old generation; every query
+        // *started* after this point sees the new one.
+        let epoch = {
+            let mut slot = self.generation.write().unwrap();
+            let epoch = slot.epoch + 1;
+            *slot = Arc::new(Generation {
+                oracle: served,
+                epoch,
+            });
+            epoch
+        };
+        drop(guard);
+        self.update_batches.fetch_add(1, Ordering::Relaxed);
+        Ok(UpdateOutcome {
+            strategy_tag: report.strategy.tag(),
+            applied: report.applied as u64,
+            rejected: report.rejected as u64,
+            micros: report.micros,
+            epoch,
+        })
     }
 
     /// Configured worker cap (thread model) / reactor count (epoll model).
@@ -226,11 +373,16 @@ impl ServeState {
     #[inline]
     pub fn distance(&self, s: Vertex, t: Vertex) -> Distance {
         self.distance_queries.fetch_add(1, Ordering::Relaxed);
-        if let Some(d) = self.cache.get(s, t) {
+        // One generation snapshot for probe, compute and insert: the cache
+        // entry is tagged with the epoch it was *computed* against, so a
+        // racing generation swap can at worst waste this insert, never
+        // poison the new generation.
+        let generation = self.oracle();
+        if let Some(d) = self.cache.get_at(s, t, generation.epoch) {
             return d;
         }
-        let d = self.oracle.distance(s, t);
-        self.cache.insert(s, t, d);
+        let d = generation.distance(s, t);
+        self.cache.insert_at(s, t, d, generation.epoch);
         d
     }
 
@@ -242,7 +394,7 @@ impl ServeState {
         self.one_to_many_queries.fetch_add(1, Ordering::Relaxed);
         self.one_to_many_targets
             .fetch_add(targets.len() as u64, Ordering::Relaxed);
-        self.oracle.one_to_many_into(s, targets, out);
+        self.oracle().one_to_many_into(s, targets, out);
     }
 
     /// Requests the serve loop to stop accepting and drain.
@@ -266,12 +418,13 @@ impl ServeState {
     /// Counter snapshot in wire form.
     pub fn stats(&self) -> ServerStats {
         let cache = self.cache.stats();
+        let generation = self.oracle();
         ServerStats {
-            method_tag: self.oracle.method().tag(),
-            num_vertices: self.oracle.num_vertices() as u64,
-            index_bytes: self.oracle.index_bytes() as u64,
+            method_tag: generation.method().tag(),
+            num_vertices: generation.num_vertices() as u64,
+            index_bytes: generation.index_bytes() as u64,
             threads: self.threads as u32,
-            mapped: self.oracle.is_mapped(),
+            mapped: generation.is_mapped(),
             distance_queries: self.distance_queries.load(Ordering::Relaxed),
             one_to_many_queries: self.one_to_many_queries.load(Ordering::Relaxed),
             one_to_many_targets: self.one_to_many_targets.load(Ordering::Relaxed),
@@ -279,6 +432,8 @@ impl ServeState {
             cache_misses: cache.misses,
             cache_len: cache.len as u64,
             cache_capacity: cache.capacity as u64,
+            update_batches: self.update_batches.load(Ordering::Relaxed),
+            epoch: generation.epoch(),
         }
     }
 
@@ -290,7 +445,9 @@ impl ServeState {
     /// `Stats` and `cache_hit_rate` count only queries that were actually
     /// answered.
     fn check_distance(&self, s: Vertex, t: Vertex) -> Result<(), String> {
-        let n = self.oracle.num_vertices() as Vertex;
+        // Updates change weights, never topology, so the vertex count is
+        // generation-invariant — any snapshot validates correctly.
+        let n = self.oracle().num_vertices() as Vertex;
         if s >= n || t >= n {
             return Err(format!(
                 "vertex out of range: ({s}, {t}) on a {n}-vertex index"
@@ -322,7 +479,7 @@ impl ServeState {
     /// Validates a one-to-many request: batch bounded by the
     /// response-frame cap, every vertex in range.
     fn check_one_to_many(&self, source: Vertex, targets: &[Vertex]) -> Result<(), String> {
-        let n = self.oracle.num_vertices() as Vertex;
+        let n = self.oracle().num_vertices() as Vertex;
         if targets.len() > crate::protocol::MAX_ONE_TO_MANY_TARGETS {
             return Err(format!(
                 "batch of {} targets exceeds the {}-target response-frame cap; split it",
@@ -357,6 +514,10 @@ impl ServeState {
                     Ok(()) => Response::Distances(batch_buf.clone()),
                 }
             }
+            Request::UpdateWeights(updates) => match self.try_apply_updates(updates) {
+                Err(msg) => Response::Error(msg),
+                Ok(outcome) => Response::Updated(outcome),
+            },
             Request::Stats => Response::Stats(self.stats()),
             Request::Shutdown => {
                 self.request_shutdown();
@@ -1038,6 +1199,263 @@ mod tests {
             &mut buf,
         );
         assert!(matches!(resp, Response::Distances(ref d) if d.len() == 100));
+    }
+
+    #[test]
+    fn static_index_rejects_updates_with_a_typed_error() {
+        // In process...
+        let state = test_state(0);
+        let mut buf = Vec::new();
+        let resp = state.execute(
+            &Request::UpdateWeights(vec![WeightUpdate::new(0, 1, 9)]),
+            &mut buf,
+        );
+        assert!(matches!(resp, Response::Error(ref msg) if msg.contains("static")));
+        assert_eq!(state.epoch(), 0);
+        // ...and over the wire on both models, without killing the daemon.
+        for &model in models() {
+            let state = test_state(0);
+            let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", 0), model).unwrap();
+            let addr = server.addr();
+            assert!(matches!(
+                ask(addr, &Request::UpdateWeights(vec![WeightUpdate::new(0, 1, 9)])),
+                Response::Error(ref msg) if msg.contains("static")
+            ));
+            assert!(matches!(
+                ask(addr, &Request::Distance(1, 2)),
+                Response::Distance(_)
+            ));
+            server.shutdown().unwrap();
+        }
+    }
+
+    /// A weighted grid plus an updatable [`ServeState`] over it.
+    fn updatable_state(method: Method, threads: usize, cache: usize) -> (Graph, Arc<ServeState>) {
+        let g = hc2l_roadnet::seeded_grid(6, 6, 0xA11CE);
+        let oracle = OracleBuilder::new(method).build(&g);
+        let state = Arc::new(ServeState::with_updates(g.clone(), oracle, threads, cache));
+        (g, state)
+    }
+
+    /// A batch that re-weights every third edge (mostly increases), applied
+    /// to `g` in place and returned for the wire.
+    fn traffic_batch(g: &mut Graph) -> Vec<WeightUpdate> {
+        let edges: Vec<_> = g.edges().collect();
+        let mut batch = Vec::new();
+        for (i, (u, v, w)) in edges.into_iter().enumerate() {
+            if i % 3 == 0 {
+                batch.push(WeightUpdate::new(u, v, w * 7 + 3));
+            } else if i % 5 == 0 {
+                batch.push(WeightUpdate::new(u, v, 1));
+            }
+        }
+        for up in &batch {
+            assert!(g.set_edge_weight(up.u, up.v, up.new_weight));
+        }
+        batch
+    }
+
+    #[test]
+    fn updates_invalidate_the_cache_through_the_epoch_swap() {
+        let (mut g, state) = updatable_state(Method::Ch, 2, 256);
+        let before = state.distance(0, 35); // cached at epoch 0
+        assert_eq!(state.distance(0, 35), before, "cache warm");
+        let batch = traffic_batch(&mut g);
+        let mut buf = Vec::new();
+        let Response::Updated(outcome) = state.execute(&Request::UpdateWeights(batch), &mut buf)
+        else {
+            panic!("expected an Updated response");
+        };
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.rejected, 0);
+        assert_eq!(state.epoch(), 1);
+        // Every answer — including the previously cached pair — now matches
+        // Dijkstra on the re-weighted graph.
+        for s in (0..g.num_vertices() as Vertex).step_by(5) {
+            let dist = hc2l_graph::dijkstra(&g, s);
+            for t in 0..g.num_vertices() as Vertex {
+                assert_eq!(state.distance(s, t), dist[t as usize], "({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_updates_over_the_wire_stay_exact_on_both_models() {
+        for &model in models() {
+            for method in [Method::Ch, Method::Hc2l] {
+                weight_updates_over_the_wire_with(model, method);
+            }
+        }
+    }
+
+    fn weight_updates_over_the_wire_with(model: ServeModel, method: Method) {
+        let (mut g, state) = updatable_state(method, 4, 256);
+        let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", 0), model).unwrap();
+        let addr = server.addr();
+        // Warm a few answers (and the cache) on the initial generation.
+        assert!(matches!(
+            ask(addr, &Request::Distance(0, 35)),
+            Response::Distance(_)
+        ));
+        let mut batch = traffic_batch(&mut g);
+        batch.push(WeightUpdate::new(0, 35, 1)); // not an edge: rejected
+        let expected_applied = (batch.len() - 1) as u64;
+        let Response::Updated(outcome) = ask(addr, &Request::UpdateWeights(batch)) else {
+            panic!("{model}/{method}: expected an Updated response");
+        };
+        assert_eq!(outcome.applied, expected_applied, "{model}/{method}");
+        assert_eq!(outcome.rejected, 1, "{model}/{method}");
+        assert_eq!(outcome.epoch, 1, "{model}/{method}");
+        if method == Method::Ch {
+            assert_eq!(
+                hc2l_oracle::UpdateStrategy::from_tag(outcome.strategy_tag),
+                Some(hc2l_oracle::UpdateStrategy::ChCustomize),
+                "{model}: CH must absorb the batch incrementally"
+            );
+        }
+        // Post-update answers — point and batched, on a fresh connection
+        // too — match Dijkstra on the re-weighted graph with 0 mismatches.
+        let n = g.num_vertices() as Vertex;
+        for s in (0..n).step_by(7) {
+            let dist = hc2l_graph::dijkstra(&g, s);
+            for t in 0..n {
+                let Response::Distance(d) = ask(addr, &Request::Distance(s, t)) else {
+                    panic!("{model}/{method}: expected a distance");
+                };
+                assert_eq!(d, dist[t as usize], "{model}/{method} ({s}, {t})");
+            }
+            let targets: Vec<Vertex> = (0..n).collect();
+            let Response::Distances(row) = ask(
+                addr,
+                &Request::OneToMany {
+                    source: s,
+                    targets: targets.clone(),
+                },
+            ) else {
+                panic!("{model}/{method}: expected a batched response");
+            };
+            let want: Vec<Distance> = targets.iter().map(|&t| dist[t as usize]).collect();
+            assert_eq!(row, want, "{model}/{method} one-to-many from {s}");
+        }
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn concurrent_queries_during_update_never_error_and_see_a_clean_swap() {
+        for &model in models() {
+            concurrent_queries_during_update_with(model);
+        }
+    }
+
+    fn concurrent_queries_during_update_with(model: ServeModel) {
+        let (g0, state) = updatable_state(Method::Ch, 4, 1024);
+        let mut g1 = g0.clone();
+        let batch = traffic_batch(&mut g1);
+        let n = g0.num_vertices() as Vertex;
+        let old: Vec<Vec<Distance>> = (0..n).map(|s| hc2l_graph::dijkstra(&g0, s)).collect();
+        let new: Vec<Vec<Distance>> = (0..n).map(|s| hc2l_graph::dijkstra(&g1, s)).collect();
+        let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", 0), model).unwrap();
+        let addr = server.addr();
+        // `swapped` is raised only after the Updated response arrived, i.e.
+        // strictly after the generation swap: a query *sent* with the flag
+        // already up must answer on the new generation. Mid-race queries may
+        // see either generation but never an error and never a mix.
+        let swapped = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
+        let clients: Vec<_> = (0..4u32)
+            .map(|id| {
+                let swapped = Arc::clone(&swapped);
+                let stop = Arc::clone(&stop);
+                let old = old.clone();
+                let new = new.clone();
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = BufWriter::new(stream);
+                    let mut i = 0u32;
+                    let mut post_swap_queries = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let (s, t) = ((i * 3 + id) % n, (i * 11) % n);
+                        let sent_after_swap = swapped.load(Ordering::SeqCst);
+                        write_request(&mut writer, &Request::Distance(s, t)).unwrap();
+                        let Some(Response::Distance(d)) =
+                            crate::protocol::read_response(&mut reader).unwrap()
+                        else {
+                            panic!("query during update errored");
+                        };
+                        let (o, w) = (old[s as usize][t as usize], new[s as usize][t as usize]);
+                        if sent_after_swap {
+                            assert_eq!(d, w, "post-swap query ({s}, {t}) on the old generation");
+                            post_swap_queries += 1;
+                        } else {
+                            assert!(
+                                d == o || d == w,
+                                "({s}, {t}): {d} matches neither generation"
+                            );
+                        }
+                        i += 1;
+                    }
+                    post_swap_queries
+                })
+            })
+            .collect();
+        // Let the clients get going, then update on a separate connection.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let Response::Updated(outcome) = ask(addr, &Request::UpdateWeights(batch)) else {
+            panic!("{model}: expected an Updated response");
+        };
+        assert_eq!(outcome.epoch, 1, "{model}");
+        swapped.store(true, Ordering::SeqCst);
+        // Keep querying past the swap so the post-swap branch is exercised.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+        let post: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+        assert!(post > 0, "{model}: no query ran after the swap");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pipelined_queries_behind_an_update_answer_on_the_new_generation() {
+        // One connection pipelines: query, update, query — without reading.
+        // Responses must come back in order, and the trailing query must be
+        // answered on the post-update index (per-connection ordering holds
+        // even though the epoll model offloads the update to a worker).
+        use std::io::Write as _;
+        for &model in models() {
+            let (mut g, state) = updatable_state(Method::Ch, 2, 0);
+            let d_old = state.oracle().distance(0, 35);
+            let batch = traffic_batch(&mut g);
+            let d_new = hc2l_graph::dijkstra(&g, 0)[35];
+            let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", 0), model).unwrap();
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                .unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            write_request(&mut writer, &Request::Distance(0, 35)).unwrap();
+            write_request(&mut writer, &Request::UpdateWeights(batch)).unwrap();
+            write_request(&mut writer, &Request::Distance(0, 35)).unwrap();
+            writer.flush().unwrap();
+            let mut reader = BufReader::new(stream);
+            assert_eq!(
+                crate::protocol::read_response(&mut reader).unwrap(),
+                Some(Response::Distance(d_old)),
+                "{model}: leading query answers on the old generation"
+            );
+            let Some(Response::Updated(outcome)) =
+                crate::protocol::read_response(&mut reader).unwrap()
+            else {
+                panic!("{model}: expected the Updated response second");
+            };
+            assert_eq!(outcome.epoch, 1, "{model}");
+            assert_eq!(
+                crate::protocol::read_response(&mut reader).unwrap(),
+                Some(Response::Distance(d_new)),
+                "{model}: trailing query answers on the new generation"
+            );
+            drop((reader, writer));
+            server.shutdown().unwrap();
+        }
     }
 
     #[test]
