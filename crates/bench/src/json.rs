@@ -502,6 +502,9 @@ fn run_persisted(
             let mut update_ms = [0.0f64; 3];
             let mut update_strategy = "";
             for (slot, count) in [1usize, 100, 10_000].into_iter().enumerate() {
+                // The generator samples distinct edges, so a batch caps at
+                // the graph's edge count.
+                let count = count.min(updates.len());
                 let mut g = w.graph.clone();
                 let mut o = update_base.clone();
                 let report = o.apply_updates(&mut g, &updates[..count]);
@@ -532,7 +535,7 @@ fn run_persisted(
             // re-weighted graph (the 100-update metric).
             let rebuild_ms = {
                 let mut g = w.graph.clone();
-                hc2l_oracle::apply_batch(&mut g, &updates[..100]);
+                hc2l_oracle::apply_batch(&mut g, &updates[..100.min(updates.len())]);
                 measure_build(method, &g, threads).build_seconds * 1000.0
             };
 

@@ -40,6 +40,11 @@ use hc2l_graph::Graph;
 /// the replay exceeds its fill-in or work budget (see
 /// [`hc2l_ch::RecontractAborted`]); the caller should rebuild.
 pub fn customize_ch(ch: &mut ContractionHierarchy, g: &Graph) -> bool {
+    // Chaos-suite hook: force the abort path (hierarchy untouched, caller
+    // rebuilds) without having to craft a budget-busting metric.
+    if hc2l_graph::failpoints::triggered("dynamic.recontract.abort") {
+        return false;
+    }
     ch.recontract(g).is_ok()
 }
 

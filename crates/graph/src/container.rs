@@ -392,12 +392,35 @@ impl ContainerWriter {
     /// Writes the container to a file, streaming header, table of contents
     /// and sections so no whole-file buffer is assembled (the section
     /// payloads themselves are the only serialised copy in memory).
+    ///
+    /// The write is **crash-safe**: the bytes stream into a uniquely named
+    /// sibling temp file, which is fsynced and then atomically renamed over
+    /// `path` (followed by an fsync of the containing directory on unix, so
+    /// the rename itself is durable). A crash — or a `kill -9` — at any
+    /// instant leaves `path` holding either the complete previous file or
+    /// the complete new one, never a torn mix; a failed write cleans up its
+    /// temp file and leaves `path` untouched. A killed process can leave a
+    /// stale `*.tmp.<pid>.<n>` sibling behind, which the next successful
+    /// save to the same path does not disturb and loaders never look at.
     pub fn write_to(&self, path: &Path) -> Result<(), PersistError> {
-        let file = std::fs::File::create(path)?;
-        let mut out = std::io::BufWriter::new(file);
-        self.emit(&mut out)?;
-        std::io::Write::flush(&mut out)?;
-        Ok(())
+        let tmp = tmp_sibling(path);
+        let result = (|| -> Result<(), PersistError> {
+            let file = std::fs::File::create(&tmp)?;
+            let mut out = std::io::BufWriter::new(file);
+            self.emit(&mut out)?;
+            std::io::Write::flush(&mut out)?;
+            out.get_ref().sync_all()?;
+            std::fs::rename(&tmp, path)?;
+            #[cfg(unix)]
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::File::open(parent)?.sync_all()?;
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 
     /// Emits header + TOC + aligned payloads into any sink.
@@ -431,11 +454,39 @@ impl ContainerWriter {
         for (_, payload) in &self.sections {
             let start = align_up(at);
             out.write_all(&PAD[..(start - at) as usize])?;
+            // Failpoint: fires once per section, so a chaos test can fail
+            // (or stall, for the kill-during-save window) a save that has
+            // already emitted a valid-looking header and some payloads.
+            match crate::failpoints::act("container.write.section") {
+                Some(crate::failpoints::FailAction::IoError) => {
+                    return Err(crate::failpoints::injected("container.write.section"));
+                }
+                Some(crate::failpoints::FailAction::Torn(n)) => {
+                    out.write_all(&payload[..n.min(payload.len())])?;
+                    return Err(crate::failpoints::injected("container.write.section"));
+                }
+                _ => {}
+            }
             out.write_all(payload)?;
             at = start + payload.len() as u64;
         }
         Ok(())
     }
+}
+
+/// A unique sibling path for [`ContainerWriter::write_to`]'s temp file:
+/// same directory (so the final rename cannot cross filesystems), name
+/// disambiguated by pid and a process-wide counter (so concurrent saves to
+/// the same target never clobber each other's partial bytes).
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "index".to_string());
+    path.with_file_name(format!("{name}.tmp.{}.{seq}", std::process::id()))
 }
 
 /// One parsed table-of-contents entry.
@@ -1211,5 +1262,75 @@ mod tests {
     fn containers_are_shareable_across_threads() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Container>();
+    }
+
+    fn sibling_temp_files(path: &std::path::Path) -> Vec<std::path::PathBuf> {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let mut found = Vec::new();
+        for entry in std::fs::read_dir(path.parent().unwrap()).unwrap() {
+            let entry = entry.unwrap();
+            let entry_name = entry.file_name().to_string_lossy().into_owned();
+            if entry_name.starts_with(&format!("{name}.tmp.")) {
+                found.push(entry.path());
+            }
+        }
+        found
+    }
+
+    #[test]
+    fn write_to_replaces_atomically_and_leaves_no_temp_residue() {
+        let path = scratch_file("atomic");
+        sample_writer().write_to(&path).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        // Overwrite with a different container: the target must end up as
+        // the complete new file, with no temp siblings left behind.
+        let mut w = ContainerWriter::new(method_tag::HL);
+        w.push_pods::<u32>(1, &[9, 9, 9, 9]);
+        w.write_to(&path).unwrap();
+        let after = std::fs::read(&path).unwrap();
+        assert_ne!(before, after);
+        assert_eq!(after, w.finish());
+        Container::from_bytes(&after).unwrap();
+        assert!(sibling_temp_files(&path).is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn failed_write_leaves_the_old_file_intact_and_cleans_its_temp() {
+        use crate::failpoints;
+        let path = scratch_file("atomic-fail");
+        sample_writer().write_to(&path).unwrap();
+        let before = std::fs::read(&path).unwrap();
+
+        // An injected I/O error after the header + first payload: the
+        // atomic path must report it, keep `path` byte-identical, and
+        // remove its partial temp file.
+        for action in [
+            failpoints::FailAction::IoError,
+            failpoints::FailAction::Torn(5),
+        ] {
+            failpoints::configure_window("container.write.section", action, 1, 1);
+            let mut w = ContainerWriter::new(method_tag::HL);
+            w.push_pods::<u32>(1, &[4, 5, 6]);
+            w.push_pods::<u64>(2, &[40, 50]);
+            let err = w.write_to(&path).unwrap_err();
+            assert!(
+                err.to_string().contains("injected failure"),
+                "expected the injected error, got: {err}"
+            );
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                before,
+                "old index was disturbed"
+            );
+            Container::open(&path).unwrap();
+            assert!(
+                sibling_temp_files(&path).is_empty(),
+                "temp file left behind"
+            );
+            failpoints::clear("container.write.section");
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

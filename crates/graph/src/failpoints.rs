@@ -1,0 +1,208 @@
+//! Feature-gated failpoints: deterministic fault injection for the chaos
+//! test suite.
+//!
+//! A *failpoint* is a named hook compiled into a fault-sensitive code path —
+//! the container save loop, the serve request path, the update-absorb
+//! critical section. In a normal build (`failpoints` feature off) every hook
+//! is an inlined no-op returning `None`; with the feature on, tests
+//! [`configure`] a [`FailAction`] per name and the hook fires it: an
+//! injected I/O error, a panic, a delay (to hold a window open for a
+//! concurrent probe or a `SIGKILL`), or a torn write.
+//!
+//! The registry is process-global and mutex-guarded — failpoints exist for
+//! tests, which serialise around them (the chaos suite takes a shared lock
+//! per test). [`configure_window`] arms a point for a bounded window of
+//! hits (skip the first `skip`, fire the next `times`), so a suite can
+//! target "the third request" or "exactly one save" deterministically.
+//!
+//! This lives in `hc2l-graph` because it is the workspace's root crate:
+//! `hc2l-dynamic` and `hc2l-serve` re-export the feature
+//! (`failpoints = ["hc2l-graph/failpoints"]`) and call the same registry,
+//! so one test process arms faults across every layer.
+
+/// What an armed failpoint does when hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Return an injected `std::io::Error` (kind `Other`) from the site.
+    IoError,
+    /// Panic at the site (tests panic isolation / poisoning recovery).
+    Panic,
+    /// Sleep this many milliseconds, then continue normally — holds a
+    /// window open for a concurrent overload probe or an external kill.
+    DelayMs(u64),
+    /// For write-path sites: emit only this many bytes of the pending
+    /// payload, then fail — a torn frame / torn file on the receiving end.
+    Torn(usize),
+    /// Site-specific boolean trigger (e.g. force a fallback path).
+    Trigger,
+}
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::FailAction;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    struct Entry {
+        action: FailAction,
+        /// Hits to ignore before firing.
+        skip: u64,
+        /// Hits that fire before the point disarms; `None` = unlimited.
+        remaining: Option<u64>,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Entry>> {
+        static REG: OnceLock<Mutex<HashMap<String, Entry>>> = OnceLock::new();
+        REG.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    pub fn configure(name: &str, action: FailAction) {
+        configure_window(name, action, 0, 0);
+    }
+
+    pub fn configure_window(name: &str, action: FailAction, skip: u64, times: u64) {
+        let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+        reg.insert(
+            name.to_string(),
+            Entry {
+                action,
+                skip,
+                remaining: (times > 0).then_some(times),
+            },
+        );
+    }
+
+    pub fn clear(name: &str) {
+        let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+        reg.remove(name);
+    }
+
+    pub fn clear_all() {
+        let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+        reg.clear();
+    }
+
+    pub fn hit(name: &str) -> Option<FailAction> {
+        let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+        let entry = reg.get_mut(name)?;
+        if entry.skip > 0 {
+            entry.skip -= 1;
+            return None;
+        }
+        let action = entry.action;
+        if let Some(left) = &mut entry.remaining {
+            *left -= 1;
+            if *left == 0 {
+                reg.remove(name);
+            }
+        }
+        Some(action)
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+mod imp {
+    use super::FailAction;
+
+    // No-op stubs: every hook inlines to `None`, so a production build pays
+    // nothing for the instrumented sites.
+    #[inline(always)]
+    pub fn configure(_name: &str, _action: FailAction) {}
+    #[inline(always)]
+    pub fn configure_window(_name: &str, _action: FailAction, _skip: u64, _times: u64) {}
+    #[inline(always)]
+    pub fn clear(_name: &str) {}
+    #[inline(always)]
+    pub fn clear_all() {}
+    #[inline(always)]
+    pub fn hit(_name: &str) -> Option<FailAction> {
+        None
+    }
+}
+
+pub use imp::{clear, clear_all, configure, configure_window, hit};
+
+/// Raw hook: counts a hit and returns the armed action, applying nothing.
+/// Sites that need bespoke handling (torn writes) match on the result.
+///
+/// Most sites want one of the flavoured helpers below instead.
+#[inline]
+pub fn fired(name: &str) -> Option<FailAction> {
+    hit(name)
+}
+
+/// Boolean hook for forced-fallback sites: `true` when the point is armed
+/// (any action), after applying `Panic` and `DelayMs` side effects.
+#[inline]
+pub fn triggered(name: &str) -> bool {
+    act(name).is_some()
+}
+
+/// Behavioural hook: applies `Panic` (panics) and `DelayMs` (sleeps, then
+/// reports the hit) in place, handing anything else back to the site.
+#[inline]
+pub fn act(name: &str) -> Option<FailAction> {
+    let action = hit(name)?;
+    match action {
+        FailAction::Panic => panic!("injected panic: failpoint {name}"),
+        FailAction::DelayMs(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+        _ => {}
+    }
+    Some(action)
+}
+
+/// I/O-flavoured hook: `Panic` panics, `DelayMs` sleeps then succeeds,
+/// `IoError` and `Torn` return an injected error (the site decides whether
+/// a torn prefix was already emitted). `Trigger` succeeds.
+#[inline]
+pub fn io_hit(name: &str) -> std::io::Result<()> {
+    match act(name) {
+        Some(FailAction::IoError) | Some(FailAction::Torn(_)) => Err(injected(name)),
+        _ => Ok(()),
+    }
+}
+
+/// The typed error every injected I/O failure carries, so tests can tell an
+/// injected fault from a real one.
+pub fn injected(name: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected failure: failpoint {name}"))
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; this suite touches only names
+    // prefixed `fp-test.` so it cannot race other tests' points.
+
+    #[test]
+    fn unarmed_points_do_nothing() {
+        assert_eq!(hit("fp-test.unarmed"), None);
+        assert!(!triggered("fp-test.unarmed"));
+        assert!(io_hit("fp-test.unarmed").is_ok());
+    }
+
+    #[test]
+    fn windows_skip_then_fire_then_disarm() {
+        configure_window("fp-test.window", FailAction::IoError, 2, 2);
+        assert_eq!(hit("fp-test.window"), None);
+        assert_eq!(hit("fp-test.window"), None);
+        assert_eq!(hit("fp-test.window"), Some(FailAction::IoError));
+        assert!(io_hit("fp-test.window").is_err());
+        assert_eq!(hit("fp-test.window"), None, "window exhausted");
+    }
+
+    #[test]
+    fn clear_disarms() {
+        configure("fp-test.clear", FailAction::Trigger);
+        assert!(triggered("fp-test.clear"));
+        clear("fp-test.clear");
+        assert!(!triggered("fp-test.clear"));
+    }
+
+    #[test]
+    fn injected_errors_are_recognisable() {
+        let e = injected("fp-test.err");
+        assert!(e.to_string().contains("injected failure"));
+    }
+}

@@ -32,6 +32,9 @@
 //!   checksum) and the [`PersistentIndex`] trait every backend implements
 //!   for save/load; see its module docs for the exact byte layout and the
 //!   versioning policy.
+//! * [`failpoints`] — feature-gated fault-injection hooks (injected I/O
+//!   errors, panics, delays, torn writes) shared by every crate in the
+//!   serving stack; inlined no-ops unless the `failpoints` feature is on.
 //!
 //! Distances are accumulated in `u64` ([`Distance`]) while individual edge
 //! weights are `u32` ([`Weight`]); road-network weights fit comfortably and
@@ -43,6 +46,7 @@ pub mod container;
 pub mod contraction;
 pub mod csr;
 pub mod dijkstra;
+pub mod failpoints;
 pub mod flat_labels;
 pub mod graph;
 pub mod pathutil;

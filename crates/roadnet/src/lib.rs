@@ -32,7 +32,10 @@ pub use datasets::{standard_suite, DatasetSpec, SuiteScale};
 pub use dimacs::{parse_gr_reader, parse_gr_str, write_gr};
 pub use stats::{dataset_summary, DatasetSummary};
 pub use synthetic::{seeded_grid, RoadNetwork, RoadNetworkConfig};
-pub use updates::{random_weight_updates, read_update_file, write_update_file};
+pub use updates::{
+    random_weight_updates, read_update_file, validate_update_batch, write_update_file,
+    UpdateBatchError,
+};
 pub use weights::WeightMode;
 pub use workload::{
     distance_buckets, random_pairs, read_workload_file, write_workload_file, QueryBuckets,

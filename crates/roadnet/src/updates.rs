@@ -13,22 +13,30 @@ use rand::{RngExt, SeedableRng};
 use hc2l_dynamic::WeightUpdate;
 use hc2l_graph::{Graph, Weight};
 
-/// Samples `count` weight updates over existing edges of `g`, seeded and
-/// reproducible. Roughly 80% of the updates are increases (weight scaled by
-/// 2-8x, congestion) and 20% are decreases (weight halved, floor 1) — the
-/// "live traffic" mix the paper's dynamic scenario assumes. Edges are drawn
-/// uniformly with replacement; a later update to the same edge wins, which
-/// is exactly the batch semantics of `apply_batch`.
+/// Samples `count` weight updates over **distinct** existing edges of `g`,
+/// seeded and reproducible. Roughly 80% of the updates are increases
+/// (weight scaled by 2-8x, congestion) and 20% are decreases (weight
+/// halved, floor 1) — the "live traffic" mix the paper's dynamic scenario
+/// assumes. Edges are drawn by a partial Fisher–Yates shuffle, so no edge
+/// appears twice in a batch — the batches this generator emits pass
+/// [`validate_update_batch`] and can be sent over the serve protocol (which
+/// rejects duplicates to keep batch semantics unambiguous). `count` is
+/// capped at the number of edges in `g`.
 pub fn random_weight_updates(g: &Graph, count: usize, seed: u64) -> Vec<WeightUpdate> {
-    let edges: Vec<(u32, u32, Weight)> = g.edges().collect();
+    let mut edges: Vec<(u32, u32, Weight)> = g.edges().collect();
     assert!(
         !edges.is_empty(),
         "cannot sample updates from an edgeless graph"
     );
+    let count = count.min(edges.len());
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
-        .map(|_| {
-            let (u, v, w) = edges[rng.random_range(0..edges.len())];
+        .map(|i| {
+            // Partial Fisher–Yates: swap a uniformly chosen not-yet-used
+            // edge into position i; positions before i are never redrawn.
+            let j = i + rng.random_range(0..edges.len() - i);
+            edges.swap(i, j);
+            let (u, v, w) = edges[i];
             let new_weight = if rng.random_range(0..10u32) < 8 {
                 w.saturating_mul(2 + rng.random_range(0..7u32)).max(1)
             } else {
@@ -37,6 +45,90 @@ pub fn random_weight_updates(g: &Graph, count: usize, seed: u64) -> Vec<WeightUp
             WeightUpdate::new(u, v, new_weight)
         })
         .collect()
+}
+
+/// Why a weight-update batch was rejected by [`validate_update_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateBatchError {
+    /// The batch contains no updates — nothing to apply.
+    Empty,
+    /// An endpoint is not a vertex of the target graph.
+    OutOfRange {
+        /// Index of the offending update within the batch.
+        index: usize,
+        /// The offending endpoint.
+        vertex: u32,
+        /// The graph's vertex count (valid ids are `0..num_vertices`).
+        num_vertices: usize,
+    },
+    /// The same undirected edge appears twice: which weight wins would be
+    /// ambiguous, so the batch is rejected whole.
+    Duplicate {
+        /// Index of the *second* occurrence within the batch.
+        index: usize,
+        /// One endpoint of the repeated edge.
+        u: u32,
+        /// The other endpoint.
+        v: u32,
+    },
+}
+
+impl std::fmt::Display for UpdateBatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateBatchError::Empty => write!(f, "empty update batch"),
+            UpdateBatchError::OutOfRange {
+                index,
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "update #{index}: endpoint {vertex} is out of range (graph has {num_vertices} vertices)"
+            ),
+            UpdateBatchError::Duplicate { index, u, v } => write!(
+                f,
+                "update #{index}: edge ({u}, {v}) appears more than once in the batch"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UpdateBatchError {}
+
+/// Checks a weight-update batch against a graph with `num_vertices`
+/// vertices before it is sent or applied: non-empty, every endpoint in
+/// range, and no undirected edge updated twice (ambiguous winner). Returns
+/// the first violation; on `Err`, nothing should be applied — validation
+/// exists so a bad batch fails *whole*, with no partial apply visible to
+/// queries.
+pub fn validate_update_batch(
+    updates: &[WeightUpdate],
+    num_vertices: usize,
+) -> Result<(), UpdateBatchError> {
+    if updates.is_empty() {
+        return Err(UpdateBatchError::Empty);
+    }
+    let mut seen = std::collections::HashSet::with_capacity(updates.len());
+    for (index, up) in updates.iter().enumerate() {
+        for vertex in [up.u, up.v] {
+            if vertex as usize >= num_vertices {
+                return Err(UpdateBatchError::OutOfRange {
+                    index,
+                    vertex,
+                    num_vertices,
+                });
+            }
+        }
+        let key = (up.u.min(up.v), up.u.max(up.v));
+        if !seen.insert(key) {
+            return Err(UpdateBatchError::Duplicate {
+                index,
+                u: up.u,
+                v: up.v,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Serialises an update batch to the plain-text format consumed by
@@ -118,6 +210,50 @@ mod tests {
             "live traffic should be mostly slowdowns: {increases}/{}",
             a.len()
         );
+    }
+
+    #[test]
+    fn random_updates_hit_distinct_edges_and_cap_at_edge_count() {
+        let g = crate::seeded_grid(6, 6, 11);
+        let num_edges = g.edges().count();
+        // Asking for more updates than edges caps instead of duplicating.
+        let a = random_weight_updates(&g, num_edges * 3, 5);
+        assert_eq!(a.len(), num_edges);
+        validate_update_batch(&a, g.num_vertices()).expect("generator emits valid batches");
+        // A partial batch is distinct too.
+        let b = random_weight_updates(&g, 20, 7);
+        assert_eq!(b.len(), 20);
+        validate_update_batch(&b, g.num_vertices()).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_empty_out_of_range_and_duplicates() {
+        assert_eq!(validate_update_batch(&[], 10), Err(UpdateBatchError::Empty));
+        let batch = [WeightUpdate::new(1, 2, 5), WeightUpdate::new(3, 10, 5)];
+        assert_eq!(
+            validate_update_batch(&batch, 10),
+            Err(UpdateBatchError::OutOfRange {
+                index: 1,
+                vertex: 10,
+                num_vertices: 10
+            })
+        );
+        // The reversed endpoints still name the same undirected edge.
+        let dup = [
+            WeightUpdate::new(1, 2, 5),
+            WeightUpdate::new(3, 4, 6),
+            WeightUpdate::new(2, 1, 7),
+        ];
+        assert_eq!(
+            validate_update_batch(&dup, 10),
+            Err(UpdateBatchError::Duplicate {
+                index: 2,
+                u: 2,
+                v: 1
+            })
+        );
+        let ok = [WeightUpdate::new(1, 2, 5), WeightUpdate::new(3, 4, 6)];
+        assert_eq!(validate_update_batch(&ok, 10), Ok(()));
     }
 
     #[test]

@@ -1,7 +1,21 @@
 //! `hc2l-query` — client for the `hc2l-serve` daemon.
 //!
 //! ```text
-//! hc2l-query [--addr HOST:PORT | --addr-file FILE [--wait SECS]] MODE
+//! hc2l-query [--addr HOST:PORT | --addr-file FILE [--wait SECS]]
+//!            [--retries N] [--deadline SECS] MODE
+//!
+//! resilience (all server modes):
+//!   --retries N             retry budget per request (default 3):
+//!                           `Overloaded` responses always retry — the
+//!                           server shed the request before executing it —
+//!                           with exponential backoff + jitter; connection
+//!                           failures retry (reconnecting) only for
+//!                           idempotent requests (--distance, --stats,
+//!                           replay setup). Updates and shutdown fail fast:
+//!                           the client cannot know whether they executed.
+//!   --deadline SECS         overall wall-clock bound; when it passes, the
+//!                           client stops (no further retries) and exits
+//!                           non-zero with honest partial progress
 //!
 //! modes:
 //!   --distance S T          one point-to-point query, prints the distance
@@ -43,7 +57,10 @@
 //! Replay prints `replayed N queries in S s (QPS q/s), M mismatches` and
 //! exits non-zero if any answer disagrees with the file's expected
 //! distance, if the server errors, or if nothing was replayed — which is
-//! what the CI serve-smoke step gates on.
+//! what the CI serve-smoke step gates on. A connection reset mid-replay is
+//! reported honestly: the client prints how far each stream got and exits
+//! non-zero instead of silently retrying (re-sent queries would double-count
+//! throughput and mask the fault).
 
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
@@ -77,6 +94,8 @@ struct Args {
     count: usize,
     seed: u64,
     grid_seed: u64,
+    retries: usize,
+    deadline_secs: u64,
 }
 
 fn usage() -> ! {
@@ -92,6 +111,7 @@ fn parse_args() -> Args {
         count: 500,
         seed: 0xBEEF,
         grid_seed: 0xA11CE,
+        retries: 3,
         ..Args::default()
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -155,6 +175,8 @@ fn parse_args() -> Args {
             "--count" => args.count = parse!(&mut i, "--count"),
             "--seed" => args.seed = parse!(&mut i, "--seed"),
             "--grid-seed" => args.grid_seed = parse!(&mut i, "--grid-seed"),
+            "--retries" => args.retries = parse!(&mut i, "--retries"),
+            "--deadline" => args.deadline_secs = parse!(&mut i, "--deadline"),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -173,33 +195,149 @@ struct Session {
 }
 
 impl Session {
-    fn connect(args: &Args) -> Session {
-        let addr = resolve_addr(args);
-        let stream = TcpStream::connect(&addr).unwrap_or_else(|e| {
-            eprintln!("cannot connect to {addr}: {e}");
-            exit(1);
-        });
+    fn try_connect(addr: &str) -> std::io::Result<Session> {
+        let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        Session {
-            reader: BufReader::new(stream.try_clone().expect("clone TCP stream")),
+        Ok(Session {
+            reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+        })
+    }
+
+    fn ask(&mut self, req: &Request) -> std::io::Result<Response> {
+        write_request(&mut self.writer, req)?;
+        match read_response(&mut self.reader)? {
+            Some(resp) => Ok(resp),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server hung up",
+            )),
+        }
+    }
+}
+
+/// Client-side resilience: a bounded retry budget with exponential backoff
+/// and jitter, under an optional overall wall-clock `--deadline`.
+struct RetryPolicy {
+    retries: usize,
+    deadline: Option<Instant>,
+    /// xorshift64* state for backoff jitter (no rand dependency in bins).
+    rng: u64,
+}
+
+impl RetryPolicy {
+    fn new(args: &Args) -> RetryPolicy {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64)
+            .unwrap_or(0);
+        RetryPolicy {
+            retries: args.retries,
+            deadline: (args.deadline_secs > 0)
+                .then(|| Instant::now() + Duration::from_secs(args.deadline_secs)),
+            rng: (std::process::id() as u64) << 32 | nanos | 1,
         }
     }
 
-    fn ask(&mut self, req: &Request) -> Response {
-        write_request(&mut self.writer, req).unwrap_or_else(|e| {
-            eprintln!("request failed: {e}");
-            exit(1);
-        });
-        match read_response(&mut self.reader) {
-            Ok(Some(resp)) => resp,
-            Ok(None) => {
-                eprintln!("server hung up");
-                exit(1);
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Whether the overall `--deadline` has passed.
+    fn past_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Sleeps before retry `attempt`: a uniform draw from [base/2, base]
+    /// where base = 50ms * 2^attempt (capped at 3.2s) — the jitter spreads
+    /// out clients that were all shed by the same overload spike. The sleep
+    /// never overshoots the deadline; returns `false` when the deadline has
+    /// already passed (do not retry).
+    fn pause(&mut self, attempt: u32) -> bool {
+        if self.past_deadline() {
+            return false;
+        }
+        let base = 50u64 << attempt.min(6);
+        let mut d = Duration::from_millis(base / 2 + self.next_rand() % (base / 2 + 1));
+        if let Some(dl) = self.deadline {
+            let left = dl.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
             }
+            d = d.min(left);
+        }
+        std::thread::sleep(d);
+        true
+    }
+}
+
+/// Sends `req`, retrying within the policy budget: `Overloaded` responses
+/// always retry (the server shed the request *before* executing it, so a
+/// verbatim resend is safe); connection failures reconnect and retry only
+/// for idempotent requests. Updates and shutdown fail fast on a connection
+/// error — the client cannot know whether the server executed them.
+/// Retries exhausted (or deadline passed) exits non-zero.
+fn ask_resilient(
+    addr: &str,
+    policy: &mut RetryPolicy,
+    session: &mut Option<Session>,
+    req: &Request,
+) -> Response {
+    let idempotent = matches!(
+        req,
+        Request::Distance(..) | Request::OneToMany { .. } | Request::Stats
+    );
+    let mut attempt = 0u32;
+    loop {
+        if policy.past_deadline() {
+            eprintln!("--deadline exceeded before the request completed");
+            exit(1);
+        }
+        if session.is_none() {
+            match Session::try_connect(addr) {
+                Ok(s) => *session = Some(s),
+                Err(e) => {
+                    if attempt as usize >= policy.retries || !policy.pause(attempt) {
+                        eprintln!(
+                            "cannot connect to {addr} after {} attempt(s): {e}",
+                            attempt + 1
+                        );
+                        exit(1);
+                    }
+                    attempt += 1;
+                    continue;
+                }
+            }
+        }
+        match session.as_mut().expect("connected above").ask(req) {
+            Ok(Response::Overloaded(msg)) => {
+                if attempt as usize >= policy.retries || !policy.pause(attempt) {
+                    eprintln!("server overloaded, retries exhausted: {msg}");
+                    exit(1);
+                }
+                eprintln!("server overloaded ({msg}); backing off");
+                attempt += 1;
+            }
+            Ok(resp) => return resp,
             Err(e) => {
-                eprintln!("response failed: {e}");
-                exit(1);
+                *session = None; // stream state unknown: reconnect if we retry
+                if !idempotent {
+                    eprintln!(
+                        "connection failed mid-request: {e}; not retrying — the server \
+                         may already have executed it"
+                    );
+                    exit(1);
+                }
+                if attempt as usize >= policy.retries || !policy.pause(attempt) {
+                    eprintln!("request failed after {} attempt(s): {e}", attempt + 1);
+                    exit(1);
+                }
+                attempt += 1;
             }
         }
     }
@@ -304,64 +442,121 @@ fn batch_plan(pairs: &[QueryPair], batch: usize) -> Vec<(u32, Vec<u32>)> {
     plan
 }
 
-/// Replays the plan once per rep over one connection, returning
-/// `(queries, mismatches)`. `reported` caps mismatch diagnostics across
-/// all concurrent clients.
+/// One replay client's outcome. When the replay stopped early, `queries`
+/// is the honest partial progress and `aborted` names the reason.
+struct ClientRun {
+    queries: u64,
+    mismatches: u64,
+    aborted: Option<String>,
+}
+
+/// Records one answered query, gating it against the expected distance.
+/// `reported` caps mismatch diagnostics across all concurrent clients.
+fn check_answer(
+    run: &mut ClientRun,
+    expected: &std::collections::HashMap<(u32, u32), Distance>,
+    reported: &std::sync::atomic::AtomicU64,
+    s: u32,
+    t: u32,
+    got: Distance,
+) {
+    run.queries += 1;
+    if let Some(&want) = expected.get(&(s, t)) {
+        if got != want {
+            if reported.fetch_add(1, std::sync::atomic::Ordering::Relaxed) < 10 {
+                let render = |d: Distance| {
+                    if d >= INFINITY {
+                        "inf".to_string()
+                    } else {
+                        d.to_string()
+                    }
+                };
+                eprintln!(
+                    "MISMATCH ({s}, {t}): server says {}, workload expects {}",
+                    render(got),
+                    render(want)
+                );
+            }
+            run.mismatches += 1;
+        }
+    }
+}
+
+/// Replays the plan once per rep over one connection. `Overloaded`
+/// responses retry with backoff within the policy budget; a connection
+/// failure mid-replay stops this client with honest partial progress —
+/// resending queries over a fresh connection would double-count throughput
+/// and mask the fault, so replay never silently reconnects.
 fn run_replay_client(
-    session: &mut Session,
+    addr: &str,
+    args: &Args,
+    client_id: usize,
     plan: &[Request],
     expected: &std::collections::HashMap<(u32, u32), Distance>,
-    reps: usize,
     reported: &std::sync::atomic::AtomicU64,
-) -> (u64, u64) {
-    use std::sync::atomic::Ordering;
-    let mut mismatches = 0u64;
-    let mut queries = 0u64;
-    let mut check = |s: u32, t: u32, got: Distance| {
-        queries += 1;
-        if let Some(&want) = expected.get(&(s, t)) {
-            if got != want {
-                if reported.fetch_add(1, Ordering::Relaxed) < 10 {
-                    let render = |d: Distance| {
-                        if d >= INFINITY {
-                            "inf".to_string()
-                        } else {
-                            d.to_string()
-                        }
-                    };
-                    eprintln!(
-                        "MISMATCH ({s}, {t}): server says {}, workload expects {}",
-                        render(got),
-                        render(want)
-                    );
-                }
-                mismatches += 1;
-            }
+) -> ClientRun {
+    let mut policy = RetryPolicy::new(args);
+    // Decorrelate the jitter streams of concurrent clients.
+    policy.rng ^= (client_id as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F);
+    let mut run = ClientRun {
+        queries: 0,
+        mismatches: 0,
+        aborted: None,
+    };
+    let mut session = match Session::try_connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            run.aborted = Some(format!("cannot connect to {addr}: {e}"));
+            return run;
         }
     };
-    for _ in 0..reps {
+    'replay: for _ in 0..args.reps.max(1) {
         for req in plan {
-            match (req, session.ask(req)) {
-                (Request::Distance(s, t), Response::Distance(d)) => check(*s, *t, d),
+            if policy.past_deadline() {
+                run.aborted = Some("--deadline exceeded".to_string());
+                break 'replay;
+            }
+            let mut attempt = 0u32;
+            let resp = loop {
+                match session.ask(req) {
+                    Ok(Response::Overloaded(msg)) => {
+                        if attempt as usize >= policy.retries || !policy.pause(attempt) {
+                            run.aborted =
+                                Some(format!("server overloaded, retries exhausted: {msg}"));
+                            break 'replay;
+                        }
+                        attempt += 1;
+                    }
+                    Ok(resp) => break resp,
+                    Err(e) => {
+                        run.aborted = Some(format!("connection failed mid-replay: {e}"));
+                        break 'replay;
+                    }
+                }
+            };
+            match (req, resp) {
+                (Request::Distance(s, t), Response::Distance(d)) => {
+                    check_answer(&mut run, expected, reported, *s, *t, d)
+                }
                 (Request::OneToMany { source, targets }, Response::Distances(ds))
                     if ds.len() == targets.len() =>
                 {
                     for (&t, d) in targets.iter().zip(ds) {
-                        check(*source, t, d);
+                        check_answer(&mut run, expected, reported, *source, t, d);
                     }
                 }
                 (_, Response::Error(msg)) => {
-                    eprintln!("server error: {msg}");
-                    exit(1);
+                    run.aborted = Some(format!("server error: {msg}"));
+                    break 'replay;
                 }
                 (_, other) => {
-                    eprintln!("unexpected response {other:?}");
-                    exit(1);
+                    run.aborted = Some(format!("unexpected response {other:?}"));
+                    break 'replay;
                 }
             }
         }
     }
-    (queries, mismatches)
+    run
 }
 
 fn replay(args: &Args) {
@@ -414,24 +609,45 @@ fn replay(args: &Args) {
 
     let clients = args.clients.max(1);
     let reps = args.reps.max(1);
+    // How many answers one client produces when nothing goes wrong — the
+    // yardstick partial progress is reported against.
+    let planned: u64 = plan
+        .iter()
+        .map(|r| match r {
+            Request::OneToMany { targets, .. } => targets.len() as u64,
+            _ => 1,
+        })
+        .sum::<u64>()
+        * reps as u64;
+    let addr = resolve_addr(args);
     let reported = std::sync::atomic::AtomicU64::new(0);
     let start = Instant::now();
-    let (queries, mismatches) = std::thread::scope(|scope| {
+    let runs: Vec<ClientRun> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut session = Session::connect(args);
-                    run_replay_client(&mut session, &plan, &expected, reps, &reported)
-                })
+            .map(|id| {
+                let (addr, plan, expected, reported) = (&addr, &plan, &expected, &reported);
+                scope.spawn(move || run_replay_client(addr, args, id, plan, expected, reported))
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("replay client panicked"))
-            .fold((0u64, 0u64), |acc, (q, m)| (acc.0 + q, acc.1 + m))
+            .collect()
     });
     let seconds = start.elapsed().as_secs_f64();
     drop(idle);
+    let queries: u64 = runs.iter().map(|r| r.queries).sum();
+    let mismatches: u64 = runs.iter().map(|r| r.mismatches).sum();
+    let mut incomplete = false;
+    for (id, run) in runs.iter().enumerate() {
+        if let Some(reason) = &run.aborted {
+            incomplete = true;
+            eprintln!(
+                "client {id}: stopped early after {} of {planned} queries: {reason}",
+                run.queries
+            );
+        }
+    }
     let qps = if seconds > 0.0 {
         queries as f64 / seconds
     } else {
@@ -439,25 +655,37 @@ fn replay(args: &Args) {
     };
     println!(
         "replayed {queries} queries in {seconds:.3} s ({qps:.0} q/s) across {clients} \
-         client{} (+{} idle), {mismatches} mismatches{}",
+         client{} (+{} idle), {mismatches} mismatches{}{}",
         if clients == 1 { "" } else { "s" },
         args.idle,
         if expected.is_empty() {
             " (no expected distances in file)"
         } else {
             ""
+        },
+        if incomplete {
+            " [INCOMPLETE: partial progress only]"
+        } else {
+            ""
         }
     );
-    if mismatches > 0 || queries == 0 || qps <= 0.0 {
+    if incomplete || mismatches > 0 || queries == 0 || qps <= 0.0 {
         exit(1);
     }
 }
 
 /// Sends one `UpdateWeights` batch and prints the outcome — which strategy
 /// absorbed it, how much of it stuck, and the generation now being served.
-fn send_updates(session: &mut Session, updates: Vec<hc2l_oracle::WeightUpdate>) {
+/// `Overloaded` (another batch already absorbing) retries with backoff; a
+/// connection failure fails fast (the batch may or may not have applied).
+fn send_updates(
+    addr: &str,
+    policy: &mut RetryPolicy,
+    session: &mut Option<Session>,
+    updates: Vec<hc2l_oracle::WeightUpdate>,
+) {
     let sent = updates.len();
-    match session.ask(&Request::UpdateWeights(updates)) {
+    match ask_resilient(addr, policy, session, &Request::UpdateWeights(updates)) {
         Response::Updated(o) => {
             let strategy = hc2l_oracle::UpdateStrategy::from_tag(o.strategy_tag)
                 .map(|s| s.to_string())
@@ -483,11 +711,23 @@ fn send_updates(session: &mut Session, updates: Vec<hc2l_oracle::WeightUpdate>) 
     }
 }
 
-fn print_stats(session: &mut Session) {
-    let Response::Stats(s) = session.ask(&Request::Stats) else {
-        eprintln!("unexpected response to Stats");
-        exit(1);
-    };
+/// Fetches the server counters (retrying transparently — Stats is
+/// idempotent).
+fn fetch_stats(
+    addr: &str,
+    policy: &mut RetryPolicy,
+    session: &mut Option<Session>,
+) -> hc2l_serve::ServerStats {
+    match ask_resilient(addr, policy, session, &Request::Stats) {
+        Response::Stats(s) => s,
+        other => {
+            eprintln!("unexpected response to Stats: {other:?}");
+            exit(1);
+        }
+    }
+}
+
+fn print_stats(s: &hc2l_serve::ServerStats) {
     let method = Method::from_tag(s.method_tag)
         .map(|m| m.to_string())
         .unwrap_or_else(|| format!("unknown tag {}", s.method_tag));
@@ -509,6 +749,15 @@ fn print_stats(session: &mut Session) {
         s.cache_capacity
     );
     println!("update_batches {}\nepoch {}", s.update_batches, s.epoch);
+    println!(
+        "connections_accepted {}\nconnections_reaped {}\npanics_caught {}\n\
+         overload_rejections {}\nwrite_errors {}",
+        s.connections_accepted,
+        s.connections_reaped,
+        s.panics_caught,
+        s.overload_rejections,
+        s.write_errors
+    );
 }
 
 fn main() {
@@ -536,9 +785,11 @@ fn main() {
         replay(&args);
         return;
     }
-    let mut session = Session::connect(&args);
+    let addr = resolve_addr(&args);
+    let mut policy = RetryPolicy::new(&args);
+    let mut session: Option<Session> = None;
     if let Some((s, t)) = args.distance {
-        match session.ask(&Request::Distance(s, t)) {
+        match ask_resilient(&addr, &mut policy, &mut session, &Request::Distance(s, t)) {
             Response::Distance(d) if d >= INFINITY => println!("inf"),
             Response::Distance(d) => println!("{d}"),
             Response::Error(msg) => {
@@ -551,22 +802,27 @@ fn main() {
             }
         }
     } else if let Some(update) = args.update {
-        send_updates(&mut session, vec![update]);
+        send_updates(&addr, &mut policy, &mut session, vec![update]);
     } else if let Some(file) = &args.update_file {
         let updates =
             hc2l_roadnet::read_update_file(std::path::Path::new(file)).unwrap_or_else(|e| {
                 eprintln!("cannot read updates {file}: {e}");
                 exit(1);
             });
-        if updates.is_empty() {
-            eprintln!("update file {file} holds no updates");
+        // Validate the whole batch client-side before any byte goes out:
+        // a malformed batch (empty, out-of-range endpoint, duplicate edge)
+        // must fail typed with no partial apply visible to queries.
+        let n = fetch_stats(&addr, &mut policy, &mut session).num_vertices;
+        if let Err(e) = hc2l_roadnet::validate_update_batch(&updates, n as usize) {
+            eprintln!("invalid update batch in {file}: {e}; nothing was sent (no partial apply)");
             exit(1);
         }
-        send_updates(&mut session, updates);
+        send_updates(&addr, &mut policy, &mut session, updates);
     } else if args.stats {
-        print_stats(&mut session);
+        let s = fetch_stats(&addr, &mut policy, &mut session);
+        print_stats(&s);
     } else if args.shutdown {
-        match session.ask(&Request::Shutdown) {
+        match ask_resilient(&addr, &mut policy, &mut session, &Request::Shutdown) {
             Response::ShuttingDown => eprintln!("server acknowledged shutdown"),
             other => {
                 eprintln!("unexpected response {other:?}");

@@ -3,6 +3,8 @@
 //! ```text
 //! hc2l-serve --index paris.hc2l [--port 7171] [--threads N] [--cache N]
 //!            [--model epoll|threads] [--addr-file FILE] [--buffered]
+//!            [--idle-timeout SECS] [--stall-timeout SECS]
+//!            [--drain-secs SECS] [--max-inflight N]
 //! hc2l-serve --grid ROWSxCOLS [--grid-seed S] [--method hc2l|ch|...] [...]
 //! hc2l-serve --index paris.hc2l --bench [--threads N] [--cache N]
 //!            [--bench-queries N] [--bench-reps N] [--seed S]
@@ -27,6 +29,15 @@
 //! daemon started from `--index` serves a static snapshot and answers
 //! update frames with a typed error.
 //!
+//! Overload and fault posture: `--idle-timeout` (default 300s) reaps
+//! connections quiet at a frame boundary; `--stall-timeout` (default 30s)
+//! is the per-request progress deadline — it reaps peers stuck mid-frame
+//! or refusing to drain responses (slow loris); `0` disables either.
+//! `--drain-secs` (default 3) bounds how long shutdown waits for
+//! already-queued response bytes to flush. `--max-inflight N` (default 0 =
+//! unlimited) sheds queries beyond N concurrently executing with a typed
+//! `Overloaded` response the client retries with backoff.
+//!
 //! `--bench` skips the socket layer entirely: it self-drives the shared
 //! oracle with `--threads` in-process workers over a seeded random pair
 //! workload and prints aggregate queries/second — the serving-throughput
@@ -42,7 +53,8 @@ use std::sync::Arc;
 use hc2l_oracle::OracleBuilder;
 use hc2l_roadnet::random_pairs;
 use hc2l_serve::{
-    measure_connection_scaling, measure_throughput, serve_with_model, ServeModel, ServeState,
+    measure_connection_scaling, measure_throughput, serve_with_model, ServeConfig, ServeModel,
+    ServeState,
 };
 
 struct Args {
@@ -61,6 +73,22 @@ struct Args {
     bench_reps: usize,
     bench_scaling: Option<Vec<usize>>,
     seed: u64,
+    idle_timeout_secs: u64,
+    stall_timeout_secs: u64,
+    drain_secs: u64,
+    max_inflight: usize,
+}
+
+impl Args {
+    fn serve_config(&self) -> ServeConfig {
+        let opt = |secs: u64| (secs > 0).then(|| std::time::Duration::from_secs(secs));
+        ServeConfig {
+            idle_timeout: opt(self.idle_timeout_secs),
+            stall_timeout: opt(self.stall_timeout_secs),
+            drain: std::time::Duration::from_secs(self.drain_secs),
+            max_inflight: self.max_inflight,
+        }
+    }
 }
 
 fn usage() -> ! {
@@ -89,6 +117,10 @@ fn parse_args() -> Args {
         bench_reps: 200,
         bench_scaling: None,
         seed: 0xBEEF,
+        idle_timeout_secs: 300,
+        stall_timeout_secs: 30,
+        drain_secs: 3,
+        max_inflight: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -160,6 +192,10 @@ fn parse_args() -> Args {
                 args.bench_scaling = Some(counts);
             }
             "--seed" => args.seed = parse!(&mut i, "--seed"),
+            "--idle-timeout" => args.idle_timeout_secs = parse!(&mut i, "--idle-timeout"),
+            "--stall-timeout" => args.stall_timeout_secs = parse!(&mut i, "--stall-timeout"),
+            "--drain-secs" => args.drain_secs = parse!(&mut i, "--drain-secs"),
+            "--max-inflight" => args.max_inflight = parse!(&mut i, "--max-inflight"),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -187,7 +223,10 @@ fn main() {
              live weight updates enabled",
             args.method
         );
-        let state = Arc::new(ServeState::with_updates(g, oracle, threads, args.cache));
+        let state = Arc::new(
+            ServeState::with_updates(g, oracle, threads, args.cache)
+                .with_config(args.serve_config()),
+        );
         (state, n)
     } else {
         let path = std::path::Path::new(&args.index);
@@ -212,7 +251,9 @@ fn main() {
             }
         );
         let n = oracle.num_vertices();
-        (Arc::new(ServeState::new(oracle, threads, args.cache)), n)
+        let state =
+            Arc::new(ServeState::new(oracle, threads, args.cache).with_config(args.serve_config()));
+        (state, n)
     };
 
     if args.bench {

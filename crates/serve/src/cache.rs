@@ -226,6 +226,23 @@ impl QueryCache {
         (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as usize % self.shards.len()
     }
 
+    /// Locks a shard, surviving poison: a worker that panicked mid-mutation
+    /// (panics are caught and answered as errors, the daemon keeps serving)
+    /// may have left the map and recency list out of sync, so the shard is
+    /// reset — the cache is only an accelerator, dropping its contents is
+    /// always correct — and the poison cleared so later locks keep it.
+    fn lock_shard(&self, i: usize) -> std::sync::MutexGuard<'_, Shard> {
+        match self.shards[i].lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                let mut g = poisoned.into_inner();
+                *g = Shard::new(g.capacity);
+                self.shards[i].clear_poison();
+                g
+            }
+        }
+    }
+
     /// Looks up a pair at generation 0 (single-generation users).
     pub fn get(&self, s: Vertex, t: Vertex) -> Option<Distance> {
         self.get_at(s, t, 0)
@@ -245,10 +262,7 @@ impl QueryCache {
             return None;
         }
         let key = QueryCache::key(s, t);
-        let got = self.shards[self.shard_of(key)]
-            .lock()
-            .unwrap()
-            .get(key, epoch);
+        let got = self.lock_shard(self.shard_of(key)).get(key, epoch);
         match got {
             Some(d) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -271,10 +285,7 @@ impl QueryCache {
             return;
         }
         let key = QueryCache::key(s, t);
-        self.shards[self.shard_of(key)]
-            .lock()
-            .unwrap()
-            .insert(key, d, epoch);
+        self.lock_shard(self.shard_of(key)).insert(key, d, epoch);
     }
 
     /// Counter snapshot.
@@ -282,10 +293,8 @@ impl QueryCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            len: self
-                .shards
-                .iter()
-                .map(|s| s.lock().unwrap().map.len())
+            len: (0..self.shards.len())
+                .map(|i| self.lock_shard(i).map.len())
                 .sum(),
             capacity: self.capacity,
         }
@@ -393,6 +402,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn poisoned_shard_resets_and_keeps_serving() {
+        let cache = std::sync::Arc::new(QueryCache::new(64, 1));
+        cache.insert(1, 2, 42);
+        let c2 = std::sync::Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = c2.lock_shard(0);
+            panic!("poison the shard mid-mutation");
+        })
+        .join();
+        // The next lock finds the poison, resets the (possibly inconsistent)
+        // shard, and clears it — a miss, not a panic.
+        assert_eq!(cache.get(1, 2), None);
+        // ...and the cache is fully functional again afterwards.
+        cache.insert(1, 2, 42);
+        assert_eq!(cache.get(1, 2), Some(42));
     }
 
     #[test]

@@ -73,7 +73,8 @@ pub use protocol::{
     ServerStats, UpdateOutcome, MAX_FRAME_BYTES, MAX_ONE_TO_MANY_TARGETS, MAX_UPDATE_BATCH,
 };
 pub use server::{
-    serve, serve_with_model, Generation, ServeModel, ServeState, ServedOracle, ServerHandle,
+    serve, serve_with_model, Generation, ServeConfig, ServeModel, ServeState, ServedOracle,
+    ServerHandle, UpdateError,
 };
 pub use throughput::{
     measure_connection_scaling, measure_throughput, ConnectionScalingReport, ThroughputReport,

@@ -13,8 +13,11 @@
 //!
 //! Requests: `Distance(s, t)`, `OneToMany(s, targets…)`,
 //! `UpdateWeights(batch…)`, `Stats`, `Shutdown`. Responses mirror them, plus
-//! `Error(message)` for malformed or out-of-range requests (the connection
-//! stays usable afterwards — a bad query must not take down a worker).
+//! two terminal variants with distinct retry semantics: `Error(message)` for
+//! malformed or out-of-range requests (not retryable as-is, but the
+//! connection stays usable — a bad query must not take down a worker) and
+//! `Overloaded(message)` for well-formed requests shed before execution
+//! (always safe to retry verbatim after a backoff).
 //!
 //! The codec is hand-rolled over `std::io::{Read, Write}` (the workspace
 //! builds offline; the vendored serde is marker-only) and defensive in both
@@ -83,6 +86,7 @@ mod op {
     pub const STATS: u8 = 3;
     pub const SHUTDOWN: u8 = 4;
     pub const UPDATE_WEIGHTS: u8 = 5;
+    pub const OVERLOADED: u8 = 0xFE;
     pub const ERROR: u8 = 0xFF;
 }
 
@@ -120,6 +124,12 @@ pub enum Response {
     Updated(UpdateOutcome),
     /// Acknowledgement of [`Request::Shutdown`].
     ShuttingDown,
+    /// The server shed this request *before executing any of it* — the
+    /// query path is at its admission cap, or an update batch is already
+    /// being absorbed. Unlike [`Response::Error`], the request itself was
+    /// well-formed: retrying the identical frame after a backoff is always
+    /// safe (nothing was applied), and the connection stays usable.
+    Overloaded(String),
     /// The request was malformed or out of range; the connection survives.
     Error(String),
 }
@@ -176,6 +186,19 @@ pub struct ServerStats {
     pub update_batches: u64,
     /// Index generation currently being served (0 until the first update).
     pub epoch: u64,
+    /// Connections accepted since startup (both connection models).
+    pub connections_accepted: u64,
+    /// Connections the server closed for exceeding an idle or stall budget
+    /// (slow-loris clients, dead peers mid-frame, unread responses).
+    pub connections_reaped: u64,
+    /// Request-handler panics caught and converted into error responses
+    /// (the daemon keeps serving; a nonzero value deserves investigation).
+    pub panics_caught: u64,
+    /// Requests shed with [`Response::Overloaded`] before execution.
+    pub overload_rejections: u64,
+    /// Response writes that failed because the peer was gone (broken pipe /
+    /// connection reset); the worker survives and the connection is closed.
+    pub write_errors: u64,
 }
 
 impl ServerStats {
@@ -504,6 +527,11 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
                 s.cache_capacity,
                 s.update_batches,
                 s.epoch,
+                s.connections_accepted,
+                s.connections_reaped,
+                s.panics_caught,
+                s.overload_rejections,
+                s.write_errors,
             ] {
                 p.extend_from_slice(&v.to_le_bytes());
             }
@@ -516,6 +544,10 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
             }
         }
         Response::ShuttingDown => p.push(op::SHUTDOWN),
+        Response::Overloaded(msg) => {
+            p.push(op::OVERLOADED);
+            p.extend_from_slice(msg.as_bytes());
+        }
         Response::Error(msg) => {
             p.push(op::ERROR);
             p.extend_from_slice(msg.as_bytes());
@@ -585,6 +617,11 @@ fn decode_response_payload(payload: &[u8]) -> io::Result<Response> {
                 cache_capacity: f.u64()?,
                 update_batches: f.u64()?,
                 epoch: f.u64()?,
+                connections_accepted: f.u64()?,
+                connections_reaped: f.u64()?,
+                panics_caught: f.u64()?,
+                overload_rejections: f.u64()?,
+                write_errors: f.u64()?,
             };
             f.finish()?;
             Response::Stats(s)
@@ -604,6 +641,9 @@ fn decode_response_payload(payload: &[u8]) -> io::Result<Response> {
             f.finish()?;
             Response::ShuttingDown
         }
+        op::OVERLOADED => Response::Overloaded(
+            String::from_utf8(f.bytes.to_vec()).map_err(|_| bad("overload message not UTF-8"))?,
+        ),
         op::ERROR => Response::Error(
             String::from_utf8(f.bytes.to_vec()).map_err(|_| bad("error message not UTF-8"))?,
         ),
@@ -672,9 +712,17 @@ mod tests {
             cache_capacity: 100,
             update_batches: 2,
             epoch: 2,
+            connections_accepted: 17,
+            connections_reaped: 3,
+            panics_caught: 1,
+            overload_rejections: 4,
+            write_errors: 2,
         }));
         round_trip_response(Response::ShuttingDown);
         round_trip_response(Response::Error("no such vertex".into()));
+        round_trip_response(Response::Overloaded(
+            "an update batch is already in flight".into(),
+        ));
         round_trip_response(Response::Updated(UpdateOutcome {
             strategy_tag: 2,
             applied: 100,

@@ -30,11 +30,20 @@
 //!   deposits the encoded response in the reactor's completion inbox and
 //!   wakes it. Every other connection keeps querying throughout, on the old
 //!   index generation until the swap, on the new one after;
+//! * **reaping** — every [`SWEEP_INTERVAL`] each reactor walks its table
+//!   and drops connections that have made no progress within their budget:
+//!   `ServeConfig::idle_timeout` at a frame boundary with nothing owed,
+//!   `ServeConfig::stall_timeout` mid-frame or with undrained responses —
+//!   so a slow-loris peer dribbling a header forever, or one that stops
+//!   reading its answers, costs a bounded amount of state, not a slot
+//!   forever. Connections awaiting an offloaded update are exempt (the
+//!   delay is the server's, not the peer's);
 //! * **shutdown** is polled on every `epoll_wait` timeout and broadcast
 //!   over the wake fds, then each reactor drains: stops accepting, gives
-//!   every connection a bounded window ([`DRAIN_DEADLINE`]) to take its
-//!   final flushed bytes, and exits — an idle connection or a half-written
-//!   frame can delay exit by at most that window, never hang it.
+//!   every connection a bounded window (`ServeConfig::drain`, the daemon's
+//!   `--drain-secs`, default 3s) to take its final flushed bytes, and exits
+//!   — an idle connection or a half-written frame can delay exit by at most
+//!   that window, never hang it.
 //!
 //! The epoll/eventfd bindings are direct `extern "C"` declarations,
 //! mirroring the `mmap` precedent in `hc2l_graph::container` — no new
@@ -103,9 +112,11 @@ const HIGH_WATER: usize = 1 << 20;
 /// the shutdown flag can be (wake fds make the common cases immediate).
 const EPOLL_TIMEOUT_MS: i32 = 25;
 
-/// How long a draining reactor keeps flushing already-queued response bytes
-/// to slow readers before closing their connections anyway.
-const DRAIN_DEADLINE: Duration = Duration::from_secs(3);
+/// How often each reactor sweeps its connection table for peers that blew
+/// their idle or stall budget (`ServeConfig::{idle_timeout, stall_timeout}`;
+/// the drain window itself comes from `ServeConfig::drain`, the daemon's
+/// `--drain-secs`, default 3s).
+const SWEEP_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Read-syscall chunk size (one shared scratch buffer per reactor).
 const READ_CHUNK: usize = 64 << 10;
@@ -275,6 +286,11 @@ struct Conn {
     /// frames execute until its completion lands (responses stay ordered),
     /// and reads are paused like under backpressure.
     awaiting_update: bool,
+    /// When this connection last made progress — bytes read from it, or
+    /// response bytes it accepted. The reaping sweep compares this against
+    /// the idle budget (at a frame boundary, nothing owed) or the stall
+    /// budget (partial frame buffered, or responses it will not drain).
+    last_progress: Instant,
 }
 
 /// Source of connection tokens (process-wide, never recycled).
@@ -293,6 +309,7 @@ impl Conn {
             closing: false,
             read_eof: false,
             awaiting_update: false,
+            last_progress: Instant::now(),
         }
     }
 
@@ -315,13 +332,18 @@ fn desired_interest(conn: &Conn) -> u32 {
     ev
 }
 
-/// Flushes as much of the write buffer as the socket will take.
+/// Flushes as much of the write buffer as the socket will take, returning
+/// how many bytes it accepted (progress, for the reaping sweep).
 /// `Err` means the connection is dead.
-fn flush(conn: &mut Conn) -> io::Result<()> {
+fn flush(conn: &mut Conn) -> io::Result<usize> {
+    let mut accepted = 0;
     while conn.out_pos < conn.out.len() {
         match conn.stream.write(&conn.out[conn.out_pos..]) {
             Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-            Ok(n) => conn.out_pos += n,
+            Ok(n) => {
+                conn.out_pos += n;
+                accepted += n;
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
@@ -339,7 +361,7 @@ fn flush(conn: &mut Conn) -> io::Result<()> {
         conn.out.drain(..conn.out_pos);
         conn.out_pos = 0;
     }
-    Ok(())
+    Ok(accepted)
 }
 
 /// Decodes and executes buffered requests until input runs dry, the
@@ -382,7 +404,7 @@ fn spawn_update_worker(ctx: &ReactorCtx, conn: &mut Conn, updates: Vec<hc2l_orac
         .spawn(move || {
             let resp = match state.try_apply_updates(&updates) {
                 Ok(outcome) => Response::Updated(outcome),
-                Err(msg) => Response::Error(msg),
+                Err(e) => e.into_response(),
             };
             let mut frame = Vec::new();
             if write_response(&mut frame, &resp).is_ok() {
@@ -432,8 +454,13 @@ fn drive_conn(
             // responses are already owed still flush, then it drops.
             conn.closing = true;
         }
-        if flush(conn).is_err() {
-            return false;
+        match flush(conn) {
+            Ok(0) => {}
+            Ok(_) => conn.last_progress = Instant::now(),
+            Err(_) => {
+                ctx.state.note_write_error();
+                return false;
+            }
         }
         // Backpressure resume: if the flush freed room below the high-water
         // mark and complete frames are already buffered (paused by an
@@ -465,11 +492,18 @@ fn drive_conn(
             Ok(0) => conn.read_eof = true,
             Ok(n) => {
                 budget = budget.saturating_sub(n);
+                conn.last_progress = Instant::now();
                 conn.decoder.feed(&scratch[..n]);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return false,
+            Err(_) => {
+                // An abrupt reset (not a clean FIN): the peer vanished with
+                // I/O outstanding — same event the threads model surfaces
+                // as a broken-pipe write, counted the same way.
+                ctx.state.note_write_error();
+                return false;
+            }
         }
     }
     // The loop exits past EOF only once no complete frame remains decodable
@@ -524,6 +558,7 @@ fn accept_burst(
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                ctx.state.note_accepted();
                 let target = *next_target % handles.len();
                 *next_target += 1;
                 if target == ctx.id {
@@ -578,19 +613,27 @@ fn reactor_loop(
     let mut scratch = vec![0u8; READ_CHUNK];
     let mut next_target = id;
     let mut draining: Option<Instant> = None;
+    let mut last_sweep = Instant::now();
     let mut result: io::Result<()> = Ok(());
 
     loop {
         if state.is_shutting_down() && draining.is_none() {
             // Enter the drain: stop accepting, close everything that owes
             // the peer nothing, give the rest a bounded flush window.
-            draining = Some(Instant::now() + DRAIN_DEADLINE);
+            draining = Some(Instant::now() + state.config().drain);
             if let Some(l) = &listener {
                 let _ = epoll.del(l.as_raw_fd());
             }
             conns.retain(|&fd, c| {
                 c.closing = true;
-                if flush(c).is_err() || c.pending_write() == 0 {
+                let dead = match flush(c) {
+                    Ok(_) => false,
+                    Err(_) => {
+                        state.note_write_error();
+                        true
+                    }
+                };
+                if dead || c.pending_write() == 0 {
                     let _ = epoll.del(fd);
                     return false;
                 }
@@ -649,6 +692,11 @@ fn reactor_loop(
                     let Some(conn) = conns.get_mut(&fd) else {
                         continue; // stale event for a just-closed fd
                     };
+                    if evs & sys::EPOLLERR != 0 {
+                        // Asynchronous socket error — the peer reset with
+                        // data in flight; counted like a broken-pipe write.
+                        state.note_write_error();
+                    }
                     let keep = evs & sys::EPOLLERR == 0
                         && drive_conn(conn, &ctx, &mut scratch, &mut shutdown_seen);
                     if keep {
@@ -705,6 +753,35 @@ fn reactor_loop(
                 &mut scratch,
                 &mut shutdown_seen,
             );
+        }
+
+        // Reap connections that blew their progress budget: a slow-loris
+        // peer stuck mid-frame (or refusing to drain its responses) gets
+        // the stall budget; a quiet one at a frame boundary gets the idle
+        // budget. Connections awaiting an offloaded update are exempt —
+        // the pending response is the server's latency, not the peer's.
+        if draining.is_none() && last_sweep.elapsed() >= SWEEP_INTERVAL {
+            last_sweep = Instant::now();
+            let cfg = state.config();
+            conns.retain(|&fd, c| {
+                if c.awaiting_update {
+                    return true;
+                }
+                let stalled = !c.decoder.is_idle() || c.pending_write() > 0;
+                let budget = if stalled {
+                    cfg.stall_timeout
+                } else {
+                    cfg.idle_timeout
+                };
+                match budget {
+                    Some(b) if c.last_progress.elapsed() >= b => {
+                        state.note_reaped();
+                        let _ = epoll.del(fd);
+                        false
+                    }
+                    _ => true,
+                }
+            });
         }
 
         if shutdown_seen {

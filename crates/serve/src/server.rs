@@ -28,18 +28,19 @@
 //! mostly-idle connections on a handful of threads, where the blocking model
 //! would need one OS thread per client.
 
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use hc2l_graph::{Distance, Graph, Vertex};
+use hc2l_graph::{failpoints, Distance, Graph, Vertex};
 use hc2l_oracle::{DistanceOracle, Method, Oracle, SharedOracle, WeightUpdate};
 
 use crate::cache::QueryCache;
 use crate::protocol::{
-    read_request, write_response, Request, Response, ServerStats, UpdateOutcome, MAX_UPDATE_BATCH,
+    write_response, FrameDecoder, Request, Response, ServerStats, UpdateOutcome, MAX_UPDATE_BATCH,
 };
 
 /// How the serve loop multiplexes client connections.
@@ -103,6 +104,41 @@ impl std::fmt::Display for ServeModel {
             ServeModel::Threads => "threads",
             ServeModel::Epoll => "epoll",
         })
+    }
+}
+
+/// Fault-tolerance knobs of a serve loop, honoured by both connection
+/// models. [`ServeConfig::default`] is what the daemon runs with unless
+/// flags override it; tests tighten the budgets to milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Close a connection that has been idle — at a frame boundary, with
+    /// nothing buffered — longer than this. `None` never reaps idle peers.
+    pub idle_timeout: Option<Duration>,
+    /// Close a connection stalled *mid-request* longer than this: a partial
+    /// frame trickling in (slow loris) or a peer not draining its response.
+    /// This is the per-request deadline the server enforces — bounded time
+    /// from first request byte to response flush, measured as time since
+    /// the connection last made progress. `None` never reaps stalled peers.
+    pub stall_timeout: Option<Duration>,
+    /// How long shutdown waits for live connections to drain before closing
+    /// them (`--drain-secs`; the default is 3 seconds).
+    pub drain: Duration,
+    /// Queries (`Distance` / `OneToMany`) allowed to execute concurrently
+    /// before further ones are shed with [`Response::Overloaded`];
+    /// 0 disables query admission control. Update admission is separate
+    /// and always on: one batch absorbs at a time, a second is shed.
+    pub max_inflight: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            idle_timeout: Some(Duration::from_secs(300)),
+            stall_timeout: Some(Duration::from_secs(30)),
+            drain: Duration::from_secs(3),
+            max_inflight: 0,
+        }
     }
 }
 
@@ -221,6 +257,31 @@ struct UpdateEngine {
     oracle: Oracle,
 }
 
+/// Why [`ServeState::try_apply_updates`] refused a batch — the two cases
+/// map to the two terminal protocol responses with different retry
+/// semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// Another batch holds the update engine right now. Nothing of this
+    /// batch was applied; retrying the identical batch after a backoff is
+    /// safe. Maps to [`Response::Overloaded`].
+    Overloaded(String),
+    /// The batch cannot be applied (static index, oversized batch, engine
+    /// disabled by an earlier fault). Retrying unchanged will fail again.
+    /// Maps to [`Response::Error`].
+    Rejected(String),
+}
+
+impl UpdateError {
+    /// The wire response this error is reported as.
+    pub fn into_response(self) -> Response {
+        match self {
+            UpdateError::Overloaded(msg) => Response::Overloaded(msg),
+            UpdateError::Rejected(msg) => Response::Error(msg),
+        }
+    }
+}
+
 /// Everything a worker needs to answer queries: the current index
 /// generation, the sharded result cache, and the served/shutdown counters.
 #[derive(Debug)]
@@ -232,10 +293,24 @@ pub struct ServeState {
     engine: Option<Mutex<UpdateEngine>>,
     cache: QueryCache,
     threads: usize,
+    config: ServeConfig,
     distance_queries: AtomicU64,
     one_to_many_queries: AtomicU64,
     one_to_many_targets: AtomicU64,
     update_batches: AtomicU64,
+    /// Queries currently executing, for [`ServeConfig::max_inflight`]
+    /// admission.
+    inflight: AtomicUsize,
+    connections_accepted: AtomicU64,
+    connections_reaped: AtomicU64,
+    panics_caught: AtomicU64,
+    overload_rejections: AtomicU64,
+    write_errors: AtomicU64,
+    /// Raised when an update batch panicked mid-absorb: the engine may be
+    /// mid-mutation, so further updates are refused (queries keep answering
+    /// on the last *published* generation, which the failed batch never
+    /// touched).
+    engine_failed: AtomicBool,
     shutdown: AtomicBool,
     /// Set by [`serve`] once the listener is bound; guards against two
     /// serve loops sharing one state's shutdown flag.
@@ -281,24 +356,55 @@ impl ServeState {
             engine,
             cache: QueryCache::new(cache_capacity, QueryCache::DEFAULT_SHARDS),
             threads: threads.max(1),
+            config: ServeConfig::default(),
             distance_queries: AtomicU64::new(0),
             one_to_many_queries: AtomicU64::new(0),
             one_to_many_targets: AtomicU64::new(0),
             update_batches: AtomicU64::new(0),
+            inflight: AtomicUsize::new(0),
+            connections_accepted: AtomicU64::new(0),
+            connections_reaped: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            overload_rejections: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            engine_failed: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             bound_addr: OnceLock::new(),
         }
     }
 
+    /// Replaces the fault-tolerance configuration (builder style, before the
+    /// state is shared): `ServeState::new(..).with_config(cfg)`.
+    pub fn with_config(mut self, config: ServeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The fault-tolerance configuration this state serves under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
     /// The currently served generation (an `Arc` snapshot: stable for the
     /// caller even while updates swap in newer generations).
+    ///
+    /// Lock poisoning is recovered, not propagated: the critical sections
+    /// on this lock are a lone `Arc` clone / pointer store, which cannot be
+    /// observed half-done, so a panic elsewhere in a past holder must not
+    /// cascade into every future query.
     pub fn oracle(&self) -> Arc<Generation> {
-        self.generation.read().unwrap().clone()
+        self.generation
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// The current index generation number.
     pub fn epoch(&self) -> u64 {
-        self.generation.read().unwrap().epoch
+        self.generation
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .epoch
     }
 
     /// Whether this state can absorb `UpdateWeights` batches.
@@ -307,34 +413,88 @@ impl ServeState {
     }
 
     /// Absorbs a weight-update batch and publishes the re-weighted index as
-    /// a new generation. Concurrent batches serialise on the engine mutex;
-    /// queries keep answering on the old generation throughout and switch
-    /// at the pointer swap. `Err` (static index, oversized batch) leaves
-    /// the served index untouched.
-    pub fn try_apply_updates(&self, updates: &[WeightUpdate]) -> Result<UpdateOutcome, String> {
+    /// a new generation. Queries keep answering on the old generation
+    /// throughout and switch at the pointer swap.
+    ///
+    /// Admission control: one batch absorbs at a time. A batch arriving
+    /// while another holds the engine is shed with
+    /// [`UpdateError::Overloaded`] instead of queueing on the mutex — the
+    /// client retries with backoff, and the daemon never accumulates a
+    /// convoy of blocked update workers. [`UpdateError::Rejected`] (static
+    /// index, oversized batch, disabled engine) leaves the served index
+    /// untouched, as does a batch that panics mid-absorb: the panic is
+    /// caught here, the engine is disabled, and the published generation —
+    /// which the failed batch never touched — keeps answering exactly.
+    pub fn try_apply_updates(
+        &self,
+        updates: &[WeightUpdate],
+    ) -> Result<UpdateOutcome, UpdateError> {
         let Some(engine) = &self.engine else {
-            return Err(
+            return Err(UpdateError::Rejected(
                 "this daemon serves a static index snapshot and cannot apply weight updates \
                  (start it from an owned graph, e.g. --grid, to enable them)"
                     .into(),
-            );
+            ));
         };
         if updates.len() > MAX_UPDATE_BATCH {
-            return Err(format!(
+            return Err(UpdateError::Rejected(format!(
                 "batch of {} updates exceeds the {}-update frame cap; split it",
                 updates.len(),
                 MAX_UPDATE_BATCH
+            )));
+        }
+        let mut guard = match engine.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.overload_rejections.fetch_add(1, Ordering::Relaxed);
+                return Err(UpdateError::Overloaded(
+                    "an update batch is already being absorbed; retry with backoff".into(),
+                ));
+            }
+            // A panicking absorb is caught below before it can poison the
+            // mutex, but recover defensively: the engine-failed flag is
+            // what actually gates a damaged engine.
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        };
+        if self.engine_failed.load(Ordering::Acquire) {
+            return Err(UpdateError::Rejected(
+                "the update engine was disabled by an earlier mid-apply fault; queries keep \
+                 answering on the last published generation (restart the daemon to re-enable \
+                 updates)"
+                    .into(),
             ));
         }
-        let mut guard = engine.lock().unwrap();
-        let UpdateEngine { graph, oracle } = &mut *guard;
-        let report = oracle.apply_updates(graph, updates);
-        let served = ServedOracle::from(oracle.clone());
+        // Panic isolation: a backend that dies mid-absorb (or an injected
+        // `serve.update.absorb` fault) must degrade to a typed error, not
+        // take the worker — and with it possibly the daemon — down. The
+        // generation swap below only happens on success, so a failed batch
+        // is never partially visible to queries.
+        let absorbed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            failpoints::act("serve.update.absorb");
+            let UpdateEngine { graph, oracle } = &mut *guard;
+            let report = oracle.apply_updates(graph, updates);
+            let served = ServedOracle::from(oracle.clone());
+            (report, served)
+        }));
+        let (report, served) = match absorbed {
+            Ok(pair) => pair,
+            Err(_) => {
+                self.engine_failed.store(true, Ordering::Release);
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                return Err(UpdateError::Rejected(
+                    "update batch failed mid-apply (panic caught): no part of the batch is \
+                     visible to queries, and further updates are disabled until restart"
+                        .into(),
+                ));
+            }
+        };
         // Publish: one brief write lock for the pointer swap. Readers that
         // cloned the old Arc finish on the old generation; every query
-        // *started* after this point sees the new one.
+        // *started* after this point sees the new one. Poisoning on this
+        // lock is recovered like on the read side — the store is atomic
+        // from any observer's point of view.
         let epoch = {
-            let mut slot = self.generation.write().unwrap();
+            let mut slot = self.generation.write().unwrap_or_else(|p| p.into_inner());
             let epoch = slot.epoch + 1;
             *slot = Arc::new(Generation {
                 oracle: served,
@@ -434,7 +594,54 @@ impl ServeState {
             cache_capacity: cache.capacity as u64,
             update_batches: self.update_batches.load(Ordering::Relaxed),
             epoch: generation.epoch(),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_reaped: self.connections_reaped.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            overload_rejections: self.overload_rejections.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records an accepted connection (both models report here, so `Stats`
+    /// counts honestly regardless of `--model`).
+    pub(crate) fn note_accepted(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection closed for blowing an idle or stall budget.
+    pub(crate) fn note_reaped(&self) {
+        self.connections_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a caught request-handler panic.
+    pub(crate) fn note_panic(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a response write that failed because the peer was gone.
+    pub(crate) fn note_write_error(&self) {
+        self.write_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Admission control for the query path: reserves an in-flight slot, or
+    /// sheds the request when [`ServeConfig::max_inflight`] slots are taken
+    /// (the `Err` message becomes a [`Response::Overloaded`]). The returned
+    /// guard releases the slot on drop — including during a panic unwind,
+    /// so a caught handler panic can never leak capacity.
+    pub(crate) fn admit_query(&self) -> Result<InflightGuard<'_>, String> {
+        let cap = self.config.max_inflight;
+        if cap == 0 {
+            return Ok(InflightGuard { state: None });
+        }
+        let previous = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if previous >= cap {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.overload_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(format!(
+                "query path saturated ({cap} requests in flight); retry with backoff"
+            ));
+        }
+        Ok(InflightGuard { state: Some(self) })
     }
 
     /// Validates a point-to-point request: both vertices in range.
@@ -515,7 +722,7 @@ impl ServeState {
                 }
             }
             Request::UpdateWeights(updates) => match self.try_apply_updates(updates) {
-                Err(msg) => Response::Error(msg),
+                Err(e) => e.into_response(),
                 Ok(outcome) => Response::Updated(outcome),
             },
             Request::Stats => Response::Stats(self.stats()),
@@ -527,13 +734,33 @@ impl ServeState {
     }
 }
 
+/// RAII in-flight-query slot from [`ServeState::admit_query`].
+pub(crate) struct InflightGuard<'a> {
+    state: Option<&'a ServeState>,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(state) = self.state {
+            state.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
 /// Executes one decoded request and writes the encoded response to `w` —
 /// the single request-execution path shared by the blocking handler and the
-/// epoll reactor, so both models validate, count, cache and stream batched
-/// answers identically. Returns `true` when the request was `Shutdown`: the
-/// acknowledgement is written (and for the blocking model flushed) *before*
-/// the shutdown flag is raised, so the drain cannot close the socket under
-/// a response that was never sent.
+/// epoll reactor, so both models validate, count, cache, admit and stream
+/// batched answers identically. Returns `true` when the request was
+/// `Shutdown`: the acknowledgement is written (and for the blocking model
+/// flushed) *before* the shutdown flag is raised, so the drain cannot close
+/// the socket under a response that was never sent.
+///
+/// Panic isolation lives here: execution always completes before the first
+/// response byte is written (batched answers encode from the buffer only
+/// after the kernel filled it), so a panicking handler is caught with the
+/// stream still at a frame boundary and degrades to a typed
+/// [`Response::Error`] — one poisoned request must not take the connection,
+/// let alone the daemon, down.
 pub(crate) fn respond<W: Write>(
     state: &ServeState,
     req: &Request,
@@ -545,18 +772,62 @@ pub(crate) fn respond<W: Write>(
         state.request_shutdown();
         return Ok(true);
     }
-    // Batched answers stream straight from the reused buffer; routing them
-    // through an owned `Response` would clone the whole row per request.
-    if let Request::OneToMany { source, targets } = req {
-        match state.try_one_to_many_into(*source, targets, batch_buf) {
-            Err(msg) => write_response(w, &Response::Error(msg))?,
-            Ok(()) => crate::protocol::write_distances(w, batch_buf)?,
-        }
-        return Ok(false);
+    // Failpoint: a torn response frame. Execute for real, emit a prefix of
+    // the encoded frame, then fail the connection — the chaos suite asserts
+    // the peer decodes a typed error and the daemon keeps serving others.
+    if let Some(failpoints::FailAction::Torn(n)) = failpoints::fired("serve.torn_response") {
+        let mut frame = Vec::new();
+        let resp = state.execute(req, batch_buf);
+        write_response(&mut frame, &resp)?;
+        w.write_all(&frame[..n.min(frame.len())])?;
+        w.flush()?;
+        return Err(failpoints::injected("serve.torn_response"));
     }
-    let resp = state.execute(req, batch_buf);
-    write_response(w, &resp)?;
-    Ok(false)
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> io::Result<bool> {
+        // Query admission: shed before executing anything. The guard
+        // drops on every exit path, panic unwind included.
+        let _inflight = match req {
+            Request::Distance(..) | Request::OneToMany { .. } => match state.admit_query() {
+                Ok(guard) => Some(guard),
+                Err(shed) => {
+                    write_response(w, &Response::Overloaded(shed))?;
+                    return Ok(false);
+                }
+            },
+            _ => None,
+        };
+        // Failpoint sits inside the admission window: injected delays and
+        // panics model slow or crashing execution while holding a slot.
+        failpoints::act("serve.request");
+        // Batched answers stream straight from the reused buffer;
+        // routing them through an owned `Response` would clone the
+        // whole row per request.
+        if let Request::OneToMany { source, targets } = req {
+            match state.try_one_to_many_into(*source, targets, batch_buf) {
+                Err(msg) => write_response(w, &Response::Error(msg))?,
+                Ok(()) => crate::protocol::write_distances(w, batch_buf)?,
+            }
+            return Ok(false);
+        }
+        let resp = state.execute(req, batch_buf);
+        write_response(w, &resp)?;
+        Ok(false)
+    }));
+    match outcome {
+        Ok(result) => result,
+        Err(_) => {
+            state.note_panic();
+            write_response(
+                w,
+                &Response::Error(
+                    "internal error: the request handler panicked; the daemon keeps serving \
+                     (Stats counts this under panics_caught)"
+                        .into(),
+                ),
+            )?;
+            Ok(false)
+        }
+    }
 }
 
 /// A running server: the bound address plus the accept-loop handle.
@@ -736,15 +1007,37 @@ fn accept_loop(listener: TcpListener, state: Arc<ServeState>) -> io::Result<()> 
             }
         };
         active.fetch_add(1, Ordering::AcqRel);
+        state.note_accepted();
         let conn_state = Arc::clone(&state);
         let conn_active = Arc::clone(&active);
         let conn_registry = Arc::clone(&conns);
         let spawned = std::thread::Builder::new()
             .name("hc2l-serve-worker".into())
             .spawn(move || {
+                // Drop guard, not trailing statements: if the handler ever
+                // panics past `respond`'s isolation, skipping this cleanup
+                // would leak a worker-cap slot and leave a dead stream in
+                // the drain registry forever.
+                struct Cleanup {
+                    registry: Arc<Mutex<std::collections::HashMap<u64, TcpStream>>>,
+                    active: Arc<AtomicUsize>,
+                    conn_id: u64,
+                }
+                impl Drop for Cleanup {
+                    fn drop(&mut self) {
+                        self.registry
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .remove(&self.conn_id);
+                        self.active.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+                let _cleanup = Cleanup {
+                    registry: conn_registry,
+                    active: conn_active,
+                    conn_id,
+                };
                 let _ = handle_connection(stream, &conn_state);
-                conn_registry.lock().unwrap().remove(&conn_id);
-                conn_active.fetch_sub(1, Ordering::AcqRel);
             });
         match spawned {
             Ok(handle) => handlers.push(handle),
@@ -770,24 +1063,107 @@ fn accept_loop(listener: TcpListener, state: Arc<ServeState>) -> io::Result<()> 
     result
 }
 
+/// Poll quantum for the blocking model's reads: the upper bound on how
+/// stale a parked handler's view of the shutdown flag and of its own
+/// idle/stall budgets can be.
+const READ_POLL: Duration = Duration::from_millis(50);
+
 /// Serves one connection until the peer hangs up, a protocol error occurs,
-/// or shutdown is requested. The batch buffer lives for the whole
-/// connection, so steady-state one-to-many serving does no per-request
-/// allocation beyond the response frame.
+/// an idle/stall budget expires, or shutdown is requested. The batch buffer
+/// lives for the whole connection, so steady-state one-to-many serving does
+/// no per-request allocation beyond the response frame.
+///
+/// Reads go through the incremental [`FrameDecoder`] over a
+/// `READ_POLL`-timeout socket instead of a blocking `read_request`: a
+/// timeout at a frame boundary checks [`ServeConfig::idle_timeout`], a
+/// timeout with a partial frame buffered checks
+/// [`ServeConfig::stall_timeout`] — the blocking model's slow-loris
+/// reaping, mirroring the reactor's sweep. A peer that disappears while a
+/// response is being written (broken pipe) is survived and counted, never
+/// propagated as a handler failure.
 fn handle_connection(stream: TcpStream, state: &ServeState) -> io::Result<()> {
     stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = stream;
+    let mut decoder = FrameDecoder::new();
     let mut batch_buf: Vec<Distance> = Vec::new();
-    while let Some(req) = read_request(&mut reader)? {
-        // `respond` acknowledges a Shutdown *before* raising the flag, so
-        // the accept loop's drain cannot close this socket ahead of the
-        // response reaching the peer.
-        if respond(state, &req, &mut writer, &mut batch_buf)? {
-            break;
+    let mut read_buf = vec![0u8; 64 << 10];
+    let mut last_progress = Instant::now();
+    'conn: loop {
+        while let Some(req) = decoder.next_request()? {
+            last_progress = Instant::now();
+            // `respond` acknowledges a Shutdown *before* raising the flag,
+            // so the accept loop's drain cannot close this socket ahead of
+            // the response reaching the peer.
+            match respond(state, &req, &mut writer, &mut batch_buf) {
+                Ok(true) => break 'conn,
+                Ok(false) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::BrokenPipe
+                            | io::ErrorKind::ConnectionReset
+                            | io::ErrorKind::ConnectionAborted
+                    ) =>
+                {
+                    state.note_write_error();
+                    break 'conn;
+                }
+                Err(e) => return Err(e),
+            }
+            if state.is_shutting_down() {
+                break 'conn;
+            }
         }
         if state.is_shutting_down() {
-            break;
+            break 'conn;
+        }
+        match reader.read(&mut read_buf) {
+            Ok(0) => {
+                if decoder.is_idle() {
+                    break 'conn;
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "EOF inside a frame",
+                ));
+            }
+            Ok(n) => {
+                decoder.feed(&read_buf[..n]);
+                last_progress = Instant::now();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                let budget = if decoder.is_idle() {
+                    state.config().idle_timeout
+                } else {
+                    state.config().stall_timeout
+                };
+                if let Some(bound) = budget {
+                    if last_progress.elapsed() >= bound {
+                        state.note_reaped();
+                        break 'conn;
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionReset | io::ErrorKind::ConnectionAborted
+                ) =>
+            {
+                // An abrupt reset with responses possibly in flight: the
+                // same peer behaviour a write would surface as broken pipe.
+                state.note_write_error();
+                break 'conn;
+            }
+            Err(e) => return Err(e),
         }
     }
     Ok(())
@@ -799,6 +1175,7 @@ mod tests {
     use crate::protocol::write_request;
     use hc2l_graph::toy::paper_figure1;
     use hc2l_oracle::OracleBuilder;
+    use std::io::BufReader;
 
     fn test_state(cache: usize) -> Arc<ServeState> {
         let g = paper_figure1();
@@ -1474,5 +1851,169 @@ mod tests {
         assert_eq!(stats.one_to_many_queries, 1);
         assert_eq!(stats.one_to_many_targets, 3);
         assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+    }
+
+    /// Polls `stats()` until `pred` holds or ~5s pass; returns the last
+    /// snapshot either way (the caller asserts on it for a clear failure).
+    fn wait_for_stats(
+        state: &ServeState,
+        pred: impl Fn(&crate::protocol::ServerStats) -> bool,
+    ) -> crate::protocol::ServerStats {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let s = state.stats();
+            if pred(&s) || std::time::Instant::now() >= deadline {
+                return s;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+
+    /// Makes dropping `stream` send an RST instead of a clean FIN
+    /// (`SO_LINGER` with zero timeout) — the abrupt-vanish shape of a
+    /// crashed client, which a polite close cannot reproduce: small
+    /// responses park in the kernel send buffer and no error ever surfaces.
+    #[cfg(target_os = "linux")]
+    fn rst_on_drop(stream: &TcpStream) {
+        use std::os::unix::io::AsRawFd;
+        #[repr(C)]
+        struct Linger {
+            l_onoff: i32,
+            l_linger: i32,
+        }
+        extern "C" {
+            fn setsockopt(
+                fd: i32,
+                level: i32,
+                name: i32,
+                value: *const std::ffi::c_void,
+                len: u32,
+            ) -> i32;
+        }
+        const SOL_SOCKET: i32 = 1;
+        const SO_LINGER: i32 = 13;
+        let linger = Linger {
+            l_onoff: 1,
+            l_linger: 0,
+        };
+        let rc = unsafe {
+            setsockopt(
+                stream.as_raw_fd(),
+                SOL_SOCKET,
+                SO_LINGER,
+                (&linger as *const Linger).cast(),
+                std::mem::size_of::<Linger>() as u32,
+            )
+        };
+        assert_eq!(rc, 0, "setsockopt(SO_LINGER) failed");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn broken_pipe_mid_response_survives_on_both_models() {
+        // A client that pipelines a pile of requests and vanishes without
+        // reading any answer must cost the server one counted write error,
+        // never a worker (threads model) or a reactor (epoll model).
+        use std::io::Write as _;
+        for &model in models() {
+            let state = test_state(0);
+            let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", 0), model).unwrap();
+            let addr = server.addr();
+            {
+                let stream = TcpStream::connect(addr).unwrap();
+                rst_on_drop(&stream);
+                let mut w = BufWriter::new(stream.try_clone().unwrap());
+                for _ in 0..2000 {
+                    write_request(&mut w, &Request::Distance(2, 9)).unwrap();
+                }
+                w.flush().unwrap();
+                // Drop with every response unread: the RST lands while the
+                // server still owes (or is still reading) this peer.
+            }
+            let stats = wait_for_stats(&state, |s| s.write_errors >= 1);
+            assert!(
+                stats.write_errors >= 1,
+                "{model}: the broken pipe was not counted: {stats:?}"
+            );
+            // The daemon keeps serving new connections afterwards.
+            let expected = state.oracle().distance(2, 9);
+            assert_eq!(
+                ask(addr, &Request::Distance(2, 9)),
+                Response::Distance(expected),
+                "{model}"
+            );
+            server.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn slow_loris_is_reaped_and_counted_on_both_models() {
+        use std::io::{Read as _, Write as _};
+        for &model in models() {
+            let state = Arc::new(
+                ServeState::new(OracleBuilder::new(Method::Hl).build(&paper_figure1()), 2, 0)
+                    .with_config(ServeConfig {
+                        idle_timeout: Some(Duration::from_millis(600)),
+                        stall_timeout: Some(Duration::from_millis(250)),
+                        ..ServeConfig::default()
+                    }),
+            );
+            let server = serve_with_model(Arc::clone(&state), ("127.0.0.1", 0), model).unwrap();
+            let addr = server.addr();
+            // Dribble a frame header claiming 100 bytes, then stall forever.
+            let mut loris = TcpStream::connect(addr).unwrap();
+            loris.write_all(&100u32.to_le_bytes()).unwrap();
+            loris.flush().unwrap();
+            let stats = wait_for_stats(&state, |s| s.connections_reaped >= 1);
+            assert!(
+                stats.connections_reaped >= 1,
+                "{model}: the stalled connection was not reaped: {stats:?}"
+            );
+            assert!(stats.connections_accepted >= 1, "{model}");
+            // The reaped socket is actually closed from the server side.
+            loris
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let mut byte = [0u8; 1];
+            match loris.read(&mut byte) {
+                Ok(0) | Err(_) => {}
+                Ok(_) => panic!("{model}: expected the server to close the loris"),
+            }
+            // Healthy clients are unaffected.
+            let expected = state.oracle().distance(2, 9);
+            assert_eq!(
+                ask(addr, &Request::Distance(2, 9)),
+                Response::Distance(expected),
+                "{model}"
+            );
+            server.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn admission_control_sheds_past_the_inflight_cap() {
+        let state = test_state(0);
+        // Cap 0 disables admission control entirely.
+        assert!(state.admit_query().is_ok());
+        let capped = test_state(0);
+        let capped = Arc::new(
+            Arc::try_unwrap(capped)
+                .unwrap_or_else(|_| panic!("sole owner"))
+                .with_config(ServeConfig {
+                    max_inflight: 1,
+                    ..ServeConfig::default()
+                }),
+        );
+        let guard = capped.admit_query().expect("first query admitted");
+        match capped.admit_query() {
+            Err(msg) => {
+                assert!(msg.contains("saturated"), "{msg}");
+            }
+            Ok(_) => panic!("expected the second query to be shed"),
+        }
+        drop(guard);
+        // Releasing the slot re-admits, even after the earlier shed.
+        assert!(capped.admit_query().is_ok());
+        assert_eq!(capped.stats().overload_rejections, 1);
     }
 }
