@@ -29,7 +29,11 @@
 //! re-gated against Dijkstra on the re-weighted graph), the
 //! `update_strategy` that absorbed them and the `rebuild_ms` baseline they
 //! race — as JSON; it exits non-zero on any divergence, which is what
-//! the CI smoke-bench steps rely on. Every run exercises the
+//! the CI smoke-bench steps rely on. Each row records the active min-plus
+//! **`kernel`** (`scalar`/`avx2`/`neon`, forceable via `HC2L_KERNEL`), and
+//! a per-method before/after `query_ns_per_op` report against the most
+//! recent committed `BENCH_PR<N>.json` in the working directory goes to
+//! stderr. Every run exercises the
 //! index-container save→load round trip (into a scratch directory, created
 //! on demand, next to the JSON file unless `--save-index` names one);
 //! `--load-index DIR` instead *serves* prebuilt indexes from DIR without
@@ -40,7 +44,8 @@
 
 use hc2l_bench::figures::{figure6, figure7};
 use hc2l_bench::json::{
-    render_json, run_json_bench, smoke_workloads, standard_workloads, IndexPersistence,
+    previous_bench_file, render_delta, render_json, run_json_bench, smoke_workloads,
+    standard_workloads, IndexPersistence,
 };
 use hc2l_bench::tables::{
     ablation_tail_pruning, run_comparison, table1, table2, table3, table5, SuiteOptions,
@@ -225,6 +230,13 @@ fn main() {
                 keep: false,
             }
         };
+        // The file this run writes is never its own baseline — without the
+        // exclusion a re-emitted BENCH_PR<N>.json would be the highest-numbered
+        // file on disk and the delta report would compare the run to itself.
+        let prev_bench = previous_bench_file(
+            std::path::Path::new("."),
+            std::path::Path::new(path).file_name(),
+        );
         match run_json_bench(&workloads, opts.threads, &persist) {
             Ok(rows) => {
                 let json = render_json(&rows);
@@ -233,6 +245,16 @@ fn main() {
                     std::process::exit(1);
                 });
                 eprintln!("wrote {} rows to {path}", rows.len());
+                // Before/after report against the latest committed
+                // BENCH_PR<N>.json — stderr, so stdout stays pure JSON.
+                if let Some(prev_path) = prev_bench {
+                    if let Ok(previous) = std::fs::read_to_string(&prev_path) {
+                        eprint!(
+                            "{}",
+                            render_delta(&prev_path.display().to_string(), &previous, &rows)
+                        );
+                    }
+                }
                 print!("{json}");
             }
             Err(msg) => {

@@ -51,6 +51,13 @@
 //! is re-gated against Dijkstra on the re-weighted graph before its timing
 //! is accepted (`BENCH_PR6.json` is the first committed point with these
 //! columns).
+//!
+//! Since the SIMD-kernels PR each row also carries **`kernel`** — the
+//! min-plus kernel the timings ran under (`scalar`, `avx2` or `neon`; see
+//! `hc2l_graph::kernels`). All kernels return bit-identical answers, so the
+//! column exists to make latency comparisons between bench files honest: a
+//! file produced under `HC2L_KERNEL=scalar` is not comparable to an `avx2`
+//! one (`BENCH_PR8.json` is the first committed point with this column).
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -161,6 +168,11 @@ pub struct JsonRow {
     pub workload: String,
     /// Method display name.
     pub method: &'static str,
+    /// Active min-plus kernel the timings ran under
+    /// (`hc2l_graph::active_kernel().name()`): `scalar`, `avx2` or `neon`.
+    /// Forceable via `HC2L_KERNEL`; all kernels are bit-identical, so this
+    /// column only explains latency differences between bench files.
+    pub kernel: &'static str,
     /// Vertices / edges of the workload graph.
     pub num_vertices: usize,
     /// Edges of the workload graph.
@@ -542,6 +554,7 @@ fn run_persisted(
             rows.push(JsonRow {
                 workload: w.name.clone(),
                 method: oracle.name(),
+                kernel: hc2l_graph::active_kernel().name(),
                 num_vertices: w.graph.num_vertices(),
                 num_edges: w.graph.num_edges(),
                 build_seconds,
@@ -574,6 +587,7 @@ pub fn render_json(rows: &[JsonRow]) -> String {
         out.push_str(&format!(
             concat!(
                 "    {{\"workload\": \"{}\", \"method\": \"{}\", ",
+                "\"kernel\": \"{}\", ",
                 "\"num_vertices\": {}, \"num_edges\": {}, ",
                 "\"build_seconds\": {:.6}, \"load_seconds\": {:.6}, ",
                 "\"query_ns_per_op\": {:.1}, ",
@@ -588,6 +602,7 @@ pub fn render_json(rows: &[JsonRow]) -> String {
             ),
             r.workload,
             r.method,
+            r.kernel,
             r.num_vertices,
             r.num_edges,
             r.build_seconds,
@@ -608,6 +623,97 @@ pub fn render_json(rows: &[JsonRow]) -> String {
         ));
     }
     out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts a quoted string field from one rendered JSON row line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts a numeric field from one rendered JSON row line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// The most recent committed bench file (`BENCH_PR<N>.json` with the highest
+/// `N`) in `dir` — the baseline `repro --json-out` diffs fresh rows against.
+///
+/// `exclude` names the file the current run is about to (over)write; it is
+/// skipped so a re-run never diffs against its own previous output instead of
+/// the last committed baseline.
+pub fn previous_bench_file(dir: &Path, exclude: Option<&std::ffi::OsStr>) -> Option<PathBuf> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()? {
+        let entry = entry.ok()?;
+        let name = entry.file_name();
+        if Some(name.as_os_str()) == exclude {
+            continue;
+        }
+        let name = name.to_string_lossy();
+        let Some(n) = name
+            .strip_prefix("BENCH_PR")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(m, _)| n > *m) {
+            best = Some((n, entry.path()));
+        }
+    }
+    best.map(|(_, path)| path)
+}
+
+/// Renders a per-method before/after `query_ns_per_op` comparison between a
+/// previously committed bench document (`previous`, the raw JSON text) and
+/// freshly measured rows.
+///
+/// The parser leans on the line-per-row shape [`render_json`] emits; rows
+/// the previous file does not have (new workloads/methods) are reported as
+/// such rather than skipped. Pre-kernel-column files compare fine — the
+/// kernel annotation is only printed when both sides carry one and they
+/// differ (a latency delta across different kernels says nothing about a
+/// regression).
+pub fn render_delta(previous_name: &str, previous: &str, rows: &[JsonRow]) -> String {
+    let mut prev: HashMap<(String, String), (f64, Option<String>)> = HashMap::new();
+    for line in previous.lines() {
+        let (Some(w), Some(m), Some(q)) = (
+            str_field(line, "workload"),
+            str_field(line, "method"),
+            num_field(line, "query_ns_per_op"),
+        ) else {
+            continue;
+        };
+        prev.insert((w, m), (q, str_field(line, "kernel")));
+    }
+    let mut out = format!("query_ns_per_op vs {previous_name}:\n");
+    for r in rows {
+        match prev.get(&(r.workload.clone(), r.method.to_string())) {
+            Some((before, prev_kernel)) => {
+                let pct = (r.query_ns_per_op - before) / before * 100.0;
+                out.push_str(&format!(
+                    "  {}/{}: {before:.1} -> {:.1} ns/op ({pct:+.1}%)",
+                    r.workload, r.method, r.query_ns_per_op
+                ));
+                match prev_kernel {
+                    Some(k) if k != r.kernel => {
+                        out.push_str(&format!(" [kernel {k} -> {}]", r.kernel))
+                    }
+                    _ => {}
+                }
+                out.push('\n');
+            }
+            None => out.push_str(&format!("  {}/{}: no previous row\n", r.workload, r.method)),
+        }
+    }
     out
 }
 
@@ -666,6 +772,10 @@ mod tests {
         }
         let json = render_json(&rows);
         assert!(json.contains("\"grid-16x16\""));
+        assert!(json.contains(&format!(
+            "\"kernel\": \"{}\"",
+            hc2l_graph::active_kernel().name()
+        )));
         assert!(json.contains("\"query_ns_per_op\""));
         assert!(json.contains("\"load_seconds\""));
         assert!(json.contains("\"queries_per_second\""));
@@ -739,6 +849,75 @@ mod tests {
             assert!(path.is_file(), "{} missing", path.display());
         }
         let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn previous_bench_file_picks_highest_pr_number() {
+        let dir = scratch_dir("prevfile");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(previous_bench_file(&dir, None), None);
+        for name in ["BENCH_PR2.json", "BENCH_PR10.json", "BENCH_PR9.json"] {
+            std::fs::write(dir.join(name), "{}").unwrap();
+        }
+        // Not lexicographic: PR10 beats PR9. Non-matching names are ignored.
+        std::fs::write(dir.join("BENCH_PRX.json"), "{}").unwrap();
+        std::fs::write(dir.join("notes.json"), "{}").unwrap();
+        assert_eq!(
+            previous_bench_file(&dir, None),
+            Some(dir.join("BENCH_PR10.json"))
+        );
+        // The file a run is about to overwrite is not its own baseline.
+        assert_eq!(
+            previous_bench_file(&dir, Some(std::ffi::OsStr::new("BENCH_PR10.json"))),
+            Some(dir.join("BENCH_PR9.json"))
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn delta_report_compares_against_previous_rows() {
+        let row = |workload: &str, method: &'static str, ns: f64| JsonRow {
+            workload: workload.to_string(),
+            method,
+            kernel: "avx2",
+            num_vertices: 0,
+            num_edges: 0,
+            build_seconds: 0.0,
+            load_seconds: 0.0,
+            query_ns_per_op: ns,
+            one_to_many_ns_per_target: 0.0,
+            queries_per_second: 0.0,
+            cache_hit_rate: 0.0,
+            concurrent_connections: 0,
+            index_bytes: 0,
+            num_queries: 0,
+            update_ms_1: 0.0,
+            update_ms_100: 0.0,
+            update_ms_10000: 0.0,
+            update_strategy: "rebuild",
+            rebuild_ms: 0.0,
+        };
+        // A pre-kernel-column row and a kernel-carrying one, as committed
+        // bench files render them.
+        let previous = concat!(
+            "{\n  \"results\": [\n",
+            "    {\"workload\": \"grid\", \"method\": \"HC2L\", \"query_ns_per_op\": 40.0},\n",
+            "    {\"workload\": \"grid\", \"method\": \"HL\", \"kernel\": \"scalar\", ",
+            "\"query_ns_per_op\": 20.0}\n",
+            "  ]\n}\n"
+        );
+        let rows = [
+            row("grid", "HC2L", 30.0),
+            row("grid", "HL", 22.0),
+            row("city", "HC2L", 10.0),
+        ];
+        let report = render_delta("BENCH_PR7.json", previous, &rows);
+        assert!(report.contains("vs BENCH_PR7.json"));
+        assert!(report.contains("grid/HC2L: 40.0 -> 30.0 ns/op (-25.0%)"));
+        // Kernel annotation only where the previous file recorded one.
+        assert!(report.contains("grid/HL: 20.0 -> 22.0 ns/op (+10.0%) [kernel scalar -> avx2]"));
+        assert!(!report.contains("HC2L: 40.0 -> 30.0 ns/op (-25.0%) [kernel"));
+        assert!(report.contains("city/HC2L: no previous row"));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! backends implement; the `hc2l-oracle` crate surfaces both as
 //! `Oracle::save(path)` / `OracleBuilder::load(path)`.
 //!
-//! # File format (`FORMAT_VERSION` 1)
+//! # File format (`FORMAT_VERSION` 2)
 //!
 //! A container is a flat sequence of byte *sections* addressed by a table of
 //! contents, preceded by a fixed 64-byte header. All integers are
@@ -68,8 +68,23 @@
 //!
 //! `FORMAT_VERSION` identifies the container layout *and* the per-backend
 //! section schemas; any incompatible change to either bumps it. Readers
-//! reject other versions with [`DecodeError::UnsupportedVersion`] — indexes
-//! are cheap to rebuild, so no cross-version migration is attempted.
+//! accept the versions in [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`] and
+//! reject everything else with [`DecodeError::UnsupportedVersion`] — newer
+//! files are never guessed at, and indexes are cheap to rebuild, so no
+//! forward migration is attempted. The checksum hashes the version the file
+//! *itself* declares, so accepting an older version needs no checksum
+//! special-casing.
+//!
+//! Version history:
+//!
+//! * **v1** — initial sectioned format.
+//! * **v2** — adds the optional per-backend label *cut-bound* sections
+//!   (per-block lower bounds consumed by the pruned query kernels, see
+//!   `crate::kernels`). v1 files remain loadable: owned loaders rebuild the
+//!   bounds from the label arrays, zero-copy (borrowed) loaders run with
+//!   pruning off. Backends validate present bounds against a recomputation,
+//!   so a tampered bounds section fails typed
+//!   ([`DecodeError::Malformed`]), never mis-prunes.
 
 use std::fmt;
 use std::path::Path;
@@ -80,7 +95,10 @@ use crate::flat_labels::PodValue;
 pub const MAGIC: [u8; 8] = *b"HC2LIDX\0";
 
 /// Current container format version (see the module docs for the policy).
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest container format version still accepted by the reader.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Alignment of every section payload within the file.
 pub const SECTION_ALIGN: u64 = 64;
@@ -761,7 +779,7 @@ impl Container {
         let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
         let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
         let version = u32_at(8);
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(DecodeError::UnsupportedVersion { found: version });
         }
         let method_tag = u32_at(12);
@@ -853,6 +871,12 @@ impl Container {
                 len: e.len,
             })
             .collect()
+    }
+
+    /// Whether a section with this tag is present (used for the optional
+    /// sections newer format versions add — e.g. the label cut bounds).
+    pub fn has_section(&self, tag: u32) -> bool {
+        self.toc.iter().any(|e| e.tag == tag)
     }
 
     /// The raw payload of a section.
@@ -1140,6 +1164,51 @@ mod tests {
             Container::from_bytes(&b).unwrap_err(),
             DecodeError::ChecksumMismatch { .. }
         ));
+    }
+
+    /// Rewrites a serialised container's header to declare `version`,
+    /// recomputing the checksum the way the writer would have (the checksum
+    /// hashes the declared version, so older-version files verify as-is).
+    fn restamp_version(bytes: &mut [u8], version: u32) {
+        bytes[8..12].copy_from_slice(&version.to_le_bytes());
+        let method_tag = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        let count = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+        let mut h = fnv1a(FNV_OFFSET, &version.to_le_bytes());
+        h = fnv1a(h, &method_tag.to_le_bytes());
+        h = fnv1a(h, &(count as u32).to_le_bytes());
+        for i in 0..count {
+            let at = HEADER_BYTES + i * TOC_ENTRY_BYTES;
+            let tag = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+            let offset = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[at + 16..at + 24].try_into().unwrap()) as usize;
+            h = fnv1a(h, &tag.to_le_bytes());
+            h = fnv1a(h, &(len as u64).to_le_bytes());
+            let payload = bytes[offset..offset + len].to_vec();
+            h = fnv1a(h, &payload);
+        }
+        bytes[24..32].copy_from_slice(&h.to_le_bytes());
+    }
+
+    #[test]
+    fn older_format_versions_still_load() {
+        let mut bytes = sample_writer().finish();
+        restamp_version(&mut bytes, MIN_FORMAT_VERSION);
+        let c = Container::from_bytes(&bytes).unwrap();
+        assert_eq!(c.read_pod_vec::<u32>(1).unwrap(), vec![1, 2, 3]);
+        assert!(c.has_section(2));
+        assert!(!c.has_section(42));
+    }
+
+    #[test]
+    fn newer_and_ancient_format_versions_are_rejected_typed() {
+        for bad in [0, FORMAT_VERSION + 1, 999] {
+            let mut bytes = sample_writer().finish();
+            restamp_version(&mut bytes, bad);
+            assert_eq!(
+                Container::from_bytes(&bytes).unwrap_err(),
+                DecodeError::UnsupportedVersion { found: bad }
+            );
+        }
     }
 
     #[test]

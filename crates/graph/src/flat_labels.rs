@@ -43,81 +43,35 @@
 //! `vendor/README.md`) — and malformed input surfaces as the typed
 //! [`DecodeError`] shared with the container module, never a panic.
 //!
-//! The module also hosts the branch-free query kernels ([`min_plus_scan`],
-//! [`min_plus_merge`]): chunked min-reductions with no early-exit branch in
-//! the loop body, which LLVM auto-vectorizes over the contiguous slices the
-//! arenas hand out.
+//! The query kernels that scan these arenas ([`min_plus_scan`],
+//! [`min_plus_merge`] and friends) live in [`crate::kernels`] — re-exported
+//! here for compatibility — in scalar, AVX2 and NEON flavours behind a
+//! one-time runtime dispatch. The arenas additionally carry *optional*
+//! per-block cut-bound arrays (the reference implementation's `CUT_BOUNDS`):
+//! one lower bound per [`crate::kernels::CUT_BOUND_BLOCK`] label entries,
+//! computed at freeze time, which the `*_pruned` kernels use to skip whole
+//! blocks that cannot improve the running minimum. Bounds are derived data
+//! — they never change answers, equality ignores them, and loaders either
+//! rebuild them (owned arenas) or run with pruning off (borrowed views of
+//! old container files).
 
 use std::marker::PhantomData;
 use std::ops::Deref;
 
 use crate::container::DecodeError;
-use crate::types::{Distance, Vertex, INFINITY};
-
-/// Chunk width of the branch-free min-reductions. Eight 64-bit lanes span
-/// two AVX2 registers (or four NEON registers); the accumulators live in
-/// registers across the whole scan.
-pub const MIN_PLUS_LANES: usize = 8;
-
-/// Branch-free `min_i (a[i] + b[i])` over the common prefix of two distance
-/// slices.
-///
-/// Both inputs must only contain values `<= INFINITY` (the workspace-wide
-/// invariant for stored distances), so a plain wrapping add cannot overflow
-/// — `2 * INFINITY == u64::MAX / 2`. The loop carries no data-dependent
-/// branch: each lane unconditionally accumulates its minimum, and the final
-/// result is clamped back to [`INFINITY`].
-#[inline]
-pub fn min_plus_scan(a: &[Distance], b: &[Distance]) -> Distance {
-    let len = a.len().min(b.len());
-    let (a, b) = (&a[..len], &b[..len]);
-    let mut lanes = [INFINITY; MIN_PLUS_LANES];
-    let mut ca = a.chunks_exact(MIN_PLUS_LANES);
-    let mut cb = b.chunks_exact(MIN_PLUS_LANES);
-    for (xa, xb) in (&mut ca).zip(&mut cb) {
-        for l in 0..MIN_PLUS_LANES {
-            lanes[l] = lanes[l].min(xa[l] + xb[l]);
-        }
-    }
-    let mut best = INFINITY;
-    for &lane in &lanes {
-        best = best.min(lane);
-    }
-    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
-        best = best.min(x + y);
-    }
-    best.min(INFINITY)
-}
-
-/// Branch-free merge-join `min { da[i] + db[j] : ha[i] == hb[j] }` over two
-/// hub lists sorted by hub id (Equation 1 of the paper).
-///
-/// The classic merge loop hides an unpredictable three-way branch per step;
-/// here both cursors advance by comparison *masks* and the candidate sum is
-/// selected arithmetically, so the loop compiles to compare/select chains
-/// without a data-dependent jump.
-#[inline]
-pub fn min_plus_merge(ha: &[Vertex], da: &[Distance], hb: &[Vertex], db: &[Distance]) -> Distance {
-    debug_assert_eq!(ha.len(), da.len());
-    debug_assert_eq!(hb.len(), db.len());
-    let mut best = INFINITY;
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < ha.len() && j < hb.len() {
-        let (x, y) = (ha[i], hb[j]);
-        let d = da[i] + db[j];
-        let cand = if x == y { d } else { INFINITY };
-        best = best.min(cand);
-        i += (x <= y) as usize;
-        j += (y <= x) as usize;
-    }
-    best.min(INFINITY)
-}
+use crate::kernels::{block_min_bounds, suffix_block_bounds};
+pub use crate::kernels::{min_plus_merge, min_plus_scan, MIN_PLUS_LANES};
+use crate::types::{Distance, Vertex};
 
 /// Who owns an arena's backing slices: [`Owned`] `Vec`s (the build path) or
 /// [`Borrowed`] views into a loaded container buffer (the zero-copy path).
 pub trait Store {
     /// The slice container for element type `T`.
     type Slice<T: Copy + 'static>: Deref<Target = [T]>;
+
+    /// An empty slice of this store — the placeholder for optional arenas
+    /// (e.g. cut bounds absent from an old container file).
+    fn empty_slice<T: Copy + 'static>() -> Self::Slice<T>;
 }
 
 /// Owned, `Vec`-backed storage — what `freeze()` and the byte codec produce.
@@ -126,6 +80,10 @@ pub struct Owned;
 
 impl Store for Owned {
     type Slice<T: Copy + 'static> = Vec<T>;
+
+    fn empty_slice<T: Copy + 'static>() -> Vec<T> {
+        Vec::new()
+    }
 }
 
 /// Borrowed storage: the arena's slices point into memory owned elsewhere
@@ -135,6 +93,10 @@ pub struct Borrowed<'a>(PhantomData<&'a ()>);
 
 impl<'a> Store for Borrowed<'a> {
     type Slice<T: Copy + 'static> = &'a [T];
+
+    fn empty_slice<T: Copy + 'static>() -> &'a [T] {
+        &[]
+    }
 }
 
 /// A frozen CSR array-of-arrays: one contiguous value arena plus `n + 1`
@@ -290,10 +252,19 @@ impl<T: Copy + 'static + Eq, S: Store> Eq for FlatCsr<T, S> {}
 /// level_index[v+1]]`; a vertex with `L` levels owns `L + 1` table entries,
 /// so level `k`'s array is the slice between consecutive table entries —
 /// one bounds-checked lookup and one contiguous slice per query.
+///
+/// The optional cut-bound arenas (`bounds`/`bound_offsets`) mirror this
+/// two-level indexing exactly: `bound_offsets` is parallel to
+/// `level_offsets` entry for entry, and the bounds of `(v, level)` are the
+/// per-block minima ([`block_min_bounds`]) of that level's distance array.
+/// Either both are present (`bound_offsets.len() == level_offsets.len()`)
+/// or both are empty and pruning is off.
 pub struct FlatLevelLabels<S: Store = Owned> {
     dists: S::Slice<Distance>,
     level_offsets: S::Slice<u32>,
     level_index: S::Slice<u32>,
+    bounds: S::Slice<Distance>,
+    bound_offsets: S::Slice<u32>,
 }
 
 /// A [`FlatLevelLabels`] borrowing its arenas from a loaded container.
@@ -348,7 +319,8 @@ impl LevelLabelsBuilder {
         &self.dists[v as usize][start..ends[level] as usize]
     }
 
-    /// Converts the scratch into the frozen arena.
+    /// Converts the scratch into the frozen arena, computing the per-level
+    /// cut-bound blocks alongside.
     pub fn freeze(self) -> FlatLevelLabels {
         let total: usize = self.dists.iter().map(|d| d.len()).sum();
         assert!(
@@ -359,12 +331,19 @@ impl LevelLabelsBuilder {
         let mut dists = Vec::with_capacity(total);
         let mut level_offsets = Vec::with_capacity(2 * n);
         let mut level_index = Vec::with_capacity(n + 1);
+        let mut bounds = Vec::new();
+        let mut bound_offsets = Vec::with_capacity(2 * n);
         level_index.push(0);
         for (d, ends) in self.dists.iter().zip(self.ends.iter()) {
             let base = dists.len() as u32;
             level_offsets.push(base);
+            bound_offsets.push(bounds.len() as u32);
+            let mut prev = 0usize;
             for &end in ends {
                 level_offsets.push(base + end);
+                block_min_bounds(&d[prev..end as usize], &mut bounds);
+                bound_offsets.push(bounds.len() as u32);
+                prev = end as usize;
             }
             dists.extend_from_slice(d);
             level_index.push(level_offsets.len() as u32);
@@ -373,6 +352,8 @@ impl LevelLabelsBuilder {
             dists,
             level_offsets,
             level_index,
+            bounds,
+            bound_offsets,
         }
     }
 }
@@ -383,15 +364,26 @@ impl FlatLevelLabels<Owned> {
         LevelLabelsBuilder::new(n).freeze()
     }
 
-    /// Reads an arena back from [`FlatLevelLabels::to_bytes`] output.
+    /// Reads an arena back from [`FlatLevelLabels::to_bytes`] output; the
+    /// byte codec carries only the primary arrays, so the cut bounds are
+    /// rebuilt here.
     pub fn from_bytes(bytes: &[u8]) -> Result<(Self, usize), DecodeError> {
         let (dists, a) = read_pod_slice::<Distance>(bytes)?;
         let (level_offsets, b) = read_pod_slice::<u32>(&bytes[a..])?;
         let (level_index, c) = read_pod_slice::<u32>(&bytes[a + b..])?;
-        Ok((
-            FlatLevelLabels::from_parts(dists, level_offsets, level_index)?,
-            a + b + c,
-        ))
+        let mut labels = FlatLevelLabels::from_parts(dists, level_offsets, level_index)?;
+        labels.ensure_bounds();
+        Ok((labels, a + b + c))
+    }
+
+    /// Computes and installs the cut-bound arenas if absent (no-op when
+    /// they are already present).
+    pub fn ensure_bounds(&mut self) {
+        if !self.has_bounds() {
+            let (bounds, bound_offsets) = self.computed_bounds();
+            self.bounds = bounds;
+            self.bound_offsets = bound_offsets;
+        }
     }
 }
 
@@ -435,7 +427,75 @@ impl<S: Store> FlatLevelLabels<S> {
             dists,
             level_offsets,
             level_index,
+            bounds: S::empty_slice(),
+            bound_offsets: S::empty_slice(),
         })
+    }
+
+    /// Installs pre-built cut-bound arenas (e.g. read from a container
+    /// section), validating them against a recomputation so corrupt bounds
+    /// can never mis-prune a query.
+    pub fn with_bounds(
+        self,
+        bounds: S::Slice<Distance>,
+        bound_offsets: S::Slice<u32>,
+    ) -> Result<Self, DecodeError> {
+        let (expected_bounds, expected_offsets) = self.computed_bounds();
+        if bounds[..] != expected_bounds[..] || bound_offsets[..] != expected_offsets[..] {
+            return Err(DecodeError::Malformed(
+                "label cut bounds do not match the distance arena",
+            ));
+        }
+        Ok(FlatLevelLabels {
+            bounds,
+            bound_offsets,
+            ..self
+        })
+    }
+
+    /// What the cut-bound arenas must contain for this arena's distances:
+    /// per-block minima of every `(vertex, level)` array, offset table
+    /// parallel to `level_offsets`.
+    pub fn computed_bounds(&self) -> (Vec<Distance>, Vec<u32>) {
+        let mut bounds = Vec::new();
+        let mut bound_offsets = Vec::with_capacity(self.level_offsets.len());
+        for v in 0..self.num_vertices() {
+            let table =
+                &self.level_offsets[self.level_index[v] as usize..self.level_index[v + 1] as usize];
+            bound_offsets.push(bounds.len() as u32);
+            for k in 0..table.len() - 1 {
+                block_min_bounds(
+                    &self.dists[table[k] as usize..table[k + 1] as usize],
+                    &mut bounds,
+                );
+                bound_offsets.push(bounds.len() as u32);
+            }
+        }
+        (bounds, bound_offsets)
+    }
+
+    /// Whether the cut-bound arenas are present (pruned kernels usable).
+    #[inline]
+    pub fn has_bounds(&self) -> bool {
+        self.bound_offsets.len() == self.level_offsets.len()
+    }
+
+    /// The cut bounds of vertex `v` at `level` (empty when the level is out
+    /// of range; only meaningful when [`Self::has_bounds`]).
+    #[inline]
+    pub fn level_bounds(&self, v: Vertex, level: usize) -> &[Distance] {
+        let table = &self.bound_offsets
+            [self.level_index[v as usize] as usize..self.level_index[v as usize + 1] as usize];
+        if level + 1 >= table.len() {
+            return &[];
+        }
+        &self.bounds[table[level] as usize..table[level + 1] as usize]
+    }
+
+    /// The raw cut-bound parts (empty slices when bounds are absent).
+    #[inline]
+    pub fn bounds_parts(&self) -> (&[Distance], &[u32]) {
+        (&self.bounds, &self.bound_offsets)
     }
 
     /// Number of vertices covered.
@@ -486,12 +546,14 @@ impl<S: Store> FlatLevelLabels<S> {
         }
     }
 
-    /// Memory footprint in bytes (O(1)).
+    /// Memory footprint in bytes (O(1)), cut-bound arenas included.
     #[inline]
     pub fn memory_bytes(&self) -> usize {
         self.dists.len() * std::mem::size_of::<Distance>()
             + self.level_offsets.len() * 4
             + self.level_index.len() * 4
+            + self.bounds.len() * std::mem::size_of::<Distance>()
+            + self.bound_offsets.len() * 4
     }
 
     /// The raw parts: distance arena, level-offset table, per-vertex index.
@@ -530,10 +592,14 @@ where
             dists: self.dists.clone(),
             level_offsets: self.level_offsets.clone(),
             level_index: self.level_index.clone(),
+            bounds: self.bounds.clone(),
+            bound_offsets: self.bound_offsets.clone(),
         }
     }
 }
 
+/// Equality compares the primary arrays only: the cut bounds are derived
+/// data, fully determined by the distances (and possibly absent).
 impl<S: Store, S2: Store> PartialEq<FlatLevelLabels<S2>> for FlatLevelLabels<S> {
     fn eq(&self, other: &FlatLevelLabels<S2>) -> bool {
         self.dists[..] == other.dists[..]
@@ -554,17 +620,30 @@ impl<S: Store> Eq for FlatLevelLabels<S> {}
 /// split pays off exactly when the merge-join mostly reads the 4-byte hub
 /// column; backends that touch every field of every scanned entry (PHL)
 /// store packed structs in a [`FlatCsr`] instead.
+///
+/// The optional cut-bound arenas (`suffix_bounds`/`bound_offsets`) hold
+/// per-block *suffix* minima ([`suffix_block_bounds`]) of each vertex's
+/// distance column — the shape the pruned merge-join consumes, since a
+/// merge cursor only moves forward. `bound_offsets` is a CSR table parallel
+/// to `offsets` (same length); either both arenas are present or both are
+/// empty and pruning is off.
 pub struct FlatEntryLabels<S: Store = Owned> {
     hubs: S::Slice<Vertex>,
     dists: S::Slice<Distance>,
     offsets: S::Slice<u32>,
+    suffix_bounds: S::Slice<Distance>,
+    bound_offsets: S::Slice<u32>,
 }
 
 /// A [`FlatEntryLabels`] borrowing its arenas from a loaded container.
 pub type FlatEntryLabelsRef<'a> = FlatEntryLabels<Borrowed<'a>>;
 
 impl FlatEntryLabels<Owned> {
-    /// Freezes nested `(hub, dist)` rows into the arena.
+    /// Freezes nested `(hub, dist)` rows into the arena. The cut bounds are
+    /// *not* computed here: not every user of this arena stores distances in
+    /// the `dists` column (CH packs edge weights into it), so callers whose
+    /// column really is a distance label opt in via
+    /// [`FlatEntryLabels::ensure_bounds`].
     pub fn freeze_pairs(rows: &[Vec<(Vertex, Distance)>]) -> Self {
         let total: usize = rows.iter().map(|r| r.len()).sum();
         assert!(
@@ -586,18 +665,31 @@ impl FlatEntryLabels<Owned> {
             hubs,
             dists,
             offsets,
+            suffix_bounds: Vec::new(),
+            bound_offsets: Vec::new(),
         }
     }
 
-    /// Reads an arena back from [`FlatEntryLabels::to_bytes`] output.
+    /// Reads an arena back from [`FlatEntryLabels::to_bytes`] output; the
+    /// byte codec carries only the primary arrays, so the cut bounds are
+    /// rebuilt here.
     pub fn from_bytes(bytes: &[u8]) -> Result<(Self, usize), DecodeError> {
         let (hubs, a) = read_pod_slice::<Vertex>(bytes)?;
         let (dists, b) = read_pod_slice::<Distance>(&bytes[a..])?;
         let (offsets, c) = read_pod_slice::<u32>(&bytes[a + b..])?;
-        Ok((
-            FlatEntryLabels::from_parts(hubs, dists, offsets)?,
-            a + b + c,
-        ))
+        let mut labels = FlatEntryLabels::from_parts(hubs, dists, offsets)?;
+        labels.ensure_bounds();
+        Ok((labels, a + b + c))
+    }
+
+    /// Computes and installs the cut-bound arenas if absent (no-op when
+    /// they are already present).
+    pub fn ensure_bounds(&mut self) {
+        if !self.has_bounds() {
+            let (suffix_bounds, bound_offsets) = self.computed_bounds();
+            self.suffix_bounds = suffix_bounds;
+            self.bound_offsets = bound_offsets;
+        }
     }
 }
 
@@ -633,7 +725,64 @@ impl<S: Store> FlatEntryLabels<S> {
             hubs,
             dists,
             offsets,
+            suffix_bounds: S::empty_slice(),
+            bound_offsets: S::empty_slice(),
         })
+    }
+
+    /// Installs pre-built suffix cut-bound arenas (e.g. read from a
+    /// container section), validating them against a recomputation so
+    /// corrupt bounds can never mis-prune a query.
+    pub fn with_bounds(
+        self,
+        suffix_bounds: S::Slice<Distance>,
+        bound_offsets: S::Slice<u32>,
+    ) -> Result<Self, DecodeError> {
+        let (expected_bounds, expected_offsets) = self.computed_bounds();
+        if suffix_bounds[..] != expected_bounds[..] || bound_offsets[..] != expected_offsets[..] {
+            return Err(DecodeError::Malformed(
+                "label cut bounds do not match the distance column",
+            ));
+        }
+        Ok(FlatEntryLabels {
+            suffix_bounds,
+            bound_offsets,
+            ..self
+        })
+    }
+
+    /// What the cut-bound arenas must contain for this arena's distances:
+    /// per-block suffix minima of every vertex's distance column, CSR table
+    /// parallel to `offsets`.
+    pub fn computed_bounds(&self) -> (Vec<Distance>, Vec<u32>) {
+        let mut suffix_bounds = Vec::new();
+        let mut bound_offsets = Vec::with_capacity(self.offsets.len());
+        bound_offsets.push(0);
+        for v in 0..self.num_vertices() {
+            suffix_block_bounds(self.dists(v as Vertex), &mut suffix_bounds);
+            bound_offsets.push(suffix_bounds.len() as u32);
+        }
+        (suffix_bounds, bound_offsets)
+    }
+
+    /// Whether the cut-bound arenas are present (pruned merge usable).
+    #[inline]
+    pub fn has_bounds(&self) -> bool {
+        self.bound_offsets.len() == self.offsets.len()
+    }
+
+    /// The suffix cut bounds of vertex `v`'s distance column (only
+    /// meaningful when [`Self::has_bounds`]).
+    #[inline]
+    pub fn bounds_of(&self, v: Vertex) -> &[Distance] {
+        &self.suffix_bounds
+            [self.bound_offsets[v as usize] as usize..self.bound_offsets[v as usize + 1] as usize]
+    }
+
+    /// The raw cut-bound parts (empty slices when bounds are absent).
+    #[inline]
+    pub fn bounds_parts(&self) -> (&[Distance], &[u32]) {
+        (&self.suffix_bounds, &self.bound_offsets)
     }
 
     /// Number of vertices covered.
@@ -682,12 +831,14 @@ impl<S: Store> FlatEntryLabels<S> {
         }
     }
 
-    /// Memory footprint in bytes (O(1)).
+    /// Memory footprint in bytes (O(1)), cut-bound arenas included.
     #[inline]
     pub fn memory_bytes(&self) -> usize {
         self.hubs.len() * 4
             + self.dists.len() * std::mem::size_of::<Distance>()
             + self.offsets.len() * 4
+            + self.suffix_bounds.len() * std::mem::size_of::<Distance>()
+            + self.bound_offsets.len() * 4
     }
 
     /// The raw parts: hub column, distance column, offset table.
@@ -727,10 +878,14 @@ where
             hubs: self.hubs.clone(),
             dists: self.dists.clone(),
             offsets: self.offsets.clone(),
+            suffix_bounds: self.suffix_bounds.clone(),
+            bound_offsets: self.bound_offsets.clone(),
         }
     }
 }
 
+/// Equality compares the primary arrays only: the cut bounds are derived
+/// data, fully determined by the distances (and possibly absent).
 impl<S: Store, S2: Store> PartialEq<FlatEntryLabels<S2>> for FlatEntryLabels<S> {
     fn eq(&self, other: &FlatEntryLabels<S2>) -> bool {
         self.hubs[..] == other.hubs[..]
@@ -818,6 +973,7 @@ pub fn read_pod_slice<T: PodValue>(bytes: &[u8]) -> Result<(Vec<T>, usize), Deco
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::INFINITY;
 
     #[test]
     fn min_plus_scan_matches_naive() {
@@ -974,6 +1130,85 @@ mod tests {
         assert_eq!(
             FlatEntryLabels::from_bytes(&[]).unwrap_err(),
             DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn level_label_bounds_are_computed_validated_and_rebuilt() {
+        let mut b = LevelLabelsBuilder::new(2);
+        let long: Vec<Distance> = (0..40).map(|i| 1_000 - i as u64).collect();
+        b.push_level(0, &long);
+        b.push_level(0, &[7, INFINITY]);
+        b.push_level(1, &[]);
+        let frozen = b.freeze();
+        assert!(frozen.has_bounds());
+        // Level 0 of vertex 0 spans three blocks of 16.
+        let lb = frozen.level_bounds(0, 0);
+        assert_eq!(lb.len(), crate::kernels::bounds_len(40));
+        assert_eq!(lb[0], *long[..16].iter().min().unwrap());
+        assert_eq!(lb[2], *long[32..].iter().min().unwrap());
+        assert_eq!(frozen.level_bounds(0, 1), &[7]);
+        assert_eq!(frozen.level_bounds(1, 0), &[] as &[Distance]);
+        assert_eq!(frozen.level_bounds(0, 9), &[] as &[Distance]);
+
+        // from_parts leaves bounds off; ensure_bounds rebuilds the same ones.
+        let (d, lo, li) = frozen.parts();
+        let mut rebuilt =
+            FlatLevelLabels::<Owned>::from_parts(d.to_vec(), lo.to_vec(), li.to_vec()).unwrap();
+        assert!(!rebuilt.has_bounds());
+        rebuilt.ensure_bounds();
+        assert_eq!(rebuilt.bounds_parts(), frozen.bounds_parts());
+
+        // with_bounds accepts the genuine arrays and rejects tampered ones.
+        let (bd, bo) = frozen.bounds_parts();
+        let again = FlatLevelLabels::<Owned>::from_parts(d.to_vec(), lo.to_vec(), li.to_vec())
+            .unwrap()
+            .with_bounds(bd.to_vec(), bo.to_vec())
+            .unwrap();
+        assert!(again.has_bounds());
+        let mut bad = bd.to_vec();
+        bad[0] ^= 1;
+        assert!(matches!(
+            FlatLevelLabels::<Owned>::from_parts(d.to_vec(), lo.to_vec(), li.to_vec())
+                .unwrap()
+                .with_bounds(bad, bo.to_vec()),
+            Err(DecodeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn entry_label_bounds_are_suffix_minima() {
+        let rows: Vec<Vec<(Vertex, Distance)>> = vec![
+            (0..40u32).map(|h| (h * 2, 500 - h as u64)).collect(),
+            vec![],
+            vec![(1, INFINITY), (5, 3)],
+        ];
+        let mut flat = FlatEntryLabels::freeze_pairs(&rows);
+        assert!(!flat.has_bounds(), "freeze_pairs must not install bounds");
+        flat.ensure_bounds();
+        assert!(flat.has_bounds());
+        let b0 = flat.bounds_of(0);
+        assert_eq!(b0.len(), crate::kernels::bounds_len(40));
+        // Suffix minima: each bound covers everything from its block on.
+        assert_eq!(b0[0], 500 - 39);
+        assert!(b0.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(flat.bounds_of(1), &[] as &[Distance]);
+        assert_eq!(flat.bounds_of(2), &[3]);
+
+        let (h, d, o) = flat.parts();
+        let mut rebuilt =
+            FlatEntryLabels::<Owned>::from_parts(h.to_vec(), d.to_vec(), o.to_vec()).unwrap();
+        assert!(!rebuilt.has_bounds());
+        rebuilt.ensure_bounds();
+        assert_eq!(rebuilt.bounds_parts(), flat.bounds_parts());
+        let (sb, bo) = flat.bounds_parts();
+        let mut bad = sb.to_vec();
+        bad[0] = 0;
+        assert!(
+            FlatEntryLabels::<Owned>::from_parts(h.to_vec(), d.to_vec(), o.to_vec())
+                .unwrap()
+                .with_bounds(bad, bo.to_vec())
+                .is_err()
         );
     }
 

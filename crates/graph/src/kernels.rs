@@ -1,0 +1,1182 @@
+//! Vectorised min-plus query kernels with one-time runtime dispatch.
+//!
+//! Every labelling backend's hot path is one of three reductions over the
+//! frozen label arenas ([`crate::flat_labels`]):
+//!
+//! * [`min_plus_scan`] — `min_i (a[i] + b[i])` over two parallel distance
+//!   arrays (HC2L's level scan),
+//! * [`min_plus_merge`] — `min { da[i] + db[j] : ha[i] == hb[j] }` over two
+//!   hub lists sorted strictly ascending (HL's merge-join),
+//! * [`min_plus_gather`] — `min_p (ds[pos[p]] + dt[pos[p]])` over an index
+//!   list (H2H's bag scan).
+//!
+//! This module provides three implementations of each — portable scalar
+//! (the branch-free code LLVM auto-vectorises at the baseline target), AVX2
+//! (x86-64) and NEON (aarch64) — behind a process-wide [`KernelKind`]
+//! selected **once**: `is_x86_feature_detected!("avx2")` at first use on
+//! x86-64, compile-time on aarch64 (NEON is baseline there). The
+//! environment variable `HC2L_KERNEL=scalar|avx2|neon` overrides detection
+//! (unavailable requests fall back with a warning), and [`force_kernel`]
+//! switches at runtime for tests and benchmarks. Every kernel returns
+//! **bit-identical** results on every backend, so switching kernels — even
+//! concurrently — can never change an answer, only its speed.
+//!
+//! # Cut-bound block pruning
+//!
+//! The `*_pruned` variants implement the reference implementation's
+//! `CUT_BOUNDS` optimisation: the freeze step stores one lower bound per
+//! [`CUT_BOUND_BLOCK`] label entries ([`block_min_bounds`] for the
+//! positional scan, [`suffix_block_bounds`] for the merge-join), and the
+//! query skips (scan) or stops at (merge) any block whose
+//! `bound_a + bound_b` cannot beat the current best. Pruning never changes
+//! the result — a skipped block provably cannot contain the minimum — so
+//! the pruned kernels are bit-identical to their unpruned counterparts too.
+//!
+//! # Overflow discipline
+//!
+//! Stored distances obey the workspace invariant `d <= INFINITY ==
+//! u64::MAX / 4`, so the plain lane adds inside the kernels cannot wrap
+//! (`2 * INFINITY < 2^63`); this is also what makes the *signed* 64-bit
+//! SIMD compares valid on values that are logically unsigned. Bound
+//! comparisons — which combine values that may both be [`INFINITY`] — go
+//! through the shared saturating helper [`dist_add`] instead, keeping
+//! [`INFINITY`] absorbing everywhere a sum is compared rather than
+//! minimised.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::types::{dist_add, Distance, Vertex, INFINITY};
+
+/// Chunk width of the branch-free scalar min-reductions. Eight 64-bit lanes
+/// span two AVX2 registers (or four NEON registers); the accumulators live
+/// in registers across the whole scan.
+pub const MIN_PLUS_LANES: usize = 8;
+
+/// Entries covered by one stored cut bound (the reference implementation's
+/// `cut_bound_mod`). 16 keeps the bound array at 1/16th of the label arena
+/// while still letting the scan skip in cache-line-sized steps.
+pub const CUT_BOUND_BLOCK: usize = 16;
+
+/// Which vectorised implementation the query kernels run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum KernelKind {
+    /// Portable branch-free scalar code (every host).
+    Scalar = 1,
+    /// 256-bit AVX2 lanes (x86-64 with AVX2).
+    Avx2 = 2,
+    /// 128-bit NEON lanes (aarch64, always available there).
+    Neon = 3,
+}
+
+impl KernelKind {
+    /// Stable lower-case name (`scalar`/`avx2`/`neon`) — the value accepted
+    /// by the `HC2L_KERNEL` override and reported in bench/stats output.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Avx2 => "avx2",
+            KernelKind::Neon => "neon",
+        }
+    }
+
+    /// Wire tag (1 = scalar, 2 = avx2, 3 = neon) carried in server stats.
+    pub fn tag(self) -> u32 {
+        self as u32
+    }
+
+    /// Inverse of [`KernelKind::tag`].
+    pub fn from_tag(tag: u32) -> Option<KernelKind> {
+        match tag {
+            1 => Some(KernelKind::Scalar),
+            2 => Some(KernelKind::Avx2),
+            3 => Some(KernelKind::Neon),
+            _ => None,
+        }
+    }
+
+    /// Parses a kernel name as accepted by `HC2L_KERNEL` (case-insensitive).
+    pub fn from_name(name: &str) -> Option<KernelKind> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelKind::Scalar),
+            "avx2" => Some(KernelKind::Avx2),
+            "neon" => Some(KernelKind::Neon),
+            _ => None,
+        }
+    }
+
+    /// Whether this kernel can run on the current host.
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelKind::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelKind::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelKind::Avx2 => false,
+            KernelKind::Neon => cfg!(target_arch = "aarch64"),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The selected kernel, `0` = not yet initialised. Relaxed ordering is
+/// enough: all kernels produce bit-identical results, so a racing reader
+/// seeing a stale value only runs a different-speed, equally-correct path.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// The kernel the dispatched entry points currently run. Initialises the
+/// selection on first call: `HC2L_KERNEL` override if set and available,
+/// otherwise the best kernel the host supports.
+#[inline]
+pub fn active_kernel() -> KernelKind {
+    match ACTIVE.load(Ordering::Relaxed) {
+        0 => init_kernel(),
+        1 => KernelKind::Scalar,
+        2 => KernelKind::Avx2,
+        _ => KernelKind::Neon,
+    }
+}
+
+/// The best kernel the host supports, ignoring any override.
+pub fn detect_kernel() -> KernelKind {
+    if KernelKind::Avx2.is_available() {
+        KernelKind::Avx2
+    } else if KernelKind::Neon.is_available() {
+        KernelKind::Neon
+    } else {
+        KernelKind::Scalar
+    }
+}
+
+/// Every kernel the host can run (always contains [`KernelKind::Scalar`]).
+pub fn available_kernels() -> Vec<KernelKind> {
+    [KernelKind::Scalar, KernelKind::Avx2, KernelKind::Neon]
+        .into_iter()
+        .filter(|k| k.is_available())
+        .collect()
+}
+
+/// Forces the dispatched kernels onto `kind` for the rest of the process
+/// (or until the next call), falling back to detection when `kind` is not
+/// available on this host. Returns the kernel actually installed.
+///
+/// Safe to call at any time, even while other threads are querying: every
+/// kernel returns bit-identical results, so the switch is observable only
+/// as a speed change. Intended for tests, benchmarks and the per-kernel
+/// exactness sweeps.
+pub fn force_kernel(kind: KernelKind) -> KernelKind {
+    let effective = if kind.is_available() {
+        kind
+    } else {
+        detect_kernel()
+    };
+    ACTIVE.store(effective as u8, Ordering::Relaxed);
+    effective
+}
+
+#[cold]
+fn init_kernel() -> KernelKind {
+    let requested = std::env::var("HC2L_KERNEL").ok().and_then(|raw| {
+        let parsed = KernelKind::from_name(&raw);
+        if parsed.is_none() && !raw.trim().is_empty() {
+            eprintln!(
+                "warning: HC2L_KERNEL={raw:?} is not one of scalar|avx2|neon; auto-detecting"
+            );
+        }
+        parsed
+    });
+    let kind = match requested {
+        Some(k) if k.is_available() => k,
+        Some(k) => {
+            let fallback = detect_kernel();
+            eprintln!(
+                "warning: HC2L_KERNEL={} is not available on this host; using {fallback}",
+                k.name()
+            );
+            fallback
+        }
+        None => detect_kernel(),
+    };
+    ACTIVE.store(kind as u8, Ordering::Relaxed);
+    kind
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points
+// ---------------------------------------------------------------------------
+
+/// Branch-free `min_i (a[i] + b[i])` over the common prefix of two distance
+/// slices (runs the [`active_kernel`]).
+///
+/// Both inputs must only contain values `<= INFINITY` (the workspace-wide
+/// invariant for stored distances), so the lane adds cannot overflow.
+///
+/// Scans shorter than [`SCAN_SIMD_MIN`] take the scalar path *inline*
+/// without consulting the dispatcher at all: HC2L's per-level cut labels
+/// are typically a few dozen entries, and at that size the kernel-select
+/// atomic load plus an outlined SIMD call costs more than the scan itself.
+#[inline]
+pub fn min_plus_scan(a: &[Distance], b: &[Distance]) -> Distance {
+    if a.len().min(b.len()) < SCAN_SIMD_MIN {
+        return scalar::min_plus_scan(a, b);
+    }
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` is only ever installed after `is_available()`
+        // confirmed the host supports it.
+        KernelKind::Avx2 => unsafe { avx2::min_plus_scan(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        KernelKind::Neon => neon::min_plus_scan(a, b),
+        _ => scalar::min_plus_scan(a, b),
+    }
+}
+
+/// [`min_plus_scan`] with cut-bound block pruning: `ba`/`bb` hold one lower
+/// bound per [`CUT_BOUND_BLOCK`] entries of `a`/`b` ([`block_min_bounds`]),
+/// and any block whose `bound_a + bound_b` cannot beat the current best is
+/// skipped without touching its entries. Walking the array front to back
+/// visits the hierarchy's most important cut vertices first, which is what
+/// makes the running best tight early. Falls back to the full scan when the
+/// bound arrays are too short. Bit-identical to [`min_plus_scan`].
+#[inline]
+pub fn min_plus_scan_pruned(
+    a: &[Distance],
+    b: &[Distance],
+    ba: &[Distance],
+    bb: &[Distance],
+) -> Distance {
+    let len = a.len().min(b.len());
+    if len < SCAN_PRUNE_MIN {
+        // Short scans: the bound lookups plus the block walk cost more
+        // than the entries they could skip — run the plain scan.
+        return min_plus_scan(a, b);
+    }
+    if ba.len() * CUT_BOUND_BLOCK < len || bb.len() * CUT_BOUND_BLOCK < len {
+        return min_plus_scan(a, b);
+    }
+    if len < SCAN_SIMD_MIN {
+        // Inline scalar block walk, same rationale as `min_plus_scan`.
+        return pruned_scan_loop(a, b, ba, bb, scalar::min_plus_scan);
+    }
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `min_plus_scan`. The fused variant keeps the block
+        // walk inside one `target_feature` function — per-block outlined
+        // calls would dominate the scan at these block sizes.
+        KernelKind::Avx2 => unsafe { avx2::min_plus_scan_pruned(a, b, ba, bb) },
+        #[cfg(target_arch = "aarch64")]
+        // NEON functions need no `target_feature` gate (baseline on
+        // aarch64), so the generic walk inlines them fully — already fused.
+        KernelKind::Neon => pruned_scan_loop(a, b, ba, bb, neon::min_plus_scan),
+        _ => pruned_scan_loop(a, b, ba, bb, scalar::min_plus_scan),
+    }
+}
+
+/// The block-skipping walk shared by every pruned-scan instantiation.
+#[inline]
+fn pruned_scan_loop(
+    a: &[Distance],
+    b: &[Distance],
+    ba: &[Distance],
+    bb: &[Distance],
+    scan: impl Fn(&[Distance], &[Distance]) -> Distance,
+) -> Distance {
+    let len = a.len().min(b.len());
+    let mut best = INFINITY;
+    for k in 0..len.div_ceil(CUT_BOUND_BLOCK) {
+        // Saturating: both bounds may be INFINITY (all-infinite block).
+        if dist_add(ba[k], bb[k]) >= best {
+            continue;
+        }
+        let lo = k * CUT_BOUND_BLOCK;
+        let hi = (lo + CUT_BOUND_BLOCK).min(len);
+        best = best.min(scan(&a[lo..hi], &b[lo..hi]));
+    }
+    best
+}
+
+/// Branch-free merge-join `min { da[i] + db[j] : ha[i] == hb[j] }` over two
+/// hub lists sorted **strictly** ascending (runs the [`active_kernel`]).
+#[inline]
+pub fn min_plus_merge(ha: &[Vertex], da: &[Distance], hb: &[Vertex], db: &[Distance]) -> Distance {
+    debug_assert_eq!(ha.len(), da.len());
+    debug_assert_eq!(hb.len(), db.len());
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `min_plus_scan`.
+        KernelKind::Avx2 => unsafe { avx2::min_plus_merge(ha, da, hb, db) },
+        #[cfg(target_arch = "aarch64")]
+        KernelKind::Neon => neon::min_plus_merge(ha, da, hb, db),
+        _ => scalar::merge_core(ha, da, hb, db, 0, 0, INFINITY),
+    }
+}
+
+/// [`min_plus_merge`] with cut-bound early exit: `sa`/`sb` hold one
+/// *suffix* lower bound per [`CUT_BOUND_BLOCK`] entries of the distance
+/// columns ([`suffix_block_bounds`]), so the merge stops as soon as no
+/// remaining pair can beat the current best. Falls back to the plain merge
+/// when the bound arrays are too short. Bit-identical to
+/// [`min_plus_merge`].
+#[inline]
+pub fn min_plus_merge_pruned(
+    ha: &[Vertex],
+    da: &[Distance],
+    hb: &[Vertex],
+    db: &[Distance],
+    sa: &[Distance],
+    sb: &[Distance],
+) -> Distance {
+    if sa.len() * CUT_BOUND_BLOCK < ha.len() || sb.len() * CUT_BOUND_BLOCK < hb.len() {
+        return min_plus_merge(ha, da, hb, db);
+    }
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `min_plus_scan`.
+        KernelKind::Avx2 => unsafe { avx2::min_plus_merge_pruned(ha, da, hb, db, sa, sb) },
+        _ => scalar::merge_core_pruned(ha, da, hb, db, sa, sb, 0, 0, INFINITY),
+    }
+}
+
+/// Branch-free gather reduction `min_p (ds[pos[p]] + dt[pos[p]])` — H2H's
+/// bag scan (runs the [`active_kernel`]).
+///
+/// Positions are expected to be in range for both rows (the load-time
+/// validators enforce this for well-formed files); an out-of-range position
+/// takes the scalar path and panics on the bounds check there, exactly as
+/// the pre-SIMD code did — the vector gather is only entered once every
+/// index is proven in range.
+#[inline]
+pub fn min_plus_gather(pos: &[u32], ds: &[Distance], dt: &[Distance]) -> Distance {
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2 if pos.len() >= GATHER_SIMD_MIN => {
+            // The gather instruction has no bounds checks and takes *signed*
+            // 32-bit indices, so prove every position in range (and below
+            // 2^31) first; a branchless max-reduce vectorises well.
+            let limit = ds.len().min(dt.len()).min(1usize << 31) as u32;
+            let max = pos.iter().fold(0u32, |m, &p| m.max(p));
+            if (max as usize) < limit as usize {
+                // SAFETY: AVX2 availability as in `min_plus_scan`; every
+                // index was just proven in range for both rows.
+                unsafe { avx2::min_plus_gather(pos, ds, dt) }
+            } else {
+                scalar::min_plus_gather(pos, ds, dt)
+            }
+        }
+        _ => scalar::min_plus_gather(pos, ds, dt),
+    }
+}
+
+/// Position count below which the dispatched [`min_plus_gather`] stays on
+/// the scalar loop even under the AVX2 kernel: `VPGATHERQQ` is a
+/// high-latency instruction, and on short bags (the common H2H case — bag
+/// sizes track the treewidth) the bounds prepass plus gather latency loses
+/// to the scalar load/add/cmov loop by ~20% measured (`benches/kernels.rs`);
+/// past this length the two are at parity or better.
+const GATHER_SIMD_MIN: usize = 64;
+
+/// Common-prefix length below which [`min_plus_scan`] and
+/// [`min_plus_scan_pruned`] stay on the inline scalar path without even
+/// loading the kernel selector. Sized so the short scans that dominate
+/// HC2L's query mix (cut labels of a few dozen entries — see
+/// `QueryStats::hubs_scanned`) pay zero dispatch overhead, while long
+/// scans still reach the SIMD kernels.
+const SCAN_SIMD_MIN: usize = 64;
+
+/// Common-prefix length below which [`min_plus_scan_pruned`] ignores the
+/// bounds entirely and runs the plain scan. On the 64x64 reference grid the
+/// per-level scans span 1–3 bound blocks and only ~16% of blocks prune
+/// (measured), so the two bound-table lookups plus the per-block walk cost
+/// more than the skipped entries; with more blocks per scan the skip
+/// probability compounds and pruning pays. Bounds stay worth *storing*
+/// regardless — the threshold is a per-query decision, not a format one.
+pub const SCAN_PRUNE_MIN: usize = 4 * CUT_BOUND_BLOCK;
+
+// ---------------------------------------------------------------------------
+// Bound construction (freeze-time)
+// ---------------------------------------------------------------------------
+
+/// Appends the per-block minima of `dists` (one bound per
+/// [`CUT_BOUND_BLOCK`] entries, [`INFINITY`] for all-infinite blocks) —
+/// the bound shape [`min_plus_scan_pruned`] consumes.
+pub fn block_min_bounds(dists: &[Distance], out: &mut Vec<Distance>) {
+    for chunk in dists.chunks(CUT_BOUND_BLOCK) {
+        out.push(chunk.iter().copied().fold(INFINITY, Distance::min));
+    }
+}
+
+/// Appends the per-block *suffix* minima of `dists`: `out[k]` bounds every
+/// entry from block `k` to the end — the bound shape
+/// [`min_plus_merge_pruned`] consumes (a merge cursor only moves forward,
+/// so the useful bound is over the remaining suffix).
+pub fn suffix_block_bounds(dists: &[Distance], out: &mut Vec<Distance>) {
+    let start = out.len();
+    block_min_bounds(dists, out);
+    let mut running = INFINITY;
+    for bound in out[start..].iter_mut().rev() {
+        running = running.min(*bound);
+        *bound = running;
+    }
+}
+
+/// Number of bounds either builder appends for an array of `len` entries.
+#[inline]
+pub fn bounds_len(len: usize) -> usize {
+    len.div_ceil(CUT_BOUND_BLOCK)
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels (portable fallback — the pre-SIMD branch-free code)
+// ---------------------------------------------------------------------------
+
+pub(crate) mod scalar {
+    use super::{dist_add, Distance, Vertex, CUT_BOUND_BLOCK, INFINITY, MIN_PLUS_LANES};
+
+    /// Chunked branch-free scan; LLVM auto-vectorises the lane loop at the
+    /// baseline target width.
+    #[inline]
+    pub fn min_plus_scan(a: &[Distance], b: &[Distance]) -> Distance {
+        let len = a.len().min(b.len());
+        let (a, b) = (&a[..len], &b[..len]);
+        let mut lanes = [INFINITY; MIN_PLUS_LANES];
+        let mut ca = a.chunks_exact(MIN_PLUS_LANES);
+        let mut cb = b.chunks_exact(MIN_PLUS_LANES);
+        for (xa, xb) in (&mut ca).zip(&mut cb) {
+            for l in 0..MIN_PLUS_LANES {
+                lanes[l] = lanes[l].min(xa[l] + xb[l]);
+            }
+        }
+        let mut best = INFINITY;
+        for &lane in &lanes {
+            best = best.min(lane);
+        }
+        for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+            best = best.min(x + y);
+        }
+        best.min(INFINITY)
+    }
+
+    /// Mask-advance merge loop from cursors `(i, j)` with a running `best`
+    /// — the shared scalar core and the tail of the vector merges.
+    #[inline]
+    pub fn merge_core(
+        ha: &[Vertex],
+        da: &[Distance],
+        hb: &[Vertex],
+        db: &[Distance],
+        mut i: usize,
+        mut j: usize,
+        mut best: Distance,
+    ) -> Distance {
+        while i < ha.len() && j < hb.len() {
+            let (x, y) = (ha[i], hb[j]);
+            let d = da[i] + db[j];
+            let cand = if x == y { d } else { INFINITY };
+            best = best.min(cand);
+            i += (x <= y) as usize;
+            j += (y <= x) as usize;
+        }
+        best.min(INFINITY)
+    }
+
+    /// [`merge_core`] with suffix-bound early exit (see
+    /// [`super::min_plus_merge_pruned`]); the caller guarantees the bound
+    /// arrays cover every block of both labels.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn merge_core_pruned(
+        ha: &[Vertex],
+        da: &[Distance],
+        hb: &[Vertex],
+        db: &[Distance],
+        sa: &[Distance],
+        sb: &[Distance],
+        mut i: usize,
+        mut j: usize,
+        mut best: Distance,
+    ) -> Distance {
+        while i < ha.len() && j < hb.len() {
+            // Saturating: both suffix bounds may be INFINITY.
+            if dist_add(sa[i / CUT_BOUND_BLOCK], sb[j / CUT_BOUND_BLOCK]) >= best {
+                break;
+            }
+            let (x, y) = (ha[i], hb[j]);
+            let d = da[i] + db[j];
+            let cand = if x == y { d } else { INFINITY };
+            best = best.min(cand);
+            i += (x <= y) as usize;
+            j += (y <= x) as usize;
+        }
+        best.min(INFINITY)
+    }
+
+    /// Branch-free gather reduction (bounds-checked indexing: an
+    /// out-of-range position panics here, never reads out of bounds).
+    #[inline]
+    pub fn min_plus_gather(pos: &[u32], ds: &[Distance], dt: &[Distance]) -> Distance {
+        let mut best = INFINITY;
+        for &p in pos {
+            let p = p as usize;
+            best = best.min(ds[p] + dt[p]);
+        }
+        best.min(INFINITY)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels (x86-64)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{dist_add, scalar, Distance, Vertex, CUT_BOUND_BLOCK, INFINITY};
+    use std::arch::x86_64::*;
+
+    /// Unaligned 4-lane load at `s[i..i + 4]`.
+    ///
+    /// # Safety
+    /// Requires AVX2 and `i + 4 <= s.len()`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn loadu(s: &[u64], i: usize) -> __m256i {
+        _mm256_loadu_si256(s.as_ptr().add(i) as *const __m256i)
+    }
+
+    /// Lane-wise unsigned 64-bit minimum. Valid with the *signed* compare
+    /// because every operand stays below `2^63` (sums of two distances are
+    /// at most `2 * INFINITY`).
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn min_u64x4(x: __m256i, y: __m256i) -> __m256i {
+        let x_gt_y = _mm256_cmpgt_epi64(x, y);
+        _mm256_blendv_epi8(x, y, x_gt_y)
+    }
+
+    /// Horizontal minimum of the 4 lanes.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hmin_u64x4(v: __m256i) -> u64 {
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
+        lanes.iter().copied().fold(u64::MAX, u64::min)
+    }
+
+    /// AVX2 scan: two 4-lane accumulators (8 entries per iteration),
+    /// scalar tail.
+    ///
+    /// # Safety
+    /// Requires AVX2 (callers dispatch on `is_x86_feature_detected!`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn min_plus_scan(a: &[Distance], b: &[Distance]) -> Distance {
+        let len = a.len().min(b.len());
+        let mut best = INFINITY;
+        let mut i = 0usize;
+        if len >= 8 {
+            let inf = _mm256_set1_epi64x(INFINITY as i64);
+            let mut acc0 = inf;
+            let mut acc1 = inf;
+            while i + 8 <= len {
+                let s0 = _mm256_add_epi64(loadu(a, i), loadu(b, i));
+                let s1 = _mm256_add_epi64(loadu(a, i + 4), loadu(b, i + 4));
+                acc0 = min_u64x4(acc0, s0);
+                acc1 = min_u64x4(acc1, s1);
+                i += 8;
+            }
+            best = hmin_u64x4(min_u64x4(acc0, acc1));
+        }
+        while i < len {
+            best = best.min(a[i] + b[i]);
+            i += 1;
+        }
+        best.min(INFINITY)
+    }
+
+    /// Fused AVX2 pruned scan: the cut-bound block walk and the vector
+    /// reduction live in one `target_feature` function, so skipping or
+    /// scanning a block never crosses an outlined call boundary. A full
+    /// block is [`CUT_BOUND_BLOCK`] = 16 entries = two 8-wide steps; the
+    /// final partial block falls through to the scalar tail.
+    ///
+    /// # Safety
+    /// Requires AVX2 (callers dispatch on `is_x86_feature_detected!`).
+    /// Callers must guarantee `ba`/`bb` cover every block of the common
+    /// prefix (the dispatcher's length check).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn min_plus_scan_pruned(
+        a: &[Distance],
+        b: &[Distance],
+        ba: &[Distance],
+        bb: &[Distance],
+    ) -> Distance {
+        let len = a.len().min(b.len());
+        let mut best = INFINITY;
+        for k in 0..len.div_ceil(CUT_BOUND_BLOCK) {
+            // Saturating: both bounds may be INFINITY (all-infinite block).
+            if dist_add(ba[k], bb[k]) >= best {
+                continue;
+            }
+            let lo = k * CUT_BOUND_BLOCK;
+            let hi = (lo + CUT_BOUND_BLOCK).min(len);
+            if hi - lo == CUT_BOUND_BLOCK {
+                let s0 = _mm256_add_epi64(loadu(a, lo), loadu(b, lo));
+                let s1 = _mm256_add_epi64(loadu(a, lo + 4), loadu(b, lo + 4));
+                let s2 = _mm256_add_epi64(loadu(a, lo + 8), loadu(b, lo + 8));
+                let s3 = _mm256_add_epi64(loadu(a, lo + 12), loadu(b, lo + 12));
+                let m = min_u64x4(min_u64x4(s0, s1), min_u64x4(s2, s3));
+                best = best.min(hmin_u64x4(m));
+            } else {
+                for i in lo..hi {
+                    best = best.min(a[i] + b[i]);
+                }
+            }
+        }
+        best.min(INFINITY)
+    }
+
+    /// The 8 rotate-left lane permutations of [`block_pairs`].
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn rotations() -> [__m256i; 8] {
+        [
+            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+            _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0),
+            _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1),
+            _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2),
+            _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3),
+            _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4),
+            _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5),
+            _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6),
+        ]
+    }
+
+    /// All-pairs hub comparison of one 8x8 window: for every rotation `r`,
+    /// lane `l` of the rotated `vb` holds `hb[j + (l + r) % 8]`, so one
+    /// vector equality + movemask finds every matching pair in the window.
+    ///
+    /// # Safety
+    /// Requires AVX2; `i + 8 <= da.len()` and `j + 8 <= db.len()`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn block_pairs(
+        va: __m256i,
+        vb: __m256i,
+        rot: &[__m256i; 8],
+        da: &[Distance],
+        db: &[Distance],
+        i: usize,
+        j: usize,
+        mut best: Distance,
+    ) -> Distance {
+        for (r, idx) in rot.iter().enumerate() {
+            let rb = _mm256_permutevar8x32_epi32(vb, *idx);
+            let eq = _mm256_cmpeq_epi32(va, rb);
+            let mut mask = _mm256_movemask_ps(_mm256_castsi256_ps(eq)) as u32 & 0xFF;
+            while mask != 0 {
+                let l = mask.trailing_zeros() as usize;
+                best = best.min(da[i + l] + db[j + ((l + r) & 7)]);
+                mask &= mask - 1;
+            }
+        }
+        best
+    }
+
+    /// Blocked 8x8 merge-join over strictly sorted hub lists: compare whole
+    /// windows with rotations, then advance past the window whose maximum
+    /// is not larger (no match against unseen entries is possible: they are
+    /// all strictly greater than everything in the advanced window).
+    /// Remainders fall through to the scalar merge core.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn min_plus_merge(
+        ha: &[Vertex],
+        da: &[Distance],
+        hb: &[Vertex],
+        db: &[Distance],
+    ) -> Distance {
+        let mut best = INFINITY;
+        let (mut i, mut j) = (0usize, 0usize);
+        if ha.len() >= 8 && hb.len() >= 8 {
+            let rot = rotations();
+            while i + 8 <= ha.len() && j + 8 <= hb.len() {
+                let va = _mm256_loadu_si256(ha.as_ptr().add(i) as *const __m256i);
+                let vb = _mm256_loadu_si256(hb.as_ptr().add(j) as *const __m256i);
+                best = block_pairs(va, vb, &rot, da, db, i, j, best);
+                let (amax, bmax) = (ha[i + 7], hb[j + 7]);
+                i += 8 * (amax <= bmax) as usize;
+                j += 8 * (bmax <= amax) as usize;
+            }
+        }
+        scalar::merge_core(ha, da, hb, db, i, j, best)
+    }
+
+    /// [`min_plus_merge`] with suffix-bound early exit, checked once per
+    /// 8x8 window; the scalar tail keeps checking per step.
+    ///
+    /// # Safety
+    /// Requires AVX2; `sa`/`sb` must cover every block of `ha`/`hb`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn min_plus_merge_pruned(
+        ha: &[Vertex],
+        da: &[Distance],
+        hb: &[Vertex],
+        db: &[Distance],
+        sa: &[Distance],
+        sb: &[Distance],
+    ) -> Distance {
+        let mut best = INFINITY;
+        let (mut i, mut j) = (0usize, 0usize);
+        if ha.len() >= 8 && hb.len() >= 8 {
+            let rot = rotations();
+            while i + 8 <= ha.len() && j + 8 <= hb.len() {
+                if dist_add(sa[i / CUT_BOUND_BLOCK], sb[j / CUT_BOUND_BLOCK]) >= best {
+                    return best.min(INFINITY);
+                }
+                let va = _mm256_loadu_si256(ha.as_ptr().add(i) as *const __m256i);
+                let vb = _mm256_loadu_si256(hb.as_ptr().add(j) as *const __m256i);
+                best = block_pairs(va, vb, &rot, da, db, i, j, best);
+                let (amax, bmax) = (ha[i + 7], hb[j + 7]);
+                i += 8 * (amax <= bmax) as usize;
+                j += 8 * (bmax <= amax) as usize;
+            }
+        }
+        scalar::merge_core_pruned(ha, da, hb, db, sa, sb, i, j, best)
+    }
+
+    /// AVX2 gather reduction: 8 positions per iteration through two
+    /// independent hardware-gather chains (the gather instruction is
+    /// high-latency, so a single accumulator chain serialises on it),
+    /// scalar tail.
+    ///
+    /// # Safety
+    /// Requires AVX2, and **every** `pos[p]` must be in range for both
+    /// `ds` and `dt` and below `2^31` (the dispatcher proves this before
+    /// calling): the gather instruction performs no bounds checks.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn min_plus_gather(pos: &[u32], ds: &[Distance], dt: &[Distance]) -> Distance {
+        let len = pos.len();
+        let mut best = INFINITY;
+        let mut i = 0usize;
+        if len >= 4 {
+            let mut acc0 = _mm256_set1_epi64x(INFINITY as i64);
+            let mut acc1 = acc0;
+            while i + 8 <= len {
+                let idx0 = _mm_loadu_si128(pos.as_ptr().add(i) as *const __m128i);
+                let idx1 = _mm_loadu_si128(pos.as_ptr().add(i + 4) as *const __m128i);
+                let s0 = _mm256_i32gather_epi64::<8>(ds.as_ptr() as *const i64, idx0);
+                let t0 = _mm256_i32gather_epi64::<8>(dt.as_ptr() as *const i64, idx0);
+                let s1 = _mm256_i32gather_epi64::<8>(ds.as_ptr() as *const i64, idx1);
+                let t1 = _mm256_i32gather_epi64::<8>(dt.as_ptr() as *const i64, idx1);
+                acc0 = min_u64x4(acc0, _mm256_add_epi64(s0, t0));
+                acc1 = min_u64x4(acc1, _mm256_add_epi64(s1, t1));
+                i += 8;
+            }
+            if i + 4 <= len {
+                let idx = _mm_loadu_si128(pos.as_ptr().add(i) as *const __m128i);
+                let vs = _mm256_i32gather_epi64::<8>(ds.as_ptr() as *const i64, idx);
+                let vt = _mm256_i32gather_epi64::<8>(dt.as_ptr() as *const i64, idx);
+                acc0 = min_u64x4(acc0, _mm256_add_epi64(vs, vt));
+                i += 4;
+            }
+            best = hmin_u64x4(min_u64x4(acc0, acc1));
+        }
+        while i < len {
+            let p = pos[i] as usize;
+            best = best.min(ds[p] + dt[p]);
+            i += 1;
+        }
+        best.min(INFINITY)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NEON kernels (aarch64 — NEON is baseline there, no runtime detection)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::{scalar, Distance, Vertex, INFINITY};
+    use std::arch::aarch64::*;
+
+    /// Lane-wise unsigned 64-bit minimum (NEON has no `vminq_u64`; select
+    /// through the unsigned compare, which aarch64 does provide).
+    #[inline]
+    fn min_u64x2(x: uint64x2_t, y: uint64x2_t) -> uint64x2_t {
+        // SAFETY: NEON is baseline on aarch64.
+        unsafe { vbslq_u64(vcgtq_u64(x, y), y, x) }
+    }
+
+    /// NEON scan: two 2-lane accumulators (4 entries per iteration),
+    /// scalar tail.
+    pub fn min_plus_scan(a: &[Distance], b: &[Distance]) -> Distance {
+        let len = a.len().min(b.len());
+        let mut best = INFINITY;
+        let mut i = 0usize;
+        if len >= 4 {
+            // SAFETY: NEON is baseline on aarch64; all loads stay within
+            // `i + 4 <= len`.
+            unsafe {
+                let mut acc0 = vdupq_n_u64(INFINITY);
+                let mut acc1 = vdupq_n_u64(INFINITY);
+                while i + 4 <= len {
+                    let s0 = vaddq_u64(vld1q_u64(a.as_ptr().add(i)), vld1q_u64(b.as_ptr().add(i)));
+                    let s1 = vaddq_u64(
+                        vld1q_u64(a.as_ptr().add(i + 2)),
+                        vld1q_u64(b.as_ptr().add(i + 2)),
+                    );
+                    acc0 = min_u64x2(acc0, s0);
+                    acc1 = min_u64x2(acc1, s1);
+                    i += 4;
+                }
+                let acc = min_u64x2(acc0, acc1);
+                best = vgetq_lane_u64::<0>(acc).min(vgetq_lane_u64::<1>(acc));
+            }
+        }
+        while i < len {
+            best = best.min(a[i] + b[i]);
+            i += 1;
+        }
+        best.min(INFINITY)
+    }
+
+    /// Blocked 4x4 merge-join over strictly sorted hub lists, the NEON
+    /// analogue of the AVX2 windowed compare: each window pair is checked
+    /// with four rotated equality compares (`vextq_u32` rotations).
+    pub fn min_plus_merge(
+        ha: &[Vertex],
+        da: &[Distance],
+        hb: &[Vertex],
+        db: &[Distance],
+    ) -> Distance {
+        let mut best = INFINITY;
+        let (mut i, mut j) = (0usize, 0usize);
+        if ha.len() >= 4 && hb.len() >= 4 {
+            while i + 4 <= ha.len() && j + 4 <= hb.len() {
+                // SAFETY: NEON is baseline on aarch64; loads stay within
+                // the window bounds checked above.
+                unsafe {
+                    let va = vld1q_u32(ha.as_ptr().add(i));
+                    let vb = vld1q_u32(hb.as_ptr().add(j));
+                    let mut lanes = [0u32; 4];
+                    // Rotation r compares ha[i + l] with hb[j + (l + r) % 4].
+                    macro_rules! rotation {
+                        ($r:literal) => {
+                            let rb = vextq_u32::<$r>(vb, vb);
+                            let eq = vceqq_u32(va, rb);
+                            if vmaxvq_u32(eq) != 0 {
+                                vst1q_u32(lanes.as_mut_ptr(), eq);
+                                for (l, &hit) in lanes.iter().enumerate() {
+                                    if hit != 0 {
+                                        best = best.min(da[i + l] + db[j + ((l + $r) & 3)]);
+                                    }
+                                }
+                            }
+                        };
+                    }
+                    rotation!(0);
+                    rotation!(1);
+                    rotation!(2);
+                    rotation!(3);
+                }
+                let (amax, bmax) = (ha[i + 3], hb[j + 3]);
+                i += 4 * (amax <= bmax) as usize;
+                j += 4 * (bmax <= amax) as usize;
+            }
+        }
+        scalar::merge_core(ha, da, hb, db, i, j, best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Seeded xorshift generator for the property tests.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+    }
+
+    fn restore_kernel() {
+        force_kernel(detect_kernel());
+    }
+
+    /// Random distance array mixing small values and INFINITY.
+    fn random_dists(rng: &mut Rng, len: usize) -> Vec<Distance> {
+        (0..len)
+            .map(|_| {
+                if rng.next().is_multiple_of(5) {
+                    INFINITY
+                } else {
+                    rng.next() % 10_000
+                }
+            })
+            .collect()
+    }
+
+    /// Strictly increasing hub list with parallel random distances.
+    fn random_label(rng: &mut Rng, len: usize) -> (Vec<Vertex>, Vec<Distance>) {
+        let mut hub = 0u32;
+        let mut hubs = Vec::with_capacity(len);
+        for _ in 0..len {
+            hub += 1 + (rng.next() % 4) as u32;
+            hubs.push(hub);
+        }
+        let dists = random_dists(rng, len);
+        (hubs, dists)
+    }
+
+    fn naive_scan(a: &[Distance], b: &[Distance]) -> Distance {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| x + y)
+            .fold(INFINITY, Distance::min)
+    }
+
+    fn naive_merge(ha: &[Vertex], da: &[Distance], hb: &[Vertex], db: &[Distance]) -> Distance {
+        let mut best = INFINITY;
+        for (i, &h) in ha.iter().enumerate() {
+            if let Some(j) = hb.iter().position(|&g| g == h) {
+                best = best.min(da[i] + db[j]);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn kernel_kind_round_trips_names_and_tags() {
+        for k in [KernelKind::Scalar, KernelKind::Avx2, KernelKind::Neon] {
+            assert_eq!(KernelKind::from_name(k.name()), Some(k));
+            assert_eq!(KernelKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(KernelKind::from_name(" AVX2 "), Some(KernelKind::Avx2));
+        assert_eq!(KernelKind::from_name("sse9"), None);
+        assert_eq!(KernelKind::from_tag(0), None);
+    }
+
+    #[test]
+    fn available_kernels_always_include_scalar_and_the_detected_kind() {
+        let avail = available_kernels();
+        assert!(avail.contains(&KernelKind::Scalar));
+        assert!(avail.contains(&detect_kernel()));
+        // Forcing an unavailable kernel falls back to detection.
+        let impossible = if cfg!(target_arch = "x86_64") {
+            KernelKind::Neon
+        } else {
+            KernelKind::Avx2
+        };
+        if !impossible.is_available() {
+            assert_eq!(force_kernel(impossible), detect_kernel());
+        }
+        assert_eq!(force_kernel(KernelKind::Scalar), KernelKind::Scalar);
+        restore_kernel();
+    }
+
+    #[test]
+    fn all_kernels_agree_on_scan_bitwise() {
+        let mut rng = Rng(0xD1CE);
+        for len_a in [0usize, 1, 2, 7, 8, 9, 15, 16, 17, 31, 64, 127] {
+            for delta in [0usize, 1, 5] {
+                let a = random_dists(&mut rng, len_a);
+                let b = random_dists(&mut rng, len_a + delta);
+                let expected = {
+                    let n = a.len().min(b.len());
+                    naive_scan(&a[..n], &b[..n])
+                };
+                for k in available_kernels() {
+                    assert_eq!(force_kernel(k), k);
+                    assert_eq!(min_plus_scan(&a, &b), expected, "kernel {k} len {len_a}");
+                }
+            }
+        }
+        restore_kernel();
+    }
+
+    #[test]
+    fn all_kernels_agree_on_merge_bitwise() {
+        let mut rng = Rng(0xBEEF);
+        for len_a in [0usize, 1, 3, 7, 8, 9, 16, 33, 70] {
+            for len_b in [0usize, 1, 4, 8, 15, 41] {
+                let (ha, da) = random_label(&mut rng, len_a);
+                let (hb, db) = random_label(&mut rng, len_b);
+                let expected = naive_merge(&ha, &da, &hb, &db);
+                for k in available_kernels() {
+                    force_kernel(k);
+                    assert_eq!(
+                        min_plus_merge(&ha, &da, &hb, &db),
+                        expected,
+                        "kernel {k} lens {len_a}/{len_b}"
+                    );
+                }
+            }
+        }
+        // Dense overlap: identical hub lists of every length.
+        for len in [1usize, 8, 17, 64] {
+            let (ha, da) = random_label(&mut rng, len);
+            let db = random_dists(&mut rng, len);
+            let expected = naive_merge(&ha, &da, &ha, &db);
+            for k in available_kernels() {
+                force_kernel(k);
+                assert_eq!(min_plus_merge(&ha, &da, &ha, &db), expected);
+            }
+        }
+        restore_kernel();
+    }
+
+    #[test]
+    fn all_kernels_agree_on_gather_bitwise() {
+        let mut rng = Rng(0xA11CE);
+        // Bags both below and above `GATHER_SIMD_MIN`, so the dispatched
+        // call exercises the scalar short-bag path *and* the hardware
+        // gather (64, 67, 131).
+        for rows in [1usize, 9, 40] {
+            let ds = random_dists(&mut rng, rows);
+            let dt = random_dists(&mut rng, rows);
+            for bag in [0usize, 1, 3, 4, 5, 11, 39, 64, 67, 131] {
+                let pos: Vec<u32> = (0..bag)
+                    .map(|_| (rng.next() % rows as u64) as u32)
+                    .collect();
+                let expected = pos
+                    .iter()
+                    .map(|&p| ds[p as usize] + dt[p as usize])
+                    .fold(INFINITY, Distance::min);
+                for k in available_kernels() {
+                    force_kernel(k);
+                    assert_eq!(min_plus_gather(&pos, &ds, &dt), expected, "kernel {k}");
+                }
+            }
+        }
+        restore_kernel();
+    }
+
+    #[test]
+    fn pruned_scan_is_bit_identical_for_every_kernel() {
+        let mut rng = Rng(0xCAFE);
+        for len in [0usize, 1, 15, 16, 17, 48, 100] {
+            let a = random_dists(&mut rng, len);
+            let b = random_dists(&mut rng, len);
+            let mut ba = Vec::new();
+            let mut bb = Vec::new();
+            block_min_bounds(&a, &mut ba);
+            block_min_bounds(&b, &mut bb);
+            let expected = naive_scan(&a, &b);
+            for k in available_kernels() {
+                force_kernel(k);
+                assert_eq!(
+                    min_plus_scan_pruned(&a, &b, &ba, &bb),
+                    expected,
+                    "kernel {k}"
+                );
+            }
+        }
+        restore_kernel();
+    }
+
+    #[test]
+    fn pruned_merge_is_bit_identical_for_every_kernel() {
+        let mut rng = Rng(0xF00D);
+        for len_a in [0usize, 5, 16, 33, 70] {
+            for len_b in [0usize, 8, 21, 64] {
+                let (ha, da) = random_label(&mut rng, len_a);
+                let (hb, db) = random_label(&mut rng, len_b);
+                let mut sa = Vec::new();
+                let mut sb = Vec::new();
+                suffix_block_bounds(&da, &mut sa);
+                suffix_block_bounds(&db, &mut sb);
+                let expected = naive_merge(&ha, &da, &hb, &db);
+                for k in available_kernels() {
+                    force_kernel(k);
+                    assert_eq!(
+                        min_plus_merge_pruned(&ha, &da, &hb, &db, &sa, &sb),
+                        expected,
+                        "kernel {k} lens {len_a}/{len_b}"
+                    );
+                }
+            }
+        }
+        restore_kernel();
+    }
+
+    #[test]
+    fn pruning_handles_all_infinite_and_all_pruned_blocks() {
+        // Every block infinite: bounds are INFINITY, every block is skipped,
+        // and the result is still INFINITY (saturating bound comparison —
+        // INFINITY + INFINITY must not wrap).
+        let a = vec![INFINITY; 40];
+        let b = vec![INFINITY; 40];
+        let mut ba = Vec::new();
+        let mut bb = Vec::new();
+        block_min_bounds(&a, &mut ba);
+        block_min_bounds(&b, &mut bb);
+        assert!(ba.iter().all(|&x| x == INFINITY));
+        assert_eq!(min_plus_scan_pruned(&a, &b, &ba, &bb), INFINITY);
+
+        // One tiny value in the last block: the first block seeds best from
+        // its own scan, later blocks are pruned or scanned as bounds allow.
+        let mut a2 = vec![1_000u64; 64];
+        let mut b2 = vec![1_000u64; 64];
+        a2[63] = 1;
+        b2[63] = 2;
+        let mut ba2 = Vec::new();
+        let mut bb2 = Vec::new();
+        block_min_bounds(&a2, &mut ba2);
+        block_min_bounds(&b2, &mut bb2);
+        assert_eq!(min_plus_scan_pruned(&a2, &b2, &ba2, &bb2), 3);
+    }
+
+    #[test]
+    fn short_bound_arrays_fall_back_to_the_full_kernels() {
+        let a = vec![5u64; 40];
+        let b = vec![6u64; 40];
+        assert_eq!(min_plus_scan_pruned(&a, &b, &[], &[]), 11);
+        let ha: Vec<u32> = (0..40).collect();
+        let da = vec![7u64; 40];
+        assert_eq!(min_plus_merge_pruned(&ha, &da, &ha, &da, &[], &[]), 14);
+    }
+
+    #[test]
+    fn bound_builders_produce_expected_shapes() {
+        let d: Vec<Distance> = (0..35).map(|i| 100 - i as u64).collect();
+        let mut mins = Vec::new();
+        block_min_bounds(&d, &mut mins);
+        assert_eq!(mins.len(), bounds_len(d.len()));
+        assert_eq!(mins[0], *d[..16].iter().min().unwrap());
+        assert_eq!(mins[2], *d[32..].iter().min().unwrap());
+        let mut suffix = Vec::new();
+        suffix_block_bounds(&d, &mut suffix);
+        assert_eq!(suffix.len(), mins.len());
+        // Suffix bounds are non-decreasing from the back and each bounds
+        // everything after its block start.
+        assert!(suffix.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(suffix[0], *d.iter().min().unwrap());
+        assert!(block_min_bounds_is_empty_for_empty_input());
+    }
+
+    fn block_min_bounds_is_empty_for_empty_input() -> bool {
+        let mut out = Vec::new();
+        block_min_bounds(&[], &mut out);
+        suffix_block_bounds(&[], &mut out);
+        out.is_empty()
+    }
+}

@@ -22,11 +22,15 @@
 //!   distance oracle in the workspace reports from `query_with_stats`.
 //! * [`flat_labels`] — the frozen flat label arenas every labelling backend
 //!   queries from (global distance/hub arenas with CSR offsets, built by a
-//!   one-shot `freeze()` after construction), plus the branch-free
-//!   min-reduction kernels ([`min_plus_scan`], [`min_plus_merge`]) that scan
-//!   them. The arenas are generic over a [`Store`] parameter, so the same
-//!   query kernels run on owned `Vec` arenas or on borrowed slices of a
-//!   loaded index file.
+//!   one-shot `freeze()` after construction), together with the optional
+//!   per-block cut-bound arenas the pruned kernels consume. The arenas are
+//!   generic over a [`Store`] parameter, so the same query kernels run on
+//!   owned `Vec` arenas or on borrowed slices of a loaded index file.
+//! * [`kernels`] — the min-reduction query kernels ([`min_plus_scan`],
+//!   [`min_plus_merge`], [`min_plus_gather`] and their `_pruned` variants)
+//!   in scalar, AVX2 and NEON flavours behind a one-time runtime dispatch
+//!   ([`KernelKind`], `HC2L_KERNEL` override); every flavour is
+//!   bit-identical, only speed differs.
 //! * [`container`] — the sectioned on-disk index format (magic/version
 //!   header, per-section table of contents with 64-byte alignment,
 //!   checksum) and the [`PersistentIndex`] trait every backend implements
@@ -49,6 +53,7 @@ pub mod dijkstra;
 pub mod failpoints;
 pub mod flat_labels;
 pub mod graph;
+pub mod kernels;
 pub mod pathutil;
 pub mod querystats;
 pub mod subgraph;
@@ -68,10 +73,15 @@ pub use dijkstra::{
     multi_source_dijkstra, DijkstraResult,
 };
 pub use flat_labels::{
-    min_plus_merge, min_plus_scan, Borrowed, FlatCsr, FlatCsrRef, FlatEntryLabels,
-    FlatEntryLabelsRef, FlatLevelLabels, FlatLevelLabelsRef, LevelLabelsBuilder, Owned, Store,
+    Borrowed, FlatCsr, FlatCsrRef, FlatEntryLabels, FlatEntryLabelsRef, FlatLevelLabels,
+    FlatLevelLabelsRef, LevelLabelsBuilder, Owned, Store,
 };
 pub use graph::{Edge, Graph};
+pub use kernels::{
+    active_kernel, available_kernels, block_min_bounds, bounds_len, detect_kernel, force_kernel,
+    min_plus_gather, min_plus_merge, min_plus_merge_pruned, min_plus_scan, min_plus_scan_pruned,
+    suffix_block_bounds, KernelKind, CUT_BOUND_BLOCK,
+};
 pub use pathutil::{eccentricity_from, extract_path, farthest_vertex, path_weight};
 pub use querystats::QueryStats;
 pub use subgraph::{InducedSubgraph, VertexSet};

@@ -731,8 +731,12 @@ fn print_stats(s: &hc2l_serve::ServerStats) {
     let method = Method::from_tag(s.method_tag)
         .map(|m| m.to_string())
         .unwrap_or_else(|| format!("unknown tag {}", s.method_tag));
+    let kernel = hc2l_graph::KernelKind::from_tag(s.kernel_tag)
+        .map(|k| k.name().to_string())
+        .unwrap_or_else(|| format!("unknown tag {}", s.kernel_tag));
+    println!("method {method}\nkernel {kernel}");
     println!(
-        "method {method}\nnum_vertices {}\nindex_bytes {}\nthreads {}\nmapped {}\n\
+        "num_vertices {}\nindex_bytes {}\nthreads {}\nmapped {}\n\
          distance_queries {}\none_to_many_queries {}\none_to_many_targets {}\n\
          cache_hits {}\ncache_misses {}\ncache_hit_rate {:.4}\ncache_len {}\ncache_capacity {}",
         s.num_vertices,

@@ -329,10 +329,11 @@ fn main() {
             });
     }
     eprintln!(
-        "serving on {addr} with the {} model, {} threads (cache: {} entries)",
+        "serving on {addr} with the {} model, {} threads (cache: {} entries, kernel: {})",
         args.model.effective(),
         threads,
-        args.cache
+        args.cache,
+        hc2l_graph::active_kernel()
     );
     if let Err(e) = server.wait() {
         eprintln!("serve loop failed: {e}");

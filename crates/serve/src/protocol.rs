@@ -160,6 +160,9 @@ pub struct UpdateOutcome {
 pub struct ServerStats {
     /// Container method tag of the served index (`Method::tag`).
     pub method_tag: u32,
+    /// Active min-plus kernel of the serving process
+    /// (`hc2l_graph::KernelKind::tag`): 1 = scalar, 2 = avx2, 3 = neon.
+    pub kernel_tag: u32,
     /// Vertices of the indexed graph.
     pub num_vertices: u64,
     /// Container file size in bytes.
@@ -513,6 +516,7 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
         Response::Stats(s) => {
             p.push(op::STATS);
             p.extend_from_slice(&s.method_tag.to_le_bytes());
+            p.extend_from_slice(&s.kernel_tag.to_le_bytes());
             p.extend_from_slice(&s.threads.to_le_bytes());
             for v in [
                 s.num_vertices,
@@ -604,6 +608,7 @@ fn decode_response_payload(payload: &[u8]) -> io::Result<Response> {
         op::STATS => {
             let s = ServerStats {
                 method_tag: f.u32()?,
+                kernel_tag: f.u32()?,
                 threads: f.u32()?,
                 num_vertices: f.u64()?,
                 index_bytes: f.u64()?,
@@ -699,6 +704,7 @@ mod tests {
         round_trip_response(Response::Distances(vec![1, 2, 3, u64::MAX]));
         round_trip_response(Response::Stats(ServerStats {
             method_tag: 3,
+            kernel_tag: 2,
             num_vertices: 4096,
             index_bytes: 123_456,
             threads: 8,

@@ -581,6 +581,7 @@ impl ServeState {
         let generation = self.oracle();
         ServerStats {
             method_tag: generation.method().tag(),
+            kernel_tag: hc2l_graph::active_kernel().tag(),
             num_vertices: generation.num_vertices() as u64,
             index_bytes: generation.index_bytes() as u64,
             threads: self.threads as u32,

@@ -99,6 +99,26 @@ fn one_to_many_matches_pointwise_on_random_graphs() {
 }
 
 #[test]
+fn every_method_matches_dijkstra_under_every_kernel() {
+    // The `HC2L_KERNEL` env override resolves through the same force path,
+    // so looping `force_kernel` over every kernel available on this host
+    // (scalar always, plus the detected SIMD kind) re-gates exactness under
+    // each value the override accepts. The kernel choice is process-global,
+    // but every kernel is bit-identical, so concurrently running tests are
+    // unaffected.
+    for kernel in hc2l_graph::available_kernels() {
+        hc2l_graph::force_kernel(kernel);
+        for g in common::connected_graph_cases(4, 30, 0xE7) {
+            for method in Method::ALL {
+                let oracle = OracleBuilder::new(method).threads(2).build(&g);
+                assert_oracle_exact(&g, &oracle);
+            }
+        }
+    }
+    hc2l_graph::force_kernel(hc2l_graph::detect_kernel());
+}
+
+#[test]
 fn all_methods_agree_pairwise() {
     for g in common::connected_graph_cases(6, 25, 0xE6) {
         let oracles: Vec<_> = Method::ALL

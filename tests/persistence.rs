@@ -72,9 +72,9 @@ fn every_method_round_trips_with_bit_identical_queries() {
             let loaded = OracleBuilder::load(&path).expect("load must succeed");
             assert_eq!(loaded.method(), method, "method tag round-trips");
             assert_eq!(loaded.name(), built.name());
-            assert_eq!(loaded.index_bytes(), built.index_bytes());
-            assert_eq!(loaded.label_bytes(), built.label_bytes());
-            assert_eq!(loaded.lca_bytes(), built.lca_bytes());
+            assert_eq!(loaded.index_bytes(), built.index_bytes(), "{method}");
+            assert_eq!(loaded.label_bytes(), built.label_bytes(), "{method}");
+            assert_eq!(loaded.lca_bytes(), built.lca_bytes(), "{method}");
             assert_eq!(loaded.tree_height(), built.tree_height());
             assert_eq!(loaded.max_width(), built.max_width());
 
@@ -267,6 +267,107 @@ fn zero_copy_views_answer_from_the_loaded_buffer() {
             assert_eq!(view.query(s, t), ch.query(s, t), "CH view ({s},{t})");
         }
     }
+}
+
+#[test]
+fn pre_bounds_containers_load_with_identical_answers() {
+    // Format-v1 files predate the cut-bound sections (SIMD/pruning PR).
+    // Simulate one per labelling backend by stripping the bounds sections
+    // from a fresh container: the owned load path rebuilds the bounds, the
+    // zero-copy view serves with pruning off — answers must be identical
+    // either way, and the stripped container must report the sections gone.
+    let g = gnarly_graph();
+    let n = g.num_vertices() as Vertex;
+
+    let strip = |w: &ContainerWriter, drop: &[u32]| -> Vec<u8> {
+        let bytes = w.finish();
+        let full = Container::from_bytes(&bytes).unwrap();
+        let mut out = ContainerWriter::new(full.method_tag());
+        for spec in full.specs() {
+            if !drop.contains(&spec.tag) {
+                out.push_section(spec.tag, full.section(spec.tag).unwrap().to_vec());
+            }
+        }
+        out.finish()
+    };
+
+    // HC2L: level-label bounds live in sections 10/11.
+    let hc2l = hc2l::Hc2lIndex::build(&g, Hc2lConfig::default());
+    let mut w = ContainerWriter::new(hc2l::Hc2lIndex::METHOD_TAG);
+    hc2l.write_sections(&mut w);
+    let stripped = strip(&w, &[10, 11]);
+    let c = Container::from_bytes(&stripped).unwrap();
+    assert!(!c.has_section(10) && !c.has_section(11));
+    let owned = hc2l::Hc2lIndex::read_sections(&c).expect("pre-bounds HC2L container loads");
+    let view = hc2l::FrozenHc2lRef::from_container(&c).unwrap();
+    for s in 0..n {
+        for t in 0..n {
+            assert_eq!(owned.query(s, t), hc2l.query(s, t), "HC2L owned ({s},{t})");
+            assert_eq!(view.query(s, t), hc2l.query(s, t), "HC2L view ({s},{t})");
+        }
+    }
+
+    // HL: suffix bounds live in sections 5/6.
+    let hl = hc2l_hl::HubLabelIndex::build(&g);
+    let mut w = ContainerWriter::new(hc2l_hl::HubLabelIndex::METHOD_TAG);
+    hl.write_sections(&mut w);
+    let stripped = strip(&w, &[5, 6]);
+    let c = Container::from_bytes(&stripped).unwrap();
+    let owned = hc2l_hl::HubLabelIndex::read_sections(&c).expect("pre-bounds HL container loads");
+    let view = hc2l_hl::FrozenHubLabelsRef::from_container(&c).unwrap();
+    for s in 0..n {
+        for t in 0..n {
+            assert_eq!(owned.query(s, t), hl.query(s, t), "HL owned ({s},{t})");
+            assert_eq!(view.query(s, t), hl.query(s, t), "HL view ({s},{t})");
+        }
+    }
+
+    // PHL: suffix bounds live in sections 3/4.
+    let phl = hc2l_phl::PhlIndex::build(&g);
+    let mut w = ContainerWriter::new(hc2l_phl::PhlIndex::METHOD_TAG);
+    phl.write_sections(&mut w);
+    let stripped = strip(&w, &[3, 4]);
+    let c = Container::from_bytes(&stripped).unwrap();
+    let owned = hc2l_phl::PhlIndex::read_sections(&c).expect("pre-bounds PHL container loads");
+    let view = hc2l_phl::FrozenPhlLabelsRef::from_container(&c).unwrap();
+    for s in 0..n {
+        for t in 0..n {
+            assert_eq!(owned.query(s, t), phl.query(s, t), "PHL owned ({s},{t})");
+            assert_eq!(view.query(s, t), phl.query(s, t), "PHL view ({s},{t})");
+        }
+    }
+}
+
+#[test]
+fn tampered_bound_sections_are_rejected_typed() {
+    // A bound section whose values disagree with the label arena could
+    // silently mis-prune; the load path must recompute-validate and fail
+    // typed instead.
+    let g = grid_graph(4, 4);
+    let hl = hc2l_hl::HubLabelIndex::build(&g);
+    let mut w = ContainerWriter::new(hc2l_hl::HubLabelIndex::METHOD_TAG);
+    hl.write_sections(&mut w);
+    let bytes = w.finish();
+    let full = Container::from_bytes(&bytes).unwrap();
+    let mut out = ContainerWriter::new(full.method_tag());
+    for spec in full.specs() {
+        let mut payload = full.section(spec.tag).unwrap().to_vec();
+        if spec.tag == 5 {
+            // Lower one bound: every value it admits is still explored, so
+            // only the validator can notice.
+            payload[0] ^= 0x01;
+        }
+        out.push_section(spec.tag, payload);
+    }
+    let c = Container::from_bytes(&out.finish()).unwrap();
+    assert!(matches!(
+        hc2l_hl::HubLabelIndex::read_sections(&c),
+        Err(DecodeError::Malformed(_))
+    ));
+    assert!(matches!(
+        hc2l_hl::FrozenHubLabelsRef::from_container(&c),
+        Err(DecodeError::Malformed(_))
+    ));
 }
 
 #[test]
