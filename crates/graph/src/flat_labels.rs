@@ -334,20 +334,27 @@ impl LevelLabelsBuilder {
         let mut bounds = Vec::new();
         let mut bound_offsets = Vec::with_capacity(2 * n);
         level_index.push(0);
+        // The cut-bound blocks are the observable sub-cost of freezing (the
+        // rest is copying); their wall time accumulates into the "bounds"
+        // build phase, one clock pair per vertex.
+        let mut bounds_ns = 0u64;
         for (d, ends) in self.dists.iter().zip(self.ends.iter()) {
             let base = dists.len() as u32;
             level_offsets.push(base);
             bound_offsets.push(bounds.len() as u32);
             let mut prev = 0usize;
+            let t0 = hc2l_obs::clock::now();
             for &end in ends {
                 level_offsets.push(base + end);
                 block_min_bounds(&d[prev..end as usize], &mut bounds);
                 bound_offsets.push(bounds.len() as u32);
                 prev = end as usize;
             }
+            bounds_ns += hc2l_obs::clock::ns_since(t0);
             dists.extend_from_slice(d);
             level_index.push(level_offsets.len() as u32);
         }
+        hc2l_obs::phase::add("bounds", bounds_ns);
         FlatLevelLabels {
             dists,
             level_offsets,
@@ -380,7 +387,8 @@ impl FlatLevelLabels<Owned> {
     /// they are already present).
     pub fn ensure_bounds(&mut self) {
         if !self.has_bounds() {
-            let (bounds, bound_offsets) = self.computed_bounds();
+            let (bounds, bound_offsets) =
+                hc2l_obs::phase::time("bounds", || self.computed_bounds());
             self.bounds = bounds;
             self.bound_offsets = bound_offsets;
         }
@@ -686,7 +694,8 @@ impl FlatEntryLabels<Owned> {
     /// they are already present).
     pub fn ensure_bounds(&mut self) {
         if !self.has_bounds() {
-            let (suffix_bounds, bound_offsets) = self.computed_bounds();
+            let (suffix_bounds, bound_offsets) =
+                hc2l_obs::phase::time("bounds", || self.computed_bounds());
             self.suffix_bounds = suffix_bounds;
             self.bound_offsets = bound_offsets;
         }

@@ -56,8 +56,14 @@ pub fn build_hierarchy_and_labels(
 
     let mut hierarchy = BalancedTreeHierarchy::new(n);
     let mut labels = LevelLabelsBuilder::new(n);
-    merge_subtree(&root_build, hierarchy.root(), &mut hierarchy, &mut labels);
-    (hierarchy, labels.freeze())
+    // The merge + arena freeze is the serial tail of construction; the
+    // cut-bound computation inside `freeze` additionally reports itself as
+    // the (overlapping) "bounds" phase.
+    let frozen = hc2l_obs::phase::time("freeze", || {
+        merge_subtree(&root_build, hierarchy.root(), &mut hierarchy, &mut labels);
+        labels.freeze()
+    });
+    (hierarchy, frozen)
 }
 
 /// Depth-first merge of the intermediate tree into the flat data structures.
@@ -96,7 +102,9 @@ fn build_subtree(sub: Graph, map: Vec<Vertex>, config: &Hc2lConfig) -> SubtreeBu
     let (cut_local, split) = if n <= config.leaf_threshold {
         ((0..n as Vertex).collect::<Vec<_>>(), None)
     } else {
-        let bc = balanced_cut(&sub, CutConfig { beta: config.beta });
+        let bc = hc2l_obs::phase::time("cut_partition", || {
+            balanced_cut(&sub, CutConfig { beta: config.beta })
+        });
         let degenerate = bc.cut.len() == n
             || bc.part_a.len() == n
             || bc.part_b.len() == n
@@ -116,7 +124,9 @@ fn build_subtree(sub: Graph, map: Vec<Vertex>, config: &Hc2lConfig) -> SubtreeBu
     } else {
         1
     };
-    let labelling = label_node(&sub, &cut_local, config.tail_pruning, node_threads);
+    let labelling = hc2l_obs::phase::time("labelling", || {
+        label_node(&sub, &cut_local, config.tail_pruning, node_threads)
+    });
     let mut arrays = Vec::with_capacity(n);
     for (local, array) in labelling.arrays.iter().enumerate() {
         arrays.push((map[local], array.clone()));
@@ -131,8 +141,11 @@ fn build_subtree(sub: Graph, map: Vec<Vertex>, config: &Hc2lConfig) -> SubtreeBu
         None => [None, None],
         Some((part_a, part_b)) => {
             let build_child = |part: &[Vertex]| -> Box<SubtreeBuild> {
-                let shortcuts =
-                    add_shortcuts(&sub, &labelling.ordered_cut, part, &labelling.cut_distances);
+                // Shortcut insertion keeps the child distance-preserving —
+                // it is part of the partitioning work, phase-wise.
+                let shortcuts = hc2l_obs::phase::time("cut_partition", || {
+                    add_shortcuts(&sub, &labelling.ordered_cut, part, &labelling.cut_distances)
+                });
                 let mut child = InducedSubgraph::new(&sub, part);
                 for s in &shortcuts {
                     child.add_shortcut_parent_ids(

@@ -82,13 +82,15 @@ impl Hc2lIndex {
         let n = g.num_vertices();
 
         // Step 1: degree-one contraction (Section 4.2).
-        let (contraction, core_vertices) = if config.contract_degree_one {
-            let c = contract_degree_one(g);
-            let core: Vec<Vertex> = (0..n as Vertex).filter(|&v| !c.is_contracted(v)).collect();
-            (Some(c), core)
-        } else {
-            (None, (0..n as Vertex).collect())
-        };
+        let (contraction, core_vertices) = hc2l_obs::phase::time("contract", || {
+            if config.contract_degree_one {
+                let c = contract_degree_one(g);
+                let core: Vec<Vertex> = (0..n as Vertex).filter(|&v| !c.is_contracted(v)).collect();
+                (Some(c), core)
+            } else {
+                (None, (0..n as Vertex).collect())
+            }
+        });
 
         // Step 2: compact the core and build hierarchy + labels over it.
         let core_graph_source = contraction.as_ref().map(|c| &c.core).unwrap_or(g);
@@ -102,15 +104,17 @@ impl Hc2lIndex {
         // Step 3: freeze the queryable state — the label arena is already
         // flat; denormalise the per-core-vertex bitstrings and flatten the
         // contraction bookkeeping (dropping its core-graph copy).
-        let bits: Vec<u64> = (0..core_sub.graph.num_vertices() as Vertex)
-            .map(|cv| hierarchy.bits_of(cv).raw())
-            .collect();
-        let frozen_contraction = match &contraction {
-            Some(c) => FrozenContraction::from_degree_one(c),
-            None => FrozenContraction::empty(),
-        };
-        let frozen = FrozenHc2l::from_parts(labels, bits, core_id, frozen_contraction)
-            .expect("freshly frozen state must validate");
+        let frozen = hc2l_obs::phase::time("freeze", || {
+            let bits: Vec<u64> = (0..core_sub.graph.num_vertices() as Vertex)
+                .map(|cv| hierarchy.bits_of(cv).raw())
+                .collect();
+            let frozen_contraction = match &contraction {
+                Some(c) => FrozenContraction::from_degree_one(c),
+                None => FrozenContraction::empty(),
+            };
+            FrozenHc2l::from_parts(labels, bits, core_id, frozen_contraction)
+                .expect("freshly frozen state must validate")
+        });
 
         let hier_stats = hierarchy.stats();
         let construction = ConstructionStats {

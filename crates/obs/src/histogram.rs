@@ -1,0 +1,488 @@
+//! A lock-free log-linear latency histogram (HDR-histogram style).
+//!
+//! Values (nanoseconds, by convention) are bucketed with 7 mantissa bits:
+//! values below 128 get exact unit buckets, larger values land in buckets of
+//! width `2^(e-7)` where `e` is the value's bit length minus one. The bucket
+//! midpoint is therefore within `1/256` (< 0.4%) of any value it absorbs,
+//! which bounds every reported percentile to well under the 1% relative
+//! error the bench columns advertise.
+//!
+//! Recording is wait-free and deliberately a *single* locked RMW: one
+//! relaxed `fetch_add` into a *striped* count array (8 stripes,
+//! thread-assigned round-robin), plus a rarely-written max cell (plain load,
+//! updated only on a new high-water mark). Stripes keep concurrent
+//! recorders off each other's cache lines. Sum and min are derived from the
+//! buckets at snapshot time (midpoint / lower bound, within the same <1%
+//! bound as the percentiles) rather than maintained by extra atomics: on
+//! serialization-heavy paths every `lock`-prefixed instruction between two
+//! TSC reads adds its full latency, so dropping two RMWs here bought more
+//! than it reads like. `record` costs ~10ns uncontended — cheap enough to
+//! live inside a ~70ns cache-hit path next to the two clock reads
+//! ([`crate::clock`]).
+//!
+//! Snapshots are plain data: mergeable (per-client replay histograms fold
+//! into an aggregate), queryable for p50/p90/p99/p99.9/max/mean, and
+//! renderable as a one-line human summary.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// log2 of the number of sub-buckets per power of two.
+const MANTISSA_BITS: u32 = 7;
+/// Sub-buckets per power of two (and the exact-bucket range `0..128`).
+const SUB_BUCKETS: u64 = 1 << MANTISSA_BITS;
+/// Total buckets covering the full `u64` range.
+pub const NUM_BUCKETS: usize = (64 - MANTISSA_BITS as usize + 1) * SUB_BUCKETS as usize;
+/// Concurrent recorder stripes (power of two).
+const STRIPES: usize = 8;
+
+/// Bucket index of a value.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros(); // 7..=63
+        let mantissa = (v >> (e - MANTISSA_BITS)) & (SUB_BUCKETS - 1);
+        ((e - MANTISSA_BITS + 1) as usize) * SUB_BUCKETS as usize + mantissa as usize
+    }
+}
+
+/// Inclusive lower bound and width of a bucket.
+#[inline]
+fn bucket_lo_width(index: usize) -> (u64, u64) {
+    let i = index as u64;
+    if i < SUB_BUCKETS {
+        (i, 1)
+    } else {
+        let block = i >> MANTISSA_BITS; // 1..=57
+        let e = block - 1 + MANTISSA_BITS as u64; // 7..=63
+        let shift = e - MANTISSA_BITS as u64;
+        let lo = (1u64 << e) + ((i & (SUB_BUCKETS - 1)) << shift);
+        (lo, 1u64 << shift)
+    }
+}
+
+/// Midpoint representative of a bucket (saturating at the top of `u64`).
+#[inline]
+fn bucket_mid(index: usize) -> u64 {
+    let (lo, width) = bucket_lo_width(index);
+    lo.saturating_add(width / 2)
+}
+
+/// Round-robin stripe assignment, sticky per thread.
+fn stripe_of_thread() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    STRIPE.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            return v;
+        }
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let v = NEXT.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
+        s.set(v);
+        v
+    })
+}
+
+/// The concurrent histogram. `Send + Sync`; recording never blocks.
+pub struct Histogram {
+    /// Stripe-major: stripe `s` owns `counts[s * NUM_BUCKETS ..][..NUM_BUCKETS]`.
+    counts: Box<[AtomicU64]>,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The bucket array is noise; the count is what a debug dump wants.
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        let counts: Box<[AtomicU64]> = (0..STRIPES * NUM_BUCKETS)
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        Histogram {
+            counts,
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Wait-free; safe from any number of threads.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let stripe = stripe_of_thread();
+        let idx = stripe * NUM_BUCKETS + bucket_index(v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        // Max settles after a handful of samples; the load keeps the common
+        // case to one uncontended read and no second RMW.
+        if v > self.max.load(Ordering::Relaxed) {
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Sums the stripes into an immutable snapshot. Concurrent recording
+    /// keeps going; the snapshot is a consistent-enough point-in-time view
+    /// (each bucket is read once, relaxed). Sum and min are reconstructed
+    /// from the buckets (midpoint / lower bound), so they carry the same
+    /// <1% relative error as the percentiles; max is sample-exact.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counts = vec![0u64; NUM_BUCKETS];
+        for stripe in 0..STRIPES {
+            let base = stripe * NUM_BUCKETS;
+            for (i, c) in counts.iter_mut().enumerate() {
+                *c += self.counts[base + i].load(Ordering::Relaxed);
+            }
+        }
+        let count: u64 = counts.iter().sum();
+        let max = self.max.load(Ordering::Relaxed);
+        let mut sum = 0u128;
+        let mut min = 0u64;
+        let mut seen_min = false;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !seen_min {
+                min = bucket_lo_width(i).0;
+                seen_min = true;
+            }
+            // Unclamped midpoints keep the derivation merge-associative:
+            // folding two snapshots reproduces the sum a combined histogram
+            // would have derived.
+            sum += c as u128 * bucket_mid(i) as u128;
+        }
+        Snapshot {
+            counts,
+            count,
+            sum: sum.min(u64::MAX as u128) as u64,
+            min,
+            max,
+        }
+    }
+
+    /// Total values recorded so far (cheaper than a full snapshot only in
+    /// intent; still sums every bucket).
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// An immutable, mergeable view of a histogram's contents.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Snapshot {
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The value at percentile `p` (0 < p <= 100): the bucket midpoint of
+    /// the `ceil(p/100 * count)`-th smallest recorded value, clamped into
+    /// `[min, max]`. Returns 0 for an empty snapshot.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
+    }
+
+    /// Folds `other` into `self` (bucket-wise addition).
+    pub fn merge(&mut self, other: &Snapshot) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; NUM_BUCKETS];
+        }
+        if !other.counts.is_empty() {
+            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+                *a += b;
+            }
+        }
+        if other.count > 0 {
+            self.min = if self.count == 0 {
+                other.min
+            } else {
+                self.min.min(other.min)
+            };
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// One-line human summary: `count=… mean=… p50=… p90=… p99=… p99.9=… max=…`.
+    pub fn summary(&self) -> String {
+        format!(
+            "count={} mean={} p50={} p90={} p99={} p99.9={} max={}",
+            self.count,
+            fmt_ns(self.mean()),
+            fmt_ns(self.p50()),
+            fmt_ns(self.p90()),
+            fmt_ns(self.p99()),
+            fmt_ns(self.p999()),
+            fmt_ns(self.max)
+        )
+    }
+}
+
+/// Renders nanoseconds with an adaptive unit: `850ns`, `12.3µs`, `4.56ms`, `1.20s`.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rank-equivalent exact percentile over a sorted slice.
+    fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    #[test]
+    fn values_below_128_are_exact() {
+        let h = Histogram::new();
+        for v in 0..128u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 128);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 127);
+        // Every sub-128 bucket has width 1, so percentiles are exact.
+        assert_eq!(s.percentile(50.0), 63);
+        assert_eq!(s.percentile(100.0), 127);
+        // rank = ceil(0.5% of 128) = 1 -> smallest value
+        assert_eq!(s.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries_round_trip() {
+        // Every bucket's lower bound and upper bound minus one must map
+        // back to that bucket, buckets must tile the range with no gaps,
+        // and the index function must be monotone.
+        let mut expected_lo = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let (lo, width) = bucket_lo_width(i);
+            assert_eq!(lo, expected_lo, "gap or overlap before bucket {i}");
+            assert_eq!(bucket_index(lo), i);
+            let hi_inclusive = lo.saturating_add(width - 1);
+            assert_eq!(bucket_index(hi_inclusive), i);
+            expected_lo = lo.saturating_add(width);
+        }
+        assert_eq!(expected_lo, u64::MAX); // saturated exactly at the top
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_bound_on_adversarial_distributions() {
+        // Distributions chosen to stress the bucketing: powers of two and
+        // their neighbours (bucket edges), a heavy-tailed mix spanning ns
+        // to seconds, and a constant spike away from any bucket midpoint.
+        let mut cases: Vec<Vec<u64>> = Vec::new();
+        cases.push(
+            (7..40)
+                .flat_map(|e| {
+                    let p = 1u64 << e;
+                    [p - 1, p, p + 1, p + p / 3]
+                })
+                .collect(),
+        );
+        let mut lcg = 0x2545F4914F6CDD1Du64;
+        cases.push(
+            (0..50_000)
+                .map(|_| {
+                    lcg = lcg
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    // Exponentially distributed magnitudes: low bits pick
+                    // an exponent, high bits a mantissa.
+                    let e = (lcg % 30) as u32;
+                    (lcg >> 32) % (1u64 << e).max(1) + (1u64 << e)
+                })
+                .collect(),
+        );
+        cases.push(vec![999_999_937; 1000]); // large prime, mid-bucket nowhere
+        for values in cases {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let s = h.snapshot();
+            assert_eq!(s.count() as usize, values.len());
+            for p in [1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+                let exact = exact_percentile(&sorted, p);
+                let approx = s.percentile(p);
+                let tolerance = (exact / 128).max(1);
+                assert!(
+                    approx.abs_diff(exact) <= tolerance,
+                    "p{p}: approx {approx} vs exact {exact} (tolerance {tolerance})"
+                );
+            }
+            assert_eq!(s.max(), *sorted.last().unwrap());
+            // Min is the lower bound of the first occupied bucket: at or
+            // below the true minimum, within one bucket width of it.
+            assert!(s.min() <= sorted[0]);
+            assert!(sorted[0] - s.min() <= (sorted[0] / 128).max(1));
+            let exact_mean = sorted.iter().map(|&v| v as u128).sum::<u128>() / sorted.len() as u128;
+            assert!(s.mean().abs_diff(exact_mean as u64) <= (exact_mean as u64 / 128).max(1));
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads = 8;
+        let per_thread = 50_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(t * 1_000 + i % 997);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), threads * per_thread);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 7 * 1_000 + 996);
+        // Sum is derived from bucket midpoints, so it is approximate —
+        // within the same per-sample sub-1% bound as the percentiles.
+        let expected_sum: u64 = (0..threads)
+            .map(|t| (0..per_thread).map(|i| t * 1_000 + i % 997).sum::<u64>())
+            .sum();
+        let tolerance = expected_sum / 128 + s.count();
+        assert!(
+            s.sum().abs_diff(expected_sum) <= tolerance,
+            "sum {} vs exact {expected_sum} (tolerance {tolerance})",
+            s.sum()
+        );
+    }
+
+    #[test]
+    fn snapshot_merge_matches_single_histogram() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..10_000u64 {
+            let v = v * v % 1_000_003;
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let reference = all.snapshot();
+        assert_eq!(merged.count(), reference.count());
+        assert_eq!(merged.sum(), reference.sum());
+        assert_eq!(merged.min(), reference.min());
+        assert_eq!(merged.max(), reference.max());
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            assert_eq!(merged.percentile(p), reference.percentile(p));
+        }
+    }
+
+    #[test]
+    fn empty_and_default_snapshots_are_inert() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile(99.0), 0);
+        assert_eq!(s.mean(), 0);
+        assert_eq!(s.min(), 0);
+        let mut d = Snapshot::default();
+        d.merge(&s);
+        assert_eq!(d.count(), 0);
+        // Merging real data into a default-constructed snapshot works.
+        let h = Histogram::new();
+        h.record(42);
+        d.merge(&h.snapshot());
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.p50(), 42);
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(850), "850ns");
+        assert_eq!(fmt_ns(12_300), "12.3µs");
+        assert_eq!(fmt_ns(4_560_000), "4.56ms");
+        assert_eq!(fmt_ns(1_200_000_000), "1.20s");
+    }
+}

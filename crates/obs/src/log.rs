@@ -1,0 +1,175 @@
+//! A leveled stderr logger configured by the `HC2L_LOG` environment variable.
+//!
+//! Levels, most to least severe: `error`, `warn` (the default), `info`,
+//! `debug`; `off` silences everything. The level is read once per process.
+//! Lines carry seconds-since-start and the emitting module:
+//!
+//! ```text
+//! [   12.042s INFO  hc2l_serve::server] generation 3 published (epoch 3)
+//! ```
+//!
+//! Use through the exported macros, which skip argument formatting entirely
+//! when the level is disabled:
+//!
+//! ```
+//! hc2l_obs::info!("loaded {} vertices", 42);
+//! hc2l_obs::debug!("cut sizes: {:?}", [1, 2]);
+//! ```
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity. Numeric order is severity order (`Off` disables all).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Off = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+}
+
+impl Level {
+    fn label(self) -> &'static str {
+        match self {
+            Level::Off => "OFF",
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+}
+
+/// Parses an `HC2L_LOG` value. Unknown strings fall back to the default
+/// (`Warn`) rather than erroring — a typo should not silence a daemon.
+pub fn parse_level(s: &str) -> Level {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" | "0" => Level::Off,
+        "error" | "err" | "1" => Level::Error,
+        "warn" | "warning" | "2" => Level::Warn,
+        "info" | "3" => Level::Info,
+        "debug" | "trace" | "4" => Level::Debug,
+        _ => Level::Warn,
+    }
+}
+
+const LEVEL_UNSET: u8 = 0xFF;
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+/// The active level (initialised from `HC2L_LOG` on first use).
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        LEVEL_UNSET => {
+            let l = std::env::var("HC2L_LOG")
+                .map(|v| parse_level(&v))
+                .unwrap_or(Level::Warn);
+            LEVEL.store(l as u8, Ordering::Relaxed);
+            l
+        }
+        0 => Level::Off,
+        1 => Level::Error,
+        2 => Level::Warn,
+        3 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Overrides the level at runtime (tests, or a daemon verbosity flag).
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Whether a message at `l` would be emitted.
+#[inline]
+pub fn enabled(l: Level) -> bool {
+    l != Level::Off && (l as u8) <= (level() as u8)
+}
+
+/// Emits one line to stderr. Called by the macros after an `enabled` check;
+/// callable directly for dynamic levels.
+pub fn log(l: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if !enabled(l) {
+        return;
+    }
+    // One write_fmt per line keeps lines from interleaving across threads
+    // (stderr is line-buffered per call through the lock).
+    let stderr = std::io::stderr();
+    let mut handle = stderr.lock();
+    let _ = handle.write_fmt(format_args!(
+        "[{:9.3}s {:5} {}] {}\n",
+        crate::clock::uptime_secs(),
+        l.label(),
+        target,
+        args
+    ));
+}
+
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::log($crate::log::Level::Error, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::log($crate::log::Level::Warn, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::log($crate::log::Level::Info, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::log($crate::log::Level::Debug, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_all_spellings() {
+        assert_eq!(parse_level("off"), Level::Off);
+        assert_eq!(parse_level("ERROR"), Level::Error);
+        assert_eq!(parse_level(" warn "), Level::Warn);
+        assert_eq!(parse_level("info"), Level::Info);
+        assert_eq!(parse_level("debug"), Level::Debug);
+        assert_eq!(parse_level("trace"), Level::Debug);
+        assert_eq!(parse_level("gibberish"), Level::Warn);
+        assert_eq!(parse_level(""), Level::Warn);
+    }
+
+    #[test]
+    fn severity_gating_is_ordered() {
+        set_level(Level::Info);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Off);
+        assert!(!enabled(Level::Error));
+        // Off is never "emittable" even at level Debug.
+        set_level(Level::Debug);
+        assert!(!enabled(Level::Off));
+        set_level(Level::Warn); // restore the default for other tests
+    }
+}

@@ -1,0 +1,119 @@
+//! Named wall-time accumulators for construction phases.
+//!
+//! Build code wraps its stages in [`span`]/[`time`] (or calls [`add`] with a
+//! locally accumulated total); the bench drains the process-wide table with
+//! [`drain`] around each timed build and reports a `build_phases` object.
+//!
+//! The table is global and additive on purpose: the HC2L recursion forks
+//! across threads, so a phase's accumulated nanoseconds are summed over all
+//! workers and can exceed wall-clock time — they are CPU-time-like, which is
+//! the right denominator for "where did the build effort go". The table is a
+//! plain `Mutex<Vec<..>>`; phases fire a few hundred times per build, never
+//! on a query path.
+
+use std::sync::Mutex;
+
+use crate::clock;
+
+static PHASES: Mutex<Vec<(&'static str, u64)>> = Mutex::new(Vec::new());
+
+/// Adds `nanos` to phase `name` (creating it on first use). Keys keep their
+/// first-insertion order, so reports read in build order.
+pub fn add(name: &'static str, nanos: u64) {
+    let mut table = PHASES.lock().unwrap();
+    if let Some(entry) = table.iter_mut().find(|(n, _)| *n == name) {
+        entry.1 += nanos;
+    } else {
+        table.push((name, nanos));
+    }
+}
+
+/// A drop-guard span: accumulates its lifetime into `name`.
+pub struct PhaseSpan {
+    name: &'static str,
+    start: u64,
+}
+
+impl Drop for PhaseSpan {
+    fn drop(&mut self) {
+        add(self.name, clock::ns_since(self.start));
+    }
+}
+
+/// Starts a drop-guard span for phase `name`.
+pub fn span(name: &'static str) -> PhaseSpan {
+    PhaseSpan {
+        name,
+        start: clock::now(),
+    }
+}
+
+/// Runs `f`, accumulating its wall time into phase `name`.
+pub fn time<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let _span = span(name);
+    f()
+}
+
+/// Takes and clears the accumulated phase table. Callers that time a build
+/// should drain once *before* it (discarding contamination from earlier
+/// builds in the process) and once after (the report).
+pub fn drain() -> Vec<(&'static str, u64)> {
+    std::mem::take(&mut *PHASES.lock().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The table is process-global and both tests drain it, so they
+    // serialise on a module-local lock to keep each other's keys intact.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn spans_accumulate_and_drain() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        add("test-phase-alpha", 5);
+        add("test-phase-alpha", 7);
+        time("test-phase-beta", || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
+        let table = drain();
+        let alpha = table
+            .iter()
+            .find(|(n, _)| *n == "test-phase-alpha")
+            .expect("alpha present");
+        assert_eq!(alpha.1, 12);
+        let beta = table
+            .iter()
+            .find(|(n, _)| *n == "test-phase-beta")
+            .expect("beta present");
+        assert!(beta.1 >= 1_000_000, "2ms sleep recorded as {}ns", beta.1);
+        // Drained: our keys are gone now.
+        let again = drain();
+        assert!(again.iter().all(|(n, _)| *n != "test-phase-alpha"));
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_time() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..1000 {
+                        add("test-phase-conc", 3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let table = drain();
+        let total = table
+            .iter()
+            .find(|(n, _)| *n == "test-phase-conc")
+            .map(|(_, ns)| *ns)
+            .unwrap_or(0);
+        assert_eq!(total, 12_000);
+    }
+}

@@ -1,0 +1,141 @@
+//! Minimal Prometheus *text exposition format* rendering.
+//!
+//! Just enough of the format for the daemon's `Metrics` frame: `# TYPE`
+//! headers, `name{label="value"} 123` samples, and a grouped latency block
+//! that turns histogram [`Snapshot`]s into per-percentile gauges
+//! (`<base>_p99_ns{op="distance",cache="hit"} 1234`). Distinct metric names
+//! per percentile — rather than `quantile` labels — keep downstream tooling
+//! (and the CI grep) trivial.
+
+use crate::histogram::Snapshot;
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+pub fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends a `# TYPE` header.
+pub fn write_type(out: &mut String, name: &str, kind: &str) {
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Appends one sample line. `labels` render in order; pass `&[]` for none.
+pub fn write_sample(
+    out: &mut String,
+    name: &str,
+    labels: &[(&str, &str)],
+    value: impl std::fmt::Display,
+) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label(v));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// A named accessor into a [`Snapshot`].
+type SnapshotStat = (&'static str, fn(&Snapshot) -> u64);
+
+/// The per-snapshot stats emitted by [`write_latency_block`], in order.
+const LATENCY_STATS: [SnapshotStat; 7] = [
+    ("count", Snapshot::count),
+    ("sum_ns", Snapshot::sum),
+    ("p50_ns", Snapshot::p50),
+    ("p90_ns", Snapshot::p90),
+    ("p99_ns", Snapshot::p99),
+    ("p999_ns", Snapshot::p999),
+    ("max_ns", Snapshot::max),
+];
+
+/// Renders a family of latency series as grouped gauges: for each stat
+/// suffix (`count`, `sum_ns`, `p50_ns`, `p90_ns`, `p99_ns`, `p999_ns`,
+/// `max_ns`) one `# TYPE <base>_<suffix> gauge` header followed by one
+/// sample per series. Samples of the same metric name stay consecutive, as
+/// the format requires.
+pub fn write_latency_block(out: &mut String, base: &str, series: &[(&[(&str, &str)], &Snapshot)]) {
+    for (suffix, stat) in LATENCY_STATS {
+        let name = format!("{base}_{suffix}");
+        write_type(out, &name, "gauge");
+        for (labels, snap) in series {
+            write_sample(out, &name, labels, stat(snap));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    #[test]
+    fn samples_render_with_and_without_labels() {
+        let mut out = String::new();
+        write_type(&mut out, "hc2l_up", "gauge");
+        write_sample(&mut out, "hc2l_up", &[], 1);
+        write_sample(
+            &mut out,
+            "hc2l_requests_total",
+            &[("op", "distance")],
+            42u64,
+        );
+        assert_eq!(
+            out,
+            "# TYPE hc2l_up gauge\nhc2l_up 1\nhc2l_requests_total{op=\"distance\"} 42\n"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut out = String::new();
+        write_sample(&mut out, "m", &[("k", "a\"b\\c\nd")], 0);
+        assert_eq!(out, "m{k=\"a\\\"b\\\\c\\nd\"} 0\n");
+    }
+
+    #[test]
+    fn latency_block_groups_by_metric_name() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let hit: &[(&str, &str)] = &[("op", "distance"), ("cache", "hit")];
+        let miss: &[(&str, &str)] = &[("op", "distance"), ("cache", "miss")];
+        let mut out = String::new();
+        write_latency_block(&mut out, "hc2l_latency", &[(hit, &snap), (miss, &snap)]);
+        assert!(out.contains("# TYPE hc2l_latency_p99_ns gauge"));
+        assert!(out.contains("hc2l_latency_count{op=\"distance\",cache=\"hit\"} 100"));
+        assert!(out.contains("hc2l_latency_p99_ns{op=\"distance\",cache=\"miss\"} 99"));
+        // Grouped: both samples of a name directly follow its TYPE line.
+        let idx_type = out.find("# TYPE hc2l_latency_count").unwrap();
+        let after = &out[idx_type..];
+        let lines: Vec<&str> = after.lines().take(3).collect();
+        assert!(lines[1].starts_with("hc2l_latency_count{"));
+        assert!(lines[2].starts_with("hc2l_latency_count{"));
+    }
+}

@@ -39,7 +39,7 @@ fn partition_valid(graph: &Graph, updates: &[WeightUpdate]) -> (Vec<WeightUpdate
 
 impl DistanceOracle for Hc2lIndex {
     fn build(g: &Graph, config: &OracleConfig) -> Self {
-        Hc2lIndex::build(g, config.effective_hc2l())
+        hc2l_obs::phase::time("build", || Hc2lIndex::build(g, config.effective_hc2l()))
     }
 
     fn name(&self) -> &'static str {
@@ -127,7 +127,7 @@ impl DistanceOracle for Hc2lIndex {
 
 impl DistanceOracle for ContractionHierarchy {
     fn build(g: &Graph, _config: &OracleConfig) -> Self {
-        ContractionHierarchy::build(g)
+        hc2l_obs::phase::time("build", || ContractionHierarchy::build(g))
     }
 
     fn name(&self) -> &'static str {
@@ -186,7 +186,7 @@ impl DistanceOracle for ContractionHierarchy {
 
 impl DistanceOracle for H2hIndex {
     fn build(g: &Graph, _config: &OracleConfig) -> Self {
-        H2hIndex::build(g)
+        hc2l_obs::phase::time("build", || H2hIndex::build(g))
     }
 
     fn name(&self) -> &'static str {
@@ -244,7 +244,7 @@ impl DistanceOracle for H2hIndex {
 
 impl DistanceOracle for HubLabelIndex {
     fn build(g: &Graph, _config: &OracleConfig) -> Self {
-        HubLabelIndex::build(g)
+        hc2l_obs::phase::time("build", || HubLabelIndex::build(g))
     }
 
     fn name(&self) -> &'static str {
@@ -290,7 +290,7 @@ impl DistanceOracle for HubLabelIndex {
 
 impl DistanceOracle for PhlIndex {
     fn build(g: &Graph, _config: &OracleConfig) -> Self {
-        PhlIndex::build(g)
+        hc2l_obs::phase::time("build", || PhlIndex::build(g))
     }
 
     fn name(&self) -> &'static str {

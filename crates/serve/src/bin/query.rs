@@ -39,7 +39,12 @@
 //!                           print the strategy that absorbed the batch
 //!                           (ch-customize / hc2l-relabel / rebuild),
 //!                           applied/rejected counts and the new epoch
-//!   --stats                 print server counters
+//!   --stats                 print server counters as a labeled table
+//!                           (identity, traffic, cache, latency percentiles,
+//!                           fault counters)
+//!   --metrics               scrape the Prometheus text-exposition document
+//!                           (the `Metrics` frame) to stdout — pipe it to a
+//!                           file or a pushgateway
 //!   --shutdown              stop the daemon
 //!
 //! workload generation (no server needed):
@@ -54,8 +59,12 @@
 //!                           edges instead (mostly increases — live traffic)
 //! ```
 //!
-//! Replay prints `replayed N queries in S s (QPS q/s), M mismatches` and
-//! exits non-zero if any answer disagrees with the file's expected
+//! Replay prints `replayed N queries in S s (QPS q/s), M mismatches` plus
+//! per-client and aggregate request-latency percentiles (each client times
+//! every frame round trip into a shared-histogram snapshot; the aggregate is
+//! the merge). An `[INCOMPLETE]` replay still reports percentiles — over the
+//! queries that did complete. It exits non-zero if any answer disagrees with
+//! the file's expected
 //! distance, if the server errors, or if nothing was replayed — which is
 //! what the CI serve-smoke step gates on. A connection reset mid-replay is
 //! reported honestly: the client prints how far each stream got and exits
@@ -84,6 +93,7 @@ struct Args {
     clients: usize,
     idle: usize,
     stats: bool,
+    metrics: bool,
     shutdown: bool,
     update: Option<hc2l_oracle::WeightUpdate>,
     update_file: Option<String>,
@@ -147,6 +157,7 @@ fn parse_args() -> Args {
             "--clients" => args.clients = parse!(&mut i, "--clients"),
             "--idle" => args.idle = parse!(&mut i, "--idle"),
             "--stats" => args.stats = true,
+            "--metrics" => args.metrics = true,
             "--shutdown" => args.shutdown = true,
             "--update" => {
                 let u = parse!(&mut i, "--update endpoint");
@@ -290,7 +301,7 @@ fn ask_resilient(
 ) -> Response {
     let idempotent = matches!(
         req,
-        Request::Distance(..) | Request::OneToMany { .. } | Request::Stats
+        Request::Distance(..) | Request::OneToMany { .. } | Request::Stats | Request::Metrics
     );
     let mut attempt = 0u32;
     loop {
@@ -448,6 +459,9 @@ struct ClientRun {
     queries: u64,
     mismatches: u64,
     aborted: Option<String>,
+    /// Request-latency snapshot (one sample per completed frame round trip;
+    /// a batched request is one sample). Populated even for an aborted run.
+    latency: hc2l_obs::Snapshot,
 }
 
 /// Records one answered query, gating it against the expected distance.
@@ -502,7 +516,12 @@ fn run_replay_client(
         queries: 0,
         mismatches: 0,
         aborted: None,
+        latency: hc2l_obs::Snapshot::default(),
     };
+    // Per-frame round-trip latency: the same histogram the server records
+    // into, client-side. Only completed asks are timed — overload backoffs
+    // and reconnect pauses are resilience, not latency.
+    let hist = hc2l_obs::Histogram::new();
     let mut session = match Session::try_connect(addr) {
         Ok(s) => s,
         Err(e) => {
@@ -518,6 +537,7 @@ fn run_replay_client(
             }
             let mut attempt = 0u32;
             let resp = loop {
+                let t0 = hc2l_obs::clock::now();
                 match session.ask(req) {
                     Ok(Response::Overloaded(msg)) => {
                         if attempt as usize >= policy.retries || !policy.pause(attempt) {
@@ -527,7 +547,10 @@ fn run_replay_client(
                         }
                         attempt += 1;
                     }
-                    Ok(resp) => break resp,
+                    Ok(resp) => {
+                        hist.record(hc2l_obs::clock::ns_since(t0));
+                        break resp;
+                    }
                     Err(e) => {
                         run.aborted = Some(format!("connection failed mid-replay: {e}"));
                         break 'replay;
@@ -556,6 +579,7 @@ fn run_replay_client(
             }
         }
     }
+    run.latency = hist.snapshot();
     run
 }
 
@@ -621,6 +645,8 @@ fn replay(args: &Args) {
         * reps as u64;
     let addr = resolve_addr(args);
     let reported = std::sync::atomic::AtomicU64::new(0);
+    // Pay the one-off TSC calibration before the timed section.
+    hc2l_obs::clock::calibrate();
     let start = Instant::now();
     let runs: Vec<ClientRun> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
@@ -653,6 +679,25 @@ fn replay(args: &Args) {
     } else {
         0.0
     };
+    // Request-latency percentiles: one line per client, then the merged
+    // aggregate. An aborted client still reports — over the requests that
+    // completed before the fault.
+    let mut aggregate = hc2l_obs::Snapshot::default();
+    for (id, run) in runs.iter().enumerate() {
+        aggregate.merge(&run.latency);
+        if clients > 1 {
+            println!(
+                "client {id} latency: {}{}",
+                run.latency.summary(),
+                if run.aborted.is_some() {
+                    " [INCOMPLETE]"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+    println!("request latency: {}", aggregate.summary());
     println!(
         "replayed {queries} queries in {seconds:.3} s ({qps:.0} q/s) across {clients} \
          client{} (+{} idle), {mismatches} mismatches{}{}",
@@ -727,41 +772,85 @@ fn fetch_stats(
     }
 }
 
-fn print_stats(s: &hc2l_serve::ServerStats) {
+/// Renders the server counters as a labeled table grouped into sections
+/// (index identity, traffic, cache, latency percentiles, fault counters).
+/// Separate from printing so the layout has a unit test.
+fn format_stats(s: &hc2l_serve::ServerStats) -> String {
     let method = Method::from_tag(s.method_tag)
         .map(|m| m.to_string())
         .unwrap_or_else(|| format!("unknown tag {}", s.method_tag));
     let kernel = hc2l_graph::KernelKind::from_tag(s.kernel_tag)
         .map(|k| k.name().to_string())
         .unwrap_or_else(|| format!("unknown tag {}", s.kernel_tag));
-    println!("method {method}\nkernel {kernel}");
-    println!(
-        "num_vertices {}\nindex_bytes {}\nthreads {}\nmapped {}\n\
-         distance_queries {}\none_to_many_queries {}\none_to_many_targets {}\n\
-         cache_hits {}\ncache_misses {}\ncache_hit_rate {:.4}\ncache_len {}\ncache_capacity {}",
-        s.num_vertices,
-        s.index_bytes,
-        s.threads,
-        s.mapped,
-        s.distance_queries,
-        s.one_to_many_queries,
-        s.one_to_many_targets,
-        s.cache_hits,
-        s.cache_misses,
-        s.cache_hit_rate(),
-        s.cache_len,
-        s.cache_capacity
+    let mut out = String::new();
+    let mut section = |title: &str, rows: &[(&str, String)]| {
+        out.push_str(title);
+        out.push('\n');
+        for (k, v) in rows {
+            out.push_str(&format!("  {k:<22} {v}\n"));
+        }
+    };
+    section(
+        "index",
+        &[
+            ("method", method),
+            ("kernel", kernel),
+            ("num_vertices", s.num_vertices.to_string()),
+            ("index_bytes", s.index_bytes.to_string()),
+            ("mapped", s.mapped.to_string()),
+            ("epoch", s.epoch.to_string()),
+        ],
     );
-    println!("update_batches {}\nepoch {}", s.update_batches, s.epoch);
-    println!(
-        "connections_accepted {}\nconnections_reaped {}\npanics_caught {}\n\
-         overload_rejections {}\nwrite_errors {}",
-        s.connections_accepted,
-        s.connections_reaped,
-        s.panics_caught,
-        s.overload_rejections,
-        s.write_errors
+    section(
+        "traffic",
+        &[
+            ("threads", s.threads.to_string()),
+            ("distance_queries", s.distance_queries.to_string()),
+            ("one_to_many_queries", s.one_to_many_queries.to_string()),
+            ("one_to_many_targets", s.one_to_many_targets.to_string()),
+            ("update_batches", s.update_batches.to_string()),
+        ],
     );
+    section(
+        "cache",
+        &[
+            ("cache_hits", s.cache_hits.to_string()),
+            ("cache_misses", s.cache_misses.to_string()),
+            ("cache_hit_rate", format!("{:.4}", s.cache_hit_rate())),
+            ("cache_len", s.cache_len.to_string()),
+            ("cache_capacity", s.cache_capacity.to_string()),
+        ],
+    );
+    let ns = hc2l_obs::histogram::fmt_ns;
+    section(
+        "latency",
+        &[
+            ("distance_p50", ns(s.distance_p50_ns)),
+            ("distance_p90", ns(s.distance_p90_ns)),
+            ("distance_p99", ns(s.distance_p99_ns)),
+            ("distance_p99.9", ns(s.distance_p999_ns)),
+            ("distance_max", ns(s.distance_max_ns)),
+            ("one_to_many_p50", ns(s.one_to_many_p50_ns)),
+            ("one_to_many_p99", ns(s.one_to_many_p99_ns)),
+            ("update_p50", ns(s.update_p50_ns)),
+            ("update_p99", ns(s.update_p99_ns)),
+        ],
+    );
+    section(
+        "faults",
+        &[
+            ("connections_accepted", s.connections_accepted.to_string()),
+            ("connections_reaped", s.connections_reaped.to_string()),
+            ("panics_caught", s.panics_caught.to_string()),
+            ("overload_rejections", s.overload_rejections.to_string()),
+            ("write_errors", s.write_errors.to_string()),
+        ],
+    );
+    out
+}
+
+fn print_stats(s: &hc2l_serve::ServerStats) {
+    print!("{}", format_stats(s));
 }
 
 fn main() {
@@ -774,14 +863,15 @@ fn main() {
         args.distance.is_some(),
         args.replay.is_some(),
         args.stats,
+        args.metrics,
         args.shutdown,
         args.update.is_some(),
         args.update_file.is_some(),
     ];
     if modes.iter().filter(|&&m| m).count() != 1 {
         eprintln!(
-            "pick exactly one mode: --distance, --replay, --stats, --shutdown, \
-             --update or --update-file"
+            "pick exactly one mode: --distance, --replay, --stats, --metrics, \
+             --shutdown, --update or --update-file"
         );
         exit(2);
     }
@@ -825,6 +915,14 @@ fn main() {
     } else if args.stats {
         let s = fetch_stats(&addr, &mut policy, &mut session);
         print_stats(&s);
+    } else if args.metrics {
+        match ask_resilient(&addr, &mut policy, &mut session, &Request::Metrics) {
+            Response::Metrics(doc) => print!("{doc}"),
+            other => {
+                eprintln!("unexpected response to Metrics: {other:?}");
+                exit(1);
+            }
+        }
     } else if args.shutdown {
         match ask_resilient(&addr, &mut policy, &mut session, &Request::Shutdown) {
             Response::ShuttingDown => eprintln!("server acknowledged shutdown"),
@@ -832,6 +930,83 @@ fn main() {
                 eprintln!("unexpected response {other:?}");
                 exit(1);
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_table_has_every_section_and_field() {
+        let s = hc2l_serve::ServerStats {
+            method_tag: Method::Hc2l.tag(),
+            kernel_tag: hc2l_graph::KernelKind::Avx2.tag(),
+            num_vertices: 1_000_000,
+            index_bytes: 123_456_789,
+            threads: 8,
+            mapped: true,
+            distance_queries: 42,
+            one_to_many_queries: 3,
+            one_to_many_targets: 300,
+            cache_hits: 30,
+            cache_misses: 12,
+            cache_len: 12,
+            cache_capacity: 65_536,
+            update_batches: 2,
+            epoch: 2,
+            connections_accepted: 5,
+            connections_reaped: 1,
+            panics_caught: 0,
+            overload_rejections: 7,
+            write_errors: 0,
+            distance_p50_ns: 85,
+            distance_p90_ns: 120,
+            distance_p99_ns: 950,
+            distance_p999_ns: 12_300,
+            distance_max_ns: 4_560_000,
+            one_to_many_p50_ns: 5_000,
+            one_to_many_p99_ns: 11_000,
+            update_p50_ns: 2_000_000,
+            update_p99_ns: 30_000_000,
+        };
+        let table = format_stats(&s);
+        for header in ["index\n", "traffic\n", "cache\n", "latency\n", "faults\n"] {
+            assert!(table.contains(header), "missing section {header:?}");
+        }
+        // Identity rows carry the kernel (PR 8) and method names.
+        assert!(table.contains("  method                 HC2L\n"), "{table}");
+        assert!(table.contains("  kernel                 avx2\n"), "{table}");
+        // Latency rows render with adaptive units.
+        assert!(table.contains("  distance_p50           85ns\n"), "{table}");
+        assert!(
+            table.contains("  distance_p99.9         12.3µs\n"),
+            "{table}"
+        );
+        assert!(
+            table.contains("  distance_max           4.56ms\n"),
+            "{table}"
+        );
+        assert!(
+            table.contains("  update_p99             30.00ms\n"),
+            "{table}"
+        );
+        // Fault counters (PR 7) are all present.
+        assert!(table.contains("  connections_reaped     1\n"), "{table}");
+        assert!(table.contains("  panics_caught          0\n"), "{table}");
+        assert!(table.contains("  overload_rejections    7\n"), "{table}");
+        assert!(table.contains("  write_errors           0\n"), "{table}");
+        assert!(
+            table.contains("  cache_hit_rate         0.7143\n"),
+            "{table}"
+        );
+        // Every non-header line is two-space indented and key-aligned.
+        for line in table.lines() {
+            assert!(
+                !line.starts_with("  ") || line.len() > 25,
+                "misaligned row: {line:?}"
+            );
         }
     }
 }

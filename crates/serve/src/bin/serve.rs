@@ -4,7 +4,7 @@
 //! hc2l-serve --index paris.hc2l [--port 7171] [--threads N] [--cache N]
 //!            [--model epoll|threads] [--addr-file FILE] [--buffered]
 //!            [--idle-timeout SECS] [--stall-timeout SECS]
-//!            [--drain-secs SECS] [--max-inflight N]
+//!            [--drain-secs SECS] [--max-inflight N] [--metrics-every SECS]
 //! hc2l-serve --grid ROWSxCOLS [--grid-seed S] [--method hc2l|ch|...] [...]
 //! hc2l-serve --index paris.hc2l --bench [--threads N] [--cache N]
 //!            [--bench-queries N] [--bench-reps N] [--seed S]
@@ -37,6 +37,13 @@
 //! already-queued response bytes to flush. `--max-inflight N` (default 0 =
 //! unlimited) sheds queries beyond N concurrently executing with a typed
 //! `Overloaded` response the client retries with backoff.
+//!
+//! Observability: every request is recorded into per-opcode latency
+//! histograms (cache hit/miss split for distance) — scrape them as
+//! Prometheus text with `hc2l-query --metrics`, or pass `--metrics-every
+//! SECS` to dump one-line per-opcode summaries to stderr on that period
+//! (0, the default, disables the dump). `HC2L_LOG=info|debug` raises the
+//! stderr log level (default `warn`).
 //!
 //! `--bench` skips the socket layer entirely: it self-drives the shared
 //! oracle with `--threads` in-process workers over a seeded random pair
@@ -77,6 +84,7 @@ struct Args {
     stall_timeout_secs: u64,
     drain_secs: u64,
     max_inflight: usize,
+    metrics_every_secs: u64,
 }
 
 impl Args {
@@ -121,6 +129,7 @@ fn parse_args() -> Args {
         stall_timeout_secs: 30,
         drain_secs: 3,
         max_inflight: 0,
+        metrics_every_secs: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -196,6 +205,7 @@ fn parse_args() -> Args {
             "--stall-timeout" => args.stall_timeout_secs = parse!(&mut i, "--stall-timeout"),
             "--drain-secs" => args.drain_secs = parse!(&mut i, "--drain-secs"),
             "--max-inflight" => args.max_inflight = parse!(&mut i, "--max-inflight"),
+            "--metrics-every" => args.metrics_every_secs = parse!(&mut i, "--metrics-every"),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -335,6 +345,31 @@ fn main() {
         args.cache,
         hc2l_graph::active_kernel()
     );
+    if args.metrics_every_secs > 0 {
+        let state = Arc::clone(&state);
+        let every = std::time::Duration::from_secs(args.metrics_every_secs);
+        std::thread::spawn(move || {
+            let mut last = std::time::Instant::now();
+            while !state.is_shutting_down() {
+                // Poll the shutdown flag on a short interval so the dump
+                // thread never outlives the drain by a full period.
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                if last.elapsed() < every {
+                    continue;
+                }
+                last = std::time::Instant::now();
+                let lat = state.latency();
+                eprintln!(
+                    "[metrics] distance(hit)  {}\n[metrics] distance(miss) {}\n\
+                     [metrics] one_to_many    {}\n[metrics] update_weights {}",
+                    lat.distance_hit.snapshot().summary(),
+                    lat.distance_miss.snapshot().summary(),
+                    lat.one_to_many.snapshot().summary(),
+                    lat.update_weights.snapshot().summary()
+                );
+            }
+        });
+    }
     if let Err(e) = server.wait() {
         eprintln!("serve loop failed: {e}");
         exit(1);

@@ -61,6 +61,7 @@
 //! ```
 
 pub mod cache;
+pub mod metrics;
 pub mod protocol;
 #[cfg(target_os = "linux")]
 pub(crate) mod reactor;
@@ -68,6 +69,7 @@ pub mod server;
 pub mod throughput;
 
 pub use cache::{CacheStats, QueryCache};
+pub use metrics::OpLatencies;
 pub use protocol::{
     read_request, read_response, write_request, write_response, FrameDecoder, Request, Response,
     ServerStats, UpdateOutcome, MAX_FRAME_BYTES, MAX_ONE_TO_MANY_TARGETS, MAX_UPDATE_BATCH,

@@ -86,6 +86,7 @@ mod op {
     pub const STATS: u8 = 3;
     pub const SHUTDOWN: u8 = 4;
     pub const UPDATE_WEIGHTS: u8 = 5;
+    pub const METRICS: u8 = 6;
     pub const OVERLOADED: u8 = 0xFE;
     pub const ERROR: u8 = 0xFF;
 }
@@ -107,6 +108,10 @@ pub enum Request {
     UpdateWeights(Vec<WeightUpdate>),
     /// Server counters and index identification.
     Stats,
+    /// The full metrics surface in Prometheus text exposition format
+    /// (every counter of [`ServerStats`] plus per-opcode latency
+    /// percentiles) — what `hc2l-query --metrics` scrapes.
+    Metrics,
     /// Stop accepting connections and exit the serve loop.
     Shutdown,
 }
@@ -120,6 +125,9 @@ pub enum Response {
     Distances(Vec<Distance>),
     /// Answer to [`Request::Stats`].
     Stats(ServerStats),
+    /// Answer to [`Request::Metrics`]: the Prometheus text exposition
+    /// document (UTF-8).
+    Metrics(String),
     /// Answer to [`Request::UpdateWeights`]: how the batch was absorbed.
     Updated(UpdateOutcome),
     /// Acknowledgement of [`Request::Shutdown`].
@@ -202,6 +210,22 @@ pub struct ServerStats {
     /// Response writes that failed because the peer was gone (broken pipe /
     /// connection reset); the worker survives and the connection is closed.
     pub write_errors: u64,
+    /// Distance-query latency percentiles in nanoseconds (cache hits and
+    /// misses merged), from the server's per-opcode histograms. Zero until
+    /// the first query. The full hit/miss split lives on the `Metrics`
+    /// frame; these headline numbers ride along on `Stats` so one frame
+    /// answers "is the tail healthy".
+    pub distance_p50_ns: u64,
+    pub distance_p90_ns: u64,
+    pub distance_p99_ns: u64,
+    pub distance_p999_ns: u64,
+    pub distance_max_ns: u64,
+    /// One-to-many request latency percentiles (whole batches) in ns.
+    pub one_to_many_p50_ns: u64,
+    pub one_to_many_p99_ns: u64,
+    /// Absorbed `UpdateWeights` batch latency percentiles in ns.
+    pub update_p50_ns: u64,
+    pub update_p99_ns: u64,
 }
 
 impl ServerStats {
@@ -438,6 +462,7 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
             }
         }
         Request::Stats => p.push(op::STATS),
+        Request::Metrics => p.push(op::METRICS),
         Request::Shutdown => p.push(op::SHUTDOWN),
     }
     write_frame(w, &p)
@@ -495,6 +520,10 @@ fn decode_request_payload(payload: &[u8]) -> io::Result<Request> {
             f.finish()?;
             Request::Stats
         }
+        op::METRICS => {
+            f.finish()?;
+            Request::Metrics
+        }
         op::SHUTDOWN => {
             f.finish()?;
             Request::Shutdown
@@ -536,9 +565,22 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
                 s.panics_caught,
                 s.overload_rejections,
                 s.write_errors,
+                s.distance_p50_ns,
+                s.distance_p90_ns,
+                s.distance_p99_ns,
+                s.distance_p999_ns,
+                s.distance_max_ns,
+                s.one_to_many_p50_ns,
+                s.one_to_many_p99_ns,
+                s.update_p50_ns,
+                s.update_p99_ns,
             ] {
                 p.extend_from_slice(&v.to_le_bytes());
             }
+        }
+        Response::Metrics(text) => {
+            p.push(op::METRICS);
+            p.extend_from_slice(text.as_bytes());
         }
         Response::Updated(o) => {
             p.push(op::UPDATE_WEIGHTS);
@@ -627,10 +669,22 @@ fn decode_response_payload(payload: &[u8]) -> io::Result<Response> {
                 panics_caught: f.u64()?,
                 overload_rejections: f.u64()?,
                 write_errors: f.u64()?,
+                distance_p50_ns: f.u64()?,
+                distance_p90_ns: f.u64()?,
+                distance_p99_ns: f.u64()?,
+                distance_p999_ns: f.u64()?,
+                distance_max_ns: f.u64()?,
+                one_to_many_p50_ns: f.u64()?,
+                one_to_many_p99_ns: f.u64()?,
+                update_p50_ns: f.u64()?,
+                update_p99_ns: f.u64()?,
             };
             f.finish()?;
             Response::Stats(s)
         }
+        op::METRICS => Response::Metrics(
+            String::from_utf8(f.bytes.to_vec()).map_err(|_| bad("metrics text not UTF-8"))?,
+        ),
         op::UPDATE_WEIGHTS => {
             let o = UpdateOutcome {
                 strategy_tag: f.u32()?,
@@ -689,6 +743,7 @@ mod tests {
             targets: (0..100).collect(),
         });
         round_trip_request(Request::Stats);
+        round_trip_request(Request::Metrics);
         round_trip_request(Request::Shutdown);
         round_trip_request(Request::UpdateWeights(vec![]));
         round_trip_request(Request::UpdateWeights(
@@ -723,7 +778,20 @@ mod tests {
             panics_caught: 1,
             overload_rejections: 4,
             write_errors: 2,
+            distance_p50_ns: 80,
+            distance_p90_ns: 120,
+            distance_p99_ns: 900,
+            distance_p999_ns: 12_000,
+            distance_max_ns: 1_000_000,
+            one_to_many_p50_ns: 4_000,
+            one_to_many_p99_ns: 9_000,
+            update_p50_ns: 2_000_000,
+            update_p99_ns: 30_000_000,
         }));
+        round_trip_response(Response::Metrics(String::new()));
+        round_trip_response(Response::Metrics(
+            "# TYPE hc2l_latency_p99_ns gauge\nhc2l_latency_p99_ns{op=\"distance\"} 42\n".into(),
+        ));
         round_trip_response(Response::ShuttingDown);
         round_trip_response(Response::Error("no such vertex".into()));
         round_trip_response(Response::Overloaded(
@@ -988,6 +1056,59 @@ mod tests {
         let mut buf = Vec::new();
         let err = write_distances(&mut buf, &ds).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn metrics_and_extended_stats_round_trip_through_frame_decoder() {
+        // A pipelined response stream — extended Stats (every latency field
+        // populated) followed by a Metrics document — through the
+        // incremental decoder at every split offset, mirroring the request
+        // split-matrix test above.
+        let stats = Response::Stats(ServerStats {
+            method_tag: 1,
+            kernel_tag: 2,
+            threads: 8,
+            distance_queries: 1000,
+            distance_p50_ns: 75,
+            distance_p90_ns: 110,
+            distance_p99_ns: 2_048,
+            distance_p999_ns: 65_536,
+            distance_max_ns: 3_000_000,
+            one_to_many_p50_ns: 5_000,
+            one_to_many_p99_ns: 11_111,
+            update_p50_ns: 1,
+            update_p99_ns: u64::MAX,
+            ..Default::default()
+        });
+        let metrics = Response::Metrics(
+            "# TYPE hc2l_latency_count gauge\nhc2l_latency_count{op=\"distance\",cache=\"hit\"} 998\n"
+                .into(),
+        );
+        let mut buf = Vec::new();
+        write_response(&mut buf, &stats).unwrap();
+        write_response(&mut buf, &metrics).unwrap();
+        for split in 0..=buf.len() {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for chunk in [&buf[..split], &buf[split..]] {
+                dec.feed(chunk);
+                while let Some(resp) = dec.next_response().unwrap() {
+                    got.push(resp);
+                }
+            }
+            assert_eq!(
+                got,
+                vec![stats.clone(), metrics.clone()],
+                "split at {split}"
+            );
+            assert!(dec.is_idle());
+        }
+        // The Metrics *request* is a bare opcode frame; a trailing byte is
+        // malformed on both decoders.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[op::METRICS, 0]).unwrap();
+        assert!(read_request(&mut buf.as_slice()).is_err());
+        assert!(incremental_requests(&buf).is_err());
     }
 
     #[test]

@@ -38,7 +38,10 @@ use std::time::{Duration, Instant};
 use hc2l_graph::{failpoints, Distance, Graph, Vertex};
 use hc2l_oracle::{DistanceOracle, Method, Oracle, SharedOracle, WeightUpdate};
 
+use hc2l_obs::clock;
+
 use crate::cache::QueryCache;
+use crate::metrics::OpLatencies;
 use crate::protocol::{
     write_response, FrameDecoder, Request, Response, ServerStats, UpdateOutcome, MAX_UPDATE_BATCH,
 };
@@ -292,8 +295,22 @@ pub struct ServeState {
     /// Present when the daemon owns the graph and can absorb updates.
     engine: Option<Mutex<UpdateEngine>>,
     cache: QueryCache,
+    /// Mirror of the published generation's epoch, so the cache-hit fast
+    /// path probes without touching the generation lock (and without the
+    /// `Arc` clone/drop pair). Stored *before* the generation swap: a
+    /// racing query can at worst miss on the not-yet-published epoch and
+    /// recompute — it can never serve a stale generation's entry as fresh.
+    cache_epoch: AtomicU64,
+    /// Per-opcode latency histograms, recorded identically by both
+    /// connection models (everything funnels through these entry points).
+    latency: OpLatencies,
     threads: usize,
     config: ServeConfig,
+    /// Distance/one-to-many request counters only advance when latency
+    /// recording is *off*; with recording on, the histogram counts carry
+    /// the tally and [`ServeState::stats`] folds the two together — the
+    /// recorded hot path pays for its clock reads by dropping this
+    /// `fetch_add`.
     distance_queries: AtomicU64,
     one_to_many_queries: AtomicU64,
     one_to_many_targets: AtomicU64,
@@ -351,10 +368,15 @@ impl ServeState {
         threads: usize,
         cache_capacity: usize,
     ) -> Self {
+        // Calibrate the TSC-to-nanoseconds rate up front so the first
+        // recorded request does not absorb the ~4ms calibration spin.
+        clock::calibrate();
         ServeState {
             generation: RwLock::new(Arc::new(Generation { oracle, epoch: 0 })),
             engine,
             cache: QueryCache::new(cache_capacity, QueryCache::DEFAULT_SHARDS),
+            cache_epoch: AtomicU64::new(0),
+            latency: OpLatencies::enabled(),
             threads: threads.max(1),
             config: ServeConfig::default(),
             distance_queries: AtomicU64::new(0),
@@ -429,6 +451,7 @@ impl ServeState {
         &self,
         updates: &[WeightUpdate],
     ) -> Result<UpdateOutcome, UpdateError> {
+        let t0 = self.latency.start();
         let Some(engine) = &self.engine else {
             return Err(UpdateError::Rejected(
                 "this daemon serves a static index snapshot and cannot apply weight updates \
@@ -481,6 +504,10 @@ impl ServeState {
             Err(_) => {
                 self.engine_failed.store(true, Ordering::Release);
                 self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                hc2l_obs::error!(
+                    "update batch panicked mid-apply; engine disabled, \
+                     still serving the last published generation"
+                );
                 return Err(UpdateError::Rejected(
                     "update batch failed mid-apply (panic caught): no part of the batch is \
                      visible to queries, and further updates are disabled until restart"
@@ -496,6 +523,10 @@ impl ServeState {
         let epoch = {
             let mut slot = self.generation.write().unwrap_or_else(|p| p.into_inner());
             let epoch = slot.epoch + 1;
+            // Advance the probe mirror *before* the swap is visible: see
+            // the `cache_epoch` field docs for why this order is the safe
+            // side of the race.
+            self.cache_epoch.store(epoch, Ordering::Release);
             *slot = Arc::new(Generation {
                 oracle: served,
                 epoch,
@@ -504,6 +535,16 @@ impl ServeState {
         };
         drop(guard);
         self.update_batches.fetch_add(1, Ordering::Relaxed);
+        if let Some(t0) = t0 {
+            self.latency.update_weights.record(clock::ns_since(t0));
+        }
+        hc2l_obs::info!(
+            "published epoch {epoch}: {} updates applied, {} rejected, via {} in {}us",
+            report.applied,
+            report.rejected,
+            report.strategy,
+            report.micros
+        );
         Ok(UpdateOutcome {
             strategy_tag: report.strategy.tag(),
             applied: report.applied as u64,
@@ -532,17 +573,36 @@ impl ServeState {
     /// which validates *before* counting or caching.
     #[inline]
     pub fn distance(&self, s: Vertex, t: Vertex) -> Distance {
-        self.distance_queries.fetch_add(1, Ordering::Relaxed);
-        // One generation snapshot for probe, compute and insert: the cache
-        // entry is tagged with the epoch it was *computed* against, so a
-        // racing generation swap can at worst waste this insert, never
-        // poison the new generation.
-        let generation = self.oracle();
-        if let Some(d) = self.cache.get_at(s, t, generation.epoch) {
+        let t0 = self.latency.start();
+        // Probe with the epoch *mirror* instead of grabbing the generation:
+        // a cache hit then skips the generation read lock and the `Arc`
+        // clone/drop pair entirely, which pays for the two clock reads
+        // when recording is on. The mirror advances before the generation
+        // swap, so the race goes the safe way — a fresh epoch that misses
+        // and recomputes, never a stale entry served as current.
+        let epoch = self.cache_epoch.load(Ordering::Acquire);
+        if let Some(d) = self.cache.get_at(s, t, epoch) {
+            match t0 {
+                Some(t0) => self.latency.distance_hit.record(clock::ns_since(t0)),
+                None => {
+                    self.distance_queries.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             return d;
         }
+        // One generation snapshot for compute and insert: the cache entry
+        // is tagged with the epoch it was *computed* against, so a racing
+        // generation swap can at worst waste this insert, never poison the
+        // new generation.
+        let generation = self.oracle();
         let d = generation.distance(s, t);
         self.cache.insert_at(s, t, d, generation.epoch);
+        match t0 {
+            Some(t0) => self.latency.distance_miss.record(clock::ns_since(t0)),
+            None => {
+                self.distance_queries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         d
     }
 
@@ -551,10 +611,16 @@ impl ServeState {
     /// amortise the per-source work already, and polluting the LRU with
     /// whole rows would evict the point working set.
     pub fn one_to_many_into(&self, s: Vertex, targets: &[Vertex], out: &mut Vec<Distance>) {
-        self.one_to_many_queries.fetch_add(1, Ordering::Relaxed);
+        let t0 = self.latency.start();
         self.one_to_many_targets
             .fetch_add(targets.len() as u64, Ordering::Relaxed);
         self.oracle().one_to_many_into(s, targets, out);
+        match t0 {
+            Some(t0) => self.latency.one_to_many.record(clock::ns_since(t0)),
+            None => {
+                self.one_to_many_queries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Requests the serve loop to stop accepting and drain.
@@ -575,10 +641,16 @@ impl ServeState {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Counter snapshot in wire form.
+    /// Counter snapshot in wire form. The query totals fold the plain
+    /// counters (advanced only while latency recording is off) with the
+    /// histogram counts (advanced while it is on), so toggling recording
+    /// mid-run never loses a request.
     pub fn stats(&self) -> ServerStats {
         let cache = self.cache.stats();
         let generation = self.oracle();
+        let distance = self.latency.distance_merged();
+        let one_to_many = self.latency.one_to_many.snapshot();
+        let updates = self.latency.update_weights.snapshot();
         ServerStats {
             method_tag: generation.method().tag(),
             kernel_tag: hc2l_graph::active_kernel().tag(),
@@ -586,8 +658,9 @@ impl ServeState {
             index_bytes: generation.index_bytes() as u64,
             threads: self.threads as u32,
             mapped: generation.is_mapped(),
-            distance_queries: self.distance_queries.load(Ordering::Relaxed),
-            one_to_many_queries: self.one_to_many_queries.load(Ordering::Relaxed),
+            distance_queries: self.distance_queries.load(Ordering::Relaxed) + distance.count(),
+            one_to_many_queries: self.one_to_many_queries.load(Ordering::Relaxed)
+                + one_to_many.count(),
             one_to_many_targets: self.one_to_many_targets.load(Ordering::Relaxed),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
@@ -600,7 +673,35 @@ impl ServeState {
             panics_caught: self.panics_caught.load(Ordering::Relaxed),
             overload_rejections: self.overload_rejections.load(Ordering::Relaxed),
             write_errors: self.write_errors.load(Ordering::Relaxed),
+            distance_p50_ns: distance.p50(),
+            distance_p90_ns: distance.p90(),
+            distance_p99_ns: distance.p99(),
+            distance_p999_ns: distance.p999(),
+            distance_max_ns: distance.max(),
+            one_to_many_p50_ns: one_to_many.p50(),
+            one_to_many_p99_ns: one_to_many.p99(),
+            update_p50_ns: updates.p50(),
+            update_p99_ns: updates.p99(),
         }
+    }
+
+    /// The per-opcode latency histograms (for snapshots; the hot paths
+    /// record into them internally).
+    pub fn latency(&self) -> &OpLatencies {
+        &self.latency
+    }
+
+    /// Toggles hot-path latency recording. The bench uses this for its
+    /// overhead A/B; requests served while recording is off still count in
+    /// [`ServeState::stats`] via the plain counters.
+    pub fn set_latency_recording(&self, on: bool) {
+        self.latency.set_recording(on);
+    }
+
+    /// Renders the Prometheus text-exposition document a `Metrics` frame
+    /// answers with.
+    pub fn metrics_text(&self) -> String {
+        crate::metrics::render(&self.stats(), &self.latency)
     }
 
     /// Records an accepted connection (both models report here, so `Stats`
@@ -612,11 +713,13 @@ impl ServeState {
     /// Records a connection closed for blowing an idle or stall budget.
     pub(crate) fn note_reaped(&self) {
         self.connections_reaped.fetch_add(1, Ordering::Relaxed);
+        hc2l_obs::debug!("connection reaped (idle or stall budget exceeded)");
     }
 
     /// Records a caught request-handler panic.
     pub(crate) fn note_panic(&self) {
         self.panics_caught.fetch_add(1, Ordering::Relaxed);
+        hc2l_obs::error!("request handler panicked (caught); the daemon keeps serving");
     }
 
     /// Records a response write that failed because the peer was gone.
@@ -727,6 +830,7 @@ impl ServeState {
                 Ok(outcome) => Response::Updated(outcome),
             },
             Request::Stats => Response::Stats(self.stats()),
+            Request::Metrics => Response::Metrics(self.metrics_text()),
             Request::Shutdown => {
                 self.request_shutdown();
                 Response::ShuttingDown
@@ -1250,9 +1354,49 @@ mod tests {
         assert_eq!(stats.one_to_many_queries, 1, "{model}");
         assert_eq!(stats.one_to_many_targets, 16, "{model}");
         assert!(stats.cache_hits >= 1, "{model}");
+        // Latency recording is on by default, so the queries above must
+        // have produced non-zero percentiles over the wire.
+        assert!(stats.distance_p50_ns > 0, "{model}");
+        assert!(stats.distance_max_ns >= stats.distance_p99_ns, "{model}");
+        assert!(stats.one_to_many_p50_ns > 0, "{model}");
+
+        // The Metrics frame answers a scrapeable Prometheus document with
+        // the same request counts the Stats frame reported.
+        let Response::Metrics(doc) = ask(addr, &Request::Metrics) else {
+            panic!("expected a Metrics response");
+        };
+        assert!(
+            doc.contains("hc2l_requests_total{op=\"distance\"} 2"),
+            "{model}: {doc}"
+        );
+        assert!(
+            doc.contains("hc2l_latency_count{op=\"distance\",cache=\"hit\"} 1"),
+            "{model}: {doc}"
+        );
+        assert!(doc.contains("# TYPE hc2l_latency_p99_ns gauge"), "{model}");
 
         assert_eq!(ask(addr, &Request::Shutdown), Response::ShuttingDown);
         server.wait().unwrap();
+    }
+
+    #[test]
+    fn latency_recording_toggle_and_counter_folding() {
+        let state = test_state(256);
+        // Recording on (default): histograms carry the tally.
+        state.distance(0, 1);
+        state.distance(0, 1);
+        let stats = state.stats();
+        assert_eq!(stats.distance_queries, 2);
+        assert!(state.latency().distance_merged().count() == 2);
+        assert!(stats.distance_p50_ns > 0);
+        // Recording off: the plain counter takes over; totals keep folding.
+        state.set_latency_recording(false);
+        state.distance(0, 1);
+        assert_eq!(state.stats().distance_queries, 3);
+        assert_eq!(state.latency().distance_merged().count(), 2);
+        state.set_latency_recording(true);
+        state.distance(0, 1);
+        assert_eq!(state.stats().distance_queries, 4);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use std::time::Instant;
 
 use hc2l_graph::{Distance, Vertex};
+use hc2l_obs::{clock, Histogram};
 use hc2l_oracle::{DistanceOracle, Method, OracleBuilder};
 use hc2l_roadnet::{RoadNetworkConfig, WeightMode};
 use rand::rngs::StdRng;
@@ -42,21 +43,27 @@ fn main() {
     let pois: Vec<Vertex> = (0..NUM_POIS).map(|_| rng.random_range(0..n)).collect();
     let requests: Vec<Vertex> = (0..NUM_REQUESTS).map(|_| rng.random_range(0..n)).collect();
 
+    // Per-request latency goes into the serving stack's shared histogram
+    // (hc2l_obs) instead of a sorted Vec of samples: same log-linear
+    // buckets, same percentile math and the same `summary()` line the
+    // daemon's metrics use, so numbers here read identically to a
+    // `hc2l-query --stats` table.
+    clock::calibrate();
+    let latency = Histogram::new();
     let start = Instant::now();
     let mut total_top_distance: Distance = 0;
     let mut example_output: Option<(Vertex, Vec<(Vertex, Distance)>)> = None;
-    let mut request_us: Vec<f64> = Vec::with_capacity(NUM_REQUESTS);
     for (i, &user) in requests.iter().enumerate() {
         // Exact distance to every POI in one batched call, then keep the k
         // smallest. Each request is timed individually: a latency-sensitive
         // service cares about the per-request distribution, not just the
         // aggregate throughput.
-        let t0 = Instant::now();
+        let t0 = clock::now();
         let distances = oracle.one_to_many(user, &pois);
         let mut candidates: Vec<(Vertex, Distance)> = pois.iter().copied().zip(distances).collect();
         candidates.sort_by_key(|&(_, d)| d);
         candidates.truncate(K);
-        request_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        latency.record(clock::ns_since(t0));
         total_top_distance += candidates.first().map(|&(_, d)| d).unwrap_or(0);
         if i == 0 {
             example_output = Some((user, candidates.clone()));
@@ -69,15 +76,9 @@ fn main() {
         elapsed,
         elapsed.as_secs_f64() * 1e6 / queries as f64
     );
-    request_us.sort_by(|a, b| a.total_cmp(b));
-    let mean = request_us.iter().sum::<f64>() / request_us.len() as f64;
-    let p99 = request_us[(request_us.len() * 99 / 100).min(request_us.len() - 1)];
     println!(
-        "per-request latency (k-NN over {NUM_POIS} POIs): min {:.1} µs / mean {:.1} µs / p99 {:.1} µs / max {:.1} µs",
-        request_us[0],
-        mean,
-        p99,
-        request_us[request_us.len() - 1]
+        "per-request latency (k-NN over {NUM_POIS} POIs): {}",
+        latency.snapshot().summary()
     );
     println!(
         "mean distance to the nearest POI: {:.0} m",
