@@ -1,0 +1,255 @@
+//! The exploration driver: runs a test closure under every schedule the
+//! strategy generates, reports the interleaving when an invariant fails.
+
+use std::sync::{Arc, Mutex};
+
+use crate::sched::{self, AccessKind, Decision, Execution, XorShift};
+
+/// How the schedule space is explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Exhaustive DFS over thread interleavings, branching at every point
+    /// where more than one thread is runnable, with at most
+    /// `preemption_bound` switches away from a runnable thread per
+    /// schedule. Sound and complete within the bound; the practical sweet
+    /// spot for 2–3 threads is a bound of 2–3 (context-bounded checking
+    /// finds almost all real bugs at tiny bounds).
+    Exhaustive { preemption_bound: usize },
+    /// `iterations` schedules with uniformly random picks at every branch
+    /// point, from a deterministic xorshift seed. For state spaces DFS
+    /// cannot exhaust (4+ threads, long traces).
+    Sample { iterations: usize, seed: u64 },
+    /// Exhaustive while the closure spawns ≤ 3 threads, sampling beyond
+    /// (decided after the first run, which observes the spawn count).
+    Auto,
+}
+
+/// Exploration options for [`model_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    pub mode: Mode,
+    /// Hard cap on explored schedules in exhaustive mode; exceeding it
+    /// panics (the test should shrink its trace or switch to sampling)
+    /// rather than silently under-exploring.
+    pub max_schedules: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            mode: Mode::Auto,
+            max_schedules: 500_000,
+        }
+    }
+}
+
+/// What an exploration did — returned on success so tests can assert the
+/// space was actually covered.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Schedules (complete executions) explored.
+    pub schedules: usize,
+    /// Whether the DFS ran to exhaustion (sampling mode reports `false`).
+    pub exhaustive: bool,
+    /// Most threads alive in any execution (including thread 0).
+    pub threads: usize,
+}
+
+/// Serialises model runs: the panic hook and the controlled-thread
+/// machinery are process-global. Poison is meaningless here (the guard is
+/// only held around exploration).
+static MODEL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Explores `f` under [`Options::default`]: exhaustive DFS with a
+/// preemption bound of 3 for closures spawning ≤ 3 threads, seeded
+/// sampling beyond. Panics — with the failing interleaving's access trace —
+/// if any schedule panics or deadlocks.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(Options::default(), f)
+}
+
+/// [`model`] with explicit exploration options.
+pub fn model_with<F>(opts: Options, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let _guard = MODEL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let f = Arc::new(f);
+    let prev_hook = install_quiet_hook();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| explore(&opts, &f)));
+    std::panic::set_hook(prev_hook);
+    match result {
+        Ok(report) => report,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+type Hook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+/// Controlled threads communicate failures through [`Execution::fail`];
+/// the default hook's stderr backtrace spam (especially for the expected
+/// `Aborted` unwinds during teardown) would drown the real trace. Threads
+/// outside the model run keep the previous hook's behaviour.
+fn install_quiet_hook() -> Hook {
+    let prev: Arc<Hook> = Arc::new(std::panic::take_hook());
+    let prev_for_hook = Arc::clone(&prev);
+    std::panic::set_hook(Box::new(move |info| {
+        if std::thread::current()
+            .name()
+            .is_some_and(|n| n.starts_with("hc2l-check-"))
+        {
+            return; // a controlled thread: the driver reports it
+        }
+        prev_for_hook(info);
+    }));
+    // Restoration installs a delegate to the previous hook (the closure
+    // above still holds its own Arc, which dies with the replaced hook).
+    Box::new(move |info| prev(info))
+}
+
+fn explore<F>(opts: &Options, f: &Arc<F>) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let mut report = Report {
+        schedules: 0,
+        exhaustive: false,
+        threads: 0,
+    };
+    // First run with the default (no-preemption) schedule to observe the
+    // thread count, which Auto mode uses to pick a strategy.
+    let (bound, mut sampler, mut iterations_left) = match opts.mode {
+        Mode::Exhaustive { preemption_bound } => (preemption_bound, None, usize::MAX),
+        Mode::Sample { iterations, seed } => (usize::MAX, Some(XorShift(seed)), iterations),
+        Mode::Auto => (3, None, usize::MAX),
+    };
+    let mut replay: Vec<usize> = Vec::new();
+    let mut switched_to_sampling = false;
+    loop {
+        let exec = Arc::new(Execution::new(replay.clone(), bound, sampler.clone()));
+        let (decisions, threads) = run_one(&exec, f);
+        report.schedules += 1;
+        report.threads = report.threads.max(threads);
+        if let Some(s) = &mut sampler {
+            // Carry the generator forward so iterations differ.
+            let mut inner = exec.inner.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(advanced) = inner.sampler.take() {
+                *s = advanced;
+            }
+            iterations_left -= 1;
+            if iterations_left == 0 {
+                break;
+            }
+            continue;
+        }
+        // Auto mode bails out of DFS when the thread count outgrows it.
+        if matches!(opts.mode, Mode::Auto) && threads > 3 && !switched_to_sampling {
+            switched_to_sampling = true;
+            sampler = Some(XorShift(0x5eed_cafe_f00d_beef));
+            iterations_left = 2_000;
+            replay.clear();
+            continue;
+        }
+        match next_replay(&decisions) {
+            Some(next) => replay = next,
+            None => {
+                report.exhaustive = true;
+                break;
+            }
+        }
+        assert!(
+            report.schedules < opts.max_schedules,
+            "model exploration exceeded {} schedules without exhausting the space; \
+             shrink the modelled trace, lower the preemption bound, or use Mode::Sample",
+            opts.max_schedules
+        );
+    }
+    report
+}
+
+/// DFS backtracking: advance the last decision that still has untried
+/// choices, truncating everything after it.
+fn next_replay(decisions: &[Decision]) -> Option<Vec<usize>> {
+    for i in (0..decisions.len()).rev() {
+        if decisions[i].index + 1 < decisions[i].choices.len() {
+            let mut replay: Vec<usize> = decisions[..i].iter().map(|d| d.index).collect();
+            replay.push(decisions[i].index + 1);
+            return Some(replay);
+        }
+    }
+    None
+}
+
+/// Runs one execution to completion (or failure): spawns thread 0 running
+/// the closure, waits for the scheduler to report completion, drains every
+/// controlled OS thread, and panics with the trace on failure.
+fn run_one<F>(exec: &Arc<Execution>, f: &Arc<F>) -> (Vec<Decision>, usize)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::clone(f);
+    crate::thread::spawn_controlled(exec, 0, move || f());
+    // Wait until the execution completes or fails.
+    {
+        let mut inner = exec.inner.lock().unwrap_or_else(|p| p.into_inner());
+        while !inner.complete && inner.failed.is_none() {
+            inner = exec.cv.wait(inner).unwrap_or_else(|p| p.into_inner());
+        }
+        if inner.failed.is_some() && !inner.abort {
+            inner.abort = true;
+        }
+        exec.cv.notify_all();
+    }
+    // Drain every OS thread; aborted ones unwind with the Aborted payload.
+    let handles = std::mem::take(&mut *exec.handles.lock().unwrap_or_else(|p| p.into_inner()));
+    for h in handles {
+        let _ = h.join();
+    }
+    let inner = exec.inner.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(failure) = &inner.failed {
+        let mut msg = format!(
+            "model check failed on thread {}: {}\n--- interleaving ({} accesses, {} threads) ---\n",
+            failure.tid,
+            failure.message,
+            inner.trace.len(),
+            inner.states.len(),
+        );
+        const TAIL: usize = 200;
+        let skipped = inner.trace.len().saturating_sub(TAIL);
+        if skipped > 0 {
+            msg.push_str(&format!("... {skipped} earlier accesses elided ...\n"));
+        }
+        for a in &inner.trace[skipped..] {
+            let var = if a.var == usize::MAX {
+                String::new()
+            } else {
+                format!(
+                    " {}",
+                    inner.var_names.get(a.var).map_or("?", String::as_str)
+                )
+            };
+            msg.push_str(&format!(
+                "  [t{}] {:?}{} = {} ({:?})\n",
+                a.tid, a.kind, var, a.value, a.order
+            ));
+        }
+        panic!("{msg}");
+    }
+    let threads = inner.states.len();
+    (inner.decisions.clone(), threads)
+}
+
+/// Records a non-memory scheduling event in the active execution's trace
+/// (used by spawn).
+pub(crate) fn trace_event(exec: &Arc<Execution>, tid: usize, kind: AccessKind, value: u64) {
+    exec.trace_access(sched::Access {
+        tid,
+        kind,
+        var: usize::MAX,
+        order: std::sync::atomic::Ordering::SeqCst,
+        value,
+    });
+}

@@ -1,0 +1,382 @@
+//! The cooperative scheduler behind the model checker.
+//!
+//! One [`Execution`] is one run of the user's test closure under one
+//! schedule. Every controlled thread (the closure itself is thread 0;
+//! [`crate::thread::spawn`] adds more) parks on a shared condvar and runs
+//! only while it is the scheduler's `current` thread. Every
+//! ordering-relevant access — shim atomic load/store/RMW, fence, spawn,
+//! join — calls [`schedule_point`] first, which records the access and
+//! consults the schedule: a replay prefix driven by the DFS explorer, then
+//! either the deterministic default (keep running the current thread) or a
+//! seeded-random pick in sampling mode. Branch points (more than one
+//! runnable thread, preemption budget left) are recorded as [`Decision`]s
+//! so the explorer can backtrack.
+//!
+//! Threads are real OS threads, but exactly one is ever unparked, so an
+//! execution is fully deterministic given its decision sequence — which is
+//! what makes a failing interleaving replayable and printable.
+
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// What a recorded access did. `Spawn`/`Join`/`Exit` are scheduling events
+/// rather than memory accesses but appear in the trace for readability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AccessKind {
+    Load,
+    Store,
+    Rmw,
+    CasFailed,
+    Fence,
+    Spawn,
+    Join,
+    Exit,
+}
+
+/// One entry of the execution trace, printed when an invariant fails.
+#[derive(Debug, Clone)]
+pub(crate) struct Access {
+    pub tid: usize,
+    pub kind: AccessKind,
+    /// Variable id, `usize::MAX` for non-memory events.
+    pub var: usize,
+    pub order: Ordering,
+    /// Value loaded / stored / returned by the RMW; thread id for
+    /// spawn/join events.
+    pub value: u64,
+}
+
+/// A point where more than one thread could have been scheduled, and which
+/// one was. The DFS explorer backtracks over these.
+#[derive(Debug, Clone)]
+pub(crate) struct Decision {
+    /// Runnable thread ids at this point, sorted; `index` picks one.
+    pub choices: Vec<usize>,
+    pub index: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ThreadState {
+    Runnable,
+    /// Waiting for the given thread id to finish.
+    Blocked(usize),
+    Finished,
+}
+
+/// Why an execution stopped early.
+#[derive(Debug, Clone)]
+pub(crate) struct Failure {
+    pub tid: usize,
+    pub message: String,
+}
+
+/// Seeded xorshift64* generator for sampling mode — deterministic per seed,
+/// no external RNG dependency.
+#[derive(Debug, Clone)]
+pub(crate) struct XorShift(pub u64);
+
+impl XorShift {
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+pub(crate) struct ExecInner {
+    /// The one thread allowed to run right now.
+    pub current: usize,
+    pub states: Vec<ThreadState>,
+    /// Forced choice indices replayed from the explorer.
+    pub replay: Vec<usize>,
+    pub cursor: usize,
+    /// Every branch point of this execution, for backtracking.
+    pub decisions: Vec<Decision>,
+    /// Remaining preemptions (scheduling away from a runnable current
+    /// thread). Bounding these is what keeps DFS tractable.
+    pub preemptions_left: usize,
+    /// `Some` = sampling mode: picks beyond the replay prefix are random.
+    pub sampler: Option<XorShift>,
+    pub trace: Vec<Access>,
+    pub next_var: usize,
+    pub var_names: Vec<String>,
+    pub failed: Option<Failure>,
+    pub abort: bool,
+    pub complete: bool,
+    /// Total threads ever registered (thread 0 + spawns).
+    pub spawned: usize,
+}
+
+pub(crate) struct Execution {
+    pub inner: Mutex<ExecInner>,
+    pub cv: Condvar,
+    /// OS-thread handles of every controlled thread, joined by the driver.
+    pub handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Panic payload used to unwind controlled threads when the execution is
+/// aborted (failure elsewhere, or driver teardown). Not a test failure.
+pub(crate) struct Aborted;
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's (execution, thread id), if it is a controlled
+/// thread of an active model run.
+pub(crate) fn current_ctx() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(exec: Arc<Execution>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// The calling thread's ctx, or a panic explaining that shim atomics only
+/// work inside [`crate::model`].
+pub(crate) fn require_ctx(what: &str) -> (Arc<Execution>, usize) {
+    current_ctx().unwrap_or_else(|| {
+        panic!(
+            "{what} used outside a model run: construct CheckAtomics-backed types \
+             (and touch them) only inside hc2l_check::model(..)"
+        )
+    })
+}
+
+impl Execution {
+    pub fn new(replay: Vec<usize>, preemption_bound: usize, sampler: Option<XorShift>) -> Self {
+        Execution {
+            inner: Mutex::new(ExecInner {
+                current: 0,
+                states: vec![ThreadState::Runnable],
+                replay,
+                cursor: 0,
+                decisions: Vec::new(),
+                preemptions_left: preemption_bound,
+                sampler,
+                trace: Vec::new(),
+                next_var: 0,
+                var_names: Vec::new(),
+                failed: None,
+                abort: false,
+                complete: false,
+                spawned: 1,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ExecInner> {
+        // A controlled thread that panicked with a *real* failure poisons
+        // this mutex on the way out; the state is still consistent (every
+        // mutation happens-before the panic is raised) and the driver needs
+        // it to print the trace.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Registers a new shim atomic; returns its variable id.
+    pub fn register_var(&self, name: Option<&str>) -> usize {
+        let mut inner = self.lock();
+        let id = inner.next_var;
+        inner.next_var += 1;
+        inner
+            .var_names
+            .push(name.map_or_else(|| format!("var#{id}"), str::to_owned));
+        id
+    }
+
+    /// Registers a spawned thread; returns its thread id. The thread starts
+    /// runnable but does not run until scheduled.
+    pub fn register_thread(&self) -> usize {
+        let mut inner = self.lock();
+        let tid = inner.states.len();
+        inner.states.push(ThreadState::Runnable);
+        inner.spawned += 1;
+        tid
+    }
+
+    /// Records `access` and lets the scheduler decide who runs next; blocks
+    /// until this thread is scheduled again. Panics with [`Aborted`] if the
+    /// execution is being torn down.
+    pub fn schedule_point(self: &Arc<Self>, me: usize, access: Option<Access>) {
+        let mut inner = self.lock();
+        if inner.abort {
+            drop(inner);
+            std::panic::panic_any(Aborted);
+        }
+        if let Some(a) = access {
+            inner.trace.push(a);
+        }
+        let next = pick_next(&mut inner, me);
+        if next != me {
+            inner.current = next;
+            self.cv.notify_all();
+            self.wait_until_current(inner, me);
+        }
+    }
+
+    /// Parks until this thread is `current` (or the execution aborts).
+    pub fn wait_until_current(self: &Arc<Self>, mut inner: MutexGuard<'_, ExecInner>, me: usize) {
+        loop {
+            if inner.abort {
+                drop(inner);
+                std::panic::panic_any(Aborted);
+            }
+            if inner.current == me {
+                return;
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Blocks `me` until thread `target` finishes. The caller retrieves the
+    /// join result from its own channel afterwards.
+    pub fn join_thread(self: &Arc<Self>, me: usize, target: usize) {
+        loop {
+            let mut inner = self.lock();
+            if inner.abort {
+                drop(inner);
+                std::panic::panic_any(Aborted);
+            }
+            if inner.states[target] == ThreadState::Finished {
+                inner.trace.push(Access {
+                    tid: me,
+                    kind: AccessKind::Join,
+                    var: usize::MAX,
+                    order: Ordering::Acquire,
+                    value: target as u64,
+                });
+                return;
+            }
+            inner.states[me] = ThreadState::Blocked(target);
+            let next = pick_next(&mut inner, me);
+            inner.current = next;
+            self.cv.notify_all();
+            self.wait_until_current(inner, me);
+            // Woken as current: either the target finished (checked at the
+            // top of the loop) or the execution is aborting.
+        }
+    }
+
+    /// Marks `me` finished, wakes joiners, schedules a successor (or
+    /// completes the execution).
+    pub fn thread_exit(self: &Arc<Self>, me: usize) {
+        let mut inner = self.lock();
+        if inner.abort {
+            return; // teardown: the driver is already draining threads
+        }
+        inner.states[me] = ThreadState::Finished;
+        inner.trace.push(Access {
+            tid: me,
+            kind: AccessKind::Exit,
+            var: usize::MAX,
+            order: Ordering::Release,
+            value: me as u64,
+        });
+        for i in 0..inner.states.len() {
+            if inner.states[i] == ThreadState::Blocked(me) {
+                inner.states[i] = ThreadState::Runnable;
+            }
+        }
+        if inner.states.iter().all(|s| *s == ThreadState::Finished) {
+            inner.complete = true;
+            self.cv.notify_all();
+            return;
+        }
+        let next = pick_next(&mut inner, me);
+        inner.current = next;
+        self.cv.notify_all();
+    }
+
+    /// Appends an access to the trace without a scheduling point (used for
+    /// the post-operation record: the op already happened atomically while
+    /// the thread was sole runner).
+    pub fn trace_access(&self, access: Access) {
+        self.lock().trace.push(access);
+    }
+
+    /// Raises a real failure (assertion panic in a controlled thread) and
+    /// aborts every other thread.
+    pub fn fail(&self, tid: usize, message: String) {
+        let mut inner = self.lock();
+        if inner.failed.is_none() {
+            inner.failed = Some(Failure { tid, message });
+        }
+        inner.abort = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Picks the next thread to run. `me` is the thread at the schedule point
+/// (it may itself be blocked or finished). Deterministic given the replay
+/// prefix; records a [`Decision`] at every branch point.
+fn pick_next(inner: &mut ExecInner, me: usize) -> usize {
+    let runnable: Vec<usize> = (0..inner.states.len())
+        .filter(|&i| inner.states[i] == ThreadState::Runnable)
+        .collect();
+    if runnable.is_empty() {
+        // Every schedule point is reached with at least one live thread, so
+        // an empty runnable set means everyone else waits on a join cycle.
+        inner.failed = Some(Failure {
+            tid: me,
+            message: "deadlock: no runnable threads (join cycle?)".into(),
+        });
+        inner.abort = true;
+        return me;
+    }
+    let me_runnable = runnable.contains(&me);
+    // With the preemption budget spent, a runnable current thread keeps
+    // running — this is the bounded-preemption cap that keeps exhaustive
+    // DFS polynomial-ish instead of factorial. Otherwise the current thread
+    // is moved to the FRONT of the choice list: DFS starts every decision
+    // at index 0 and backtracks by incrementing, so the first-explored
+    // schedule is the no-preemption one and every alternative (including
+    // lower thread ids) is still enumerated.
+    let choices: Vec<usize> = if me_runnable && inner.preemptions_left == 0 {
+        vec![me]
+    } else if me_runnable {
+        std::iter::once(me)
+            .chain(runnable.iter().copied().filter(|&t| t != me))
+            .collect()
+    } else {
+        runnable
+    };
+    if choices.len() == 1 {
+        // Not a branch point: nothing to record, no replay slot consumed
+        // (replay indices address branch points only, which are identical
+        // across runs because execution is deterministic).
+        return choices[0];
+    }
+    let index = if inner.cursor < inner.replay.len() {
+        let i = inner.replay[inner.cursor];
+        inner.cursor += 1;
+        assert!(
+            i < choices.len(),
+            "schedule replay diverged (index {i} of {} choices): the model \
+             closure must be deterministic apart from thread interleaving",
+            choices.len()
+        );
+        i
+    } else if let Some(sampler) = &mut inner.sampler {
+        (sampler.next() % choices.len() as u64) as usize
+    } else {
+        // DFS default: index 0, which is the current thread when runnable
+        // (the no-preemption schedule) by construction above.
+        0
+    };
+    let chosen = choices[index];
+    if me_runnable && chosen != me {
+        inner.preemptions_left -= 1;
+    }
+    inner.decisions.push(Decision { choices, index });
+    chosen
+}

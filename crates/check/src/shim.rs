@@ -1,0 +1,206 @@
+//! Shim atomics: the checker's instantiation of the facade.
+//!
+//! Each cell registers itself with the active execution at construction
+//! and turns every access into a scheduling point: the scheduler may run
+//! any other thread *before* the access happens, which is exactly the
+//! interleaving freedom real concurrent hardware has (at sequential
+//! consistency — see the crate docs for what is and is not modelled). The
+//! access itself then executes while the thread is sole owner of the CPU,
+//! i.e. atomically, and is appended to the execution trace with the value
+//! it read or wrote so a failing schedule prints as a readable history.
+//!
+//! Cells are usable only inside [`crate::model`]; constructing or touching
+//! one outside a model run panics with instructions.
+
+use std::sync::atomic::Ordering;
+
+use crate::facade;
+use crate::sched::{self, Access, AccessKind};
+
+/// The checker's facade instantiation: `FrontCore<CheckAtomics>` etc.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CheckAtomics;
+
+impl facade::Atomics for CheckAtomics {
+    type U64 = AtomicU64;
+    type Usize = AtomicUsize;
+    type U8 = AtomicU8;
+
+    fn fence(order: Ordering) {
+        fence(order);
+    }
+}
+
+/// A fence is a scheduling point recorded in the trace (the checker's
+/// sequentially consistent interleavings make it a no-op semantically,
+/// but traces read better with it present).
+pub fn fence(order: Ordering) {
+    let (exec, me) = sched::require_ctx("check fence");
+    exec.schedule_point(
+        me,
+        Some(Access {
+            tid: me,
+            kind: AccessKind::Fence,
+            var: usize::MAX,
+            order,
+            value: 0,
+        }),
+    );
+}
+
+macro_rules! shim_atomic {
+    ($name:ident, $prim:ty, $std:ty) => {
+        /// A model-checked atomic cell; see the module docs.
+        #[derive(Debug)]
+        pub struct $name {
+            var: usize,
+            inner: $std,
+        }
+
+        impl $name {
+            /// Registers the cell with the active model execution.
+            pub fn new(v: $prim) -> Self {
+                Self::with_name(v, None)
+            }
+
+            /// Like [`Self::new`], with a label used in failure traces.
+            pub fn with_name(v: $prim, name: Option<&str>) -> Self {
+                let (exec, _) = sched::require_ctx(concat!("check ", stringify!($name), "::new"));
+                $name {
+                    var: exec.register_var(name),
+                    inner: <$std>::new(v),
+                }
+            }
+
+            fn access(&self, kind: AccessKind, order: Ordering, value: $prim) {
+                let (exec, me) = sched::require_ctx(concat!("check ", stringify!($name)));
+                exec.trace_access(Access {
+                    tid: me,
+                    kind,
+                    var: self.var,
+                    order,
+                    value: value as u64,
+                });
+            }
+
+            /// The pre-access scheduling point: any other runnable thread
+            /// may be interleaved here.
+            fn interleave(&self) {
+                let (exec, me) = sched::require_ctx(concat!("check ", stringify!($name)));
+                exec.schedule_point(me, None);
+            }
+
+            pub fn load(&self, order: Ordering) -> $prim {
+                self.interleave();
+                let v = self.inner.load(Ordering::SeqCst);
+                self.access(AccessKind::Load, order, v);
+                v
+            }
+
+            pub fn store(&self, v: $prim, order: Ordering) {
+                self.interleave();
+                self.inner.store(v, Ordering::SeqCst);
+                self.access(AccessKind::Store, order, v);
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.interleave();
+                let r =
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst);
+                match r {
+                    Ok(v) => self.access(AccessKind::Rmw, success, v),
+                    Err(v) => self.access(AccessKind::CasFailed, failure, v),
+                }
+                r
+            }
+
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                self.interleave();
+                let prev = self.inner.fetch_add(v, Ordering::SeqCst);
+                self.access(AccessKind::Rmw, order, prev);
+                prev
+            }
+
+            pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                self.interleave();
+                let prev = self.inner.fetch_max(v, Ordering::SeqCst);
+                self.access(AccessKind::Rmw, order, prev);
+                prev
+            }
+        }
+    };
+}
+
+shim_atomic!(AtomicU64, u64, std::sync::atomic::AtomicU64);
+shim_atomic!(AtomicUsize, usize, std::sync::atomic::AtomicUsize);
+shim_atomic!(AtomicU8, u8, std::sync::atomic::AtomicU8);
+
+impl facade::AtomicU64 for AtomicU64 {
+    fn new(v: u64) -> Self {
+        AtomicU64::new(v)
+    }
+    fn load(&self, order: Ordering) -> u64 {
+        AtomicU64::load(self, order)
+    }
+    fn store(&self, v: u64, order: Ordering) {
+        AtomicU64::store(self, v, order)
+    }
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        AtomicU64::compare_exchange(self, current, new, success, failure)
+    }
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        AtomicU64::fetch_add(self, v, order)
+    }
+    fn fetch_max(&self, v: u64, order: Ordering) -> u64 {
+        AtomicU64::fetch_max(self, v, order)
+    }
+}
+
+impl facade::AtomicUsize for AtomicUsize {
+    fn new(v: usize) -> Self {
+        AtomicUsize::new(v)
+    }
+    fn load(&self, order: Ordering) -> usize {
+        AtomicUsize::load(self, order)
+    }
+    fn store(&self, v: usize, order: Ordering) {
+        AtomicUsize::store(self, v, order)
+    }
+    fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        AtomicUsize::fetch_add(self, v, order)
+    }
+}
+
+impl facade::AtomicU8 for AtomicU8 {
+    fn new(v: u8) -> Self {
+        AtomicU8::new(v)
+    }
+    fn load(&self, order: Ordering) -> u8 {
+        AtomicU8::load(self, order)
+    }
+    fn store(&self, v: u8, order: Ordering) {
+        AtomicU8::store(self, v, order)
+    }
+    fn compare_exchange(
+        &self,
+        current: u8,
+        new: u8,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u8, u8> {
+        AtomicU8::compare_exchange(self, current, new, success, failure)
+    }
+}

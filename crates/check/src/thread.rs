@@ -1,0 +1,122 @@
+//! Controlled threads for model runs: `check::thread::spawn` mirrors
+//! `std::thread::spawn`, but the spawned closure runs under the
+//! scheduler — it starts parked, runs only while scheduled, and every shim
+//! atomic access inside it is an exploration point.
+
+use std::sync::{Arc, Mutex};
+
+use crate::model::trace_event;
+use crate::sched::{self, Aborted, AccessKind, Execution};
+
+/// Handle to a controlled thread. Unlike `std::thread::JoinHandle`, `join`
+/// returns the closure's value directly: a panicking controlled thread
+/// fails the whole model run, so there is no `Result` to inspect.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (under the scheduler) until the thread finishes; returns its
+    /// value.
+    pub fn join(self) -> T {
+        let (exec, me) = sched::require_ctx("check::thread::JoinHandle::join");
+        exec.join_thread(me, self.tid);
+        self.result
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+            .unwrap_or_else(|| {
+                // The target finished without storing a result: it unwound
+                // with `Aborted` while the execution is tearing down.
+                std::panic::panic_any(Aborted)
+            })
+    }
+}
+
+/// Spawns a controlled thread inside a model run. Panics if called outside
+/// [`crate::model`].
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (exec, me) = sched::require_ctx("check::thread::spawn");
+    let tid = exec.register_thread();
+    trace_event(&exec, me, AccessKind::Spawn, tid as u64);
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    spawn_controlled(&exec, tid, move || {
+        let v = f();
+        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(v);
+    });
+    // The spawn itself is a scheduling point: "child runs first" is an
+    // interleaving worth exploring.
+    exec.schedule_point(me, None);
+    JoinHandle { tid, result }
+}
+
+/// Voluntarily offers the scheduler a switch point (useful to model a
+/// non-atomic pause between two atomic regions).
+pub fn yield_now() {
+    if let Some((exec, me)) = sched::current_ctx() {
+        exec.schedule_point(me, None);
+    }
+}
+
+/// Spawns the OS thread backing controlled thread `tid` and parks it until
+/// scheduled. Used by [`spawn`] and by the driver for thread 0.
+pub(crate) fn spawn_controlled<F>(exec: &Arc<Execution>, tid: usize, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let exec_for_thread = Arc::clone(exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("hc2l-check-{tid}"))
+        .spawn(move || {
+            sched::set_ctx(Arc::clone(&exec_for_thread), tid);
+            // Park until scheduled (thread 0 starts as `current` and
+            // proceeds immediately).
+            {
+                let inner = exec_for_thread
+                    .inner
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner());
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    exec_for_thread.wait_until_current(inner, tid)
+                }));
+                if res.is_err() {
+                    sched::clear_ctx();
+                    return; // aborted before ever running
+                }
+            }
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            match result {
+                Ok(()) => exec_for_thread.thread_exit(tid),
+                Err(payload) => {
+                    if payload.downcast_ref::<Aborted>().is_some() {
+                        // Teardown unwind, not a failure; the driver is
+                        // already draining threads.
+                    } else {
+                        exec_for_thread.fail(tid, panic_message(payload.as_ref()));
+                    }
+                }
+            }
+            sched::clear_ctx();
+        })
+        .unwrap_or_else(|e| panic!("failed to spawn controlled thread {tid}: {e}"));
+    exec.handles
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push(handle);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "controlled thread panicked (non-string payload)".to_owned()
+    }
+}

@@ -1,0 +1,220 @@
+//! The checker checking itself: seeded bugs it MUST find, correct
+//! protocols it must exhaust without complaint. If `lost_update_is_found`
+//! or `torn_publication_is_found` ever starts passing silently, the model
+//! checker has gone blind and every downstream model test is vacuous.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use hc2l_check::shim::AtomicU64;
+use hc2l_check::{model, model_with, thread, Mode, Options, Report};
+
+/// Runs `f` under the checker expecting a violation; returns the failure
+/// message the driver panicked with.
+fn expect_failure<F>(f: F) -> String
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model(f)))
+        .expect_err("the checker failed to find the seeded bug");
+    if let Some(s) = err.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = err.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+/// A classic lost update: two threads do load-then-store increments. The
+/// checker must find the interleaving where both load 0 and the final
+/// value is 1.
+#[test]
+fn lost_update_is_found() {
+    let msg = expect_failure(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let (a, b) = (Arc::clone(&n), Arc::clone(&n));
+        let t1 = thread::spawn(move || {
+            let v = a.load(Ordering::SeqCst);
+            a.store(v + 1, Ordering::SeqCst);
+        });
+        let t2 = thread::spawn(move || {
+            let v = b.load(Ordering::SeqCst);
+            b.store(v + 1, Ordering::SeqCst);
+        });
+        t1.join();
+        t2.join();
+        assert_eq!(n.load(Ordering::SeqCst), 2, "an increment was lost");
+    });
+    assert!(
+        msg.contains("an increment was lost"),
+        "wrong failure: {msg}"
+    );
+    // The report must replay the interleaving, not just the assertion.
+    assert!(msg.contains("interleaving"), "no trace in: {msg}");
+}
+
+/// The same counter with a real RMW has no lost update; the DFS must
+/// exhaust the space and say so.
+#[test]
+fn fetch_add_is_exhaustively_race_free() {
+    let report: Report = model(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let (a, b) = (Arc::clone(&n), Arc::clone(&n));
+        let t1 = thread::spawn(move || {
+            a.fetch_add(1, Ordering::SeqCst);
+        });
+        let t2 = thread::spawn(move || {
+            b.fetch_add(1, Ordering::SeqCst);
+        });
+        t1.join();
+        t2.join();
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.exhaustive, "DFS did not exhaust: {report:?}");
+    assert!(
+        report.schedules > 1,
+        "no interleavings explored: {report:?}"
+    );
+    assert_eq!(report.threads, 3, "main + two spawned: {report:?}");
+}
+
+/// A broken two-word publication — no seqlock around the pair — must show
+/// the reader a torn (half-written) value in some interleaving.
+#[test]
+fn torn_publication_is_found() {
+    let msg = expect_failure(|| {
+        let lo = Arc::new(AtomicU64::new(0));
+        let hi = Arc::new(AtomicU64::new(0));
+        let (wlo, whi) = (Arc::clone(&lo), Arc::clone(&hi));
+        let writer = thread::spawn(move || {
+            // BUG (seeded): the two halves publish without a sequence word,
+            // so a reader can observe lo=7, hi=0.
+            wlo.store(7, Ordering::Release);
+            whi.store(7, Ordering::Release);
+        });
+        let l = lo.load(Ordering::Acquire);
+        let h = hi.load(Ordering::Acquire);
+        assert!(l == h || !(l == 7 && h == 0), "torn read: lo={l} hi={h}");
+        writer.join();
+    });
+    assert!(msg.contains("torn read"), "wrong failure: {msg}");
+}
+
+/// The corrected protocol — an odd/even sequence word bracketing the pair,
+/// reader retrying on mismatch — must pass exhaustively.
+#[test]
+fn seqlock_protocol_is_torn_free() {
+    let report = model(|| {
+        let seq = Arc::new(AtomicU64::new(0));
+        let lo = Arc::new(AtomicU64::new(0));
+        let hi = Arc::new(AtomicU64::new(0));
+        let (wseq, wlo, whi) = (Arc::clone(&seq), Arc::clone(&lo), Arc::clone(&hi));
+        let writer = thread::spawn(move || {
+            wseq.store(1, Ordering::Release); // odd: fill in progress
+            wlo.store(7, Ordering::Relaxed);
+            whi.store(7, Ordering::Relaxed);
+            wseq.store(2, Ordering::Release); // even: published
+        });
+        // Reader: accept only a stable even sequence around the pair.
+        let s0 = seq.load(Ordering::Acquire);
+        if s0.is_multiple_of(2) {
+            let l = lo.load(Ordering::Relaxed);
+            let h = hi.load(Ordering::Relaxed);
+            let s1 = seq.load(Ordering::Acquire);
+            if s0 == s1 {
+                assert_eq!(l, h, "seqlock let a torn pair through: lo={l} hi={h}");
+            }
+        }
+        writer.join();
+    });
+    assert!(report.exhaustive, "{report:?}");
+    // The writer has 4 accesses, the reader up to 4: the schedule space is
+    // real (dozens of interleavings), not degenerate.
+    assert!(report.schedules >= 10, "{report:?}");
+}
+
+/// Sampling mode runs exactly the requested number of schedules and is
+/// deterministic for a fixed seed.
+#[test]
+fn sampling_mode_is_deterministic() {
+    let run = || {
+        model_with(
+            Options {
+                mode: Mode::Sample {
+                    iterations: 50,
+                    seed: 0xABCD,
+                },
+                ..Options::default()
+            },
+            || {
+                let n = Arc::new(AtomicU64::new(0));
+                let a = Arc::clone(&n);
+                let t = thread::spawn(move || {
+                    a.fetch_add(1, Ordering::SeqCst);
+                });
+                n.fetch_add(1, Ordering::SeqCst);
+                t.join();
+                assert_eq!(n.load(Ordering::SeqCst), 2);
+            },
+        )
+    };
+    let r1 = run();
+    let r2 = run();
+    assert_eq!(r1.schedules, 50);
+    assert!(!r1.exhaustive);
+    assert_eq!(r1.schedules, r2.schedules);
+    assert_eq!(r1.threads, r2.threads);
+}
+
+/// A preemption bound of zero still explores blocking-point choices but
+/// never mid-run switches; the run must stay exhaustive and green.
+#[test]
+fn zero_preemption_bound_is_exhaustive() {
+    let report = model_with(
+        Options {
+            mode: Mode::Exhaustive {
+                preemption_bound: 0,
+            },
+            ..Options::default()
+        },
+        || {
+            let n = Arc::new(AtomicU64::new(0));
+            let a = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                a.fetch_add(1, Ordering::SeqCst);
+            });
+            t.join();
+            assert_eq!(n.load(Ordering::SeqCst), 1);
+        },
+    );
+    assert!(report.exhaustive, "{report:?}");
+}
+
+/// Check-then-act on a flag: the window between observing "unset" and
+/// setting it admits a double-claim, which the checker must expose.
+#[test]
+fn check_then_act_race_is_found() {
+    let msg = expect_failure(|| {
+        let claimed = Arc::new(AtomicU64::new(0));
+        let winners = Arc::new(AtomicU64::new(0));
+        let mk = |c: Arc<AtomicU64>, w: Arc<AtomicU64>| {
+            move || {
+                // BUG (seeded): load-then-store claim instead of CAS.
+                if c.load(Ordering::SeqCst) == 0 {
+                    c.store(1, Ordering::SeqCst);
+                    w.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        };
+        let t1 = thread::spawn(mk(Arc::clone(&claimed), Arc::clone(&winners)));
+        let t2 = thread::spawn(mk(Arc::clone(&claimed), Arc::clone(&winners)));
+        t1.join();
+        t2.join();
+        assert!(
+            winners.load(Ordering::SeqCst) <= 1,
+            "two threads claimed the slot"
+        );
+    });
+    assert!(msg.contains("two threads claimed"), "wrong failure: {msg}");
+}

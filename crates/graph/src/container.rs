@@ -608,6 +608,8 @@ impl Drop for MmapRegion {
 // `&[u8]`.
 #[cfg(all(unix, target_pointer_width = "64"))]
 unsafe impl Send for MmapRegion {}
+// SAFETY: as for Send — the mapping is an immutable byte view, so shared
+// references from any number of threads are sound.
 #[cfg(all(unix, target_pointer_width = "64"))]
 unsafe impl Sync for MmapRegion {}
 
@@ -783,10 +785,12 @@ impl Container {
             return Err(DecodeError::UnsupportedVersion { found: version });
         }
         let method_tag = u32_at(12);
-        let count = u32_at(16) as usize;
+        let count_raw = u32_at(16);
+        // lint:allow(truncating-cast): u32 → usize is lossless (usize ≥ 32 bits)
+        let count = count_raw as usize;
         let stored_checksum = u64_at(24);
         let stored_size = u64_at(32);
-        if stored_size as usize != bytes.len() {
+        if stored_size != bytes.len() as u64 {
             return Err(DecodeError::Truncated);
         }
         let toc_end = HEADER_BYTES
@@ -830,10 +834,11 @@ impl Container {
         // Verify the checksum over the parsed sections.
         let mut h = fnv1a(FNV_OFFSET, &version.to_le_bytes());
         h = fnv1a(h, &method_tag.to_le_bytes());
-        h = fnv1a(h, &(count as u32).to_le_bytes());
+        h = fnv1a(h, &count_raw.to_le_bytes());
         for e in &toc {
             h = fnv1a(h, &e.tag.to_le_bytes());
             h = fnv1a(h, &e.len.to_le_bytes());
+            // lint:allow(truncating-cast): offset/len bounds-checked against bytes.len() above, so both fit in usize
             h = fnv1a(h, &bytes[e.offset as usize..(e.offset + e.len) as usize]);
         }
         if h != stored_checksum {

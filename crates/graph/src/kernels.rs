@@ -540,35 +540,36 @@ mod avx2 {
     /// Unaligned 4-lane load at `s[i..i + 4]`.
     ///
     /// # Safety
-    /// Requires AVX2 and `i + 4 <= s.len()`.
+    /// Requires `i + 4 <= s.len()`.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn loadu(s: &[u64], i: usize) -> __m256i {
-        _mm256_loadu_si256(s.as_ptr().add(i) as *const __m256i)
+        // SAFETY: the caller guarantees `i + 4 <= s.len()`, so the 32-byte
+        // read stays inside the slice; the unaligned load form has no
+        // alignment requirement.
+        unsafe { _mm256_loadu_si256(s.as_ptr().add(i) as *const __m256i) }
     }
 
     /// Lane-wise unsigned 64-bit minimum. Valid with the *signed* compare
     /// because every operand stays below `2^63` (sums of two distances are
-    /// at most `2 * INFINITY`).
-    ///
-    /// # Safety
-    /// Requires AVX2.
+    /// at most `2 * INFINITY`). Safe: registers only (`target_feature` on a
+    /// safe fn makes calls from non-AVX2 contexts unsafe, which the
+    /// dispatchers already are).
     #[inline]
     #[target_feature(enable = "avx2")]
-    unsafe fn min_u64x4(x: __m256i, y: __m256i) -> __m256i {
+    fn min_u64x4(x: __m256i, y: __m256i) -> __m256i {
         let x_gt_y = _mm256_cmpgt_epi64(x, y);
         _mm256_blendv_epi8(x, y, x_gt_y)
     }
 
     /// Horizontal minimum of the 4 lanes.
-    ///
-    /// # Safety
-    /// Requires AVX2.
     #[inline]
     #[target_feature(enable = "avx2")]
-    unsafe fn hmin_u64x4(v: __m256i) -> u64 {
+    fn hmin_u64x4(v: __m256i) -> u64 {
         let mut lanes = [0u64; 4];
-        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
+        // SAFETY: `lanes` is exactly 32 bytes of writable memory; the
+        // unaligned store form has no alignment requirement.
+        unsafe { _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v) };
         lanes.iter().copied().fold(u64::MAX, u64::min)
     }
 
@@ -587,8 +588,14 @@ mod avx2 {
             let mut acc0 = inf;
             let mut acc1 = inf;
             while i + 8 <= len {
-                let s0 = _mm256_add_epi64(loadu(a, i), loadu(b, i));
-                let s1 = _mm256_add_epi64(loadu(a, i + 4), loadu(b, i + 4));
+                // SAFETY: `i + 8 <= len <= a.len(), b.len()`, so all four
+                // 4-lane loads are in bounds.
+                let (s0, s1) = unsafe {
+                    (
+                        _mm256_add_epi64(loadu(a, i), loadu(b, i)),
+                        _mm256_add_epi64(loadu(a, i + 4), loadu(b, i + 4)),
+                    )
+                };
                 acc0 = min_u64x4(acc0, s0);
                 acc1 = min_u64x4(acc1, s1);
                 i += 8;
@@ -629,10 +636,16 @@ mod avx2 {
             let lo = k * CUT_BOUND_BLOCK;
             let hi = (lo + CUT_BOUND_BLOCK).min(len);
             if hi - lo == CUT_BOUND_BLOCK {
-                let s0 = _mm256_add_epi64(loadu(a, lo), loadu(b, lo));
-                let s1 = _mm256_add_epi64(loadu(a, lo + 4), loadu(b, lo + 4));
-                let s2 = _mm256_add_epi64(loadu(a, lo + 8), loadu(b, lo + 8));
-                let s3 = _mm256_add_epi64(loadu(a, lo + 12), loadu(b, lo + 12));
+                // SAFETY: `hi == lo + CUT_BOUND_BLOCK <= len`, so all eight
+                // 4-lane loads (offsets lo .. lo+12) are in bounds.
+                let (s0, s1, s2, s3) = unsafe {
+                    (
+                        _mm256_add_epi64(loadu(a, lo), loadu(b, lo)),
+                        _mm256_add_epi64(loadu(a, lo + 4), loadu(b, lo + 4)),
+                        _mm256_add_epi64(loadu(a, lo + 8), loadu(b, lo + 8)),
+                        _mm256_add_epi64(loadu(a, lo + 12), loadu(b, lo + 12)),
+                    )
+                };
                 let m = min_u64x4(min_u64x4(s0, s1), min_u64x4(s2, s3));
                 best = best.min(hmin_u64x4(m));
             } else {
@@ -644,13 +657,11 @@ mod avx2 {
         best.min(INFINITY)
     }
 
-    /// The 8 rotate-left lane permutations of [`block_pairs`].
-    ///
-    /// # Safety
-    /// Requires AVX2.
+    /// The 8 rotate-left lane permutations of [`block_pairs`]. Safe:
+    /// registers only.
     #[inline]
     #[target_feature(enable = "avx2")]
-    unsafe fn rotations() -> [__m256i; 8] {
+    fn rotations() -> [__m256i; 8] {
         [
             _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
             _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0),
@@ -666,13 +677,11 @@ mod avx2 {
     /// All-pairs hub comparison of one 8x8 window: for every rotation `r`,
     /// lane `l` of the rotated `vb` holds `hb[j + (l + r) % 8]`, so one
     /// vector equality + movemask finds every matching pair in the window.
-    ///
-    /// # Safety
-    /// Requires AVX2; `i + 8 <= da.len()` and `j + 8 <= db.len()`.
+    /// Safe: the distance reads use bounds-checked indexing.
     #[inline]
     #[target_feature(enable = "avx2")]
     #[allow(clippy::too_many_arguments)]
-    unsafe fn block_pairs(
+    fn block_pairs(
         va: __m256i,
         vb: __m256i,
         rot: &[__m256i; 8],
@@ -715,8 +724,14 @@ mod avx2 {
         if ha.len() >= 8 && hb.len() >= 8 {
             let rot = rotations();
             while i + 8 <= ha.len() && j + 8 <= hb.len() {
-                let va = _mm256_loadu_si256(ha.as_ptr().add(i) as *const __m256i);
-                let vb = _mm256_loadu_si256(hb.as_ptr().add(j) as *const __m256i);
+                // SAFETY: the loop condition proves both 8-lane u32 loads
+                // (32 bytes at i and j) are in bounds; unaligned form.
+                let (va, vb) = unsafe {
+                    (
+                        _mm256_loadu_si256(ha.as_ptr().add(i) as *const __m256i),
+                        _mm256_loadu_si256(hb.as_ptr().add(j) as *const __m256i),
+                    )
+                };
                 best = block_pairs(va, vb, &rot, da, db, i, j, best);
                 let (amax, bmax) = (ha[i + 7], hb[j + 7]);
                 i += 8 * (amax <= bmax) as usize;
@@ -748,8 +763,14 @@ mod avx2 {
                 if dist_add(sa[i / CUT_BOUND_BLOCK], sb[j / CUT_BOUND_BLOCK]) >= best {
                     return best.min(INFINITY);
                 }
-                let va = _mm256_loadu_si256(ha.as_ptr().add(i) as *const __m256i);
-                let vb = _mm256_loadu_si256(hb.as_ptr().add(j) as *const __m256i);
+                // SAFETY: the loop condition proves both 8-lane u32 loads
+                // (32 bytes at i and j) are in bounds; unaligned form.
+                let (va, vb) = unsafe {
+                    (
+                        _mm256_loadu_si256(ha.as_ptr().add(i) as *const __m256i),
+                        _mm256_loadu_si256(hb.as_ptr().add(j) as *const __m256i),
+                    )
+                };
                 best = block_pairs(va, vb, &rot, da, db, i, j, best);
                 let (amax, bmax) = (ha[i + 7], hb[j + 7]);
                 i += 8 * (amax <= bmax) as usize;
@@ -777,21 +798,32 @@ mod avx2 {
             let mut acc0 = _mm256_set1_epi64x(INFINITY as i64);
             let mut acc1 = acc0;
             while i + 8 <= len {
-                let idx0 = _mm_loadu_si128(pos.as_ptr().add(i) as *const __m128i);
-                let idx1 = _mm_loadu_si128(pos.as_ptr().add(i + 4) as *const __m128i);
-                let s0 = _mm256_i32gather_epi64::<8>(ds.as_ptr() as *const i64, idx0);
-                let t0 = _mm256_i32gather_epi64::<8>(dt.as_ptr() as *const i64, idx0);
-                let s1 = _mm256_i32gather_epi64::<8>(ds.as_ptr() as *const i64, idx1);
-                let t1 = _mm256_i32gather_epi64::<8>(dt.as_ptr() as *const i64, idx1);
-                acc0 = min_u64x4(acc0, _mm256_add_epi64(s0, t0));
-                acc1 = min_u64x4(acc1, _mm256_add_epi64(s1, t1));
+                // SAFETY: `i + 8 <= len` keeps both index loads inside
+                // `pos`; every gathered lane is in bounds for `ds` and `dt`
+                // by this fn's contract (the dispatcher validated all
+                // positions before calling).
+                let (sum0, sum1) = unsafe {
+                    let idx0 = _mm_loadu_si128(pos.as_ptr().add(i) as *const __m128i);
+                    let idx1 = _mm_loadu_si128(pos.as_ptr().add(i + 4) as *const __m128i);
+                    let s0 = _mm256_i32gather_epi64::<8>(ds.as_ptr() as *const i64, idx0);
+                    let t0 = _mm256_i32gather_epi64::<8>(dt.as_ptr() as *const i64, idx0);
+                    let s1 = _mm256_i32gather_epi64::<8>(ds.as_ptr() as *const i64, idx1);
+                    let t1 = _mm256_i32gather_epi64::<8>(dt.as_ptr() as *const i64, idx1);
+                    (_mm256_add_epi64(s0, t0), _mm256_add_epi64(s1, t1))
+                };
+                acc0 = min_u64x4(acc0, sum0);
+                acc1 = min_u64x4(acc1, sum1);
                 i += 8;
             }
             if i + 4 <= len {
-                let idx = _mm_loadu_si128(pos.as_ptr().add(i) as *const __m128i);
-                let vs = _mm256_i32gather_epi64::<8>(ds.as_ptr() as *const i64, idx);
-                let vt = _mm256_i32gather_epi64::<8>(dt.as_ptr() as *const i64, idx);
-                acc0 = min_u64x4(acc0, _mm256_add_epi64(vs, vt));
+                // SAFETY: as above, with one 4-lane index load at `i`.
+                let sum = unsafe {
+                    let idx = _mm_loadu_si128(pos.as_ptr().add(i) as *const __m128i);
+                    let vs = _mm256_i32gather_epi64::<8>(ds.as_ptr() as *const i64, idx);
+                    let vt = _mm256_i32gather_epi64::<8>(dt.as_ptr() as *const i64, idx);
+                    _mm256_add_epi64(vs, vt)
+                };
+                acc0 = min_u64x4(acc0, sum);
                 i += 4;
             }
             best = hmin_u64x4(min_u64x4(acc0, acc1));

@@ -30,9 +30,10 @@ pub(crate) fn process_start() -> Instant {
 #[cfg(target_arch = "x86_64")]
 #[inline]
 fn raw_ticks() -> u64 {
-    // `rdtsc` is unconditionally available on x86_64; on any core young
-    // enough to run this workspace the TSC is invariant (constant rate,
-    // never stops), which is what makes the one-shot calibration valid.
+    // SAFETY: `rdtsc` is unconditionally available on x86_64 and touches no
+    // memory; on any core young enough to run this workspace the TSC is
+    // invariant (constant rate, never stops), which is what makes the
+    // one-shot calibration valid.
     unsafe { core::arch::x86_64::_rdtsc() }
 }
 

@@ -24,7 +24,9 @@
 //! into an aggregate), queryable for p50/p90/p99/p99.9/max/mean, and
 //! renderable as a one-line human summary.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hc2l_check::facade::{AtomicU64 as _, Atomics, StdAtomics};
 
 /// log2 of the number of sub-buckets per power of two.
 const MANTISSA_BITS: u32 = 7;
@@ -87,44 +89,60 @@ fn stripe_of_thread() -> usize {
     })
 }
 
-/// The concurrent histogram. `Send + Sync`; recording never blocks.
-pub struct Histogram {
-    /// Stripe-major: stripe `s` owns `counts[s * NUM_BUCKETS ..][..NUM_BUCKETS]`.
-    counts: Box<[AtomicU64]>,
-    max: AtomicU64,
+/// The striped-counter core, generic over the [`hc2l_check::facade`]
+/// atomics traits: production instantiates the zero-cost [`StdAtomics`]
+/// default (via [`Histogram`]); the model-check suite (`tests/model.rs`)
+/// instantiates the SAME source with the checker's shim atomics and
+/// exhaustively interleaves concurrent recorders against snapshots.
+///
+/// The core takes the stripe as an argument; [`Histogram`] adds the
+/// thread-sticky stripe assignment (a thread-local, which has no meaning
+/// under the checker's controlled threads).
+pub struct HistogramCore<A: Atomics = StdAtomics> {
+    /// Stripe-major: stripe `s` owns `counts[s * buckets ..][..buckets]`.
+    counts: Box<[A::U64]>,
+    max: A::U64,
+    stripes: usize,
+    /// `stripes - 1`; stripes are a power of two so stripe reduction is a
+    /// mask, not a div — this sits on the per-request record path.
+    stripe_mask: usize,
+    buckets: usize,
 }
 
-impl Default for Histogram {
+impl<A: Atomics> Default for HistogramCore<A> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl std::fmt::Debug for Histogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        // The bucket array is noise; the count is what a debug dump wants.
-        f.debug_struct("Histogram")
-            .field("count", &self.count())
-            .finish_non_exhaustive()
-    }
-}
-
-impl Histogram {
+impl<A: Atomics> HistogramCore<A> {
     pub fn new() -> Self {
-        let counts: Box<[AtomicU64]> = (0..STRIPES * NUM_BUCKETS)
-            .map(|_| AtomicU64::new(0))
-            .collect();
-        Histogram {
-            counts,
-            max: AtomicU64::new(0),
+        Self::with_geometry(STRIPES, NUM_BUCKETS)
+    }
+
+    /// A core with a reduced geometry — model-check tests shrink the cell
+    /// array so a schedule's state stays small; production uses
+    /// [`HistogramCore::new`]. `stripes` must be a power of two (stripe
+    /// reduction is a mask on the record path). Values whose bucket exceeds
+    /// `buckets` clamp into the last one.
+    pub fn with_geometry(stripes: usize, buckets: usize) -> Self {
+        assert!(stripes.is_power_of_two() && buckets >= 1);
+        HistogramCore {
+            counts: (0..stripes * buckets).map(|_| A::U64::new(0)).collect(),
+            max: A::U64::new(0),
+            stripes,
+            stripe_mask: stripes - 1,
+            buckets,
         }
     }
 
-    /// Records one value. Wait-free; safe from any number of threads.
+    /// Records one value on the given stripe (reduced modulo the stripe
+    /// count). Wait-free; safe from any number of threads, including two
+    /// sharing a stripe — the count cell is a real RMW.
     #[inline]
-    pub fn record(&self, v: u64) {
-        let stripe = stripe_of_thread();
-        let idx = stripe * NUM_BUCKETS + bucket_index(v);
+    pub fn record_on_stripe(&self, stripe: usize, v: u64) {
+        let idx =
+            (stripe & self.stripe_mask) * self.buckets + bucket_index(v).min(self.buckets - 1);
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
         // Max settles after a handful of samples; the load keeps the common
         // case to one uncontended read and no second RMW.
@@ -139,9 +157,9 @@ impl Histogram {
     /// from the buckets (midpoint / lower bound), so they carry the same
     /// <1% relative error as the percentiles; max is sample-exact.
     pub fn snapshot(&self) -> Snapshot {
-        let mut counts = vec![0u64; NUM_BUCKETS];
-        for stripe in 0..STRIPES {
-            let base = stripe * NUM_BUCKETS;
+        let mut counts = vec![0u64; self.buckets];
+        for stripe in 0..self.stripes {
+            let base = stripe * self.buckets;
             for (i, c) in counts.iter_mut().enumerate() {
                 *c += self.counts[base + i].load(Ordering::Relaxed);
             }
@@ -177,6 +195,50 @@ impl Histogram {
     /// intent; still sums every bucket).
     pub fn count(&self) -> u64 {
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// The concurrent histogram. `Send + Sync`; recording never blocks.
+pub struct Histogram {
+    core: HistogramCore,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The bucket array is noise; the count is what a debug dump wants.
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            core: HistogramCore::new(),
+        }
+    }
+
+    /// Records one value. Wait-free; safe from any number of threads.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.core.record_on_stripe(stripe_of_thread(), v);
+    }
+
+    /// See [`HistogramCore::snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        self.core.snapshot()
+    }
+
+    /// Total values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.core.count()
     }
 }
 
@@ -250,6 +312,10 @@ impl Snapshot {
     pub fn merge(&mut self, other: &Snapshot) {
         if self.counts.is_empty() {
             self.counts = vec![0; NUM_BUCKETS];
+        }
+        if self.counts.len() < other.counts.len() {
+            // Reduced-geometry snapshots (model tests) can meet full ones.
+            self.counts.resize(other.counts.len(), 0);
         }
         if !other.counts.is_empty() {
             for (a, b) in self.counts.iter_mut().zip(&other.counts) {

@@ -30,5 +30,5 @@ pub mod log;
 pub mod phase;
 pub mod prom;
 
-pub use histogram::{Histogram, Snapshot};
+pub use histogram::{Histogram, HistogramCore, Snapshot};
 pub use log::Level;

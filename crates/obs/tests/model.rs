@@ -1,0 +1,107 @@
+//! Model-check suite for the histogram's striped-counter core.
+//!
+//! Runs the PRODUCTION `HistogramCore` source under `hc2l_check`'s
+//! deterministic scheduler with a reduced geometry (2 stripes × 4 buckets,
+//! so each schedule's state stays small) and exhaustively interleaves
+//! concurrent recorders against snapshots. The invariant: merging stripes
+//! into a snapshot never loses a recorded count — neither when recorders
+//! share a stripe (the count cell is a real RMW) nor when a snapshot runs
+//! mid-record.
+
+use std::sync::Arc;
+
+use hc2l_check::shim::CheckAtomics;
+use hc2l_check::{model, thread};
+use hc2l_obs::HistogramCore;
+
+type CheckedHistogram = HistogramCore<CheckAtomics>;
+
+/// Two recorders on DIFFERENT stripes: the final snapshot must contain
+/// both counts in the right buckets.
+#[test]
+fn cross_stripe_counts_all_survive_merge() {
+    let report = model(|| {
+        let h = Arc::new(CheckedHistogram::with_geometry(2, 4));
+        let (h1, h2) = (Arc::clone(&h), Arc::clone(&h));
+        let t1 = thread::spawn(move || h1.record_on_stripe(0, 1));
+        let t2 = thread::spawn(move || h2.record_on_stripe(1, 2));
+        t1.join();
+        t2.join();
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2, "stripe merge lost a count");
+        assert_eq!(s.max(), 2);
+        assert_eq!(s.min(), 1);
+    });
+    assert!(
+        report.exhaustive,
+        "schedule space not exhausted: {report:?}"
+    );
+    assert!(report.schedules > 1, "degenerate exploration: {report:?}");
+}
+
+/// Two recorders on the SAME stripe — the contended case striping exists
+/// to make rare, which must still never lose a count (the cell is a real
+/// fetch_add, not the cache counters' lock-protected load/store).
+#[test]
+fn same_stripe_contention_never_loses_counts() {
+    let report = model(|| {
+        let h = Arc::new(CheckedHistogram::with_geometry(2, 4));
+        let (h1, h2) = (Arc::clone(&h), Arc::clone(&h));
+        let t1 = thread::spawn(move || h1.record_on_stripe(0, 3));
+        let t2 = thread::spawn(move || h2.record_on_stripe(0, 3));
+        t1.join();
+        t2.join();
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2, "same-stripe fetch_add lost an increment");
+    });
+    assert!(
+        report.exhaustive,
+        "schedule space not exhausted: {report:?}"
+    );
+}
+
+/// A snapshot taken WHILE a recorder runs: it may see 0 or 1 of the
+/// in-flight count (each cell is read once, relaxed) but never a phantom,
+/// and the post-join snapshot is exact.
+#[test]
+fn concurrent_snapshot_is_bounded_and_final_is_exact() {
+    let report = model(|| {
+        let h = Arc::new(CheckedHistogram::with_geometry(2, 4));
+        let hr = Arc::clone(&h);
+        let rec = thread::spawn(move || hr.record_on_stripe(1, 2));
+        let mid = h.snapshot();
+        assert!(mid.count() <= 1, "phantom count in concurrent snapshot");
+        rec.join();
+        let fin = h.snapshot();
+        assert_eq!(fin.count(), 1);
+        assert_eq!(fin.max(), 2);
+    });
+    assert!(
+        report.exhaustive,
+        "schedule space not exhausted: {report:?}"
+    );
+}
+
+/// Snapshot merge composes with concurrent recording: two cores recorded
+/// in parallel, snapshotted, merged — the fold must equal the union.
+#[test]
+fn merged_snapshots_equal_the_union() {
+    let report = model(|| {
+        let a = Arc::new(CheckedHistogram::with_geometry(1, 4));
+        let b = Arc::new(CheckedHistogram::with_geometry(1, 4));
+        let (ar, br) = (Arc::clone(&a), Arc::clone(&b));
+        let t1 = thread::spawn(move || ar.record_on_stripe(0, 1));
+        let t2 = thread::spawn(move || br.record_on_stripe(0, 3));
+        t1.join();
+        t2.join();
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 2, "merge lost a count");
+        assert_eq!(merged.min(), 1);
+        assert_eq!(merged.max(), 3);
+    });
+    assert!(
+        report.exhaustive,
+        "schedule space not exhausted: {report:?}"
+    );
+}

@@ -31,10 +31,12 @@
 //! single-generation users (epoch 0).
 
 use std::collections::HashMap;
-use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use hc2l_graph::{Distance, Vertex};
+
+use crate::lockfree::FrontCore;
 
 /// Counter snapshot of a [`QueryCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,16 +210,20 @@ struct HitCell(AtomicU64);
 
 /// A direct-mapped, lock-free read layer in front of the LRU shards.
 ///
-/// Each slot is a seqlock over `(key, epoch, value)`: readers take no lock
-/// (a torn or mid-write slot just reads as a miss and falls through to the
-/// LRU), and writers claim the slot with one CAS, free to lose races — the
-/// front is an accelerator, never the source of truth. This is what makes
-/// a cache *hit* cheap enough to sit between the serving layer's two
-/// latency-clock reads: the steady-state hit path is five plain atomic
-/// loads plus one striped plain-store counter bump, with not a single
-/// `lock`-prefixed instruction to stall the pipeline (a locked RMW between
-/// two `rdtsc` reads serialises the pipeline and bills its full latency to
-/// the measured span).
+/// The seqlock protocol itself lives in [`crate::lockfree::FrontCore`],
+/// written generically over the [`hc2l_check::facade`] atomics traits so
+/// the model-check suite (`tests/model.rs`) explores the SAME source under
+/// exhaustive interleaving; here it is instantiated with the zero-cost
+/// `StdAtomics` default. Readers take no lock (a torn or mid-write slot
+/// just reads as a miss and falls through to the LRU), and writers claim a
+/// slot with one CAS, free to lose races — the front is an accelerator,
+/// never the source of truth. This is what makes a cache *hit* cheap
+/// enough to sit between the serving layer's two latency-clock reads: the
+/// steady-state hit path is five plain atomic loads plus one striped
+/// plain-store counter bump, with not a single `lock`-prefixed instruction
+/// to stall the pipeline (a locked RMW between two `rdtsc` reads
+/// serialises the pipeline and bills its full latency to the measured
+/// span).
 ///
 /// Two deliberate semantic trades, both safe because a cached distance is
 /// an immutable function of `(pair, epoch)`:
@@ -228,19 +234,8 @@ struct HitCell(AtomicU64);
 ///   in the shards);
 /// * hit counts are striped plain load/store cells ([`FRONT_STRIPES`]).
 struct Front {
-    slots: Box<[FrontSlot]>,
-    /// `64 - log2(slots.len())`, for fibonacci-hash slot selection.
-    shift: u32,
+    core: FrontCore,
     hits: Box<[HitCell]>,
-}
-
-struct FrontSlot {
-    /// Seqlock word: odd while a writer owns the slot, bumped by 2 per
-    /// publish so readers detect overwrites.
-    seq: AtomicU64,
-    key: AtomicU64,
-    epoch: AtomicU64,
-    value: AtomicU64,
 }
 
 impl Front {
@@ -250,65 +245,26 @@ impl Front {
     const MIN_CAPACITY: usize = 4096;
 
     fn new(capacity: usize) -> Front {
+        // Empty FrontCore slots carry key u64::MAX, which never matches a
+        // probe: real keys pack two in-range vertex ids, validated by the
+        // serving layer.
         let n = (capacity / 8).next_power_of_two().clamp(1024, 8192);
         Front {
-            slots: (0..n)
-                .map(|_| FrontSlot {
-                    seq: AtomicU64::new(0),
-                    // u64::MAX never matches a probe: real keys pack two
-                    // in-range vertex ids, validated by the serving layer.
-                    key: AtomicU64::new(u64::MAX),
-                    epoch: AtomicU64::new(0),
-                    value: AtomicU64::new(0),
-                })
-                .collect(),
-            shift: 64 - n.trailing_zeros(),
+            core: FrontCore::new(n),
             hits: (0..FRONT_STRIPES).map(|_| HitCell::default()).collect(),
         }
-    }
-
-    #[inline]
-    fn slot_of(&self, key: u64) -> &FrontSlot {
-        &self.slots[(key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize]
     }
 
     /// Lock-free probe; a mid-write, torn, or mismatched slot is a miss.
     #[inline]
     fn probe(&self, key: u64, epoch: u64) -> Option<Distance> {
-        let s = self.slot_of(key);
-        let s0 = s.seq.load(Ordering::Acquire);
-        if s0 & 1 != 0 {
-            return None;
-        }
-        let k = s.key.load(Ordering::Relaxed);
-        let e = s.epoch.load(Ordering::Relaxed);
-        let v = s.value.load(Ordering::Relaxed);
-        // The acquire fence pins the three data loads before the seq
-        // re-read; an unchanged even seq proves they were not torn.
-        fence(Ordering::Acquire);
-        if s.seq.load(Ordering::Relaxed) != s0 || k != key || e != epoch {
-            return None;
-        }
-        Some(v)
+        self.core.probe(key, epoch)
     }
 
     /// Best-effort publish; losing the claim race just skips the fill.
+    #[inline]
     fn fill(&self, key: u64, value: Distance, epoch: u64) {
-        let s = self.slot_of(key);
-        let s0 = s.seq.load(Ordering::Relaxed);
-        if s0 & 1 != 0 {
-            return;
-        }
-        if s.seq
-            .compare_exchange(s0, s0 + 1, Ordering::Acquire, Ordering::Relaxed)
-            .is_err()
-        {
-            return;
-        }
-        s.key.store(key, Ordering::Relaxed);
-        s.epoch.store(epoch, Ordering::Relaxed);
-        s.value.store(value, Ordering::Relaxed);
-        s.seq.store(s0 + 2, Ordering::Release);
+        self.core.fill(key, value, epoch);
     }
 
     /// Thread-striped hit count: plain load/store on a thread-sticky cell.

@@ -61,6 +61,7 @@
 //! ```
 
 pub mod cache;
+pub mod lockfree;
 pub mod metrics;
 pub mod protocol;
 #[cfg(target_os = "linux")]

@@ -1,0 +1,206 @@
+//! The serve layer's lock-free cores, written once over the
+//! [`hc2l_check::facade`] atomics traits.
+//!
+//! Production code instantiates these with [`StdAtomics`] (the default type
+//! parameter), which monomorphises to plain `std::sync::atomic` with zero
+//! overhead. The model-check suite (`tests/model.rs`) instantiates the SAME
+//! source with [`hc2l_check::shim::CheckAtomics`] and exhaustively explores
+//! thread interleavings of the protocols below — so the code that ships is
+//! the code that was checked, not a parallel "model" that can drift.
+//!
+//! Two protocols live here:
+//!
+//! * [`FrontCore`] — the direct-mapped seqlock array behind the query
+//!   cache's lock-free front layer (`cache.rs` wraps it with sizing policy
+//!   and striped hit counting). Invariant: a probe never returns a torn
+//!   `(key, epoch, value)` triple.
+//! * [`EpochMirror`] — the atomic mirror of the current index generation
+//!   that the serving layer reads before probing the cache (`server.rs`).
+//!   Invariant: after a swap publishes epoch `n`, no reader that loaded
+//!   `n` can hit a cache entry tagged with an earlier generation — the
+//!   mirror must be published *before* the new generation is reachable, so
+//!   the race goes the safe way (a fresh-epoch miss, never a stale hit).
+
+use std::sync::atomic::Ordering;
+
+use hc2l_check::facade::{AtomicU64 as _, Atomics, StdAtomics};
+
+/// One seqlock slot: `seq` is odd while a writer owns the slot and bumps by
+/// 2 per publish, so an unchanged even `seq` around the data loads proves
+/// the triple was not torn.
+struct Slot<A: Atomics> {
+    seq: A::U64,
+    key: A::U64,
+    epoch: A::U64,
+    value: A::U64,
+}
+
+/// A direct-mapped array of per-slot seqlocks over `(key, epoch, value)`
+/// triples — the core of the query cache's lock-free front layer.
+///
+/// Readers take no lock: a mid-write, overwritten, or mismatched slot reads
+/// as a miss (`None`) and the caller falls through to its source of truth.
+/// Writers claim a slot with one CAS and are free to lose the race — the
+/// front is an accelerator, never authoritative storage. The payoff is a
+/// steady-state hit path of five plain atomic loads with zero
+/// `lock`-prefixed instructions.
+pub struct FrontCore<A: Atomics = StdAtomics> {
+    slots: Box<[Slot<A>]>,
+    /// `64 - log2(slots.len())`, for fibonacci-hash slot selection.
+    shift: u32,
+}
+
+impl<A: Atomics> FrontCore<A> {
+    /// `num_slots` must be a power of two (direct mapping by high hash
+    /// bits). Empty slots carry key `u64::MAX`, which callers must never
+    /// use as a real key (the cache's packed vertex pairs cannot).
+    pub fn new(num_slots: usize) -> Self {
+        assert!(
+            num_slots.is_power_of_two(),
+            "FrontCore size must be a power of two, got {num_slots}"
+        );
+        FrontCore {
+            slots: (0..num_slots)
+                .map(|_| Slot {
+                    seq: A::U64::new(0),
+                    key: A::U64::new(u64::MAX),
+                    epoch: A::U64::new(0),
+                    value: A::U64::new(0),
+                })
+                .collect(),
+            // Capped at 63 so the 1- and 2-slot tables model tests use
+            // don't shift by the full word width; the mask in `slot_of`
+            // keeps the index in range either way.
+            shift: (64 - num_slots.trailing_zeros()).min(63),
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> &Slot<A> {
+        let i = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize;
+        &self.slots[i & (self.slots.len() - 1)]
+    }
+
+    /// Lock-free probe; a mid-write, torn, or mismatched slot is a miss.
+    #[inline]
+    pub fn probe(&self, key: u64, epoch: u64) -> Option<u64> {
+        let s = self.slot_of(key);
+        let s0 = s.seq.load(Ordering::Acquire);
+        if s0 & 1 != 0 {
+            return None;
+        }
+        let k = s.key.load(Ordering::Relaxed);
+        let e = s.epoch.load(Ordering::Relaxed);
+        let v = s.value.load(Ordering::Relaxed);
+        // The acquire fence pins the three data loads before the seq
+        // re-read; an unchanged even seq proves they were not torn.
+        A::fence(Ordering::Acquire);
+        if s.seq.load(Ordering::Relaxed) != s0 || k != key || e != epoch {
+            return None;
+        }
+        Some(v)
+    }
+
+    /// Best-effort publish; losing the claim race just skips the fill.
+    #[inline]
+    pub fn fill(&self, key: u64, value: u64, epoch: u64) {
+        let s = self.slot_of(key);
+        let s0 = s.seq.load(Ordering::Relaxed);
+        if s0 & 1 != 0 {
+            return;
+        }
+        if s.seq
+            .compare_exchange(s0, s0 + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        s.key.store(key, Ordering::Relaxed);
+        s.epoch.store(epoch, Ordering::Relaxed);
+        s.value.store(value, Ordering::Relaxed);
+        s.seq.store(s0 + 2, Ordering::Release);
+    }
+}
+
+/// The atomic mirror of the current index generation (epoch).
+///
+/// The authoritative generation lives behind an `RwLock<Arc<Generation>>`;
+/// this mirror exists so the query hot path can learn the epoch with one
+/// acquire load instead of taking the read lock twice. The swap protocol
+/// ([`EpochMirror::publish`] *before* the generation pointer swap, both
+/// inside the writer's critical section) makes the unavoidable race benign:
+/// a query that read the OLD epoch but runs against the NEW generation
+/// misses the cache and recomputes — correct, merely unlucky — while the
+/// reverse (new epoch, old generation) cannot produce a stale cache hit
+/// because entries are tagged with the epoch they were computed at.
+pub struct EpochMirror<A: Atomics = StdAtomics> {
+    published: A::U64,
+}
+
+impl<A: Atomics> std::fmt::Debug for EpochMirror<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochMirror")
+            .field("published", &self.load())
+            .finish()
+    }
+}
+
+impl<A: Atomics> EpochMirror<A> {
+    pub fn new(epoch: u64) -> Self {
+        EpochMirror {
+            published: A::U64::new(epoch),
+        }
+    }
+
+    /// Publishes a new epoch. Release pairs with the acquire in
+    /// [`EpochMirror::load`]: a reader that observes the new epoch also
+    /// observes every cache invalidation the writer did before publishing.
+    #[inline]
+    pub fn publish(&self, epoch: u64) {
+        self.published.store(epoch, Ordering::Release);
+    }
+
+    /// The most recently published epoch.
+    #[inline]
+    pub fn load(&self) -> u64 {
+        self.published.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_misses_empty_and_hits_filled() {
+        let f: FrontCore = FrontCore::new(1024);
+        assert_eq!(f.probe(7, 0), None);
+        f.fill(7, 42, 0);
+        assert_eq!(f.probe(7, 0), Some(42));
+        assert_eq!(f.probe(7, 1), None, "epoch mismatch is a miss");
+        assert_eq!(f.probe(8, 0), None, "key mismatch is a miss");
+    }
+
+    #[test]
+    fn fill_overwrites_in_place() {
+        let f: FrontCore = FrontCore::new(8);
+        f.fill(1, 10, 0);
+        f.fill(1, 11, 1);
+        assert_eq!(f.probe(1, 0), None);
+        assert_eq!(f.probe(1, 1), Some(11));
+    }
+
+    #[test]
+    fn epoch_mirror_roundtrips() {
+        let m: EpochMirror = EpochMirror::new(0);
+        assert_eq!(m.load(), 0);
+        m.publish(3);
+        assert_eq!(m.load(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_size_is_rejected() {
+        let _: FrontCore = FrontCore::new(1000);
+    }
+}

@@ -352,6 +352,7 @@ impl FrameDecoder {
         if pending.len() < 4 {
             return false;
         }
+        // lint:allow(no-panic): pending.len() >= 4 checked above, so the 4-byte try_into cannot fail
         let len = u32::from_le_bytes(pending[..4].try_into().unwrap()) as usize;
         if check_frame_len(len).is_err() {
             return true; // the next decode call errors immediately
@@ -367,6 +368,7 @@ impl FrameDecoder {
         if pending.len() < 4 {
             return Ok(None);
         }
+        // lint:allow(no-panic): pending.len() >= 4 checked above, so the 4-byte try_into cannot fail
         let len = u32::from_le_bytes(pending[..4].try_into().unwrap()) as usize;
         // Validate the prefix as soon as it is readable — before waiting
         // for (or buffering) a payload that would bust the cap.
@@ -412,6 +414,7 @@ impl<'a> Fields<'a> {
         if self.bytes.len() < 4 {
             return Err(bad("truncated frame"));
         }
+        // lint:allow(no-panic): bytes.len() >= 4 checked above, so the 4-byte try_into cannot fail
         let v = u32::from_le_bytes(self.bytes[..4].try_into().unwrap());
         self.bytes = &self.bytes[4..];
         Ok(v)
@@ -421,6 +424,7 @@ impl<'a> Fields<'a> {
         if self.bytes.len() < 8 {
             return Err(bad("truncated frame"));
         }
+        // lint:allow(no-panic): bytes.len() >= 8 checked above, so the 8-byte try_into cannot fail
         let v = u64::from_le_bytes(self.bytes[..8].try_into().unwrap());
         self.bytes = &self.bytes[8..];
         Ok(v)
@@ -479,7 +483,11 @@ pub fn read_request<R: Read>(r: &mut R) -> io::Result<Option<Request>> {
 /// Decodes one request frame payload — the grammar shared by the blocking
 /// reader and the incremental [`FrameDecoder`].
 fn decode_request_payload(payload: &[u8]) -> io::Result<Request> {
-    let (opcode, rest) = payload.split_first().expect("frames are non-empty");
+    // `check_frame_len` rejects empty frames upstream, but decode defensively
+    // so this function is total over arbitrary payloads.
+    let Some((opcode, rest)) = payload.split_first() else {
+        return Err(bad("empty frame"));
+    };
     let mut f = Fields { bytes: rest };
     let req = match *opcode {
         op::DISTANCE => {
@@ -626,7 +634,10 @@ pub fn read_response<R: Read>(r: &mut R) -> io::Result<Option<Response>> {
 /// Decodes one response frame payload — shared with the incremental
 /// [`FrameDecoder`].
 fn decode_response_payload(payload: &[u8]) -> io::Result<Response> {
-    let (opcode, rest) = payload.split_first().expect("frames are non-empty");
+    // As in `decode_request_payload`: total over arbitrary payloads.
+    let Some((opcode, rest)) = payload.split_first() else {
+        return Err(bad("empty frame"));
+    };
     let mut f = Fields { bytes: rest };
     let resp = match *opcode {
         op::DISTANCE => {

@@ -138,6 +138,8 @@ struct Epoll(i32);
 
 impl Epoll {
     fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 takes no pointers; the returned fd (or -1)
+        // is validated below before use.
         let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -152,6 +154,9 @@ impl Epoll {
         } else {
             &mut ev as *mut sys::EpollEvent
         };
+        // SAFETY: `arg` is either null (DEL, where the kernel ignores it)
+        // or a live pointer to `ev` on this stack frame for the duration of
+        // the call; the kernel only reads through it.
         if unsafe { sys::epoll_ctl(self.0, op, fd, arg) } < 0 {
             return Err(io::Error::last_os_error());
         }
@@ -172,6 +177,9 @@ impl Epoll {
 
     /// Waits for events; EINTR reads as "no events" rather than an error.
     fn wait(&self, events: &mut [sys::EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: the pointer/len pair comes straight from the `events`
+        // slice, which outlives the call; the kernel writes at most `len`
+        // entries of the POD `EpollEvent` type.
         let n = unsafe {
             sys::epoll_wait(self.0, events.as_mut_ptr(), events.len() as i32, timeout_ms)
         };
@@ -188,6 +196,8 @@ impl Epoll {
 
 impl Drop for Epoll {
     fn drop(&mut self) {
+        // SAFETY: we own the fd (created in `new`, never duplicated out);
+        // closing it at most once takes no pointers.
         unsafe { sys::close(self.0) };
     }
 }
@@ -198,6 +208,8 @@ struct WakeFd(i32);
 
 impl WakeFd {
     fn new() -> io::Result<WakeFd> {
+        // SAFETY: eventfd takes no pointers; the returned fd (or -1) is
+        // validated below before use.
         let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -207,18 +219,24 @@ impl WakeFd {
 
     fn wake(&self) {
         let one: u64 = 1;
+        // SAFETY: writes exactly the 8 bytes of `one`, which lives on this
+        // stack frame for the duration of the call.
         let _ = unsafe { sys::write(self.0, (&one as *const u64).cast(), 8) };
     }
 
     /// Clears the pending wake count so level-triggered epoll quiets down.
     fn drain(&self) {
         let mut count: u64 = 0;
+        // SAFETY: reads at most the 8 bytes of `count`, which lives on this
+        // stack frame for the duration of the call.
         let _ = unsafe { sys::read(self.0, (&mut count as *mut u64).cast(), 8) };
     }
 }
 
 impl Drop for WakeFd {
     fn drop(&mut self) {
+        // SAFETY: we own the fd (created in `new`, never duplicated out);
+        // closing it at most once takes no pointers.
         unsafe { sys::close(self.0) };
     }
 }
@@ -411,7 +429,7 @@ fn spawn_update_worker(ctx: &ReactorCtx, conn: &mut Conn, updates: Vec<hc2l_orac
                 handles[id]
                     .done
                     .lock()
-                    .unwrap()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .push(UpdateDone { fd, token, frame });
                 handles[id].wake.wake();
             }
@@ -569,7 +587,11 @@ fn accept_burst(
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
-                    handles[target].inbox.lock().unwrap().push(stream);
+                    handles[target]
+                        .inbox
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(stream);
                     handles[target].wake.wake();
                 }
             }
@@ -717,7 +739,12 @@ fn reactor_loop(
         // (frames the peer pipelined behind the update now execute, on the
         // new generation). A completion whose connection died mid-update —
         // or whose fd was recycled (token mismatch) — is dropped.
-        let done: Vec<UpdateDone> = std::mem::take(&mut *handles[id].done.lock().unwrap());
+        let done: Vec<UpdateDone> = std::mem::take(
+            &mut *handles[id]
+                .done
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         for d in done {
             let Some(conn) = conns.get_mut(&d.fd) else {
                 continue;
@@ -740,7 +767,12 @@ fn reactor_loop(
 
         // Adopt connections reactor 0 handed over (dropped when already
         // shutting down — the peer sees a reset, same as a refused accept).
-        let newcomers: Vec<TcpStream> = std::mem::take(&mut *handles[id].inbox.lock().unwrap());
+        let newcomers: Vec<TcpStream> = std::mem::take(
+            &mut *handles[id]
+                .inbox
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         for stream in newcomers {
             if draining.is_some() || state.is_shutting_down() {
                 continue;

@@ -41,6 +41,7 @@ use hc2l_oracle::{DistanceOracle, Method, Oracle, SharedOracle, WeightUpdate};
 use hc2l_obs::clock;
 
 use crate::cache::QueryCache;
+use crate::lockfree::EpochMirror;
 use crate::metrics::OpLatencies;
 use crate::protocol::{
     write_response, FrameDecoder, Request, Response, ServerStats, UpdateOutcome, MAX_UPDATE_BATCH,
@@ -300,7 +301,9 @@ pub struct ServeState {
     /// `Arc` clone/drop pair). Stored *before* the generation swap: a
     /// racing query can at worst miss on the not-yet-published epoch and
     /// recompute — it can never serve a stale generation's entry as fresh.
-    cache_epoch: AtomicU64,
+    /// The publish/load protocol lives in [`crate::lockfree::EpochMirror`],
+    /// where the model-check suite exercises it under the checker.
+    cache_epoch: EpochMirror,
     /// Per-opcode latency histograms, recorded identically by both
     /// connection models (everything funnels through these entry points).
     latency: OpLatencies,
@@ -375,7 +378,7 @@ impl ServeState {
             generation: RwLock::new(Arc::new(Generation { oracle, epoch: 0 })),
             engine,
             cache: QueryCache::new(cache_capacity, QueryCache::DEFAULT_SHARDS),
-            cache_epoch: AtomicU64::new(0),
+            cache_epoch: EpochMirror::new(0),
             latency: OpLatencies::enabled(),
             threads: threads.max(1),
             config: ServeConfig::default(),
@@ -526,7 +529,7 @@ impl ServeState {
             // Advance the probe mirror *before* the swap is visible: see
             // the `cache_epoch` field docs for why this order is the safe
             // side of the race.
-            self.cache_epoch.store(epoch, Ordering::Release);
+            self.cache_epoch.publish(epoch);
             *slot = Arc::new(Generation {
                 oracle: served,
                 epoch,
@@ -580,7 +583,7 @@ impl ServeState {
         // when recording is on. The mirror advances before the generation
         // swap, so the race goes the safe way — a fresh epoch that misses
         // and recomputes, never a stale entry served as current.
-        let epoch = self.cache_epoch.load(Ordering::Acquire);
+        let epoch = self.cache_epoch.load();
         if let Some(d) = self.cache.get_at(s, t, epoch) {
             match t0 {
                 Some(t0) => self.latency.distance_hit.record(clock::ns_since(t0)),
@@ -957,11 +960,15 @@ impl ServerHandle {
     /// Blocks until the serve loop exits (i.e. until some client sends
     /// `Shutdown`), then reports the accept loop's result.
     pub fn wait(mut self) -> io::Result<()> {
-        let handle = self
-            .accept_loop
-            .take()
-            .expect("wait consumes the only handle");
-        handle.join().expect("accept loop panicked")
+        // `wait` consumes self, so the handle is always present today; if
+        // that invariant ever breaks, report it as an error instead of
+        // panicking in the caller's serve path.
+        let Some(handle) = self.accept_loop.take() else {
+            return Err(io::Error::other("server already waited on"));
+        };
+        handle
+            .join()
+            .map_err(|_| io::Error::other("accept loop panicked"))?
     }
 
     /// Requests shutdown from this side and waits for the drain.
@@ -1101,7 +1108,10 @@ fn accept_loop(listener: TcpListener, state: Arc<ServeState>) -> io::Result<()> 
         let conn_id = next_conn_id;
         next_conn_id += 1;
         match stream.try_clone() {
-            Ok(clone) => conns.lock().unwrap().insert(conn_id, clone),
+            Ok(clone) => conns
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .insert(conn_id, clone),
             // An unregistered connection could not be unblocked by the
             // shutdown drain and would wedge the final join; refuse it
             // (the peer sees a reset and can retry) rather than serve it
@@ -1149,7 +1159,10 @@ fn accept_loop(listener: TcpListener, state: Arc<ServeState>) -> io::Result<()> 
             Err(e) => {
                 // The closure (and its stream) never ran: undo the
                 // bookkeeping and end the loop through the drain.
-                conns.lock().unwrap().remove(&conn_id);
+                conns
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .remove(&conn_id);
                 active.fetch_sub(1, Ordering::AcqRel);
                 result = Err(e);
                 break;
@@ -1159,7 +1172,7 @@ fn accept_loop(listener: TcpListener, state: Arc<ServeState>) -> io::Result<()> 
     // Drain: close both halves of every still-open connection so handlers
     // parked in a blocking read observe EOF and exit, then join them all —
     // on the error paths too, so no handler thread is ever abandoned.
-    for (_, stream) in conns.lock().unwrap().drain() {
+    for (_, stream) in conns.lock().unwrap_or_else(|p| p.into_inner()).drain() {
         let _ = stream.shutdown(std::net::Shutdown::Both);
     }
     for h in handlers {
@@ -2041,6 +2054,8 @@ mod tests {
             l_onoff: 1,
             l_linger: 0,
         };
+        // SAFETY: passes a live pointer to `linger` with its exact size;
+        // the kernel only reads optlen bytes through it during the call.
         let rc = unsafe {
             setsockopt(
                 stream.as_raw_fd(),

@@ -168,6 +168,8 @@ fn ensure_fd_headroom(want: u64) {
         fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
     }
     let mut lim = RLimit { cur: 0, max: 0 };
+    // SAFETY: `lim` lives on this stack frame and matches the kernel's
+    // rlimit layout (two u64s); the kernel writes exactly one RLimit.
     if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
         return;
     }
@@ -175,6 +177,8 @@ fn ensure_fd_headroom(want: u64) {
         return;
     }
     lim.cur = want.min(lim.max);
+    // SAFETY: same layout argument; the kernel only reads through the
+    // pointer during the call.
     unsafe { setrlimit(RLIMIT_NOFILE, &lim) };
 }
 

@@ -1,0 +1,16 @@
+//! Workspace automation. `cargo run -p xtask -- lint` runs the source-level
+//! static-analysis pass (see [`lint`]).
+
+mod lint;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("lint") => lint::run(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--self-test] [ROOT]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
